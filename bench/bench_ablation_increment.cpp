@@ -1,0 +1,48 @@
+// Ablation A3: bandwidth increment size.
+//
+// Section 3.2 argues for discretized elasticity and Section 4 observes that
+// "the scheme with a smaller increment size provides bandwidth close to the
+// average bandwidth... however, [it] changes its bandwidth more frequently."
+// This ablation sweeps the increment and reports both sides of that
+// trade-off: the achieved average bandwidth and the adaptation churn
+// (elastic quanta adjusted per workload event).
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eqos;
+  std::cout << "== Ablation A3: increment size vs accuracy and churn "
+               "(3000 DR-connections) ==\n";
+  bench::print_graph_header("Random (Waxman)", bench::random_network());
+  bench::print_workload_header(bench::paper_experiment(3000));
+
+  std::vector<double> increments{25.0, 50.0, 100.0, 200.0, 400.0};
+  if (bench::fast_mode()) increments = {50.0, 200.0};
+
+  util::Table table({"increment Kb/s", "states", "sim Kb/s", "markov Kb/s",
+                     "adjustments/event", "Kb/s moved/event"});
+  for (const double inc : increments) {
+    auto cfg = bench::paper_experiment(3000, inc);
+    const auto r = core::run_experiment(bench::random_network(), cfg);
+    const double events = static_cast<double>(cfg.warmup_events + cfg.measure_events +
+                                              r.sim_stats.populate_attempts);
+    // The paper's churn claim is about how *often* reservations change: the
+    // raw count of one-increment adjustments.  The Kb/s volume moved per
+    // event is reported alongside (roughly increment-independent).
+    const double count_churn =
+        static_cast<double>(r.network_stats.quanta_adjustments) / events;
+    const double volume_churn = count_churn * inc;
+    table.add_row({util::Table::num(inc, 0),
+                   std::to_string(bench::paper_qos(inc).num_states()),
+                   util::Table::num(r.sim_mean_bandwidth_kbps),
+                   util::Table::num(r.analytic_paper_kbps),
+                   util::Table::num(count_churn, 1),
+                   util::Table::num(volume_churn, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "# expectation: average bandwidth barely moves with the "
+               "increment (Table 1), while churn grows as increments shrink\n";
+  return 0;
+}

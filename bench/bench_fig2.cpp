@@ -1,0 +1,43 @@
+// Figure 2: average bandwidth of a DR-connection as the number of
+// DR-connections grows (Random network, 9-state chain, gamma = 0).
+//
+// The paper's series: simulation (solid), 9-state Markov analysis (dashed),
+// and the ideal bound BW*Edges/(NChan*avghop) (dotted).  Expected shape:
+// both sim and analysis start at Bmax, decline monotonically toward Bmin as
+// load grows, track each other closely, and stay below the ideal bound.
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eqos;
+  std::cout << "== Figure 2: average bandwidth vs number of DR-connections ==\n";
+  bench::print_graph_header("Random (Waxman)", bench::random_network());
+  bench::print_workload_header(bench::paper_experiment(1000));
+
+  std::vector<std::size_t> loads{250, 500, 1000, 1500, 2000, 2500, 3000,
+                                 3500, 4000, 4500, 5000, 6000, 7000, 8000};
+  if (bench::fast_mode()) loads = {500, 2000, 4000, 6000};
+
+  util::Table table({"connections", "established", "sim Kb/s", "markov Kb/s",
+                     "refined Kb/s", "ideal Kb/s", "ideal(clamped)", "avg hops",
+                     "Pf", "Ps"});
+  for (const std::size_t n : loads) {
+    const auto r = core::run_experiment(bench::random_network(),
+                                        bench::paper_experiment(n));
+    table.add_row({std::to_string(n), std::to_string(r.established),
+                   util::Table::num(r.sim_mean_bandwidth_kbps),
+                   util::Table::num(r.analytic_paper_kbps),
+                   util::Table::num(r.analytic_refined_kbps),
+                   util::Table::num(r.ideal_kbps),
+                   util::Table::num(r.ideal_clamped_kbps),
+                   util::Table::num(r.mean_hops, 2),
+                   util::Table::num(r.estimates.pf, 4),
+                   util::Table::num(r.estimates.ps, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "# expectation: sim ~ markov, monotone decline Bmax -> Bmin, "
+               "ideal is an upper bound\n";
+  return 0;
+}

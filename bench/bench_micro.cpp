@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: the Markov
+// solvers (the SHARPE replacement), topology generation, route search, and
+// the network's hot operations.
+#include <benchmark/benchmark.h>
+
+#include "markov/bandwidth_chain.hpp"
+#include "markov/ctmc.hpp"
+#include "matrix/gth.hpp"
+#include "matrix/lu.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/paths.hpp"
+#include "topology/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eqos;
+
+matrix::Matrix random_generator_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  matrix::Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) {
+        q(i, j) = rng.uniform(0.01, 1.0);
+        q(i, i) -= q(i, j);
+      }
+  return q;
+}
+
+void BM_GthSteadyState(benchmark::State& state) {
+  const auto q = random_generator_matrix(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(matrix::gth_steady_state(q));
+}
+BENCHMARK(BM_GthSteadyState)->Arg(5)->Arg(9)->Arg(32)->Arg(128);
+
+void BM_LuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  matrix::Matrix a(n, n);
+  matrix::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(matrix::solve_linear(a, b));
+}
+BENCHMARK(BM_LuSolve)->Arg(9)->Arg(64)->Arg(256);
+
+void BM_BandwidthChainSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  markov::ChainParameters p;
+  p.bmin_kbps = 100.0;
+  p.bmax_kbps = 100.0 + 50.0 * static_cast<double>(n - 1);
+  p.increment_kbps = 50.0;
+  p.p_direct = 0.1;
+  p.p_indirect = 0.2;
+  matrix::Matrix bottom(n, n);
+  matrix::Matrix up(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bottom(i, 0) = 1.0;
+    up(i, n - 1) = 1.0;
+  }
+  p.arrival_move = bottom;
+  p.indirect_move = up;
+  p.termination_move = up;
+  const markov::BandwidthChain chain(p);
+  for (auto _ : state) benchmark::DoNotOptimize(chain.average_bandwidth_kbps());
+}
+BENCHMARK(BM_BandwidthChainSolve)->Arg(5)->Arg(9)->Arg(17);
+
+void BM_WaxmanGenerate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(topology::generate_waxman({n, 0.33, 0.20, true}, seed++));
+}
+BENCHMARK(BM_WaxmanGenerate)->Arg(100)->Arg(300);
+
+void BM_ShortestPath(benchmark::State& state) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto src = static_cast<topology::NodeId>(rng.index(100));
+    auto dst = static_cast<topology::NodeId>(rng.index(99));
+    if (dst >= src) ++dst;
+    benchmark::DoNotOptimize(topology::shortest_path(g, src, dst));
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+void BM_RequestConnection(benchmark::State& state) {
+  // Steady-state arrival+termination cost at the given population.
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  net::Network net(g, net::NetworkConfig{});
+  sim::WorkloadConfig w;
+  w.qos = net::ElasticQosSpec{100.0, 500.0, 50.0, 1.0};
+  w.seed = 11;
+  sim::Simulator sim(net, w);
+  sim.populate(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(13);
+  for (auto _ : state) {
+    const auto src = static_cast<topology::NodeId>(rng.index(100));
+    auto dst = static_cast<topology::NodeId>(rng.index(99));
+    if (dst >= src) ++dst;
+    const auto outcome = net.request_connection(src, dst, w.qos);
+    if (outcome.accepted) net.terminate_connection(outcome.id);
+  }
+}
+BENCHMARK(BM_RequestConnection)->Arg(500)->Arg(2000)->Arg(5000)->Unit(benchmark::kMicrosecond);
+
+void BM_FailLinkRepair(benchmark::State& state) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  net::Network net(g, net::NetworkConfig{});
+  sim::WorkloadConfig w;
+  w.qos = net::ElasticQosSpec{100.0, 500.0, 50.0, 1.0};
+  w.seed = 11;
+  sim::Simulator sim(net, w);
+  sim.populate(2000);
+  util::Rng rng(17);
+  for (auto _ : state) {
+    const auto link = static_cast<topology::LinkId>(rng.index(g.num_links()));
+    benchmark::DoNotOptimize(net.fail_link(link));
+    net.repair_link(link);
+  }
+}
+BENCHMARK(BM_FailLinkRepair)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

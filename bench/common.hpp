@@ -1,0 +1,90 @@
+// Shared configuration for the bench harnesses.
+//
+// Every bench regenerates one table or figure of the paper on the same
+// canonical instances: the "Random" network (Waxman, 100 nodes, ~354 edges,
+// alpha = 0.33) and the "Tier" network (transit-stub, 100 nodes), with
+// 10 Mb/s links, QoS range 100-500 Kb/s, and lambda = mu = 1e-3.
+//
+// Set EQOS_FAST=1 to shrink the sweeps for quick iteration; the full runs
+// are what EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "topology/metrics.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+#include "util/table.hpp"
+
+namespace eqos::bench {
+
+inline constexpr std::uint64_t kTopologySeed = 7;
+inline constexpr std::uint64_t kWorkloadSeed = 4242;
+
+inline bool fast_mode() {
+  const char* env = std::getenv("EQOS_FAST");
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// The paper's QoS spec; increment selects the 9-state (50) or 5-state (100)
+/// chain.
+inline net::ElasticQosSpec paper_qos(double increment_kbps = 50.0) {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = increment_kbps;
+  q.utility = 1.0;
+  return q;
+}
+
+/// Canonical experiment configuration (Figure 2 defaults).
+inline core::ExperimentConfig paper_experiment(std::size_t connections,
+                                               double increment_kbps = 50.0) {
+  core::ExperimentConfig cfg;
+  cfg.workload.qos = paper_qos(increment_kbps);
+  cfg.workload.arrival_rate = 1e-3;
+  cfg.workload.termination_rate = 1e-3;
+  cfg.workload.failure_rate = 0.0;
+  cfg.workload.seed = kWorkloadSeed;
+  cfg.target_connections = connections;
+  cfg.warmup_events = fast_mode() ? 100 : 300;
+  cfg.measure_events = fast_mode() ? 400 : 1500;
+  return cfg;
+}
+
+/// The paper's "Random" network.
+inline const topology::Graph& random_network() {
+  static const topology::Graph g =
+      topology::generate_waxman({100, 0.33, 0.20, true}, kTopologySeed);
+  return g;
+}
+
+/// The paper's "Tier" network.
+inline const topology::Graph& tier_network() {
+  static const topology::TransitStubGraph ts =
+      topology::generate_transit_stub({}, kTopologySeed);
+  return ts.graph;
+}
+
+inline void print_graph_header(const char* name, const topology::Graph& g) {
+  const auto s = topology::graph_stats(g);
+  std::cout << "# " << name << ": " << s.nodes << " nodes, " << s.links
+            << " links, avg degree " << util::Table::num(s.average_degree, 2)
+            << ", diameter " << s.diameter << ", avg path "
+            << util::Table::num(s.average_path_length, 2) << "\n";
+}
+
+inline void print_workload_header(const core::ExperimentConfig& cfg) {
+  std::cout << "# link BW 10 Mb/s; QoS [" << cfg.workload.qos.bmin_kbps << ", "
+            << cfg.workload.qos.bmax_kbps << "] Kb/s, increment "
+            << cfg.workload.qos.increment_kbps << " (N = "
+            << cfg.workload.qos.num_states() << " states); lambda = mu = "
+            << cfg.workload.arrival_rate << ", gamma = " << cfg.workload.failure_rate
+            << "; seed " << cfg.workload.seed << (fast_mode() ? "; FAST mode" : "")
+            << "\n";
+}
+
+}  // namespace eqos::bench

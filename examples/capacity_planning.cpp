@@ -1,0 +1,51 @@
+// Capacity planning with the analytic model.
+//
+// Section 1: "The performance evaluation of dependable real-time
+// communication is essential for ... the future planning of the network."
+// This example uses the full pipeline the way a network operator would:
+// measure the chain parameters at a few calibration loads, solve the Markov
+// model, and read off the largest connection count whose predicted average
+// bandwidth still meets a service-level target — without simulating every
+// candidate load at full length.
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "topology/waxman.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eqos;
+  const double kTargetKbps = 300.0;  // SLA: average >= 300 Kb/s
+  const topology::Graph g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+
+  std::cout << "Capacity planning: largest DR-connection population whose\n"
+            << "predicted average bandwidth stays above " << kTargetKbps
+            << " Kb/s (SLA).\n\n";
+
+  util::Table table({"connections", "markov Kb/s", "sim Kb/s", "pi(S_0)", "pi(S_max)",
+                     "meets SLA"});
+  std::size_t best = 0;
+  for (const std::size_t n : {1000ul, 2000ul, 3000ul, 4000ul, 5000ul, 6000ul}) {
+    core::ExperimentConfig cfg;
+    cfg.workload.qos = net::ElasticQosSpec{100.0, 500.0, 50.0, 1.0};
+    cfg.workload.seed = 31;
+    cfg.target_connections = n;
+    cfg.warmup_events = 200;
+    cfg.measure_events = 800;
+    const auto r = core::run_experiment(g, cfg);
+    const auto& pi = r.paper_analysis.steady_state;
+    const bool ok = r.analytic_paper_kbps >= kTargetKbps;
+    if (ok) best = n;
+    table.add_row({std::to_string(n), util::Table::num(r.analytic_paper_kbps),
+                   util::Table::num(r.sim_mean_bandwidth_kbps),
+                   util::Table::num(pi.front(), 3), util::Table::num(pi.back(), 3),
+                   ok ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPlanning answer: admit up to ~" << best
+            << " DR-connections to keep the average above " << kTargetKbps
+            << " Kb/s.\nThe chain's state distribution (pi) shows *why*: beyond "
+               "that load the\nmass shifts from S_max toward the minimum states.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Failure recovery: dependable real-time communication under cable cuts.
+//
+// A command-and-control style deployment: a moderately loaded network whose
+// links suffer persistent failures (power outages, cable cuts — the
+// failures the paper calls out as most common).  Each DR-connection holds a
+// passive, multiplexed backup; when its primary dies the backup activates
+// instantly at the minimum QoS, elastic users sharing those links retreat,
+// and a replacement backup is sought.
+//
+// The example cuts a sequence of the busiest links and reports, after each
+// cut: survivors, drops, protection coverage, and the average bandwidth —
+// demonstrating both the dependability mechanism and the elastic retreat.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/waxman.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eqos;
+  const topology::Graph g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  net::Network network(g, net::NetworkConfig{});
+  sim::WorkloadConfig w;
+  w.qos = net::ElasticQosSpec{100.0, 500.0, 50.0, 1.0};
+  w.seed = 7;
+  sim::Simulator sim(network, w);
+  const std::size_t established = sim.populate(2500);
+  std::cout << "Loaded " << established << " DR-connections; every one holds a "
+            << "primary plus a passive backup.\n";
+  std::cout << "Initial: mean " << util::Table::num(network.mean_reserved_kbps())
+            << " Kb/s, protected fraction "
+            << util::Table::num(network.protected_fraction(), 3) << "\n\n";
+
+  // Cut the five busiest links, one after another, without repair.
+  std::vector<topology::LinkId> by_load(g.num_links());
+  for (topology::LinkId l = 0; l < g.num_links(); ++l) by_load[l] = l;
+  std::sort(by_load.begin(), by_load.end(), [&](topology::LinkId a, topology::LinkId b) {
+    return network.link_state(a).committed_min() > network.link_state(b).committed_min();
+  });
+
+  util::Table table({"cut link", "primaries hit", "activated", "bridge-exposed",
+                     "dropped", "backups re-est.", "survivors", "mean Kb/s",
+                     "protected"});
+  for (std::size_t k = 0; k < 5; ++k) {
+    const topology::LinkId victim = by_load[k];
+    const net::FailureReport r = network.fail_link(victim);
+    table.add_row({std::to_string(victim), std::to_string(r.primaries_hit),
+                   std::to_string(r.backups_activated),
+                   std::to_string(r.backups_died_with_primary),
+                   std::to_string(r.connections_dropped),
+                   std::to_string(r.backups_reestablished),
+                   std::to_string(network.num_active()),
+                   util::Table::num(network.mean_reserved_kbps()),
+                   util::Table::num(network.protected_fraction(), 3)});
+    network.validate_invariants();
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: \"bridge-exposed\" victims span a cut edge of the graph; only a\n"
+               "maximally link-disjoint backup exists there (paper footnote 1), and a\n"
+               "bridge failure disconnects their endpoints outright — no scheme can\n"
+               "save them.  The busiest links in a sparse random graph are often\n"
+               "exactly these bridges.  Repeated cuts also strand survivors whose\n"
+               "replacement backups cannot fit: watch the protected fraction dip and\n"
+               "those connections fall with the next cut.\n";
+
+  const auto& s = network.stats();
+  std::cout << "\nTotals: " << s.backups_activated << " switchovers, "
+            << s.connections_dropped << " connections lost, " << s.backups_reestablished
+            << " replacement backups, " << s.backups_evicted
+            << " evicted to settle overbooking debt.\n";
+  std::cout << "Survival rate across five cuts of the busiest links: "
+            << util::Table::num(100.0 * (1.0 - static_cast<double>(s.connections_dropped) /
+                                                   static_cast<double>(established)),
+                                1)
+            << "%\n";
+
+  // Repair everything; unprotected connections regain their backups.
+  std::size_t restored = 0;
+  for (std::size_t k = 0; k < 5; ++k) restored += network.repair_link(by_load[k]);
+  std::cout << "After repairs: " << restored << " backups restored, protected fraction "
+            << util::Table::num(network.protected_fraction(), 3) << "\n";
+  return 0;
+}

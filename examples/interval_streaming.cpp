@@ -1,0 +1,61 @@
+// Interval QoS: surviving transient congestion with k-out-of-M contracts.
+//
+// The establishment-time range model (min-max bandwidth) and the run-time
+// interval model (Section 2.2) are complementary: when a burst momentarily
+// exceeds even the minimum reservations, the link manager may drop packets
+// as long as every channel still receives k of each M consecutive packets.
+// This example squeezes video-like streams with different strictness through
+// one congested link and shows who loses what.
+#include <iostream>
+
+#include "net/interval_qos.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eqos;
+  std::cout << "Run-time interval QoS on one congested link.\n"
+            << "Budget: 10 packets/tick.  14 streams offer 1 packet each tick.\n\n";
+
+  net::IntervalLinkScheduler link(10);
+  // Four contract classes, strictest to laxest.
+  struct Class {
+    const char* name;
+    net::IntervalQosSpec spec;
+    std::size_t count;
+  };
+  const Class classes[] = {
+      {"surgery feed (5-of-5)", {5, 5}, 2},
+      {"newscast     (4-of-5)", {4, 5}, 4},
+      {"sports       (3-of-5)", {3, 5}, 4},
+      {"preview tile (1-of-5)", {1, 5}, 4},
+  };
+  std::vector<std::pair<const Class*, std::size_t>> channels;
+  for (const Class& c : classes)
+    for (std::size_t i = 0; i < c.count; ++i)
+      channels.emplace_back(&c, link.add_channel(c.spec));
+
+  std::cout << "Mandatory load: " << util::Table::num(link.mandatory_load(), 2)
+            << " packets/tick (must stay <= 10 for guarantees to hold)\n\n";
+  link.run_saturated(2000);
+
+  util::Table table({"stream class", "contract floor", "delivered", "ok"});
+  for (const auto& [cls, idx] : channels) {
+    const auto& reg = link.channel(idx);
+    table.add_row({cls->name,
+                   util::Table::num(reg.spec().min_delivery_fraction(), 2),
+                   util::Table::num(reg.delivery_fraction(), 3),
+                   reg.delivery_fraction() >=
+                           reg.spec().min_delivery_fraction() - 1e-9
+                       ? "yes"
+                       : "NO"});
+  }
+  table.print(std::cout);
+
+  const auto& s = link.stats();
+  std::cout << "\nOffered " << s.offered << ", delivered " << s.delivered << ", dropped "
+            << s.dropped << " (" << util::Table::num(100.0 * s.dropped / s.offered, 1)
+            << "%), overload ticks: " << s.overload_ticks << "\n";
+  std::cout << "Every class keeps its contract; the slack classes absorb the "
+               "entire shortage.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "core/analyzer.hpp"
+
+#include "markov/passage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eqos::core {
+
+namespace {
+
+/// Direction an event type pushes a channel: -1 (retreat) or +1 (gain).
+enum class Push : int { kDown = -1, kUp = +1 };
+
+/// Adds `weight` pseudo-observations of a one-increment move in `direction`
+/// to every row that has such a neighbor, then row-normalizes.  A matrix
+/// with no observations at all is left all-zero (the chain treats zero rows
+/// as "no move", and the degenerate fallback handles fully-empty chains).
+matrix::Matrix smooth_and_normalize(const matrix::Matrix& counts, Push direction,
+                                    double weight) {
+  bool any = false;
+  for (std::size_t i = 0; i < counts.rows() && !any; ++i)
+    for (std::size_t j = 0; j < counts.cols() && !any; ++j)
+      if (counts(i, j) > 0.0) any = true;
+  if (!any || weight <= 0.0) return sim::row_normalize(counts);
+
+  matrix::Matrix smoothed = counts;
+  const std::size_t n = counts.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (direction == Push::kDown && i > 0) smoothed(i, i - 1) += weight;
+    if (direction == Push::kUp && i + 1 < n) smoothed(i, i + 1) += weight;
+  }
+  return sim::row_normalize(smoothed);
+}
+
+}  // namespace
+
+markov::ChainParameters make_chain_parameters(const sim::ModelEstimates& estimates,
+                                              const sim::WorkloadConfig& workload,
+                                              Fidelity fidelity, double smoothing) {
+  markov::ChainParameters p;
+  p.bmin_kbps = workload.qos.bmin_kbps;
+  p.bmax_kbps = workload.qos.bmax_kbps;
+  p.increment_kbps = workload.qos.increment_kbps;
+  p.arrival_rate = workload.arrival_rate;
+  p.termination_rate = workload.termination_rate;
+  p.failure_rate = workload.failure_rate;
+  p.p_direct = estimates.pf;
+  p.p_indirect = estimates.ps;
+  // Fall back to the pre-normalized matrices when raw counts are absent
+  // (hand-built estimates in tests and examples).
+  const bool have_counts = estimates.arrival_counts.rows() == p.num_states();
+  if (have_counts) {
+    p.arrival_move =
+        smooth_and_normalize(estimates.arrival_counts, Push::kDown, smoothing);
+    p.indirect_move =
+        smooth_and_normalize(estimates.indirect_counts, Push::kUp, smoothing);
+    p.termination_move =
+        smooth_and_normalize(estimates.termination_counts, Push::kUp, smoothing);
+  } else {
+    p.arrival_move = estimates.arrival_move;
+    p.indirect_move = estimates.indirect_move;
+    p.termination_move = estimates.termination_move;
+  }
+  if (fidelity == Fidelity::kRefined) {
+    p.failure_move = have_counts ? smooth_and_normalize(estimates.failure_counts,
+                                                        Push::kDown, smoothing)
+                                 : estimates.failure_move;
+    p.p_direct_termination = estimates.pf_termination;
+  }
+  return p;
+}
+
+AnalysisResult analyze(const sim::ModelEstimates& estimates,
+                       const sim::WorkloadConfig& workload, Fidelity fidelity,
+                       double smoothing) {
+  AnalysisResult result;
+  result.parameters = make_chain_parameters(estimates, workload, fidelity, smoothing);
+  const markov::BandwidthChain chain(result.parameters);
+  const std::size_t n = chain.num_states();
+
+  try {
+    result.steady_state = chain.steady_state();
+  } catch (const std::invalid_argument&) {
+    // No transition structure at all: nothing ever moved during the window.
+    // The chain then says "stay wherever you started"; the best stand-in is
+    // the empirically dominant state (at negligible load, S_{N-1}).
+    result.degenerate = true;
+    std::size_t dominant = n - 1;
+    if (estimates.occupancy.size() == n) {
+      const auto it =
+          std::max_element(estimates.occupancy.begin(), estimates.occupancy.end());
+      if (*it > 0.0)
+        dominant = static_cast<std::size_t>(it - estimates.occupancy.begin());
+    }
+    result.steady_state.assign(n, 0.0);
+    result.steady_state[dominant] = 1.0;
+  }
+  result.average_bandwidth_kbps =
+      matrix::dot(result.steady_state, chain.state_bandwidths());
+
+  // Degradation / recovery horizons (first-passage times across the QoS
+  // range).  Undefined for degenerate or one-state chains; unreachable
+  // targets (possible in sparsely observed chains) leave the field at 0.
+  if (!result.degenerate && n >= 2) {
+    try {
+      result.mean_degradation_time =
+          markov::mean_first_passage_times(chain.ctmc(), {0})[n - 1];
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      result.mean_recovery_time =
+          markov::mean_first_passage_times(chain.ctmc(), {n - 1})[0];
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  return result;
+}
+
+double expected_revenue_per_connection(const AnalysisResult& analysis,
+                                       const net::RevenueModel& tariff) {
+  tariff.validate();
+  const auto& p = analysis.parameters;
+  double expected_extra = 0.0;
+  for (std::size_t i = 0; i < analysis.steady_state.size(); ++i)
+    expected_extra +=
+        analysis.steady_state[i] * static_cast<double>(i) * p.increment_kbps;
+  return p.bmin_kbps * tariff.base_rate_per_kbps +
+         expected_extra * tariff.elastic_rate_per_kbps;
+}
+
+}  // namespace eqos::core

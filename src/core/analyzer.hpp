@@ -1,0 +1,72 @@
+// The paper's analytic pipeline (Sections 3.2-3.3).
+//
+// Given the workload rates (lambda, mu, gamma) and the simulation-measured
+// parameters (Pf, Ps, A, B, T, F), assemble the N-state bandwidth chain and
+// solve for the average reserved bandwidth of a primary channel.  Two
+// fidelity levels are provided:
+//
+//  * kPaper   — exactly the model of Section 3.2: one chaining probability
+//               Pf shared by arrivals, terminations and failures, and the
+//               failure matrix folded into A.
+//  * kRefined — uses the separately measured termination/failure chaining
+//               probabilities and the measured F matrix (an extension the
+//               paper's conclusion anticipates).
+#pragma once
+
+#include "markov/bandwidth_chain.hpp"
+#include "net/revenue.hpp"
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace eqos::core {
+
+/// Which parameterization of the chain to build.
+enum class Fidelity { kPaper, kRefined };
+
+/// Builds the chain parameters from measured estimates plus workload rates.
+///
+/// `smoothing` adds a structural-prior pseudo-count to each conditional
+/// matrix before normalization: arrivals and failures get `smoothing`
+/// observations of a one-increment retreat (i -> i-1), terminations and
+/// indirect arrivals one-increment gains (i -> i+1).  Rarely-visited states
+/// often have *no* sampled exits in one direction; without the prior such a
+/// state becomes absorbing and the stationary vector collapses onto it even
+/// though the simulation visits it for a vanishing fraction of time.  The
+/// prior is negligible against well-sampled rows (hundreds of counts) and
+/// guarantees irreducibility.  Pass 0 for the raw matrices.
+[[nodiscard]] markov::ChainParameters make_chain_parameters(
+    const sim::ModelEstimates& estimates, const sim::WorkloadConfig& workload,
+    Fidelity fidelity, double smoothing = 0.5);
+
+/// Solved analytic model for one experiment.
+struct AnalysisResult {
+  markov::ChainParameters parameters;
+  matrix::Vector steady_state;          ///< pi over S_0..S_{N-1}
+  double average_bandwidth_kbps = 0.0;  ///< E[B] = sum pi_i (bmin + i*delta)
+  /// True when the chain had no usable transition structure (nothing moved
+  /// during measurement) and the result fell back to the empirical
+  /// occupancy's dominant state.
+  bool degenerate = false;
+
+  /// Expected time for a channel at full quality (S_{N-1}) to first drop to
+  /// the bare minimum (S_0); 0 when undefined (degenerate or unreachable).
+  double mean_degradation_time = 0.0;
+  /// Expected time for a channel at the bare minimum to first regain full
+  /// quality; 0 when undefined.
+  double mean_recovery_time = 0.0;
+};
+
+/// Assembles and solves the chain.  When the measured chain has no
+/// transitions at all (a completely uncontended network), returns a point
+/// mass on the empirically dominant state and sets `degenerate`.
+[[nodiscard]] AnalysisResult analyze(const sim::ModelEstimates& estimates,
+                                     const sim::WorkloadConfig& workload,
+                                     Fidelity fidelity = Fidelity::kPaper,
+                                     double smoothing = 0.5);
+
+/// Expected per-connection revenue under a linear tariff, evaluated from the
+/// chain's stationary distribution: base * bmin + elastic * E[extra].
+[[nodiscard]] double expected_revenue_per_connection(const AnalysisResult& analysis,
+                                                     const net::RevenueModel& tariff);
+
+}  // namespace eqos::core

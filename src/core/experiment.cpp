@@ -1,0 +1,49 @@
+#include "core/experiment.hpp"
+
+#include "core/ideal.hpp"
+
+namespace eqos::core {
+
+ExperimentResult run_experiment(const topology::Graph& graph,
+                                const ExperimentConfig& config) {
+  ExperimentResult result;
+
+  net::Network network(graph, config.network);
+  sim::Simulator simulator(network, config.workload);
+
+  result.established = simulator.populate(config.target_connections);
+  result.attempted = simulator.stats().populate_attempts;
+
+  if (config.warmup_events > 0) simulator.run_events(config.warmup_events);
+
+  sim::TransitionRecorder recorder(config.workload.qos, simulator.now());
+  simulator.attach_recorder(&recorder);
+  simulator.run_events(config.measure_events);
+  simulator.attach_recorder(nullptr);
+
+  result.estimates = recorder.estimates(simulator.now(), network);
+  result.sim_mean_bandwidth_kbps = result.estimates.mean_bandwidth_kbps;
+
+  result.paper_analysis = analyze(result.estimates, config.workload, Fidelity::kPaper);
+  result.refined_analysis =
+      analyze(result.estimates, config.workload, Fidelity::kRefined);
+  result.analytic_paper_kbps = result.paper_analysis.average_bandwidth_kbps;
+  result.analytic_refined_kbps = result.refined_analysis.average_bandwidth_kbps;
+
+  result.active_at_end = network.num_active();
+  result.mean_hops = network.mean_primary_hops();
+  result.protected_fraction = network.protected_fraction();
+  if (result.active_at_end > 0 && result.mean_hops > 0.0) {
+    result.ideal_kbps = ideal_average_bandwidth_kbps(
+        config.network.link_capacity_kbps, graph.num_links(), result.active_at_end,
+        result.mean_hops);
+    result.ideal_clamped_kbps = clamped_ideal_bandwidth_kbps(
+        config.network.link_capacity_kbps, graph.num_links(), result.active_at_end,
+        result.mean_hops, config.workload.qos.bmin_kbps, config.workload.qos.bmax_kbps);
+  }
+  result.network_stats = network.stats();
+  result.sim_stats = simulator.stats();
+  return result;
+}
+
+}  // namespace eqos::core

@@ -1,0 +1,57 @@
+// One-stop experiment runner shared by the benches and examples.
+//
+// Implements the paper's measurement protocol: build the network, establish
+// an initial population of DR-connections, churn it with arrivals and
+// terminations (plus optional failures) for a warm-up phase, then open the
+// recorder window and keep churning; finally solve the measured chain and
+// report simulated vs analytic vs ideal average bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "core/analyzer.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/graph.hpp"
+
+namespace eqos::core {
+
+/// Full configuration of one experiment run.
+struct ExperimentConfig {
+  net::NetworkConfig network;
+  sim::WorkloadConfig workload;
+  /// Initial population the paper calls "the number of DR-connections".
+  std::size_t target_connections = 1000;
+  /// Churn events discarded before measurement starts.
+  std::size_t warmup_events = 500;
+  /// Churn events inside the measurement window.
+  std::size_t measure_events = 2000;
+};
+
+/// Everything an experiment produces.
+struct ExperimentResult {
+  std::size_t attempted = 0;    ///< establishment attempts during populate
+  std::size_t established = 0;  ///< connections alive after populate
+  std::size_t active_at_end = 0;
+
+  double sim_mean_bandwidth_kbps = 0.0;  ///< time-weighted simulation truth
+  double analytic_paper_kbps = 0.0;      ///< Section 3.2 model
+  double analytic_refined_kbps = 0.0;    ///< refined parameterization
+  double ideal_kbps = 0.0;               ///< BW*Edges/(NChan*avghop), raw
+  double ideal_clamped_kbps = 0.0;
+
+  double mean_hops = 0.0;                ///< avg primary hops at window end
+  double protected_fraction = 0.0;       ///< share of connections w/ backup
+
+  sim::ModelEstimates estimates;
+  AnalysisResult paper_analysis;
+  AnalysisResult refined_analysis;
+  net::NetworkStats network_stats;
+  sim::SimulationStats sim_stats;
+};
+
+/// Runs the two-phase protocol on (a copy of) `graph`.
+[[nodiscard]] ExperimentResult run_experiment(const topology::Graph& graph,
+                                              const ExperimentConfig& config);
+
+}  // namespace eqos::core

@@ -1,0 +1,24 @@
+#include "core/ideal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eqos::core {
+
+double ideal_average_bandwidth_kbps(double link_bandwidth_kbps, std::size_t edges,
+                                    std::size_t num_channels, double average_hops) {
+  if (num_channels == 0 || !(average_hops > 0.0))
+    throw std::invalid_argument("ideal bandwidth: needs channels and positive hops");
+  return link_bandwidth_kbps * static_cast<double>(edges) /
+         (static_cast<double>(num_channels) * average_hops);
+}
+
+double clamped_ideal_bandwidth_kbps(double link_bandwidth_kbps, std::size_t edges,
+                                    std::size_t num_channels, double average_hops,
+                                    double bmin_kbps, double bmax_kbps) {
+  return std::clamp(ideal_average_bandwidth_kbps(link_bandwidth_kbps, edges,
+                                                 num_channels, average_hops),
+                    bmin_kbps, bmax_kbps);
+}
+
+}  // namespace eqos::core

@@ -1,0 +1,32 @@
+// The paper's ideal average bandwidth (Figure 2's upper dotted line).
+//
+// If every unit of link capacity were usable and divided equally among the
+// channels crossing each link, the average channel would get
+//
+//     BW * Edges / (NChan * avghop),
+//
+// i.e. total network capacity divided by total link-slots consumed.  It is
+// an upper bound; the reproduction prints both the raw value and the value
+// clamped to [bmin, bmax], since a real channel can never hold more than
+// bmax.
+#pragma once
+
+#include <cstddef>
+
+namespace eqos::core {
+
+/// Raw ideal average bandwidth in Kbit/s.  Requires positive channel count
+/// and hop count.
+[[nodiscard]] double ideal_average_bandwidth_kbps(double link_bandwidth_kbps,
+                                                  std::size_t edges,
+                                                  std::size_t num_channels,
+                                                  double average_hops);
+
+/// The same, clamped into the achievable range [bmin, bmax].
+[[nodiscard]] double clamped_ideal_bandwidth_kbps(double link_bandwidth_kbps,
+                                                  std::size_t edges,
+                                                  std::size_t num_channels,
+                                                  double average_hops, double bmin_kbps,
+                                                  double bmax_kbps);
+
+}  // namespace eqos::core

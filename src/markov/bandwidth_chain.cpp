@@ -1,0 +1,153 @@
+#include "markov/bandwidth_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "markov/classify.hpp"
+#include "matrix/gth.hpp"
+
+namespace eqos::markov {
+namespace {
+
+void check_move_matrix(const matrix::Matrix& m, std::size_t n, const std::string& name) {
+  if (m.rows() != n || m.cols() != n)
+    throw std::invalid_argument("bandwidth chain: " + name + " must be " +
+                                std::to_string(n) + "x" + std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (m(i, j) < 0.0)
+        throw std::invalid_argument("bandwidth chain: negative entry in " + name);
+      row_sum += m(i, j);
+    }
+    if (std::abs(row_sum - 1.0) > 1e-6 && std::abs(row_sum) > 1e-6)
+      throw std::invalid_argument("bandwidth chain: row " + std::to_string(i) + " of " +
+                                  name + " sums to " + std::to_string(row_sum) +
+                                  " (expected ~1 or ~0)");
+  }
+}
+
+void check_probability(double p, const std::string& name) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("bandwidth chain: " + name + " out of [0,1]");
+}
+
+void check_rate(double r, const std::string& name) {
+  if (r < 0.0 || !std::isfinite(r))
+    throw std::invalid_argument("bandwidth chain: " + name + " must be finite and >= 0");
+}
+
+}  // namespace
+
+std::size_t ChainParameters::num_states() const {
+  const double span = bmax_kbps - bmin_kbps;
+  return 1 + static_cast<std::size_t>(std::llround(span / increment_kbps));
+}
+
+void ChainParameters::validate() const {
+  if (!(bmin_kbps > 0.0) || !(bmax_kbps >= bmin_kbps))
+    throw std::invalid_argument("bandwidth chain: need 0 < bmin <= bmax");
+  if (!(increment_kbps > 0.0))
+    throw std::invalid_argument("bandwidth chain: increment must be positive");
+  const double span = bmax_kbps - bmin_kbps;
+  const double steps = span / increment_kbps;
+  if (std::abs(steps - std::llround(steps)) > 1e-9)
+    throw std::invalid_argument(
+        "bandwidth chain: (bmax - bmin) must be an integral multiple of the increment");
+
+  check_rate(arrival_rate, "arrival rate");
+  check_rate(termination_rate, "termination rate");
+  check_rate(failure_rate, "failure rate");
+  check_probability(p_direct, "Pf");
+  check_probability(p_indirect, "Ps");
+  if (p_direct_termination) check_probability(*p_direct_termination, "Pf (termination)");
+
+  const std::size_t n = num_states();
+  check_move_matrix(arrival_move, n, "A");
+  check_move_matrix(indirect_move, n, "B");
+  check_move_matrix(termination_move, n, "T");
+  if (failure_move) check_move_matrix(*failure_move, n, "F");
+}
+
+BandwidthChain::BandwidthChain(ChainParameters params)
+    : params_(std::move(params)), ctmc_(params_.num_states()) {
+  params_.validate();
+  const std::size_t n = params_.num_states();
+  const matrix::Matrix& f =
+      params_.failure_move ? *params_.failure_move : params_.arrival_move;
+  const double pf_term =
+      params_.p_direct_termination ? *params_.p_direct_termination : params_.p_direct;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double rate =
+          params_.arrival_rate * params_.p_direct * params_.arrival_move(i, j) +
+          params_.failure_rate * params_.p_direct * f(i, j) +
+          params_.arrival_rate * params_.p_indirect * params_.indirect_move(i, j) +
+          params_.termination_rate * pf_term * params_.termination_move(i, j);
+      if (rate > 0.0) ctmc_.add_rate(i, j, rate);
+    }
+  }
+}
+
+double BandwidthChain::state_bandwidth(std::size_t i) const {
+  if (i >= num_states()) throw std::out_of_range("bandwidth chain: state index");
+  return params_.bmin_kbps + static_cast<double>(i) * params_.increment_kbps;
+}
+
+matrix::Vector BandwidthChain::state_bandwidths() const {
+  matrix::Vector b(num_states());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = state_bandwidth(i);
+  return b;
+}
+
+matrix::Vector BandwidthChain::steady_state() const {
+  try {
+    return ctmc_.steady_state();
+  } catch (const std::invalid_argument&) {
+    // Empirically estimated chains can be reducible: states the measurement
+    // window never saw have zero rows *and* zero columns.  Such isolated
+    // states carry no stationary mass — drop them, then solve the remaining
+    // chain restricted to its (unique) closed communicating class.
+    const matrix::Matrix& q = ctmc_.generator();
+    const std::size_t n = q.rows();
+    std::vector<std::size_t> touched;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool any = false;
+      for (std::size_t j = 0; j < n && !any; ++j)
+        if (i != j && (q(i, j) > 0.0 || q(j, i) > 0.0)) any = true;
+      if (any) touched.push_back(i);
+    }
+    if (touched.empty())
+      throw std::invalid_argument(
+          "bandwidth chain: no transitions at all; steady state undetermined");
+    matrix::Matrix sub(touched.size(), touched.size());
+    for (std::size_t a = 0; a < touched.size(); ++a)
+      for (std::size_t b = 0; b < touched.size(); ++b)
+        if (a != b) sub(a, b) = q(touched[a], touched[b]);
+    for (std::size_t a = 0; a < touched.size(); ++a) {
+      double off = 0.0;
+      for (std::size_t b = 0; b < touched.size(); ++b)
+        if (a != b) off += sub(a, b);
+      sub(a, a) = -off;
+    }
+    const matrix::Vector sub_pi = steady_state_closed_class(sub);
+    matrix::Vector pi(n, 0.0);
+    for (std::size_t a = 0; a < touched.size(); ++a) pi[touched[a]] = sub_pi[a];
+    return pi;
+  }
+}
+
+double BandwidthChain::average_bandwidth_kbps() const {
+  return matrix::dot(steady_state(), state_bandwidths());
+}
+
+double BandwidthChain::mean_bandwidth_at(const matrix::Vector& pi0, double t) const {
+  const matrix::Vector pi = ctmc_.transient(pi0, t);
+  return matrix::dot(pi, state_bandwidths());
+}
+
+}  // namespace eqos::markov

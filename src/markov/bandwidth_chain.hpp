@@ -1,0 +1,92 @@
+// The paper's N-state bandwidth Markov chain (Section 3.2).
+//
+// A tagged primary channel of a DR-connection holds Bmin + i*Delta bandwidth
+// in state S_i, i = 0..N-1, N = 1 + (Bmax - Bmin)/Delta.  Transitions:
+//
+//   S_i -> S_j, rate  lambda * Pf * A_ij   a new connection arrives and is
+//                                          directly chained (shares a link):
+//                                          retreat-and-redistribute
+//          +     gamma  * Pf * F_ij        a link failure activates backups
+//                                          (the paper reuses A for F)
+//          +     lambda * Ps * B_ij        an indirectly-chained arrival
+//                                          frees capacity elsewhere
+//          +     mu     * Pf' * T_ij       a channel sharing a link
+//                                          terminates
+//
+// A, B, T, F are conditional state-change matrices measured from simulation
+// (SHARPE-style parameterization); Pf and Ps are the direct/indirect chaining
+// probabilities.  The paper restricts A/F to downward and B/T to upward
+// moves; this implementation accepts arbitrary row-stochastic matrices, of
+// which the paper's structure is a special case.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "markov/ctmc.hpp"
+#include "matrix/dense.hpp"
+
+namespace eqos::markov {
+
+/// Inputs of the bandwidth chain.  All bandwidths in Kbit/s.
+struct ChainParameters {
+  double bmin_kbps = 100.0;   ///< bandwidth at state S_0
+  double bmax_kbps = 500.0;   ///< bandwidth at state S_{N-1}
+  double increment_kbps = 50.0;  ///< Delta; (bmax-bmin) must be a multiple
+
+  double arrival_rate = 1e-3;      ///< lambda: DR-connection request arrivals
+  double termination_rate = 1e-3;  ///< mu: DR-connection terminations
+  double failure_rate = 0.0;       ///< gamma: link failures
+
+  double p_direct = 0.0;    ///< Pf: share >= 1 link with a random newcomer
+  double p_indirect = 0.0;  ///< Ps: indirectly chained with a newcomer
+
+  matrix::Matrix arrival_move;      ///< A (N x N, row-stochastic)
+  matrix::Matrix indirect_move;     ///< B (N x N, row-stochastic)
+  matrix::Matrix termination_move;  ///< T (N x N, row-stochastic)
+  /// F; when absent the paper's choice F = A is used.
+  std::optional<matrix::Matrix> failure_move;
+  /// Pf measured against terminating channels; defaults to p_direct.
+  std::optional<double> p_direct_termination;
+
+  /// N = 1 + (bmax - bmin) / increment.
+  [[nodiscard]] std::size_t num_states() const;
+
+  /// Throws std::invalid_argument on inconsistent sizes, rates, or
+  /// probabilities.  Rows of A/B/T/F must sum to ~1, or to 0 (a state never
+  /// observed in that context, treated as "no move").
+  void validate() const;
+};
+
+/// The assembled chain plus its reward (bandwidth) structure.
+class BandwidthChain {
+ public:
+  /// Validates `params` and builds the CTMC generator.
+  explicit BandwidthChain(ChainParameters params);
+
+  [[nodiscard]] const ChainParameters& parameters() const noexcept { return params_; }
+  [[nodiscard]] const Ctmc& ctmc() const noexcept { return ctmc_; }
+  [[nodiscard]] std::size_t num_states() const noexcept { return ctmc_.states(); }
+
+  /// Bandwidth of state S_i: bmin + i * increment.
+  [[nodiscard]] double state_bandwidth(std::size_t i) const;
+  /// All state bandwidths, ascending.
+  [[nodiscard]] matrix::Vector state_bandwidths() const;
+
+  /// Stationary distribution.  Uses GTH on the full chain when irreducible,
+  /// otherwise restricts to the unique closed communicating class (zero-rate
+  /// rows from unobserved states make empirical chains reducible).
+  [[nodiscard]] matrix::Vector steady_state() const;
+
+  /// The paper's headline metric: E[B] = sum_i pi_i (bmin + i*increment).
+  [[nodiscard]] double average_bandwidth_kbps() const;
+
+  /// Transient mean bandwidth at time t from initial distribution pi0.
+  [[nodiscard]] double mean_bandwidth_at(const matrix::Vector& pi0, double t) const;
+
+ private:
+  ChainParameters params_;
+  Ctmc ctmc_;
+};
+
+}  // namespace eqos::markov

@@ -1,0 +1,159 @@
+#include "markov/classify.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "matrix/gth.hpp"
+
+namespace eqos::markov {
+namespace {
+
+// Iterative Tarjan strongly-connected-components over the positive-weight
+// digraph.  Iterative to stay safe for large chains.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const matrix::Matrix& w)
+      : w_(w),
+        n_(w.rows()),
+        index_(n_, kUnvisited),
+        lowlink_(n_, 0),
+        on_stack_(n_, false),
+        component_(n_, kUnvisited) {}
+
+  [[nodiscard]] std::vector<std::vector<std::size_t>> run() {
+    for (std::size_t v = 0; v < n_; ++v)
+      if (index_[v] == kUnvisited) strong_connect(v);
+    return std::move(components_);
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& component_of() const noexcept {
+    return component_;
+  }
+
+ private:
+  static constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool edge(std::size_t i, std::size_t j) const {
+    return i != j && w_(i, j) > 0.0;
+  }
+
+  void strong_connect(std::size_t root) {
+    struct Frame {
+      std::size_t v;
+      std::size_t next_child;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t v = frame.v;
+      if (frame.next_child == 0) {
+        index_[v] = lowlink_[v] = counter_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (frame.next_child < n_) {
+        const std::size_t w = frame.next_child++;
+        if (!edge(v, w)) continue;
+        if (index_[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) lowlink_[v] = std::min(lowlink_[v], index_[w]);
+      }
+      if (descended) continue;
+      if (lowlink_[v] == index_[v]) {
+        std::vector<std::size_t> comp;
+        for (;;) {
+          const std::size_t w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = components_.size();
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(comp.begin(), comp.end());
+        components_.push_back(std::move(comp));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        Frame& parent = call_stack.back();
+        lowlink_[parent.v] = std::min(lowlink_[parent.v], lowlink_[v]);
+      }
+    }
+  }
+
+  const matrix::Matrix& w_;
+  std::size_t n_;
+  std::size_t counter_ = 0;
+  std::vector<std::size_t> index_;
+  std::vector<std::size_t> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<std::size_t> stack_;
+  std::vector<std::size_t> component_;
+  std::vector<std::vector<std::size_t>> components_;
+};
+
+}  // namespace
+
+std::vector<CommunicatingClass> communicating_classes(const matrix::Matrix& weights) {
+  assert(weights.square());
+  TarjanScc scc(weights);
+  auto comps = scc.run();
+  const auto& component_of = scc.component_of();
+
+  std::vector<CommunicatingClass> classes;
+  classes.reserve(comps.size());
+  for (auto& members : comps) {
+    CommunicatingClass c;
+    c.states = std::move(members);
+    c.closed = true;
+    classes.push_back(std::move(c));
+  }
+  const std::size_t n = weights.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && weights(i, j) > 0.0 && component_of[i] != component_of[j])
+        classes[component_of[i]].closed = false;
+  return classes;
+}
+
+matrix::Vector steady_state_closed_class(const matrix::Matrix& generator) {
+  const auto classes = communicating_classes(generator);
+  const CommunicatingClass* closed = nullptr;
+  std::size_t closed_count = 0;
+  for (const auto& c : classes) {
+    if (c.closed) {
+      ++closed_count;
+      closed = &c;
+    }
+  }
+  if (closed_count != 1)
+    throw std::invalid_argument(
+        "steady_state_closed_class: chain has " + std::to_string(closed_count) +
+        " closed classes; the limit distribution is not unique");
+
+  const auto& members = closed->states;
+  matrix::Matrix sub(members.size(), members.size());
+  for (std::size_t a = 0; a < members.size(); ++a)
+    for (std::size_t b = 0; b < members.size(); ++b)
+      sub(a, b) = generator(members[a], members[b]);
+  // Rebuild diagonals within the class: rates leaving the class do not exist
+  // for a closed class, so row sums within members already balance, but the
+  // original diagonal may include rates to transient states (impossible for
+  // a closed class).  Recompute defensively.
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    double off = 0.0;
+    for (std::size_t b = 0; b < members.size(); ++b)
+      if (a != b) off += sub(a, b);
+    sub(a, a) = -off;
+  }
+  const matrix::Vector sub_pi = matrix::gth_steady_state(sub);
+  matrix::Vector pi(generator.rows(), 0.0);
+  for (std::size_t a = 0; a < members.size(); ++a) pi[members[a]] = sub_pi[a];
+  return pi;
+}
+
+}  // namespace eqos::markov

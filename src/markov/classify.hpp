@@ -1,0 +1,40 @@
+// State classification for finite Markov chains.
+//
+// Empirically estimated chains (the paper's A/B/T matrices come from
+// simulation counts) are not always irreducible: states the simulation never
+// left, or never reached, produce zero rows/columns.  This header provides
+// communicating-class decomposition (Tarjan SCC over the positive-rate
+// digraph) and a steady-state solver that restricts to the unique closed
+// class, which is the correct limit distribution whenever every open state
+// eventually drains into that class.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense.hpp"
+
+namespace eqos::markov {
+
+/// One communicating class of a chain.
+struct CommunicatingClass {
+  std::vector<std::size_t> states;  // members, ascending
+  bool closed = false;              // no transitions leaving the class
+};
+
+/// Decomposes the digraph "i -> j iff weight(i,j) > 0 (i != j)" into
+/// communicating classes (strongly connected components) and marks the closed
+/// ones.  `weights` may be a CTMC generator (diagonal ignored) or a DTMC
+/// transition matrix.
+[[nodiscard]] std::vector<CommunicatingClass> communicating_classes(
+    const matrix::Matrix& weights);
+
+/// Steady state of a CTMC generator that may have transient states: finds the
+/// closed communicating classes; if there is exactly one, solves the
+/// restricted chain and returns the distribution embedded in the full state
+/// space (zero on transient states).  Throws std::invalid_argument when
+/// multiple closed classes exist (the limit then depends on the initial
+/// state).
+[[nodiscard]] matrix::Vector steady_state_closed_class(const matrix::Matrix& generator);
+
+}  // namespace eqos::markov

@@ -1,0 +1,127 @@
+#include "markov/ctmc.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/gth.hpp"
+#include "matrix/lu.hpp"
+
+namespace eqos::markov {
+
+Ctmc::Ctmc(std::size_t states) : q_(states, states) {
+  if (states == 0) throw std::invalid_argument("ctmc: needs at least one state");
+}
+
+Ctmc Ctmc::from_generator(matrix::Matrix generator) {
+  if (!generator.square()) throw std::invalid_argument("ctmc: generator must be square");
+  const std::size_t n = generator.rows();
+  const double scale = std::max(generator.max_abs(), 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && generator(i, j) < 0.0)
+        throw std::invalid_argument("ctmc: negative off-diagonal rate");
+      row_sum += generator(i, j);
+    }
+    if (std::abs(row_sum) > 1e-9 * scale)
+      throw std::invalid_argument("ctmc: generator row " + std::to_string(i) +
+                                  " does not sum to zero");
+  }
+  return Ctmc(std::move(generator));
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  assert(from < states() && to < states());
+  if (from == to) throw std::invalid_argument("ctmc: self-loop rate is meaningless");
+  if (rate < 0.0) throw std::invalid_argument("ctmc: negative rate");
+  q_(from, to) += rate;
+  q_(from, from) -= rate;
+}
+
+double Ctmc::rate(std::size_t from, std::size_t to) const {
+  assert(from < states() && to < states());
+  return q_(from, to);
+}
+
+double Ctmc::exit_rate(std::size_t state) const {
+  assert(state < states());
+  return -q_(state, state);
+}
+
+matrix::Vector Ctmc::steady_state() const { return matrix::gth_steady_state(q_); }
+
+matrix::Vector Ctmc::steady_state_linear() const {
+  // Solve pi Q = 0 with sum(pi) = 1: transpose to Q^T pi^T = 0 and replace
+  // the last equation with the normalization row.
+  const std::size_t n = states();
+  matrix::Matrix a = q_.transpose();
+  matrix::Vector b(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  b[n - 1] = 1.0;
+  matrix::Vector pi = matrix::solve_linear(a, b);
+  // Clamp tiny negative round-off and re-normalize.
+  for (auto& x : pi) x = std::max(x, 0.0);
+  matrix::normalize_l1(pi);
+  return pi;
+}
+
+matrix::Vector Ctmc::transient(const matrix::Vector& pi0, double t, double tol) const {
+  if (pi0.size() != states())
+    throw std::invalid_argument("ctmc: initial distribution size mismatch");
+  if (t < 0.0) throw std::invalid_argument("ctmc: negative time");
+
+  // Uniformization: P = I + Q / Lambda with Lambda >= max exit rate; then
+  // pi(t) = sum_k Poisson(Lambda t, k) * pi0 P^k, truncated when the
+  // accumulated Poisson mass exceeds 1 - tol.
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < states(); ++i) lambda = std::max(lambda, exit_rate(i));
+  if (lambda == 0.0 || t == 0.0) return pi0;  // no transitions possible
+  lambda *= 1.02;                             // mild inflation improves conditioning
+
+  matrix::Matrix p = q_;
+  p *= (1.0 / lambda);
+  p += matrix::Matrix::identity(states());
+
+  const double a = lambda * t;
+  matrix::Vector term = pi0;       // pi0 P^k
+  matrix::Vector result(states(), 0.0);
+  // Poisson weights computed iteratively in log space to survive large a.
+  double log_weight = -a;          // log P(k=0)
+  double accumulated = 0.0;
+  for (std::size_t k = 0;; ++k) {
+    const double weight = std::exp(log_weight);
+    for (std::size_t i = 0; i < states(); ++i) result[i] += weight * term[i];
+    accumulated += weight;
+    if (accumulated >= 1.0 - tol) break;
+    if (k > 10'000'000) throw std::runtime_error("ctmc: uniformization did not converge");
+    term = p.apply_left(term);
+    log_weight += std::log(a / static_cast<double>(k + 1));
+  }
+  // Normalize away the truncated tail.
+  matrix::normalize_l1(result);
+  return result;
+}
+
+double Ctmc::expected_reward(const matrix::Vector& rewards) const {
+  if (rewards.size() != states())
+    throw std::invalid_argument("ctmc: reward vector size mismatch");
+  return matrix::dot(steady_state(), rewards);
+}
+
+matrix::Matrix Ctmc::embedded_jump_chain() const {
+  const std::size_t n = states();
+  matrix::Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exit = exit_rate(i);
+    if (exit <= 0.0) {
+      p(i, i) = 1.0;  // absorbing
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) p(i, j) = q_(i, j) / exit;
+  }
+  return p;
+}
+
+}  // namespace eqos::markov

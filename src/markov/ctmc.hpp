@@ -1,0 +1,66 @@
+// Continuous-time Markov chains.
+//
+// This is the in-tree replacement for the SHARPE package the paper used to
+// solve its models: steady-state analysis (GTH by default, LU linear solve as
+// a cross-check), transient analysis by uniformization, and expected-reward
+// evaluation.  Chains are built either from a full generator matrix or
+// incrementally with `add_rate`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense.hpp"
+
+namespace eqos::markov {
+
+/// A finite-state CTMC described by its generator (infinitesimal rate)
+/// matrix Q: off-diagonal q_ij >= 0, diagonal q_ii = -sum_{j != i} q_ij.
+class Ctmc {
+ public:
+  /// An empty chain with `states` states and no transitions.
+  explicit Ctmc(std::size_t states);
+
+  /// Wraps an existing generator.  Throws std::invalid_argument if the
+  /// matrix is not square, has negative off-diagonal entries, or rows that
+  /// do not sum to ~0.
+  static Ctmc from_generator(matrix::Matrix generator);
+
+  /// Adds `rate` to the transition i -> j (and fixes both diagonals).
+  /// Requires i != j and rate >= 0.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  [[nodiscard]] std::size_t states() const noexcept { return q_.rows(); }
+  [[nodiscard]] const matrix::Matrix& generator() const noexcept { return q_; }
+  [[nodiscard]] double rate(std::size_t from, std::size_t to) const;
+
+  /// Total exit rate of a state (= -q_ii).
+  [[nodiscard]] double exit_rate(std::size_t state) const;
+
+  /// Stationary distribution via GTH (cancellation-free; preferred).
+  /// Throws std::invalid_argument if the chain is not irreducible.
+  [[nodiscard]] matrix::Vector steady_state() const;
+
+  /// Stationary distribution by solving the balance equations with LU,
+  /// replacing one equation by the normalization constraint.  Used as an
+  /// independent cross-check of GTH in tests.
+  [[nodiscard]] matrix::Vector steady_state_linear() const;
+
+  /// Transient distribution pi(t) from initial distribution pi0, computed by
+  /// uniformization with truncation error below `tol`.
+  [[nodiscard]] matrix::Vector transient(const matrix::Vector& pi0, double t,
+                                         double tol = 1e-12) const;
+
+  /// Steady-state expected reward: sum_i pi_i * reward_i.
+  [[nodiscard]] double expected_reward(const matrix::Vector& rewards) const;
+
+  /// Embedded jump chain P (row-stochastic); an absorbing state gets a
+  /// self-loop of probability 1.
+  [[nodiscard]] matrix::Matrix embedded_jump_chain() const;
+
+ private:
+  explicit Ctmc(matrix::Matrix q) : q_(std::move(q)) {}
+  matrix::Matrix q_;
+};
+
+}  // namespace eqos::markov

@@ -1,0 +1,47 @@
+#include "markov/dtmc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/gth.hpp"
+
+namespace eqos::markov {
+
+Dtmc::Dtmc(matrix::Matrix transition) : p_(std::move(transition)) {
+  if (!p_.square()) throw std::invalid_argument("dtmc: matrix must be square");
+  if (p_.rows() == 0) throw std::invalid_argument("dtmc: needs at least one state");
+  for (std::size_t i = 0; i < p_.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < p_.cols(); ++j) {
+      if (p_(i, j) < 0.0) throw std::invalid_argument("dtmc: negative probability");
+      row_sum += p_(i, j);
+    }
+    if (std::abs(row_sum - 1.0) > 1e-9)
+      throw std::invalid_argument("dtmc: row " + std::to_string(i) +
+                                  " does not sum to one");
+  }
+}
+
+matrix::Vector Dtmc::evolve(const matrix::Vector& pi0, std::size_t steps) const {
+  if (pi0.size() != states())
+    throw std::invalid_argument("dtmc: initial distribution size mismatch");
+  matrix::Vector pi = pi0;
+  for (std::size_t s = 0; s < steps; ++s) pi = p_.apply_left(pi);
+  return pi;
+}
+
+matrix::Vector Dtmc::steady_state() const { return matrix::gth_steady_state_dtmc(p_); }
+
+matrix::Vector Dtmc::steady_state_power(double tol, std::size_t max_iters) const {
+  matrix::Vector pi(states(), 1.0 / static_cast<double>(states()));
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    matrix::Vector next = p_.apply_left(pi);
+    double change = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i) change += std::abs(next[i] - pi[i]);
+    pi = std::move(next);
+    if (change < tol) return pi;
+  }
+  throw std::runtime_error("dtmc: power iteration did not converge");
+}
+
+}  // namespace eqos::markov

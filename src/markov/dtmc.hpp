@@ -1,0 +1,41 @@
+// Discrete-time Markov chains.
+//
+// Used for the embedded jump chains of CTMCs and as an independent
+// cross-check of steady-state results (power iteration vs GTH).  Rows of the
+// transition matrix must be stochastic.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/dense.hpp"
+
+namespace eqos::markov {
+
+/// A finite-state DTMC described by a row-stochastic transition matrix.
+class Dtmc {
+ public:
+  /// Validates and wraps a transition matrix.  Throws std::invalid_argument
+  /// if the matrix is not square, has negative entries, or rows that do not
+  /// sum to ~1.
+  explicit Dtmc(matrix::Matrix transition);
+
+  [[nodiscard]] std::size_t states() const noexcept { return p_.rows(); }
+  [[nodiscard]] const matrix::Matrix& transition() const noexcept { return p_; }
+
+  /// Distribution after `steps` steps from `pi0`.
+  [[nodiscard]] matrix::Vector evolve(const matrix::Vector& pi0, std::size_t steps) const;
+
+  /// Stationary distribution via GTH.  Requires irreducibility.
+  [[nodiscard]] matrix::Vector steady_state() const;
+
+  /// Stationary distribution via power iteration; `tol` is the L1 change
+  /// threshold.  Requires an aperiodic, irreducible chain to converge; throws
+  /// std::runtime_error after `max_iters` without convergence.
+  [[nodiscard]] matrix::Vector steady_state_power(double tol = 1e-12,
+                                                  std::size_t max_iters = 1'000'000) const;
+
+ private:
+  matrix::Matrix p_;
+};
+
+}  // namespace eqos::markov

@@ -1,0 +1,137 @@
+#include "markov/passage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "matrix/lu.hpp"
+
+namespace eqos::markov {
+namespace {
+
+std::vector<bool> target_mask(std::size_t n, const std::vector<std::size_t>& targets,
+                              const char* what) {
+  if (targets.empty()) throw std::invalid_argument(std::string(what) + ": empty set");
+  std::vector<bool> mask(n, false);
+  for (std::size_t t : targets) {
+    if (t >= n) throw std::invalid_argument(std::string(what) + ": state out of range");
+    mask[t] = true;
+  }
+  return mask;
+}
+
+/// Indices of the non-target ("transient") states, in ascending order.
+std::vector<std::size_t> complement(const std::vector<bool>& mask) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    if (!mask[i]) out.push_back(i);
+  return out;
+}
+
+/// Restriction of the generator to rows/cols `keep`.
+matrix::Matrix restrict_generator(const Ctmc& chain, const std::vector<std::size_t>& keep) {
+  matrix::Matrix sub(keep.size(), keep.size());
+  for (std::size_t a = 0; a < keep.size(); ++a)
+    for (std::size_t b = 0; b < keep.size(); ++b)
+      sub(a, b) = chain.generator()(keep[a], keep[b]);
+  return sub;
+}
+
+}  // namespace
+
+matrix::Vector mean_first_passage_times(const Ctmc& chain,
+                                        const std::vector<std::size_t>& targets) {
+  const std::size_t n = chain.states();
+  const auto mask = target_mask(n, targets, "mean_first_passage_times");
+  const auto transient = complement(mask);
+
+  matrix::Vector result(n, 0.0);
+  if (transient.empty()) return result;
+
+  // Solve -Q_TT h = 1 for the transient block (h = expected hitting times).
+  matrix::Matrix qtt = restrict_generator(chain, transient);
+  qtt *= -1.0;
+  const matrix::Vector ones(transient.size(), 1.0);
+  matrix::Vector h;
+  try {
+    h = matrix::solve_linear(qtt, ones);
+  } catch (const matrix::SingularMatrixError&) {
+    throw std::invalid_argument(
+        "mean_first_passage_times: some state cannot reach the target set");
+  }
+  for (std::size_t a = 0; a < transient.size(); ++a) {
+    if (h[a] < 0.0)
+      throw std::invalid_argument(
+          "mean_first_passage_times: target set unreachable from state " +
+          std::to_string(transient[a]));
+    result[transient[a]] = h[a];
+  }
+  return result;
+}
+
+matrix::Vector hit_probability_before(const Ctmc& chain,
+                                      const std::vector<std::size_t>& goal,
+                                      const std::vector<std::size_t>& avoid) {
+  const std::size_t n = chain.states();
+  const auto goal_mask = target_mask(n, goal, "hit_probability_before(goal)");
+  const auto avoid_mask = target_mask(n, avoid, "hit_probability_before(avoid)");
+  for (std::size_t i = 0; i < n; ++i)
+    if (goal_mask[i] && avoid_mask[i])
+      throw std::invalid_argument("hit_probability_before: goal and avoid overlap");
+
+  std::vector<std::size_t> transient;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!goal_mask[i] && !avoid_mask[i]) transient.push_back(i);
+
+  matrix::Vector result(n, 0.0);
+  for (std::size_t g : goal) result[g] = 1.0;
+  if (transient.empty()) return result;
+
+  // Q_TT p = -r, where r_i = sum of rates from i into the goal set.
+  matrix::Matrix qtt = restrict_generator(chain, transient);
+  matrix::Vector rhs(transient.size(), 0.0);
+  for (std::size_t a = 0; a < transient.size(); ++a)
+    for (std::size_t g : goal) rhs[a] -= chain.generator()(transient[a], g);
+  matrix::Vector p;
+  try {
+    p = matrix::solve_linear(qtt, rhs);
+  } catch (const matrix::SingularMatrixError&) {
+    throw std::invalid_argument(
+        "hit_probability_before: some state reaches neither goal nor avoid");
+  }
+  for (std::size_t a = 0; a < transient.size(); ++a)
+    result[transient[a]] = std::clamp(p[a], 0.0, 1.0);
+  return result;
+}
+
+matrix::Vector expected_sojourn_before(const Ctmc& chain, std::size_t start,
+                                       const std::vector<std::size_t>& targets) {
+  const std::size_t n = chain.states();
+  if (start >= n) throw std::invalid_argument("expected_sojourn_before: bad start");
+  const auto mask = target_mask(n, targets, "expected_sojourn_before");
+  const auto transient = complement(mask);
+
+  matrix::Vector result(n, 0.0);
+  if (mask[start] || transient.empty()) return result;
+
+  // Row of the fundamental matrix: solve u^T (-Q_TT) = e_start^T, i.e.
+  // (-Q_TT)^T u = e_start.
+  matrix::Matrix a = restrict_generator(chain, transient);
+  a *= -1.0;
+  a = a.transpose();
+  matrix::Vector e(transient.size(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    if (transient[i] == start) e[i] = 1.0;
+  matrix::Vector u;
+  try {
+    u = matrix::solve_linear(a, e);
+  } catch (const matrix::SingularMatrixError&) {
+    throw std::invalid_argument(
+        "expected_sojourn_before: target set unreachable from start");
+  }
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    result[transient[i]] = std::max(u[i], 0.0);
+  return result;
+}
+
+}  // namespace eqos::markov

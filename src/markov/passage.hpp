@@ -1,0 +1,39 @@
+// First-passage and sojourn analysis for CTMCs.
+//
+// The stationary distribution answers "what QoS does a channel hold on
+// average"; first-passage quantities answer the operator's follow-up
+// questions: "once a channel is at full quality, how long until contention
+// drags it to the bare minimum?" and "how long does a degraded channel stay
+// degraded?".  Both are classic absorption computations on the chain of
+// Section 3.2 and are exposed by core::ElasticQosAnalyzer through
+// degradation/recovery helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "matrix/dense.hpp"
+
+namespace eqos::markov {
+
+/// Expected time to first reach any state in `targets` from each state.
+/// Entries of `targets` must be valid state indices; target states get 0.
+/// Throws std::invalid_argument if some state cannot reach a target (the
+/// expectation would be infinite).
+[[nodiscard]] matrix::Vector mean_first_passage_times(
+    const Ctmc& chain, const std::vector<std::size_t>& targets);
+
+/// Probability, for each starting state, of hitting `goal` before `avoid`.
+/// Goal states map to 1, avoid states to 0.  Throws std::invalid_argument
+/// when some state can reach neither set.
+[[nodiscard]] matrix::Vector hit_probability_before(
+    const Ctmc& chain, const std::vector<std::size_t>& goal,
+    const std::vector<std::size_t>& avoid);
+
+/// Expected total time spent in each state before first reaching a target,
+/// starting from `start` (the fundamental-matrix row).  Target states get 0.
+[[nodiscard]] matrix::Vector expected_sojourn_before(
+    const Ctmc& chain, std::size_t start, const std::vector<std::size_t>& targets);
+
+}  // namespace eqos::markov

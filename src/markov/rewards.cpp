@@ -1,0 +1,61 @@
+#include "markov/rewards.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eqos::markov {
+
+double accumulated_reward(const Ctmc& chain, const matrix::Vector& pi0,
+                          const matrix::Vector& rewards, double t, double tol) {
+  const std::size_t n = chain.states();
+  if (pi0.size() != n || rewards.size() != n)
+    throw std::invalid_argument("accumulated_reward: size mismatch");
+  if (t < 0.0) throw std::invalid_argument("accumulated_reward: negative time");
+  if (t == 0.0) return 0.0;
+
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < n; ++i) lambda = std::max(lambda, chain.exit_rate(i));
+  if (lambda == 0.0) return matrix::dot(pi0, rewards) * t;  // frozen chain
+  lambda *= 1.02;
+
+  // Uniformized DTMC P = I + Q/Lambda.  The standard identity:
+  //   E[int_0^t r(X_s) ds] = (1/Lambda) sum_{k>=0} P(N_t > k) * pi0 P^k r,
+  // where N_t ~ Poisson(Lambda t): each uniformization epoch contributes its
+  // expected sojourn (1/Lambda) weighted by the probability that the chain
+  // has made more than k jumps by time t.
+  matrix::Matrix p = chain.generator();
+  p *= (1.0 / lambda);
+  p += matrix::Matrix::identity(n);
+
+  const double a = lambda * t;
+  matrix::Vector pi = pi0;  // pi0 P^k
+  double log_pmf = -a;      // log Poisson pmf at k
+  double cdf = std::exp(log_pmf);
+  double total = 0.0;
+  for (std::size_t k = 0;; ++k) {
+    const double tail = std::max(0.0, 1.0 - cdf);  // P(N_t > k)
+    total += tail * matrix::dot(pi, rewards);
+    // Stop when the remaining tail mass cannot matter: expected remaining
+    // epochs = a - E[min(N_t, k)] <= a * tail bound.
+    if (tail < tol && static_cast<double>(k) > a) break;
+    if (k > 10'000'000)
+      throw std::runtime_error("accumulated_reward: did not converge");
+    pi = p.apply_left(pi);
+    log_pmf += std::log(a / static_cast<double>(k + 1));
+    cdf += std::exp(log_pmf);
+  }
+  return total / lambda;
+}
+
+double time_averaged_reward(const Ctmc& chain, const matrix::Vector& pi0,
+                            const matrix::Vector& rewards, double t, double tol) {
+  if (t == 0.0) {
+    if (pi0.size() != chain.states() || rewards.size() != chain.states())
+      throw std::invalid_argument("time_averaged_reward: size mismatch");
+    return matrix::dot(pi0, rewards);
+  }
+  return accumulated_reward(chain, pi0, rewards, t, tol) / t;
+}
+
+}  // namespace eqos::markov

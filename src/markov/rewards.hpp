@@ -1,0 +1,31 @@
+// Reward analysis over finite horizons.
+//
+// The stationary expected reward answers "what bandwidth does a channel hold
+// on average, forever"; operators also ask for finite-horizon quantities:
+// "how much bandwidth-time will a channel starting at full quality actually
+// deliver over the next hour?".  `accumulated_reward` integrates
+// E[r(X_s)] ds over [0, t] by uniformization (the standard transient-reward
+// construction), and `time_averaged_reward` divides by the horizon.
+#pragma once
+
+#include "markov/ctmc.hpp"
+#include "matrix/dense.hpp"
+
+namespace eqos::markov {
+
+/// Expected accumulated reward  E[ integral_0^t r(X_s) ds ]  for the chain
+/// started from distribution `pi0`, with per-state reward rates `rewards`.
+/// `tol` bounds the uniformization truncation error.  Throws
+/// std::invalid_argument on size mismatches or negative time.
+[[nodiscard]] double accumulated_reward(const Ctmc& chain, const matrix::Vector& pi0,
+                                        const matrix::Vector& rewards, double t,
+                                        double tol = 1e-10);
+
+/// accumulated_reward / t; for t = 0 returns the instantaneous rate
+/// dot(pi0, rewards).  Converges to the stationary expected reward as t
+/// grows (for irreducible chains).
+[[nodiscard]] double time_averaged_reward(const Ctmc& chain, const matrix::Vector& pi0,
+                                          const matrix::Vector& rewards, double t,
+                                          double tol = 1e-10);
+
+}  // namespace eqos::markov

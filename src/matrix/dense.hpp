@@ -1,0 +1,88 @@
+// Dense row-major matrix and vector helpers.
+//
+// The Markov chains in this library are small (the paper's largest chain has
+// nine states), so a straightforward dense representation with O(n^3) direct
+// solvers is the right tool.  SHARPE — the solver the paper used — is
+// replaced by `lu.hpp` (general linear systems) and `gth.hpp` (numerically
+// robust CTMC steady state).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eqos::matrix {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Constructs from nested initializer lists; all rows must have equal
+  /// length.  Intended for tests and examples.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  /// Raw row-major storage (rows() * cols() doubles).
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product; requires cols() == other.rows().
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  friend Matrix operator*(const Matrix& a, const Matrix& b) { return a.multiply(b); }
+
+  [[nodiscard]] Matrix transpose() const;
+
+  /// y = A x (right multiplication by a column vector).
+  [[nodiscard]] Vector apply(const Vector& x) const;
+  /// y = x^T A (left multiplication by a row vector) — the natural operation
+  /// for probability vectors.
+  [[nodiscard]] Vector apply_left(const Vector& x) const;
+
+  /// Maximum absolute entry.
+  [[nodiscard]] double max_abs() const;
+
+  /// Multi-line human-readable rendering (tests/diagnostics).
+  [[nodiscard]] std::string to_string(int precision = 6) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v);
+/// Sum of absolute values.
+[[nodiscard]] double norm1(const Vector& v);
+/// Maximum absolute component.
+[[nodiscard]] double norm_inf(const Vector& v);
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+/// Scales `v` so its entries sum to one.  Requires a positive sum.
+void normalize_l1(Vector& v);
+
+}  // namespace eqos::matrix

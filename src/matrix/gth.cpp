@@ -1,0 +1,72 @@
+#include "matrix/gth.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace eqos::matrix {
+namespace {
+
+// Core GTH elimination on a rate/probability matrix whose off-diagonal
+// entries are the transition weights out of each state (diagonal ignored).
+// Works identically for CTMC generators and DTMC transition matrices because
+// the stationary vector only depends on off-diagonal proportions.
+Vector gth_core(Matrix a) {
+  assert(a.square());
+  const std::size_t n = a.rows();
+  if (n == 0) throw std::invalid_argument("gth: empty chain");
+  if (n == 1) return Vector{1.0};
+
+  // Backward elimination of states n-1, n-2, ..., 1.
+  for (std::size_t kk = n; kk-- > 1;) {
+    double departure = 0.0;  // total weight out of state kk to states < kk
+    for (std::size_t j = 0; j < kk; ++j) departure += a(kk, j);
+    if (departure <= 0.0)
+      throw std::invalid_argument("gth: chain is not irreducible (state " +
+                                  std::to_string(kk) + " cannot reach lower states)");
+    for (std::size_t i = 0; i < kk; ++i) {
+      const double w = a(i, kk) / departure;
+      a(i, kk) = w;  // kept for back-substitution: P-weight of i feeding kk
+      if (w == 0.0) continue;
+      // Redistribute i -> kk flow to kk's remaining destinations.
+      for (std::size_t j = 0; j < kk; ++j) {
+        if (j == i) continue;
+        a(i, j) += w * a(kk, j);
+      }
+    }
+  }
+
+  // Back substitution: pi_0 = 1; each eliminated state's unnormalized
+  // probability is the (already departure-normalized) inflow from lower
+  // states.  Only additions and multiplications of non-negative numbers.
+  Vector pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double inflow = 0.0;
+    for (std::size_t i = 0; i < k; ++i) inflow += pi[i] * a(i, k);
+    pi[k] = inflow;
+  }
+  normalize_l1(pi);
+  return pi;
+}
+
+}  // namespace
+
+Vector gth_steady_state(const Matrix& generator) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < generator.rows(); ++i)
+    for (std::size_t j = 0; j < generator.cols(); ++j)
+      if (i != j) assert(generator(i, j) >= 0.0 && "negative off-diagonal rate");
+#endif
+  return gth_core(generator);
+}
+
+Vector gth_steady_state_dtmc(const Matrix& transition) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < transition.rows(); ++i)
+    for (std::size_t j = 0; j < transition.cols(); ++j)
+      assert(transition(i, j) >= 0.0 && "negative probability");
+#endif
+  return gth_core(transition);
+}
+
+}  // namespace eqos::matrix

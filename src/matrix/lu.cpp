@@ -1,0 +1,88 @@
+#include "matrix/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace eqos::matrix {
+namespace {
+// Relative pivot threshold: pivots smaller than this times the largest
+// absolute entry of the input matrix are treated as zero.
+constexpr double kPivotRel = 1e-13;
+}  // namespace
+
+LuDecomposition::LuDecomposition(const Matrix& a) : n_(a.rows()), lu_(a), perm_(n_) {
+  assert(a.square());
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  const double scale = std::max(a.max_abs(), 1.0);
+
+  for (std::size_t col = 0; col < n_; ++col) {
+    // Partial pivoting: bring the largest remaining entry of this column up.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= kPivotRel * scale) throw SingularMatrixError(col);
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(col, c), lu_(pivot, c));
+      std::swap(perm_[col], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double factor = lu_(r, col) * inv_pivot;
+      lu_(r, col) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n_; ++c) lu_(r, c) -= factor * lu_(col, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  assert(b.size() == n_);
+  Vector x(n_);
+  // Forward substitution with the permuted right-hand side: L y = P b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  assert(b.rows() == n_);
+  Matrix x(n_, b.cols());
+  Vector col(n_);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n_; ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < n_; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = sign_;
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(n_)); }
+
+Vector solve_linear(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace eqos::matrix

@@ -1,0 +1,60 @@
+// LU factorization with partial pivoting and the solvers built on it.
+//
+// Used for general linear systems (e.g. the mean-first-passage and
+// steady-state equations of small Markov chains) and for determinants /
+// inverses in tests.  Throws `SingularMatrixError` when elimination meets a
+// pivot below a relative threshold.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "matrix/dense.hpp"
+
+namespace eqos::matrix {
+
+/// Thrown when a factorization or solve meets a (numerically) singular
+/// matrix.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(std::size_t pivot_row)
+      : std::runtime_error("singular matrix at pivot row " + std::to_string(pivot_row)),
+        pivot_row_(pivot_row) {}
+  [[nodiscard]] std::size_t pivot_row() const noexcept { return pivot_row_; }
+
+ private:
+  std::size_t pivot_row_;
+};
+
+/// PA = LU factorization of a square matrix with row partial pivoting.
+class LuDecomposition {
+ public:
+  /// Factorizes `a`; throws SingularMatrixError if a pivot is ~0.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// Solves A x = b.  b.size() must equal the matrix dimension.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column; B must have matching row count.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// det(A), including the permutation sign.
+  [[nodiscard]] double determinant() const;
+
+  /// A^-1 (solve against the identity).
+  [[nodiscard]] Matrix inverse() const;
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  Matrix lu_;                  // packed L (unit diagonal, below) and U (diagonal and above)
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+};
+
+/// One-shot convenience: solves A x = b via LU.
+[[nodiscard]] Vector solve_linear(const Matrix& a, const Vector& b);
+
+}  // namespace eqos::matrix

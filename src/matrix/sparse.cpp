@@ -1,0 +1,91 @@
+#include "matrix/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eqos::matrix {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  for ([[maybe_unused]] const auto& t : entries)
+    assert(t.row < rows && t.col < cols);
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size();) {
+    const std::size_t r = entries[i].row;
+    const std::size_t c = entries[i].col;
+    double sum = 0.0;
+    while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+      sum += entries[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      col_idx_.push_back(c);
+      values_.push_back(sum);
+      ++row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense) {
+  std::vector<Triplet> entries;
+  for (std::size_t r = 0; r < dense.rows(); ++r)
+    for (std::size_t c = 0; c < dense.cols(); ++c)
+      if (dense(r, c) != 0.0) entries.push_back({r, c, dense(r, c)});
+  return CsrMatrix(dense.rows(), dense.cols(), std::move(entries));
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::apply(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      sum += values_[k] * x[col_idx_[k]];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vector CsrMatrix::apply_left(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += xr * values_[k];
+  }
+  return y;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      out(r, col_idx_[k]) = values_[k];
+  return out;
+}
+
+Vector CsrMatrix::row_sums() const {
+  Vector sums(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += values_[k];
+  return sums;
+}
+
+}  // namespace eqos::matrix

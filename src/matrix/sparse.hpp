@@ -1,0 +1,60 @@
+// Compressed-sparse-row matrix.
+//
+// Generator matrices of the paper's bandwidth chains are small and dense-ish,
+// but the library also exposes larger chains (e.g. product-form extensions
+// and the uniformized transient solver over long horizons), where a CSR
+// representation with O(nnz) matrix-vector products pays off.  Built once
+// from triplets; immutable afterwards.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense.hpp"
+
+namespace eqos::matrix {
+
+/// (row, col, value) entry used to assemble a sparse matrix.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix.  Duplicate triplets are summed during assembly;
+/// explicit zeros are dropped.
+class CsrMatrix {
+ public:
+  /// Assembles from an arbitrary-order triplet list.
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
+
+  /// Converts a dense matrix, dropping exact zeros.
+  [[nodiscard]] static CsrMatrix from_dense(const Matrix& dense);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// Value at (r, c); zero if not stored.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// y = A x.
+  [[nodiscard]] Vector apply(const Vector& x) const;
+  /// y = x^T A.
+  [[nodiscard]] Vector apply_left(const Vector& x) const;
+
+  /// Densifies (tests / small chains).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Sum of each row's entries (e.g. generator-row check).
+  [[nodiscard]] Vector row_sums() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace eqos::matrix

@@ -1,0 +1,123 @@
+#include "net/backup.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace eqos::net {
+
+BackupManager::BackupManager(std::size_t num_links, bool multiplexing)
+    : multiplexing_(multiplexing), per_link_(num_links) {}
+
+double BackupManager::reservation(topology::LinkId l) const {
+  assert(l < per_link_.size());
+  return per_link_[l].reservation;
+}
+
+double BackupManager::incremental_need(topology::LinkId l, double bmin,
+                                       const util::DynamicBitset& primary_links) const {
+  assert(l < per_link_.size());
+  const Registry& reg = per_link_[l];
+  if (!multiplexing_) return bmin;
+
+  double need = reg.reservation;
+  primary_links.for_each_set_bit([&](std::size_t f) {
+    const auto it = reg.scenario_sum.find(static_cast<topology::LinkId>(f));
+    const double existing = it == reg.scenario_sum.end() ? 0.0 : it->second;
+    need = std::max(need, existing + bmin);
+  });
+  // A backup with an empty primary (degenerate) still needs its own bmin.
+  need = std::max(need, bmin);
+  return need - reg.reservation;
+}
+
+void BackupManager::add(topology::LinkId l, ConnectionId id, double bmin,
+                        const util::DynamicBitset& primary_links) {
+  assert(l < per_link_.size());
+  Registry& reg = per_link_[l];
+  reg.entries.push_back(Entry{id, bmin, primary_links});
+  if (!multiplexing_) {
+    reg.reservation += bmin;
+    return;
+  }
+  primary_links.for_each_set_bit([&](std::size_t f) {
+    const double sum =
+        (reg.scenario_sum[static_cast<topology::LinkId>(f)] += bmin);
+    reg.reservation = std::max(reg.reservation, sum);
+  });
+  reg.reservation = std::max(reg.reservation, bmin);
+}
+
+void BackupManager::remove(topology::LinkId l, ConnectionId id) {
+  assert(l < per_link_.size());
+  Registry& reg = per_link_[l];
+  const auto it = std::find_if(reg.entries.begin(), reg.entries.end(),
+                               [&](const Entry& e) { return e.id == id; });
+  if (it == reg.entries.end()) return;
+  const Entry removed = std::move(*it);
+  reg.entries.erase(it);
+  if (!multiplexing_) {
+    reg.reservation -= removed.bmin;
+    if (reg.reservation < 0.0) reg.reservation = 0.0;
+    return;
+  }
+  removed.primary_links.for_each_set_bit([&](std::size_t f) {
+    const auto sit = reg.scenario_sum.find(static_cast<topology::LinkId>(f));
+    assert(sit != reg.scenario_sum.end());
+    sit->second -= removed.bmin;
+    if (sit->second <= 1e-9) reg.scenario_sum.erase(sit);
+  });
+  rebuild_reservation(reg);
+}
+
+void BackupManager::rebuild_reservation(Registry& reg) const {
+  double worst = 0.0;
+  for (const auto& [f, sum] : reg.scenario_sum) worst = std::max(worst, sum);
+  for (const auto& e : reg.entries) worst = std::max(worst, e.bmin);
+  reg.reservation = worst;
+}
+
+std::vector<ConnectionId> BackupManager::activated_by(topology::LinkId l,
+                                                      topology::LinkId failed) const {
+  assert(l < per_link_.size());
+  std::vector<ConnectionId> out;
+  for (const auto& e : per_link_[l].entries)
+    if (e.primary_links.test(failed)) out.push_back(e.id);
+  return out;
+}
+
+std::size_t BackupManager::count_on_link(topology::LinkId l) const {
+  assert(l < per_link_.size());
+  return per_link_[l].entries.size();
+}
+
+std::vector<ConnectionId> BackupManager::backups_on_link(topology::LinkId l) const {
+  assert(l < per_link_.size());
+  std::vector<ConnectionId> out;
+  out.reserve(per_link_[l].entries.size());
+  for (const auto& e : per_link_[l].entries) out.push_back(e.id);
+  return out;
+}
+
+double BackupManager::recompute_reservation(topology::LinkId l) const {
+  assert(l < per_link_.size());
+  const Registry& reg = per_link_[l];
+  if (!multiplexing_) {
+    double sum = 0.0;
+    for (const auto& e : reg.entries) sum += e.bmin;
+    return sum;
+  }
+  double worst = 0.0;
+  for (const auto& pivot : reg.entries) {
+    worst = std::max(worst, pivot.bmin);
+    pivot.primary_links.for_each_set_bit([&](std::size_t f) {
+      double sum = 0.0;
+      for (const auto& e : reg.entries)
+        if (e.primary_links.test(f)) sum += e.bmin;
+      worst = std::max(worst, sum);
+    });
+  }
+  return worst;
+}
+
+}  // namespace eqos::net

@@ -1,0 +1,89 @@
+// Backup-channel reservation with multiplexing (overbooking).
+//
+// Backups are passive: they consume no bandwidth until a failure activates
+// them, so backups whose primaries can never fail together (no shared link)
+// may share one reservation (Section 2.1.2).  Under the single-link-failure
+// model, the reservation a link l must hold is
+//
+//     R_l = max over links f of  sum of bmin over backups on l whose
+//                                 primary traverses f,
+//
+// i.e. the worst single failure scenario.  With multiplexing disabled, R_l
+// degenerates to the plain sum of bmin over all backups on l (the paper's
+// baseline for how expensive dependability is without overbooking).
+//
+// The manager caches, per link, the per-failure-scenario sums and the
+// resulting reservation so that `incremental_need` — evaluated for every
+// candidate link during backup route search — costs O(primary path length).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "topology/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos::net {
+
+/// Tracks, per link, which backups are parked there and what reservation
+/// they collectively need.
+class BackupManager {
+ public:
+  /// `num_links` sizes the per-link registries; `multiplexing` selects
+  /// scenario-max (true) or plain-sum (false) reservations.
+  BackupManager(std::size_t num_links, bool multiplexing);
+
+  /// Reservation R_l currently required on link `l` (cached).
+  [[nodiscard]] double reservation(topology::LinkId l) const;
+
+  /// Additional reservation link `l` would need to also host a backup of
+  /// `bmin` whose primary traverses `primary_links`.
+  [[nodiscard]] double incremental_need(topology::LinkId l, double bmin,
+                                        const util::DynamicBitset& primary_links) const;
+
+  /// Registers connection `id`'s backup on link `l`.
+  void add(topology::LinkId l, ConnectionId id, double bmin,
+           const util::DynamicBitset& primary_links);
+
+  /// Removes connection `id`'s backup from link `l` (no-op if absent).
+  void remove(topology::LinkId l, ConnectionId id);
+
+  /// Ids of backups on link `l` whose primary traverses `failed`.
+  [[nodiscard]] std::vector<ConnectionId> activated_by(topology::LinkId l,
+                                                       topology::LinkId failed) const;
+
+  /// Number of backups parked on link `l`.
+  [[nodiscard]] std::size_t count_on_link(topology::LinkId l) const;
+
+  /// All connection ids with a backup on link `l`.
+  [[nodiscard]] std::vector<ConnectionId> backups_on_link(topology::LinkId l) const;
+
+  [[nodiscard]] bool multiplexing() const noexcept { return multiplexing_; }
+
+  /// Recomputes link `l`'s reservation from scratch and checks it against
+  /// the cache (tests); returns the from-scratch value.
+  [[nodiscard]] double recompute_reservation(topology::LinkId l) const;
+
+ private:
+  struct Entry {
+    ConnectionId id;
+    double bmin;
+    util::DynamicBitset primary_links;
+  };
+
+  struct Registry {
+    std::vector<Entry> entries;
+    /// scenario_sum[f] = sum of bmin over entries whose primary crosses f.
+    std::unordered_map<topology::LinkId, double> scenario_sum;
+    double reservation = 0.0;
+  };
+
+  void rebuild_reservation(Registry& reg) const;
+
+  bool multiplexing_;
+  std::vector<Registry> per_link_;
+};
+
+}  // namespace eqos::net

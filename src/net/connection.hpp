@@ -1,0 +1,60 @@
+// DR-connection records.
+//
+// A dependable real-time connection owns a primary channel (carrying
+// traffic at bmin + extra) and, whenever the network can provide one, a
+// passive backup channel reserved at bmin.  The link sets of both channels
+// are cached as bitsets because chaining classification — performed for
+// every existing connection on every arrival — reduces to bitset
+// intersection tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/qos.hpp"
+#include "topology/paths.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos::net {
+
+using ConnectionId = std::uint64_t;
+
+/// Why the connection currently lacks a backup channel.
+enum class BackupStatus : std::uint8_t {
+  kProtected,     ///< a backup channel is reserved
+  kUnprotected,   ///< no backup route could be established (yet)
+};
+
+/// One established DR-connection.
+struct DrConnection {
+  ConnectionId id = 0;
+  topology::NodeId src = 0;
+  topology::NodeId dst = 0;
+  ElasticQosSpec qos;
+
+  topology::Path primary;
+  util::DynamicBitset primary_links;  ///< over the graph's link ids
+
+  std::optional<topology::Path> backup;
+  util::DynamicBitset backup_links;   ///< empty bitset when no backup
+  BackupStatus backup_status = BackupStatus::kUnprotected;
+  /// Links of the backup that also lie on the primary (only non-zero for
+  /// maximally — not fully — link-disjoint backups).
+  std::size_t backup_overlap_links = 0;
+
+  /// Elastic grant in increments beyond bmin (0 .. qos.max_extra_quanta()).
+  std::size_t extra_quanta = 0;
+  /// Number of times this connection survived a primary failure by
+  /// switching to its backup.
+  std::size_t activations = 0;
+
+  [[nodiscard]] bool has_backup() const noexcept { return backup.has_value(); }
+  /// Current reserved bandwidth of the primary channel in Kbit/s.
+  [[nodiscard]] double reserved_kbps() const { return qos.bandwidth_at(extra_quanta); }
+  /// Current elastic grant in Kbit/s.
+  [[nodiscard]] double extra_kbps() const {
+    return static_cast<double>(extra_quanta) * qos.increment_kbps;
+  }
+};
+
+}  // namespace eqos::net

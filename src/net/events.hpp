@@ -1,0 +1,108 @@
+// Event reports emitted by Network operations.
+//
+// The Markov-model parameters (Pf, Ps, A, B, T, F — Section 3.3) are
+// measured from simulation, so every state-changing Network operation
+// returns a structured report: which existing channels were directly or
+// indirectly chained to the event and how each one's elastic state moved.
+// The sim::TransitionRecorder consumes these reports; they are also what the
+// tests assert on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "topology/graph.hpp"
+
+namespace eqos::net {
+
+/// Relationship of an existing channel to the triggering event.
+enum class Chaining : std::uint8_t {
+  kDirect,    ///< shares >= 1 link with the event's path(s)
+  kIndirect,  ///< disjoint from the event, but shares a link with a
+              ///< directly-chained channel (the paper's indirect chaining)
+};
+
+/// One existing channel's elastic state around an event.
+struct StateChange {
+  ConnectionId id = 0;
+  Chaining chaining = Chaining::kDirect;
+  std::size_t old_quanta = 0;  ///< extra increments before the event
+  std::size_t new_quanta = 0;  ///< extra increments after the event
+};
+
+/// Why a DR-connection request was rejected.
+enum class RejectReason : std::uint8_t {
+  kNone,
+  kNoPrimaryRoute,  ///< no route with bmin admissible on every link
+  kNoBackupRoute,   ///< primary found, but no admissible backup route
+};
+
+/// Result of Network::request_connection.
+struct ArrivalOutcome {
+  bool accepted = false;
+  RejectReason reject_reason = RejectReason::kNone;
+  ConnectionId id = 0;  ///< valid when accepted
+  /// Number of connections active before this request (Pf/Ps denominator).
+  std::size_t existing_before = 0;
+  /// Every directly- or indirectly-chained existing channel, moved or not.
+  std::vector<StateChange> changes;
+  /// Extra increments granted to the new connection right after admission.
+  std::size_t initial_quanta = 0;
+  bool backup_established = false;
+  /// Links shared between the backup and its own primary (0 = fully
+  /// link-disjoint).
+  std::size_t backup_overlap_links = 0;
+};
+
+/// Result of Network::terminate_connection.
+struct TerminationReport {
+  ConnectionId id = 0;
+  std::size_t existing_after = 0;  ///< active connections after removal
+  /// Channels that shared >= 1 link with the departed primary (all
+  /// kDirect; only they may gain per Section 3.2).
+  std::vector<StateChange> changes;
+};
+
+/// Result of Network::fail_link.
+struct FailureReport {
+  topology::LinkId link = 0;
+  std::size_t existing_before = 0;
+  std::size_t primaries_hit = 0;        ///< primaries traversing the failed link
+  std::size_t backups_activated = 0;    ///< successful switchovers
+  std::size_t connections_dropped = 0;  ///< victims with no usable backup
+  std::size_t backups_lost = 0;         ///< backups parked on the failed link
+  /// Victims whose backup shared the failed link with their primary (only
+  /// maximally — not fully — disjoint protection was possible, e.g. across
+  /// a bridge); these cannot switch over.
+  std::size_t backups_died_with_primary = 0;
+  std::size_t backups_reestablished = 0;
+  std::size_t backups_evicted = 0;      ///< overbooking overflow evictions
+  /// Channels chained to the activated backups (retreat + re-share moves).
+  std::vector<StateChange> changes;
+  /// Connections that switched to their backups (ascending id).
+  std::vector<ConnectionId> activated_ids;
+  /// Connections lost to this failure (ascending id).
+  std::vector<ConnectionId> dropped_ids;
+};
+
+/// Counters accumulated over a Network's lifetime.
+struct NetworkStats {
+  std::size_t requests = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected_no_primary = 0;
+  std::size_t rejected_no_backup = 0;
+  std::size_t terminated = 0;
+  std::size_t failures_injected = 0;
+  std::size_t repairs = 0;
+  std::size_t backups_activated = 0;
+  std::size_t connections_dropped = 0;
+  std::size_t backups_reestablished = 0;
+  std::size_t backups_evicted = 0;
+  /// Total elastic increment changes (grant or revoke, per connection, in
+  /// quanta) — the adaptation-churn metric of ablation A3.
+  std::size_t quanta_adjustments = 0;
+};
+
+}  // namespace eqos::net

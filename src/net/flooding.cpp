@@ -1,0 +1,87 @@
+#include "net/flooding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace eqos::net {
+namespace {
+
+/// Label a node remembers for the best request copy seen so far.
+struct Label {
+  std::size_t hops = std::numeric_limits<std::size_t>::max();
+  double allowance = 0.0;  // bottleneck admission headroom of the route
+  topology::LinkId via_link = 0;
+  bool seen = false;
+
+  /// The paper's preference: earlier arrival (fewer hops) wins; among equal
+  /// arrivals, the better bandwidth allowance wins.
+  [[nodiscard]] bool better_than(std::size_t h, double a) const {
+    if (!seen) return false;
+    if (hops != h) return hops < h;
+    return allowance >= a;
+  }
+};
+
+}  // namespace
+
+FloodResult flood_route(const topology::Graph& graph,
+                        const std::vector<LinkState>& links, topology::NodeId src,
+                        topology::NodeId dst, double bmin, std::size_t hop_bound) {
+  if (src >= graph.num_nodes() || dst >= graph.num_nodes())
+    throw std::invalid_argument("flood_route: unknown endpoint");
+  if (src == dst) throw std::invalid_argument("flood_route: src == dst");
+  if (links.size() != graph.num_links())
+    throw std::invalid_argument("flood_route: link table size mismatch");
+
+  FloodResult result;
+  std::vector<Label> labels(graph.num_nodes());
+  labels[src] = Label{0, std::numeric_limits<double>::infinity(), 0, true};
+
+  // Synchronous rounds: `frontier` holds nodes whose best copy arrived in
+  // the previous round and must be forwarded.
+  std::vector<topology::NodeId> frontier{src};
+  for (std::size_t round = 1; round <= hop_bound && !frontier.empty(); ++round) {
+    result.rounds = round;
+    std::vector<topology::NodeId> next;
+    for (const topology::NodeId u : frontier) {
+      const Label& from = labels[u];
+      // A copy whose label was superseded after scheduling is stale.
+      if (from.hops != round - 1) continue;
+      for (const auto& adj : graph.adjacent(u)) {
+        const LinkState& link = links[adj.link];
+        if (!link.admits_primary(bmin)) continue;  // cannot reserve: discard
+        ++result.messages;                          // the copy is forwarded
+        const double allowance = std::min(from.allowance, link.admission_headroom());
+        Label& at = labels[adj.neighbor];
+        if (at.better_than(round, allowance)) continue;  // worse copy: discard
+        at = Label{round, allowance, adj.link, true};
+        if (adj.neighbor != dst &&
+            std::find(next.begin(), next.end(), adj.neighbor) == next.end())
+          next.push_back(adj.neighbor);
+      }
+    }
+    // The destination confirms as soon as any copy arrives; copies still in
+    // flight at the same round already competed via better_than above.
+    if (labels[dst].seen) break;
+    frontier = std::move(next);
+  }
+
+  if (!labels[dst].seen) return result;
+
+  topology::Path path;
+  topology::NodeId at = dst;
+  while (at != src) {
+    const topology::LinkId l = labels[at].via_link;
+    path.links.push_back(l);
+    path.nodes.push_back(at);
+    at = graph.link(l).other(at);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  result.route = std::move(path);
+  return result;
+}
+
+}  // namespace eqos::net

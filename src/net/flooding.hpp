@@ -1,0 +1,51 @@
+// Bounded-flooding route discovery (Sections 2.1.1 and 3.1).
+//
+// The paper's distributed establishment: the source floods a request within
+// a bounded region; every node forwards each request copy — annotated with
+// the bottleneck "bandwidth allowance" of the partial route — to all
+// neighbors except the one it came from, discarding copies that exceed the
+// flooding bound, cannot be admitted on the next link, or are no better
+// than a copy seen earlier.  The destination confirms the first-arriving
+// copy (fewest hops), breaking ties by the better allowance.
+//
+// This module simulates that protocol faithfully in synchronous rounds
+// (round k = copies that traveled k hops, matching the "arrived first"
+// order) and also reports the message overhead the paper attributes to
+// flooding.  `Router`'s centralized widest-shortest search is provably
+// equivalent in route quality when the bound covers the distance; the
+// equivalence is asserted in tests/test_flooding.cpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/link_state.hpp"
+#include "topology/graph.hpp"
+#include "topology/paths.hpp"
+
+namespace eqos::net {
+
+/// Outcome of one flood.
+struct FloodResult {
+  /// The route the destination confirms; empty when no admissible route
+  /// exists within the bound.
+  std::optional<topology::Path> route;
+  /// Request copies forwarded over links (the protocol's traffic overhead).
+  std::size_t messages = 0;
+  /// Rounds until the search settled (hops of the confirmed route, or the
+  /// bound when nothing was found).
+  std::size_t rounds = 0;
+};
+
+/// Floods a route request for `bmin` Kb/s from `src` to `dst`, traveling at
+/// most `hop_bound` hops.  A copy is forwarded over a link only if that
+/// link can admit `bmin` (same admission rule as the centralized router).
+/// Copies that reach a node with a worse (hops, allowance) label than one
+/// already seen there are discarded, as in the paper.
+[[nodiscard]] FloodResult flood_route(const topology::Graph& graph,
+                                      const std::vector<LinkState>& links,
+                                      topology::NodeId src, topology::NodeId dst,
+                                      double bmin, std::size_t hop_bound);
+
+}  // namespace eqos::net

@@ -1,0 +1,118 @@
+#include "net/interval_qos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eqos::net {
+
+void IntervalQosSpec::validate() const {
+  if (k < 1 || m < 1 || k > m)
+    throw std::invalid_argument("interval qos: need 1 <= k <= M");
+}
+
+double IntervalQosSpec::min_delivery_fraction() const {
+  return static_cast<double>(k) / static_cast<double>(m);
+}
+
+IntervalRegulator::IntervalRegulator(IntervalQosSpec spec) : spec_(spec) {
+  spec_.validate();
+}
+
+bool IntervalRegulator::next_is_mandatory() const {
+  // The contract allows at most M-k drops in any M consecutive packets; if
+  // the last M-1 already hold that many, the next must go through.
+  return window_drops_ >= spec_.m - spec_.k;
+}
+
+void IntervalRegulator::record(bool delivered_packet) {
+  if (!delivered_packet && next_is_mandatory())
+    throw std::logic_error("interval qos: dropped a mandatory packet");
+  ++offered_;
+  if (delivered_packet) ++delivered_;
+
+  if (spec_.m == 1) return;  // window of M-1 = 0 decisions: nothing to track
+  window_.push_back(delivered_packet);
+  if (!delivered_packet) ++window_drops_;
+  if (window_.size() > spec_.m - 1) {
+    if (!window_.front()) --window_drops_;
+    window_.pop_front();
+  }
+}
+
+double IntervalRegulator::delivery_fraction() const {
+  if (offered_ == 0) return 1.0;
+  return static_cast<double>(delivered_) / static_cast<double>(offered_);
+}
+
+IntervalLinkScheduler::IntervalLinkScheduler(std::size_t packets_per_tick)
+    : budget_(packets_per_tick) {
+  if (packets_per_tick == 0)
+    throw std::invalid_argument("interval scheduler: zero budget");
+}
+
+std::size_t IntervalLinkScheduler::add_channel(IntervalQosSpec spec) {
+  channels_.emplace_back(spec);
+  return channels_.size() - 1;
+}
+
+const IntervalRegulator& IntervalLinkScheduler::channel(std::size_t index) const {
+  if (index >= channels_.size())
+    throw std::invalid_argument("interval scheduler: unknown channel");
+  return channels_[index];
+}
+
+void IntervalLinkScheduler::tick(const std::vector<std::size_t>& offering) {
+  for ([[maybe_unused]] std::size_t c : offering)
+    if (c >= channels_.size())
+      throw std::invalid_argument("interval scheduler: unknown channel in tick");
+
+  ++stats_.ticks;
+  stats_.offered += offering.size();
+
+  std::vector<std::size_t> mandatory;
+  std::vector<std::size_t> droppable;
+  for (std::size_t c : offering)
+    (channels_[c].next_is_mandatory() ? mandatory : droppable).push_back(c);
+
+  // Mandatory packets always go through; flag the tick when they alone
+  // exceed the budget (admission control failed upstream).
+  if (mandatory.size() > budget_) ++stats_.overload_ticks;
+  for (std::size_t c : mandatory) {
+    channels_[c].record(true);
+    ++stats_.delivered;
+  }
+
+  std::size_t remaining =
+      budget_ > mandatory.size() ? budget_ - mandatory.size() : 0;
+  // Rotate the droppable list so spare capacity is shared fairly over time.
+  if (!droppable.empty()) {
+    const std::size_t shift = rr_cursor_ % droppable.size();
+    std::rotate(droppable.begin(),
+                droppable.begin() + static_cast<std::ptrdiff_t>(shift),
+                droppable.end());
+    ++rr_cursor_;
+  }
+  for (std::size_t c : droppable) {
+    const bool deliver = remaining > 0;
+    if (deliver) --remaining;
+    channels_[c].record(deliver);
+    if (deliver)
+      ++stats_.delivered;
+    else
+      ++stats_.dropped;
+  }
+}
+
+void IntervalLinkScheduler::run_saturated(std::size_t ticks) {
+  std::vector<std::size_t> all(channels_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (std::size_t t = 0; t < ticks; ++t) tick(all);
+}
+
+double IntervalLinkScheduler::mandatory_load() const {
+  double load = 0.0;
+  for (const auto& c : channels_) load += c.spec().min_delivery_fraction();
+  return load;
+}
+
+}  // namespace eqos::net

@@ -1,0 +1,113 @@
+// Interval QoS: the k-out-of-M run-time model (Section 2.2).
+//
+// While the min-max range model governs *establishment-time* elasticity, the
+// interval model governs *run-time* packet handling: at least k of any M
+// consecutive packets of a channel must be delivered within the interval,
+// and "the link manager can selectively ignore a packet as long as it can
+// satisfy the minimum k-out-of-M requirement" — i.e. under transient
+// congestion the manager sheds exactly the packets the contract lets it
+// shed.
+//
+// `IntervalRegulator` tracks one channel's sliding window and says whether
+// the next packet is mandatory.  `IntervalLinkScheduler` multiplexes many
+// regulated channels over a link with a fixed per-tick packet budget:
+// mandatory packets first (a violation is counted if they alone exceed the
+// budget), then droppable packets in deterministic round-robin order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace eqos::net {
+
+/// The k-out-of-M contract.
+struct IntervalQosSpec {
+  std::size_t k = 1;  ///< minimum deliveries per window
+  std::size_t m = 1;  ///< window length (consecutive offered packets)
+
+  /// Throws std::invalid_argument unless 1 <= k <= m.
+  void validate() const;
+  /// Long-run guaranteed delivery fraction k/M.
+  [[nodiscard]] double min_delivery_fraction() const;
+};
+
+/// Sliding-window enforcement for one channel.
+class IntervalRegulator {
+ public:
+  explicit IntervalRegulator(IntervalQosSpec spec);
+
+  [[nodiscard]] const IntervalQosSpec& spec() const noexcept { return spec_; }
+
+  /// True iff dropping the next packet could violate the contract (the last
+  /// M-1 decisions already contain M-k drops).
+  [[nodiscard]] bool next_is_mandatory() const;
+
+  /// Records the fate of the next offered packet.  Dropping a mandatory
+  /// packet throws std::logic_error (the caller must never do it).
+  void record(bool delivered);
+
+  /// Decisions recorded so far.
+  [[nodiscard]] std::size_t offered() const noexcept { return offered_; }
+  [[nodiscard]] std::size_t delivered() const noexcept { return delivered_; }
+  /// Delivered fraction over the whole history (1.0 before any packet).
+  [[nodiscard]] double delivery_fraction() const;
+  /// Drops among the last min(offered, M-1) decisions.
+  [[nodiscard]] std::size_t drops_in_window() const noexcept { return window_drops_; }
+
+ private:
+  IntervalQosSpec spec_;
+  std::deque<bool> window_;  // last M-1 decisions (true = delivered)
+  std::size_t window_drops_ = 0;
+  std::size_t offered_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+/// Outcome counters of one scheduler run.
+struct IntervalScheduleStats {
+  std::size_t ticks = 0;
+  std::size_t offered = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  /// Ticks on which mandatory packets alone exceeded the budget; the excess
+  /// mandatory packets are still delivered (the guarantee is kept) but the
+  /// overload is flagged, since the admission control should have prevented
+  /// it.
+  std::size_t overload_ticks = 0;
+};
+
+/// Multiplexes regulated channels over one link.
+class IntervalLinkScheduler {
+ public:
+  /// `packets_per_tick` is the link's per-tick delivery budget.
+  explicit IntervalLinkScheduler(std::size_t packets_per_tick);
+
+  /// Adds a channel; returns its index.
+  std::size_t add_channel(IntervalQosSpec spec);
+
+  [[nodiscard]] std::size_t num_channels() const noexcept { return channels_.size(); }
+  [[nodiscard]] const IntervalRegulator& channel(std::size_t index) const;
+
+  /// Runs one tick in which every channel in `offering` offers one packet.
+  /// Mandatory packets are delivered first, then droppable packets in
+  /// rotating round-robin order until the budget is exhausted.
+  void tick(const std::vector<std::size_t>& offering);
+
+  /// Runs `ticks` ticks with every channel offering each tick (saturation).
+  void run_saturated(std::size_t ticks);
+
+  [[nodiscard]] const IntervalScheduleStats& stats() const noexcept { return stats_; }
+
+  /// Smallest per-tick budget that can sustain all channels' guarantees at
+  /// saturation: ceil(sum of k_i / M_i) — the admission-control bound.
+  [[nodiscard]] double mandatory_load() const;
+
+ private:
+  std::size_t budget_;
+  std::vector<IntervalRegulator> channels_;
+  std::size_t rr_cursor_ = 0;  // round-robin fairness cursor
+  IntervalScheduleStats stats_;
+};
+
+}  // namespace eqos::net

@@ -1,0 +1,40 @@
+#include "net/link_state.hpp"
+
+namespace eqos::net {
+
+void LinkState::commit_min(double bmin) {
+  if (bmin < 0.0) throw std::invalid_argument("link: negative reservation");
+  if (committed_min_ + bmin > capacity_ + kEpsilon)
+    throw std::logic_error("link: minimum commitment exceeds capacity");
+  committed_min_ += bmin;
+}
+
+void LinkState::release_min(double bmin) {
+  if (bmin < 0.0) throw std::invalid_argument("link: negative release");
+  if (bmin > committed_min_ + kEpsilon)
+    throw std::logic_error("link: releasing more minimum than committed");
+  committed_min_ -= bmin;
+  if (committed_min_ < 0.0) committed_min_ = 0.0;
+}
+
+void LinkState::set_backup_reserved(double kbps) {
+  if (kbps < 0.0) throw std::invalid_argument("link: negative backup reservation");
+  backup_reserved_ = kbps;
+}
+
+void LinkState::grant_elastic(double kbps) {
+  if (kbps < 0.0) throw std::invalid_argument("link: negative grant");
+  if (committed_min_ + elastic_granted_ + kbps > capacity_ + kEpsilon)
+    throw std::logic_error("link: elastic grant exceeds capacity");
+  elastic_granted_ += kbps;
+}
+
+void LinkState::revoke_elastic(double kbps) {
+  if (kbps < 0.0) throw std::invalid_argument("link: negative revoke");
+  if (kbps > elastic_granted_ + kEpsilon)
+    throw std::logic_error("link: revoking more elastic grant than outstanding");
+  elastic_granted_ -= kbps;
+  if (elastic_granted_ < 0.0) elastic_granted_ = 0.0;
+}
+
+}  // namespace eqos::net

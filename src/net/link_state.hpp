@@ -1,0 +1,74 @@
+// Per-link capacity ledger.
+//
+// Each link tracks three bandwidth pools (all in Kbit/s):
+//
+//   committed_min   — sum of the minimum reservations of the primary
+//                     channels traversing the link (hard guarantees);
+//   backup_reserved — the multiplexed reservation R_l held for inactive
+//                     backup channels (hard at admission time, but
+//                     *borrowable* by elastic grants while no backup is
+//                     active — this borrowing is the paper's central
+//                     resource-efficiency argument);
+//   elastic_granted — sum of the extra increments currently lent to
+//                     primaries.
+//
+// Invariants (checked by Network::validate_invariants):
+//   committed_min + backup_reserved <= capacity      (admission ledger)
+//   committed_min + elastic_granted <= capacity      (grants may use the
+//                                                     backup headroom)
+#pragma once
+
+#include <stdexcept>
+
+namespace eqos::net {
+
+/// Capacity bookkeeping of a single link.
+class LinkState {
+ public:
+  LinkState() = default;
+  explicit LinkState(double capacity_kbps) : capacity_(capacity_kbps) {
+    if (!(capacity_kbps > 0.0))
+      throw std::invalid_argument("link: capacity must be positive");
+  }
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double committed_min() const noexcept { return committed_min_; }
+  [[nodiscard]] double backup_reserved() const noexcept { return backup_reserved_; }
+  [[nodiscard]] double elastic_granted() const noexcept { return elastic_granted_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Headroom of the admission ledger (mins + backup reservation).
+  [[nodiscard]] double admission_headroom() const noexcept {
+    return capacity_ - committed_min_ - backup_reserved_;
+  }
+
+  /// Capacity still grantable to elastic primaries (borrows the backup
+  /// reservation; never negative in a consistent network).
+  [[nodiscard]] double elastic_spare() const noexcept {
+    return capacity_ - committed_min_ - elastic_granted_;
+  }
+
+  /// Whether a new primary needing `bmin` may be admitted on this link.
+  [[nodiscard]] bool admits_primary(double bmin) const noexcept {
+    return !failed_ && admission_headroom() >= bmin - kEpsilon;
+  }
+
+  void commit_min(double bmin);
+  void release_min(double bmin);
+  void set_backup_reserved(double kbps);
+  void grant_elastic(double kbps);
+  void revoke_elastic(double kbps);
+  void set_failed(bool failed) noexcept { failed_ = failed; }
+
+  /// Tolerance for floating-point ledger comparisons (Kbit/s).
+  static constexpr double kEpsilon = 1e-6;
+
+ private:
+  double capacity_ = 0.0;
+  double committed_min_ = 0.0;
+  double backup_reserved_ = 0.0;
+  double elastic_granted_ = 0.0;
+  bool failed_ = false;
+};
+
+}  // namespace eqos::net

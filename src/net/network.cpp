@@ -1,0 +1,710 @@
+#include "net/network.hpp"
+
+#include "topology/disjoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace eqos::net {
+namespace {
+
+/// Priority of a candidate under the coefficient scheme: the next increment
+/// goes to the channel with the lowest utility-weighted level, ties broken
+/// by id for determinism.
+struct CoefficientKey {
+  double level;
+  ConnectionId id;
+  friend bool operator<(const CoefficientKey& a, const CoefficientKey& b) {
+    return a.level != b.level ? a.level < b.level : a.id < b.id;
+  }
+  friend bool operator>(const CoefficientKey& a, const CoefficientKey& b) {
+    return b < a;
+  }
+};
+
+}  // namespace
+
+Network::Network(topology::Graph graph, NetworkConfig config)
+    : graph_(std::move(graph)),
+      config_(config),
+      links_(graph_.num_links(), LinkState(config.link_capacity_kbps)),
+      backups_(graph_.num_links(), config.backup_multiplexing),
+      router_(graph_, links_, backups_, config.route_policy),
+      primaries_on_link_(graph_.num_links()) {
+  if (graph_.num_nodes() < 2)
+    throw std::invalid_argument("network: topology needs at least two nodes");
+}
+
+const LinkState& Network::link_state(topology::LinkId l) const {
+  if (l >= links_.size()) throw std::invalid_argument("network: unknown link");
+  return links_[l];
+}
+
+const DrConnection& Network::connection(ConnectionId id) const {
+  const auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw std::invalid_argument("network: unknown connection " + std::to_string(id));
+  return it->second;
+}
+
+DrConnection& Network::mutable_connection(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw std::invalid_argument("network: unknown connection " + std::to_string(id));
+  return it->second;
+}
+
+bool Network::is_active(ConnectionId id) const { return connections_.count(id) != 0; }
+
+util::DynamicBitset Network::path_bits(const topology::Path& p) const {
+  return p.link_set(graph_.num_links());
+}
+
+// ---- Chaining classification ------------------------------------------------
+
+Network::ChainSets Network::classify_against(const util::DynamicBitset& event_links,
+                                             ConnectionId exclude) const {
+  ChainSets sets;
+  util::DynamicBitset direct_union(graph_.num_links());
+  for (ConnectionId id : active_ids_) {
+    if (id == exclude) continue;
+    const DrConnection& c = connections_.at(id);
+    if (c.primary_links.intersects(event_links)) {
+      sets.direct.push_back(id);
+      direct_union |= c.primary_links;
+    }
+  }
+  for (ConnectionId id : active_ids_) {
+    if (id == exclude) continue;
+    const DrConnection& c = connections_.at(id);
+    if (c.primary_links.intersects(event_links)) continue;  // already direct
+    if (c.primary_links.intersects(direct_union)) sets.indirect.push_back(id);
+  }
+  std::sort(sets.direct.begin(), sets.direct.end());
+  std::sort(sets.indirect.begin(), sets.indirect.end());
+  return sets;
+}
+
+// ---- Elastic grant management -----------------------------------------------
+
+void Network::retreat(DrConnection& c) {
+  if (c.extra_quanta == 0) return;
+  const double extra = c.extra_kbps();
+  for (topology::LinkId l : c.primary.links) links_[l].revoke_elastic(extra);
+  stats_.quanta_adjustments += c.extra_quanta;
+  c.extra_quanta = 0;
+}
+
+bool Network::can_gain(const DrConnection& c) const {
+  if (c.extra_quanta >= c.qos.max_extra_quanta()) return false;
+  for (topology::LinkId l : c.primary.links)
+    if (links_[l].elastic_spare() < c.qos.increment_kbps - LinkState::kEpsilon)
+      return false;
+  return true;
+}
+
+void Network::grant_one(DrConnection& c) {
+  for (topology::LinkId l : c.primary.links)
+    links_[l].grant_elastic(c.qos.increment_kbps);
+  ++c.extra_quanta;
+  ++stats_.quanta_adjustments;
+}
+
+void Network::redistribute(std::vector<ConnectionId> candidates) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](ConnectionId id) { return !is_active(id); }),
+                   candidates.end());
+  if (candidates.empty()) return;
+
+  if (config_.adaptation == AdaptationScheme::kMaxUtility) {
+    // Highest utility monopolizes the spare before the next channel gets any.
+    std::sort(candidates.begin(), candidates.end(), [&](ConnectionId a, ConnectionId b) {
+      const double ua = connections_.at(a).qos.utility;
+      const double ub = connections_.at(b).qos.utility;
+      return ua != ub ? ua > ub : a < b;
+    });
+    for (ConnectionId id : candidates) {
+      DrConnection& c = mutable_connection(id);
+      while (can_gain(c)) grant_one(c);
+    }
+    return;
+  }
+
+  // Coefficient scheme: repeatedly give one increment to the candidate with
+  // the lowest (level+1)/utility.  Spare only shrinks during redistribution,
+  // so a candidate that cannot gain when popped never can again and is
+  // dropped permanently; otherwise it is granted one increment and re-queued
+  // with its new level.  Each candidate therefore enters the heap at most
+  // (increments gained + 1) times.
+  std::priority_queue<CoefficientKey, std::vector<CoefficientKey>,
+                      std::greater<CoefficientKey>>
+      heap;
+  for (ConnectionId id : candidates) {
+    const DrConnection& c = connections_.at(id);
+    heap.push(CoefficientKey{static_cast<double>(c.extra_quanta + 1) / c.qos.utility, id});
+  }
+  while (!heap.empty()) {
+    const CoefficientKey key = heap.top();
+    heap.pop();
+    DrConnection& c = mutable_connection(key.id);
+    if (!can_gain(c)) continue;
+    grant_one(c);
+    heap.push(CoefficientKey{static_cast<double>(c.extra_quanta + 1) / c.qos.utility,
+                             key.id});
+  }
+}
+
+// ---- Ledger plumbing ----------------------------------------------------------
+
+void Network::commit_primary_min(const DrConnection& c) {
+  for (topology::LinkId l : c.primary.links) links_[l].commit_min(c.qos.bmin_kbps);
+}
+
+void Network::release_primary_min(const DrConnection& c) {
+  for (topology::LinkId l : c.primary.links) links_[l].release_min(c.qos.bmin_kbps);
+}
+
+void Network::register_primary(const DrConnection& c) {
+  for (topology::LinkId l : c.primary.links) primaries_on_link_[l].push_back(c.id);
+}
+
+void Network::unregister_primary(const DrConnection& c) {
+  for (topology::LinkId l : c.primary.links) {
+    auto& list = primaries_on_link_[l];
+    list.erase(std::remove(list.begin(), list.end(), c.id), list.end());
+  }
+}
+
+void Network::sync_backup_reservation(topology::LinkId l) {
+  links_[l].set_backup_reserved(backups_.reservation(l));
+}
+
+void Network::commit_backup(DrConnection& c, topology::Path path) {
+  assert(!c.backup);
+  c.backup_links = path_bits(path);
+  std::size_t overlap = 0;
+  for (topology::LinkId l : path.links)
+    if (c.primary_links.test(l)) ++overlap;
+  c.backup_overlap_links = overlap;
+  for (topology::LinkId l : path.links) {
+    backups_.add(l, c.id, c.qos.bmin_kbps, c.primary_links);
+    sync_backup_reservation(l);
+  }
+  c.backup = std::move(path);
+  c.backup_status = BackupStatus::kProtected;
+}
+
+void Network::remove_backup(DrConnection& c) {
+  if (!c.backup) return;
+  for (topology::LinkId l : c.backup->links) {
+    backups_.remove(l, c.id);
+    sync_backup_reservation(l);
+  }
+  c.backup.reset();
+  c.backup_links = util::DynamicBitset(graph_.num_links());
+  c.backup_overlap_links = 0;
+  c.backup_status = BackupStatus::kUnprotected;
+}
+
+bool Network::establish_backup(DrConnection& c) {
+  assert(!c.backup);
+  auto path = router_.find_backup(c.src, c.dst, c.qos.bmin_kbps, c.primary_links,
+                                  config_.require_full_disjoint);
+  if (!path) return false;
+  commit_backup(c, std::move(*path));
+  return true;
+}
+
+// ---- Arrival --------------------------------------------------------------------
+
+ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeId dst,
+                                           const ElasticQosSpec& qos) {
+  qos.validate();
+  if (src == dst) throw std::invalid_argument("network: src == dst");
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes())
+    throw std::invalid_argument("network: unknown endpoint");
+
+  ++stats_.requests;
+  ArrivalOutcome outcome;
+  outcome.existing_before = active_ids_.size();
+
+  auto primary = router_.find_primary(src, dst, qos.bmin_kbps);
+  if (!primary) {
+    ++stats_.rejected_no_primary;
+    outcome.reject_reason = RejectReason::kNoPrimaryRoute;
+    return outcome;
+  }
+  util::DynamicBitset new_bits = path_bits(*primary);
+
+  // Tentatively commit the primary minimums so the backup search sees the
+  // post-admission ledger (elastic grants are irrelevant to admission).
+  for (topology::LinkId l : primary->links) links_[l].commit_min(qos.bmin_kbps);
+
+  auto backup = router_.find_backup(src, dst, qos.bmin_kbps, new_bits,
+                                    config_.require_full_disjoint);
+  if (!backup && config_.require_backup) {
+    for (topology::LinkId l : primary->links) links_[l].release_min(qos.bmin_kbps);
+    // Sequential establishment failed; optionally re-plan primary and
+    // backup jointly (trap topologies).  The admissibility filter is the
+    // primary test for both legs — conservative for the backup leg, whose
+    // multiplexed incremental need never exceeds bmin.
+    if (config_.joint_disjoint_fallback) {
+      const topology::LinkFilter admissible = [&](topology::LinkId l) {
+        return links_[l].admits_primary(qos.bmin_kbps);
+      };
+      if (auto pair =
+              topology::shortest_disjoint_pair(graph_, src, dst, admissible)) {
+        primary = std::move(pair->first);
+        backup = std::move(pair->second);
+        new_bits = path_bits(*primary);
+        for (topology::LinkId l : primary->links) links_[l].commit_min(qos.bmin_kbps);
+        // Fall through to normal establishment with the new pair.
+      }
+    }
+    if (!backup) {
+      ++stats_.rejected_no_backup;
+      outcome.reject_reason = RejectReason::kNoBackupRoute;
+      return outcome;
+    }
+  }
+
+  // Classify existing channels and snapshot their elastic state before the
+  // retreat (the paper's S_i -> S_0 -> S_j happens atomically at event time).
+  const ChainSets chain = classify_against(new_bits, /*exclude=*/0);
+  std::unordered_map<ConnectionId, std::size_t> before;
+  before.reserve(chain.direct.size() + chain.indirect.size());
+  for (ConnectionId id : chain.direct) before[id] = connections_.at(id).extra_quanta;
+  for (ConnectionId id : chain.indirect) before[id] = connections_.at(id).extra_quanta;
+
+  for (ConnectionId id : chain.direct) retreat(mutable_connection(id));
+
+  // Register the connection.
+  DrConnection c;
+  c.id = next_id_++;
+  c.src = src;
+  c.dst = dst;
+  c.qos = qos;
+  c.primary = std::move(*primary);
+  c.primary_links = new_bits;
+  c.backup_links = util::DynamicBitset(graph_.num_links());
+  const ConnectionId id = c.id;
+  auto [it, inserted] = connections_.emplace(id, std::move(c));
+  assert(inserted);
+  DrConnection& conn = it->second;
+  active_index_[id] = active_ids_.size();
+  active_ids_.push_back(id);
+  register_primary(conn);
+
+  if (backup) {
+    commit_backup(conn, std::move(*backup));
+    outcome.backup_established = true;
+    outcome.backup_overlap_links = conn.backup_overlap_links;
+  }
+
+  // Redistribute spare capacity among everyone the event touched, the
+  // newcomer included.
+  std::vector<ConnectionId> candidates = chain.direct;
+  candidates.insert(candidates.end(), chain.indirect.begin(), chain.indirect.end());
+  candidates.push_back(id);
+  redistribute(std::move(candidates));
+
+  outcome.accepted = true;
+  outcome.id = id;
+  outcome.initial_quanta = conn.extra_quanta;
+  outcome.changes.reserve(chain.direct.size() + chain.indirect.size());
+  for (ConnectionId cid : chain.direct)
+    outcome.changes.push_back(StateChange{cid, Chaining::kDirect, before[cid],
+                                          connections_.at(cid).extra_quanta});
+  for (ConnectionId cid : chain.indirect)
+    outcome.changes.push_back(StateChange{cid, Chaining::kIndirect, before[cid],
+                                          connections_.at(cid).extra_quanta});
+  ++stats_.accepted;
+  return outcome;
+}
+
+// ---- Termination ------------------------------------------------------------------
+
+TerminationReport Network::terminate_connection(ConnectionId id) {
+  DrConnection& c = mutable_connection(id);
+  TerminationReport report;
+  report.id = id;
+
+  // Only channels sharing a link with the departing primary can gain
+  // (Section 3.2's T transitions).
+  const ChainSets chain = classify_against(c.primary_links, /*exclude=*/id);
+  std::unordered_map<ConnectionId, std::size_t> before;
+  before.reserve(chain.direct.size());
+  for (ConnectionId cid : chain.direct) before[cid] = connections_.at(cid).extra_quanta;
+
+  retreat(c);
+  release_primary_min(c);
+  unregister_primary(c);
+  remove_backup(c);
+
+  const std::size_t idx = active_index_.at(id);
+  active_index_[active_ids_.back()] = idx;
+  std::swap(active_ids_[idx], active_ids_.back());
+  active_ids_.pop_back();
+  active_index_.erase(id);
+  connections_.erase(id);
+
+  redistribute(chain.direct);
+
+  report.existing_after = active_ids_.size();
+  report.changes.reserve(chain.direct.size());
+  for (ConnectionId cid : chain.direct)
+    report.changes.push_back(StateChange{cid, Chaining::kDirect, before[cid],
+                                         connections_.at(cid).extra_quanta});
+  ++stats_.terminated;
+  return report;
+}
+
+// ---- Failure / repair ----------------------------------------------------------------
+
+FailureReport Network::fail_link(topology::LinkId link) {
+  if (link >= links_.size()) throw std::invalid_argument("network: unknown link");
+  FailureReport report;
+  report.link = link;
+  report.existing_before = active_ids_.size();
+  if (links_[link].failed()) return report;  // idempotent
+  links_[link].set_failed(true);
+  ++stats_.failures_injected;
+
+  // Victims, deterministic order.
+  std::vector<ConnectionId> primary_victims;
+  std::vector<ConnectionId> backup_victims;
+  for (ConnectionId id : active_ids_) {
+    const DrConnection& c = connections_.at(id);
+    if (c.primary_links.test(link))
+      primary_victims.push_back(id);
+    else if (c.backup && c.backup_links.test(link))
+      backup_victims.push_back(id);
+  }
+  std::sort(primary_victims.begin(), primary_victims.end());
+  std::sort(backup_victims.begin(), backup_victims.end());
+  report.primaries_hit = primary_victims.size();
+
+  util::DynamicBitset activated_bits(graph_.num_links());
+  util::DynamicBitset freed_bits(graph_.num_links());
+  std::vector<ConnectionId> activated;
+
+  for (ConnectionId id : primary_victims) {
+    DrConnection& c = mutable_connection(id);
+    retreat(c);
+    release_primary_min(c);
+    unregister_primary(c);
+    freed_bits |= c.primary_links;
+
+    // Activation feasibility: the backup must exist, be fully alive, and
+    // have room for bmin on every link (its reservation guaranteed this for
+    // single failures; overbooking debt from earlier failures may not).
+    bool feasible = c.backup.has_value();
+    if (feasible && c.backup_links.test(link)) {
+      // Maximally-disjoint backup shared the failed link (bridge case).
+      ++report.backups_died_with_primary;
+      feasible = false;
+    }
+    if (feasible)
+      for (topology::LinkId l : c.backup->links)
+        if (links_[l].failed()) feasible = false;
+    if (feasible) {
+      const topology::Path backup_path = *c.backup;  // copy before removal
+      // Drop its own reservation first so the headroom test is honest.
+      remove_backup(c);
+      for (topology::LinkId l : backup_path.links) {
+        if (links_[l].capacity() - links_[l].committed_min() <
+            c.qos.bmin_kbps - LinkState::kEpsilon) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        c.primary = backup_path;
+        c.primary_links = path_bits(backup_path);
+        for (topology::LinkId l : backup_path.links) links_[l].commit_min(c.qos.bmin_kbps);
+        register_primary(c);
+        ++c.activations;
+        activated_bits |= c.primary_links;
+        activated.push_back(id);
+        ++stats_.backups_activated;
+        continue;
+      }
+    } else {
+      remove_backup(c);
+    }
+    // No usable backup: the connection is lost (dependability violation).
+    report.dropped_ids.push_back(id);
+    const std::size_t idx = active_index_.at(id);
+    active_index_[active_ids_.back()] = idx;
+    std::swap(active_ids_[idx], active_ids_.back());
+    active_ids_.pop_back();
+    active_index_.erase(id);
+    connections_.erase(id);
+    ++stats_.connections_dropped;
+    ++report.connections_dropped;
+  }
+  report.backups_activated = activated.size();
+  report.activated_ids = activated;
+
+  // Backups parked on the failed link are gone.
+  for (ConnectionId id : backup_victims) {
+    if (!is_active(id)) continue;
+    DrConnection& c = mutable_connection(id);
+    if (!c.backup || !c.backup_links.test(link)) continue;
+    remove_backup(c);
+    ++report.backups_lost;
+  }
+
+  // Retreat channels chained to the activated backups (the paper's gamma
+  // transitions), then note who can gain from the freed old-primary links.
+  std::unordered_set<ConnectionId> activated_set(activated.begin(), activated.end());
+  std::vector<ConnectionId> direct;
+  std::vector<ConnectionId> gainers;
+  util::DynamicBitset direct_union(graph_.num_links());
+  for (ConnectionId id : active_ids_) {
+    if (activated_set.count(id)) continue;
+    const DrConnection& c = connections_.at(id);
+    if (c.primary_links.intersects(activated_bits)) {
+      direct.push_back(id);
+      direct_union |= c.primary_links;
+    }
+  }
+  for (ConnectionId id : active_ids_) {
+    if (activated_set.count(id)) continue;
+    const DrConnection& c = connections_.at(id);
+    if (c.primary_links.intersects(activated_bits)) continue;
+    if (c.primary_links.intersects(freed_bits) ||
+        c.primary_links.intersects(direct_union))
+      gainers.push_back(id);
+  }
+  std::sort(direct.begin(), direct.end());
+  std::sort(gainers.begin(), gainers.end());
+
+  std::unordered_map<ConnectionId, std::size_t> before;
+  for (ConnectionId id : direct) before[id] = connections_.at(id).extra_quanta;
+  for (ConnectionId id : gainers) before[id] = connections_.at(id).extra_quanta;
+  for (ConnectionId id : direct) retreat(mutable_connection(id));
+
+  // Replacement backups for survivors that lost theirs.
+  for (ConnectionId id : activated) {
+    if (!is_active(id)) continue;
+    DrConnection& c = mutable_connection(id);
+    if (!c.backup && establish_backup(c)) {
+      ++report.backups_reestablished;
+      ++stats_.backups_reestablished;
+    }
+  }
+  for (ConnectionId id : backup_victims) {
+    if (!is_active(id)) continue;
+    DrConnection& c = mutable_connection(id);
+    if (!c.backup && establish_backup(c)) {
+      ++report.backups_reestablished;
+      ++stats_.backups_reestablished;
+    }
+  }
+
+  const auto [evicted, reestablished] = settle_overbooking_debt();
+  report.backups_evicted = evicted;
+  report.backups_reestablished += reestablished;
+
+  std::vector<ConnectionId> candidates = direct;
+  candidates.insert(candidates.end(), gainers.begin(), gainers.end());
+  candidates.insert(candidates.end(), activated.begin(), activated.end());
+  redistribute(std::move(candidates));
+
+  report.changes.reserve(direct.size() + gainers.size());
+  for (ConnectionId id : direct)
+    report.changes.push_back(
+        StateChange{id, Chaining::kDirect, before[id], connections_.at(id).extra_quanta});
+  for (ConnectionId id : gainers)
+    report.changes.push_back(StateChange{id, Chaining::kIndirect, before[id],
+                                         connections_.at(id).extra_quanta});
+  return report;
+}
+
+std::size_t Network::repair_link(topology::LinkId link) {
+  if (link >= links_.size()) throw std::invalid_argument("network: unknown link");
+  if (!links_[link].failed()) return 0;
+  links_[link].set_failed(false);
+  ++stats_.repairs;
+
+  std::size_t reestablished = 0;
+  std::vector<ConnectionId> ids = active_ids_;
+  std::sort(ids.begin(), ids.end());
+  for (ConnectionId id : ids) {
+    DrConnection& c = mutable_connection(id);
+    if (c.backup) continue;
+    if (establish_backup(c)) {
+      ++reestablished;
+      ++stats_.backups_reestablished;
+    }
+  }
+  return reestablished;
+}
+
+std::vector<FailureReport> Network::fail_node(topology::NodeId node) {
+  if (node >= graph_.num_nodes()) throw std::invalid_argument("network: unknown node");
+  std::vector<FailureReport> reports;
+  for (const auto& adj : graph_.adjacent(node)) reports.push_back(fail_link(adj.link));
+  return reports;
+}
+
+std::size_t Network::repair_node(topology::NodeId node) {
+  if (node >= graph_.num_nodes()) throw std::invalid_argument("network: unknown node");
+  std::size_t restored = 0;
+  for (const auto& adj : graph_.adjacent(node)) restored += repair_link(adj.link);
+  return restored;
+}
+
+std::size_t Network::preempt_all_elastic() {
+  std::size_t preempted = 0;
+  for (ConnectionId id : active_ids_) {
+    DrConnection& c = mutable_connection(id);
+    if (c.extra_quanta > 0) {
+      retreat(c);
+      ++preempted;
+    }
+  }
+  return preempted;
+}
+
+std::pair<std::size_t, std::size_t> Network::settle_overbooking_debt() {
+  std::size_t evicted = 0;
+  std::vector<ConnectionId> to_rehome;
+  for (topology::LinkId l = 0; l < links_.size(); ++l) {
+    while (links_[l].committed_min() + backups_.reservation(l) >
+               links_[l].capacity() + LinkState::kEpsilon &&
+           backups_.count_on_link(l) > 0) {
+      auto ids = backups_.backups_on_link(l);
+      std::sort(ids.begin(), ids.end());
+      DrConnection& c = mutable_connection(ids.front());
+      remove_backup(c);
+      to_rehome.push_back(c.id);
+      ++evicted;
+      ++stats_.backups_evicted;
+    }
+  }
+  std::size_t reestablished = 0;
+  for (ConnectionId id : to_rehome) {
+    if (!is_active(id)) continue;
+    DrConnection& c = mutable_connection(id);
+    if (!c.backup && establish_backup(c)) {
+      ++reestablished;
+      ++stats_.backups_reestablished;
+    }
+  }
+  return {evicted, reestablished};
+}
+
+// ---- Metrics -----------------------------------------------------------------------
+
+double Network::mean_reserved_kbps() const {
+  if (active_ids_.empty()) return 0.0;
+  double total = 0.0;
+  for (ConnectionId id : active_ids_) total += connections_.at(id).reserved_kbps();
+  return total / static_cast<double>(active_ids_.size());
+}
+
+double Network::mean_primary_hops() const {
+  if (active_ids_.empty()) return 0.0;
+  double total = 0.0;
+  for (ConnectionId id : active_ids_)
+    total += static_cast<double>(connections_.at(id).primary.hops());
+  return total / static_cast<double>(active_ids_.size());
+}
+
+double Network::protected_fraction() const {
+  if (active_ids_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (ConnectionId id : active_ids_)
+    if (connections_.at(id).backup) ++n;
+  return static_cast<double>(n) / static_cast<double>(active_ids_.size());
+}
+
+// ---- Invariants ----------------------------------------------------------------------
+
+void Network::validate_invariants() const {
+  constexpr double kEps = 1e-6;
+  // Per-link ledgers against per-connection ground truth.
+  std::vector<double> committed(links_.size(), 0.0);
+  std::vector<double> granted(links_.size(), 0.0);
+  for (ConnectionId id : active_ids_) {
+    const DrConnection& c = connections_.at(id);
+    if (c.extra_quanta > c.qos.max_extra_quanta())
+      throw std::logic_error("invariant: extra quanta above maximum");
+    // Path structure.
+    if (c.primary.nodes.empty() || c.primary.nodes.front() != c.src ||
+        c.primary.nodes.back() != c.dst)
+      throw std::logic_error("invariant: primary endpoints mismatch");
+    if (path_bits(c.primary) == c.primary_links) {
+      // consistent
+    } else {
+      throw std::logic_error("invariant: primary bitset mismatch");
+    }
+    for (topology::LinkId l : c.primary.links) {
+      if (links_[l].failed()) throw std::logic_error("invariant: primary on failed link");
+      committed[l] += c.qos.bmin_kbps;
+      granted[l] += c.extra_kbps();
+    }
+    if (c.backup) {
+      if (c.backup->nodes.front() != c.src || c.backup->nodes.back() != c.dst)
+        throw std::logic_error("invariant: backup endpoints mismatch");
+      if (!(path_bits(*c.backup) == c.backup_links))
+        throw std::logic_error("invariant: backup bitset mismatch");
+      if (c.backup_status != BackupStatus::kProtected)
+        throw std::logic_error("invariant: backup status mismatch");
+    } else if (c.backup_status == BackupStatus::kProtected) {
+      throw std::logic_error("invariant: protected without a backup");
+    }
+  }
+  for (topology::LinkId l = 0; l < links_.size(); ++l) {
+    const LinkState& s = links_[l];
+    if (std::abs(s.committed_min() - committed[l]) > kEps)
+      throw std::logic_error("invariant: committed_min ledger mismatch on link " +
+                             std::to_string(l));
+    if (std::abs(s.elastic_granted() - granted[l]) > kEps)
+      throw std::logic_error("invariant: elastic ledger mismatch on link " +
+                             std::to_string(l));
+    if (std::abs(s.backup_reserved() - backups_.reservation(l)) > kEps)
+      throw std::logic_error("invariant: backup reservation out of sync on link " +
+                             std::to_string(l));
+    if (std::abs(backups_.reservation(l) - backups_.recompute_reservation(l)) > kEps)
+      throw std::logic_error("invariant: cached backup reservation stale on link " +
+                             std::to_string(l));
+    if (s.committed_min() + s.backup_reserved() > s.capacity() + kEps)
+      throw std::logic_error("invariant: admission ledger overflow on link " +
+                             std::to_string(l));
+    if (s.committed_min() + s.elastic_granted() > s.capacity() + kEps)
+      throw std::logic_error("invariant: elastic ledger overflow on link " +
+                             std::to_string(l));
+    // Registry round-trip.
+    double reg_min = 0.0;
+    for (ConnectionId id : primaries_on_link_[l]) {
+      const auto it = connections_.find(id);
+      if (it == connections_.end())
+        throw std::logic_error("invariant: stale primary registration");
+      if (!it->second.primary_links.test(l))
+        throw std::logic_error("invariant: registered primary does not traverse link");
+      reg_min += it->second.qos.bmin_kbps;
+    }
+    if (std::abs(reg_min - committed[l]) > kEps)
+      throw std::logic_error("invariant: primary registry mismatch on link " +
+                             std::to_string(l));
+  }
+  // Active-id bookkeeping.
+  if (active_ids_.size() != connections_.size())
+    throw std::logic_error("invariant: active id count mismatch");
+  for (std::size_t i = 0; i < active_ids_.size(); ++i) {
+    const auto it = active_index_.find(active_ids_[i]);
+    if (it == active_index_.end() || it->second != i)
+      throw std::logic_error("invariant: active index mismatch");
+  }
+}
+
+}  // namespace eqos::net

@@ -1,0 +1,193 @@
+// The dependable real-time network (Section 3.1's operation, executable).
+//
+// Owns the topology, per-link ledgers, the backup multiplexing registry, and
+// all active DR-connections, and implements the three events the paper's
+// Markov chain models:
+//
+//  * request_connection — admit a primary on its fewest-hop/widest route,
+//    reserve a (maximally) link-disjoint multiplexed backup, retreat every
+//    directly-chained channel to its minimum, then redistribute spare
+//    capacity by utility (the newcomer included).  Indirectly-chained
+//    channels may gain from capacity the retreats freed elsewhere.
+//  * terminate_connection — release the connection; channels sharing its
+//    links may gain.
+//  * fail_link / repair_link — activate the backups of every primary on the
+//    failed link (switchover at bmin), retreat channels chained to the
+//    activated paths, re-establish replacement backups, and redistribute.
+//
+// All operations are deterministic and return structured reports
+// (net/events.hpp) from which sim::TransitionRecorder estimates the model's
+// parameters.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/backup.hpp"
+#include "net/connection.hpp"
+#include "net/events.hpp"
+#include "net/link_state.hpp"
+#include "net/qos.hpp"
+#include "net/routing.hpp"
+#include "topology/graph.hpp"
+
+namespace eqos::net {
+
+/// Static configuration of a Network.
+struct NetworkConfig {
+  double link_capacity_kbps = 10'000.0;  ///< the paper's 10 Mb/s links
+  AdaptationScheme adaptation = AdaptationScheme::kCoefficient;
+  bool backup_multiplexing = true;
+  /// Reject connections for which no backup route exists at all.  When
+  /// false, such connections are admitted unprotected (and retried on
+  /// repair events).
+  bool require_backup = true;
+  /// Insist on fully link-disjoint backups.  When false (the default,
+  /// matching footnote 1), a maximally link-disjoint backup is accepted.
+  bool require_full_disjoint = false;
+  /// Primary route selection (see RoutePolicy).
+  RoutePolicy route_policy = RoutePolicy::kWidestShortest;
+  /// When the paper's sequential establishment (shortest primary, then a
+  /// disjoint backup in what remains) finds no backup, retry with a joint
+  /// Suurballe/Bhandari disjoint-pair computation before rejecting.  Rescues
+  /// requests on "trap" topologies where a disjoint pair exists but the
+  /// shortest primary blocks it.  Off by default (paper fidelity).
+  bool joint_disjoint_fallback = false;
+};
+
+/// The executable network model.
+class Network {
+ public:
+  /// Takes ownership of the topology.  All links get the configured
+  /// capacity (the paper assumes homogeneous links; use set_link_capacity
+  /// to relax).
+  Network(topology::Graph graph, NetworkConfig config);
+
+  // ---- Events -------------------------------------------------------------
+
+  /// Attempts to establish a DR-connection.  See ArrivalOutcome.
+  ArrivalOutcome request_connection(topology::NodeId src, topology::NodeId dst,
+                                    const ElasticQosSpec& qos);
+
+  /// Tears down an active connection.  Throws std::invalid_argument for an
+  /// unknown id.
+  TerminationReport terminate_connection(ConnectionId id);
+
+  /// Injects a link failure (idempotent for an already-failed link).
+  FailureReport fail_link(topology::LinkId link);
+
+  /// Repairs a failed link and retries backup establishment for unprotected
+  /// connections.  Returns how many backups were re-established.
+  std::size_t repair_link(topology::LinkId link);
+
+  /// Fails a node: every incident link fails (in ascending link order).
+  /// Connections terminating at the node lose all routes and drop; transit
+  /// connections switch to backups where possible.  Returns the aggregated
+  /// per-link reports.  The paper evaluates link failures only but speaks of
+  /// "component failures" throughout; node failures complete that model.
+  std::vector<FailureReport> fail_node(topology::NodeId node);
+
+  /// Repairs every incident link of a failed node.  Returns backups
+  /// re-established.
+  std::size_t repair_node(topology::NodeId node);
+
+  /// Operator action: revokes every elastic grant network-wide *without*
+  /// redistributing (a control-plane freeze / reprovisioning reset).  Each
+  /// channel sits at its minimum until a later arrival, termination, or
+  /// failure touches its links — exactly the recovery dynamics the Markov
+  /// chain's upward transitions model, which makes this the natural
+  /// starting point for transient-analysis experiments.  Returns the number
+  /// of channels that held grants.
+  std::size_t preempt_all_elastic();
+
+  // ---- Observers ----------------------------------------------------------
+
+  [[nodiscard]] const topology::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LinkState& link_state(topology::LinkId l) const;
+  [[nodiscard]] const BackupManager& backups() const noexcept { return backups_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] std::size_t num_active() const noexcept { return active_ids_.size(); }
+  /// Active connection ids in deterministic (insertion-swap) order.
+  [[nodiscard]] const std::vector<ConnectionId>& active_ids() const noexcept {
+    return active_ids_;
+  }
+  /// Looks up an active connection.  Throws std::invalid_argument when
+  /// unknown.
+  [[nodiscard]] const DrConnection& connection(ConnectionId id) const;
+  [[nodiscard]] bool is_active(ConnectionId id) const;
+
+  /// Mean reserved bandwidth over active primaries (Kbit/s); 0 if none.
+  [[nodiscard]] double mean_reserved_kbps() const;
+  /// Mean primary hop count over active connections; 0 if none.
+  [[nodiscard]] double mean_primary_hops() const;
+  /// Fraction of active connections holding a backup.
+  [[nodiscard]] double protected_fraction() const;
+
+  /// Checks every ledger and registry invariant; throws std::logic_error
+  /// with a description on the first violation.  Used by tests and
+  /// (cheaply) by debug builds.
+  void validate_invariants() const;
+
+ private:
+  // Chaining classification sets for one event path set.
+  struct ChainSets {
+    std::vector<ConnectionId> direct;
+    std::vector<ConnectionId> indirect;
+  };
+
+  [[nodiscard]] DrConnection& mutable_connection(ConnectionId id);
+  [[nodiscard]] ChainSets classify_against(const util::DynamicBitset& event_links,
+                                           ConnectionId exclude) const;
+
+  /// Sets a connection's elastic grant to zero, returning spare to its
+  /// links.
+  void retreat(DrConnection& c);
+
+  /// Grants spare capacity in increments to `candidates` according to the
+  /// configured adaptation scheme, until no candidate can gain.
+  void redistribute(std::vector<ConnectionId> candidates);
+  [[nodiscard]] bool can_gain(const DrConnection& c) const;
+  void grant_one(DrConnection& c);
+
+  void commit_primary_min(const DrConnection& c);
+  void release_primary_min(const DrConnection& c);
+  void register_primary(const DrConnection& c);
+  void unregister_primary(const DrConnection& c);
+
+  /// Reserves a backup along `path` for `c` and syncs link reservations.
+  void commit_backup(DrConnection& c, topology::Path path);
+  /// Drops c's backup reservation (if any) and syncs link reservations.
+  void remove_backup(DrConnection& c);
+  /// Finds and reserves a backup for `c`; returns success.
+  bool establish_backup(DrConnection& c);
+
+  void sync_backup_reservation(topology::LinkId l);
+
+  /// After failures, evicts backups from links whose admission ledger
+  /// overflowed (overbooking debt) and tries to re-route them.  Returns
+  /// (evicted, reestablished).
+  std::pair<std::size_t, std::size_t> settle_overbooking_debt();
+
+  [[nodiscard]] util::DynamicBitset path_bits(const topology::Path& p) const;
+
+  topology::Graph graph_;
+  NetworkConfig config_;
+  std::vector<LinkState> links_;
+  BackupManager backups_;
+  Router router_;
+
+  std::unordered_map<ConnectionId, DrConnection> connections_;
+  std::vector<ConnectionId> active_ids_;
+  std::unordered_map<ConnectionId, std::size_t> active_index_;
+  /// Primary channels traversing each link.
+  std::vector<std::vector<ConnectionId>> primaries_on_link_;
+
+  ConnectionId next_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace eqos::net

@@ -1,0 +1,31 @@
+#include "net/qos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eqos::net {
+
+std::size_t ElasticQosSpec::num_states() const { return 1 + max_extra_quanta(); }
+
+std::size_t ElasticQosSpec::max_extra_quanta() const {
+  return static_cast<std::size_t>(
+      std::llround((bmax_kbps - bmin_kbps) / increment_kbps));
+}
+
+double ElasticQosSpec::bandwidth_at(std::size_t quanta) const {
+  return bmin_kbps + static_cast<double>(quanta) * increment_kbps;
+}
+
+void ElasticQosSpec::validate() const {
+  if (!(bmin_kbps > 0.0)) throw std::invalid_argument("qos: bmin must be positive");
+  if (bmax_kbps < bmin_kbps) throw std::invalid_argument("qos: bmax < bmin");
+  if (!(increment_kbps > 0.0))
+    throw std::invalid_argument("qos: increment must be positive");
+  const double steps = (bmax_kbps - bmin_kbps) / increment_kbps;
+  if (std::abs(steps - std::llround(steps)) > 1e-9)
+    throw std::invalid_argument(
+        "qos: (bmax - bmin) must be an integral multiple of the increment");
+  if (!(utility > 0.0)) throw std::invalid_argument("qos: utility must be positive");
+}
+
+}  // namespace eqos::net

@@ -1,0 +1,46 @@
+// Elastic QoS specification (the paper's min-max range model, Section 2.2).
+//
+// A client asks for a bandwidth range [bmin, bmax] plus a utility weight.
+// The network admits the connection based on bmin alone; spare capacity is
+// granted at run time in whole multiples of the increment, and reclaimed
+// ("retreat") when arrivals or failures need it.  The increment discretizes
+// elasticity exactly as Section 3.2 prescribes: a channel's possible
+// reservations are bmin + i * increment for i = 0..N-1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eqos::net {
+
+/// How spare capacity is divided among competing primaries (Section 2.2).
+enum class AdaptationScheme : std::uint8_t {
+  /// Proportional to utility (the "coefficient" scheme [5]); equal utilities
+  /// give the fair distribution used throughout the paper's evaluation.
+  kCoefficient,
+  /// Highest utility first, each channel filled to bmax before the next (the
+  /// "max-utility" scheme [11]).
+  kMaxUtility,
+};
+
+/// Min-max range QoS of one DR-connection.  Bandwidths in Kbit/s.
+struct ElasticQosSpec {
+  double bmin_kbps = 100.0;
+  double bmax_kbps = 500.0;
+  double increment_kbps = 50.0;
+  double utility = 1.0;
+
+  /// Number of reachable reservation levels N = 1 + (bmax-bmin)/increment.
+  [[nodiscard]] std::size_t num_states() const;
+  /// Largest number of extra increments a channel can hold (N - 1).
+  [[nodiscard]] std::size_t max_extra_quanta() const;
+  /// Reservation at `quanta` extra increments.
+  [[nodiscard]] double bandwidth_at(std::size_t quanta) const;
+
+  /// Throws std::invalid_argument when the range, increment, or utility is
+  /// inconsistent (bmin <= 0, bmax < bmin, non-positive increment, range not
+  /// an integral multiple of the increment, utility <= 0).
+  void validate() const;
+};
+
+}  // namespace eqos::net

@@ -1,0 +1,26 @@
+#include "net/revenue.hpp"
+
+#include <stdexcept>
+
+namespace eqos::net {
+
+void RevenueModel::validate() const {
+  if (base_rate_per_kbps < 0.0 || elastic_rate_per_kbps < 0.0)
+    throw std::invalid_argument("revenue: rates must be non-negative");
+}
+
+RevenueReport assess_revenue(const Network& network, const RevenueModel& model) {
+  model.validate();
+  RevenueReport report;
+  report.connections = network.num_active();
+  for (ConnectionId id : network.active_ids()) {
+    const DrConnection& c = network.connection(id);
+    report.base += c.qos.bmin_kbps * model.base_rate_per_kbps;
+    report.elastic += c.extra_kbps() * model.elastic_rate_per_kbps;
+    report.client_utility += c.qos.utility * c.extra_kbps();
+  }
+  report.total = report.base + report.elastic;
+  return report;
+}
+
+}  // namespace eqos::net

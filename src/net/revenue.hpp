@@ -1,0 +1,42 @@
+// Utility / revenue accounting.
+//
+// The paper's economic framing (Section 1): extra resources granted at run
+// time yield "more 'utility' for the client/application and hence
+// contribute more revenue to the network service provider".  This header
+// makes that measurable: a linear tariff over the guaranteed minimum and the
+// elastic extra, with each connection's elastic value scaled by its declared
+// utility weight.  The same tariff can be evaluated analytically from a
+// solved bandwidth chain (core::expected_revenue_per_connection), letting
+// the operator price capacity from the model alone.
+#pragma once
+
+#include <cstddef>
+
+#include "net/network.hpp"
+
+namespace eqos::net {
+
+/// Linear tariff (currency units per Kb/s per unit time).
+struct RevenueModel {
+  double base_rate_per_kbps = 1.0;     ///< price of the guaranteed minimum
+  double elastic_rate_per_kbps = 0.5;  ///< price of each granted extra Kb/s
+
+  /// Throws std::invalid_argument on negative rates.
+  void validate() const;
+};
+
+/// Network-wide snapshot of the tariff applied to all active connections.
+struct RevenueReport {
+  std::size_t connections = 0;
+  double base = 0.0;     ///< sum of bmin * base rate
+  double elastic = 0.0;  ///< sum of extra * elastic rate
+  double total = 0.0;
+  /// Client-side utility: sum over connections of utility * extra Kb/s.
+  double client_utility = 0.0;
+};
+
+/// Evaluates the tariff against the network's current reservations.
+[[nodiscard]] RevenueReport assess_revenue(const Network& network,
+                                           const RevenueModel& model);
+
+}  // namespace eqos::net

@@ -1,0 +1,44 @@
+#include "net/routing.hpp"
+
+namespace eqos::net {
+
+Router::Router(const topology::Graph& graph, const std::vector<LinkState>& links,
+               const BackupManager& backups, RoutePolicy policy)
+    : graph_(graph), links_(links), backups_(backups), policy_(policy) {}
+
+std::optional<topology::Path> Router::find_primary(topology::NodeId src,
+                                                   topology::NodeId dst,
+                                                   double bmin) const {
+  const topology::LinkFilter admissible = [&](topology::LinkId l) {
+    return links_[l].admits_primary(bmin);
+  };
+  if (policy_ == RoutePolicy::kShortest)
+    return topology::shortest_path(graph_, src, dst, admissible);
+  const topology::LinkWidth headroom = [&](topology::LinkId l) {
+    return links_[l].admission_headroom();
+  };
+  return topology::widest_shortest_path(graph_, src, dst, headroom, admissible);
+}
+
+std::optional<topology::Path> Router::find_backup(
+    topology::NodeId src, topology::NodeId dst, double bmin,
+    const util::DynamicBitset& primary_links, bool require_disjoint) const {
+  const topology::LinkFilter admissible = [&](topology::LinkId l) {
+    if (links_[l].failed()) return false;
+    if (require_disjoint && primary_links.test(l)) return false;
+    const double need = backups_.incremental_need(l, bmin, primary_links);
+    return links_[l].admission_headroom() >= need - LinkState::kEpsilon;
+  };
+  auto path = topology::min_overlap_path(graph_, src, dst, primary_links, admissible);
+  if (!path) return std::nullopt;
+  std::size_t overlap = 0;
+  for (topology::LinkId l : path->links)
+    if (primary_links.test(l)) ++overlap;
+  if (require_disjoint && overlap > 0) return std::nullopt;
+  // A backup that shares every link with its primary dies with it — it
+  // provides no protection and would only waste reservation.
+  if (overlap == path->links.size()) return std::nullopt;
+  return path;
+}
+
+}  // namespace eqos::net

@@ -1,0 +1,62 @@
+// Route selection for DR-connections.
+//
+// Centralized equivalent of the paper's bounded-flooding establishment
+// (Section 3.1): the primary takes the fewest-hop route whose every link can
+// admit bmin, with ties broken by the larger bottleneck headroom (the
+// "better bandwidth allowance" rule); the backup takes the route minimizing
+// link overlap with the primary — fully link-disjoint when one exists,
+// maximally link-disjoint otherwise (footnote 1) — subject to the
+// multiplexed backup reservation fitting on every link.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/backup.hpp"
+#include "net/link_state.hpp"
+#include "net/qos.hpp"
+#include "topology/graph.hpp"
+#include "topology/paths.hpp"
+
+namespace eqos::net {
+
+/// Primary route selection policy.
+enum class RoutePolicy : std::uint8_t {
+  /// Fewest hops, ties broken by the larger bottleneck admission headroom —
+  /// the bounded-flooding behavior the paper describes (default).
+  kWidestShortest,
+  /// Plain fewest hops (BFS order tie-break); ablation baseline showing the
+  /// value of the bandwidth-allowance tie-break.
+  kShortest,
+};
+
+/// Stateless route finder over the network's current ledgers.
+class Router {
+ public:
+  /// Keeps references; the graph, link table, and backup manager must
+  /// outlive the router.
+  Router(const topology::Graph& graph, const std::vector<LinkState>& links,
+         const BackupManager& backups, RoutePolicy policy = RoutePolicy::kWidestShortest);
+
+  /// Fewest-hop / widest primary route admitting `bmin` on every link.
+  [[nodiscard]] std::optional<topology::Path> find_primary(topology::NodeId src,
+                                                           topology::NodeId dst,
+                                                           double bmin) const;
+
+  /// Minimum-overlap backup route for a connection whose primary is
+  /// `primary` (link set `primary_links`), requiring the admission ledger to
+  /// absorb the incremental multiplexed reservation on every link.  When
+  /// `require_disjoint` is set, results overlapping the primary are
+  /// rejected.
+  [[nodiscard]] std::optional<topology::Path> find_backup(
+      topology::NodeId src, topology::NodeId dst, double bmin,
+      const util::DynamicBitset& primary_links, bool require_disjoint) const;
+
+ private:
+  const topology::Graph& graph_;
+  const std::vector<LinkState>& links_;
+  const BackupManager& backups_;
+  RoutePolicy policy_;
+};
+
+}  // namespace eqos::net

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eqos::sim {
+
+void EventQueue::schedule(double time, Action action) {
+  if (time < now_) throw std::invalid_argument("event_queue: scheduling in the past");
+  if (!action) throw std::invalid_argument("event_queue: null action");
+  queue_.push(Entry{time, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay, Action action) {
+  if (delay < 0.0) throw std::invalid_argument("event_queue: negative delay");
+  schedule(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately — but stay conservative and copy the
+  // small struct, moving only the closure.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.time;
+  entry.action();
+  return true;
+}
+
+std::size_t EventQueue::run_until(double end_time) {
+  if (end_time < now_) throw std::invalid_argument("event_queue: end time in the past");
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    step();
+    ++executed;
+  }
+  now_ = end_time;
+  return executed;
+}
+
+void EventQueue::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace eqos::sim

@@ -1,0 +1,58 @@
+// Discrete-event simulation core.
+//
+// A time-ordered queue of closures with a monotonically advancing clock.
+// Ties are broken by insertion order so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace eqos::sim {
+
+/// Deterministic future-event list.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute `time` (>= now()).  Events at equal
+  /// times fire in scheduling order.
+  void schedule(double time, Action action);
+
+  /// Schedules `action` `delay` time units from now.
+  void schedule_in(double delay, Action action);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  /// Pops and runs the earliest event, advancing the clock.  Returns false
+  /// when the queue is empty.
+  bool step();
+
+  /// Runs events until the clock would pass `end_time`; the clock finishes
+  /// at exactly `end_time`.  Returns the number of events executed.
+  std::size_t run_until(double end_time);
+
+  /// Discards all pending events (the clock keeps its value).
+  void clear();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace eqos::sim

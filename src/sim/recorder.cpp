@@ -1,0 +1,170 @@
+#include "sim/recorder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace eqos::sim {
+
+matrix::Matrix row_normalize(const matrix::Matrix& counts) {
+  matrix::Matrix out(counts.rows(), counts.cols());
+  for (std::size_t i = 0; i < counts.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < counts.cols(); ++j) row_sum += counts(i, j);
+    if (row_sum <= 0.0) continue;
+    for (std::size_t j = 0; j < counts.cols(); ++j) out(i, j) = counts(i, j) / row_sum;
+  }
+  return out;
+}
+
+TransitionRecorder::TransitionRecorder(const net::ElasticQosSpec& qos, double start_time,
+                                       ClassFilter class_filter)
+    : n_(qos.num_states()),
+      qos_(qos),
+      class_filter_(std::move(class_filter)),
+      last_time_(start_time),
+      a_counts_(n_, n_),
+      b_counts_(n_, n_),
+      t_counts_(n_, n_),
+      f_counts_(n_, n_),
+      occupancy_area_(n_, 0.0) {
+  qos.validate();
+}
+
+bool TransitionRecorder::matches(const net::Network& network,
+                                 net::ConnectionId id) const {
+  if (!class_filter_) return true;
+  return class_filter_(network.connection(id));
+}
+
+std::size_t TransitionRecorder::count_matching(const net::Network& network) const {
+  if (!class_filter_) return network.num_active();
+  std::size_t n = 0;
+  for (net::ConnectionId id : network.active_ids())
+    if (class_filter_(network.connection(id))) ++n;
+  return n;
+}
+
+void TransitionRecorder::advance_to(double time, const net::Network& network) {
+  if (time < last_time_)
+    throw std::invalid_argument("recorder: time must be non-decreasing");
+  const double dt = time - last_time_;
+  last_time_ = time;
+  if (dt == 0.0) return;
+  double bandwidth_sum = 0.0;
+  std::size_t counted = 0;
+  for (net::ConnectionId id : network.active_ids()) {
+    const net::DrConnection& c = network.connection(id);
+    if (class_filter_ && !class_filter_(c)) continue;
+    const std::size_t state = std::min(c.extra_quanta, n_ - 1);
+    occupancy_area_[state] += dt;
+    bandwidth_sum += c.reserved_kbps();
+    ++counted;
+  }
+  bandwidth_area_ += dt * bandwidth_sum;
+  channel_area_ += dt * static_cast<double>(counted);
+}
+
+void TransitionRecorder::count_changes(const std::vector<net::StateChange>& changes,
+                                       const net::Network& network,
+                                       matrix::Matrix& direct_counts,
+                                       matrix::Matrix& indirect_counts,
+                                       std::size_t* direct,
+                                       std::size_t* indirect) const {
+  for (const net::StateChange& ch : changes) {
+    if (!matches(network, ch.id)) continue;
+    const std::size_t from = std::min(ch.old_quanta, n_ - 1);
+    const std::size_t to = std::min(ch.new_quanta, n_ - 1);
+    if (ch.chaining == net::Chaining::kDirect) {
+      direct_counts(from, to) += 1.0;
+      if (direct) ++*direct;
+    } else {
+      indirect_counts(from, to) += 1.0;
+      if (indirect) ++*indirect;
+    }
+  }
+}
+
+void TransitionRecorder::on_arrival(const net::ArrivalOutcome& outcome,
+                                    const net::Network& network) {
+  if (!outcome.accepted) return;  // rejections perturb nobody
+  ++arrivals_;
+  std::size_t direct = 0;
+  std::size_t indirect = 0;
+  count_changes(outcome.changes, network, a_counts_, b_counts_, &direct, &indirect);
+  direct_pairs_arrival_ += static_cast<double>(direct);
+  indirect_pairs_arrival_ += static_cast<double>(indirect);
+  // Eligible = class members that existed before this arrival.
+  std::size_t eligible = count_matching(network);
+  if (matches(network, outcome.id) && eligible > 0) --eligible;
+  eligible_pairs_arrival_ += static_cast<double>(eligible);
+}
+
+void TransitionRecorder::on_termination(const net::TerminationReport& report,
+                                        const net::Network& network) {
+  ++terminations_;
+  std::size_t direct = 0;
+  matrix::Matrix unused(n_, n_);
+  count_changes(report.changes, network, t_counts_, unused, &direct, nullptr);
+  direct_pairs_termination_ += static_cast<double>(direct);
+  eligible_pairs_termination_ += static_cast<double>(count_matching(network));
+}
+
+void TransitionRecorder::on_failure(const net::FailureReport& report,
+                                    const net::Network& network) {
+  ++failures_;
+  if (report.backups_activated == 0) return;  // no channel was perturbed
+  std::size_t direct = 0;
+  matrix::Matrix indirect_ignored(n_, n_);
+  count_changes(report.changes, network, f_counts_, indirect_ignored, &direct, nullptr);
+  direct_pairs_failure_ += static_cast<double>(direct);
+  // Channels eligible for chaining: surviving class members that were not
+  // themselves hit (the activated switched paths; the dropped are gone).
+  std::size_t eligible = count_matching(network);
+  for (net::ConnectionId id : report.activated_ids)
+    if (network.is_active(id) && matches(network, id) && eligible > 0) --eligible;
+  eligible_pairs_failure_ += static_cast<double>(eligible);
+}
+
+ModelEstimates TransitionRecorder::estimates(double end_time,
+                                             const net::Network& network) const {
+  // Close the occupancy window on a copy of the accumulators.
+  TransitionRecorder closed = *this;
+  closed.advance_to(end_time, network);
+
+  ModelEstimates est;
+  est.pf = closed.eligible_pairs_arrival_ > 0.0
+               ? closed.direct_pairs_arrival_ / closed.eligible_pairs_arrival_
+               : 0.0;
+  est.ps = closed.eligible_pairs_arrival_ > 0.0
+               ? closed.indirect_pairs_arrival_ / closed.eligible_pairs_arrival_
+               : 0.0;
+  est.pf_termination = closed.eligible_pairs_termination_ > 0.0
+                           ? closed.direct_pairs_termination_ /
+                                 closed.eligible_pairs_termination_
+                           : 0.0;
+  est.pf_failure = closed.eligible_pairs_failure_ > 0.0
+                       ? closed.direct_pairs_failure_ / closed.eligible_pairs_failure_
+                       : 0.0;
+  est.arrival_move = row_normalize(closed.a_counts_);
+  est.indirect_move = row_normalize(closed.b_counts_);
+  est.termination_move = row_normalize(closed.t_counts_);
+  est.failure_move = row_normalize(closed.f_counts_);
+  est.arrival_counts = closed.a_counts_;
+  est.indirect_counts = closed.b_counts_;
+  est.termination_counts = closed.t_counts_;
+  est.failure_counts = closed.f_counts_;
+  est.arrivals_observed = closed.arrivals_;
+  est.terminations_observed = closed.terminations_;
+  est.failures_observed = closed.failures_;
+
+  est.mean_bandwidth_kbps =
+      closed.channel_area_ > 0.0 ? closed.bandwidth_area_ / closed.channel_area_ : 0.0;
+  est.occupancy.assign(n_, 0.0);
+  double total = 0.0;
+  for (double a : closed.occupancy_area_) total += a;
+  if (total > 0.0)
+    for (std::size_t i = 0; i < n_; ++i) est.occupancy[i] = closed.occupancy_area_[i] / total;
+  return est;
+}
+
+}  // namespace eqos::sim

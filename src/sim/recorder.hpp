@@ -1,0 +1,137 @@
+// Measurement of the Markov model's parameters from simulation.
+//
+// Section 3.3: the chaining probabilities Pf and Ps and the conditional
+// state-change matrices A (directly-chained arrival), B (indirectly-chained
+// arrival), T (termination of a sharing channel), and F (backup activation)
+// "are obtained through detailed simulations".  The recorder consumes the
+// structured reports the Network emits and accumulates exactly those
+// estimators, plus the simulation-side ground truth the model is compared
+// against: the time-weighted average reserved bandwidth and the empirical
+// state-occupancy distribution.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "matrix/dense.hpp"
+#include "net/events.hpp"
+#include "net/network.hpp"
+#include "net/qos.hpp"
+#include "util/stats.hpp"
+
+namespace eqos::sim {
+
+/// Everything the analytic model needs, as measured.
+struct ModelEstimates {
+  /// P(existing channel shares >= 1 link with a random accepted arrival).
+  double pf = 0.0;
+  /// P(existing channel is indirectly chained with a random arrival).
+  double ps = 0.0;
+  /// P(surviving channel shares >= 1 link with a terminating channel).
+  double pf_termination = 0.0;
+  /// P(surviving channel shares >= 1 link with an activated backup path).
+  double pf_failure = 0.0;
+
+  matrix::Matrix arrival_move;      ///< A, row-stochastic (zero row = unseen)
+  matrix::Matrix indirect_move;     ///< B
+  matrix::Matrix termination_move;  ///< T
+  matrix::Matrix failure_move;      ///< F
+
+  // Raw observation counts behind the matrices above.  The analyzer needs
+  // them to regularize rows of rarely-visited states (a state occupied 0.01%
+  // of the window can easily have *no* sampled upward exit, which would make
+  // it absorbing and wreck the stationary distribution).
+  matrix::Matrix arrival_counts;      ///< raw counts behind A
+  matrix::Matrix indirect_counts;     ///< raw counts behind B
+  matrix::Matrix termination_counts;  ///< raw counts behind T
+  matrix::Matrix failure_counts;      ///< raw counts behind F
+
+  std::size_t arrivals_observed = 0;
+  std::size_t terminations_observed = 0;
+  std::size_t failures_observed = 0;
+
+  /// Time-weighted mean reserved bandwidth per primary channel (Kbit/s).
+  double mean_bandwidth_kbps = 0.0;
+  /// Time-weighted empirical distribution over elastic states S_0..S_{N-1}.
+  std::vector<double> occupancy;
+};
+
+/// Accumulates reports and time-weighted occupancy for one measurement
+/// window.  Attach it to a Simulator after warm-up.
+///
+/// For heterogeneous workloads (WorkloadConfig::qos_mix), attach one
+/// recorder per traffic class with a `class_filter` selecting that class's
+/// connections: occupancy, chaining probabilities, and transition matrices
+/// are then measured over class members only, while events of *any* class
+/// still drive the transitions (a tagged channel retreats for any newcomer
+/// sharing its links, whatever that newcomer asked for).
+class TransitionRecorder {
+ public:
+  /// Selects which connections a recorder measures (nullptr = all).
+  using ClassFilter = std::function<bool(const net::DrConnection&)>;
+
+  /// `qos` fixes the state space of the measured class.  `start_time` opens
+  /// the measurement window.
+  TransitionRecorder(const net::ElasticQosSpec& qos, double start_time,
+                     ClassFilter class_filter = nullptr);
+
+  /// Accrues occupancy from the last event time to `time` using `network`'s
+  /// pre-event state, then remembers `time`.  Call before applying an event
+  /// and once more at the window's end.
+  void advance_to(double time, const net::Network& network);
+
+  void on_arrival(const net::ArrivalOutcome& outcome, const net::Network& network);
+  void on_termination(const net::TerminationReport& report,
+                      const net::Network& network);
+  void on_failure(const net::FailureReport& report, const net::Network& network);
+
+  /// Closes the window at `end_time` and produces the estimates.
+  [[nodiscard]] ModelEstimates estimates(double end_time,
+                                         const net::Network& network) const;
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return n_; }
+
+ private:
+  void count_changes(const std::vector<net::StateChange>& changes,
+                     const net::Network& network, matrix::Matrix& direct_counts,
+                     matrix::Matrix& indirect_counts, std::size_t* direct,
+                     std::size_t* indirect) const;
+  [[nodiscard]] bool matches(const net::Network& network, net::ConnectionId id) const;
+  [[nodiscard]] std::size_t count_matching(const net::Network& network) const;
+
+  std::size_t n_;
+  net::ElasticQosSpec qos_;
+  ClassFilter class_filter_;
+  double last_time_;
+
+  // Chaining tallies: numerators are channel-event pairs, denominators are
+  // eligible channels summed over events.
+  double direct_pairs_arrival_ = 0.0;
+  double indirect_pairs_arrival_ = 0.0;
+  double eligible_pairs_arrival_ = 0.0;
+  double direct_pairs_termination_ = 0.0;
+  double eligible_pairs_termination_ = 0.0;
+  double direct_pairs_failure_ = 0.0;
+  double eligible_pairs_failure_ = 0.0;
+
+  matrix::Matrix a_counts_;
+  matrix::Matrix b_counts_;
+  matrix::Matrix t_counts_;
+  matrix::Matrix f_counts_;
+
+  std::size_t arrivals_ = 0;
+  std::size_t terminations_ = 0;
+  std::size_t failures_ = 0;
+
+  // Occupancy integral: state -> accumulated (time x channels).
+  std::vector<double> occupancy_area_;
+  double bandwidth_area_ = 0.0;  ///< integral of sum of reserved bandwidth
+  double channel_area_ = 0.0;    ///< integral of channel count
+};
+
+/// Row-normalizes a count matrix into a conditional-probability matrix;
+/// all-zero rows stay zero (callers treat them as "no move").
+[[nodiscard]] matrix::Matrix row_normalize(const matrix::Matrix& counts);
+
+}  // namespace eqos::sim

@@ -1,0 +1,148 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace eqos::sim {
+
+void WorkloadConfig::validate() const {
+  if (arrival_rate < 0.0 || termination_rate < 0.0 || failure_rate < 0.0 ||
+      repair_rate <= 0.0)
+    throw std::invalid_argument("workload: rates must be non-negative (repair > 0)");
+  qos.validate();
+  double total_weight = 0.0;
+  for (const auto& [spec, weight] : qos_mix) {
+    spec.validate();
+    if (!(weight > 0.0))
+      throw std::invalid_argument("workload: class weights must be positive");
+    total_weight += weight;
+  }
+  (void)total_weight;
+}
+
+const net::ElasticQosSpec& WorkloadConfig::sample_qos(util::Rng& rng) const {
+  if (qos_mix.empty()) return qos;
+  double total = 0.0;
+  for (const auto& [spec, weight] : qos_mix) total += weight;
+  double pick = rng.uniform(0.0, total);
+  for (const auto& [spec, weight] : qos_mix) {
+    if (pick < weight) return spec;
+    pick -= weight;
+  }
+  return qos_mix.back().first;
+}
+
+Simulator::Simulator(net::Network& network, WorkloadConfig config)
+    : network_(network),
+      config_(config),
+      arrival_rng_(config.seed),
+      termination_rng_(config.seed ^ 0x7465726d696e6174ULL),
+      failure_rng_(config.seed ^ 0x6661696c75726573ULL) {
+  config_.validate();
+  if (config_.arrival_rate > 0.0) schedule_arrival();
+  if (config_.termination_rate > 0.0) schedule_termination();
+  if (config_.failure_rate > 0.0) schedule_failure();
+}
+
+std::pair<topology::NodeId, topology::NodeId> Simulator::random_pair() {
+  const std::size_t n = network_.graph().num_nodes();
+  const auto src = static_cast<topology::NodeId>(arrival_rng_.index(n));
+  auto dst = static_cast<topology::NodeId>(arrival_rng_.index(n - 1));
+  if (dst >= src) ++dst;
+  return {src, dst};
+}
+
+std::size_t Simulator::populate(std::size_t attempts) {
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    ++stats_.populate_attempts;
+    const auto [src, dst] = random_pair();
+    const net::ArrivalOutcome outcome =
+        network_.request_connection(src, dst, config_.sample_qos(arrival_rng_));
+    if (outcome.accepted) ++accepted;
+  }
+  stats_.populate_accepted += accepted;
+  return accepted;
+}
+
+void Simulator::attach_recorder(TransitionRecorder* recorder) { recorder_ = recorder; }
+
+void Simulator::schedule_arrival() {
+  queue_.schedule_in(arrival_rng_.exponential(config_.arrival_rate),
+                     [this] { do_arrival(); });
+}
+
+void Simulator::schedule_termination() {
+  queue_.schedule_in(termination_rng_.exponential(config_.termination_rate),
+                     [this] { do_termination(); });
+}
+
+void Simulator::schedule_failure() {
+  queue_.schedule_in(failure_rng_.exponential(config_.failure_rate),
+                     [this] { do_failure(); });
+}
+
+void Simulator::do_arrival() {
+  if (recorder_) recorder_->advance_to(queue_.now(), network_);
+  const auto [src, dst] = random_pair();
+  const net::ArrivalOutcome outcome =
+      network_.request_connection(src, dst, config_.sample_qos(arrival_rng_));
+  if (recorder_) recorder_->on_arrival(outcome, network_);
+  ++stats_.arrival_events;
+  ++countable_events_;
+  schedule_arrival();
+}
+
+void Simulator::do_termination() {
+  if (recorder_) recorder_->advance_to(queue_.now(), network_);
+  const auto& ids = network_.active_ids();
+  if (!ids.empty()) {
+    const net::ConnectionId victim = ids[termination_rng_.index(ids.size())];
+    const net::TerminationReport report = network_.terminate_connection(victim);
+    if (recorder_) recorder_->on_termination(report, network_);
+  }
+  ++stats_.termination_events;
+  ++countable_events_;
+  schedule_termination();
+}
+
+void Simulator::do_failure() {
+  if (recorder_) recorder_->advance_to(queue_.now(), network_);
+  // Pick a uniformly random alive link; skip the event if none is alive.
+  const std::size_t num_links = network_.graph().num_links();
+  std::size_t alive = 0;
+  for (topology::LinkId l = 0; l < num_links; ++l)
+    if (!network_.link_state(l).failed()) ++alive;
+  if (alive > 0) {
+    std::size_t pick = failure_rng_.index(alive);
+    topology::LinkId chosen = 0;
+    for (topology::LinkId l = 0; l < num_links; ++l) {
+      if (network_.link_state(l).failed()) continue;
+      if (pick-- == 0) {
+        chosen = l;
+        break;
+      }
+    }
+    const net::FailureReport report = network_.fail_link(chosen);
+    if (recorder_) recorder_->on_failure(report, network_);
+    queue_.schedule_in(failure_rng_.exponential(config_.repair_rate), [this, chosen] {
+      if (recorder_) recorder_->advance_to(queue_.now(), network_);
+      network_.repair_link(chosen);
+      ++stats_.repair_events;
+    });
+  }
+  ++stats_.failure_events;
+  ++countable_events_;
+  schedule_failure();
+}
+
+void Simulator::run_events(std::size_t n) {
+  const std::size_t start = countable_events_;
+  while (countable_events_ - start < n) {
+    if (!queue_.step())
+      throw std::logic_error("simulator: event queue drained (no processes active?)");
+  }
+}
+
+void Simulator::run_until(double t) { queue_.run_until(t); }
+
+}  // namespace eqos::sim

@@ -1,0 +1,101 @@
+// Workload driver: Poisson arrivals, terminations, and link failures.
+//
+// Section 4's methodology: set up an initial population of DR-connections,
+// then generate and terminate connections at equal rates (lambda = mu) so
+// the population hovers around its initial size, while a recorder measures
+// the chaining probabilities and transition matrices.  Failures arrive as a
+// network-wide Poisson process with rate gamma; each failed link repairs
+// after an exponential delay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::sim {
+
+/// Stochastic workload parameters (rates per unit simulated time).
+struct WorkloadConfig {
+  double arrival_rate = 1e-3;      ///< lambda
+  double termination_rate = 1e-3;  ///< mu
+  double failure_rate = 0.0;       ///< gamma (0 disables failures)
+  double repair_rate = 1e-2;       ///< per-failed-link repair rate
+  net::ElasticQosSpec qos;         ///< QoS spec of every generated connection
+  /// Optional heterogeneous traffic: (spec, weight) classes sampled per
+  /// request.  When non-empty this overrides `qos` for generated
+  /// connections; `qos` then only anchors single-class recorders.
+  std::vector<std::pair<net::ElasticQosSpec, double>> qos_mix;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+  /// Draws a spec for the next request (the fixed `qos` when the mix is
+  /// empty).
+  [[nodiscard]] const net::ElasticQosSpec& sample_qos(util::Rng& rng) const;
+};
+
+/// Counters of the workload driver (distinct from NetworkStats, which counts
+/// network-side outcomes).
+struct SimulationStats {
+  std::size_t arrival_events = 0;
+  std::size_t termination_events = 0;
+  std::size_t failure_events = 0;
+  std::size_t repair_events = 0;
+  std::size_t populate_attempts = 0;
+  std::size_t populate_accepted = 0;
+};
+
+/// Drives a Network with the configured workload.
+class Simulator {
+ public:
+  /// The network must outlive the simulator.
+  Simulator(net::Network& network, WorkloadConfig config);
+
+  /// Attempts to establish `attempts` connections between uniformly random
+  /// distinct node pairs at the current simulation time and returns how many
+  /// were accepted.  This matches the paper's load axis: Table 1's channel
+  /// counts are connections "which have been tried to be set up", most of
+  /// which are rejected on the saturated "Tier" topology.
+  std::size_t populate(std::size_t attempts);
+
+  /// Attaches a measurement window starting now.  Pass nullptr to detach.
+  void attach_recorder(TransitionRecorder* recorder);
+
+  /// Runs exactly `n` workload events (arrivals + terminations + failures;
+  /// repairs piggyback and do not count).
+  void run_events(std::size_t n);
+
+  /// Runs until simulated time `t`.
+  void run_until(double t);
+
+  [[nodiscard]] double now() const noexcept { return queue_.now(); }
+  [[nodiscard]] const SimulationStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  void schedule_arrival();
+  void schedule_termination();
+  void schedule_failure();
+  void do_arrival();
+  void do_termination();
+  void do_failure();
+  [[nodiscard]] std::pair<topology::NodeId, topology::NodeId> random_pair();
+
+  net::Network& network_;
+  WorkloadConfig config_;
+  EventQueue queue_;
+  util::Rng arrival_rng_;
+  util::Rng termination_rng_;
+  util::Rng failure_rng_;
+  TransitionRecorder* recorder_ = nullptr;
+  SimulationStats stats_;
+  std::size_t countable_events_ = 0;
+};
+
+}  // namespace eqos::sim

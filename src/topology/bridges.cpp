@@ -1,0 +1,116 @@
+#include "topology/bridges.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace eqos::topology {
+
+std::vector<LinkId> find_bridges(const Graph& g) {
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<LinkId> bridges;
+  std::uint32_t timer = 0;
+
+  // Iterative DFS; each frame remembers the link taken into the node so the
+  // reverse traversal of that same link is skipped (parallel links cannot
+  // exist in a simple graph, so skipping by link id is exact).
+  struct Frame {
+    NodeId node;
+    LinkId in_link;
+    bool has_in_link;
+    std::size_t next_adj;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    std::vector<Frame> stack{{root, 0, false, 0}};
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto adjacent = g.adjacent(f.node);
+      if (f.next_adj < adjacent.size()) {
+        const Adjacency a = adjacent[f.next_adj++];
+        if (f.has_in_link && a.link == f.in_link) continue;
+        if (disc[a.neighbor] == kUnvisited) {
+          disc[a.neighbor] = low[a.neighbor] = timer++;
+          stack.push_back({a.neighbor, a.link, true, 0});
+        } else {
+          low[f.node] = std::min(low[f.node], disc[a.neighbor]);
+        }
+        continue;
+      }
+      // Finished this node: propagate low-link to the parent and test the
+      // tree edge for bridge-ness.
+      const Frame done = f;
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& parent = stack.back();
+        low[parent.node] = std::min(low[parent.node], low[done.node]);
+        if (low[done.node] > disc[parent.node]) bridges.push_back(done.in_link);
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+bool is_two_edge_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  // Connectivity check via the DFS discovery side effect: count reachable.
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> seen(g.num_nodes(), kUnvisited);
+  std::vector<NodeId> stack{0};
+  seen[0] = 0;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const auto& a : g.adjacent(u)) {
+      if (seen[a.neighbor] != kUnvisited) continue;
+      seen[a.neighbor] = 0;
+      ++visited;
+      stack.push_back(a.neighbor);
+    }
+  }
+  return visited == g.num_nodes() && find_bridges(g).empty();
+}
+
+double bridge_separated_pair_fraction(const Graph& g) {
+  const auto bridges = find_bridges(g);
+  if (g.num_nodes() < 2) return 0.0;
+  if (bridges.empty()) return 0.0;
+
+  // Contract away the bridges: nodes in the same 2-edge-connected component
+  // share a component id; a pair is bridge-separated iff the ids differ.
+  std::vector<bool> is_bridge(g.num_links(), false);
+  for (LinkId b : bridges) is_bridge[b] = true;
+  constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> comp(g.num_nodes(), kNone);
+  std::uint32_t next = 0;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (comp[start] != kNone) continue;
+    comp[start] = next;
+    std::vector<NodeId> stack{start};
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& a : g.adjacent(u)) {
+        if (is_bridge[a.link] || comp[a.neighbor] != kNone) continue;
+        comp[a.neighbor] = next;
+        stack.push_back(a.neighbor);
+      }
+    }
+    ++next;
+  }
+  std::size_t separated = 0;
+  for (NodeId a = 0; a < g.num_nodes(); ++a)
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b)
+      if (comp[a] != comp[b]) ++separated;
+  const double pairs =
+      static_cast<double>(g.num_nodes()) * static_cast<double>(g.num_nodes() - 1) / 2.0;
+  return static_cast<double>(separated) / pairs;
+}
+
+}  // namespace eqos::topology

@@ -1,0 +1,31 @@
+// Bridge (cut-edge) analysis.
+//
+// A DR-connection whose endpoints are separated by a bridge can never get a
+// fully link-disjoint backup, and no backup scheme survives the bridge's
+// failure (the graph disconnects).  The failure-recovery experiments showed
+// that in sparse random topologies the *busiest* links are often exactly the
+// bridges, so exposing them is operationally important: the examples report
+// bridge exposure, and tests assert the routing layer's maximal-disjointness
+// fallback triggers precisely on bridge-separated pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace eqos::topology {
+
+/// All bridges (cut edges) of the graph, ascending by link id.  Tarjan's
+/// low-link algorithm, O(nodes + links).
+[[nodiscard]] std::vector<LinkId> find_bridges(const Graph& g);
+
+/// True iff the graph is connected and has no bridges (every pair of nodes
+/// admits two link-disjoint paths).
+[[nodiscard]] bool is_two_edge_connected(const Graph& g);
+
+/// Fraction of distinct node pairs whose every route crosses at least one
+/// bridge (these connections can only be maximally link-disjoint protected).
+[[nodiscard]] double bridge_separated_pair_fraction(const Graph& g);
+
+}  // namespace eqos::topology

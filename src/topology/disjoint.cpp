@@ -1,0 +1,116 @@
+#include "topology/disjoint.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace eqos::topology {
+namespace {
+
+struct Arc {
+  NodeId from;
+  NodeId to;
+  LinkId link;
+  int cost;
+};
+
+/// Directed arc list of the residual graph: P1's links become single
+/// reverse arcs of cost -1; every other admissible link contributes both
+/// directions at cost 1.
+std::vector<Arc> residual_arcs(const Graph& g, const Path& p1,
+                               const LinkFilter& filter) {
+  // Direction P1 traverses each of its links.
+  std::map<LinkId, std::pair<NodeId, NodeId>> p1_dir;
+  for (std::size_t i = 0; i < p1.links.size(); ++i)
+    p1_dir[p1.links[i]] = {p1.nodes[i], p1.nodes[i + 1]};
+
+  std::vector<Arc> arcs;
+  arcs.reserve(2 * g.num_links());
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (filter && !filter(l)) continue;
+    const Link& link = g.link(l);
+    const auto it = p1_dir.find(l);
+    if (it == p1_dir.end()) {
+      arcs.push_back({link.a, link.b, l, 1});
+      arcs.push_back({link.b, link.a, l, 1});
+    } else {
+      arcs.push_back({it->second.second, it->second.first, l, -1});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace
+
+std::optional<DisjointPair> shortest_disjoint_pair(const Graph& g, NodeId src,
+                                                   NodeId dst,
+                                                   const LinkFilter& filter) {
+  if (src >= g.num_nodes() || dst >= g.num_nodes())
+    throw std::invalid_argument("disjoint pair: unknown endpoint");
+  if (src == dst) throw std::invalid_argument("disjoint pair: src == dst");
+
+  const auto p1 = shortest_path(g, src, dst, filter);
+  if (!p1 || p1->links.empty()) return std::nullopt;
+
+  // Bellman-Ford over the residual graph (negative arcs from P1 reversals;
+  // no negative cycles because P1 is shortest).
+  const auto arcs = residual_arcs(g, *p1, filter);
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::vector<int> dist(g.num_nodes(), kInf);
+  std::vector<std::size_t> pred(g.num_nodes(), std::numeric_limits<std::size_t>::max());
+  dist[src] = 0;
+  for (std::size_t round = 0; round + 1 < g.num_nodes(); ++round) {
+    bool changed = false;
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      const Arc& arc = arcs[a];
+      if (dist[arc.from] == kInf) continue;
+      if (dist[arc.from] + arc.cost < dist[arc.to]) {
+        dist[arc.to] = dist[arc.from] + arc.cost;
+        pred[arc.to] = a;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[dst] == kInf) return std::nullopt;
+
+  // Directed arc sets of P1 and P2; a P2 arc reversing a P1 link cancels.
+  std::map<LinkId, std::pair<NodeId, NodeId>> flow;  // link -> direction
+  for (std::size_t i = 0; i < p1->links.size(); ++i)
+    flow[p1->links[i]] = {p1->nodes[i], p1->nodes[i + 1]};
+  for (NodeId at = dst; at != src;) {
+    const Arc& arc = arcs[pred[at]];
+    const auto it = flow.find(arc.link);
+    if (it != flow.end() && it->second.first == arc.to && it->second.second == arc.from)
+      flow.erase(it);  // cancellation
+    else
+      flow[arc.link] = {arc.from, arc.to};
+    at = arc.from;
+  }
+
+  // Decompose the value-2 flow into two arc-disjoint src->dst walks.
+  std::vector<std::vector<std::pair<LinkId, NodeId>>> out(g.num_nodes());
+  for (const auto& [link, dir] : flow) out[dir.first].push_back({link, dir.second});
+  const auto walk = [&]() {
+    Path p;
+    p.nodes.push_back(src);
+    NodeId at = src;
+    while (at != dst) {
+      if (out[at].empty())
+        throw std::logic_error("disjoint pair: flow decomposition stuck");
+      const auto [link, next] = out[at].back();
+      out[at].pop_back();
+      p.links.push_back(link);
+      p.nodes.push_back(next);
+      at = next;
+    }
+    return p;
+  };
+  DisjointPair pair{walk(), walk()};
+  if (pair.second.hops() < pair.first.hops()) std::swap(pair.first, pair.second);
+  return pair;
+}
+
+}  // namespace eqos::topology

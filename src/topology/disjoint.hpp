@@ -1,0 +1,39 @@
+// Shortest pairs of link-disjoint paths (Suurballe / Bhandari).
+//
+// Sequential route selection — shortest primary first, then a disjoint
+// backup in what remains — fails on "trap" topologies where the shortest
+// path uses links every disjoint alternative needs, even though a fully
+// disjoint *pair* exists.  The classic remedy computes both paths jointly:
+// find a shortest path, make its links resemble negative-cost residual
+// arcs, find a second shortest path in the residual graph, and take the
+// symmetric difference.  The result minimizes the pair's total hop count.
+//
+// The Network uses this as a fallback when the paper's sequential
+// establishment cannot protect a connection (NetworkConfig::
+// joint_disjoint_fallback); the trap-topology tests show it rescuing
+// requests the sequential scheme rejects.
+#pragma once
+
+#include <optional>
+
+#include "topology/graph.hpp"
+#include "topology/paths.hpp"
+
+namespace eqos::topology {
+
+/// A link-disjoint pair of paths between the same endpoints.  `first` is
+/// the shorter (ties: the one found first).
+struct DisjointPair {
+  Path first;
+  Path second;
+};
+
+/// Shortest (by total hops) pair of link-disjoint simple paths from `src`
+/// to `dst` using only links accepted by `filter` (nullptr = all links).
+/// Returns nullopt when no such pair exists.  Bhandari's variant of
+/// Suurballe on unit weights: Bellman-Ford tolerates the negative residual
+/// arcs; graphs of this library's size make the O(V*E) cost irrelevant.
+[[nodiscard]] std::optional<DisjointPair> shortest_disjoint_pair(
+    const Graph& g, NodeId src, NodeId dst, const LinkFilter& filter = nullptr);
+
+}  // namespace eqos::topology

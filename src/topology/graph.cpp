@@ -1,0 +1,77 @@
+#include "topology/graph.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace eqos::topology {
+
+double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+NodeId Link::other(NodeId node) const {
+  assert(node == a || node == b);
+  return node == a ? b : a;
+}
+
+Graph::Graph(std::size_t nodes) : positions_(nodes), adjacency_(nodes) {}
+
+NodeId Graph::add_node(Point position) {
+  positions_.push_back(position);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("graph: self-loop");
+  if (a >= num_nodes() || b >= num_nodes())
+    throw std::invalid_argument("graph: unknown node");
+  if (find_link(a, b)) throw std::invalid_argument("graph: duplicate link");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b});
+  adjacency_[a].push_back(Adjacency{b, id});
+  adjacency_[b].push_back(Adjacency{a, id});
+  return id;
+}
+
+const Link& Graph::link(LinkId id) const {
+  assert(id < links_.size());
+  return links_[id];
+}
+
+Point Graph::position(NodeId node) const {
+  assert(node < num_nodes());
+  return positions_[node];
+}
+
+void Graph::set_position(NodeId node, Point p) {
+  assert(node < num_nodes());
+  positions_[node] = p;
+}
+
+std::span<const Adjacency> Graph::adjacent(NodeId node) const {
+  assert(node < num_nodes());
+  return adjacency_[node];
+}
+
+std::size_t Graph::degree(NodeId node) const { return adjacent(node).size(); }
+
+std::optional<LinkId> Graph::find_link(NodeId a, NodeId b) const {
+  if (a >= num_nodes() || b >= num_nodes()) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const NodeId probe = degree(a) <= degree(b) ? a : b;
+  const NodeId target = probe == a ? b : a;
+  for (const auto& adj : adjacent(probe))
+    if (adj.neighbor == target) return adj.link;
+  return std::nullopt;
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_links()) / static_cast<double>(num_nodes());
+}
+
+}  // namespace eqos::topology

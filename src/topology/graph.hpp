@@ -1,0 +1,84 @@
+// Undirected network graph.
+//
+// Nodes and links carry dense integer ids (NodeId, LinkId) so that the
+// simulator can key per-link state by plain vectors and per-channel link
+// sets by bitsets.  The graph is a simple undirected graph: at most one link
+// per node pair, no self-loops.  Node positions (unit-square coordinates)
+// are kept because the Waxman generator and the transit-stub generator are
+// geometric, and examples plot distances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace eqos::topology {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+/// Position of a node in the unit square (used by geometric generators).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] double distance(Point a, Point b);
+
+/// One undirected link.
+struct Link {
+  NodeId a;
+  NodeId b;
+  /// The endpoint opposite to `node`; `node` must be an endpoint.
+  [[nodiscard]] NodeId other(NodeId node) const;
+};
+
+/// Adjacency entry: the neighbor reached and the link used.
+struct Adjacency {
+  NodeId neighbor;
+  LinkId link;
+};
+
+/// A simple undirected graph with geometric node positions.
+class Graph {
+ public:
+  Graph() = default;
+  /// `nodes` isolated nodes at the origin.
+  explicit Graph(std::size_t nodes);
+
+  /// Appends a node; returns its id.
+  NodeId add_node(Point position = {});
+
+  /// Adds an undirected link between distinct existing nodes; returns its id.
+  /// Throws std::invalid_argument on self-loops or duplicate links.
+  LinkId add_link(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
+
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] Point position(NodeId node) const;
+  void set_position(NodeId node, Point p);
+
+  /// Neighbors of `node` with the connecting links.
+  [[nodiscard]] std::span<const Adjacency> adjacent(NodeId node) const;
+  [[nodiscard]] std::size_t degree(NodeId node) const;
+
+  /// The link between `a` and `b`, if present.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  /// Mean node degree (2m / n); 0 for an empty graph.
+  [[nodiscard]] double average_degree() const;
+
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace eqos::topology

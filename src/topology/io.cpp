@@ -1,0 +1,73 @@
+#include "topology/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eqos::topology {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "eqos-graph 1\n";
+  out << "nodes " << g.num_nodes() << "\n";
+  out.precision(17);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const Point p = g.position(i);
+    out << "node " << i << ' ' << p.x << ' ' << p.y << "\n";
+  }
+  for (const Link& l : g.links()) out << "link " << l.a << ' ' << l.b << "\n";
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "eqos-graph" || version != 1)
+    throw std::invalid_argument("edge list: bad header");
+  std::size_t n = 0;
+  if (!(in >> tag >> n) || tag != "nodes")
+    throw std::invalid_argument("edge list: missing node count");
+  Graph g(n);
+  while (in >> tag) {
+    if (tag == "node") {
+      std::size_t id = 0;
+      Point p;
+      if (!(in >> id >> p.x >> p.y) || id >= n)
+        throw std::invalid_argument("edge list: bad node line");
+      g.set_position(static_cast<NodeId>(id), p);
+    } else if (tag == "link") {
+      std::size_t a = 0;
+      std::size_t b = 0;
+      if (!(in >> a >> b) || a >= n || b >= n)
+        throw std::invalid_argument("edge list: bad link line");
+      g.add_link(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    } else {
+      throw std::invalid_argument("edge list: unknown record '" + tag + "'");
+    }
+  }
+  return g;
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& out, const Graph& g, const std::string& name) {
+  out << "graph " << name << " {\n";
+  out << "  node [shape=point];\n";
+  out.precision(6);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const Point p = g.position(i);
+    out << "  n" << i << " [pos=\"" << p.x * 10.0 << ',' << p.y * 10.0 << "!\"];\n";
+  }
+  for (const Link& l : g.links()) out << "  n" << l.a << " -- n" << l.b << ";\n";
+  out << "}\n";
+}
+
+}  // namespace eqos::topology

@@ -1,0 +1,38 @@
+// Topology serialization.
+//
+// Plain-text edge-list format for persisting generated instances (so a
+// reported experiment can pin its exact topology) and Graphviz DOT export
+// for eyeballing them.  The edge-list format is:
+//
+//   eqos-graph 1
+//   nodes <n>
+//   node <id> <x> <y>          (one per node, ascending id)
+//   link <a> <b>               (one per link, in link-id order)
+//
+// Link ids are assigned by line order on load, so a round trip preserves
+// both node and link identities — which matters because seeds and link ids
+// appear in experiment records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace eqos::topology {
+
+/// Writes the edge-list format.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses the edge-list format.  Throws std::invalid_argument on malformed
+/// input (bad header, out-of-range ids, duplicate links).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Serializes to a string (convenience for tests and tools).
+[[nodiscard]] std::string to_edge_list(const Graph& g);
+[[nodiscard]] Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT (undirected), with node positions as `pos` attributes.
+void write_dot(std::ostream& out, const Graph& g, const std::string& name = "eqos");
+
+}  // namespace eqos::topology

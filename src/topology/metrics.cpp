@@ -1,0 +1,89 @@
+#include "topology/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace eqos::topology {
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  std::vector<std::uint32_t> comp(g.num_nodes(), kNone);
+  std::uint32_t next = 0;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (comp[start] != kNone) continue;
+    comp[start] = next;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const auto& adj : g.adjacent(u)) {
+        if (comp[adj.neighbor] != kNone) continue;
+        comp[adj.neighbor] = next;
+        frontier.push(adj.neighbor);
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  const auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(), [](std::uint32_t c) { return c == 0; });
+}
+
+std::vector<std::uint32_t> hop_distances(const Graph& g, NodeId src) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachableDistance);
+  dist[src] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& adj : g.adjacent(u)) {
+      if (dist[adj.neighbor] != kUnreachableDistance) continue;
+      dist[adj.neighbor] = dist[u] + 1;
+      frontier.push(adj.neighbor);
+    }
+  }
+  return dist;
+}
+
+std::size_t diameter(const Graph& g) {
+  std::size_t best = 0;
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    const auto dist = hop_distances(g, src);
+    for (auto d : dist)
+      if (d != kUnreachableDistance) best = std::max(best, static_cast<std::size_t>(d));
+  }
+  return best;
+}
+
+double average_path_length(const Graph& g) {
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    const auto dist = hop_distances(g, src);
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+      if (dst == src || dist[dst] == kUnreachableDistance) continue;
+      total += dist[dst];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+GraphStats graph_stats(const Graph& g) {
+  GraphStats s;
+  s.nodes = g.num_nodes();
+  s.links = g.num_links();
+  s.average_degree = g.average_degree();
+  s.diameter = diameter(g);
+  s.average_path_length = average_path_length(g);
+  s.connected = is_connected(g);
+  return s;
+}
+
+}  // namespace eqos::topology

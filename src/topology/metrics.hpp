@@ -1,0 +1,47 @@
+// Whole-graph metrics used to characterize generated topologies.
+//
+// The paper reports its instances by node count, edge count, average degree,
+// and (average) diameter; the benches print the same statistics next to each
+// experiment so the reproduced topology can be compared with the reported
+// one.  `average_hops` of established channels feeds the ideal-bandwidth
+// formula of Figure 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace eqos::topology {
+
+/// Component index per node (0-based; equal index = same component).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// True iff the graph has exactly one connected component (and >= 1 node).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Hop distances from `src` to every node (kUnreachableDistance when
+/// disconnected).
+inline constexpr std::uint32_t kUnreachableDistance = 0xffffffffu;
+[[nodiscard]] std::vector<std::uint32_t> hop_distances(const Graph& g, NodeId src);
+
+/// Longest shortest-path hop distance over all reachable pairs; 0 for graphs
+/// with fewer than two nodes.
+[[nodiscard]] std::size_t diameter(const Graph& g);
+
+/// Mean shortest-path hop distance over all reachable ordered pairs.
+[[nodiscard]] double average_path_length(const Graph& g);
+
+/// Summary statistics bundle for printing.
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  double average_degree = 0.0;
+  std::size_t diameter = 0;
+  double average_path_length = 0.0;
+  bool connected = false;
+};
+
+[[nodiscard]] GraphStats graph_stats(const Graph& g);
+
+}  // namespace eqos::topology

@@ -1,0 +1,212 @@
+#include "topology/paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace eqos::topology {
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+Path reconstruct(const Graph& g, NodeId src, NodeId dst,
+                 const std::vector<LinkId>& via_link) {
+  Path p;
+  NodeId at = dst;
+  while (at != src) {
+    const LinkId l = via_link[at];
+    p.links.push_back(l);
+    p.nodes.push_back(at);
+    at = g.link(l).other(at);
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+bool usable(const LinkFilter& filter, LinkId l) { return !filter || filter(l); }
+
+}  // namespace
+
+util::DynamicBitset Path::link_set(std::size_t num_links) const {
+  util::DynamicBitset bits(num_links);
+  for (LinkId l : links) bits.set(l);
+  return bits;
+}
+
+std::size_t Path::overlap(const Path& other) const {
+  std::size_t n = 0;
+  for (LinkId l : links)
+    if (std::find(other.links.begin(), other.links.end(), l) != other.links.end()) ++n;
+  return n;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const LinkFilter& filter) {
+  if (src >= g.num_nodes() || dst >= g.num_nodes())
+    throw std::invalid_argument("shortest_path: unknown node");
+  if (src == dst) return Path{{src}, {}};
+
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreached);
+  std::vector<LinkId> via_link(g.num_nodes(), 0);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& adj : g.adjacent(u)) {
+      if (!usable(filter, adj.link) || dist[adj.neighbor] != kUnreached) continue;
+      dist[adj.neighbor] = dist[u] + 1;
+      via_link[adj.neighbor] = adj.link;
+      if (adj.neighbor == dst) return reconstruct(g, src, dst, via_link);
+      frontier.push(adj.neighbor);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> widest_shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                         const LinkWidth& width,
+                                         const LinkFilter& filter) {
+  if (src >= g.num_nodes() || dst >= g.num_nodes())
+    throw std::invalid_argument("widest_shortest_path: unknown node");
+  if (!width) throw std::invalid_argument("widest_shortest_path: null width");
+  if (src == dst) return Path{{src}, {}};
+
+  // Lexicographic Dijkstra on (hops asc, bottleneck width desc).
+  struct Label {
+    std::uint32_t hops = kUnreached;
+    double width = 0.0;
+  };
+  const auto better = [](const Label& a, const Label& b) {
+    return a.hops != b.hops ? a.hops < b.hops : a.width > b.width;
+  };
+
+  std::vector<Label> best(g.num_nodes());
+  std::vector<LinkId> via_link(g.num_nodes(), 0);
+  using QueueEntry = std::pair<Label, NodeId>;
+  const auto cmp = [&](const QueueEntry& a, const QueueEntry& b) {
+    return better(b.first, a.first);  // min-heap by label
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)> heap(cmp);
+  best[src] = {0, std::numeric_limits<double>::infinity()};
+  heap.push({best[src], src});
+  while (!heap.empty()) {
+    const auto [label, u] = heap.top();
+    heap.pop();
+    if (better(best[u], label)) continue;  // stale entry
+    if (u == dst) break;
+    for (const auto& adj : g.adjacent(u)) {
+      if (!usable(filter, adj.link)) continue;
+      const Label candidate{label.hops + 1, std::min(label.width, width(adj.link))};
+      if (better(candidate, best[adj.neighbor])) {
+        best[adj.neighbor] = candidate;
+        via_link[adj.neighbor] = adj.link;
+        heap.push({candidate, adj.neighbor});
+      }
+    }
+  }
+  if (best[dst].hops == kUnreached) return std::nullopt;
+  return reconstruct(g, src, dst, via_link);
+}
+
+std::optional<Path> min_overlap_path(const Graph& g, NodeId src, NodeId dst,
+                                     const util::DynamicBitset& avoid,
+                                     const LinkFilter& filter) {
+  if (src >= g.num_nodes() || dst >= g.num_nodes())
+    throw std::invalid_argument("min_overlap_path: unknown node");
+  if (src == dst) return Path{{src}, {}};
+
+  // Dijkstra with cost = overlap * kPenalty + hops; the penalty dominates any
+  // possible hop count so overlap is minimized first.
+  const double kPenalty = static_cast<double>(g.num_links() + 1);
+  std::vector<double> best(g.num_nodes(), std::numeric_limits<double>::infinity());
+  std::vector<LinkId> via_link(g.num_nodes(), 0);
+  using QueueEntry = std::pair<double, NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  best[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [cost, u] = heap.top();
+    heap.pop();
+    if (cost > best[u]) continue;
+    if (u == dst) break;
+    for (const auto& adj : g.adjacent(u)) {
+      if (!usable(filter, adj.link)) continue;
+      const double step = 1.0 + (avoid.test(adj.link) ? kPenalty : 0.0);
+      const double candidate = cost + step;
+      if (candidate < best[adj.neighbor]) {
+        best[adj.neighbor] = candidate;
+        via_link[adj.neighbor] = adj.link;
+        heap.push({candidate, adj.neighbor});
+      }
+    }
+  }
+  if (!std::isfinite(best[dst])) return std::nullopt;
+  return reconstruct(g, src, dst, via_link);
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst, std::size_t k,
+                                   const LinkFilter& filter) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = shortest_path(g, src, dst, filter);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Yen: candidates are spur deviations from already-accepted paths.
+  const auto path_key = [](const Path& p) { return p.links; };
+  std::set<std::vector<LinkId>> seen{path_key(result[0])};
+  std::vector<Path> candidates;
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    for (std::size_t spur = 0; spur < last.nodes.size() - 1; ++spur) {
+      const NodeId spur_node = last.nodes[spur];
+      // Links banned at this spur: the next link of every accepted path that
+      // shares the root prefix, plus all links of the root itself (loopless).
+      std::vector<bool> banned(g.num_links(), false);
+      for (const Path& p : result) {
+        if (p.links.size() <= spur) continue;
+        if (std::equal(p.links.begin(), p.links.begin() + static_cast<std::ptrdiff_t>(spur),
+                       last.links.begin()))
+          banned[p.links[spur]] = true;
+      }
+      std::vector<bool> banned_node(g.num_nodes(), false);
+      for (std::size_t i = 0; i < spur; ++i) banned_node[last.nodes[i]] = true;
+
+      const LinkFilter spur_filter = [&](LinkId l) {
+        if (banned[l]) return false;
+        const Link& link = g.link(l);
+        if (banned_node[link.a] || banned_node[link.b]) return false;
+        return usable(filter, l);
+      };
+      auto tail = shortest_path(g, spur_node, dst, spur_filter);
+      if (!tail) continue;
+      Path candidate;
+      candidate.nodes.assign(last.nodes.begin(),
+                             last.nodes.begin() + static_cast<std::ptrdiff_t>(spur));
+      candidate.links.assign(last.links.begin(),
+                             last.links.begin() + static_cast<std::ptrdiff_t>(spur));
+      candidate.nodes.insert(candidate.nodes.end(), tail->nodes.begin(), tail->nodes.end());
+      candidate.links.insert(candidate.links.end(), tail->links.begin(), tail->links.end());
+      if (seen.insert(path_key(candidate)).second)
+        candidates.push_back(std::move(candidate));
+    }
+    if (candidates.empty()) break;
+    const auto best_it =
+        std::min_element(candidates.begin(), candidates.end(),
+                         [](const Path& a, const Path& b) { return a.hops() < b.hops(); });
+    result.push_back(std::move(*best_it));
+    candidates.erase(best_it);
+  }
+  return result;
+}
+
+}  // namespace eqos::topology

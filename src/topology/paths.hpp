@@ -1,0 +1,66 @@
+// Path search over the network graph.
+//
+// Route selection in the paper is distributed bounded flooding: the request
+// copy that reaches the destination first has effectively traversed the
+// fewest hops among routes with sufficient bandwidth, and ties are broken by
+// the better bandwidth allowance.  Centralized equivalents are used here:
+// hop-count BFS restricted to admissible links, a widest-shortest variant
+// matching the tie-break, and a minimum-overlap search for backup routes
+// ("maximally link-disjoint" when no fully disjoint path exists).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos::topology {
+
+/// A simple path: nodes[0] .. nodes.back() with links[i] connecting
+/// nodes[i] and nodes[i+1].
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+  [[nodiscard]] bool empty() const noexcept { return links.empty(); }
+  /// Link ids as a bitset over `num_links` positions.
+  [[nodiscard]] util::DynamicBitset link_set(std::size_t num_links) const;
+  /// Number of links shared with `other`.
+  [[nodiscard]] std::size_t overlap(const Path& other) const;
+};
+
+/// Predicate deciding whether a link may be used by the search.
+using LinkFilter = std::function<bool(LinkId)>;
+/// Width (e.g. spare bandwidth) of a link, used for tie-breaking.
+using LinkWidth = std::function<double(LinkId)>;
+
+/// Fewest-hop path from src to dst using only links passing `filter`
+/// (nullptr = all links).  Empty optional when disconnected.
+[[nodiscard]] std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                                const LinkFilter& filter = nullptr);
+
+/// Fewest-hop path that, among equal-hop candidates, maximizes the minimum
+/// `width` along the path — the flooding tie-break ("better bandwidth
+/// allowance").
+[[nodiscard]] std::optional<Path> widest_shortest_path(const Graph& g, NodeId src,
+                                                       NodeId dst, const LinkWidth& width,
+                                                       const LinkFilter& filter = nullptr);
+
+/// Path minimizing (number of links shared with `avoid`, then hops).  Used
+/// for backup routes: a result with zero overlap is fully link-disjoint from
+/// the primary; otherwise it is maximally link-disjoint.  Links rejected by
+/// `filter` are never used.
+[[nodiscard]] std::optional<Path> min_overlap_path(const Graph& g, NodeId src, NodeId dst,
+                                                   const util::DynamicBitset& avoid,
+                                                   const LinkFilter& filter = nullptr);
+
+/// Yen's algorithm: up to k loopless fewest-hop paths, ascending by hops.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                                 std::size_t k,
+                                                 const LinkFilter& filter = nullptr);
+
+}  // namespace eqos::topology

@@ -1,0 +1,108 @@
+#include "topology/regular.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "topology/paths.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos::topology {
+
+Graph generate_ring(std::size_t nodes) {
+  if (nodes < 3) throw std::invalid_argument("ring: need at least 3 nodes");
+  Graph g;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(nodes);
+    g.add_node(Point{0.5 + 0.45 * std::cos(angle), 0.5 + 0.45 * std::sin(angle)});
+  }
+  for (std::size_t i = 0; i < nodes; ++i)
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % nodes));
+  return g;
+}
+
+Graph generate_torus(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("torus: both dimensions must be >= 3");
+  Graph g;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      g.add_node(Point{static_cast<double>(c) / static_cast<double>(cols),
+                       static_cast<double>(r) / static_cast<double>(rows)});
+  const auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_link(id(r, c), id(r, (c + 1) % cols));
+      g.add_link(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph generate_star(std::size_t leaves) {
+  if (leaves < 1) throw std::invalid_argument("star: need at least one leaf");
+  Graph g;
+  g.add_node(Point{0.5, 0.5});
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(leaves);
+    const NodeId leaf =
+        g.add_node(Point{0.5 + 0.4 * std::cos(angle), 0.5 + 0.4 * std::sin(angle)});
+    g.add_link(0, leaf);
+  }
+  return g;
+}
+
+Graph generate_complete(std::size_t nodes) {
+  if (nodes < 2) throw std::invalid_argument("complete: need at least 2 nodes");
+  Graph g(nodes);
+  for (NodeId a = 0; a < nodes; ++a)
+    for (NodeId b = a + 1; b < nodes; ++b) g.add_link(a, b);
+  return g;
+}
+
+namespace {
+
+/// Link sets of the deterministic shortest route for every distinct ordered
+/// pair is symmetric in hop count but not necessarily in links; channels are
+/// unordered pairs here, matching the simulator's uniform pair choice up to
+/// route determinism.
+std::vector<util::DynamicBitset> all_pair_routes(const Graph& g) {
+  std::vector<util::DynamicBitset> routes;
+  routes.reserve(g.num_nodes() * (g.num_nodes() - 1) / 2);
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+      const auto p = shortest_path(g, a, b);
+      if (!p) throw std::invalid_argument("chaining probability: graph disconnected");
+      routes.push_back(p->link_set(g.num_links()));
+    }
+  }
+  return routes;
+}
+
+}  // namespace
+
+double exact_direct_chaining_probability(const Graph& g) {
+  const auto routes = all_pair_routes(g);
+  if (routes.size() < 2)
+    throw std::invalid_argument("chaining probability: need >= 2 node pairs");
+  // Two independent channels may pick the same pair; include the diagonal
+  // (same route always shares links), matching independent uniform draws.
+  std::size_t sharing = routes.size();  // diagonal terms
+  for (std::size_t i = 0; i < routes.size(); ++i)
+    for (std::size_t j = i + 1; j < routes.size(); ++j)
+      if (routes[i].intersects(routes[j])) sharing += 2;
+  const double total = static_cast<double>(routes.size()) *
+                       static_cast<double>(routes.size());
+  return static_cast<double>(sharing) / total;
+}
+
+double exact_average_hops(const Graph& g) {
+  const auto routes = all_pair_routes(g);
+  double hops = 0.0;
+  for (const auto& r : routes) hops += static_cast<double>(r.count());
+  return hops / static_cast<double>(routes.size());
+}
+
+}  // namespace eqos::topology

@@ -1,0 +1,43 @@
+// Regular topologies and exact chaining probabilities.
+//
+// Section 3.3 notes that for a regular-topology network the chaining
+// probabilities "depend solely on the network topology and the average
+// number of hops of channels" — i.e. they can be computed without
+// simulation.  This header provides the classic regular families (ring,
+// torus, star, complete) and an exact computation of the direct-chaining
+// probability Pf for *any* graph under shortest-path routing with uniform
+// random endpoints.  Comparing it with the simulator's measured Pf is a
+// strong end-to-end check of the estimation machinery (see
+// tests/test_topology_regular.cpp).
+#pragma once
+
+#include <cstddef>
+
+#include "topology/graph.hpp"
+
+namespace eqos::topology {
+
+/// Cycle of `nodes` >= 3 nodes laid out on a circle.
+[[nodiscard]] Graph generate_ring(std::size_t nodes);
+
+/// rows x cols torus (wrap-around mesh); both dimensions >= 3 to avoid
+/// duplicate links.
+[[nodiscard]] Graph generate_torus(std::size_t rows, std::size_t cols);
+
+/// Star: node 0 is the hub, `leaves` >= 1 spokes.
+[[nodiscard]] Graph generate_star(std::size_t leaves);
+
+/// Complete graph on `nodes` >= 2 nodes.
+[[nodiscard]] Graph generate_complete(std::size_t nodes);
+
+/// Exact Pf under deterministic fewest-hop routing (BFS tie-break) with
+/// uniformly random distinct endpoint pairs: the probability that two
+/// independently chosen channels share at least one link.  O(pairs^2) bitset
+/// intersections — fine for graphs up to a few hundred nodes.
+[[nodiscard]] double exact_direct_chaining_probability(const Graph& g);
+
+/// The same routing's average hop count over all distinct pairs (the
+/// `avghop` of the ideal-bandwidth formula, computed exactly).
+[[nodiscard]] double exact_average_hops(const Graph& g);
+
+}  // namespace eqos::topology

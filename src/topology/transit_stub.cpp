@@ -1,0 +1,98 @@
+#include "topology/transit_stub.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eqos::topology {
+
+std::size_t TransitStubGraph::num_transit_nodes() const {
+  std::size_t n = 0;
+  for (auto r : roles)
+    if (r == NodeRole::kTransit) ++n;
+  return n;
+}
+
+std::size_t TransitStubGraph::num_stub_nodes() const {
+  return roles.size() - num_transit_nodes();
+}
+
+TransitStubGraph generate_transit_stub(const TransitStubConfig& config,
+                                       std::uint64_t seed) {
+  if (config.transit_domains == 0 || config.nodes_per_transit == 0 ||
+      config.nodes_per_stub == 0)
+    throw std::invalid_argument("transit_stub: empty hierarchy");
+
+  util::Rng rng(seed);
+  TransitStubGraph out;
+  Graph& g = out.graph;
+  std::uint32_t next_domain = 0;
+
+  // --- Transit domains: nodes clustered near the square's center row. ---
+  std::vector<std::vector<NodeId>> transit(config.transit_domains);
+  for (std::size_t d = 0; d < config.transit_domains; ++d) {
+    const std::uint32_t domain = next_domain++;
+    const double cx = (static_cast<double>(d) + 0.5) /
+                      static_cast<double>(config.transit_domains);
+    for (std::size_t i = 0; i < config.nodes_per_transit; ++i) {
+      const Point p{cx + rng.uniform(-0.05, 0.05), 0.5 + rng.uniform(-0.05, 0.05)};
+      const NodeId id = g.add_node(p);
+      transit[d].push_back(id);
+      out.roles.push_back(NodeRole::kTransit);
+      out.domain_of.push_back(domain);
+    }
+    // Ring for guaranteed connectivity, plus random chords.
+    const auto& nodes = transit[d];
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) g.add_link(nodes[i], nodes[i + 1]);
+    if (nodes.size() > 2) g.add_link(nodes.back(), nodes.front());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      for (std::size_t j = i + 2; j < nodes.size(); ++j)
+        if (!(i == 0 && j + 1 == nodes.size()) && !g.find_link(nodes[i], nodes[j]) &&
+            rng.chance(config.transit_edge_prob))
+          g.add_link(nodes[i], nodes[j]);
+  }
+  // Inter-domain transit links: chain plus closing edge.
+  for (std::size_t d = 0; d + 1 < config.transit_domains; ++d)
+    g.add_link(transit[d][rng.index(transit[d].size())],
+               transit[d + 1][rng.index(transit[d + 1].size())]);
+  if (config.transit_domains > 2)
+    g.add_link(transit.back()[rng.index(transit.back().size())],
+               transit.front()[rng.index(transit.front().size())]);
+
+  // --- Stub domains hanging off each transit node. ---
+  for (std::size_t d = 0; d < config.transit_domains; ++d) {
+    for (std::size_t t = 0; t < transit[d].size(); ++t) {
+      const NodeId gateway = transit[d][t];
+      const Point gp = g.position(gateway);
+      for (std::size_t s = 0; s < config.stubs_per_transit_node; ++s) {
+        const std::uint32_t domain = next_domain++;
+        // Place the stub cluster on a small circle around its gateway.
+        const double angle =
+            2.0 * M_PI *
+            (static_cast<double>(s) + rng.uniform(0.0, 0.5)) /
+            static_cast<double>(config.stubs_per_transit_node);
+        const Point center{gp.x + 0.22 * std::cos(angle), gp.y + 0.22 * std::sin(angle)};
+        std::vector<NodeId> stub;
+        for (std::size_t i = 0; i < config.nodes_per_stub; ++i) {
+          const Point p{center.x + rng.uniform(-0.06, 0.06),
+                        center.y + rng.uniform(-0.06, 0.06)};
+          const NodeId id = g.add_node(p);
+          stub.push_back(id);
+          out.roles.push_back(NodeRole::kStub);
+          out.domain_of.push_back(domain);
+        }
+        // Random spanning tree for connectivity, then random extra edges.
+        for (std::size_t i = 1; i < stub.size(); ++i)
+          g.add_link(stub[i], stub[rng.index(i)]);
+        for (std::size_t i = 0; i < stub.size(); ++i)
+          for (std::size_t j = i + 1; j < stub.size(); ++j)
+            if (!g.find_link(stub[i], stub[j]) && rng.chance(config.stub_edge_prob))
+              g.add_link(stub[i], stub[j]);
+        // Single uplink from the stub to its transit gateway.
+        g.add_link(stub[rng.index(stub.size())], gateway);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eqos::topology

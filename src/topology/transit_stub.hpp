@@ -1,0 +1,48 @@
+// Transit-stub topology generator (GT-ITM "Tier" replacement).
+//
+// A two-level internet-like hierarchy: transit domains whose nodes form a
+// well-connected core, each transit node hosting several stub domains of
+// leaf networks.  All traffic between stubs must cross transit links, which
+// is what makes the paper's "Tier" networks saturate long before the flat
+// Waxman "Random" networks do (Table 1: most DR-connection requests are
+// rejected on the tiered topology).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::topology {
+
+/// Parameters of the transit-stub hierarchy.  The defaults build the paper's
+/// 100-node instance: 1 transit domain x 4 transit nodes, 3 stub domains per
+/// transit node, 8 nodes per stub (4 + 4*3*8 = 100 nodes).
+struct TransitStubConfig {
+  std::size_t transit_domains = 1;
+  std::size_t nodes_per_transit = 4;
+  std::size_t stubs_per_transit_node = 3;
+  std::size_t nodes_per_stub = 8;
+  double transit_edge_prob = 0.6;  ///< extra intra-transit edges beyond a ring
+  double stub_edge_prob = 0.42;    ///< extra intra-stub edges beyond a tree
+};
+
+/// Node roles in the generated hierarchy.
+enum class NodeRole : std::uint8_t { kTransit, kStub };
+
+/// A transit-stub graph plus per-node role annotations.
+struct TransitStubGraph {
+  Graph graph;
+  std::vector<NodeRole> roles;          // size == graph.num_nodes()
+  std::vector<std::uint32_t> domain_of; // domain index per node
+
+  [[nodiscard]] std::size_t num_transit_nodes() const;
+  [[nodiscard]] std::size_t num_stub_nodes() const;
+};
+
+/// Generates a connected transit-stub topology.  Deterministic in
+/// (config, seed).
+[[nodiscard]] TransitStubGraph generate_transit_stub(const TransitStubConfig& config,
+                                                     std::uint64_t seed);
+
+}  // namespace eqos::topology

@@ -1,0 +1,98 @@
+#include "topology/waxman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "topology/metrics.hpp"
+
+namespace eqos::topology {
+namespace {
+
+constexpr double kMaxDistance = 1.4142135623730951;  // sqrt(2), unit square
+
+double link_probability(const WaxmanConfig& config, double d) {
+  if (config.beta <= 0.0) return config.alpha;  // pure-random method
+  return config.alpha * std::exp(-d / (config.beta * kMaxDistance));
+}
+
+// Joins components by repeatedly linking the geometrically closest pair of
+// nodes that lie in different components.
+void connect_components(Graph& g) {
+  for (;;) {
+    const auto comp = connected_components(g);
+    const std::size_t num_comps =
+        comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+    if (num_comps <= 1) return;
+    double best = std::numeric_limits<double>::infinity();
+    NodeId best_a = 0;
+    NodeId best_b = 0;
+    for (NodeId a = 0; a < g.num_nodes(); ++a) {
+      for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+        if (comp[a] == comp[b]) continue;
+        const double d = distance(g.position(a), g.position(b));
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    g.add_link(best_a, best_b);
+  }
+}
+
+}  // namespace
+
+Graph generate_waxman(const WaxmanConfig& config, std::uint64_t seed) {
+  if (config.nodes < 2) throw std::invalid_argument("waxman: need at least two nodes");
+  if (config.alpha <= 0.0 || config.alpha > 1.0)
+    throw std::invalid_argument("waxman: alpha must be in (0, 1]");
+
+  util::Rng rng(seed);
+  Graph g;
+  for (std::size_t i = 0; i < config.nodes; ++i)
+    g.add_node(Point{rng.uniform(), rng.uniform()});
+
+  for (NodeId a = 0; a < config.nodes; ++a) {
+    for (NodeId b = a + 1; b < config.nodes; ++b) {
+      const double d = distance(g.position(a), g.position(b));
+      if (rng.chance(link_probability(config, d))) g.add_link(a, b);
+    }
+  }
+  if (config.ensure_connected) connect_components(g);
+  return g;
+}
+
+double calibrate_beta(std::size_t nodes, double alpha, std::size_t target_edges,
+                      std::uint64_t seed, double tolerance) {
+  const auto mean_edges = [&](double beta) {
+    constexpr int kSamples = 3;
+    double total = 0.0;
+    for (int s = 0; s < kSamples; ++s) {
+      WaxmanConfig c{nodes, alpha, beta, /*ensure_connected=*/false};
+      total += static_cast<double>(
+          generate_waxman(c, seed + static_cast<std::uint64_t>(s)).num_links());
+    }
+    return total / kSamples;
+  };
+
+  double lo = 1e-3;
+  double hi = 10.0;  // effectively distance-independent
+  if (mean_edges(hi) < static_cast<double>(target_edges))
+    throw std::invalid_argument("calibrate_beta: target unreachable at this alpha");
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double e = mean_edges(mid);
+    if (std::abs(e - static_cast<double>(target_edges)) <= tolerance) return mid;
+    if (e < static_cast<double>(target_edges))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace eqos::topology

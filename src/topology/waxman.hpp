@@ -1,0 +1,46 @@
+// Waxman random-graph generator (GT-ITM replacement, "Random" networks).
+//
+// Nodes are placed uniformly in the unit square and each pair (u, v) is
+// linked with probability
+//
+//     P(u, v) = alpha * exp(-d(u, v) / (beta * L)),
+//
+// where d is Euclidean distance and L = sqrt(2) is the maximal distance
+// (GT-ITM parameter convention: alpha scales density, beta controls the
+// length of typical links).  A degenerate beta <= 0 is interpreted as a
+// distance-independent edge probability alpha, which is GT-ITM's "pure
+// random" method.  Generated graphs are made connected by joining the
+// closest node pairs of distinct components, matching common GT-ITM
+// post-processing.
+//
+// The paper's "Random" network is 100 nodes / 354 edges at alpha = 0.33;
+// `calibrate_beta` finds the beta that reproduces a target edge count so the
+// reproduction can match the reported instance statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::topology {
+
+/// Parameters of the Waxman model.
+struct WaxmanConfig {
+  std::size_t nodes = 100;
+  double alpha = 0.33;  ///< density scale in (0, 1]
+  double beta = 0.20;   ///< link-length decay; <= 0 means distance-independent
+  bool ensure_connected = true;
+};
+
+/// Generates a Waxman graph.  Deterministic in (config, seed).
+[[nodiscard]] Graph generate_waxman(const WaxmanConfig& config, std::uint64_t seed);
+
+/// Bisects beta so the expected edge count of `generate_waxman` is within
+/// `tolerance` edges of `target_edges` (averaged over a few instances).
+/// Returns the calibrated beta.
+[[nodiscard]] double calibrate_beta(std::size_t nodes, double alpha,
+                                    std::size_t target_edges, std::uint64_t seed,
+                                    double tolerance = 10.0);
+
+}  // namespace eqos::topology

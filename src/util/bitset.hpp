@@ -1,0 +1,122 @@
+// A small dynamic bitset tuned for path/link-set operations.
+//
+// The simulator classifies, on every connection arrival, each existing
+// channel as directly chained (shares >= 1 link with the newcomer),
+// indirectly chained, or unaffected.  With thousands of channels this test is
+// the hot path, so each channel keeps its traversed-link set as a bitset and
+// the tests reduce to word-wise AND / OR.  Header-only.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eqos::util {
+
+/// Fixed-capacity bitset whose size is chosen at run time.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates an all-zero bitset with `bits` addressable positions.
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) {
+    assert(i < bits_);
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void reset(std::size_t i) {
+    assert(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    assert(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// True iff this and `other` share at least one set bit.
+  /// Both operands must have the same size.
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    return false;
+  }
+
+  /// In-place union.  Both operands must have the same size.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection.  Both operands must have the same size.
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  /// Calls `fn(index)` for every set bit, ascending, without allocating.
+  template <typename Fn>
+  void for_each_set_bit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> set_bits() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        out.push_back(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace eqos::util

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The library is a research artifact whose binaries (benches, examples) are
+// expected to produce clean tabular stdout; diagnostics therefore go to
+// stderr and default to `Warn`.  The level is process-global and can be
+// raised by tests or via the EQOS_LOG environment variable
+// (trace|debug|info|warn|error|off) read at first use.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace eqos::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current process-global level (initialized from EQOS_LOG on first call).
+[[nodiscard]] LogLevel log_level();
+
+/// Overrides the process-global level.
+void set_log_level(LogLevel level);
+
+/// Parses a level name; returns kWarn for unknown names.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}
+
+/// Statement-style logging:  EQOS_LOG_AT(LogLevel::kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace eqos::util
+
+#define EQOS_LOG_AT(level) ::eqos::util::LogLine(level)
+#define EQOS_DEBUG() EQOS_LOG_AT(::eqos::util::LogLevel::kDebug)
+#define EQOS_INFO() EQOS_LOG_AT(::eqos::util::LogLevel::kInfo)
+#define EQOS_WARN() EQOS_LOG_AT(::eqos::util::LogLevel::kWarn)
+#define EQOS_ERROR() EQOS_LOG_AT(::eqos::util::LogLevel::kError)

@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eqos::util {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+bool Rng::chance(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return uniform() < clamped;
+}
+
+Rng Rng::split() {
+  // SplitMix64-style avalanche of a fresh draw gives a well-separated child
+  // seed even for adjacent parent states.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
+}  // namespace eqos::util

@@ -1,0 +1,73 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the library takes an explicit 64-bit seed so
+// that simulations, tests, and benchmarks are exactly reproducible.  `Rng`
+// wraps a 64-bit Mersenne twister and exposes the small set of distributions
+// the simulator needs (uniform, exponential, integer ranges) plus `split()`,
+// which derives an independent child stream — used to give each workload
+// process (arrivals, terminations, failures) its own stream so adding one
+// process does not perturb the draws of another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace eqos::util {
+
+/// A seeded pseudo-random stream.  Copyable; copies replay the same draws.
+class Rng {
+ public:
+  /// Constructs a stream from an explicit seed.  Equal seeds give equal
+  /// streams on every platform (mt19937_64 is fully specified by the
+  /// standard).
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this stream was created with (for logging / reproduction).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform real in [lo, hi).  Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Exponentially distributed variate with the given rate (mean 1/rate).
+  /// Requires rate > 0.
+  [[nodiscard]] double exponential(double rate);
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p);
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child stream.  Successive calls yield distinct
+  /// children; the parent's future draws are advanced by one.
+  [[nodiscard]] Rng split();
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace eqos::util

@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace eqos::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const {
+  assert(n_ > 0);
+  return mean_;
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::sem() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStat::ci95_halfwidth() const { return 1.96 * sem(); }
+
+double RunningStat::min() const {
+  assert(n_ > 0);
+  return min_;
+}
+
+double RunningStat::max() const {
+  assert(n_ > 0);
+  return max_;
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedMean::update(double time, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = time;
+  } else {
+    assert(time >= last_time_);
+    area_ += last_value_ * (time - last_time_);
+  }
+  last_time_ = time;
+  last_value_ = value;
+}
+
+double TimeWeightedMean::integral(double end_time) const {
+  if (!started_) return 0.0;
+  assert(end_time >= last_time_);
+  return area_ + last_value_ * (end_time - last_time_);
+}
+
+double TimeWeightedMean::mean(double end_time, double fallback) const {
+  if (!started_ || end_time <= start_) return fallback;
+  return integral(end_time) / (end_time - start_);
+}
+
+double TimeWeightedMean::current_value() const {
+  assert(started_);
+  return last_value_;
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0.0) {
+  assert(buckets > 0);
+}
+
+void Histogram::add(std::size_t bucket, double weight) {
+  const std::size_t b = std::min(bucket, counts_.size() - 1);
+  counts_[b] += weight;
+  total_ += weight;
+}
+
+double Histogram::count(std::size_t bucket) const {
+  assert(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+std::vector<double> Histogram::probabilities() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ <= 0.0) return p;
+  for (std::size_t i = 0; i < counts_.size(); ++i) p[i] = counts_[i] / total_;
+  return p;
+}
+
+std::string describe(const RunningStat& s) {
+  std::ostringstream out;
+  if (s.empty()) return "(no samples)";
+  out.precision(4);
+  out << std::fixed << s.mean() << " +/- " << s.ci95_halfwidth() << " [" << s.min()
+      << ", " << s.max() << "] (n=" << s.count() << ")";
+  return out.str();
+}
+
+}  // namespace eqos::util

@@ -1,0 +1,101 @@
+// Statistics collectors used by the simulator and the benches.
+//
+// `RunningStat` accumulates mean/variance with Welford's algorithm (stable
+// for long runs).  `TimeWeightedMean` integrates a piecewise-constant signal
+// over simulated time — the paper's "average bandwidth reserved" metric is a
+// time-weighted average of each primary channel's reservation, so this is the
+// core measurement primitive.  `Histogram` counts integer-bucketed samples
+// (used for the empirical state-occupancy distribution that is compared with
+// the Markov chain's stationary vector).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eqos::util {
+
+/// Streaming mean / variance / min / max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the samples so far.  Requires count() > 0.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance.  Returns 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double sem() const;
+  /// Approximate 95% confidence half-width (normal approximation).
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call `update(t, v)` whenever the signal changes to value `v` at time `t`;
+/// the value is held constant until the next update.  `mean(t_end)` closes
+/// the last segment at `t_end` and returns the integral divided by the
+/// observed span.  Updates must have non-decreasing timestamps.
+class TimeWeightedMean {
+ public:
+  void update(double time, double value);
+  /// Integral of the signal divided by elapsed span up to `end_time`.
+  /// Returns `fallback` if no time has elapsed yet.
+  [[nodiscard]] double mean(double end_time, double fallback = 0.0) const;
+  /// Raw integral of the signal up to `end_time`.
+  [[nodiscard]] double integral(double end_time) const;
+  /// Time of the first update, or 0 if none.
+  [[nodiscard]] double start_time() const noexcept { return start_; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  /// Value currently held (last update).  Requires started().
+  [[nodiscard]] double current_value() const;
+
+ private:
+  bool started_ = false;
+  double start_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double area_ = 0.0;
+};
+
+/// Fixed-width histogram over integer buckets [0, buckets).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets);
+
+  /// Adds `weight` to `bucket`.  Out-of-range buckets are clamped into range
+  /// (callers bucket by construction; clamping guards float edge cases).
+  void add(std::size_t bucket, double weight = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double count(std::size_t bucket) const;
+  /// Normalized bucket probabilities; all zeros if the histogram is empty.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+ private:
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Renders "mean ± ci95 [min, max] (n)" for human-readable bench output.
+[[nodiscard]] std::string describe(const RunningStat& s);
+
+}  // namespace eqos::util

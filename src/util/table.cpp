@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace eqos::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      // Right-align everything; headers and numerics line up cleanly.
+      out.width(static_cast<std::streamsize>(width[c]));
+      out << row[c];
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule_len += width[c] + (c ? 2 : 0);
+  out << std::string(rule_len, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double value, int digits) {
+  std::ostringstream s;
+  s.setf(std::ios::fixed);
+  s.precision(digits);
+  s << value;
+  return s.str();
+}
+
+std::string Table::sci(double value, int digits) {
+  std::ostringstream s;
+  s.setf(std::ios::scientific);
+  s.precision(digits);
+  s << value;
+  return s.str();
+}
+
+}  // namespace eqos::util

@@ -1,0 +1,41 @@
+// Aligned plain-text table printer.
+//
+// The bench harnesses regenerate the paper's tables and figure series as
+// rows on stdout; this helper right-aligns numeric columns and keeps the
+// output stable enough to diff between runs.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eqos::util {
+
+/// Collects rows of string cells and renders them with per-column widths.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are
+  /// an error.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders the table (header, rule, rows) to the stream.
+  void print(std::ostream& out) const;
+
+  /// Formats a double with `digits` places after the point.
+  [[nodiscard]] static std::string num(double value, int digits = 1);
+  /// Formats a double in scientific notation ("1.0e-05").
+  [[nodiscard]] static std::string sci(double value, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eqos::util

@@ -1,0 +1,197 @@
+// Unit tests for backup-channel reservation and multiplexing (overbooking).
+#include <gtest/gtest.h>
+
+#include "net/backup.hpp"
+#include "net/network.hpp"
+#include "net/qos.hpp"
+#include "topology/waxman.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos::net {
+namespace {
+
+using topology::Graph;
+
+util::DynamicBitset bits(std::size_t size, std::initializer_list<std::size_t> set) {
+  util::DynamicBitset b(size);
+  for (auto i : set) b.set(i);
+  return b;
+}
+
+ElasticQosSpec paper_qos() {
+  ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+// ---- BackupManager in isolation ------------------------------------------------
+
+TEST(BackupManager, DisjointPrimariesMultiplexToMaxBmin) {
+  BackupManager m(10, /*multiplexing=*/true);
+  // Two backups on link 5 whose primaries are link-disjoint: one shared
+  // reservation suffices.
+  m.add(5, 1, 100.0, bits(10, {0, 1}));
+  EXPECT_DOUBLE_EQ(m.reservation(5), 100.0);
+  EXPECT_DOUBLE_EQ(m.incremental_need(5, 100.0, bits(10, {2, 3})), 0.0);
+  m.add(5, 2, 100.0, bits(10, {2, 3}));
+  EXPECT_DOUBLE_EQ(m.reservation(5), 100.0);
+  EXPECT_EQ(m.count_on_link(5), 2u);
+}
+
+TEST(BackupManager, SharedPrimaryLinkForcesSum) {
+  BackupManager m(10, true);
+  m.add(5, 1, 100.0, bits(10, {0, 1}));
+  // A primary crossing link 1 fails together with connection 1's primary.
+  EXPECT_DOUBLE_EQ(m.incremental_need(5, 100.0, bits(10, {1, 2})), 100.0);
+  m.add(5, 2, 100.0, bits(10, {1, 2}));
+  EXPECT_DOUBLE_EQ(m.reservation(5), 200.0);
+  // A third, disjoint from both, multiplexes for free.
+  EXPECT_DOUBLE_EQ(m.incremental_need(5, 100.0, bits(10, {7, 8})), 0.0);
+}
+
+TEST(BackupManager, ScenarioMaxOverThreeConnections) {
+  BackupManager m(10, true);
+  m.add(0, 1, 100.0, bits(10, {4}));
+  m.add(0, 2, 150.0, bits(10, {4}));
+  m.add(0, 3, 200.0, bits(10, {5}));
+  // Failure of 4 activates 1+2 (250); failure of 5 activates 3 (200).
+  EXPECT_DOUBLE_EQ(m.reservation(0), 250.0);
+}
+
+TEST(BackupManager, RemoveUpdatesReservation) {
+  BackupManager m(10, true);
+  m.add(0, 1, 100.0, bits(10, {4}));
+  m.add(0, 2, 150.0, bits(10, {4}));
+  EXPECT_DOUBLE_EQ(m.reservation(0), 250.0);
+  m.remove(0, 2);
+  EXPECT_DOUBLE_EQ(m.reservation(0), 100.0);
+  m.remove(0, 1);
+  EXPECT_DOUBLE_EQ(m.reservation(0), 0.0);
+  m.remove(0, 99);  // no-op
+  EXPECT_DOUBLE_EQ(m.reservation(0), 0.0);
+}
+
+TEST(BackupManager, NoMultiplexingSumsEverything) {
+  BackupManager m(10, /*multiplexing=*/false);
+  m.add(5, 1, 100.0, bits(10, {0, 1}));
+  m.add(5, 2, 100.0, bits(10, {2, 3}));
+  EXPECT_DOUBLE_EQ(m.reservation(5), 200.0);
+  EXPECT_DOUBLE_EQ(m.incremental_need(5, 100.0, bits(10, {7})), 100.0);
+  m.remove(5, 1);
+  EXPECT_DOUBLE_EQ(m.reservation(5), 100.0);
+}
+
+TEST(BackupManager, ActivatedByListsAffectedBackups) {
+  BackupManager m(10, true);
+  m.add(5, 1, 100.0, bits(10, {0, 1}));
+  m.add(5, 2, 100.0, bits(10, {1, 2}));
+  m.add(5, 3, 100.0, bits(10, {3}));
+  const auto hit = m.activated_by(5, 1);
+  EXPECT_EQ(hit, (std::vector<ConnectionId>{1, 2}));
+  EXPECT_TRUE(m.activated_by(5, 9).empty());
+}
+
+TEST(BackupManager, CachedReservationMatchesRecompute) {
+  BackupManager m(20, true);
+  util::Rng rng(3);
+  for (ConnectionId id = 1; id <= 30; ++id) {
+    util::DynamicBitset p(20);
+    for (int k = 0; k < 3; ++k) p.set(rng.index(20));
+    m.add(static_cast<topology::LinkId>(rng.index(20)), id, 100.0, p);
+  }
+  for (topology::LinkId l = 0; l < 20; ++l)
+    EXPECT_NEAR(m.reservation(l), m.recompute_reservation(l), 1e-9);
+  // And after removals.
+  for (ConnectionId id = 1; id <= 30; id += 2)
+    for (topology::LinkId l = 0; l < 20; ++l) m.remove(l, id);
+  for (topology::LinkId l = 0; l < 20; ++l)
+    EXPECT_NEAR(m.reservation(l), m.recompute_reservation(l), 1e-9);
+}
+
+// ---- Multiplexing at the network level ----------------------------------------------
+
+TEST(NetworkBackup, MultiplexingAdmitsMoreThanPlainReservation) {
+  // Saturate a topology twice, with and without multiplexing; overbooking
+  // must admit at least as many (in practice strictly more) connections.
+  const auto g = topology::generate_waxman({40, 0.35, 0.25, true}, 11);
+  auto saturate = [&](bool multiplexing) {
+    NetworkConfig cfg;
+    cfg.link_capacity_kbps = 1000.0;  // tight: 10 bmin units per link
+    cfg.backup_multiplexing = multiplexing;
+    Network net(g, cfg);
+    util::Rng rng(23);
+    std::size_t accepted = 0;
+    for (int i = 0; i < 400; ++i) {
+      const auto src = static_cast<topology::NodeId>(rng.index(40));
+      auto dst = static_cast<topology::NodeId>(rng.index(39));
+      if (dst >= src) ++dst;
+      if (net.request_connection(src, dst, paper_qos()).accepted) ++accepted;
+    }
+    net.validate_invariants();
+    return accepted;
+  };
+  const std::size_t with = saturate(true);
+  const std::size_t without = saturate(false);
+  EXPECT_GT(with, without);
+}
+
+TEST(NetworkBackup, BackupReservationVisibleOnLinks) {
+  Graph g(4);
+  g.add_link(0, 1);  // 0
+  g.add_link(1, 3);  // 1
+  g.add_link(0, 2);  // 2
+  g.add_link(2, 3);  // 3
+  Network net(g, NetworkConfig{});
+  const auto outcome = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  const DrConnection& c = net.connection(outcome.id);
+  ASSERT_TRUE(c.backup.has_value());
+  double reserved = 0.0;
+  for (topology::LinkId l = 0; l < g.num_links(); ++l)
+    reserved += net.link_state(l).backup_reserved();
+  // Backup spans 2 links at bmin each.
+  EXPECT_DOUBLE_EQ(reserved, 2.0 * 100.0);
+  net.validate_invariants();
+}
+
+TEST(NetworkBackup, ElasticGrantsBorrowBackupReservation) {
+  // One route pair; capacity exactly bmin(primary) + bmin(backup) + 100:
+  // elastic grants may dip into the backup reservation.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  NetworkConfig cfg;
+  cfg.link_capacity_kbps = 300.0;
+  Network net(g, cfg);
+  const auto a = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  const DrConnection& c = net.connection(a.id);
+  // Primary links: committed 100, backup reservation 0 (backup is on the
+  // other route).  Elastic spare on primary links = 200 -> 4 quanta.
+  EXPECT_EQ(c.extra_quanta, 4u);
+  // Now the backup route's links hold backup reservation 100; a second
+  // connection 0->3 must still be admissible there (100 + 100 <= 300).
+  const auto b = net.request_connection(0, 3, paper_qos());
+  EXPECT_TRUE(b.accepted);
+  net.validate_invariants();
+}
+
+TEST(NetworkBackup, BackupsReservedAtMinimumOnly) {
+  // Footnote 4: backups get bmin, never elastic grants.
+  Network net(topology::generate_waxman({20, 0.5, 0.4, true}, 2), NetworkConfig{});
+  const auto outcome = net.request_connection(0, 10, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  const DrConnection& c = net.connection(outcome.id);
+  ASSERT_TRUE(c.backup.has_value());
+  for (topology::LinkId l : c.backup->links)
+    EXPECT_LE(net.link_state(l).backup_reserved(),
+              100.0 * static_cast<double>(net.backups().count_on_link(l)) + 1e-9);
+  net.validate_invariants();
+}
+
+}  // namespace
+}  // namespace eqos::net

@@ -1,0 +1,210 @@
+// Unit tests for the analysis pipeline: chain assembly from estimates, the
+// ideal-bandwidth formula, and the experiment runner.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "core/ideal.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::core {
+namespace {
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+sim::WorkloadConfig paper_workload() {
+  sim::WorkloadConfig w;
+  w.qos = paper_qos();
+  w.arrival_rate = 1e-3;
+  w.termination_rate = 1e-3;
+  w.failure_rate = 0.0;
+  w.seed = 1;
+  return w;
+}
+
+/// Hand-built estimates: retreat to bottom on arrival, refill to top on
+/// termination, both fully chained.
+sim::ModelEstimates synthetic_estimates(std::size_t n) {
+  sim::ModelEstimates e;
+  e.pf = 0.5;
+  e.ps = 0.0;
+  e.pf_termination = 0.5;
+  e.pf_failure = 0.5;
+  matrix::Matrix bottom(n, n);
+  matrix::Matrix top(n, n);
+  matrix::Matrix stay(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bottom(i, 0) = 1.0;
+    top(i, n - 1) = 1.0;
+    stay(i, i) = 1.0;
+  }
+  e.arrival_move = bottom;
+  e.indirect_move = stay;
+  e.termination_move = top;
+  e.failure_move = bottom;
+  e.occupancy.assign(n, 1.0 / static_cast<double>(n));
+  return e;
+}
+
+// ---- make_chain_parameters / analyze ------------------------------------------------
+
+TEST(Analyzer, PaperFidelitySharesOnePf) {
+  const auto est = synthetic_estimates(9);
+  const auto p = make_chain_parameters(est, paper_workload(), Fidelity::kPaper);
+  EXPECT_FALSE(p.failure_move.has_value());
+  EXPECT_FALSE(p.p_direct_termination.has_value());
+  EXPECT_DOUBLE_EQ(p.p_direct, 0.5);
+  EXPECT_EQ(p.num_states(), 9u);
+}
+
+TEST(Analyzer, RefinedFidelityUsesMeasuredExtras) {
+  auto est = synthetic_estimates(9);
+  est.pf_termination = 0.25;
+  const auto p = make_chain_parameters(est, paper_workload(), Fidelity::kRefined);
+  ASSERT_TRUE(p.p_direct_termination.has_value());
+  EXPECT_DOUBLE_EQ(*p.p_direct_termination, 0.25);
+  ASSERT_TRUE(p.failure_move.has_value());
+}
+
+TEST(Analyzer, SymmetricRetreatRefillGivesMidpoint) {
+  const auto result = analyze(synthetic_estimates(9), paper_workload());
+  EXPECT_FALSE(result.degenerate);
+  EXPECT_NEAR(result.average_bandwidth_kbps, 300.0, 1e-6);
+  double sum = 0.0;
+  for (double p : result.steady_state) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Analyzer, DegenerateChainFallsBackToDominantState) {
+  sim::ModelEstimates e;
+  const std::size_t n = 9;
+  e.arrival_move = matrix::Matrix(n, n);
+  e.indirect_move = matrix::Matrix(n, n);
+  e.termination_move = matrix::Matrix(n, n);
+  e.failure_move = matrix::Matrix(n, n);
+  e.occupancy.assign(n, 0.0);
+  e.occupancy[6] = 1.0;
+  const auto result = analyze(e, paper_workload());
+  EXPECT_TRUE(result.degenerate);
+  EXPECT_NEAR(result.average_bandwidth_kbps, 100.0 + 6 * 50.0, 1e-9);
+}
+
+TEST(Analyzer, DegenerateWithoutOccupancyUsesTopState) {
+  sim::ModelEstimates e;
+  const std::size_t n = 5;
+  e.arrival_move = matrix::Matrix(n, n);
+  e.indirect_move = matrix::Matrix(n, n);
+  e.termination_move = matrix::Matrix(n, n);
+  e.failure_move = matrix::Matrix(n, n);
+  sim::WorkloadConfig w = paper_workload();
+  w.qos.increment_kbps = 100.0;  // N = 5
+  const auto result = analyze(e, w);
+  EXPECT_TRUE(result.degenerate);
+  EXPECT_NEAR(result.average_bandwidth_kbps, 500.0, 1e-9);
+}
+
+// ---- Ideal bandwidth --------------------------------------------------------------
+
+TEST(Ideal, FormulaMatchesPaper) {
+  // BW * Edge / (NChan * avghop), the Figure 2 expression.
+  EXPECT_NEAR(ideal_average_bandwidth_kbps(10'000.0, 354, 1000, 4.0),
+              10'000.0 * 354.0 / (1000.0 * 4.0), 1e-9);
+}
+
+TEST(Ideal, ClampsToQosRange) {
+  EXPECT_DOUBLE_EQ(
+      clamped_ideal_bandwidth_kbps(10'000.0, 354, 100, 4.0, 100.0, 500.0), 500.0);
+  EXPECT_DOUBLE_EQ(
+      clamped_ideal_bandwidth_kbps(10'000.0, 354, 100'000, 4.0, 100.0, 500.0), 100.0);
+}
+
+TEST(Ideal, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)ideal_average_bandwidth_kbps(1.0, 1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ideal_average_bandwidth_kbps(1.0, 1, 1, 0.0), std::invalid_argument);
+}
+
+// ---- run_experiment -----------------------------------------------------------------
+
+TEST(Experiment, LowLoadEveryoneAtMax) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  ExperimentConfig cfg;
+  cfg.workload = paper_workload();
+  cfg.target_connections = 100;
+  cfg.warmup_events = 100;
+  cfg.measure_events = 400;
+  const auto r = run_experiment(g, cfg);
+  EXPECT_EQ(r.established, 100u);
+  EXPECT_GT(r.sim_mean_bandwidth_kbps, 480.0);
+  EXPECT_GT(r.analytic_paper_kbps, 480.0);
+  EXPECT_DOUBLE_EQ(r.ideal_clamped_kbps, 500.0);
+  EXPECT_GT(r.protected_fraction, 0.95);
+}
+
+TEST(Experiment, HighLoadDegradesTowardMinimum) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  ExperimentConfig cfg;
+  cfg.workload = paper_workload();
+  cfg.target_connections = 5000;
+  cfg.warmup_events = 200;
+  cfg.measure_events = 800;
+  const auto r = run_experiment(g, cfg);
+  EXPECT_LT(r.sim_mean_bandwidth_kbps, 350.0);
+  EXPECT_GT(r.sim_mean_bandwidth_kbps, 100.0);
+  // The analytic model tracks the simulation within a loose band.
+  EXPECT_NEAR(r.analytic_paper_kbps, r.sim_mean_bandwidth_kbps,
+              0.35 * r.sim_mean_bandwidth_kbps);
+}
+
+TEST(Experiment, AnalyticTracksSimulationAtModerateLoad) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  ExperimentConfig cfg;
+  cfg.workload = paper_workload();
+  cfg.workload.seed = 1234;
+  cfg.target_connections = 3500;
+  cfg.warmup_events = 300;
+  cfg.measure_events = 1200;
+  const auto r = run_experiment(g, cfg);
+  EXPECT_NEAR(r.analytic_paper_kbps, r.sim_mean_bandwidth_kbps,
+              0.30 * r.sim_mean_bandwidth_kbps);
+  // Ideal is an upper bound (on the clamped scale).
+  EXPECT_GE(r.ideal_clamped_kbps, r.sim_mean_bandwidth_kbps - 30.0);
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  const auto g = topology::generate_waxman({60, 0.35, 0.25, true}, 5);
+  ExperimentConfig cfg;
+  cfg.workload = paper_workload();
+  cfg.workload.seed = 99;
+  cfg.target_connections = 300;
+  cfg.warmup_events = 50;
+  cfg.measure_events = 200;
+  const auto a = run_experiment(g, cfg);
+  const auto b = run_experiment(g, cfg);
+  EXPECT_DOUBLE_EQ(a.sim_mean_bandwidth_kbps, b.sim_mean_bandwidth_kbps);
+  EXPECT_DOUBLE_EQ(a.analytic_paper_kbps, b.analytic_paper_kbps);
+  EXPECT_EQ(a.active_at_end, b.active_at_end);
+}
+
+TEST(Experiment, FailureWorkloadRuns) {
+  const auto g = topology::generate_waxman({60, 0.35, 0.25, true}, 5);
+  ExperimentConfig cfg;
+  cfg.workload = paper_workload();
+  cfg.workload.failure_rate = 1e-4;
+  cfg.workload.repair_rate = 1e-2;
+  cfg.target_connections = 300;
+  cfg.warmup_events = 100;
+  cfg.measure_events = 600;
+  const auto r = run_experiment(g, cfg);
+  EXPECT_GT(r.network_stats.failures_injected, 0u);
+  EXPECT_GT(r.sim_mean_bandwidth_kbps, 100.0);
+  EXPECT_LE(r.sim_mean_bandwidth_kbps, 500.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace eqos::core

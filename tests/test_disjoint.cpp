@@ -1,0 +1,209 @@
+// Unit tests for Suurballe/Bhandari disjoint pairs and the Network's joint
+// establishment fallback, centered on the classic trap topology.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.hpp"
+#include "topology/disjoint.hpp"
+#include "topology/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::topology {
+namespace {
+
+/// The classic trap: the unique shortest path s-1-2-t blocks the only
+/// disjoint pair {s-1-4-t, s-3-2-t}.
+///   nodes: 0=s, 1, 2, 3, 4, 5=t
+Graph trap_graph() {
+  Graph g(6);
+  g.add_link(0, 1);  // s-1
+  g.add_link(1, 2);  // 1-2
+  g.add_link(2, 5);  // 2-t
+  g.add_link(0, 3);  // s-3
+  g.add_link(3, 2);  // 3-2
+  g.add_link(1, 4);  // 1-4
+  g.add_link(4, 5);  // 4-t
+  return g;
+}
+
+void expect_valid_disjoint_pair(const Graph& g, const DisjointPair& pair, NodeId src,
+                                NodeId dst) {
+  for (const Path* p : {&pair.first, &pair.second}) {
+    ASSERT_FALSE(p->links.empty());
+    EXPECT_EQ(p->nodes.front(), src);
+    EXPECT_EQ(p->nodes.back(), dst);
+    ASSERT_EQ(p->nodes.size(), p->links.size() + 1);
+    for (std::size_t i = 0; i < p->links.size(); ++i) {
+      const Link& l = g.link(p->links[i]);
+      const std::set<NodeId> ends{l.a, l.b};
+      EXPECT_EQ(ends, (std::set<NodeId>{p->nodes[i], p->nodes[i + 1]}));
+    }
+  }
+  EXPECT_EQ(pair.first.overlap(pair.second), 0u);
+}
+
+TEST(DisjointPair, SolvesTheTrap) {
+  const Graph g = trap_graph();
+  // Sequential search fails: remove the shortest path's links and t is
+  // unreachable.
+  const auto p1 = shortest_path(g, 0, 5);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_EQ(p1->hops(), 3u);
+  const auto bits = p1->link_set(g.num_links());
+  const LinkFilter avoid_p1 = [&](LinkId l) { return !bits.test(l); };
+  EXPECT_FALSE(shortest_path(g, 0, 5, avoid_p1).has_value());
+
+  // The joint computation finds the pair.
+  const auto pair = shortest_disjoint_pair(g, 0, 5);
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_disjoint_pair(g, *pair, 0, 5);
+  EXPECT_EQ(pair->first.hops() + pair->second.hops(), 6u);  // 3 + 3
+}
+
+TEST(DisjointPair, DiamondGivesBothSides) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  const auto pair = shortest_disjoint_pair(g, 0, 3);
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_disjoint_pair(g, *pair, 0, 3);
+  EXPECT_EQ(pair->first.hops(), 2u);
+  EXPECT_EQ(pair->second.hops(), 2u);
+}
+
+TEST(DisjointPair, NoneOnPathGraph) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  EXPECT_FALSE(shortest_disjoint_pair(g, 0, 2).has_value());
+}
+
+TEST(DisjointPair, HonorsFilter) {
+  Graph g(4);
+  const LinkId a = g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  const LinkFilter no_a = [&](LinkId l) { return l != a; };
+  EXPECT_FALSE(shortest_disjoint_pair(g, 0, 3, no_a).has_value());
+}
+
+TEST(DisjointPair, InputValidation) {
+  Graph g(2);
+  g.add_link(0, 1);
+  EXPECT_THROW((void)shortest_disjoint_pair(g, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)shortest_disjoint_pair(g, 0, 9), std::invalid_argument);
+}
+
+// Property sweep: wherever the sequential method finds a disjoint pair, the
+// joint method finds one with total hops <= sequential's total.
+class DisjointSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjointSweep, JointNeverWorseThanSequential) {
+  const Graph g = generate_waxman({40, 0.35, 0.25, true}, GetParam());
+  util::Rng rng(GetParam() * 11 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto src = static_cast<NodeId>(rng.index(40));
+    auto dst = static_cast<NodeId>(rng.index(39));
+    if (dst >= src) ++dst;
+    const auto p1 = shortest_path(g, src, dst);
+    ASSERT_TRUE(p1.has_value());
+    const auto bits = p1->link_set(g.num_links());
+    const LinkFilter avoid = [&](LinkId l) { return !bits.test(l); };
+    const auto p2 = shortest_path(g, src, dst, avoid);
+    const auto joint = shortest_disjoint_pair(g, src, dst);
+    if (p2.has_value()) {
+      ASSERT_TRUE(joint.has_value());
+      expect_valid_disjoint_pair(g, *joint, src, dst);
+      EXPECT_LE(joint->first.hops() + joint->second.hops(), p1->hops() + p2->hops());
+    }
+    // (When sequential fails, joint may still succeed — the trap case.)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace eqos::topology
+
+namespace eqos::net {
+namespace {
+
+TEST(JointFallback, RescuesTrapTopologyRequests) {
+  const topology::Graph g = [] {
+    topology::Graph t(6);
+    t.add_link(0, 1);
+    t.add_link(1, 2);
+    t.add_link(2, 5);
+    t.add_link(0, 3);
+    t.add_link(3, 2);
+    t.add_link(1, 4);
+    t.add_link(4, 5);
+    return t;
+  }();
+  const ElasticQosSpec qos{100.0, 500.0, 50.0, 1.0};
+
+  // Paper-faithful sequential establishment with full disjointness: the
+  // trap rejects the request.
+  NetworkConfig strict;
+  strict.require_full_disjoint = true;
+  Network sequential(g, strict);
+  const auto rejected = sequential.request_connection(0, 5, qos);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reject_reason, RejectReason::kNoBackupRoute);
+
+  // With the joint fallback the same request is protected.
+  NetworkConfig joint = strict;
+  joint.joint_disjoint_fallback = true;
+  Network rescued(g, joint);
+  const auto accepted = rescued.request_connection(0, 5, qos);
+  ASSERT_TRUE(accepted.accepted);
+  EXPECT_TRUE(accepted.backup_established);
+  EXPECT_EQ(accepted.backup_overlap_links, 0u);
+  const auto& c = rescued.connection(accepted.id);
+  EXPECT_EQ(c.primary.hops() + c.backup->hops(), 6u);
+  rescued.validate_invariants();
+}
+
+TEST(JointFallback, DoesNotChangeOutcomeWhereSequentialWorks) {
+  const auto g = topology::generate_waxman({40, 0.35, 0.25, true}, 13);
+  NetworkConfig plain;
+  NetworkConfig with_fallback;
+  with_fallback.joint_disjoint_fallback = true;
+  Network a(g, plain);
+  Network b(g, with_fallback);
+  util::Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<topology::NodeId>(rng.index(40));
+    auto dst = static_cast<topology::NodeId>(rng.index(39));
+    if (dst >= src) ++dst;
+    const auto ra = a.request_connection(src, dst, ElasticQosSpec{100, 500, 50, 1});
+    const auto rb = b.request_connection(src, dst, ElasticQosSpec{100, 500, 50, 1});
+    // The fallback can only rescue rejects, never reject accepts.
+    EXPECT_LE(ra.accepted, rb.accepted);
+  }
+  EXPECT_GE(b.num_active(), a.num_active());
+  a.validate_invariants();
+  b.validate_invariants();
+}
+
+TEST(JointFallback, StillRejectsWhenNoPairExists) {
+  topology::Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  NetworkConfig cfg;
+  cfg.joint_disjoint_fallback = true;
+  Network net(g, cfg);
+  const auto outcome = net.request_connection(0, 2, ElasticQosSpec{100, 500, 50, 1});
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.reject_reason, RejectReason::kNoBackupRoute);
+  for (topology::LinkId l = 0; l < g.num_links(); ++l)
+    EXPECT_DOUBLE_EQ(net.link_state(l).committed_min(), 0.0);  // clean rollback
+  net.validate_invariants();
+}
+
+}  // namespace
+}  // namespace eqos::net

@@ -1,0 +1,299 @@
+// Unit tests for link failure handling: backup activation, QoS retreat,
+// replacement backups, drops, overbooking debt, and repair.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::net {
+namespace {
+
+using topology::Graph;
+
+ElasticQosSpec paper_qos() {
+  ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+/// Diamond: two disjoint 2-hop routes 0-1-3 (links 0,1) and 0-2-3 (links 2,3).
+Graph diamond() {
+  Graph g(4);
+  g.add_link(0, 1);  // 0
+  g.add_link(1, 3);  // 1
+  g.add_link(0, 2);  // 2
+  g.add_link(2, 3);  // 3
+  return g;
+}
+
+TEST(Failure, ActivatesBackupAndSwitchesPrimary) {
+  Network net(diamond(), NetworkConfig{});
+  const auto outcome = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  const topology::LinkId hit = net.connection(outcome.id).primary.links[0];
+  const auto old_backup = *net.connection(outcome.id).backup;
+
+  const auto report = net.fail_link(hit);
+  EXPECT_EQ(report.primaries_hit, 1u);
+  EXPECT_EQ(report.backups_activated, 1u);
+  EXPECT_EQ(report.connections_dropped, 0u);
+
+  ASSERT_TRUE(net.is_active(outcome.id));
+  const DrConnection& c = net.connection(outcome.id);
+  EXPECT_EQ(c.primary.links, old_backup.links);  // switched over
+  EXPECT_EQ(c.activations, 1u);
+  net.validate_invariants();
+}
+
+TEST(Failure, ActivatedChannelRestartsAtMinimumThenRegains) {
+  // Alone in the network, the activated channel immediately regains to bmax
+  // through redistribution; the switchover itself is at bmin (footnote 4).
+  Network net(diamond(), NetworkConfig{});
+  const auto outcome = net.request_connection(0, 3, paper_qos());
+  const topology::LinkId hit = net.connection(outcome.id).primary.links[0];
+  net.fail_link(hit);
+  EXPECT_EQ(net.connection(outcome.id).extra_quanta, 8u);  // re-granted
+  net.validate_invariants();
+}
+
+TEST(Failure, DropsConnectionWithoutBackup) {
+  // Path graph: full-disjoint backups impossible; unprotected connection
+  // dies with its link.
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  NetworkConfig cfg;
+  cfg.require_backup = false;
+  cfg.require_full_disjoint = true;  // forces kUnprotected
+  Network net(g, cfg);
+  const auto outcome = net.request_connection(0, 2, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_FALSE(net.connection(outcome.id).has_backup());
+
+  const auto report = net.fail_link(0);
+  EXPECT_EQ(report.connections_dropped, 1u);
+  EXPECT_FALSE(net.is_active(outcome.id));
+  EXPECT_EQ(net.num_active(), 0u);
+  net.validate_invariants();
+}
+
+TEST(Failure, BackupCrossingFailedLinkIsLostAndReplaced) {
+  // Ring of 5: backup route of a 1-hop primary goes the long way; failing a
+  // backup link forces re-establishment (possible via remaining links? On a
+  // plain ring there are exactly two disjoint routes, so the replacement
+  // must fail and the connection becomes unprotected).
+  Graph g(5);
+  for (topology::NodeId i = 0; i < 5; ++i) g.add_link(i, (i + 1) % 5);
+  Network net(g, NetworkConfig{});
+  const auto outcome = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  const DrConnection& before = net.connection(outcome.id);
+  ASSERT_TRUE(before.has_backup());
+  const topology::LinkId backup_link = before.backup->links[0];
+
+  const auto report = net.fail_link(backup_link);
+  EXPECT_EQ(report.primaries_hit, 0u);
+  EXPECT_EQ(report.backups_lost, 1u);
+  const DrConnection& after = net.connection(outcome.id);
+  // With the default maximal-disjointness policy a degraded replacement is
+  // allowed (it may overlap the primary on the ring remnant).
+  if (after.has_backup()) {
+    for (topology::LinkId l : after.backup->links) EXPECT_NE(l, backup_link);
+  } else {
+    EXPECT_EQ(after.backup_status, BackupStatus::kUnprotected);
+  }
+  net.validate_invariants();
+}
+
+TEST(Failure, ChainedChannelsRetreatOnActivation) {
+  // Victim's backup route is shared with a bystander channel holding elastic
+  // grants; activation must retreat the bystander.
+  Graph g = diamond();
+  NetworkConfig cfg;
+  cfg.link_capacity_kbps = 1000.0;
+  cfg.require_backup = false;  // we place backups implicitly via routing
+  Network net(g, cfg);
+
+  // Victim: 0->3 via one route, backup on the other.
+  NetworkConfig cfg2 = cfg;
+  cfg2.require_backup = true;
+  Network net2(diamond(), cfg2);
+  const auto victim = net2.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(victim.accepted);
+  const auto backup_path = *net2.connection(victim.id).backup;
+  // Bystander rides the backup route's first link.
+  const topology::Link bl = net2.graph().link(backup_path.links[0]);
+  const auto bystander = net2.request_connection(bl.a, bl.b, paper_qos());
+  ASSERT_TRUE(bystander.accepted);
+  ASSERT_GT(net2.connection(bystander.id).extra_quanta, 0u);
+
+  const auto report = net2.fail_link(net2.connection(victim.id).primary.links[0]);
+  EXPECT_EQ(report.backups_activated, 1u);
+  bool bystander_reported = false;
+  for (const auto& ch : report.changes) {
+    if (ch.id == bystander.id) {
+      bystander_reported = true;
+      EXPECT_EQ(ch.chaining, Chaining::kDirect);
+    }
+  }
+  EXPECT_TRUE(bystander_reported);
+  net2.validate_invariants();
+}
+
+TEST(Failure, IdempotentAndUnknownLink) {
+  Network net(diamond(), NetworkConfig{});
+  const auto r1 = net.fail_link(0);
+  EXPECT_EQ(net.stats().failures_injected, 1u);
+  const auto r2 = net.fail_link(0);  // already failed
+  EXPECT_EQ(net.stats().failures_injected, 1u);
+  EXPECT_EQ(r2.primaries_hit, 0u);
+  EXPECT_THROW(net.fail_link(99), std::invalid_argument);
+  (void)r1;
+}
+
+TEST(Failure, RoutingAvoidsFailedLinks) {
+  NetworkConfig cfg;
+  cfg.require_backup = false;  // only one route remains after the failure
+  Network net(diamond(), cfg);
+  net.fail_link(0);  // kills route 0-1-3
+  const auto outcome = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  const DrConnection& c = net.connection(outcome.id);
+  for (topology::LinkId l : c.primary.links) EXPECT_NE(l, 0u);
+  EXPECT_FALSE(c.has_backup());  // the surviving route cannot protect itself
+  net.validate_invariants();
+
+  // A dependability-required request, by contrast, is rejected outright.
+  Network strict(diamond(), NetworkConfig{});
+  strict.fail_link(0);
+  const auto rejected = strict.request_connection(0, 3, paper_qos());
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reject_reason, RejectReason::kNoBackupRoute);
+}
+
+TEST(Failure, RepairRestoresAdmissibilityAndBackups) {
+  NetworkConfig cfg;
+  cfg.require_full_disjoint = true;
+  Network net(diamond(), cfg);
+  const auto a = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  // Fail a backup link: connection loses protection, and no fully disjoint
+  // replacement exists on the 3 remaining links.
+  const topology::LinkId backup_link = net.connection(a.id).backup->links[0];
+  net.fail_link(backup_link);
+  EXPECT_FALSE(net.connection(a.id).has_backup());
+
+  const std::size_t restored = net.repair_link(backup_link);
+  EXPECT_EQ(restored, 1u);
+  EXPECT_TRUE(net.connection(a.id).has_backup());
+  EXPECT_EQ(net.stats().repairs, 1u);
+  EXPECT_EQ(net.repair_link(backup_link), 0u);  // idempotent
+  net.validate_invariants();
+}
+
+TEST(Failure, SecondFailureWithoutBackupDropsOrSurvives) {
+  // Two successive failures: after the first activation the connection gets
+  // a replacement backup only if the topology still offers one.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  g.add_link(0, 3);  // third route: direct chord
+  Network net(g, NetworkConfig{});
+  const auto a = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  const auto first_hit = net.connection(a.id).primary.links[0];
+  const auto r1 = net.fail_link(first_hit);
+  EXPECT_EQ(r1.backups_activated, 1u);
+  ASSERT_TRUE(net.is_active(a.id));
+  // With the chord present a replacement backup exists.
+  EXPECT_TRUE(net.connection(a.id).has_backup());
+  const auto second_hit = net.connection(a.id).primary.links[0];
+  const auto r2 = net.fail_link(second_hit);
+  EXPECT_EQ(r2.backups_activated, 1u);
+  EXPECT_TRUE(net.is_active(a.id));
+  net.validate_invariants();
+}
+
+TEST(Failure, OverbookingDebtSettledAfterActivation) {
+  // Build a saturated multiplexed network, then fail links until the debt
+  // machinery has to evict; invariants must hold throughout.
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  NetworkConfig cfg;
+  cfg.link_capacity_kbps = 600.0;  // very tight
+  Network net(g, cfg);
+  util::Rng rng(5);
+  for (int i = 0; i < 250; ++i) {
+    const auto src = static_cast<topology::NodeId>(rng.index(30));
+    auto dst = static_cast<topology::NodeId>(rng.index(29));
+    if (dst >= src) ++dst;
+    net.request_connection(src, dst, paper_qos());
+  }
+  ASSERT_GT(net.num_active(), 20u);
+  for (topology::LinkId l = 0; l < 6; ++l) {
+    net.fail_link(l);
+    net.validate_invariants();  // admission ledger must never overflow
+  }
+  // Survivors must never traverse failed links.
+  for (ConnectionId id : net.active_ids()) {
+    const DrConnection& c = net.connection(id);
+    for (topology::LinkId l : c.primary.links) EXPECT_GT(l, 5u);
+  }
+}
+
+TEST(Failure, NodeFailureKillsEndpointConnections) {
+  // Connections terminating at the failed node lose every route and drop;
+  // transit connections switch over where a backup survives.
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 4);
+  g.add_link(4, 0);  // 5-ring
+  NetworkConfig cfg;
+  Network net(g, cfg);
+  const auto at_node = net.request_connection(1, 2, paper_qos());   // ends at 2
+  const auto transit = net.request_connection(1, 3, paper_qos());   // may cross 2
+  ASSERT_TRUE(at_node.accepted);
+  ASSERT_TRUE(transit.accepted);
+
+  const auto reports = net.fail_node(2);
+  EXPECT_EQ(reports.size(), 2u);  // degree of node 2
+  EXPECT_FALSE(net.is_active(at_node.id));  // endpoint connection is gone
+  // The transit connection survives on the other side of the ring.
+  ASSERT_TRUE(net.is_active(transit.id));
+  for (topology::LinkId l : net.connection(transit.id).primary.links) {
+    EXPECT_NE(g.link(l).a, 2u);
+    EXPECT_NE(g.link(l).b, 2u);
+  }
+  net.validate_invariants();
+
+  const std::size_t restored = net.repair_node(2);
+  for (const auto& adj : g.adjacent(2))
+    EXPECT_FALSE(net.link_state(adj.link).failed());
+  (void)restored;
+  net.validate_invariants();
+  // New connections may route through node 2 again.
+  EXPECT_TRUE(net.request_connection(1, 2, paper_qos()).accepted);
+}
+
+TEST(Failure, NodeFailureValidation) {
+  Network net(diamond(), NetworkConfig{});
+  EXPECT_THROW((void)net.fail_node(99), std::invalid_argument);
+  EXPECT_THROW((void)net.repair_node(99), std::invalid_argument);
+}
+
+TEST(Failure, StatsAccumulate) {
+  Network net(diamond(), NetworkConfig{});
+  const auto a = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  net.fail_link(net.connection(a.id).primary.links[0]);
+  EXPECT_EQ(net.stats().failures_injected, 1u);
+  EXPECT_EQ(net.stats().backups_activated, 1u);
+}
+
+}  // namespace
+}  // namespace eqos::net

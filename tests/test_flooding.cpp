@@ -1,0 +1,151 @@
+// Unit tests for bounded-flooding route discovery, including the
+// equivalence with the centralized widest-shortest emulation.
+#include <gtest/gtest.h>
+
+#include "net/flooding.hpp"
+#include "net/routing.hpp"
+#include "topology/metrics.hpp"
+#include "topology/paths.hpp"
+#include "topology/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::net {
+namespace {
+
+std::vector<LinkState> fresh_links(const topology::Graph& g, double capacity) {
+  return std::vector<LinkState>(g.num_links(), LinkState(capacity));
+}
+
+TEST(Flooding, FindsDirectRoute) {
+  topology::Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  const auto links = fresh_links(g, 1000.0);
+  const auto r = flood_route(g, links, 0, 2, 100.0, 5);
+  ASSERT_TRUE(r.route.has_value());
+  EXPECT_EQ(r.route->hops(), 2u);
+  EXPECT_EQ(r.rounds, 2u);
+  EXPECT_GT(r.messages, 0u);
+}
+
+TEST(Flooding, HopBoundDiscardsLongRoutes) {
+  topology::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  const auto links = fresh_links(g, 1000.0);
+  EXPECT_FALSE(flood_route(g, links, 0, 3, 100.0, 2).route.has_value());
+  EXPECT_TRUE(flood_route(g, links, 0, 3, 100.0, 3).route.has_value());
+}
+
+TEST(Flooding, DiscardsInadmissibleLinks) {
+  // Route A (1 hop) full; route B (2 hops) open: the flood must detour.
+  topology::Graph g(3);
+  const topology::LinkId direct = g.add_link(0, 2);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  auto links = fresh_links(g, 1000.0);
+  links[direct].commit_min(950.0);  // cannot admit another 100
+  const auto r = flood_route(g, links, 0, 2, 100.0, 5);
+  ASSERT_TRUE(r.route.has_value());
+  EXPECT_EQ(r.route->hops(), 2u);
+}
+
+TEST(Flooding, PrefersBetterAllowanceAmongEqualHops) {
+  // Two 2-hop routes; one is loaded.  The confirmation must take the wider.
+  topology::Graph g(4);
+  const topology::LinkId a1 = g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  auto links = fresh_links(g, 1000.0);
+  links[a1].commit_min(600.0);
+  const auto r = flood_route(g, links, 0, 3, 100.0, 4);
+  ASSERT_TRUE(r.route.has_value());
+  EXPECT_EQ(r.route->nodes[1], 2u);  // the unloaded route
+}
+
+TEST(Flooding, FailedLinksAreNotForwardedOver) {
+  topology::Graph g(3);
+  const topology::LinkId l0 = g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(0, 2);
+  auto links = fresh_links(g, 1000.0);
+  links[l0].set_failed(true);
+  const auto r = flood_route(g, links, 0, 1, 100.0, 4);
+  ASSERT_TRUE(r.route.has_value());
+  EXPECT_EQ(r.route->hops(), 2u);  // around, via node 2
+}
+
+TEST(Flooding, MessageOverheadGrowsWithBound) {
+  const auto g = topology::generate_waxman({60, 0.35, 0.25, true}, 9);
+  const auto links = fresh_links(g, 10'000.0);
+  // Choose endpoints more than one hop apart.
+  const auto d = topology::hop_distances(g, 0);
+  topology::NodeId far = 0;
+  for (topology::NodeId i = 0; i < g.num_nodes(); ++i)
+    if (d[i] != topology::kUnreachableDistance && d[i] >= 3) far = i;
+  ASSERT_NE(far, 0u);
+  const auto tight = flood_route(g, links, 0, far, 100.0, d[far]);
+  const auto loose = flood_route(g, links, 0, far, 100.0, d[far] + 3);
+  ASSERT_TRUE(tight.route.has_value());
+  ASSERT_TRUE(loose.route.has_value());
+  EXPECT_GE(loose.messages, tight.messages);
+  // Both confirm a fewest-hop route.
+  EXPECT_EQ(tight.route->hops(), d[far]);
+  EXPECT_EQ(loose.route->hops(), d[far]);
+}
+
+TEST(Flooding, InputValidation) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  const auto links = fresh_links(g, 1000.0);
+  EXPECT_THROW((void)flood_route(g, links, 0, 0, 100.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)flood_route(g, links, 0, 9, 100.0, 3), std::invalid_argument);
+  const std::vector<LinkState> wrong(3, LinkState(1.0));
+  EXPECT_THROW((void)flood_route(g, wrong, 0, 1, 100.0, 3), std::invalid_argument);
+}
+
+// The paper-fidelity equivalence: over random graphs, random loads, and
+// random endpoint pairs, the flood confirms a route with exactly the same
+// (hops, bottleneck allowance) as the centralized widest-shortest search.
+class FloodEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FloodEquivalenceSweep, MatchesCentralizedWidestShortest) {
+  const auto g = topology::generate_waxman({50, 0.35, 0.25, true}, GetParam());
+  auto links = fresh_links(g, 2'000.0);
+  // Random pre-load.
+  util::Rng rng(GetParam() * 13 + 1);
+  for (topology::LinkId l = 0; l < g.num_links(); ++l)
+    links[l].commit_min(100.0 * static_cast<double>(rng.index(19)));
+
+  const auto bottleneck = [&](const topology::Path& p) {
+    double b = std::numeric_limits<double>::infinity();
+    for (topology::LinkId l : p.links) b = std::min(b, links[l].admission_headroom());
+    return b;
+  };
+  const topology::LinkFilter admissible = [&](topology::LinkId l) {
+    return links[l].admits_primary(100.0);
+  };
+  const topology::LinkWidth width = [&](topology::LinkId l) {
+    return links[l].admission_headroom();
+  };
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto src = static_cast<topology::NodeId>(rng.index(50));
+    auto dst = static_cast<topology::NodeId>(rng.index(49));
+    if (dst >= src) ++dst;
+    const auto central = topology::widest_shortest_path(g, src, dst, width, admissible);
+    const auto flood = flood_route(g, links, src, dst, 100.0, g.num_nodes());
+    ASSERT_EQ(central.has_value(), flood.route.has_value()) << "trial " << trial;
+    if (!central) continue;
+    EXPECT_EQ(flood.route->hops(), central->hops()) << "trial " << trial;
+    EXPECT_NEAR(bottleneck(*flood.route), bottleneck(*central), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloodEquivalenceSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace eqos::net

@@ -1,0 +1,175 @@
+// Cross-module integration and property tests.
+//
+// These tests exercise the full stack — topology generation, network
+// operation, simulation, parameter estimation, chain solving — and assert
+// the paper's qualitative findings as invariants:
+//   * more load => lower average bandwidth (Figure 2's monotone shape)
+//   * analytic model tracks simulation (Figure 2's agreement)
+//   * increment size barely matters (Table 1)
+//   * tiny failure rates have no visible effect (Figure 4)
+//   * transit-stub networks saturate earlier than random networks (Table 1)
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "topology/metrics.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos {
+namespace {
+
+net::ElasticQosSpec paper_qos(double increment = 50.0) {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = increment;
+  return q;
+}
+
+core::ExperimentConfig base_config(std::size_t connections, double increment = 50.0) {
+  core::ExperimentConfig cfg;
+  cfg.workload.qos = paper_qos(increment);
+  cfg.workload.arrival_rate = 1e-3;
+  cfg.workload.termination_rate = 1e-3;
+  cfg.workload.seed = 4242;
+  cfg.target_connections = connections;
+  cfg.warmup_events = 150;
+  cfg.measure_events = 700;
+  return cfg;
+}
+
+const topology::Graph& paper_graph() {
+  static const topology::Graph g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  return g;
+}
+
+TEST(Integration, BandwidthDecreasesWithLoad) {
+  double previous = 501.0;
+  for (std::size_t n : {500u, 2000u, 4000u, 6000u}) {
+    const auto r = core::run_experiment(paper_graph(), base_config(n));
+    EXPECT_LE(r.sim_mean_bandwidth_kbps, previous + 15.0) << "load " << n;
+    previous = r.sim_mean_bandwidth_kbps;
+  }
+  EXPECT_LT(previous, 300.0);  // heavy load ends well below bmax
+}
+
+TEST(Integration, AnalyticTracksSimulationAcrossLoads) {
+  for (std::size_t n : {2500u, 4500u}) {
+    const auto r = core::run_experiment(paper_graph(), base_config(n));
+    const double rel =
+        std::abs(r.analytic_paper_kbps - r.sim_mean_bandwidth_kbps) /
+        r.sim_mean_bandwidth_kbps;
+    EXPECT_LT(rel, 0.35) << "load " << n << " sim=" << r.sim_mean_bandwidth_kbps
+                         << " analytic=" << r.analytic_paper_kbps;
+  }
+}
+
+TEST(Integration, IncrementSizeBarelyMatters) {
+  // Table 1: 5-state (delta=100) vs 9-state (delta=50) agree on average.
+  const auto fine = core::run_experiment(paper_graph(), base_config(3000, 50.0));
+  const auto coarse = core::run_experiment(paper_graph(), base_config(3000, 100.0));
+  EXPECT_NEAR(fine.sim_mean_bandwidth_kbps, coarse.sim_mean_bandwidth_kbps,
+              0.15 * fine.sim_mean_bandwidth_kbps);
+}
+
+TEST(Integration, TinyFailureRateHasNoVisibleEffect) {
+  // Figure 4: gamma in [1e-7, 1e-5] << lambda leaves the average unchanged.
+  auto cfg = base_config(2000);
+  const auto baseline = core::run_experiment(paper_graph(), cfg);
+  cfg.workload.failure_rate = 1e-5;
+  cfg.workload.repair_rate = 1e-2;
+  const auto with_failures = core::run_experiment(paper_graph(), cfg);
+  EXPECT_NEAR(with_failures.sim_mean_bandwidth_kbps, baseline.sim_mean_bandwidth_kbps,
+              0.06 * baseline.sim_mean_bandwidth_kbps);
+}
+
+TEST(Integration, TransitStubSaturatesEarlier) {
+  // Table 1's "Tier" column: the same offered load yields far fewer
+  // established connections on a transit-stub topology.
+  const auto ts = topology::generate_transit_stub({}, 7);
+  auto cfg = base_config(3000);
+  cfg.warmup_events = 100;
+  cfg.measure_events = 300;
+  const auto tier = core::run_experiment(ts.graph, cfg);
+  const auto random = core::run_experiment(paper_graph(), cfg);
+  EXPECT_LT(tier.established, random.established / 2);
+  EXPECT_GT(tier.attempted, tier.established);  // rejections happened
+}
+
+TEST(Integration, EveryConnectionStaysWithinQosRange) {
+  auto cfg = base_config(3000);
+  net::Network net(paper_graph(), cfg.network);
+  sim::Simulator sim(net, cfg.workload);
+  sim.populate(cfg.target_connections);
+  sim.run_events(500);
+  for (net::ConnectionId id : net.active_ids()) {
+    const auto& c = net.connection(id);
+    EXPECT_GE(c.reserved_kbps(), 100.0 - 1e-9);
+    EXPECT_LE(c.reserved_kbps(), 500.0 + 1e-9);
+  }
+  net.validate_invariants();
+}
+
+TEST(Integration, OccupancyMatchesSteadyStateLoosely) {
+  // The chain's stationary vector should resemble the empirical occupancy
+  // (this is exactly the paper's modeling-accuracy claim).
+  const auto r = core::run_experiment(paper_graph(), base_config(4000));
+  const auto& occ = r.estimates.occupancy;
+  const auto& pi = r.paper_analysis.steady_state;
+  ASSERT_EQ(occ.size(), pi.size());
+  // Compare the means rather than pointwise (finite window).
+  double occ_mean = 0.0;
+  double pi_mean = 0.0;
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    const double bw = 100.0 + 50.0 * static_cast<double>(i);
+    occ_mean += occ[i] * bw;
+    pi_mean += pi[i] * bw;
+  }
+  EXPECT_NEAR(pi_mean, occ_mean, 0.35 * occ_mean);
+}
+
+TEST(Integration, MultiplexingAblation) {
+  // Disabling backup multiplexing reduces the number of connections the
+  // network can hold (tight capacity makes the reservation cost visible).
+  auto cfg = base_config(2000);
+  cfg.network.link_capacity_kbps = 3000.0;
+  cfg.warmup_events = 50;
+  cfg.measure_events = 200;
+  const auto mux = core::run_experiment(paper_graph(), cfg);
+  cfg.network.backup_multiplexing = false;
+  const auto nomux = core::run_experiment(paper_graph(), cfg);
+  EXPECT_GT(mux.established, nomux.established);
+}
+
+TEST(Integration, UnprotectedFractionSmallOnRichTopology) {
+  const auto r = core::run_experiment(paper_graph(), base_config(2000));
+  EXPECT_GT(r.protected_fraction, 0.9);
+}
+
+// Property sweep across seeds: the full pipeline never violates invariants
+// and produces bandwidths within the QoS range.
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, EndToEndSane) {
+  const auto g = topology::generate_waxman({80, 0.33, 0.22, true}, GetParam());
+  auto cfg = base_config(1200);
+  cfg.workload.seed = GetParam() * 31 + 1;
+  cfg.workload.failure_rate = 1e-5;
+  cfg.warmup_events = 80;
+  cfg.measure_events = 400;
+  const auto r = core::run_experiment(g, cfg);
+  EXPECT_GE(r.sim_mean_bandwidth_kbps, 100.0 - 1e-6);
+  EXPECT_LE(r.sim_mean_bandwidth_kbps, 500.0 + 1e-6);
+  EXPECT_GE(r.analytic_paper_kbps, 100.0 - 1e-6);
+  EXPECT_LE(r.analytic_paper_kbps, 500.0 + 1e-6);
+  EXPECT_GE(r.analytic_refined_kbps, 100.0 - 1e-6);
+  EXPECT_LE(r.analytic_refined_kbps, 500.0 + 1e-6);
+  double sum = 0.0;
+  for (double p : r.paper_analysis.steady_state) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace eqos

@@ -1,0 +1,381 @@
+// Unit tests for the Markov substrate: CTMC, DTMC, classification, and the
+// paper's bandwidth chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/bandwidth_chain.hpp"
+#include "markov/classify.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/dtmc.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::markov {
+namespace {
+
+using matrix::Matrix;
+using matrix::Vector;
+
+// ---- Ctmc -------------------------------------------------------------------
+
+TEST(Ctmc, AddRateBuildsGenerator) {
+  Ctmc c(3);
+  c.add_rate(0, 1, 2.0);
+  c.add_rate(1, 2, 1.0);
+  c.add_rate(2, 0, 0.5);
+  EXPECT_DOUBLE_EQ(c.rate(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(c.generator()(0, 0), -2.0);
+}
+
+TEST(Ctmc, FromGeneratorValidates) {
+  EXPECT_NO_THROW(Ctmc::from_generator(Matrix{{-1.0, 1.0}, {2.0, -2.0}}));
+  EXPECT_THROW(Ctmc::from_generator(Matrix{{-1.0, 2.0}, {2.0, -2.0}}),
+               std::invalid_argument);  // row sum != 0
+  EXPECT_THROW(Ctmc::from_generator(Matrix{{1.0, -1.0}, {2.0, -2.0}}),
+               std::invalid_argument);  // negative off-diagonal
+  EXPECT_THROW(Ctmc::from_generator(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Ctmc, SelfLoopAndNegativeRateRejected) {
+  Ctmc c(2);
+  EXPECT_THROW(c.add_rate(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_rate(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Ctmc, SteadyStateMatchesLinearSolve) {
+  Ctmc c(4);
+  util::Rng rng(31);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) c.add_rate(i, j, rng.uniform(0.05, 1.5));
+  const Vector a = c.steady_state();
+  const Vector b = c.steady_state_linear();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
+}
+
+TEST(Ctmc, TransientConvergesToSteadyState) {
+  Ctmc c(3);
+  c.add_rate(0, 1, 1.0);
+  c.add_rate(1, 2, 0.5);
+  c.add_rate(2, 0, 0.25);
+  c.add_rate(1, 0, 0.3);
+  const Vector pi0{1.0, 0.0, 0.0};
+  const Vector pi_t = c.transient(pi0, 500.0);
+  const Vector pi_inf = c.steady_state();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(pi_t[i], pi_inf[i], 1e-6);
+}
+
+TEST(Ctmc, TransientAtZeroIsInitial) {
+  Ctmc c(2);
+  c.add_rate(0, 1, 1.0);
+  c.add_rate(1, 0, 1.0);
+  const Vector pi0{0.3, 0.7};
+  const Vector pi = c.transient(pi0, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.3);
+  EXPECT_DOUBLE_EQ(pi[1], 0.7);
+}
+
+TEST(Ctmc, TransientTwoStateClosedForm) {
+  // P(in 1 at t) = a/(a+b) (1 - e^{-(a+b) t}) starting from state 0.
+  const double a = 0.8;
+  const double b = 0.2;
+  Ctmc c(2);
+  c.add_rate(0, 1, a);
+  c.add_rate(1, 0, b);
+  for (double t : {0.1, 0.5, 1.0, 3.0}) {
+    const Vector pi = c.transient({1.0, 0.0}, t);
+    const double expect1 = a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(pi[1], expect1, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Ctmc, ExpectedReward) {
+  Ctmc c(2);
+  c.add_rate(0, 1, 1.0);
+  c.add_rate(1, 0, 3.0);
+  // pi = (0.75, 0.25); rewards (0, 100) -> 25.
+  EXPECT_NEAR(c.expected_reward({0.0, 100.0}), 25.0, 1e-9);
+  EXPECT_THROW((void)c.expected_reward({1.0}), std::invalid_argument);
+}
+
+TEST(Ctmc, EmbeddedJumpChain) {
+  Ctmc c(3);
+  c.add_rate(0, 1, 1.0);
+  c.add_rate(0, 2, 3.0);
+  c.add_rate(1, 0, 2.0);
+  c.add_rate(2, 0, 2.0);
+  const Matrix p = c.embedded_jump_chain();
+  EXPECT_NEAR(p(0, 1), 0.25, 1e-12);
+  EXPECT_NEAR(p(0, 2), 0.75, 1e-12);
+  EXPECT_NEAR(p(1, 0), 1.0, 1e-12);
+}
+
+TEST(Ctmc, AbsorbingStateGetsSelfLoopInJumpChain) {
+  Ctmc c(2);
+  c.add_rate(0, 1, 1.0);
+  const Matrix p = c.embedded_jump_chain();
+  EXPECT_DOUBLE_EQ(p(1, 1), 1.0);
+}
+
+// ---- Dtmc -------------------------------------------------------------------------
+
+TEST(Dtmc, ValidatesRows) {
+  EXPECT_NO_THROW(Dtmc(Matrix{{0.2, 0.8}, {1.0, 0.0}}));
+  EXPECT_THROW(Dtmc(Matrix{{0.2, 0.7}, {1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Dtmc(Matrix{{1.2, -0.2}, {1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(Dtmc, EvolveMatchesManualSteps) {
+  const Dtmc d(Matrix{{0.5, 0.5}, {0.1, 0.9}});
+  const Vector one = d.evolve({1.0, 0.0}, 1);
+  EXPECT_NEAR(one[0], 0.5, 1e-12);
+  const Vector two = d.evolve({1.0, 0.0}, 2);
+  EXPECT_NEAR(two[0], 0.5 * 0.5 + 0.5 * 0.1, 1e-12);
+}
+
+TEST(Dtmc, PowerIterationAgreesWithGth) {
+  const Dtmc d(Matrix{{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.4, 0.1, 0.5}});
+  const Vector a = d.steady_state();
+  const Vector b = d.steady_state_power();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(Dtmc, CtmcEmbeddedChainConsistency) {
+  // pi_ctmc(i) proportional to pi_dtmc(i) / exit_rate(i).
+  Ctmc c(3);
+  c.add_rate(0, 1, 2.0);
+  c.add_rate(1, 2, 1.0);
+  c.add_rate(1, 0, 1.0);
+  c.add_rate(2, 0, 4.0);
+  const Vector pi_c = c.steady_state();
+  const Dtmc jump(c.embedded_jump_chain());
+  const Vector pi_j = jump.steady_state();
+  Vector reconstructed(3);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    reconstructed[i] = pi_j[i] / c.exit_rate(i);
+    norm += reconstructed[i];
+  }
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(pi_c[i], reconstructed[i] / norm, 1e-10);
+}
+
+// ---- Classification ----------------------------------------------------------------
+
+TEST(Classify, IrreducibleChainIsOneClosedClass) {
+  const Matrix w{{0, 1.0}, {1.0, 0}};
+  const auto classes = communicating_classes(w);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_TRUE(classes[0].closed);
+  EXPECT_EQ(classes[0].states.size(), 2u);
+}
+
+TEST(Classify, TransientStatesDetected) {
+  // 0 -> 1 -> 2 <-> 3 (0, 1 transient; {2,3} closed).
+  Matrix w(4, 4);
+  w(0, 1) = 1.0;
+  w(1, 2) = 1.0;
+  w(2, 3) = 1.0;
+  w(3, 2) = 1.0;
+  const auto classes = communicating_classes(w);
+  std::size_t closed = 0;
+  for (const auto& c : classes)
+    if (c.closed) {
+      ++closed;
+      EXPECT_EQ(c.states, (std::vector<std::size_t>{2, 3}));
+    }
+  EXPECT_EQ(closed, 1u);
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(Classify, SteadyStateClosedClass) {
+  // Transient 0 drains into the {1, 2} cycle.
+  Matrix q(3, 3);
+  q(0, 1) = 1.0;
+  q(0, 0) = -1.0;
+  q(1, 2) = 2.0;
+  q(1, 1) = -2.0;
+  q(2, 1) = 1.0;
+  q(2, 2) = -1.0;
+  const Vector pi = steady_state_closed_class(q);
+  EXPECT_NEAR(pi[0], 0.0, 1e-12);
+  EXPECT_NEAR(pi[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pi[2], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Classify, MultipleClosedClassesThrow) {
+  Matrix q(2, 2);  // two absorbing states
+  EXPECT_THROW(steady_state_closed_class(q), std::invalid_argument);
+}
+
+// ---- BandwidthChain -------------------------------------------------------------------
+
+/// Paper-style parameters for a small chain where every arrival retreats the
+/// channel to S_0 and every termination refills it to the top.
+ChainParameters simple_params(std::size_t n) {
+  ChainParameters p;
+  p.bmin_kbps = 100.0;
+  p.bmax_kbps = 100.0 + 50.0 * static_cast<double>(n - 1);
+  p.increment_kbps = 50.0;
+  p.arrival_rate = 1e-3;
+  p.termination_rate = 1e-3;
+  p.failure_rate = 0.0;
+  p.p_direct = 0.5;
+  p.p_indirect = 0.1;
+  Matrix to_bottom(n, n);
+  Matrix to_top(n, n);
+  Matrix stay(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    to_bottom(i, 0) = 1.0;
+    to_top(i, n - 1) = 1.0;
+    stay(i, i) = 1.0;
+  }
+  p.arrival_move = to_bottom;
+  p.indirect_move = stay;
+  p.termination_move = to_top;
+  return p;
+}
+
+TEST(BandwidthChain, NumStatesFromRange) {
+  ChainParameters p = simple_params(9);
+  EXPECT_EQ(p.num_states(), 9u);
+  EXPECT_DOUBLE_EQ(p.bmax_kbps, 500.0);
+  p.increment_kbps = 100.0;
+  p.bmax_kbps = 500.0;
+  EXPECT_EQ(p.num_states(), 5u);
+}
+
+TEST(BandwidthChain, ValidationCatchesBadInputs) {
+  ChainParameters p = simple_params(5);
+  p.increment_kbps = 30.0;  // 200/30 not integral
+  EXPECT_THROW(BandwidthChain{p}, std::invalid_argument);
+  p = simple_params(5);
+  p.p_direct = 1.5;
+  EXPECT_THROW(BandwidthChain{p}, std::invalid_argument);
+  p = simple_params(5);
+  p.arrival_rate = -1.0;
+  EXPECT_THROW(BandwidthChain{p}, std::invalid_argument);
+  p = simple_params(5);
+  p.arrival_move = Matrix(4, 4);
+  EXPECT_THROW(BandwidthChain{p}, std::invalid_argument);
+  p = simple_params(5);
+  p.arrival_move(0, 0) = 0.7;  // row 0 sums to 1.7
+  EXPECT_THROW(BandwidthChain{p}, std::invalid_argument);
+}
+
+TEST(BandwidthChain, StateBandwidths) {
+  const BandwidthChain chain(simple_params(9));
+  EXPECT_DOUBLE_EQ(chain.state_bandwidth(0), 100.0);
+  EXPECT_DOUBLE_EQ(chain.state_bandwidth(8), 500.0);
+  EXPECT_THROW((void)chain.state_bandwidth(9), std::out_of_range);
+}
+
+TEST(BandwidthChain, DownUpSymmetricRatesGiveKnownSplit) {
+  // With retreat-to-bottom at rate r and refill-to-top at rate r, only S_0
+  // and S_{N-1} are occupied and equally likely (middle states transient).
+  ChainParameters p = simple_params(5);
+  p.p_indirect = 0.0;  // disable indirect moves
+  const BandwidthChain chain(p);
+  const Vector pi = chain.steady_state();
+  EXPECT_NEAR(pi[0], 0.5, 1e-9);
+  EXPECT_NEAR(pi[4], 0.5, 1e-9);
+  EXPECT_NEAR(chain.average_bandwidth_kbps(), (100.0 + 300.0) / 2.0, 1e-6);
+}
+
+TEST(BandwidthChain, FasterRetreatShiftsMassDown) {
+  ChainParameters p = simple_params(5);
+  p.p_indirect = 0.0;
+  p.arrival_rate = 4e-3;  // arrivals 4x terminations
+  const BandwidthChain chain(p);
+  const Vector pi = chain.steady_state();
+  EXPECT_GT(pi[0], 0.75);
+  EXPECT_LT(chain.average_bandwidth_kbps(), 200.0);
+}
+
+TEST(BandwidthChain, FailureRateActsLikeArrival) {
+  // The paper folds F into A: gamma adds to the retreat rate.
+  ChainParameters base = simple_params(5);
+  base.p_indirect = 0.0;
+  ChainParameters with_gamma = base;
+  with_gamma.failure_rate = base.arrival_rate;  // doubles the down rate
+  ChainParameters doubled = base;
+  doubled.arrival_rate *= 2.0;
+  // Same downward rate, but `doubled` also doubles nothing else (termination
+  // unchanged) -> identical chains.
+  const Vector a = BandwidthChain(with_gamma).steady_state();
+  const Vector b = BandwidthChain(doubled).steady_state();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(BandwidthChain, NegligibleFailureRateHasNoEffect) {
+  // Figure 4's finding, analytically: gamma << lambda leaves E[B] unchanged.
+  ChainParameters p = simple_params(9);
+  const double base = BandwidthChain(p).average_bandwidth_kbps();
+  p.failure_rate = 1e-7;
+  const double with_gamma = BandwidthChain(p).average_bandwidth_kbps();
+  EXPECT_NEAR(base, with_gamma, 0.05);
+}
+
+TEST(BandwidthChain, ZeroRowsTreatedAsNoMove) {
+  // State 2 was never observed in any context: its rows are zero.  The chain
+  // restricted to the closed class {0, 1} still solves.
+  ChainParameters p = simple_params(3);
+  p.p_indirect = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    p.arrival_move(2, j) = 0.0;
+    p.termination_move(2, j) = 0.0;
+  }
+  // Remaining structure: arrivals send 0,1 -> 0; terminations send 0,1 -> 2?
+  // Termination moves to top (state 2) would enter the dead state, so point
+  // them at state 1 instead to keep {0,1} closed.
+  p.termination_move(0, 2) = 0.0;
+  p.termination_move(0, 1) = 1.0;
+  p.termination_move(1, 2) = 0.0;
+  p.termination_move(1, 1) = 1.0;
+  const BandwidthChain chain(p);
+  const Vector pi = chain.steady_state();
+  EXPECT_NEAR(pi[2], 0.0, 1e-12);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+}
+
+TEST(BandwidthChain, RefinedTerminationProbability) {
+  ChainParameters p = simple_params(5);
+  p.p_indirect = 0.0;
+  p.p_direct_termination = 0.25;  // refills half as often as paper model
+  const double refined = BandwidthChain(p).average_bandwidth_kbps();
+  p.p_direct_termination.reset();
+  const double paper = BandwidthChain(p).average_bandwidth_kbps();
+  EXPECT_LT(refined, paper);
+}
+
+TEST(BandwidthChain, TransientMeanBandwidthMovesTowardSteadyState) {
+  ChainParameters p = simple_params(5);
+  const BandwidthChain chain(p);
+  Vector top(5, 0.0);
+  top[4] = 1.0;
+  const double at_zero = chain.mean_bandwidth_at(top, 0.0);
+  const double at_large = chain.mean_bandwidth_at(top, 1e6);
+  EXPECT_DOUBLE_EQ(at_zero, 300.0);
+  EXPECT_NEAR(at_large, chain.average_bandwidth_kbps(), 0.5);
+}
+
+// Parameterized sweep over increment sizes: Table 1's "no difference"
+// finding holds structurally — whatever the state count, the two-point
+// retreat/refill chain has the same average bandwidth.
+class IncrementSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IncrementSweep, AverageBandwidthIndependentOfStateCount) {
+  const std::size_t n = GetParam();
+  ChainParameters p = simple_params(n);
+  p.p_indirect = 0.0;
+  const BandwidthChain chain(p);
+  // Retreat-to-bottom / refill-to-top at equal rates: E[B] = (bmin+bmax)/2
+  // independent of N.
+  EXPECT_NEAR(chain.average_bandwidth_kbps(), (p.bmin_kbps + p.bmax_kbps) / 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, IncrementSweep, ::testing::Values(2, 3, 5, 9, 17));
+
+}  // namespace
+}  // namespace eqos::markov

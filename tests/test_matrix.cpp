@@ -1,0 +1,302 @@
+// Unit tests for the dense/sparse linear algebra and the GTH solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/dense.hpp"
+#include "matrix/gth.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::matrix {
+namespace {
+
+// ---- Dense ------------------------------------------------------------------
+
+TEST(Dense, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  m(1, 0) = -5.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), -5.0);
+}
+
+TEST(Dense, IdentityMultiplication) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix i3 = Matrix::identity(3);
+  const Matrix prod = a * i3;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(Dense, MultiplyKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Dense, TransposeRoundTrip) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix att = a.transpose().transpose();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+}
+
+TEST(Dense, ApplyLeftAndRightAgreeViaTranspose) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vector x{1.0, -1.0, 2.0};
+  const Vector left = a.apply_left(x);          // x^T A
+  const Vector right = a.transpose().apply(x);  // A^T x
+  ASSERT_EQ(left.size(), right.size());
+  for (std::size_t i = 0; i < left.size(); ++i) EXPECT_DOUBLE_EQ(left[i], right[i]);
+}
+
+TEST(Dense, ArithmeticOperators) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  const Matrix scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Dense, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+}
+
+TEST(Dense, NormalizeL1) {
+  Vector v{1.0, 3.0};
+  normalize_l1(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+// ---- LU --------------------------------------------------------------------------
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  const Vector b{8, -11, -3};
+  const Vector x = solve_linear(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+  EXPECT_NEAR(x[2], -1.0, 1e-10);
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+  // Requires a row swap (zero leading pivot).
+  const Matrix a{{0, 1}, {1, 0}};
+  LuDecomposition lu(a);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  util::Rng rng(21);
+  Matrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  for (std::size_t d = 0; d < 5; ++d) a(d, d) += 5.0;  // well-conditioned
+  const Matrix inv = LuDecomposition(a).inverse();
+  const Matrix prod = a * inv;
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(LuDecomposition{a}, SingularMatrixError);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const Matrix a{{4, 1}, {1, 3}};
+  const Matrix b{{1, 0}, {0, 1}};
+  const Matrix x = LuDecomposition(a).solve(b);
+  const Matrix check = a * x;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_NEAR(check(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+// Property sweep: random diagonally dominant systems solve to high accuracy.
+class LuRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSweep, ResidualIsTiny) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 8;
+  Matrix a(n, n);
+  Vector x_true(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x_true[r] = rng.uniform(-5.0, 5.0);
+    double row = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+      row += std::abs(a(r, c));
+    }
+    a(r, r) += row + 1.0;
+  }
+  const Vector b = a.apply(x_true);
+  const Vector x = solve_linear(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuRandomSweep, ::testing::Range(1, 13));
+
+// ---- GTH --------------------------------------------------------------------------
+
+TEST(Gth, TwoStateBirthDeath) {
+  // 0 -> 1 at rate a, 1 -> 0 at rate b: pi = (b, a) / (a+b).
+  const double a = 0.3;
+  const double b = 0.7;
+  const Matrix q{{-a, a}, {b, -b}};
+  const Vector pi = gth_steady_state(q);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-12);
+}
+
+TEST(Gth, BirthDeathChainClosedForm) {
+  // Birth rate l, death rate m: pi_i proportional to (l/m)^i.
+  const std::size_t n = 6;
+  const double l = 0.4;
+  const double m = 0.9;
+  Matrix q(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    q(i, i + 1) += l;
+    q(i, i) -= l;
+    q(i + 1, i) += m;
+    q(i + 1, i + 1) -= m;
+  }
+  const Vector pi = gth_steady_state(q);
+  const double rho = l / m;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) norm += std::pow(rho, static_cast<double>(i));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(pi[i], std::pow(rho, static_cast<double>(i)) / norm, 1e-12);
+}
+
+TEST(Gth, ExtremeRateRatiosStayAccurate) {
+  // The regime of Figure 4: rates spanning ten orders of magnitude.
+  const double tiny = 1e-10;
+  const double big = 1.0;
+  const Matrix q{{-tiny, tiny, 0.0},
+                 {big, -2.0 * big, big},
+                 {0.0, tiny, -tiny}};
+  const Vector pi = gth_steady_state(q);
+  double sum = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Detailed balance check by flow: pi Q = 0.
+  const Vector flow = q.transpose().apply(pi);
+  for (double f : flow) EXPECT_NEAR(f, 0.0, 1e-15);
+}
+
+TEST(Gth, ReducibleChainThrows) {
+  // State 1 cannot reach state 0.
+  const Matrix q{{-1.0, 1.0}, {0.0, 0.0}};
+  EXPECT_THROW(gth_steady_state(q), std::invalid_argument);
+}
+
+TEST(Gth, SingleStateChain) {
+  const Matrix q{{0.0}};
+  const Vector pi = gth_steady_state(q);
+  ASSERT_EQ(pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Gth, DtmcStationary) {
+  const Matrix p{{0.5, 0.5}, {0.25, 0.75}};
+  const Vector pi = gth_steady_state_dtmc(p);
+  // pi P = pi: pi = (1/3, 2/3).
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-12);
+}
+
+// Property sweep: GTH agrees with the LU-based balance-equation solve on
+// random irreducible generators.
+class GthVsLuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GthVsLuSweep, AgreesWithLinearSolve) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 9;
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      q(i, j) = rng.uniform(0.01, 2.0);  // strictly positive => irreducible
+      q(i, i) -= q(i, j);
+    }
+  }
+  const Vector pi_gth = gth_steady_state(q);
+  // Balance equations via LU.
+  Matrix a = q.transpose();
+  Vector b(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  b[n - 1] = 1.0;
+  const Vector pi_lu = solve_linear(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(pi_gth[i], pi_lu[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GthVsLuSweep, ::testing::Range(1, 16));
+
+// ---- CSR --------------------------------------------------------------------------
+
+TEST(Csr, AssemblyMergesDuplicatesAndDropsZeros) {
+  CsrMatrix m(2, 3, {{0, 1, 2.0}, {0, 1, 3.0}, {1, 2, 0.0}, {1, 0, -1.0}});
+  EXPECT_EQ(m.nonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Csr, ApplyMatchesDense) {
+  util::Rng rng(17);
+  Matrix d(6, 5);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      if (rng.chance(0.4)) d(r, c) = rng.uniform(-3.0, 3.0);
+  const CsrMatrix s = CsrMatrix::from_dense(d);
+  Vector x(5);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vector ds = d.apply(x);
+  const Vector ss = s.apply(x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(ds[i], ss[i], 1e-12);
+
+  Vector y(6);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+  const Vector dl = d.apply_left(y);
+  const Vector sl = s.apply_left(y);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(dl[i], sl[i], 1e-12);
+}
+
+TEST(Csr, DenseRoundTrip) {
+  const Matrix d{{1, 0, 2}, {0, 0, 0}, {0, 3, 0}};
+  const Matrix back = CsrMatrix::from_dense(d).to_dense();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(back(r, c), d(r, c));
+}
+
+TEST(Csr, RowSums) {
+  const CsrMatrix m(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, -4.0}});
+  const Vector sums = m.row_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], -4.0);
+}
+
+}  // namespace
+}  // namespace eqos::matrix

@@ -1,0 +1,169 @@
+// Heterogeneous-traffic tests: mixed QoS classes with per-class recorders
+// and per-class Markov chains (the natural generalization of the paper's
+// single-class evaluation; its conclusion explicitly anticipates expansion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analyzer.hpp"
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos {
+namespace {
+
+net::ElasticQosSpec video_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+net::ElasticQosSpec audio_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 64.0;
+  q.bmax_kbps = 192.0;
+  q.increment_kbps = 64.0;  // 3 states
+  return q;
+}
+
+TEST(QosMix, SampleRespectsWeights) {
+  sim::WorkloadConfig w;
+  w.qos = video_qos();
+  w.qos_mix = {{video_qos(), 3.0}, {audio_qos(), 1.0}};
+  w.validate();
+  util::Rng rng(5);
+  int video = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (w.sample_qos(rng).bmax_kbps == 500.0) ++video;
+  EXPECT_NEAR(static_cast<double>(video) / n, 0.75, 0.02);
+}
+
+TEST(QosMix, EmptyMixUsesFixedQos) {
+  sim::WorkloadConfig w;
+  w.qos = audio_qos();
+  util::Rng rng(5);
+  EXPECT_DOUBLE_EQ(w.sample_qos(rng).bmax_kbps, 192.0);
+}
+
+TEST(QosMix, ValidationRejectsBadClasses) {
+  sim::WorkloadConfig w;
+  w.qos = video_qos();
+  w.qos_mix = {{video_qos(), 0.0}};
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+  w.qos_mix = {{video_qos(), 1.0}};
+  w.qos_mix[0].first.increment_kbps = 30.0;  // range not a multiple
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(MultiClass, MixedWorkloadEstablishesBothClasses) {
+  const auto g = topology::generate_waxman({60, 0.35, 0.25, true}, 3);
+  net::Network network(g, net::NetworkConfig{});
+  sim::WorkloadConfig w;
+  w.qos = video_qos();
+  w.qos_mix = {{video_qos(), 1.0}, {audio_qos(), 1.0}};
+  w.seed = 17;
+  sim::Simulator sim(network, w);
+  sim.populate(400);
+  std::size_t video = 0;
+  std::size_t audio = 0;
+  for (net::ConnectionId id : network.active_ids()) {
+    const auto& c = network.connection(id);
+    (c.qos.bmax_kbps == 500.0 ? video : audio) += 1;
+  }
+  EXPECT_GT(video, 120u);
+  EXPECT_GT(audio, 120u);
+  network.validate_invariants();
+}
+
+TEST(MultiClass, PerClassRecordersPartitionTheTraffic) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  net::Network network(g, net::NetworkConfig{});
+  sim::WorkloadConfig w;
+  w.qos = video_qos();
+  w.qos_mix = {{video_qos(), 1.0}, {audio_qos(), 1.0}};
+  w.seed = 99;
+  sim::Simulator sim(network, w);
+  sim.populate(3000);
+  sim.run_events(200);  // warm-up
+
+  const auto is_video = [](const net::DrConnection& c) {
+    return c.qos.bmax_kbps == 500.0;
+  };
+  const auto is_audio = [](const net::DrConnection& c) {
+    return c.qos.bmax_kbps == 192.0;
+  };
+  sim::TransitionRecorder video_rec(video_qos(), sim.now(), is_video);
+  sim::TransitionRecorder audio_rec(audio_qos(), sim.now(), is_audio);
+  // The simulator drives one recorder; drive the other manually through a
+  // second window to keep the API simple: attach them sequentially.
+  sim.attach_recorder(&video_rec);
+  sim.run_events(700);
+  sim.attach_recorder(&audio_rec);
+  sim.run_events(700);
+  sim.attach_recorder(nullptr);
+  const auto video_est = video_rec.estimates(sim.now(), network);
+  const auto audio_est = audio_rec.estimates(sim.now(), network);
+
+  // Class means live inside their own QoS ranges.
+  EXPECT_GE(video_est.mean_bandwidth_kbps, 100.0 - 1e-6);
+  EXPECT_LE(video_est.mean_bandwidth_kbps, 500.0 + 1e-6);
+  EXPECT_GE(audio_est.mean_bandwidth_kbps, 64.0 - 1e-6);
+  EXPECT_LE(audio_est.mean_bandwidth_kbps, 192.0 + 1e-6);
+  EXPECT_GT(video_est.mean_bandwidth_kbps, audio_est.mean_bandwidth_kbps);
+
+  // Chaining probabilities are physical in both classes.
+  for (const auto* est : {&video_est, &audio_est}) {
+    EXPECT_GT(est->pf, 0.0);
+    EXPECT_LT(est->pf, 0.5);
+    EXPECT_GE(est->ps, 0.0);
+    EXPECT_LE(est->ps, 1.0);
+  }
+
+  // Per-class chains solve and land inside the class QoS range; the video
+  // chain must track the video simulation loosely.
+  sim::WorkloadConfig video_w = w;
+  video_w.qos = video_qos();
+  const auto video_analysis = core::analyze(video_est, video_w);
+  EXPECT_GE(video_analysis.average_bandwidth_kbps, 100.0 - 1e-6);
+  EXPECT_LE(video_analysis.average_bandwidth_kbps, 500.0 + 1e-6);
+  EXPECT_NEAR(video_analysis.average_bandwidth_kbps, video_est.mean_bandwidth_kbps,
+              0.35 * video_est.mean_bandwidth_kbps);
+
+  sim::WorkloadConfig audio_w = w;
+  audio_w.qos = audio_qos();
+  const auto audio_analysis = core::analyze(audio_est, audio_w);
+  EXPECT_GE(audio_analysis.average_bandwidth_kbps, 64.0 - 1e-6);
+  EXPECT_LE(audio_analysis.average_bandwidth_kbps, 192.0 + 1e-6);
+}
+
+TEST(MultiClass, FilteredRecorderMatchesUnfilteredOnHomogeneousTraffic) {
+  // With a single class, a filter accepting everything must reproduce the
+  // unfiltered estimates exactly.
+  const auto g = topology::generate_waxman({60, 0.35, 0.25, true}, 11);
+  auto run = [&](sim::TransitionRecorder::ClassFilter filter) {
+    net::Network network(g, net::NetworkConfig{});
+    sim::WorkloadConfig w;
+    w.qos = video_qos();
+    w.seed = 23;
+    sim::Simulator sim(network, w);
+    sim.populate(400);
+    sim::TransitionRecorder rec(video_qos(), sim.now(), std::move(filter));
+    sim.attach_recorder(&rec);
+    sim.run_events(500);
+    return rec.estimates(sim.now(), network);
+  };
+  const auto plain = run(nullptr);
+  const auto filtered = run([](const net::DrConnection&) { return true; });
+  EXPECT_DOUBLE_EQ(plain.pf, filtered.pf);
+  EXPECT_DOUBLE_EQ(plain.ps, filtered.ps);
+  EXPECT_DOUBLE_EQ(plain.mean_bandwidth_kbps, filtered.mean_bandwidth_kbps);
+  for (std::size_t i = 0; i < plain.occupancy.size(); ++i)
+    EXPECT_DOUBLE_EQ(plain.occupancy[i], filtered.occupancy[i]);
+}
+
+}  // namespace
+}  // namespace eqos

@@ -1,0 +1,166 @@
+// Unit tests for first-passage / sojourn analysis and the analyzer's
+// degradation/recovery horizons.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "markov/passage.hpp"
+
+namespace eqos::markov {
+namespace {
+
+/// Simple birth-death chain 0 <-> 1 <-> 2 with birth rate b, death rate d.
+Ctmc birth_death3(double b, double d) {
+  Ctmc c(3);
+  c.add_rate(0, 1, b);
+  c.add_rate(1, 2, b);
+  c.add_rate(2, 1, d);
+  c.add_rate(1, 0, d);
+  return c;
+}
+
+TEST(Passage, TwoStateClosedForm) {
+  // 0 -> 1 at rate a: expected passage 0 -> 1 is 1/a.
+  Ctmc c(2);
+  c.add_rate(0, 1, 0.25);
+  c.add_rate(1, 0, 4.0);
+  const auto h = mean_first_passage_times(c, {1});
+  EXPECT_NEAR(h[0], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+TEST(Passage, BirthDeathHittingTimes) {
+  // For birth-death with b = d = 1, target {2}: h1 = 1/2 + h0/2 and
+  // h0 = 1 + h1, giving h0 = 3, h1 = 2.
+  const Ctmc c = birth_death3(1.0, 1.0);
+  const auto h = mean_first_passage_times(c, {2});
+  EXPECT_NEAR(h[0], 3.0, 1e-10);
+  EXPECT_NEAR(h[1], 2.0, 1e-10);
+}
+
+TEST(Passage, AgreesWithMonteCarloIntuition) {
+  // Faster death than birth makes the top harder to reach.
+  const auto fast = mean_first_passage_times(birth_death3(1.0, 4.0), {2});
+  const auto slow = mean_first_passage_times(birth_death3(1.0, 0.25), {2});
+  EXPECT_GT(fast[0], slow[0]);
+}
+
+TEST(Passage, MultipleTargets) {
+  const Ctmc c = birth_death3(1.0, 1.0);
+  const auto h = mean_first_passage_times(c, {0, 2});
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[2], 0.0);
+  // From 1: leaves at rate 2, always hits a target.
+  EXPECT_NEAR(h[1], 0.5, 1e-12);
+}
+
+TEST(Passage, UnreachableTargetThrows) {
+  Ctmc c(3);
+  c.add_rate(0, 1, 1.0);
+  c.add_rate(1, 0, 1.0);
+  // State 2 is isolated; from {0,1} the target {2} is unreachable.
+  EXPECT_THROW(mean_first_passage_times(c, {2}), std::invalid_argument);
+  EXPECT_THROW(mean_first_passage_times(c, {}), std::invalid_argument);
+  EXPECT_THROW(mean_first_passage_times(c, {7}), std::invalid_argument);
+}
+
+TEST(Passage, HitProbabilityGamblersRuin) {
+  // Symmetric walk on 0..2 with absorbing ends: from 1, P(hit 2 before 0) = 1/2.
+  Ctmc c(3);
+  c.add_rate(1, 0, 1.0);
+  c.add_rate(1, 2, 1.0);
+  const auto p = hit_probability_before(c, {2}, {0});
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(Passage, HitProbabilityBiasedChain) {
+  // Up-rate 3x down-rate: from 1 of 0..2, P(top first) = 3/4.
+  Ctmc c(3);
+  c.add_rate(1, 2, 3.0);
+  c.add_rate(1, 0, 1.0);
+  const auto p = hit_probability_before(c, {2}, {0});
+  EXPECT_NEAR(p[1], 0.75, 1e-12);
+}
+
+TEST(Passage, HitProbabilityOverlapThrows) {
+  Ctmc c(2);
+  c.add_rate(0, 1, 1.0);
+  c.add_rate(1, 0, 1.0);
+  EXPECT_THROW(hit_probability_before(c, {0}, {0}), std::invalid_argument);
+}
+
+TEST(Passage, SojournTimesSumToPassageTime) {
+  const Ctmc c = birth_death3(1.0, 1.0);
+  const auto sojourn = expected_sojourn_before(c, 0, {2});
+  const auto h = mean_first_passage_times(c, {2});
+  EXPECT_NEAR(sojourn[0] + sojourn[1], h[0], 1e-10);
+  EXPECT_DOUBLE_EQ(sojourn[2], 0.0);
+}
+
+TEST(Passage, SojournFromTargetIsZero) {
+  const Ctmc c = birth_death3(1.0, 1.0);
+  const auto sojourn = expected_sojourn_before(c, 2, {2});
+  for (double s : sojourn) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace eqos::markov
+
+namespace eqos::core {
+namespace {
+
+TEST(AnalyzerPassage, DegradationAndRecoveryHorizons) {
+  // Symmetric retreat/refill estimates: both horizons defined and positive;
+  // a faster arrival rate shortens degradation and lengthens recovery.
+  sim::ModelEstimates est;
+  const std::size_t n = 5;
+  matrix::Matrix bottom(n, n);
+  matrix::Matrix top(n, n);
+  matrix::Matrix stay(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bottom(i, 0) = 1.0;
+    top(i, n - 1) = 1.0;
+    stay(i, i) = 1.0;
+  }
+  est.pf = 0.5;
+  est.ps = 0.0;
+  est.arrival_move = bottom;
+  est.indirect_move = stay;
+  est.termination_move = top;
+  est.failure_move = bottom;
+  est.occupancy.assign(n, 0.2);
+
+  sim::WorkloadConfig w;
+  w.qos = net::ElasticQosSpec{100.0, 500.0, 100.0, 1.0};
+  w.arrival_rate = 1e-3;
+  w.termination_rate = 1e-3;
+
+  const auto base = analyze(est, w);
+  EXPECT_GT(base.mean_degradation_time, 0.0);
+  EXPECT_GT(base.mean_recovery_time, 0.0);
+
+  sim::WorkloadConfig hot = w;
+  hot.arrival_rate = 4e-3;
+  const auto loaded = analyze(est, hot);
+  EXPECT_LT(loaded.mean_degradation_time, base.mean_degradation_time);
+  EXPECT_GE(loaded.mean_recovery_time, base.mean_recovery_time);
+}
+
+TEST(AnalyzerPassage, DegenerateChainHasNoHorizons) {
+  sim::ModelEstimates est;
+  const std::size_t n = 5;
+  est.arrival_move = matrix::Matrix(n, n);
+  est.indirect_move = matrix::Matrix(n, n);
+  est.termination_move = matrix::Matrix(n, n);
+  est.failure_move = matrix::Matrix(n, n);
+  sim::WorkloadConfig w;
+  w.qos = net::ElasticQosSpec{100.0, 500.0, 100.0, 1.0};
+  const auto r = analyze(est, w);
+  EXPECT_TRUE(r.degenerate);
+  EXPECT_DOUBLE_EQ(r.mean_degradation_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_recovery_time, 0.0);
+}
+
+}  // namespace
+}  // namespace eqos::core

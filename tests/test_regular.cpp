@@ -1,0 +1,215 @@
+// Unit tests for regular topologies, exact chaining probabilities, and
+// bridge analysis — including the cross-validation the paper's Section 3.3
+// suggests: on a regular topology the chaining probability is a pure
+// function of the topology, so the simulator's measured Pf must match the
+// exact combinatorial value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.hpp"
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+#include "topology/bridges.hpp"
+#include "topology/metrics.hpp"
+#include "topology/paths.hpp"
+#include "topology/regular.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::topology {
+namespace {
+
+// ---- Generators -------------------------------------------------------------
+
+TEST(Regular, RingStructure) {
+  const Graph g = generate_ring(8);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_links(), 8u);
+  for (NodeId i = 0; i < 8; ++i) EXPECT_EQ(g.degree(i), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_THROW(generate_ring(2), std::invalid_argument);
+}
+
+TEST(Regular, TorusStructure) {
+  const Graph g = generate_torus(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_links(), 40u);  // 2 links per node
+  for (NodeId i = 0; i < 20; ++i) EXPECT_EQ(g.degree(i), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(generate_torus(2, 5), std::invalid_argument);
+}
+
+TEST(Regular, StarStructure) {
+  const Graph g = generate_star(6);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_links(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Regular, CompleteStructure) {
+  const Graph g = generate_complete(6);
+  EXPECT_EQ(g.num_links(), 15u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+// ---- Exact chaining probability -------------------------------------------------
+
+TEST(Regular, StarChainingIsCertain) {
+  // Every route crosses the hub... but leaf-hub routes use distinct spokes.
+  // Two random channels share a link iff they share a spoke.  For K = 3
+  // leaves the pairs are (hub,leaf) x3 and (leaf,leaf) x3; enumerate by hand:
+  // route(hub,i) = {spoke_i}; route(i,j) = {spoke_i, spoke_j}.
+  const Graph g = generate_star(3);
+  const double pf = exact_direct_chaining_probability(g);
+  // 6 routes; count sharing ordered pairs (including diagonal): computed by
+  // brute force below for independence from the implementation.
+  std::vector<util::DynamicBitset> routes;
+  for (NodeId a = 0; a < g.num_nodes(); ++a)
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b)
+      routes.push_back(shortest_path(g, a, b)->link_set(g.num_links()));
+  std::size_t sharing = 0;
+  for (const auto& r1 : routes)
+    for (const auto& r2 : routes)
+      if (r1.intersects(r2)) ++sharing;
+  EXPECT_NEAR(pf, static_cast<double>(sharing) / 36.0, 1e-12);
+}
+
+TEST(Regular, CompleteGraphChainingIsMinimal) {
+  // All routes are single distinct links: channels share a link only when
+  // they connect the same pair -> Pf = 1 / #pairs.
+  const Graph g = generate_complete(8);
+  const double pf = exact_direct_chaining_probability(g);
+  EXPECT_NEAR(pf, 1.0 / 28.0, 1e-12);
+}
+
+TEST(Regular, RingChainingApproachesOneHalf) {
+  // Two random shortest arcs on a ring have fractional lengths ~U(0, 1/2);
+  // P(overlap) -> E[x + y] = 1/2 from below as the ring grows.
+  const double pf8 = exact_direct_chaining_probability(generate_ring(8));
+  const double pf16 = exact_direct_chaining_probability(generate_ring(16));
+  const double pf32 = exact_direct_chaining_probability(generate_ring(32));
+  EXPECT_LT(pf8, pf16);
+  EXPECT_LT(pf16, pf32);
+  EXPECT_LT(pf32, 0.5);
+  EXPECT_GT(pf32, 0.4);
+}
+
+TEST(Regular, ExactAverageHops) {
+  // Complete graph: everything is one hop.
+  EXPECT_NEAR(exact_average_hops(generate_complete(6)), 1.0, 1e-12);
+  // Star: hub-leaf = 1 (K pairs), leaf-leaf = 2 (K choose 2 pairs).
+  const double k = 5.0;
+  const double expected = (k * 1.0 + (k * (k - 1) / 2.0) * 2.0) / (k + k * (k - 1) / 2.0);
+  EXPECT_NEAR(exact_average_hops(generate_star(5)), expected, 1e-12);
+}
+
+TEST(Regular, MeasuredPfMatchesExactOnTorus) {
+  // The Section 3.3 cross-check: run the full simulator on a regular
+  // topology at light load (so routing stays shortest-path) and compare the
+  // recorder's Pf with the exact combinatorial value.
+  const Graph g = generate_torus(5, 5);
+  const double exact = exact_direct_chaining_probability(g);
+
+  net::NetworkConfig ncfg;
+  ncfg.link_capacity_kbps = 100'000.0;  // effectively uncontended
+  ncfg.require_backup = false;          // backups do not affect Pf
+  // Use plain BFS shortest routing so the simulator picks exactly the
+  // routes the combinatorial computation enumerates (widest-shortest would
+  // deliberately spread equal-hop channels apart and lower Pf).
+  ncfg.route_policy = net::RoutePolicy::kShortest;
+  net::Network network(g, ncfg);
+  sim::WorkloadConfig w;
+  w.qos = net::ElasticQosSpec{100.0, 500.0, 50.0, 1.0};
+  w.seed = 11;
+  sim::Simulator sim(network, w);
+  sim.populate(60);
+  sim::TransitionRecorder rec(w.qos, sim.now());
+  sim.attach_recorder(&rec);
+  sim.run_events(4000);
+  const auto est = rec.estimates(sim.now(), network);
+  // Statistical + tie-break noise tolerance: 15% relative.
+  EXPECT_NEAR(est.pf, exact, 0.15 * exact)
+      << "measured " << est.pf << " vs exact " << exact;
+}
+
+// ---- Bridges --------------------------------------------------------------------
+
+TEST(Bridges, RingHasNone) {
+  EXPECT_TRUE(find_bridges(generate_ring(10)).empty());
+  EXPECT_TRUE(is_two_edge_connected(generate_ring(10)));
+  EXPECT_DOUBLE_EQ(bridge_separated_pair_fraction(generate_ring(10)), 0.0);
+}
+
+TEST(Bridges, StarIsAllBridges) {
+  const Graph g = generate_star(5);
+  EXPECT_EQ(find_bridges(g).size(), 5u);
+  EXPECT_FALSE(is_two_edge_connected(g));
+  EXPECT_DOUBLE_EQ(bridge_separated_pair_fraction(g), 1.0);
+}
+
+TEST(Bridges, BarbellHasOneBridge) {
+  // Two triangles joined by one edge.
+  Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 0);
+  g.add_link(3, 4);
+  g.add_link(4, 5);
+  g.add_link(5, 3);
+  const LinkId bridge = g.add_link(2, 3);
+  const auto bridges = find_bridges(g);
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], bridge);
+  // 3 x 3 cross pairs of 15 total.
+  EXPECT_NEAR(bridge_separated_pair_fraction(g), 9.0 / 15.0, 1e-12);
+}
+
+TEST(Bridges, PathGraphEveryEdgeIsBridge) {
+  Graph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.add_link(i, i + 1);
+  EXPECT_EQ(find_bridges(g).size(), 4u);
+}
+
+TEST(Bridges, DisconnectedGraphIsNotTwoEdgeConnected) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_FALSE(is_two_edge_connected(g));
+}
+
+TEST(Bridges, RoutingFallbackTriggersExactlyOnBridgePairs) {
+  // On a barbell, fully-disjoint backups exist iff the pair is inside one
+  // triangle; cross pairs only get maximally-disjoint backups.
+  Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 0);
+  g.add_link(3, 4);
+  g.add_link(4, 5);
+  g.add_link(5, 3);
+  g.add_link(2, 3);
+  net::Network net(g, net::NetworkConfig{});
+  const net::ElasticQosSpec qos{100.0, 500.0, 50.0, 1.0};
+
+  const auto inside = net.request_connection(0, 1, qos);
+  ASSERT_TRUE(inside.accepted);
+  EXPECT_EQ(inside.backup_overlap_links, 0u);
+
+  const auto across = net.request_connection(0, 5, qos);
+  ASSERT_TRUE(across.accepted);
+  EXPECT_GE(across.backup_overlap_links, 1u);  // the bridge is unavoidable
+  net.validate_invariants();
+}
+
+TEST(Bridges, WaxmanConnectedComponentsJoinsCreateBridges) {
+  // Sparse Waxman + ensure_connected stitches components with bridges; the
+  // detector should find at least the stitched links.
+  const Graph g = generate_waxman({60, 0.12, 0.1, true}, 3);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(find_bridges(g).empty());
+}
+
+}  // namespace
+}  // namespace eqos::topology

@@ -1,0 +1,156 @@
+// Unit tests for revenue/utility accounting and the routing-policy knob.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "net/network.hpp"
+#include "net/revenue.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::net {
+namespace {
+
+ElasticQosSpec paper_qos(double utility = 1.0) {
+  ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  q.utility = utility;
+  return q;
+}
+
+TEST(Revenue, ValidatesModel) {
+  RevenueModel m;
+  m.base_rate_per_kbps = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Revenue, EmptyNetworkEarnsNothing) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  Network net(g, NetworkConfig{});
+  const auto r = assess_revenue(net, RevenueModel{});
+  EXPECT_EQ(r.connections, 0u);
+  EXPECT_DOUBLE_EQ(r.total, 0.0);
+}
+
+TEST(Revenue, SingleConnectionTariff) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  NetworkConfig cfg;
+  cfg.require_backup = false;
+  cfg.link_capacity_kbps = 400.0;  // bmin 100 + 6 quanta... spare 300 -> 6
+  Network net(g, cfg);
+  const auto a = net.request_connection(0, 1, paper_qos(2.0));
+  ASSERT_TRUE(a.accepted);
+  ASSERT_EQ(net.connection(a.id).extra_quanta, 6u);
+
+  RevenueModel tariff;
+  tariff.base_rate_per_kbps = 2.0;
+  tariff.elastic_rate_per_kbps = 0.5;
+  const auto r = assess_revenue(net, tariff);
+  EXPECT_EQ(r.connections, 1u);
+  EXPECT_DOUBLE_EQ(r.base, 100.0 * 2.0);
+  EXPECT_DOUBLE_EQ(r.elastic, 300.0 * 0.5);
+  EXPECT_DOUBLE_EQ(r.total, 350.0);
+  EXPECT_DOUBLE_EQ(r.client_utility, 2.0 * 300.0);
+}
+
+TEST(Revenue, ElasticEarnsMoreThanRigidMinimum) {
+  // The paper's economic claim, end to end: at moderate load, an elastic
+  // network yields more revenue than one running everyone at the minimum.
+  const auto g = topology::generate_waxman({60, 0.35, 0.25, true}, 5);
+  const RevenueModel tariff;
+
+  Network elastic(g, NetworkConfig{});
+  Network rigid(g, NetworkConfig{});
+  util::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto src = static_cast<topology::NodeId>(rng.index(60));
+    auto dst = static_cast<topology::NodeId>(rng.index(59));
+    if (dst >= src) ++dst;
+    (void)elastic.request_connection(src, dst, paper_qos());
+    ElasticQosSpec min_only = paper_qos();
+    min_only.bmax_kbps = min_only.bmin_kbps;
+    (void)rigid.request_connection(src, dst, min_only);
+  }
+  const auto re = assess_revenue(elastic, tariff);
+  const auto rr = assess_revenue(rigid, tariff);
+  EXPECT_EQ(re.connections, rr.connections);  // same admissions
+  EXPECT_GT(re.total, rr.total);              // but elastic extras pay
+  EXPECT_GT(re.client_utility, 0.0);
+  EXPECT_DOUBLE_EQ(rr.client_utility, 0.0);
+}
+
+}  // namespace
+}  // namespace eqos::net
+
+namespace eqos::core {
+namespace {
+
+TEST(AnalyticRevenue, MatchesSteadyStateExpectation) {
+  AnalysisResult analysis;
+  analysis.parameters.bmin_kbps = 100.0;
+  analysis.parameters.bmax_kbps = 300.0;
+  analysis.parameters.increment_kbps = 100.0;  // states 0,1,2
+  analysis.steady_state = {0.5, 0.25, 0.25};
+  net::RevenueModel tariff;
+  tariff.base_rate_per_kbps = 1.0;
+  tariff.elastic_rate_per_kbps = 2.0;
+  // E[extra] = 0.25*100 + 0.25*200 = 75 -> revenue = 100 + 150.
+  EXPECT_DOUBLE_EQ(expected_revenue_per_connection(analysis, tariff), 250.0);
+}
+
+}  // namespace
+}  // namespace eqos::core
+
+namespace eqos::net {
+namespace {
+
+TEST(RoutePolicy, ShortestIgnoresWidthTieBreak) {
+  // Two equal-hop routes, one with committed load: widest-shortest avoids
+  // the congested route, plain shortest takes whatever BFS reaches first.
+  // Tested on the Router directly with hand-set ledgers so backup
+  // reservations cannot equalize the headrooms.
+  topology::Graph g(4);
+  g.add_link(0, 1);  // route A, link 0
+  g.add_link(1, 3);  // route A, link 1
+  g.add_link(0, 2);  // route B, link 2
+  g.add_link(2, 3);  // route B, link 3
+
+  std::vector<LinkState> links(4, LinkState(10'000.0));
+  links[0].commit_min(500.0);  // congest route A's first link
+  BackupManager backups(4, true);
+
+  const Router widest(g, links, backups, RoutePolicy::kWidestShortest);
+  const auto w = widest.find_primary(0, 3, 100.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->nodes[1], 2u);  // avoids the congested link 0
+
+  const Router shortest(g, links, backups, RoutePolicy::kShortest);
+  const auto s = shortest.find_primary(0, 3, 100.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->nodes[1], 1u);  // BFS order: rides link 0 regardless
+}
+
+TEST(RoutePolicy, WidestShortestSpreadsLoadBetter) {
+  // On the paper topology, widest-shortest should deliver at least as much
+  // average bandwidth as plain shortest at equal load.
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  auto run = [&](RoutePolicy policy) {
+    NetworkConfig cfg;
+    cfg.route_policy = policy;
+    Network net(g, cfg);
+    util::Rng rng(23);
+    for (int i = 0; i < 3000; ++i) {
+      const auto src = static_cast<topology::NodeId>(rng.index(100));
+      auto dst = static_cast<topology::NodeId>(rng.index(99));
+      if (dst >= src) ++dst;
+      (void)net.request_connection(src, dst, paper_qos());
+    }
+    return net.mean_reserved_kbps();
+  };
+  EXPECT_GE(run(RoutePolicy::kWidestShortest) + 10.0, run(RoutePolicy::kShortest));
+}
+
+}  // namespace
+}  // namespace eqos::net

@@ -1,0 +1,140 @@
+// Unit tests for finite-horizon reward analysis and topology serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "markov/rewards.hpp"
+#include "topology/io.hpp"
+#include "topology/metrics.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::markov {
+namespace {
+
+using matrix::Vector;
+
+Ctmc two_state(double up, double down) {
+  Ctmc c(2);
+  c.add_rate(0, 1, up);
+  c.add_rate(1, 0, down);
+  return c;
+}
+
+TEST(Rewards, ZeroHorizonIsZero) {
+  const Ctmc c = two_state(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(accumulated_reward(c, {1.0, 0.0}, {5.0, 7.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(time_averaged_reward(c, {1.0, 0.0}, {5.0, 7.0}, 0.0), 5.0);
+}
+
+TEST(Rewards, FrozenChainAccumulatesLinearly) {
+  Ctmc c(2);  // no transitions
+  EXPECT_NEAR(accumulated_reward(c, {0.25, 0.75}, {4.0, 8.0}, 10.0),
+              (0.25 * 4.0 + 0.75 * 8.0) * 10.0, 1e-9);
+}
+
+TEST(Rewards, TwoStateClosedForm) {
+  // r = (0, 1): accumulated reward = expected time in state 1 =
+  // integral of p1(s) ds with p1(s) = pi1 (1 - e^{-(a+b)s}) from state 0.
+  const double a = 0.8;
+  const double b = 0.2;
+  const Ctmc c = two_state(a, b);
+  const double pi1 = a / (a + b);
+  for (double t : {0.5, 2.0, 10.0}) {
+    const double rate = a + b;
+    const double expect = pi1 * (t - (1.0 - std::exp(-rate * t)) / rate);
+    EXPECT_NEAR(accumulated_reward(c, {1.0, 0.0}, {0.0, 1.0}, t), expect, 1e-8)
+        << "t=" << t;
+  }
+}
+
+TEST(Rewards, TimeAverageConvergesToStationaryReward) {
+  const Ctmc c = two_state(0.3, 0.7);
+  const Vector r{100.0, 500.0};
+  const double stationary = c.expected_reward(r);
+  const double avg = time_averaged_reward(c, {1.0, 0.0}, r, 1e4);
+  EXPECT_NEAR(avg, stationary, 0.5);
+}
+
+TEST(Rewards, MonotoneInHorizonForNonNegativeRewards) {
+  const Ctmc c = two_state(1.0, 2.0);
+  const Vector r{1.0, 3.0};
+  double prev = 0.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    const double acc = accumulated_reward(c, {0.5, 0.5}, r, t);
+    EXPECT_GT(acc, prev);
+    prev = acc;
+  }
+}
+
+TEST(Rewards, InputValidation) {
+  const Ctmc c = two_state(1.0, 1.0);
+  EXPECT_THROW((void)accumulated_reward(c, {1.0}, {1.0, 2.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)accumulated_reward(c, {1.0, 0.0}, {1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)accumulated_reward(c, {1.0, 0.0}, {1.0, 2.0}, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eqos::markov
+
+namespace eqos::topology {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  const Graph g = generate_waxman({40, 0.35, 0.25, true}, 9);
+  const Graph back = from_edge_list(to_edge_list(g));
+  ASSERT_EQ(back.num_nodes(), g.num_nodes());
+  ASSERT_EQ(back.num_links(), g.num_links());
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    EXPECT_EQ(back.link(l).a, g.link(l).a);
+    EXPECT_EQ(back.link(l).b, g.link(l).b);
+  }
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_DOUBLE_EQ(back.position(i).x, g.position(i).x);
+    EXPECT_DOUBLE_EQ(back.position(i).y, g.position(i).y);
+  }
+}
+
+TEST(GraphIo, RoundTripTransitStub) {
+  const auto ts = generate_transit_stub({}, 5);
+  const Graph back = from_edge_list(to_edge_list(ts.graph));
+  EXPECT_EQ(back.num_links(), ts.graph.num_links());
+  EXPECT_EQ(graph_stats(back).diameter, graph_stats(ts.graph).diameter);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_edge_list("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)from_edge_list("eqos-graph 2\nnodes 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_edge_list("eqos-graph 1\nnodes 2\nlink 0 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_edge_list("eqos-graph 1\nnodes 2\nfrobnicate\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_edge_list("eqos-graph 1\nnodes 2\nlink 0 1\nlink 1 0\n"),
+               std::invalid_argument);  // duplicate
+}
+
+TEST(GraphIo, DotContainsAllLinks) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  std::ostringstream out;
+  write_dot(out, g, "test");
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph test {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  Graph g(3);  // nodes, no links
+  const Graph back = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(back.num_nodes(), 3u);
+  EXPECT_EQ(back.num_links(), 0u);
+}
+
+}  // namespace
+}  // namespace eqos::topology

@@ -1,0 +1,332 @@
+// Unit tests for the discrete-event core, the workload driver, and the
+// transition recorder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/event_queue.hpp"
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::sim {
+namespace {
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+// ---- EventQueue -----------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(3); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> recurse = [&] {
+    ++fired;
+    if (fired < 5) q.schedule_in(1.0, recurse);
+  };
+  q.schedule(0.0, recurse);
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  const std::size_t n = q.run_until(3.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(10.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(q.run_until(1.0), std::invalid_argument);
+}
+
+TEST(EventQueue, Clear) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+// ---- Simulator -----------------------------------------------------------------------
+
+TEST(Simulator, PopulateEstablishesTarget) {
+  net::Network net(topology::generate_waxman({50, 0.35, 0.25, true}, 3),
+                   net::NetworkConfig{});
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.seed = 5;
+  Simulator sim(net, cfg);
+  const std::size_t got = sim.populate(100);
+  EXPECT_EQ(got, 100u);
+  EXPECT_EQ(net.num_active(), 100u);
+  net.validate_invariants();
+}
+
+TEST(Simulator, PopulateCountsAttemptsNotAcceptances) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  net::NetworkConfig ncfg;
+  ncfg.link_capacity_kbps = 500.0;  // 5 bmin slots; no useful backup exists
+  ncfg.require_backup = false;
+  net::Network net(g, ncfg);
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  Simulator sim(net, cfg);
+  const std::size_t got = sim.populate(100);
+  EXPECT_EQ(got, 5u);  // saturated after five minimums
+  EXPECT_EQ(sim.stats().populate_attempts, 100u);
+  EXPECT_EQ(net.stats().rejected_no_primary, 95u);
+}
+
+TEST(Simulator, ChurnKeepsPopulationNearTarget) {
+  net::Network net(topology::generate_waxman({60, 0.35, 0.25, true}, 7),
+                   net::NetworkConfig{});
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.seed = 11;
+  Simulator sim(net, cfg);
+  sim.populate(200);
+  sim.run_events(1000);
+  EXPECT_GT(net.num_active(), 120u);
+  EXPECT_LT(net.num_active(), 300u);
+  EXPECT_GT(sim.stats().arrival_events, 300u);
+  EXPECT_GT(sim.stats().termination_events, 300u);
+  net.validate_invariants();
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto g = topology::generate_waxman({40, 0.35, 0.25, true}, 9);
+  auto run = [&] {
+    net::Network net(g, net::NetworkConfig{});
+    WorkloadConfig cfg;
+    cfg.qos = paper_qos();
+    cfg.seed = 77;
+    Simulator sim(net, cfg);
+    sim.populate(100);
+    sim.run_events(500);
+    return std::make_tuple(net.num_active(), net.mean_reserved_kbps(), sim.now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Simulator, FailureEventsFireWhenEnabled) {
+  net::Network net(topology::generate_waxman({40, 0.35, 0.25, true}, 13),
+                   net::NetworkConfig{});
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.failure_rate = 1e-3;  // as frequent as arrivals
+  cfg.repair_rate = 1e-2;
+  cfg.seed = 3;
+  Simulator sim(net, cfg);
+  sim.populate(100);
+  sim.run_events(600);
+  EXPECT_GT(sim.stats().failure_events, 50u);
+  EXPECT_GT(net.stats().failures_injected, 20u);
+  EXPECT_GT(sim.stats().repair_events, 0u);
+  net.validate_invariants();
+}
+
+TEST(Simulator, ZeroFailureRateNeverFails) {
+  net::Network net(topology::generate_waxman({30, 0.35, 0.3, true}, 1),
+                   net::NetworkConfig{});
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.failure_rate = 0.0;
+  Simulator sim(net, cfg);
+  sim.populate(50);
+  sim.run_events(300);
+  EXPECT_EQ(net.stats().failures_injected, 0u);
+}
+
+TEST(Simulator, ValidatesConfig) {
+  net::Network net(topology::generate_waxman({10, 0.5, 0.4, true}, 2),
+                   net::NetworkConfig{});
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.arrival_rate = -1.0;
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+}
+
+// ---- TransitionRecorder -----------------------------------------------------------------
+
+TEST(Recorder, RowNormalize) {
+  matrix::Matrix counts(2, 2);
+  counts(0, 0) = 3.0;
+  counts(0, 1) = 1.0;
+  const auto p = row_normalize(counts);
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.75);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(p(1, 0), 0.0);  // zero row stays zero
+  EXPECT_DOUBLE_EQ(p(1, 1), 0.0);
+}
+
+TEST(Recorder, OccupancyIsTimeWeighted) {
+  // Hand-drive a tiny network and check the occupancy integral.
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  net::NetworkConfig ncfg;
+  ncfg.link_capacity_kbps = 10'000.0;
+  ncfg.require_backup = false;
+  net::Network net(g, ncfg);
+  TransitionRecorder rec(paper_qos(), 0.0);
+  const auto a = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(a.accepted);  // alone: state 8
+  rec.advance_to(10.0, net);
+  const auto est = rec.estimates(10.0, net);
+  EXPECT_NEAR(est.occupancy[8], 1.0, 1e-12);
+  EXPECT_NEAR(est.mean_bandwidth_kbps, 500.0, 1e-9);
+}
+
+TEST(Recorder, CapturesArrivalTransitions) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  net::NetworkConfig ncfg;
+  ncfg.link_capacity_kbps = 600.0;  // 2 channels -> 4 quanta each
+  ncfg.require_backup = false;
+  net::Network net(g, ncfg);
+  TransitionRecorder rec(paper_qos(), 0.0);
+
+  const auto a = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  EXPECT_EQ(net.connection(a.id).extra_quanta, 8u);
+
+  rec.advance_to(1.0, net);
+  const auto b = net.request_connection(0, 1, paper_qos());
+  rec.on_arrival(b, net);
+
+  const auto est = rec.estimates(2.0, net);
+  // One arrival, one pre-existing channel, directly chained: Pf = 1.
+  EXPECT_DOUBLE_EQ(est.pf, 1.0);
+  EXPECT_DOUBLE_EQ(est.ps, 0.0);
+  EXPECT_EQ(est.arrivals_observed, 1u);
+  // The A matrix must record the 8 -> 4 move.
+  EXPECT_DOUBLE_EQ(est.arrival_move(8, 4), 1.0);
+}
+
+TEST(Recorder, CapturesTerminationTransitions) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  net::NetworkConfig ncfg;
+  ncfg.link_capacity_kbps = 600.0;
+  ncfg.require_backup = false;
+  net::Network net(g, ncfg);
+  TransitionRecorder rec(paper_qos(), 0.0);
+  const auto a = net.request_connection(0, 1, paper_qos());
+  const auto b = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(a.accepted && b.accepted);
+
+  rec.advance_to(1.0, net);
+  const auto report = net.terminate_connection(b.id);
+  rec.on_termination(report, net);
+  const auto est = rec.estimates(2.0, net);
+  EXPECT_DOUBLE_EQ(est.pf_termination, 1.0);
+  EXPECT_DOUBLE_EQ(est.termination_move(4, 8), 1.0);
+  EXPECT_EQ(est.terminations_observed, 1u);
+}
+
+TEST(Recorder, RejectedArrivalsDoNotCount) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  net::NetworkConfig ncfg;
+  ncfg.link_capacity_kbps = 150.0;
+  ncfg.require_backup = false;
+  net::Network net(g, ncfg);
+  TransitionRecorder rec(paper_qos(), 0.0);
+  ASSERT_TRUE(net.request_connection(0, 1, paper_qos()).accepted);
+  rec.advance_to(1.0, net);
+  const auto rejected = net.request_connection(0, 1, paper_qos());
+  ASSERT_FALSE(rejected.accepted);
+  rec.on_arrival(rejected, net);
+  const auto est = rec.estimates(2.0, net);
+  EXPECT_EQ(est.arrivals_observed, 0u);
+  EXPECT_DOUBLE_EQ(est.pf, 0.0);
+}
+
+TEST(Recorder, TimeMustNotGoBackwards) {
+  topology::Graph g(2);
+  g.add_link(0, 1);
+  net::Network net(g, net::NetworkConfig{});
+  TransitionRecorder rec(paper_qos(), 5.0);
+  EXPECT_THROW(rec.advance_to(4.0, net), std::invalid_argument);
+}
+
+TEST(Recorder, EndToEndEstimatesAreProbabilities) {
+  net::Network net(topology::generate_waxman({60, 0.35, 0.25, true}, 21),
+                   net::NetworkConfig{});
+  WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.seed = 31;
+  Simulator sim(net, cfg);
+  sim.populate(400);
+  TransitionRecorder rec(cfg.qos, sim.now());
+  sim.attach_recorder(&rec);
+  sim.run_events(800);
+  const auto est = rec.estimates(sim.now(), net);
+
+  EXPECT_GT(est.pf, 0.0);
+  EXPECT_LT(est.pf, 1.0);
+  EXPECT_GE(est.ps, 0.0);
+  EXPECT_LE(est.ps, 1.0);
+  double occ = 0.0;
+  for (double p : est.occupancy) {
+    EXPECT_GE(p, 0.0);
+    occ += p;
+  }
+  EXPECT_NEAR(occ, 1.0, 1e-9);
+  // Every row of every move matrix sums to ~1 or ~0.
+  for (const auto* m : {&est.arrival_move, &est.indirect_move, &est.termination_move,
+                        &est.failure_move}) {
+    for (std::size_t i = 0; i < m->rows(); ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < m->cols(); ++j) s += (*m)(i, j);
+      EXPECT_TRUE(std::abs(s - 1.0) < 1e-9 || std::abs(s) < 1e-9) << "row " << i;
+    }
+  }
+  EXPECT_GT(est.mean_bandwidth_kbps, 100.0);
+  EXPECT_LE(est.mean_bandwidth_kbps, 500.0);
+}
+
+}  // namespace
+}  // namespace eqos::sim

@@ -1,0 +1,411 @@
+// Unit tests for the topology substrate: graph, generators, paths, metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/graph.hpp"
+#include "topology/metrics.hpp"
+#include "topology/paths.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::topology {
+namespace {
+
+/// 0 - 1 - 2 - 3 plus chord 0-3 and spur 2-4.
+Graph small_graph() {
+  Graph g(5);
+  g.add_link(0, 1);  // link 0
+  g.add_link(1, 2);  // link 1
+  g.add_link(2, 3);  // link 2
+  g.add_link(0, 3);  // link 3
+  g.add_link(2, 4);  // link 4
+  return g;
+}
+
+// ---- Graph ------------------------------------------------------------------
+
+TEST(Graph, BasicAccessors) {
+  const Graph g = small_graph();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_links(), 5u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, LinkOtherEndpoint) {
+  const Graph g = small_graph();
+  EXPECT_EQ(g.link(0).other(0), 1u);
+  EXPECT_EQ(g.link(0).other(1), 0u);
+}
+
+TEST(Graph, FindLinkBothDirections) {
+  const Graph g = small_graph();
+  ASSERT_TRUE(g.find_link(0, 3).has_value());
+  EXPECT_EQ(*g.find_link(0, 3), 3u);
+  EXPECT_EQ(*g.find_link(3, 0), 3u);
+  EXPECT_FALSE(g.find_link(1, 4).has_value());
+  EXPECT_FALSE(g.find_link(0, 99).has_value());
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(g.add_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 7), std::invalid_argument);
+}
+
+TEST(Graph, AddNodeExtends) {
+  Graph g(2);
+  const NodeId n = g.add_node(Point{0.5, 0.25});
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(g.position(n).x, 0.5);
+  g.set_position(n, Point{0.1, 0.2});
+  EXPECT_DOUBLE_EQ(g.position(n).y, 0.2);
+}
+
+TEST(Graph, DistanceFormula) {
+  EXPECT_DOUBLE_EQ(distance(Point{0, 0}, Point{3, 4}), 5.0);
+}
+
+// ---- Waxman ------------------------------------------------------------------
+
+TEST(Waxman, DeterministicInSeed) {
+  const WaxmanConfig cfg{50, 0.4, 0.3, true};
+  const Graph a = generate_waxman(cfg, 11);
+  const Graph b = generate_waxman(cfg, 11);
+  EXPECT_EQ(a.num_links(), b.num_links());
+  for (LinkId l = 0; l < a.num_links(); ++l) {
+    EXPECT_EQ(a.link(l).a, b.link(l).a);
+    EXPECT_EQ(a.link(l).b, b.link(l).b);
+  }
+}
+
+TEST(Waxman, DifferentSeedsDiffer) {
+  const WaxmanConfig cfg{50, 0.4, 0.3, false};
+  EXPECT_NE(generate_waxman(cfg, 1).num_links(), generate_waxman(cfg, 2).num_links());
+}
+
+TEST(Waxman, EnsureConnectedProducesOneComponent) {
+  // Sparse parameters that would naturally fragment.
+  const WaxmanConfig cfg{60, 0.1, 0.08, true};
+  const Graph g = generate_waxman(cfg, 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Waxman, HigherAlphaMoreEdges) {
+  const Graph sparse = generate_waxman({80, 0.15, 0.3, false}, 9);
+  const Graph dense = generate_waxman({80, 0.9, 0.3, false}, 9);
+  EXPECT_LT(sparse.num_links(), dense.num_links());
+}
+
+TEST(Waxman, BetaZeroMeansDistanceIndependent) {
+  // Pure-random method: expected edges = alpha * C(n, 2).
+  const Graph g = generate_waxman({100, 0.2, 0.0, false}, 13);
+  const double expected = 0.2 * 4950.0;
+  EXPECT_NEAR(static_cast<double>(g.num_links()), expected, 150.0);
+}
+
+TEST(Waxman, PaperInstanceStatistics) {
+  // The paper's "Random" network: 100 nodes, ~354 edges.
+  const Graph g = generate_waxman({100, 0.33, 0.20, true}, 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_NEAR(static_cast<double>(g.num_links()), 354.0, 40.0);
+}
+
+TEST(Waxman, CalibrateBetaHitsTarget) {
+  const double beta = calibrate_beta(100, 0.33, 354, 21, 12.0);
+  const WaxmanConfig cfg{100, 0.33, beta, false};
+  double mean = 0.0;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    mean += static_cast<double>(generate_waxman(cfg, 100 + s).num_links());
+  mean /= 4.0;
+  EXPECT_NEAR(mean, 354.0, 40.0);
+}
+
+TEST(Waxman, RejectsBadParameters) {
+  EXPECT_THROW(generate_waxman({1, 0.3, 0.2, true}, 1), std::invalid_argument);
+  EXPECT_THROW(generate_waxman({10, 0.0, 0.2, true}, 1), std::invalid_argument);
+  EXPECT_THROW(generate_waxman({10, 1.5, 0.2, true}, 1), std::invalid_argument);
+}
+
+// ---- TransitStub ----------------------------------------------------------------
+
+TEST(TransitStub, DefaultBuildsHundredNodes) {
+  const TransitStubGraph ts = generate_transit_stub({}, 3);
+  EXPECT_EQ(ts.graph.num_nodes(), 100u);
+  EXPECT_EQ(ts.num_transit_nodes(), 4u);
+  EXPECT_EQ(ts.num_stub_nodes(), 96u);
+  EXPECT_TRUE(is_connected(ts.graph));
+  EXPECT_EQ(ts.roles.size(), 100u);
+  EXPECT_EQ(ts.domain_of.size(), 100u);
+}
+
+TEST(TransitStub, StubTrafficMustCrossTransit) {
+  // Stub domains only reach each other through their transit gateways.
+  const TransitStubGraph ts = generate_transit_stub({}, 3);
+  NodeId a = 0;
+  NodeId b = 0;
+  bool found = false;
+  for (NodeId i = 0; i < 100 && !found; ++i) {
+    for (NodeId j = i + 1; j < 100 && !found; ++j) {
+      if (ts.roles[i] == NodeRole::kStub && ts.roles[j] == NodeRole::kStub &&
+          ts.domain_of[i] != ts.domain_of[j]) {
+        a = i;
+        b = j;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  // Allowing only intra-domain stub-stub links, no route should survive.
+  const LinkFilter no_transit = [&](LinkId l) {
+    const Link& link = ts.graph.link(l);
+    return ts.roles[link.a] == NodeRole::kStub && ts.roles[link.b] == NodeRole::kStub &&
+           ts.domain_of[link.a] == ts.domain_of[link.b];
+  };
+  EXPECT_FALSE(shortest_path(ts.graph, a, b, no_transit).has_value());
+  EXPECT_TRUE(shortest_path(ts.graph, a, b).has_value());
+}
+
+TEST(TransitStub, MultiDomainConfig) {
+  TransitStubConfig cfg;
+  cfg.transit_domains = 2;
+  cfg.nodes_per_transit = 3;
+  cfg.stubs_per_transit_node = 2;
+  cfg.nodes_per_stub = 4;
+  const TransitStubGraph ts = generate_transit_stub(cfg, 17);
+  EXPECT_EQ(ts.graph.num_nodes(), 2u * 3u + 2u * 3u * 2u * 4u);
+  EXPECT_TRUE(is_connected(ts.graph));
+}
+
+TEST(TransitStub, Deterministic) {
+  const TransitStubGraph a = generate_transit_stub({}, 42);
+  const TransitStubGraph b = generate_transit_stub({}, 42);
+  EXPECT_EQ(a.graph.num_links(), b.graph.num_links());
+}
+
+TEST(TransitStub, RejectsEmptyHierarchy) {
+  TransitStubConfig cfg;
+  cfg.transit_domains = 0;
+  EXPECT_THROW(generate_transit_stub(cfg, 1), std::invalid_argument);
+}
+
+// ---- Paths --------------------------------------------------------------------------
+
+TEST(Paths, ShortestPathHopCount) {
+  const Graph g = small_graph();
+  const auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 1u);  // direct chord 0-3
+  EXPECT_EQ(p->nodes.front(), 0u);
+  EXPECT_EQ(p->nodes.back(), 3u);
+}
+
+TEST(Paths, ShortestPathRespectsFilter) {
+  const Graph g = small_graph();
+  const LinkFilter no_chord = [](LinkId l) { return l != 3; };
+  const auto p = shortest_path(g, 0, 3, no_chord);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 3u);  // 0-1-2-3
+}
+
+TEST(Paths, ShortestPathDisconnected) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_FALSE(shortest_path(g, 0, 3).has_value());
+}
+
+TEST(Paths, TrivialSourceEqualsDestination) {
+  const Graph g = small_graph();
+  const auto p = shortest_path(g, 2, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+  EXPECT_EQ(p->nodes.size(), 1u);
+}
+
+TEST(Paths, PathLinksConnectConsecutiveNodes) {
+  const Graph g = generate_waxman({40, 0.4, 0.3, true}, 3);
+  const auto p = shortest_path(g, 0, 39);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->nodes.size(), p->links.size() + 1);
+  for (std::size_t i = 0; i < p->links.size(); ++i) {
+    const Link& l = g.link(p->links[i]);
+    const std::set<NodeId> expect{p->nodes[i], p->nodes[i + 1]};
+    EXPECT_EQ((std::set<NodeId>{l.a, l.b}), expect);
+  }
+}
+
+TEST(Paths, WidestShortestPrefersWiderTie) {
+  // Two 2-hop routes 0-1-3 and 0-2-3; widths make the latter better.
+  Graph g(4);
+  const LinkId a1 = g.add_link(0, 1);
+  const LinkId a2 = g.add_link(1, 3);
+  const LinkId b1 = g.add_link(0, 2);
+  const LinkId b2 = g.add_link(2, 3);
+  const LinkWidth width = [&](LinkId l) {
+    if (l == a1) return 10.0;
+    if (l == a2) return 1.0;  // bottleneck of route A
+    if (l == b1) return 5.0;
+    if (l == b2) return 5.0;  // bottleneck of route B = 5
+    return 0.0;
+  };
+  const auto p = widest_shortest_path(g, 0, 3, width);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);
+  EXPECT_EQ(p->nodes[1], 2u);  // takes the wide route
+}
+
+TEST(Paths, WidestShortestStillMinimizesHops) {
+  // A very wide 3-hop route must lose to a narrow 1-hop route.
+  Graph g(4);
+  const LinkId direct = g.add_link(0, 3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  const LinkWidth width = [&](LinkId l) { return l == direct ? 0.1 : 100.0; };
+  const auto p = widest_shortest_path(g, 0, 3, width);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 1u);
+}
+
+TEST(Paths, MinOverlapFindsDisjointWhenItExists) {
+  const Graph g = small_graph();
+  const auto primary = shortest_path(g, 0, 3);  // chord 0-3
+  ASSERT_TRUE(primary.has_value());
+  const auto backup = min_overlap_path(g, 0, 3, primary->link_set(g.num_links()));
+  ASSERT_TRUE(backup.has_value());
+  EXPECT_EQ(backup->overlap(*primary), 0u);
+  EXPECT_EQ(backup->hops(), 3u);  // 0-1-2-3
+}
+
+TEST(Paths, MinOverlapFallsBackToMaximallyDisjoint) {
+  // Bridge topology: 0-1 is the only way out of 0; overlap is unavoidable.
+  Graph g(4);
+  g.add_link(0, 1);  // bridge
+  g.add_link(1, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  const auto primary = shortest_path(g, 0, 3);
+  ASSERT_TRUE(primary.has_value());
+  const auto backup = min_overlap_path(g, 0, 3, primary->link_set(g.num_links()));
+  ASSERT_TRUE(backup.has_value());
+  EXPECT_EQ(backup->overlap(*primary), 1u);  // only the bridge is shared
+}
+
+TEST(Paths, MinOverlapHonorsFilter) {
+  const Graph g = small_graph();
+  util::DynamicBitset avoid(g.num_links());
+  const LinkFilter nothing = [](LinkId) { return false; };
+  EXPECT_FALSE(min_overlap_path(g, 0, 3, avoid, nothing).has_value());
+}
+
+TEST(Paths, KShortestYieldsDistinctAscendingPaths) {
+  const Graph g = small_graph();
+  const auto paths = k_shortest_paths(g, 0, 3, 3);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hops(), 1u);
+  EXPECT_EQ(paths[1].hops(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i].hops(), paths[i - 1].hops());
+  std::set<std::vector<LinkId>> seen;
+  for (const auto& p : paths) EXPECT_TRUE(seen.insert(p.links).second);
+}
+
+TEST(Paths, KShortestOnWaxman) {
+  const Graph g = generate_waxman({50, 0.4, 0.3, true}, 77);
+  const auto paths = k_shortest_paths(g, 2, 47, 5);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.nodes.front(), 2u);
+    EXPECT_EQ(p.nodes.back(), 47u);
+    // Loopless.
+    std::set<NodeId> nodes(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(nodes.size(), p.nodes.size());
+  }
+}
+
+// ---- Metrics --------------------------------------------------------------------------
+
+TEST(Metrics, ComponentsAndConnectivity) {
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[4]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Metrics, HopDistances) {
+  const Graph g = small_graph();
+  const auto d = hop_distances(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[3], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[4], 3u);
+}
+
+TEST(Metrics, DiameterOfPathGraph) {
+  Graph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.add_link(i, i + 1);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_NEAR(average_path_length(g), 2.0, 1e-12);  // known for P5
+}
+
+TEST(Metrics, GraphStatsBundle) {
+  const Graph g = small_graph();
+  const GraphStats s = graph_stats(g);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.links, 5u);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 3u);
+}
+
+// Parameterized property: on random connected Waxman graphs, shortest paths
+// are symmetric in length and consistent with BFS distances.
+class PathPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathPropertySweep, ShortestPathMatchesBfsDistance) {
+  const Graph g = generate_waxman({40, 0.3, 0.25, true}, GetParam());
+  const auto dist = hop_distances(g, 0);
+  for (NodeId dst = 1; dst < g.num_nodes(); dst += 7) {
+    const auto p = shortest_path(g, 0, dst);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->hops(), dist[dst]);
+    const auto back = shortest_path(g, dst, 0);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->hops(), dist[dst]);
+  }
+}
+
+TEST_P(PathPropertySweep, MinOverlapNeverWorseThanDisjointSearch) {
+  const Graph g = generate_waxman({40, 0.3, 0.25, true}, GetParam());
+  for (NodeId dst = 1; dst < g.num_nodes(); dst += 11) {
+    const auto primary = shortest_path(g, 0, dst);
+    ASSERT_TRUE(primary.has_value());
+    const auto bits = primary->link_set(g.num_links());
+    const auto backup = min_overlap_path(g, 0, dst, bits);
+    ASSERT_TRUE(backup.has_value());
+    // If a fully disjoint path exists (filter out primary links), the
+    // min-overlap path must also have zero overlap.
+    const LinkFilter disjoint = [&](LinkId l) { return !bits.test(l); };
+    const auto strict = shortest_path(g, 0, dst, disjoint);
+    if (strict.has_value()) {
+      EXPECT_EQ(backup->overlap(*primary), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathPropertySweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace eqos::topology
