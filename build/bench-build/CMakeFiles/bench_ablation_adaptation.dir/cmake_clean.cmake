@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_adaptation"
+  "../bench/bench_ablation_adaptation.pdb"
+  "CMakeFiles/bench_ablation_adaptation.dir/bench_ablation_adaptation.cpp.o"
+  "CMakeFiles/bench_ablation_adaptation.dir/bench_ablation_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_increment"
+  "../bench/bench_ablation_increment.pdb"
+  "CMakeFiles/bench_ablation_increment.dir/bench_ablation_increment.cpp.o"
+  "CMakeFiles/bench_ablation_increment.dir/bench_ablation_increment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_increment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

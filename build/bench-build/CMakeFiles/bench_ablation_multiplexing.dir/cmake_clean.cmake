@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multiplexing"
+  "../bench/bench_ablation_multiplexing.pdb"
+  "CMakeFiles/bench_ablation_multiplexing.dir/bench_ablation_multiplexing.cpp.o"
+  "CMakeFiles/bench_ablation_multiplexing.dir/bench_ablation_multiplexing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

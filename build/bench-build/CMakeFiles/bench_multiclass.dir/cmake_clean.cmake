@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiclass"
+  "../bench/bench_multiclass.pdb"
+  "CMakeFiles/bench_multiclass.dir/bench_multiclass.cpp.o"
+  "CMakeFiles/bench_multiclass.dir/bench_multiclass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

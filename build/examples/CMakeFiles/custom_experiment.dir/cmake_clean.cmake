@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_experiment.dir/custom_experiment.cpp.o"
+  "CMakeFiles/custom_experiment.dir/custom_experiment.cpp.o.d"
+  "custom_experiment"
+  "custom_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

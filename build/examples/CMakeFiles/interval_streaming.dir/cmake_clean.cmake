@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_streaming.dir/interval_streaming.cpp.o"
+  "CMakeFiles/interval_streaming.dir/interval_streaming.cpp.o.d"
+  "interval_streaming"
+  "interval_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

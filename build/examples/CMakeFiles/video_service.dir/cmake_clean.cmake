@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_service.dir/video_service.cpp.o"
+  "CMakeFiles/video_service.dir/video_service.cpp.o.d"
+  "video_service"
+  "video_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

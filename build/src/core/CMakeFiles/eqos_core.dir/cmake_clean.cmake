@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_core.dir/analyzer.cpp.o"
+  "CMakeFiles/eqos_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/eqos_core.dir/experiment.cpp.o"
+  "CMakeFiles/eqos_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/eqos_core.dir/ideal.cpp.o"
+  "CMakeFiles/eqos_core.dir/ideal.cpp.o.d"
+  "libeqos_core.a"
+  "libeqos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

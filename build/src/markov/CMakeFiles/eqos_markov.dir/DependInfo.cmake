@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/bandwidth_chain.cpp" "src/markov/CMakeFiles/eqos_markov.dir/bandwidth_chain.cpp.o" "gcc" "src/markov/CMakeFiles/eqos_markov.dir/bandwidth_chain.cpp.o.d"
+  "/root/repo/src/markov/classify.cpp" "src/markov/CMakeFiles/eqos_markov.dir/classify.cpp.o" "gcc" "src/markov/CMakeFiles/eqos_markov.dir/classify.cpp.o.d"
+  "/root/repo/src/markov/ctmc.cpp" "src/markov/CMakeFiles/eqos_markov.dir/ctmc.cpp.o" "gcc" "src/markov/CMakeFiles/eqos_markov.dir/ctmc.cpp.o.d"
+  "/root/repo/src/markov/dtmc.cpp" "src/markov/CMakeFiles/eqos_markov.dir/dtmc.cpp.o" "gcc" "src/markov/CMakeFiles/eqos_markov.dir/dtmc.cpp.o.d"
+  "/root/repo/src/markov/passage.cpp" "src/markov/CMakeFiles/eqos_markov.dir/passage.cpp.o" "gcc" "src/markov/CMakeFiles/eqos_markov.dir/passage.cpp.o.d"
+  "/root/repo/src/markov/rewards.cpp" "src/markov/CMakeFiles/eqos_markov.dir/rewards.cpp.o" "gcc" "src/markov/CMakeFiles/eqos_markov.dir/rewards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/eqos_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

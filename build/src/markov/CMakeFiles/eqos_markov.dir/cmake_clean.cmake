@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_markov.dir/bandwidth_chain.cpp.o"
+  "CMakeFiles/eqos_markov.dir/bandwidth_chain.cpp.o.d"
+  "CMakeFiles/eqos_markov.dir/classify.cpp.o"
+  "CMakeFiles/eqos_markov.dir/classify.cpp.o.d"
+  "CMakeFiles/eqos_markov.dir/ctmc.cpp.o"
+  "CMakeFiles/eqos_markov.dir/ctmc.cpp.o.d"
+  "CMakeFiles/eqos_markov.dir/dtmc.cpp.o"
+  "CMakeFiles/eqos_markov.dir/dtmc.cpp.o.d"
+  "CMakeFiles/eqos_markov.dir/passage.cpp.o"
+  "CMakeFiles/eqos_markov.dir/passage.cpp.o.d"
+  "CMakeFiles/eqos_markov.dir/rewards.cpp.o"
+  "CMakeFiles/eqos_markov.dir/rewards.cpp.o.d"
+  "libeqos_markov.a"
+  "libeqos_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

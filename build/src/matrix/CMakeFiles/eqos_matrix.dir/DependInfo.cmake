@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/dense.cpp" "src/matrix/CMakeFiles/eqos_matrix.dir/dense.cpp.o" "gcc" "src/matrix/CMakeFiles/eqos_matrix.dir/dense.cpp.o.d"
+  "/root/repo/src/matrix/gth.cpp" "src/matrix/CMakeFiles/eqos_matrix.dir/gth.cpp.o" "gcc" "src/matrix/CMakeFiles/eqos_matrix.dir/gth.cpp.o.d"
+  "/root/repo/src/matrix/lu.cpp" "src/matrix/CMakeFiles/eqos_matrix.dir/lu.cpp.o" "gcc" "src/matrix/CMakeFiles/eqos_matrix.dir/lu.cpp.o.d"
+  "/root/repo/src/matrix/sparse.cpp" "src/matrix/CMakeFiles/eqos_matrix.dir/sparse.cpp.o" "gcc" "src/matrix/CMakeFiles/eqos_matrix.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_matrix.dir/dense.cpp.o"
+  "CMakeFiles/eqos_matrix.dir/dense.cpp.o.d"
+  "CMakeFiles/eqos_matrix.dir/gth.cpp.o"
+  "CMakeFiles/eqos_matrix.dir/gth.cpp.o.d"
+  "CMakeFiles/eqos_matrix.dir/lu.cpp.o"
+  "CMakeFiles/eqos_matrix.dir/lu.cpp.o.d"
+  "CMakeFiles/eqos_matrix.dir/sparse.cpp.o"
+  "CMakeFiles/eqos_matrix.dir/sparse.cpp.o.d"
+  "libeqos_matrix.a"
+  "libeqos_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/backup.cpp" "src/net/CMakeFiles/eqos_net.dir/backup.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/backup.cpp.o.d"
+  "/root/repo/src/net/flooding.cpp" "src/net/CMakeFiles/eqos_net.dir/flooding.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/flooding.cpp.o.d"
+  "/root/repo/src/net/interval_qos.cpp" "src/net/CMakeFiles/eqos_net.dir/interval_qos.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/interval_qos.cpp.o.d"
+  "/root/repo/src/net/link_state.cpp" "src/net/CMakeFiles/eqos_net.dir/link_state.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/link_state.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/eqos_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/qos.cpp" "src/net/CMakeFiles/eqos_net.dir/qos.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/qos.cpp.o.d"
+  "/root/repo/src/net/revenue.cpp" "src/net/CMakeFiles/eqos_net.dir/revenue.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/revenue.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/eqos_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/eqos_net.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/eqos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

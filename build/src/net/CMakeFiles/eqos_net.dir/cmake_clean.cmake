@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_net.dir/backup.cpp.o"
+  "CMakeFiles/eqos_net.dir/backup.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/flooding.cpp.o"
+  "CMakeFiles/eqos_net.dir/flooding.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/interval_qos.cpp.o"
+  "CMakeFiles/eqos_net.dir/interval_qos.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/link_state.cpp.o"
+  "CMakeFiles/eqos_net.dir/link_state.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/network.cpp.o"
+  "CMakeFiles/eqos_net.dir/network.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/qos.cpp.o"
+  "CMakeFiles/eqos_net.dir/qos.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/revenue.cpp.o"
+  "CMakeFiles/eqos_net.dir/revenue.cpp.o.d"
+  "CMakeFiles/eqos_net.dir/routing.cpp.o"
+  "CMakeFiles/eqos_net.dir/routing.cpp.o.d"
+  "libeqos_net.a"
+  "libeqos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

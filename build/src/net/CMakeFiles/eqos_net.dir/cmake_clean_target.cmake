@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeqos_net.a"
+)

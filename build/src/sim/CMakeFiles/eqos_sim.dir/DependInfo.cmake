@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/eqos_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/eqos_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/sim/CMakeFiles/eqos_sim.dir/recorder.cpp.o" "gcc" "src/sim/CMakeFiles/eqos_sim.dir/recorder.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/eqos_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/eqos_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/eqos_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eqos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/eqos_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

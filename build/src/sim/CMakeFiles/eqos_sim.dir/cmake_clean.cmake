@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/eqos_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eqos_sim.dir/recorder.cpp.o"
+  "CMakeFiles/eqos_sim.dir/recorder.cpp.o.d"
+  "CMakeFiles/eqos_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eqos_sim.dir/simulator.cpp.o.d"
+  "libeqos_sim.a"
+  "libeqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

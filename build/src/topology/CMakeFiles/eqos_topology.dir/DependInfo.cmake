@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/bridges.cpp" "src/topology/CMakeFiles/eqos_topology.dir/bridges.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/bridges.cpp.o.d"
+  "/root/repo/src/topology/disjoint.cpp" "src/topology/CMakeFiles/eqos_topology.dir/disjoint.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/disjoint.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/eqos_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/io.cpp" "src/topology/CMakeFiles/eqos_topology.dir/io.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/io.cpp.o.d"
+  "/root/repo/src/topology/metrics.cpp" "src/topology/CMakeFiles/eqos_topology.dir/metrics.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/metrics.cpp.o.d"
+  "/root/repo/src/topology/paths.cpp" "src/topology/CMakeFiles/eqos_topology.dir/paths.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/paths.cpp.o.d"
+  "/root/repo/src/topology/regular.cpp" "src/topology/CMakeFiles/eqos_topology.dir/regular.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/regular.cpp.o.d"
+  "/root/repo/src/topology/transit_stub.cpp" "src/topology/CMakeFiles/eqos_topology.dir/transit_stub.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/transit_stub.cpp.o.d"
+  "/root/repo/src/topology/waxman.cpp" "src/topology/CMakeFiles/eqos_topology.dir/waxman.cpp.o" "gcc" "src/topology/CMakeFiles/eqos_topology.dir/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

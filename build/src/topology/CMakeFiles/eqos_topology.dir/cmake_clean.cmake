@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_topology.dir/bridges.cpp.o"
+  "CMakeFiles/eqos_topology.dir/bridges.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/disjoint.cpp.o"
+  "CMakeFiles/eqos_topology.dir/disjoint.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/graph.cpp.o"
+  "CMakeFiles/eqos_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/io.cpp.o"
+  "CMakeFiles/eqos_topology.dir/io.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/metrics.cpp.o"
+  "CMakeFiles/eqos_topology.dir/metrics.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/paths.cpp.o"
+  "CMakeFiles/eqos_topology.dir/paths.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/regular.cpp.o"
+  "CMakeFiles/eqos_topology.dir/regular.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/transit_stub.cpp.o"
+  "CMakeFiles/eqos_topology.dir/transit_stub.cpp.o.d"
+  "CMakeFiles/eqos_topology.dir/waxman.cpp.o"
+  "CMakeFiles/eqos_topology.dir/waxman.cpp.o.d"
+  "libeqos_topology.a"
+  "libeqos_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqos_util.dir/log.cpp.o"
+  "CMakeFiles/eqos_util.dir/log.cpp.o.d"
+  "CMakeFiles/eqos_util.dir/rng.cpp.o"
+  "CMakeFiles/eqos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eqos_util.dir/stats.cpp.o"
+  "CMakeFiles/eqos_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eqos_util.dir/table.cpp.o"
+  "CMakeFiles/eqos_util.dir/table.cpp.o.d"
+  "libeqos_util.a"
+  "libeqos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

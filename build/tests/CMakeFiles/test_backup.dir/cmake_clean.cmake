@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backup.dir/test_backup.cpp.o"
+  "CMakeFiles/test_backup.dir/test_backup.cpp.o.d"
+  "test_backup"
+  "test_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disjoint.dir/test_disjoint.cpp.o"
+  "CMakeFiles/test_disjoint.dir/test_disjoint.cpp.o.d"
+  "test_disjoint"
+  "test_disjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

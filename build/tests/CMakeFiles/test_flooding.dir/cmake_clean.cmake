@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flooding.dir/test_flooding.cpp.o"
+  "CMakeFiles/test_flooding.dir/test_flooding.cpp.o.d"
+  "test_flooding"
+  "test_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

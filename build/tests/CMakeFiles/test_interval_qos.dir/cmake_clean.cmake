@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_qos.dir/test_interval_qos.cpp.o"
+  "CMakeFiles/test_interval_qos.dir/test_interval_qos.cpp.o.d"
+  "test_interval_qos"
+  "test_interval_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

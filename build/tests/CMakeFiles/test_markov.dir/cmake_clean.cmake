@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov.dir/test_markov.cpp.o"
+  "CMakeFiles/test_markov.dir/test_markov.cpp.o.d"
+  "test_markov"
+  "test_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

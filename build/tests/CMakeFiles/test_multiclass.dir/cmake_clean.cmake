@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiclass.dir/test_multiclass.cpp.o"
+  "CMakeFiles/test_multiclass.dir/test_multiclass.cpp.o.d"
+  "test_multiclass"
+  "test_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passage.dir/test_passage.cpp.o"
+  "CMakeFiles/test_passage.dir/test_passage.cpp.o.d"
+  "test_passage"
+  "test_passage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

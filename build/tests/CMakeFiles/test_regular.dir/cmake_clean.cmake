@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regular.dir/test_regular.cpp.o"
+  "CMakeFiles/test_regular.dir/test_regular.cpp.o.d"
+  "test_regular"
+  "test_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revenue.dir/test_revenue.cpp.o"
+  "CMakeFiles/test_revenue.dir/test_revenue.cpp.o.d"
+  "test_revenue"
+  "test_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewards_io.dir/test_rewards_io.cpp.o"
+  "CMakeFiles/test_rewards_io.dir/test_rewards_io.cpp.o.d"
+  "test_rewards_io"
+  "test_rewards_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewards_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
