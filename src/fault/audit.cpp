@@ -1,0 +1,110 @@
+#include "fault/audit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/link_state.hpp"
+#include "net/network.hpp"
+
+namespace eqos::fault {
+
+namespace {
+
+[[noreturn]] void violation(const std::string& what) {
+  throw std::logic_error("audit_network: " + what);
+}
+
+bool close(double a, double b) {
+  return std::abs(a - b) <= net::LinkState::kEpsilon;
+}
+
+}  // namespace
+
+void audit_network(const net::Network& network) {
+  const std::size_t num_links = network.graph().num_links();
+  std::vector<double> committed(num_links, 0.0);
+  std::vector<double> elastic(num_links, 0.0);
+  std::vector<std::size_t> backup_count(num_links, 0);
+
+  for (net::ConnectionId id : network.active_ids()) {
+    const net::DrConnection& c = network.connection(id);
+    const double reserved = c.reserved_kbps();
+    if (reserved < c.qos.bmin_kbps - net::LinkState::kEpsilon ||
+        reserved > c.qos.bmax_kbps + net::LinkState::kEpsilon) {
+      violation("connection " + std::to_string(id) + " reserved " +
+                std::to_string(reserved) + " outside [bmin, bmax]");
+    }
+    for (topology::LinkId l : c.primary.links) {
+      committed[l] += c.qos.bmin_kbps;
+      elastic[l] += c.extra_kbps();
+      if (network.link_state(l).failed()) {
+        violation("connection " + std::to_string(id) + " active path crosses failed link " +
+                  std::to_string(l));
+      }
+    }
+    if (c.has_backup()) {
+      for (topology::LinkId l : c.backup->links) {
+        ++backup_count[l];
+        if (network.link_state(l).failed()) {
+          violation("connection " + std::to_string(id) + " backup parked on failed link " +
+                    std::to_string(l));
+        }
+      }
+    }
+  }
+
+  for (topology::LinkId l = 0; l < num_links; ++l) {
+    const net::LinkState& s = network.link_state(l);
+    const std::string where = "link " + std::to_string(l);
+    if (!close(s.committed_min(), committed[l])) {
+      violation(where + ": committed_min ledger " + std::to_string(s.committed_min()) +
+                " != recomputed " + std::to_string(committed[l]));
+    }
+    if (!close(s.elastic_granted(), elastic[l])) {
+      violation(where + ": elastic_granted ledger " + std::to_string(s.elastic_granted()) +
+                " != recomputed " + std::to_string(elastic[l]));
+    }
+    if (network.backups().count_on_link(l) != backup_count[l]) {
+      violation(where + ": backup registry holds " +
+                std::to_string(network.backups().count_on_link(l)) + " entries, walk found " +
+                std::to_string(backup_count[l]));
+    }
+    // recompute_reservation() rebuilds R_l from the registry entries; the
+    // cached value and the LinkState mirror must both agree with it.
+    const double fresh = network.backups().recompute_reservation(l);
+    if (!close(network.backups().reservation(l), fresh)) {
+      violation(where + ": cached backup reservation " +
+                std::to_string(network.backups().reservation(l)) + " != recomputed " +
+                std::to_string(fresh));
+    }
+    if (!close(s.backup_reserved(), fresh)) {
+      violation(where + ": LinkState backup_reserved " + std::to_string(s.backup_reserved()) +
+                " != recomputed " + std::to_string(fresh));
+    }
+    // Capacity conservation.  Backup reservations may have been rendered
+    // infeasible by a failure elsewhere (overbooking debt the network is
+    // still settling), but committed minimums and elastic grants are hard.
+    if (s.committed_min() + s.elastic_granted() > s.capacity() + net::LinkState::kEpsilon) {
+      violation(where + ": committed + elastic " +
+                std::to_string(s.committed_min() + s.elastic_granted()) + " exceeds capacity " +
+                std::to_string(s.capacity()));
+    }
+    if (committed[l] > 0.0 && s.failed()) {
+      violation(where + ": failed link still carries committed bandwidth");
+    }
+  }
+}
+
+void InvariantAuditor::check(const std::string& context) {
+  try {
+    network_->audit();
+    audit_network(*network_);
+  } catch (const std::logic_error& e) {
+    throw std::logic_error("invariant violation " + context + ": " + e.what());
+  }
+  ++checks_;
+}
+
+}  // namespace eqos::fault

@@ -1,0 +1,52 @@
+// Runtime invariant auditor.
+//
+// Two layers of defence against ledger drift under fault churn:
+//
+//  * Network::audit() (net/network.cpp) checks the network's *internal*
+//    consistency — its own caches against its own registries.
+//  * audit_network() here recomputes every per-link ledger from scratch
+//    through the public observer API only (walking active connections and
+//    summing what each should hold) and compares the results against the
+//    LinkState ledgers and the BackupManager's cached reservations.  A bug
+//    that corrupts both a cache and its registry in the same way slips past
+//    the internal audit but not this external recomputation.
+//
+// InvariantAuditor bundles both and is designed to be wired into a
+// FaultInjector (audit after every injected fault) or called from tests
+// after every workload event.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace eqos::net {
+class Network;
+}
+
+namespace eqos::fault {
+
+/// From-scratch external recomputation of all per-link ledgers via the
+/// public API, compared against the Network's own bookkeeping.  Throws
+/// std::logic_error describing the first discrepancy.
+void audit_network(const net::Network& network);
+
+/// Convenience wrapper running Network::audit() plus audit_network(), with
+/// violations rethrown carrying a caller-supplied context string (e.g.
+/// "after fail-link 7 @t=50").
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const net::Network& network) : network_(&network) {}
+
+  /// Runs the full audit; throws std::logic_error prefixed with `context`
+  /// on the first violation.
+  void check(const std::string& context);
+
+  /// Number of successful audits performed.
+  [[nodiscard]] std::size_t checks_run() const noexcept { return checks_; }
+
+ private:
+  const net::Network* network_;
+  std::size_t checks_ = 0;
+};
+
+}  // namespace eqos::fault

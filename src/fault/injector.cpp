@@ -1,0 +1,228 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "fault/audit.hpp"
+
+namespace eqos::fault {
+
+FaultInjector::FaultInjector(net::Network& network, Scheduler scheduler, Hooks hooks)
+    : network_(network), scheduler_(std::move(scheduler)), hooks_(std::move(hooks)) {
+  if (!scheduler_.now || !scheduler_.schedule_at) {
+    throw std::invalid_argument("fault injector: scheduler must provide now and schedule_at");
+  }
+}
+
+void FaultInjector::audit_after(const char* what, std::size_t target) {
+  if (!auditor_) return;
+  auditor_->check("after " + std::string(what) + " " + std::to_string(target) + " @t=" +
+                  std::to_string(scheduler_.now()));
+}
+
+// ---- Legacy mode ------------------------------------------------------------
+
+void FaultInjector::enable_legacy_poisson(double failure_rate, double repair_rate,
+                                          util::Rng rng) {
+  if (!(failure_rate > 0.0) || !(repair_rate > 0.0)) {
+    throw std::invalid_argument("fault injector: legacy rates must be > 0");
+  }
+  legacy_failure_rate_ = failure_rate;
+  legacy_repair_rate_ = repair_rate;
+  legacy_rng_.emplace(std::move(rng));
+  scheduler_.schedule_at(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
+                         [this] { do_legacy_failure(); });
+}
+
+void FaultInjector::do_legacy_failure() {
+  // Draw-for-draw reproduction of the pre-injector Simulator::do_failure:
+  // alive-link pick, then the repair delay, then the next failure delay, all
+  // from one stream in this exact order.
+  if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+  const std::size_t num_links = network_.graph().num_links();
+  std::size_t alive = 0;
+  for (topology::LinkId l = 0; l < num_links; ++l)
+    if (!network_.link_state(l).failed()) ++alive;
+  if (alive > 0) {
+    std::size_t pick = legacy_rng_->index(alive);
+    topology::LinkId chosen = 0;
+    for (topology::LinkId l = 0; l < num_links; ++l) {
+      if (network_.link_state(l).failed()) continue;
+      if (pick-- == 0) {
+        chosen = l;
+        break;
+      }
+    }
+    const net::FailureReport report = network_.fail_link(chosen);
+    ++stats_.poisson_failures;
+    if (hooks_.on_failure) hooks_.on_failure(report);
+    audit_after("legacy fail-link", chosen);
+    scheduler_.schedule_at(
+        scheduler_.now() + legacy_rng_->exponential(legacy_repair_rate_), [this, chosen] {
+          if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+          network_.repair_link(chosen);
+          ++stats_.auto_repairs;
+          if (hooks_.on_repair) hooks_.on_repair();
+          audit_after("legacy repair-link", chosen);
+        });
+  }
+  if (hooks_.on_fault_event) hooks_.on_fault_event();
+  scheduler_.schedule_at(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
+                         [this] { do_legacy_failure(); });
+}
+
+// ---- Scenario mode ----------------------------------------------------------
+
+void FaultInjector::load_scenario(const FaultScenario& scenario, util::Rng rng) {
+  scenario.validate(network_.graph().num_links(), network_.graph().num_nodes());
+  groups_ = scenario.groups();
+  stochastic_ = scenario.stochastic();
+  auto_repair_scripted_ = scenario.auto_repair_scripted;
+
+  // Independent split streams: scripted repairs first, per-link processes in
+  // ascending link order, then the burst process — adding a process never
+  // perturbs the draws of another.
+  scripted_rng_.emplace(rng.split());
+  link_processes_.clear();
+  link_rates_.clear();
+  for (topology::LinkId l = 0; l < network_.graph().num_links(); ++l) {
+    const double rate = stochastic_.rate_for(l);
+    if (rate > 0.0) {
+      link_processes_.emplace_back(l, rng.split());
+      link_rates_.push_back(rate);
+    }
+  }
+  if (stochastic_.group_failure_rate > 0.0) burst_rng_.emplace(rng.split());
+
+  for (const FaultEvent& event : scenario.sorted_events()) {
+    scheduler_.schedule_at(event.time, [this, event] { apply_scripted(event); });
+  }
+  for (std::size_t i = 0; i < link_processes_.size(); ++i) {
+    const double t =
+        scheduler_.now() + link_processes_[i].second.exponential(link_rates_[i]);
+    if (t <= stochastic_.horizon) {
+      scheduler_.schedule_at(t, [this, i] { fire_link_process(i); });
+    }
+  }
+  if (burst_rng_) {
+    const double t =
+        scheduler_.now() + burst_rng_->exponential(stochastic_.group_failure_rate);
+    if (t <= stochastic_.horizon) {
+      scheduler_.schedule_at(t, [this] { fire_burst_process(); });
+    }
+  }
+}
+
+void FaultInjector::apply_scripted(const FaultEvent& event) {
+  if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+  switch (event.kind) {
+    case FaultKind::kFailLink:
+      inject_link_failure(event.target, auto_repair_scripted_, *scripted_rng_);
+      ++stats_.scripted_failures;
+      if (hooks_.on_fault_event) hooks_.on_fault_event();
+      audit_after("fail-link", event.target);
+      break;
+    case FaultKind::kFailNode:
+      // Per-link injection (same order as Network::fail_node) so hooks and
+      // auto-repair see each constituent link failure.
+      for (const auto& adj : network_.graph().adjacent(event.target)) {
+        inject_link_failure(adj.link, auto_repair_scripted_, *scripted_rng_);
+      }
+      ++stats_.scripted_failures;
+      if (hooks_.on_fault_event) hooks_.on_fault_event();
+      audit_after("fail-node", event.target);
+      break;
+    case FaultKind::kFailGroup:
+      for (topology::LinkId l : groups_[event.target].links) {
+        inject_link_failure(l, auto_repair_scripted_, *scripted_rng_);
+      }
+      ++stats_.scripted_failures;
+      if (hooks_.on_fault_event) hooks_.on_fault_event();
+      audit_after("fail-group", event.target);
+      break;
+    case FaultKind::kRepairLink:
+      network_.repair_link(event.target);
+      ++stats_.scripted_repairs;
+      if (hooks_.on_repair) hooks_.on_repair();
+      audit_after("repair-link", event.target);
+      break;
+    case FaultKind::kRepairNode:
+      network_.repair_node(event.target);
+      ++stats_.scripted_repairs;
+      if (hooks_.on_repair) hooks_.on_repair();
+      audit_after("repair-node", event.target);
+      break;
+    case FaultKind::kRepairGroup:
+      for (topology::LinkId l : groups_[event.target].links) network_.repair_link(l);
+      ++stats_.scripted_repairs;
+      if (hooks_.on_repair) hooks_.on_repair();
+      audit_after("repair-group", event.target);
+      break;
+  }
+}
+
+void FaultInjector::fire_link_process(std::size_t process) {
+  auto& [link, rng] = link_processes_[process];
+  if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+  if (inject_link_failure(link, stochastic_.auto_repair, rng)) ++stats_.poisson_failures;
+  if (hooks_.on_fault_event) hooks_.on_fault_event();
+  audit_after("poisson fail-link", link);
+  const double t = scheduler_.now() + rng.exponential(link_rates_[process]);
+  if (t <= stochastic_.horizon) {
+    scheduler_.schedule_at(t, [this, process] { fire_link_process(process); });
+  }
+}
+
+void FaultInjector::fire_burst_process() {
+  if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+  double total = 0.0;
+  for (const SrlgGroup& g : groups_) total += g.weight;
+  double pick = burst_rng_->uniform(0.0, total);
+  std::size_t chosen = groups_.size() - 1;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (pick < groups_[i].weight) {
+      chosen = i;
+      break;
+    }
+    pick -= groups_[i].weight;
+  }
+  for (topology::LinkId l : groups_[chosen].links) {
+    inject_link_failure(l, stochastic_.auto_repair, *burst_rng_);
+  }
+  ++stats_.burst_failures;
+  if (hooks_.on_fault_event) hooks_.on_fault_event();
+  audit_after("burst fail-group", chosen);
+  const double t =
+      scheduler_.now() + burst_rng_->exponential(stochastic_.group_failure_rate);
+  if (t <= stochastic_.horizon) {
+    scheduler_.schedule_at(t, [this] { fire_burst_process(); });
+  }
+}
+
+bool FaultInjector::inject_link_failure(topology::LinkId link, bool auto_repair,
+                                        util::Rng& repair_rng) {
+  if (network_.link_state(link).failed()) {
+    ++stats_.skipped_failures;
+    return false;
+  }
+  const net::FailureReport report = network_.fail_link(link);
+  if (hooks_.on_failure) hooks_.on_failure(report);
+  if (auto_repair) schedule_auto_repair(link, repair_rng);
+  return true;
+}
+
+void FaultInjector::schedule_auto_repair(topology::LinkId link, util::Rng& repair_rng) {
+  const double delay = stochastic_.repair.sample(repair_rng);
+  scheduler_.schedule_at(scheduler_.now() + delay, [this, link] {
+    // A scripted repair may have beaten us to it; repair_link is a no-op
+    // (returns 0 without touching stats) for an alive link.
+    if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+    network_.repair_link(link);
+    ++stats_.auto_repairs;
+    if (hooks_.on_repair) hooks_.on_repair();
+    audit_after("auto repair-link", link);
+  });
+}
+
+}  // namespace eqos::fault

@@ -1,0 +1,143 @@
+// Fault injector: executes scenarios against a Network through any
+// discrete-event scheduler.
+//
+// The injector is the single owner of the fault processes that used to live
+// ad hoc inside sim::Simulator:
+//
+//  * legacy mode (enable_legacy_poisson) reproduces the old network-wide
+//    Poisson failure process *draw for draw* — pick a uniformly random
+//    alive link, fail it, schedule an exponential repair — so existing
+//    benches produce bit-identical results for the same seed;
+//  * scenario mode (load_scenario) replays a FaultScenario: scripted events
+//    at absolute times, per-link Poisson failure processes, correlated SRLG
+//    bursts, and exponential/Weibull/deterministic auto-repairs.  Every
+//    stochastic process gets its own split rng stream, so adding one
+//    process never perturbs another and the whole run is deterministic for
+//    a fixed seed.
+//
+// The injector talks to its host through a type-erased Scheduler (so
+// fault/ does not depend on sim/'s EventQueue) and reports what it did
+// through Hooks — the Simulator wires these to its recorder and stats; the
+// tests wire them to capture FailureReport sequences.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fault/scenario.hpp"
+#include "net/events.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::fault {
+
+class InvariantAuditor;
+
+/// Type-erased discrete-event scheduler the injector schedules itself on.
+struct Scheduler {
+  std::function<double()> now;
+  /// Schedules an action at an absolute time (>= now()).
+  std::function<void(double, std::function<void()>)> schedule_at;
+};
+
+/// Host callbacks.  All optional; fired in the order listed within one
+/// injected event.
+struct Hooks {
+  /// Before the event mutates the network (e.g. advance a recorder to the
+  /// event's timestamp).  Receives the current time.
+  std::function<void(double)> before_event;
+  /// After each individual link failure, with the network's report.
+  std::function<void(const net::FailureReport&)> on_failure;
+  /// After a failure event completes (once per event, even when it failed
+  /// multiple links or found none alive) — the "countable event" signal.
+  std::function<void()> on_fault_event;
+  /// After each repair is applied.
+  std::function<void()> on_repair;
+};
+
+/// What the injector has done so far.
+struct InjectorStats {
+  std::size_t scripted_failures = 0;  ///< scripted fail-* events fired
+  std::size_t scripted_repairs = 0;   ///< scripted repair-* events fired
+  std::size_t poisson_failures = 0;   ///< per-link / legacy Poisson failures
+  std::size_t burst_failures = 0;     ///< SRLG burst events fired
+  std::size_t auto_repairs = 0;       ///< sampled-delay repairs applied
+  std::size_t skipped_failures = 0;   ///< fired on an already-failed target
+  [[nodiscard]] std::size_t total_failure_events() const noexcept {
+    return scripted_failures + poisson_failures + burst_failures;
+  }
+};
+
+/// Drives fault processes against a network.  Non-copyable and non-movable:
+/// scheduled closures capture `this`.
+class FaultInjector {
+ public:
+  /// The network, scheduler target, and hook targets must outlive the
+  /// injector (and any events it has scheduled).
+  FaultInjector(net::Network& network, Scheduler scheduler, Hooks hooks = {});
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Reproduces the legacy Simulator failure process exactly: a single
+  /// network-wide Poisson process with `failure_rate`; each firing picks a
+  /// uniformly random alive link (skipping the event when none is), fails
+  /// it, and schedules its repair after an exponential(repair_rate) delay.
+  /// All draws come from `rng` in the legacy order, so a Simulator run with
+  /// the same seed replays bit-identically.
+  void enable_legacy_poisson(double failure_rate, double repair_rate, util::Rng rng);
+
+  /// Loads a scenario: schedules its scripted events at their absolute
+  /// times and starts its stochastic processes.  `rng` seeds independent
+  /// split streams (scripted repairs first, then per-link processes in
+  /// ascending link order, then the SRLG burst process).  Validates the
+  /// scenario against the network's topology first.
+  void load_scenario(const FaultScenario& scenario, util::Rng rng);
+
+  /// Audits the network after every injected event (nullptr detaches).
+  void set_auditor(InvariantAuditor* auditor) noexcept { auditor_ = auditor; }
+
+  [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+
+ private:
+  // Legacy mode.
+  void do_legacy_failure();
+
+  // Scenario mode.
+  void apply_scripted(const FaultEvent& event);
+  void fire_link_process(std::size_t process);
+  void fire_burst_process();
+  /// Fails one link (idempotence-aware), reports it, and schedules its
+  /// auto-repair when `auto_repair` asks for it.  Returns whether the link
+  /// was alive.
+  bool inject_link_failure(topology::LinkId link, bool auto_repair, util::Rng& repair_rng);
+  void schedule_auto_repair(topology::LinkId link, util::Rng& repair_rng);
+  void audit_after(const char* what, std::size_t target);
+
+  net::Network& network_;
+  Scheduler scheduler_;
+  Hooks hooks_;
+  InvariantAuditor* auditor_ = nullptr;
+  InjectorStats stats_;
+
+  // Legacy process state.
+  double legacy_failure_rate_ = 0.0;
+  double legacy_repair_rate_ = 0.0;
+  std::optional<util::Rng> legacy_rng_;
+
+  // Scenario state.
+  std::vector<SrlgGroup> groups_;
+  StochasticFaultConfig stochastic_;
+  bool auto_repair_scripted_ = false;
+  std::optional<util::Rng> scripted_rng_;
+  /// Per-link Poisson streams, parallel to rates_ (only links with a
+  /// positive rate get a stream).
+  std::vector<std::pair<topology::LinkId, util::Rng>> link_processes_;
+  std::vector<double> link_rates_;
+  std::optional<util::Rng> burst_rng_;
+};
+
+}  // namespace eqos::fault

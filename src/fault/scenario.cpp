@@ -1,0 +1,339 @@
+#include "fault/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eqos::fault {
+
+bool is_failure(FaultKind kind) noexcept {
+  return kind == FaultKind::kFailLink || kind == FaultKind::kFailNode ||
+         kind == FaultKind::kFailGroup;
+}
+
+// ---- RepairModel ------------------------------------------------------------
+
+double RepairModel::sample(util::Rng& rng) const {
+  switch (kind) {
+    case RepairDistribution::kExponential:
+      return rng.exponential(rate);
+    case RepairDistribution::kWeibull: {
+      // Inverse transform: F^-1(u) = scale * (-ln(1-u))^(1/shape).
+      const double u = rng.uniform();
+      return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+    }
+    case RepairDistribution::kDeterministic:
+      return scale;
+  }
+  throw std::logic_error("RepairModel: unknown distribution");
+}
+
+void RepairModel::validate() const {
+  switch (kind) {
+    case RepairDistribution::kExponential:
+      if (!(rate > 0.0)) {
+        throw std::invalid_argument("RepairModel: exponential rate must be > 0");
+      }
+      break;
+    case RepairDistribution::kWeibull:
+      if (!(shape > 0.0) || !(scale > 0.0)) {
+        throw std::invalid_argument("RepairModel: Weibull shape and scale must be > 0");
+      }
+      break;
+    case RepairDistribution::kDeterministic:
+      if (!(scale > 0.0)) {
+        throw std::invalid_argument("RepairModel: deterministic outage must be > 0");
+      }
+      break;
+  }
+}
+
+// ---- StochasticFaultConfig --------------------------------------------------
+
+double StochasticFaultConfig::rate_for(topology::LinkId link) const {
+  for (const auto& [id, rate] : per_link_rates) {
+    if (id == link) return rate;
+  }
+  return link_failure_rate;
+}
+
+void StochasticFaultConfig::validate(std::size_t num_links) const {
+  if (link_failure_rate < 0.0) {
+    throw std::invalid_argument("StochasticFaultConfig: negative link failure rate");
+  }
+  if (group_failure_rate < 0.0) {
+    throw std::invalid_argument("StochasticFaultConfig: negative group failure rate");
+  }
+  for (const auto& [id, rate] : per_link_rates) {
+    if (id >= num_links) {
+      throw std::invalid_argument("StochasticFaultConfig: per-link rate for link " +
+                                  std::to_string(id) + " out of range");
+    }
+    if (rate < 0.0) {
+      throw std::invalid_argument("StochasticFaultConfig: negative rate for link " +
+                                  std::to_string(id));
+    }
+  }
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("StochasticFaultConfig: horizon must be > 0");
+  }
+  const bool any_rate =
+      link_failure_rate > 0.0 || group_failure_rate > 0.0 ||
+      std::any_of(per_link_rates.begin(), per_link_rates.end(),
+                  [](const auto& e) { return e.second > 0.0; });
+  if (any_rate && auto_repair) repair.validate();
+}
+
+// ---- FaultScenario ----------------------------------------------------------
+
+std::size_t FaultScenario::define_group(std::string name,
+                                        std::vector<topology::LinkId> links,
+                                        double weight) {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].name == name) {
+      auto& g = groups_[i];
+      for (topology::LinkId l : links) {
+        if (std::find(g.links.begin(), g.links.end(), l) == g.links.end()) {
+          g.links.push_back(l);
+        }
+      }
+      g.weight = weight;
+      return i;
+    }
+  }
+  groups_.push_back(SrlgGroup{std::move(name), std::move(links), weight});
+  return groups_.size() - 1;
+}
+
+std::size_t FaultScenario::group_index(std::string_view name) const {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].name == name) return i;
+  }
+  throw std::invalid_argument("FaultScenario: unknown group '" + std::string(name) + "'");
+}
+
+FaultScenario& FaultScenario::fail_link(double time, topology::LinkId link) {
+  events_.push_back({time, FaultKind::kFailLink, link});
+  return *this;
+}
+FaultScenario& FaultScenario::fail_node(double time, topology::NodeId node) {
+  events_.push_back({time, FaultKind::kFailNode, node});
+  return *this;
+}
+FaultScenario& FaultScenario::fail_group(double time, std::string_view name) {
+  events_.push_back({time, FaultKind::kFailGroup, group_index(name)});
+  return *this;
+}
+FaultScenario& FaultScenario::repair_link(double time, topology::LinkId link) {
+  events_.push_back({time, FaultKind::kRepairLink, link});
+  return *this;
+}
+FaultScenario& FaultScenario::repair_node(double time, topology::NodeId node) {
+  events_.push_back({time, FaultKind::kRepairNode, node});
+  return *this;
+}
+FaultScenario& FaultScenario::repair_group(double time, std::string_view name) {
+  events_.push_back({time, FaultKind::kRepairGroup, group_index(name)});
+  return *this;
+}
+
+std::vector<FaultEvent> FaultScenario::sorted_events() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  return sorted;
+}
+
+void FaultScenario::validate(std::size_t num_links, std::size_t num_nodes) const {
+  for (const auto& g : groups_) {
+    if (g.links.empty()) {
+      throw std::invalid_argument("FaultScenario: group '" + g.name + "' has no links");
+    }
+    if (!(g.weight > 0.0)) {
+      throw std::invalid_argument("FaultScenario: group '" + g.name +
+                                  "' has non-positive weight");
+    }
+    for (topology::LinkId l : g.links) {
+      if (l >= num_links) {
+        throw std::invalid_argument("FaultScenario: group '" + g.name + "' names link " +
+                                    std::to_string(l) + " out of range");
+      }
+    }
+  }
+  for (const auto& e : events_) {
+    if (!(e.time >= 0.0) || !std::isfinite(e.time)) {
+      throw std::invalid_argument("FaultScenario: event time must be finite and >= 0");
+    }
+    switch (e.kind) {
+      case FaultKind::kFailLink:
+      case FaultKind::kRepairLink:
+        if (e.target >= num_links) {
+          throw std::invalid_argument("FaultScenario: link " + std::to_string(e.target) +
+                                      " out of range");
+        }
+        break;
+      case FaultKind::kFailNode:
+      case FaultKind::kRepairNode:
+        if (e.target >= num_nodes) {
+          throw std::invalid_argument("FaultScenario: node " + std::to_string(e.target) +
+                                      " out of range");
+        }
+        break;
+      case FaultKind::kFailGroup:
+      case FaultKind::kRepairGroup:
+        if (e.target >= groups_.size()) {
+          throw std::invalid_argument("FaultScenario: group index out of range");
+        }
+        break;
+    }
+  }
+  if (stochastic_.group_failure_rate > 0.0 && groups_.empty()) {
+    throw std::invalid_argument(
+        "FaultScenario: group-rate set but no SRLG groups defined");
+  }
+  stochastic_.validate(num_links);
+}
+
+// ---- Text format ------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& why) {
+  throw std::invalid_argument("FaultScenario: line " + std::to_string(line) + ": " + why);
+}
+
+double parse_number(std::istringstream& in, std::size_t line, const char* what) {
+  double value = 0.0;
+  if (!(in >> value)) parse_fail(line, std::string("expected ") + what);
+  return value;
+}
+
+std::size_t parse_id(std::istringstream& in, std::size_t line, const char* what) {
+  long long value = 0;
+  if (!(in >> value) || value < 0) parse_fail(line, std::string("expected ") + what);
+  return static_cast<std::size_t>(value);
+}
+
+std::string parse_word(std::istringstream& in, std::size_t line, const char* what) {
+  std::string word;
+  if (!(in >> word)) parse_fail(line, std::string("expected ") + what);
+  return word;
+}
+
+bool parse_on_off(std::istringstream& in, std::size_t line) {
+  const std::string word = parse_word(in, line, "on|off");
+  if (word == "on") return true;
+  if (word == "off") return false;
+  parse_fail(line, "expected on|off, got '" + word + "'");
+}
+
+void expect_end(std::istringstream& in, std::size_t line) {
+  std::string extra;
+  if (in >> extra) parse_fail(line, "trailing token '" + extra + "'");
+}
+
+}  // namespace
+
+FaultScenario FaultScenario::parse(std::istream& in) {
+  FaultScenario scenario;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::string cmd;
+    if (!(line >> cmd)) continue;  // blank / comment-only line
+
+    if (cmd == "group") {
+      std::string name = parse_word(line, line_no, "group name");
+      std::vector<topology::LinkId> links;
+      long long id = 0;
+      while (line >> id) {
+        if (id < 0) parse_fail(line_no, "negative link id");
+        links.push_back(static_cast<topology::LinkId>(id));
+      }
+      if (links.empty()) parse_fail(line_no, "group needs at least one link");
+      scenario.define_group(std::move(name), std::move(links));
+    } else if (cmd == "group-weight") {
+      const std::string name = parse_word(line, line_no, "group name");
+      const double weight = parse_number(line, line_no, "weight");
+      expect_end(line, line_no);
+      scenario.groups_[scenario.group_index(name)].weight = weight;
+    } else if (cmd == "fail-link" || cmd == "repair-link") {
+      const double t = parse_number(line, line_no, "time");
+      const std::size_t link = parse_id(line, line_no, "link id");
+      expect_end(line, line_no);
+      cmd == "fail-link" ? scenario.fail_link(t, link) : scenario.repair_link(t, link);
+    } else if (cmd == "fail-node" || cmd == "repair-node") {
+      const double t = parse_number(line, line_no, "time");
+      const std::size_t node = parse_id(line, line_no, "node id");
+      expect_end(line, line_no);
+      cmd == "fail-node" ? scenario.fail_node(t, node) : scenario.repair_node(t, node);
+    } else if (cmd == "fail-group" || cmd == "repair-group") {
+      const double t = parse_number(line, line_no, "time");
+      const std::string name = parse_word(line, line_no, "group name");
+      expect_end(line, line_no);
+      try {
+        cmd == "fail-group" ? scenario.fail_group(t, name) : scenario.repair_group(t, name);
+      } catch (const std::invalid_argument&) {
+        parse_fail(line_no, "unknown group '" + name + "' (define it first)");
+      }
+    } else if (cmd == "link-rate") {
+      // Either `link-rate R` (uniform) or `link-rate L R` (override).
+      const double first = parse_number(line, line_no, "rate or link id");
+      double second = 0.0;
+      if (line >> second) {
+        expect_end(line, line_no);
+        if (first < 0.0 || first != std::floor(first)) {
+          parse_fail(line_no, "link id must be a non-negative integer");
+        }
+        scenario.stochastic_.per_link_rates.emplace_back(
+            static_cast<topology::LinkId>(first), second);
+      } else {
+        scenario.stochastic_.link_failure_rate = first;
+      }
+    } else if (cmd == "group-rate") {
+      scenario.stochastic_.group_failure_rate = parse_number(line, line_no, "rate");
+      expect_end(line, line_no);
+    } else if (cmd == "repair") {
+      const std::string kind = parse_word(line, line_no, "distribution");
+      if (kind == "exponential") {
+        scenario.stochastic_.repair.kind = RepairDistribution::kExponential;
+        scenario.stochastic_.repair.rate = parse_number(line, line_no, "rate");
+      } else if (kind == "weibull") {
+        scenario.stochastic_.repair.kind = RepairDistribution::kWeibull;
+        scenario.stochastic_.repair.shape = parse_number(line, line_no, "shape");
+        scenario.stochastic_.repair.scale = parse_number(line, line_no, "scale");
+      } else if (kind == "deterministic") {
+        scenario.stochastic_.repair.kind = RepairDistribution::kDeterministic;
+        scenario.stochastic_.repair.scale = parse_number(line, line_no, "outage");
+      } else {
+        parse_fail(line_no, "unknown repair distribution '" + kind + "'");
+      }
+      expect_end(line, line_no);
+    } else if (cmd == "auto-repair") {
+      scenario.stochastic_.auto_repair = parse_on_off(line, line_no);
+      expect_end(line, line_no);
+    } else if (cmd == "scripted-auto-repair") {
+      scenario.auto_repair_scripted = parse_on_off(line, line_no);
+      expect_end(line, line_no);
+    } else if (cmd == "horizon") {
+      scenario.stochastic_.horizon = parse_number(line, line_no, "time");
+      expect_end(line, line_no);
+    } else {
+      parse_fail(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+  return scenario;
+}
+
+FaultScenario FaultScenario::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+}  // namespace eqos::fault

@@ -1,0 +1,155 @@
+// Fault scenarios: scripted multi-failure scripts plus stochastic
+// fault-process configuration.
+//
+// The paper's dependability model assumes the single-link-failure scenario;
+// a FaultScenario is how the testbed expresses everything beyond it: an
+// ordered script of timed fault events (link, node, and SRLG-group failures
+// and repairs) merged with stochastic generators (per-link Poisson failure
+// processes, correlated bursts sampled from an SRLG table, and exponential /
+// Weibull / deterministic repair times).  A scenario is pure data — the
+// FaultInjector executes it against a Network — so the same script replays
+// bit-identically for a fixed seed.
+//
+// Scenarios can also be written as small text scripts (see parse()):
+//
+//     # SRLG "conduit7" takes out three fibers at once
+//     group conduit7 3 7 12
+//     fail-group 50 conduit7
+//     repair-group 180 conduit7
+//     fail-link 60 4
+//     repair-link 90 4
+//     link-rate 1e-4            # uniform per-link Poisson failures
+//     link-rate 7 5e-4          # per-link override
+//     group-rate 1e-3           # correlated bursts from the SRLG table
+//     group-weight conduit7 2.5
+//     repair weibull 1.5 80     # shape, scale
+//     auto-repair on
+//     horizon 5000
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::fault {
+
+/// What a scripted fault event does.
+enum class FaultKind : std::uint8_t {
+  kFailLink,
+  kFailNode,    ///< atomically fails every incident link
+  kFailGroup,   ///< SRLG: a named set of links failing together
+  kRepairLink,
+  kRepairNode,
+  kRepairGroup,
+};
+
+[[nodiscard]] bool is_failure(FaultKind kind) noexcept;
+
+/// One scripted fault event.  `target` is a link id, node id, or group
+/// index depending on `kind`.
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kFailLink;
+  std::size_t target = 0;
+};
+
+/// A shared-risk link group: links that fail together (same conduit, duct,
+/// or span).  `weight` biases stochastic burst sampling.
+struct SrlgGroup {
+  std::string name;
+  std::vector<topology::LinkId> links;
+  double weight = 1.0;
+};
+
+/// How long a failed link stays down under automatic repair.
+enum class RepairDistribution : std::uint8_t {
+  kExponential,    ///< rate parameter (the paper's model)
+  kWeibull,        ///< shape / scale (aging repair crews)
+  kDeterministic,  ///< fixed outage of `scale` time units
+};
+
+struct RepairModel {
+  RepairDistribution kind = RepairDistribution::kExponential;
+  double rate = 1e-2;    ///< exponential rate
+  double shape = 1.0;    ///< Weibull shape k
+  double scale = 100.0;  ///< Weibull scale / deterministic outage
+
+  /// Draws one repair delay.
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  void validate() const;
+};
+
+/// Stochastic fault-process configuration (all rates per unit simulated
+/// time; zero disables a process).
+struct StochasticFaultConfig {
+  /// Uniform per-link Poisson failure rate.
+  double link_failure_rate = 0.0;
+  /// Per-link overrides (link id -> rate); entries replace the uniform rate.
+  std::vector<std::pair<topology::LinkId, double>> per_link_rates;
+  /// Rate of correlated bursts; each burst fails one SRLG group sampled by
+  /// weight from the scenario's group table.
+  double group_failure_rate = 0.0;
+  /// Repair-time model for automatically repaired failures.
+  RepairModel repair;
+  /// Automatically repair stochastic failures after a sampled delay.
+  bool auto_repair = true;
+  /// Stop generating stochastic failures past this simulated time.
+  double horizon = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] double rate_for(topology::LinkId link) const;
+  void validate(std::size_t num_links) const;
+};
+
+/// An ordered, validated script of fault events plus stochastic generators.
+class FaultScenario {
+ public:
+  /// Defines (or extends) an SRLG.  Returns the group index.
+  std::size_t define_group(std::string name, std::vector<topology::LinkId> links,
+                           double weight = 1.0);
+  /// Index of a named group; throws std::invalid_argument when unknown.
+  [[nodiscard]] std::size_t group_index(std::string_view name) const;
+
+  FaultScenario& fail_link(double time, topology::LinkId link);
+  FaultScenario& fail_node(double time, topology::NodeId node);
+  FaultScenario& fail_group(double time, std::string_view name);
+  FaultScenario& repair_link(double time, topology::LinkId link);
+  FaultScenario& repair_node(double time, topology::NodeId node);
+  FaultScenario& repair_group(double time, std::string_view name);
+
+  [[nodiscard]] const std::vector<SrlgGroup>& groups() const noexcept { return groups_; }
+  /// Scripted events sorted by time (ties keep insertion order).
+  [[nodiscard]] std::vector<FaultEvent> sorted_events() const;
+  [[nodiscard]] std::size_t num_events() const noexcept { return events_.size(); }
+
+  [[nodiscard]] StochasticFaultConfig& stochastic() noexcept { return stochastic_; }
+  [[nodiscard]] const StochasticFaultConfig& stochastic() const noexcept {
+    return stochastic_;
+  }
+
+  /// Apply the stochastic repair model to scripted failures too (defaults
+  /// to false: a script repairs exactly what it says).
+  bool auto_repair_scripted = false;
+
+  /// Checks every event and group against the topology bounds; throws
+  /// std::invalid_argument on the first inconsistency.
+  void validate(std::size_t num_links, std::size_t num_nodes) const;
+
+  /// Parses the text format documented at the top of this header.
+  /// Throws std::invalid_argument with a line number on malformed input.
+  [[nodiscard]] static FaultScenario parse(std::istream& in);
+  [[nodiscard]] static FaultScenario parse_string(const std::string& text);
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::vector<SrlgGroup> groups_;
+  StochasticFaultConfig stochastic_;
+};
+
+}  // namespace eqos::fault

@@ -47,6 +47,10 @@ struct DrConnection {
   /// Number of times this connection survived a primary failure by
   /// switching to its backup.
   std::size_t activations = 0;
+  /// Number of times this connection survived a failure with no usable
+  /// backup by being re-established on fresh routes
+  /// (SecondFailurePolicy::kReestablish).
+  std::size_t rescues = 0;
 
   [[nodiscard]] bool has_backup() const noexcept { return backup.has_value(); }
   /// Current reserved bandwidth of the primary channel in Kbit/s.

@@ -65,6 +65,39 @@ struct TerminationReport {
   std::vector<StateChange> changes;
 };
 
+/// Per-cause accounting of connections lost to failures.  The categories
+/// are mutually exclusive with precedence double-hit > backup-hit-while-
+/// active > primary-hit; `reestablish_failed` additionally counts how many
+/// of those drops went through a re-establishment attempt that found no
+/// admissible route (SecondFailurePolicy::kReestablish only).
+struct LossBreakdown {
+  /// Primary hit on a connection that had never switched to its backup and
+  /// whose backup (if any) did not share the failed link — it simply had no
+  /// usable backup (never established, lost earlier, or no activation
+  /// headroom after multiplexing overbooked).
+  std::size_t primary_hit = 0;
+  /// Second failure: the failed link hit an activated (former-backup) path.
+  std::size_t backup_hit_while_active = 0;
+  /// The same failure killed primary and backup together: the backup shared
+  /// the failed link (bridge or SRLG overlap; only maximal — not full —
+  /// disjointness was possible).
+  std::size_t double_hit = 0;
+  /// Drops above for which a re-establishment attempt (fresh disjoint pair,
+  /// then degraded single path) was made and failed.
+  std::size_t reestablish_failed = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return primary_hit + backup_hit_while_active + double_hit;
+  }
+  LossBreakdown& operator+=(const LossBreakdown& o) noexcept {
+    primary_hit += o.primary_hit;
+    backup_hit_while_active += o.backup_hit_while_active;
+    double_hit += o.double_hit;
+    reestablish_failed += o.reestablish_failed;
+    return *this;
+  }
+};
+
 /// Result of Network::fail_link.
 struct FailureReport {
   topology::LinkId link = 0;
@@ -79,12 +112,28 @@ struct FailureReport {
   std::size_t backups_died_with_primary = 0;
   std::size_t backups_reestablished = 0;
   std::size_t backups_evicted = 0;      ///< overbooking overflow evictions
+  /// Primaries hit whose backup could not seamlessly take over (no backup,
+  /// backup sharing the failed link, or no activation headroom).  Every such
+  /// victim suffers a service disruption whatever its eventual fate.
+  std::size_t unprotected_victims = 0;
+  /// Victims re-homed onto a fresh link-disjoint primary/backup pair
+  /// (SecondFailurePolicy::kReestablish outcome (a)).
+  std::size_t reestablished_pair = 0;
+  /// Victims re-homed degraded: a single path at bmin, flagged unprotected,
+  /// with a backup retry pending on the next repair (outcome (b)).
+  std::size_t reestablished_degraded = 0;
+  /// Why each dropped connection was lost (outcome (c)).
+  LossBreakdown drop_causes;
   /// Channels chained to the activated backups (retreat + re-share moves).
   std::vector<StateChange> changes;
   /// Connections that switched to their backups (ascending id).
   std::vector<ConnectionId> activated_ids;
   /// Connections lost to this failure (ascending id).
   std::vector<ConnectionId> dropped_ids;
+  /// Connections re-established on a fresh disjoint pair (ascending id).
+  std::vector<ConnectionId> reestablished_ids;
+  /// Connections re-established degraded at bmin (ascending id).
+  std::vector<ConnectionId> degraded_ids;
 };
 
 /// Counters accumulated over a Network's lifetime.
@@ -100,6 +149,10 @@ struct NetworkStats {
   std::size_t connections_dropped = 0;
   std::size_t backups_reestablished = 0;
   std::size_t backups_evicted = 0;
+  std::size_t unprotected_victims = 0;      ///< victims with no usable backup
+  std::size_t reestablished_pair = 0;       ///< rescued onto a fresh disjoint pair
+  std::size_t reestablished_degraded = 0;   ///< rescued degraded at bmin
+  LossBreakdown drop_causes;                ///< why dropped connections were lost
   /// Total elastic increment changes (grant or revoke, per connection, in
   /// quanta) — the adaptation-churn metric of ablation A3.
   std::size_t quanta_adjustments = 0;

@@ -221,6 +221,26 @@ bool Network::establish_backup(DrConnection& c) {
   return true;
 }
 
+void Network::drop_active(ConnectionId id) {
+  const std::size_t idx = active_index_.at(id);
+  active_index_[active_ids_.back()] = idx;
+  std::swap(active_ids_[idx], active_ids_.back());
+  active_ids_.pop_back();
+  active_index_.erase(id);
+  connections_.erase(id);
+}
+
+Network::RescueOutcome Network::rescue(DrConnection& c) {
+  auto primary = router_.find_primary(c.src, c.dst, c.qos.bmin_kbps);
+  if (!primary) return RescueOutcome::kFailed;
+  c.primary = std::move(*primary);
+  c.primary_links = path_bits(c.primary);
+  for (topology::LinkId l : c.primary.links) links_[l].commit_min(c.qos.bmin_kbps);
+  register_primary(c);
+  ++c.rescues;
+  return establish_backup(c) ? RescueOutcome::kPair : RescueOutcome::kDegraded;
+}
+
 // ---- Arrival --------------------------------------------------------------------
 
 ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeId dst,
@@ -346,13 +366,7 @@ TerminationReport Network::terminate_connection(ConnectionId id) {
   release_primary_min(c);
   unregister_primary(c);
   remove_backup(c);
-
-  const std::size_t idx = active_index_.at(id);
-  active_index_[active_ids_.back()] = idx;
-  std::swap(active_ids_[idx], active_ids_.back());
-  active_ids_.pop_back();
-  active_index_.erase(id);
-  connections_.erase(id);
+  drop_active(id);
 
   redistribute(chain.direct);
 
@@ -393,6 +407,14 @@ FailureReport Network::fail_link(topology::LinkId link) {
   util::DynamicBitset activated_bits(graph_.num_links());
   util::DynamicBitset freed_bits(graph_.num_links());
   std::vector<ConnectionId> activated;
+  // Victims whose backup could not seamlessly take over; resolved after the
+  // switchover sweep per the configured second-failure policy.
+  struct Stranded {
+    ConnectionId id;
+    bool double_hit;   ///< backup shared the failed link
+    bool was_active;   ///< the hit path was an activated former backup
+  };
+  std::vector<Stranded> stranded;
 
   for (ConnectionId id : primary_victims) {
     DrConnection& c = mutable_connection(id);
@@ -405,9 +427,11 @@ FailureReport Network::fail_link(topology::LinkId link) {
     // have room for bmin on every link (its reservation guaranteed this for
     // single failures; overbooking debt from earlier failures may not).
     bool feasible = c.backup.has_value();
+    bool double_hit = false;
     if (feasible && c.backup_links.test(link)) {
       // Maximally-disjoint backup shared the failed link (bridge case).
       ++report.backups_died_with_primary;
+      double_hit = true;
       feasible = false;
     }
     if (feasible)
@@ -438,19 +462,50 @@ FailureReport Network::fail_link(topology::LinkId link) {
     } else {
       remove_backup(c);
     }
-    // No usable backup: the connection is lost (dependability violation).
-    report.dropped_ids.push_back(id);
-    const std::size_t idx = active_index_.at(id);
-    active_index_[active_ids_.back()] = idx;
-    std::swap(active_ids_[idx], active_ids_.back());
-    active_ids_.pop_back();
-    active_index_.erase(id);
-    connections_.erase(id);
-    ++stats_.connections_dropped;
-    ++report.connections_dropped;
+    // No usable backup: a dependability violation whatever the outcome.
+    ++report.unprotected_victims;
+    ++stats_.unprotected_victims;
+    stranded.push_back(Stranded{id, double_hit, c.activations > 0});
   }
   report.backups_activated = activated.size();
   report.activated_ids = activated;
+
+  // Stranded victims: re-establish (fresh pair, then degraded single path)
+  // under kReestablish, else drop — with per-cause accounting either way.
+  std::vector<ConnectionId> rescued;
+  for (const Stranded& s : stranded) {
+    RescueOutcome out = RescueOutcome::kFailed;
+    const bool attempt =
+        config_.second_failure_policy == SecondFailurePolicy::kReestablish;
+    if (attempt) out = rescue(mutable_connection(s.id));
+    if (out != RescueOutcome::kFailed) {
+      const DrConnection& c = connections_.at(s.id);
+      activated_bits |= c.primary_links;
+      rescued.push_back(s.id);
+      if (out == RescueOutcome::kPair) {
+        ++report.reestablished_pair;
+        ++stats_.reestablished_pair;
+        report.reestablished_ids.push_back(s.id);
+      } else {
+        ++report.reestablished_degraded;
+        ++stats_.reestablished_degraded;
+        report.degraded_ids.push_back(s.id);
+      }
+      continue;
+    }
+    if (s.double_hit)
+      ++report.drop_causes.double_hit;
+    else if (s.was_active)
+      ++report.drop_causes.backup_hit_while_active;
+    else
+      ++report.drop_causes.primary_hit;
+    if (attempt) ++report.drop_causes.reestablish_failed;
+    report.dropped_ids.push_back(s.id);
+    drop_active(s.id);
+    ++stats_.connections_dropped;
+    ++report.connections_dropped;
+  }
+  stats_.drop_causes += report.drop_causes;
 
   // Backups parked on the failed link are gone.
   for (ConnectionId id : backup_victims) {
@@ -461,9 +516,11 @@ FailureReport Network::fail_link(topology::LinkId link) {
     ++report.backups_lost;
   }
 
-  // Retreat channels chained to the activated backups (the paper's gamma
-  // transitions), then note who can gain from the freed old-primary links.
+  // Retreat channels chained to the activated backups and re-established
+  // paths (the paper's gamma transitions), then note who can gain from the
+  // freed old-primary links.
   std::unordered_set<ConnectionId> activated_set(activated.begin(), activated.end());
+  activated_set.insert(rescued.begin(), rescued.end());
   std::vector<ConnectionId> direct;
   std::vector<ConnectionId> gainers;
   util::DynamicBitset direct_union(graph_.num_links());
@@ -516,6 +573,7 @@ FailureReport Network::fail_link(topology::LinkId link) {
   std::vector<ConnectionId> candidates = direct;
   candidates.insert(candidates.end(), gainers.begin(), gainers.end());
   candidates.insert(candidates.end(), activated.begin(), activated.end());
+  candidates.insert(candidates.end(), rescued.begin(), rescued.end());
   redistribute(std::move(candidates));
 
   report.changes.reserve(direct.size() + gainers.size());
@@ -629,15 +687,20 @@ double Network::protected_fraction() const {
 
 // ---- Invariants ----------------------------------------------------------------------
 
-void Network::validate_invariants() const {
+void Network::audit() const {
   constexpr double kEps = 1e-6;
   // Per-link ledgers against per-connection ground truth.
   std::vector<double> committed(links_.size(), 0.0);
   std::vector<double> granted(links_.size(), 0.0);
+  std::vector<std::size_t> backup_count(links_.size(), 0);
   for (ConnectionId id : active_ids_) {
     const DrConnection& c = connections_.at(id);
     if (c.extra_quanta > c.qos.max_extra_quanta())
       throw std::logic_error("invariant: extra quanta above maximum");
+    // Elastic-share bounds: bmin <= reserved <= bmax.
+    const double reserved = c.reserved_kbps();
+    if (reserved < c.qos.bmin_kbps - kEps || reserved > c.qos.bmax_kbps + kEps)
+      throw std::logic_error("invariant: reserved bandwidth outside [bmin, bmax]");
     // Path structure.
     if (c.primary.nodes.empty() || c.primary.nodes.front() != c.src ||
         c.primary.nodes.back() != c.dst)
@@ -659,6 +722,20 @@ void Network::validate_invariants() const {
         throw std::logic_error("invariant: backup bitset mismatch");
       if (c.backup_status != BackupStatus::kProtected)
         throw std::logic_error("invariant: backup status mismatch");
+      // Disjointness per policy, and the cached overlap count.
+      std::size_t overlap = 0;
+      for (topology::LinkId l : c.backup->links) {
+        if (links_[l].failed())
+          throw std::logic_error("invariant: backup on failed link");
+        ++backup_count[l];
+        if (c.primary_links.test(l)) ++overlap;
+      }
+      if (overlap != c.backup_overlap_links)
+        throw std::logic_error("invariant: backup overlap count stale");
+      if (config_.require_full_disjoint && overlap > 0)
+        throw std::logic_error("invariant: backup overlaps primary under full disjointness");
+      if (overlap == c.backup->links.size())
+        throw std::logic_error("invariant: backup fully overlaps its primary");
     } else if (c.backup_status == BackupStatus::kProtected) {
       throw std::logic_error("invariant: protected without a backup");
     }
@@ -695,6 +772,20 @@ void Network::validate_invariants() const {
     }
     if (std::abs(reg_min - committed[l]) > kEps)
       throw std::logic_error("invariant: primary registry mismatch on link " +
+                             std::to_string(l));
+    // Backup registry round-trip against per-connection backup paths.
+    if (backups_.count_on_link(l) != backup_count[l])
+      throw std::logic_error("invariant: backup registry count mismatch on link " +
+                             std::to_string(l));
+    for (ConnectionId id : backups_.backups_on_link(l)) {
+      const auto it = connections_.find(id);
+      if (it == connections_.end())
+        throw std::logic_error("invariant: stale backup registration");
+      if (!it->second.backup_links.test(l))
+        throw std::logic_error("invariant: registered backup does not traverse link");
+    }
+    if (s.failed() && backups_.count_on_link(l) != 0)
+      throw std::logic_error("invariant: backup parked on failed link " +
                              std::to_string(l));
   }
   // Active-id bookkeeping.

@@ -35,6 +35,21 @@
 
 namespace eqos::net {
 
+/// What happens to a primary victim whose backup cannot seamlessly take
+/// over (no backup, backup sharing the failed link, or no activation
+/// headroom) — the situation the paper's single-link-failure model never
+/// reaches but second failures and SRLG bursts produce routinely.
+enum class SecondFailurePolicy : std::uint8_t {
+  /// Paper baseline: the connection is dropped (dependability violation).
+  kDrop,
+  /// Graceful degradation: attempt (a) immediate re-establishment of a
+  /// fresh link-disjoint primary/backup pair, then (b) a degraded
+  /// single-path re-establishment at bmin flagged unprotected (a backup is
+  /// retried on the next repair), and (c) drop only when both fail.  Every
+  /// such victim still counts as an `unprotected_victims` disruption.
+  kReestablish,
+};
+
 /// Static configuration of a Network.
 struct NetworkConfig {
   double link_capacity_kbps = 10'000.0;  ///< the paper's 10 Mb/s links
@@ -55,6 +70,10 @@ struct NetworkConfig {
   /// requests on "trap" topologies where a disjoint pair exists but the
   /// shortest primary blocks it.  Off by default (paper fidelity).
   bool joint_disjoint_fallback = false;
+  /// Fate of primary victims without a usable backup (see
+  /// SecondFailurePolicy).  kDrop matches the paper's single-failure model;
+  /// kReestablish is the graceful multi-failure policy.
+  SecondFailurePolicy second_failure_policy = SecondFailurePolicy::kDrop;
 };
 
 /// The executable network model.
@@ -127,10 +146,17 @@ class Network {
   /// Fraction of active connections holding a backup.
   [[nodiscard]] double protected_fraction() const;
 
-  /// Checks every ledger and registry invariant; throws std::logic_error
-  /// with a description on the first violation.  Used by tests and
-  /// (cheaply) by debug builds.
-  void validate_invariants() const;
+  /// Full invariant audit: capacity conservation on every link ledger,
+  /// primary/backup link-disjointness per policy, BackupManager
+  /// reservation-cache consistency against a from-scratch recomputation,
+  /// elastic-share bounds (bmin <= b <= bmax), no path over a failed link,
+  /// and registry round-trips.  Throws std::logic_error with a description
+  /// on the first violation.  fault::InvariantAuditor wraps this (plus an
+  /// external ledger recomputation) for per-event auditing.
+  void audit() const;
+
+  /// Back-compat alias for audit().
+  void validate_invariants() const { audit(); }
 
  private:
   // Chaining classification sets for one event path set.
@@ -166,6 +192,17 @@ class Network {
   bool establish_backup(DrConnection& c);
 
   void sync_backup_reservation(topology::LinkId l);
+
+  /// Removes an id from every active-connection registry.  The connection's
+  /// ledger resources must already have been released.
+  void drop_active(ConnectionId id);
+
+  /// Outcome of a re-establishment attempt for a stranded victim.
+  enum class RescueOutcome : std::uint8_t { kPair, kDegraded, kFailed };
+  /// Attempts to re-home a victim whose old primary resources are already
+  /// released: fresh primary route, then a disjoint backup on top of it.
+  /// On kFailed the connection holds no resources and must be dropped.
+  RescueOutcome rescue(DrConnection& c);
 
   /// After failures, evicts backups from links whose admission ledger
   /// overflowed (overbooking debt) and tries to re-route them.  Returns

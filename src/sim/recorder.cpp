@@ -52,6 +52,7 @@ void TransitionRecorder::advance_to(double time, const net::Network& network) {
   if (dt == 0.0) return;
   double bandwidth_sum = 0.0;
   std::size_t counted = 0;
+  std::size_t unprotected = 0;
   for (net::ConnectionId id : network.active_ids()) {
     const net::DrConnection& c = network.connection(id);
     if (class_filter_ && !class_filter_(c)) continue;
@@ -59,9 +60,11 @@ void TransitionRecorder::advance_to(double time, const net::Network& network) {
     occupancy_area_[state] += dt;
     bandwidth_sum += c.reserved_kbps();
     ++counted;
+    if (!c.has_backup()) ++unprotected;
   }
   bandwidth_area_ += dt * bandwidth_sum;
   channel_area_ += dt * static_cast<double>(counted);
+  unprotected_area_ += dt * static_cast<double>(unprotected);
 }
 
 void TransitionRecorder::count_changes(const std::vector<net::StateChange>& changes,
@@ -112,6 +115,12 @@ void TransitionRecorder::on_termination(const net::TerminationReport& report,
 void TransitionRecorder::on_failure(const net::FailureReport& report,
                                     const net::Network& network) {
   ++failures_;
+  // Dependability accounting first: a failure that activated nothing can
+  // still have stranded, rescued, or dropped victims.
+  losses_ += report.drop_causes;
+  unprotected_victims_ += report.unprotected_victims;
+  reestablished_pair_ += report.reestablished_pair;
+  reestablished_degraded_ += report.reestablished_degraded;
   if (report.backups_activated == 0) return;  // no channel was perturbed
   std::size_t direct = 0;
   matrix::Matrix indirect_ignored(n_, n_);
@@ -159,6 +168,13 @@ ModelEstimates TransitionRecorder::estimates(double end_time,
 
   est.mean_bandwidth_kbps =
       closed.channel_area_ > 0.0 ? closed.bandwidth_area_ / closed.channel_area_ : 0.0;
+  est.losses = closed.losses_;
+  est.unprotected_victims = closed.unprotected_victims_;
+  est.reestablished_pair = closed.reestablished_pair_;
+  est.reestablished_degraded = closed.reestablished_degraded_;
+  est.unprotected_time = closed.unprotected_area_;
+  est.unprotected_fraction =
+      closed.channel_area_ > 0.0 ? closed.unprotected_area_ / closed.channel_area_ : 0.0;
   est.occupancy.assign(n_, 0.0);
   double total = 0.0;
   for (double a : closed.occupancy_area_) total += a;

@@ -55,6 +55,20 @@ struct ModelEstimates {
   double mean_bandwidth_kbps = 0.0;
   /// Time-weighted empirical distribution over elastic states S_0..S_{N-1}.
   std::vector<double> occupancy;
+
+  // Dependability measurements (multi-failure degradation accounting).
+  /// Why connections were lost, summed over the window's failures.
+  net::LossBreakdown losses;
+  /// Victims whose backup could not seamlessly take over.
+  std::size_t unprotected_victims = 0;
+  /// Victims re-homed onto a fresh disjoint pair / a degraded single path.
+  std::size_t reestablished_pair = 0;
+  std::size_t reestablished_degraded = 0;
+  /// Integral of (number of backup-less class members) dt over the window.
+  double unprotected_time = 0.0;
+  /// unprotected_time / channel-time: the fraction of connection-time spent
+  /// without backup protection (a dependability-exposure metric).
+  double unprotected_fraction = 0.0;
 };
 
 /// Accumulates reports and time-weighted occupancy for one measurement
@@ -128,6 +142,13 @@ class TransitionRecorder {
   std::vector<double> occupancy_area_;
   double bandwidth_area_ = 0.0;  ///< integral of sum of reserved bandwidth
   double channel_area_ = 0.0;    ///< integral of channel count
+
+  // Dependability accumulators.
+  net::LossBreakdown losses_;
+  std::size_t unprotected_victims_ = 0;
+  std::size_t reestablished_pair_ = 0;
+  std::size_t reestablished_degraded_ = 0;
+  double unprotected_area_ = 0.0;  ///< integral of backup-less channel count
 };
 
 /// Row-normalizes a count matrix into a conditional-probability matrix;

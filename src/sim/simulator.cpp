@@ -35,12 +35,35 @@ Simulator::Simulator(net::Network& network, WorkloadConfig config)
     : network_(network),
       config_(config),
       arrival_rng_(config.seed),
-      termination_rng_(config.seed ^ 0x7465726d696e6174ULL),
-      failure_rng_(config.seed ^ 0x6661696c75726573ULL) {
+      termination_rng_(config.seed ^ 0x7465726d696e6174ULL) {
   config_.validate();
+  fault::Scheduler scheduler{
+      [this] { return queue_.now(); },
+      [this](double t, std::function<void()> action) { queue_.schedule(t, std::move(action)); },
+  };
+  fault::Hooks hooks;
+  hooks.before_event = [this](double t) {
+    if (recorder_) recorder_->advance_to(t, network_);
+  };
+  hooks.on_failure = [this](const net::FailureReport& report) {
+    if (recorder_) recorder_->on_failure(report, network_);
+  };
+  hooks.on_fault_event = [this] {
+    ++stats_.failure_events;
+    ++countable_events_;
+  };
+  hooks.on_repair = [this] { ++stats_.repair_events; };
+  injector_ = std::make_unique<fault::FaultInjector>(network_, std::move(scheduler),
+                                                     std::move(hooks));
+
   if (config_.arrival_rate > 0.0) schedule_arrival();
   if (config_.termination_rate > 0.0) schedule_termination();
-  if (config_.failure_rate > 0.0) schedule_failure();
+  if (config_.failure_rate > 0.0) {
+    // The failure stream keeps its historical seed derivation so that
+    // pre-injector simulations replay bit-identically.
+    injector_->enable_legacy_poisson(config_.failure_rate, config_.repair_rate,
+                                     util::Rng(config_.seed ^ 0x6661696c75726573ULL));
+  }
 }
 
 std::pair<topology::NodeId, topology::NodeId> Simulator::random_pair() {
@@ -66,6 +89,10 @@ std::size_t Simulator::populate(std::size_t attempts) {
 
 void Simulator::attach_recorder(TransitionRecorder* recorder) { recorder_ = recorder; }
 
+void Simulator::load_scenario(const fault::FaultScenario& scenario) {
+  injector_->load_scenario(scenario, util::Rng(config_.seed ^ 0x7363656e6172696fULL));
+}
+
 void Simulator::schedule_arrival() {
   queue_.schedule_in(arrival_rng_.exponential(config_.arrival_rate),
                      [this] { do_arrival(); });
@@ -74,11 +101,6 @@ void Simulator::schedule_arrival() {
 void Simulator::schedule_termination() {
   queue_.schedule_in(termination_rng_.exponential(config_.termination_rate),
                      [this] { do_termination(); });
-}
-
-void Simulator::schedule_failure() {
-  queue_.schedule_in(failure_rng_.exponential(config_.failure_rate),
-                     [this] { do_failure(); });
 }
 
 void Simulator::do_arrival() {
@@ -103,36 +125,6 @@ void Simulator::do_termination() {
   ++stats_.termination_events;
   ++countable_events_;
   schedule_termination();
-}
-
-void Simulator::do_failure() {
-  if (recorder_) recorder_->advance_to(queue_.now(), network_);
-  // Pick a uniformly random alive link; skip the event if none is alive.
-  const std::size_t num_links = network_.graph().num_links();
-  std::size_t alive = 0;
-  for (topology::LinkId l = 0; l < num_links; ++l)
-    if (!network_.link_state(l).failed()) ++alive;
-  if (alive > 0) {
-    std::size_t pick = failure_rng_.index(alive);
-    topology::LinkId chosen = 0;
-    for (topology::LinkId l = 0; l < num_links; ++l) {
-      if (network_.link_state(l).failed()) continue;
-      if (pick-- == 0) {
-        chosen = l;
-        break;
-      }
-    }
-    const net::FailureReport report = network_.fail_link(chosen);
-    if (recorder_) recorder_->on_failure(report, network_);
-    queue_.schedule_in(failure_rng_.exponential(config_.repair_rate), [this, chosen] {
-      if (recorder_) recorder_->advance_to(queue_.now(), network_);
-      network_.repair_link(chosen);
-      ++stats_.repair_events;
-    });
-  }
-  ++stats_.failure_events;
-  ++countable_events_;
-  schedule_failure();
 }
 
 void Simulator::run_events(std::size_t n) {

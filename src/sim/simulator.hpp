@@ -3,16 +3,21 @@
 // Section 4's methodology: set up an initial population of DR-connections,
 // then generate and terminate connections at equal rates (lambda = mu) so
 // the population hovers around its initial size, while a recorder measures
-// the chaining probabilities and transition matrices.  Failures arrive as a
-// network-wide Poisson process with rate gamma; each failed link repairs
-// after an exponential delay.
+// the chaining probabilities and transition matrices.  Failures are driven
+// by a fault::FaultInjector: by default the paper's network-wide Poisson
+// process with rate gamma and exponential repairs (reproduced draw for draw
+// for seed compatibility), and optionally a full FaultScenario — scripted
+// multi-failure scripts, SRLG bursts, per-link processes — loaded on top.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/scenario.hpp"
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/recorder.hpp"
@@ -66,6 +71,17 @@ class Simulator {
   /// Attaches a measurement window starting now.  Pass nullptr to detach.
   void attach_recorder(TransitionRecorder* recorder);
 
+  /// Loads a fault scenario on top of the workload: scripted events fire at
+  /// their absolute times and stochastic fault processes start now.  The
+  /// scenario's rng stream derives from the workload seed, so runs replay
+  /// bit-identically.  May be combined with `failure_rate > 0` (both
+  /// processes run) though scenarios are usually used with it at 0.
+  void load_scenario(const fault::FaultScenario& scenario);
+
+  /// The fault injector driving this simulation's failures (e.g. to attach
+  /// an InvariantAuditor).
+  [[nodiscard]] fault::FaultInjector& injector() noexcept { return *injector_; }
+
   /// Runs exactly `n` workload events (arrivals + terminations + failures;
   /// repairs piggyback and do not count).
   void run_events(std::size_t n);
@@ -81,10 +97,8 @@ class Simulator {
  private:
   void schedule_arrival();
   void schedule_termination();
-  void schedule_failure();
   void do_arrival();
   void do_termination();
-  void do_failure();
   [[nodiscard]] std::pair<topology::NodeId, topology::NodeId> random_pair();
 
   net::Network& network_;
@@ -92,7 +106,9 @@ class Simulator {
   EventQueue queue_;
   util::Rng arrival_rng_;
   util::Rng termination_rng_;
-  util::Rng failure_rng_;
+  /// Owns all failure/repair processes; heap-held because its scheduled
+  /// closures capture it.
+  std::unique_ptr<fault::FaultInjector> injector_;
   TransitionRecorder* recorder_ = nullptr;
   SimulationStats stats_;
   std::size_t countable_events_ = 0;

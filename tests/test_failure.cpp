@@ -2,6 +2,9 @@
 // replacement backups, drops, overbooking debt, and repair.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
 #include "net/network.hpp"
 #include "topology/waxman.hpp"
 
@@ -144,13 +147,35 @@ TEST(Failure, ChainedChannelsRetreatOnActivation) {
 
 TEST(Failure, IdempotentAndUnknownLink) {
   Network net(diamond(), NetworkConfig{});
-  const auto r1 = net.fail_link(0);
+  const auto a = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  const auto r1 = net.fail_link(net.connection(a.id).primary.links[0]);
   EXPECT_EQ(net.stats().failures_injected, 1u);
-  const auto r2 = net.fail_link(0);  // already failed
+  // Double failure of the same link is a complete no-op: no victims, no
+  // activations, no strandings, no stats movement.
+  const auto r2 = net.fail_link(r1.link);
   EXPECT_EQ(net.stats().failures_injected, 1u);
   EXPECT_EQ(r2.primaries_hit, 0u);
+  EXPECT_EQ(r2.backups_activated, 0u);
+  EXPECT_EQ(r2.unprotected_victims, 0u);
+  EXPECT_EQ(r2.reestablished_pair, 0u);
+  EXPECT_EQ(r2.reestablished_degraded, 0u);
+  EXPECT_EQ(r2.drop_causes.total(), 0u);
+  EXPECT_TRUE(r2.activated_ids.empty());
+  EXPECT_TRUE(r2.dropped_ids.empty());
+  EXPECT_EQ(net.stats().unprotected_victims, 0u);
   EXPECT_THROW(net.fail_link(99), std::invalid_argument);
-  (void)r1;
+  net.validate_invariants();
+}
+
+TEST(Failure, RepairOfNeverFailedLinkIsRejected) {
+  Network net(diamond(), NetworkConfig{});
+  // Repairing an alive link does nothing and bumps no counters.
+  EXPECT_EQ(net.repair_link(0), 0u);
+  EXPECT_EQ(net.stats().repairs, 0u);
+  // An unknown link is an error, not a no-op.
+  EXPECT_THROW((void)net.repair_link(99), std::invalid_argument);
+  EXPECT_EQ(net.stats().repairs, 0u);
 }
 
 TEST(Failure, RoutingAvoidsFailedLinks) {
@@ -293,6 +318,227 @@ TEST(Failure, StatsAccumulate) {
   net.fail_link(net.connection(a.id).primary.links[0]);
   EXPECT_EQ(net.stats().failures_injected, 1u);
   EXPECT_EQ(net.stats().backups_activated, 1u);
+}
+
+// ---- Second-failure degradation (SecondFailurePolicy) -----------------------
+
+/// 100 Kb/s inelastic spec so one connection fills a 100 Kb/s link exactly.
+ElasticQosSpec tight_qos() {
+  ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 100.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+TEST(Failure, SharedLinkBackupVictimIsUnprotectedAndDoubleHit) {
+  // Bridge topology: 0-1 has two routes, but node 2 hangs off bridge 1-2.
+  // The 0<->2 connection gets only a maximally-disjoint backup sharing the
+  // bridge; failing the bridge kills both paths at once.
+  Graph g(4);
+  g.add_link(0, 1);  // 0: direct
+  g.add_link(0, 3);  // 1: detour...
+  g.add_link(3, 1);  // 2: ...0-3-1
+  g.add_link(1, 2);  // 3: the bridge
+  Network net(g, NetworkConfig{});  // default kDrop
+  const auto a = net.request_connection(0, 2, paper_qos());
+  ASSERT_TRUE(a.accepted);
+  ASSERT_TRUE(net.connection(a.id).has_backup());
+  EXPECT_EQ(net.connection(a.id).backup_overlap_links, 1u);
+
+  const auto report = net.fail_link(3);
+  EXPECT_EQ(report.backups_died_with_primary, 1u);
+  EXPECT_EQ(report.unprotected_victims, 1u);
+  EXPECT_EQ(report.connections_dropped, 1u);
+  EXPECT_EQ(report.drop_causes.double_hit, 1u);
+  EXPECT_EQ(report.drop_causes.primary_hit, 0u);
+  // kDrop never attempts re-establishment.
+  EXPECT_EQ(report.drop_causes.reestablish_failed, 0u);
+  EXPECT_EQ(report.reestablished_pair, 0u);
+  EXPECT_EQ(net.stats().unprotected_victims, 1u);
+  EXPECT_EQ(net.stats().drop_causes.double_hit, 1u);
+  EXPECT_FALSE(net.is_active(a.id));
+  net.audit();
+}
+
+/// Three-route ladder for the rescue tests: 0-1 directly (link 0), via 2
+/// (links 1,2), via 3-5 (links 3,4,5), and optionally via 4-6 (links 6,7,8).
+/// With 100 Kb/s links and tight_qos every link fits exactly one channel.
+Graph ladder(bool with_second_rescue_route) {
+  Graph g(with_second_rescue_route ? 7 : 6);
+  g.add_link(0, 1);  // 0: B's primary
+  g.add_link(0, 2);  // 1: backup...
+  g.add_link(2, 1);  // 2: ...0-2-1
+  g.add_link(0, 3);  // 3: rescue route...
+  g.add_link(3, 5);  // 4
+  g.add_link(5, 1);  // 5: ...0-3-5-1
+  if (with_second_rescue_route) {
+    g.add_link(0, 4);  // 6: second rescue route...
+    g.add_link(4, 6);  // 7
+    g.add_link(6, 1);  // 8: ...0-4-6-1
+  }
+  return g;
+}
+
+NetworkConfig rescue_config() {
+  NetworkConfig cfg;
+  cfg.link_capacity_kbps = 100.0;
+  cfg.require_full_disjoint = true;
+  cfg.second_failure_policy = SecondFailurePolicy::kReestablish;
+  return cfg;
+}
+
+/// Drives the shared setup: admit B (primary 0-1, backup 0-2-1), park
+/// blockers on the rescue-route head links, kill B's backup, free the
+/// rescue routes by terminating the blockers, leaving B unprotected with
+/// every rescue route idle.  Returns B's id.
+ConnectionId strand_setup(Network& net, bool with_second_rescue_route) {
+  const auto b = net.request_connection(0, 1, tight_qos());
+  EXPECT_TRUE(b.accepted);
+  EXPECT_EQ(net.connection(b.id).primary.links, std::vector<topology::LinkId>{0});
+  EXPECT_EQ(net.connection(b.id).backup->links,
+            (std::vector<topology::LinkId>{1, 2}));
+
+  // Blockers hold the rescue routes' head links with committed bandwidth.
+  const auto c1 = net.request_connection(0, 3, tight_qos());
+  EXPECT_TRUE(c1.accepted);
+  std::optional<ArrivalOutcome> c2;
+  if (with_second_rescue_route) {
+    c2 = net.request_connection(0, 4, tight_qos());
+    EXPECT_TRUE(c2->accepted);
+  }
+
+  // Kill B's backup: no replacement exists (rescue routes' head links are
+  // full, the direct link carries B itself).
+  const auto r = net.fail_link(1);
+  EXPECT_GE(r.backups_lost, 1u);
+  EXPECT_FALSE(net.connection(b.id).has_backup());
+
+  // Terminations free the rescue routes but trigger no backup retry.
+  net.terminate_connection(c1.id);
+  if (c2) net.terminate_connection(c2->id);
+  EXPECT_FALSE(net.connection(b.id).has_backup());
+  net.audit();
+  return b.id;
+}
+
+TEST(Failure, RescueEstablishesFreshDisjointPair) {
+  Graph g = ladder(true);
+  Network net(g, rescue_config());
+  const ConnectionId b = strand_setup(net, true);
+
+  // Second failure hits B's primary; both rescue routes are free, so B is
+  // re-homed onto a fresh fully-disjoint pair.
+  const auto report = net.fail_link(0);
+  EXPECT_EQ(report.primaries_hit, 1u);
+  EXPECT_EQ(report.unprotected_victims, 1u);
+  EXPECT_EQ(report.reestablished_pair, 1u);
+  EXPECT_EQ(report.reestablished_ids, std::vector<ConnectionId>{b});
+  EXPECT_EQ(report.reestablished_degraded, 0u);
+  EXPECT_EQ(report.connections_dropped, 0u);
+  EXPECT_EQ(report.drop_causes.total(), 0u);
+
+  ASSERT_TRUE(net.is_active(b));
+  const DrConnection& c = net.connection(b);
+  EXPECT_EQ(c.rescues, 1u);
+  ASSERT_TRUE(c.has_backup());
+  EXPECT_EQ(c.backup_overlap_links, 0u);
+  for (topology::LinkId l : c.primary.links) {
+    EXPECT_FALSE(net.link_state(l).failed());
+    EXPECT_FALSE(c.backup_links.test(l));
+  }
+  EXPECT_EQ(net.stats().reestablished_pair, 1u);
+  EXPECT_EQ(net.stats().connections_dropped, 0u);
+  net.audit();
+}
+
+TEST(Failure, RescueDegradesToSinglePathAndRecoversOnRepair) {
+  // Only one rescue route exists: B comes back degraded (single path at
+  // bmin, unprotected), then regains a backup when the repair frees a
+  // disjoint route.
+  Graph g = ladder(false);
+  Network net(g, rescue_config());
+  const ConnectionId b = strand_setup(net, false);
+
+  const auto report = net.fail_link(0);
+  EXPECT_EQ(report.unprotected_victims, 1u);
+  EXPECT_EQ(report.reestablished_pair, 0u);
+  EXPECT_EQ(report.reestablished_degraded, 1u);
+  EXPECT_EQ(report.degraded_ids, std::vector<ConnectionId>{b});
+  EXPECT_EQ(report.connections_dropped, 0u);
+
+  ASSERT_TRUE(net.is_active(b));
+  const DrConnection& c = net.connection(b);
+  EXPECT_EQ(c.rescues, 1u);
+  EXPECT_FALSE(c.has_backup());
+  EXPECT_EQ(c.backup_status, BackupStatus::kUnprotected);
+  EXPECT_EQ(c.primary.links, (std::vector<topology::LinkId>{3, 4, 5}));
+  EXPECT_EQ(net.stats().reestablished_degraded, 1u);
+  net.audit();
+
+  // The pending backup retry fires on the next repair: 0-2-1 comes back and
+  // is fully disjoint from the degraded primary.
+  EXPECT_EQ(net.repair_link(1), 1u);
+  EXPECT_TRUE(net.connection(b).has_backup());
+  EXPECT_EQ(net.connection(b).backup->links, (std::vector<topology::LinkId>{1, 2}));
+  net.audit();
+}
+
+TEST(Failure, RescueFailureDropsWithFullAccounting) {
+  // No rescue route at all: the re-establishment attempt fails and the drop
+  // is accounted as a primary hit that went through a failed rescue.
+  Graph g(3);
+  g.add_link(0, 1);  // 0: primary
+  g.add_link(0, 2);  // 1: backup...
+  g.add_link(2, 1);  // 2: ...0-2-1
+  Network net(g, rescue_config());
+  const auto b = net.request_connection(0, 1, tight_qos());
+  ASSERT_TRUE(b.accepted);
+  net.fail_link(1);  // backup dies, no replacement
+  EXPECT_FALSE(net.connection(b.id).has_backup());
+
+  const auto report = net.fail_link(0);
+  EXPECT_EQ(report.unprotected_victims, 1u);
+  EXPECT_EQ(report.reestablished_pair, 0u);
+  EXPECT_EQ(report.reestablished_degraded, 0u);
+  EXPECT_EQ(report.connections_dropped, 1u);
+  EXPECT_EQ(report.dropped_ids, std::vector<ConnectionId>{b.id});
+  EXPECT_EQ(report.drop_causes.primary_hit, 1u);
+  EXPECT_EQ(report.drop_causes.reestablish_failed, 1u);
+  EXPECT_EQ(report.drop_causes.double_hit, 0u);
+  EXPECT_FALSE(net.is_active(b.id));
+  EXPECT_EQ(net.stats().drop_causes.primary_hit, 1u);
+  EXPECT_EQ(net.stats().drop_causes.reestablish_failed, 1u);
+  net.audit();
+}
+
+TEST(Failure, SecondFailureOnActivePathCountsBackupHit) {
+  // Ring of 6: after the first failure the victim runs on its former backup
+  // with no replacement possible; a second failure on that active path
+  // leaves the network disconnected, and the drop is attributed to the
+  // backup-hit-while-active cause.
+  Graph g(6);
+  for (topology::NodeId i = 0; i < 6; ++i) g.add_link(i, (i + 1) % 6);
+  NetworkConfig cfg;
+  cfg.second_failure_policy = SecondFailurePolicy::kReestablish;
+  Network net(g, cfg);
+  const auto a = net.request_connection(0, 3, paper_qos());
+  ASSERT_TRUE(a.accepted);
+
+  const auto r1 = net.fail_link(net.connection(a.id).primary.links[0]);
+  EXPECT_EQ(r1.backups_activated, 1u);
+  ASSERT_TRUE(net.is_active(a.id));
+  EXPECT_EQ(net.connection(a.id).activations, 1u);
+  EXPECT_FALSE(net.connection(a.id).has_backup());  // ring offers no spare
+
+  const auto r2 = net.fail_link(net.connection(a.id).primary.links[0]);
+  EXPECT_EQ(r2.unprotected_victims, 1u);
+  EXPECT_EQ(r2.connections_dropped, 1u);
+  EXPECT_EQ(r2.drop_causes.backup_hit_while_active, 1u);
+  EXPECT_EQ(r2.drop_causes.primary_hit, 0u);
+  EXPECT_EQ(r2.drop_causes.reestablish_failed, 1u);
+  EXPECT_FALSE(net.is_active(a.id));
+  net.audit();
 }
 
 }  // namespace

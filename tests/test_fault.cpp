@@ -1,0 +1,448 @@
+// Unit tests for the fault subsystem: scenario building and parsing,
+// deterministic scripted/stochastic replay through the injector, the
+// Simulator integration, and the invariant auditor under heavy churn.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "fault/audit.hpp"
+#include "fault/injector.hpp"
+#include "fault/scenario.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos::fault {
+namespace {
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+// ---- Scenario building and validation ---------------------------------------
+
+TEST(Scenario, BuilderAndSortedEvents) {
+  FaultScenario s;
+  s.define_group("conduit", {2, 5, 7});
+  s.fail_link(60.0, 1).fail_group(50.0, "conduit").repair_link(90.0, 1);
+  s.repair_group(150.0, "conduit");
+  ASSERT_EQ(s.num_events(), 4u);
+  const auto events = s.sorted_events();
+  EXPECT_EQ(events[0].kind, FaultKind::kFailGroup);
+  EXPECT_DOUBLE_EQ(events[0].time, 50.0);
+  EXPECT_EQ(events[1].kind, FaultKind::kFailLink);
+  EXPECT_EQ(events[1].target, 1u);
+  EXPECT_EQ(events[3].kind, FaultKind::kRepairGroup);
+  EXPECT_TRUE(is_failure(events[0].kind));
+  EXPECT_FALSE(is_failure(events[3].kind));
+  s.validate(10, 10);
+}
+
+TEST(Scenario, DefineGroupMergesAndIndexes) {
+  FaultScenario s;
+  const std::size_t i = s.define_group("g", {1, 2});
+  EXPECT_EQ(s.define_group("g", {2, 3}), i);  // merge, dedup
+  EXPECT_EQ(s.groups()[i].links, (std::vector<topology::LinkId>{1, 2, 3}));
+  EXPECT_EQ(s.group_index("g"), i);
+  EXPECT_THROW((void)s.group_index("nope"), std::invalid_argument);
+  EXPECT_THROW(s.fail_group(1.0, "nope"), std::invalid_argument);
+}
+
+TEST(Scenario, ValidationRejectsBadInput) {
+  FaultScenario out_of_range;
+  out_of_range.fail_link(1.0, 99);
+  EXPECT_THROW(out_of_range.validate(10, 10), std::invalid_argument);
+
+  FaultScenario bad_node;
+  bad_node.fail_node(1.0, 99);
+  EXPECT_THROW(bad_node.validate(10, 10), std::invalid_argument);
+
+  FaultScenario bad_group;
+  bad_group.define_group("g", {50});
+  EXPECT_THROW(bad_group.validate(10, 10), std::invalid_argument);
+
+  FaultScenario rate_without_groups;
+  rate_without_groups.stochastic().group_failure_rate = 1e-3;
+  EXPECT_THROW(rate_without_groups.validate(10, 10), std::invalid_argument);
+
+  FaultScenario negative_rate;
+  negative_rate.stochastic().link_failure_rate = -1.0;
+  EXPECT_THROW(negative_rate.validate(10, 10), std::invalid_argument);
+
+  FaultScenario bad_repair;
+  bad_repair.stochastic().link_failure_rate = 1e-3;
+  bad_repair.stochastic().repair.kind = RepairDistribution::kWeibull;
+  bad_repair.stochastic().repair.shape = 0.0;
+  EXPECT_THROW(bad_repair.validate(10, 10), std::invalid_argument);
+}
+
+TEST(Scenario, RepairModelSampling) {
+  util::Rng rng(7);
+  RepairModel det;
+  det.kind = RepairDistribution::kDeterministic;
+  det.scale = 42.0;
+  EXPECT_DOUBLE_EQ(det.sample(rng), 42.0);
+
+  RepairModel weibull;
+  weibull.kind = RepairDistribution::kWeibull;
+  weibull.shape = 1.5;
+  weibull.scale = 80.0;
+  for (int i = 0; i < 100; ++i) EXPECT_GT(weibull.sample(rng), 0.0);
+
+  RepairModel exp;
+  exp.kind = RepairDistribution::kExponential;
+  exp.rate = 1e-2;
+  for (int i = 0; i < 100; ++i) EXPECT_GT(exp.sample(rng), 0.0);
+}
+
+TEST(Scenario, ParsesTextFormat) {
+  const FaultScenario s = FaultScenario::parse_string(
+      "# a comment\n"
+      "group conduit 2 5 7\n"
+      "group-weight conduit 2.5\n"
+      "fail-group 50 conduit   # inline comment\n"
+      "fail-link 60 4\n"
+      "repair-link 90 4\n"
+      "repair-group 180 conduit\n"
+      "fail-node 200 3\n"
+      "repair-node 250 3\n"
+      "link-rate 1e-4\n"
+      "link-rate 7 5e-4\n"
+      "group-rate 1e-3\n"
+      "repair weibull 1.5 80\n"
+      "auto-repair on\n"
+      "scripted-auto-repair off\n"
+      "horizon 5000\n");
+  ASSERT_EQ(s.groups().size(), 1u);
+  EXPECT_EQ(s.groups()[0].links, (std::vector<topology::LinkId>{2, 5, 7}));
+  EXPECT_DOUBLE_EQ(s.groups()[0].weight, 2.5);
+  EXPECT_EQ(s.num_events(), 6u);
+  EXPECT_DOUBLE_EQ(s.stochastic().link_failure_rate, 1e-4);
+  ASSERT_EQ(s.stochastic().per_link_rates.size(), 1u);
+  EXPECT_EQ(s.stochastic().per_link_rates[0].first, 7u);
+  EXPECT_DOUBLE_EQ(s.stochastic().per_link_rates[0].second, 5e-4);
+  EXPECT_DOUBLE_EQ(s.stochastic().rate_for(7), 5e-4);
+  EXPECT_DOUBLE_EQ(s.stochastic().rate_for(3), 1e-4);
+  EXPECT_DOUBLE_EQ(s.stochastic().group_failure_rate, 1e-3);
+  EXPECT_EQ(s.stochastic().repair.kind, RepairDistribution::kWeibull);
+  EXPECT_TRUE(s.stochastic().auto_repair);
+  EXPECT_FALSE(s.auto_repair_scripted);
+  EXPECT_DOUBLE_EQ(s.stochastic().horizon, 5000.0);
+  s.validate(10, 10);
+}
+
+TEST(Scenario, ParseErrorsCarryLineNumbers) {
+  try {
+    (void)FaultScenario::parse_string("group g 1 2\nbogus-directive 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW((void)FaultScenario::parse_string("fail-group 10 undefined\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultScenario::parse_string("fail-link 10\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultScenario::parse_string("auto-repair maybe\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultScenario::parse_string("fail-link 10 2 extra\n"),
+               std::invalid_argument);
+}
+
+// ---- Injector ---------------------------------------------------------------
+
+/// Fills a network with deterministic traffic (Network is not movable: its
+/// router holds references into it, so callers construct and we populate).
+void populate(net::Network& network, std::uint64_t seed, int attempts) {
+  util::Rng rng(seed);
+  const std::size_t n = network.graph().num_nodes();
+  for (int i = 0; i < attempts; ++i) {
+    const auto src = static_cast<topology::NodeId>(rng.index(n));
+    auto dst = static_cast<topology::NodeId>(rng.index(n - 1));
+    if (dst >= src) ++dst;
+    (void)network.request_connection(src, dst, paper_qos());
+  }
+}
+
+Scheduler queue_scheduler(sim::EventQueue& queue) {
+  return Scheduler{[&queue] { return queue.now(); },
+                   [&queue](double t, std::function<void()> a) {
+                     queue.schedule(t, std::move(a));
+                   }};
+}
+
+struct ReplayTrace {
+  std::vector<net::FailureReport> reports;
+  std::size_t fault_events = 0;
+  std::size_t repairs = 0;
+  net::NetworkStats stats;
+  InjectorStats injector;
+};
+
+/// Runs one scenario replay on a fresh identical network and captures every
+/// FailureReport the injector emits.
+ReplayTrace replay(const topology::Graph& g, const FaultScenario& scenario,
+                   std::uint64_t scenario_seed, double until) {
+  net::NetworkConfig cfg;
+  cfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+  net::Network network(g, cfg);
+  populate(network, 1234, 150);
+  sim::EventQueue queue;
+  ReplayTrace trace;
+  Hooks hooks;
+  hooks.on_failure = [&trace](const net::FailureReport& r) { trace.reports.push_back(r); };
+  hooks.on_fault_event = [&trace] { ++trace.fault_events; };
+  hooks.on_repair = [&trace] { ++trace.repairs; };
+  FaultInjector injector(network, queue_scheduler(queue), hooks);
+  InvariantAuditor auditor(network);
+  injector.set_auditor(&auditor);
+  injector.load_scenario(scenario, util::Rng(scenario_seed));
+  queue.run_until(until);
+  EXPECT_GT(auditor.checks_run(), 0u);
+  trace.stats = network.stats();
+  trace.injector = injector.stats();
+  return trace;
+}
+
+void expect_identical(const ReplayTrace& a, const ReplayTrace& b) {
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const net::FailureReport& x = a.reports[i];
+    const net::FailureReport& y = b.reports[i];
+    EXPECT_EQ(x.link, y.link) << "report " << i;
+    EXPECT_EQ(x.existing_before, y.existing_before) << "report " << i;
+    EXPECT_EQ(x.primaries_hit, y.primaries_hit) << "report " << i;
+    EXPECT_EQ(x.backups_activated, y.backups_activated) << "report " << i;
+    EXPECT_EQ(x.connections_dropped, y.connections_dropped) << "report " << i;
+    EXPECT_EQ(x.unprotected_victims, y.unprotected_victims) << "report " << i;
+    EXPECT_EQ(x.reestablished_pair, y.reestablished_pair) << "report " << i;
+    EXPECT_EQ(x.reestablished_degraded, y.reestablished_degraded) << "report " << i;
+    EXPECT_EQ(x.activated_ids, y.activated_ids) << "report " << i;
+    EXPECT_EQ(x.dropped_ids, y.dropped_ids) << "report " << i;
+    EXPECT_EQ(x.reestablished_ids, y.reestablished_ids) << "report " << i;
+    EXPECT_EQ(x.degraded_ids, y.degraded_ids) << "report " << i;
+    EXPECT_EQ(x.drop_causes.primary_hit, y.drop_causes.primary_hit) << "report " << i;
+    EXPECT_EQ(x.drop_causes.backup_hit_while_active, y.drop_causes.backup_hit_while_active)
+        << "report " << i;
+    EXPECT_EQ(x.drop_causes.double_hit, y.drop_causes.double_hit) << "report " << i;
+  }
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.stats.failures_injected, b.stats.failures_injected);
+  EXPECT_EQ(a.stats.connections_dropped, b.stats.connections_dropped);
+  EXPECT_EQ(a.stats.backups_activated, b.stats.backups_activated);
+  EXPECT_EQ(a.stats.unprotected_victims, b.stats.unprotected_victims);
+  EXPECT_EQ(a.injector.scripted_failures, b.injector.scripted_failures);
+  EXPECT_EQ(a.injector.poisson_failures, b.injector.poisson_failures);
+  EXPECT_EQ(a.injector.burst_failures, b.injector.burst_failures);
+  EXPECT_EQ(a.injector.auto_repairs, b.injector.auto_repairs);
+}
+
+TEST(Injector, ScriptedSrlgReplaysDeterministically) {
+  // The acceptance scenario: an SRLG of 3 links failing together at t=50,
+  // repaired at t=200, replayed twice — identical FailureReport sequences.
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  FaultScenario scenario;
+  scenario.define_group("conduit", {0, 1, 2});
+  scenario.fail_group(50.0, "conduit");
+  scenario.repair_group(200.0, "conduit");
+  const ReplayTrace a = replay(g, scenario, 99, 300.0);
+  const ReplayTrace b = replay(g, scenario, 99, 300.0);
+  EXPECT_EQ(a.reports.size(), 3u);  // one report per group link
+  EXPECT_EQ(a.injector.scripted_failures, 1u);
+  EXPECT_EQ(a.injector.scripted_repairs, 1u);
+  expect_identical(a, b);
+}
+
+TEST(Injector, StochasticScenarioReplaysDeterministically) {
+  // Per-link Poisson + weighted SRLG bursts + Weibull auto-repair: same
+  // seed, bit-identical trace; different seed, (almost surely) different.
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  FaultScenario scenario;
+  scenario.define_group("east", {0, 1, 2});
+  scenario.define_group("west", {3, 4}, 2.0);
+  scenario.stochastic().link_failure_rate = 2e-3;
+  scenario.stochastic().group_failure_rate = 1e-3;
+  scenario.stochastic().repair.kind = RepairDistribution::kWeibull;
+  scenario.stochastic().repair.shape = 1.5;
+  scenario.stochastic().repair.scale = 60.0;
+  scenario.stochastic().horizon = 2000.0;
+  const ReplayTrace a = replay(g, scenario, 7, 2500.0);
+  const ReplayTrace b = replay(g, scenario, 7, 2500.0);
+  EXPECT_GT(a.injector.poisson_failures + a.injector.burst_failures, 10u);
+  expect_identical(a, b);
+
+  const ReplayTrace c = replay(g, scenario, 8, 2500.0);
+  EXPECT_NE(a.reports.size(), 0u);
+  // Different seeds should not produce the identical failure sequence.
+  bool same = a.reports.size() == c.reports.size();
+  if (same) {
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+      if (a.reports[i].link != c.reports[i].link) same = false;
+    }
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(Injector, HorizonStopsStochasticProcesses) {
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  net::Network network(g, net::NetworkConfig{});
+  populate(network, 1, 50);
+  sim::EventQueue queue;
+  std::size_t fired = 0;
+  Hooks hooks;
+  hooks.on_fault_event = [&fired] { ++fired; };
+  FaultInjector injector(network, queue_scheduler(queue), hooks);
+  FaultScenario scenario;
+  scenario.stochastic().link_failure_rate = 1e-2;  // busy process
+  scenario.stochastic().horizon = 100.0;
+  injector.load_scenario(scenario, util::Rng(3));
+  queue.run_until(5000.0);
+  EXPECT_GT(fired, 0u);
+  EXPECT_TRUE(queue.empty());  // nothing scheduled past the horizon
+}
+
+TEST(Injector, RequiresScheduler) {
+  const auto g = topology::generate_waxman({10, 0.5, 0.4, true}, 3);
+  net::Network network(g, net::NetworkConfig{});
+  EXPECT_THROW(FaultInjector(network, Scheduler{}, Hooks{}), std::invalid_argument);
+}
+
+// ---- Simulator integration --------------------------------------------------
+
+sim::WorkloadConfig failure_workload(std::uint64_t seed) {
+  sim::WorkloadConfig wl;
+  wl.qos = paper_qos();
+  wl.arrival_rate = 1e-3;
+  wl.termination_rate = 1e-3;
+  wl.failure_rate = 5e-4;
+  wl.repair_rate = 1e-2;
+  wl.seed = seed;
+  return wl;
+}
+
+/// Runs one full Simulator pass and returns (estimates, network stats,
+/// simulation stats).
+struct SimRun {
+  sim::ModelEstimates est;
+  net::NetworkStats net_stats;
+  sim::SimulationStats sim_stats;
+};
+
+SimRun run_sim(std::uint64_t seed) {
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  net::Network network(g, net::NetworkConfig{});
+  sim::Simulator sim(network, failure_workload(seed));
+  sim.populate(300);
+  sim::TransitionRecorder recorder(paper_qos(), sim.now());
+  sim.attach_recorder(&recorder);
+  sim.run_events(600);
+  return {recorder.estimates(sim.now(), network), network.stats(), sim.stats()};
+}
+
+TEST(SimulatorFault, SameSeedRunsAreBitIdentical) {
+  // The determinism regression: two full Simulator runs with the same seed
+  // and config must produce bit-identical recorder statistics.
+  const SimRun a = run_sim(2024);
+  const SimRun b = run_sim(2024);
+  EXPECT_EQ(a.est.pf, b.est.pf);
+  EXPECT_EQ(a.est.ps, b.est.ps);
+  EXPECT_EQ(a.est.pf_failure, b.est.pf_failure);
+  EXPECT_EQ(a.est.mean_bandwidth_kbps, b.est.mean_bandwidth_kbps);
+  EXPECT_EQ(a.est.unprotected_time, b.est.unprotected_time);
+  EXPECT_EQ(a.est.occupancy, b.est.occupancy);
+  EXPECT_EQ(a.est.arrivals_observed, b.est.arrivals_observed);
+  EXPECT_EQ(a.est.failures_observed, b.est.failures_observed);
+  EXPECT_EQ(a.net_stats.accepted, b.net_stats.accepted);
+  EXPECT_EQ(a.net_stats.failures_injected, b.net_stats.failures_injected);
+  EXPECT_EQ(a.net_stats.backups_activated, b.net_stats.backups_activated);
+  EXPECT_EQ(a.net_stats.connections_dropped, b.net_stats.connections_dropped);
+  EXPECT_EQ(a.net_stats.quanta_adjustments, b.net_stats.quanta_adjustments);
+  EXPECT_EQ(a.sim_stats.arrival_events, b.sim_stats.arrival_events);
+  EXPECT_EQ(a.sim_stats.failure_events, b.sim_stats.failure_events);
+  EXPECT_EQ(a.sim_stats.repair_events, b.sim_stats.repair_events);
+
+  // And a different seed must not replay the same run.
+  const SimRun c = run_sim(2025);
+  EXPECT_NE(a.est.mean_bandwidth_kbps, c.est.mean_bandwidth_kbps);
+}
+
+TEST(SimulatorFault, LoadScenarioDrivesFailures) {
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  net::Network network(g, net::NetworkConfig{});
+  sim::WorkloadConfig wl = failure_workload(11);
+  wl.failure_rate = 0.0;  // scenario-only failures
+  sim::Simulator sim(network, wl);
+  sim.populate(200);
+  FaultScenario scenario;
+  scenario.define_group("conduit", {0, 1, 2});
+  scenario.fail_group(50.0, "conduit");
+  scenario.repair_group(150.0, "conduit");
+  sim.load_scenario(scenario);
+  InvariantAuditor auditor(network);
+  sim.injector().set_auditor(&auditor);
+  sim.run_until(200.0);
+  EXPECT_EQ(network.stats().failures_injected, 3u);
+  EXPECT_EQ(network.stats().repairs, 3u);
+  EXPECT_EQ(sim.injector().stats().scripted_failures, 1u);
+  EXPECT_EQ(sim.injector().stats().scripted_repairs, 1u);
+  EXPECT_EQ(auditor.checks_run(), 2u);  // one per scripted event
+  for (topology::LinkId l = 0; l < 3; ++l)
+    EXPECT_FALSE(network.link_state(l).failed());
+}
+
+// ---- Invariant auditor under churn ------------------------------------------
+
+void churn_with_audit(bool multiplexing) {
+  // 10k workload events with failures and repairs, auditing the full
+  // invariant set after every single event.
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  net::NetworkConfig cfg;
+  cfg.backup_multiplexing = multiplexing;
+  cfg.link_capacity_kbps = 2000.0;  // tight: elasticity and debt both bite
+  cfg.require_backup = false;
+  cfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+  net::Network network(g, cfg);
+  sim::WorkloadConfig wl;
+  wl.qos = paper_qos();
+  wl.arrival_rate = 1e-3;
+  wl.termination_rate = 1e-3;
+  wl.failure_rate = 2e-4;  // failures throughout the run
+  wl.repair_rate = 1e-2;
+  wl.seed = 77;
+  sim::Simulator sim(network, wl);
+  sim.populate(300);
+  InvariantAuditor auditor(network);
+  sim.injector().set_auditor(&auditor);  // also audits every repair
+  for (int i = 0; i < 10'000; ++i) {
+    sim.run_events(1);
+    ASSERT_NO_THROW(network.audit()) << "event " << i;
+  }
+  // The run must actually have exercised the failure machinery.
+  EXPECT_GT(network.stats().failures_injected, 0u);
+  EXPECT_GT(network.stats().backups_activated, 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+  auditor.check("at end of churn");  // full external recomputation too
+}
+
+TEST(Audit, ChurnWithMultiplexing) { churn_with_audit(true); }
+
+TEST(Audit, ChurnWithoutMultiplexing) { churn_with_audit(false); }
+
+TEST(Audit, ExternalRecomputationMatchesHealthyNetwork) {
+  const auto g = topology::generate_waxman({30, 0.4, 0.3, true}, 19);
+  net::Network network(g, net::NetworkConfig{});
+  populate(network, 5, 200);
+  EXPECT_NO_THROW(audit_network(network));
+  InvariantAuditor auditor(network);
+  auditor.check("after populate");
+  EXPECT_EQ(auditor.checks_run(), 1u);
+}
+
+}  // namespace
+}  // namespace eqos::fault
