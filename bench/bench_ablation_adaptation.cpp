@@ -68,29 +68,47 @@ Row run(const eqos::topology::Graph& g, std::size_t tried,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Ablation A2: coefficient vs max-utility adaptation "
                "(utility classes 2.0 / 1.0, alternating) ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
 
   std::vector<std::size_t> loads{1000, 2000, 4000};
   if (bench::fast_mode()) loads = {1000, 3000};
+  if (cli.smoke) loads = {500};
+
+  // Grid: point = (load, scheme), run across the CLI's workers.
+  core::SweepReport report;
+  const auto rows = bench::run_point_grid(
+      cli, loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
+        const std::size_t n = loads[point / 2];
+        const auto scheme = point % 2 == 0 ? net::AdaptationScheme::kCoefficient
+                                           : net::AdaptationScheme::kMaxUtility;
+        return run(bench::random_network(), n, scheme,
+                   core::sweep_seed(99, point, rep));
+      });
 
   util::Table table({"tried", "scheme", "high-util Kb/s", "low-util Kb/s",
                      "Jain index"});
-  for (const std::size_t n : loads) {
-    const Row coef =
-        run(bench::random_network(), n, net::AdaptationScheme::kCoefficient, 99);
-    const Row maxu =
-        run(bench::random_network(), n, net::AdaptationScheme::kMaxUtility, 99);
-    table.add_row({std::to_string(n), "coefficient", util::Table::num(coef.high_kbps),
-                   util::Table::num(coef.low_kbps), util::Table::num(coef.jain, 3)});
-    table.add_row({"", "max-utility", util::Table::num(maxu.high_kbps),
-                   util::Table::num(maxu.low_kbps), util::Table::num(maxu.jain, 3)});
+  const auto mean = [&](std::size_t point, auto field) {
+    return bench::rep_mean(rows, point, cli.reps,
+                           [&](const Row& r) { return r.*field; });
+  };
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const std::size_t pc = i * 2, pm = i * 2 + 1;
+    table.add_row({std::to_string(loads[i]), "coefficient",
+                   util::Table::num(mean(pc, &Row::high_kbps)),
+                   util::Table::num(mean(pc, &Row::low_kbps)),
+                   util::Table::num(mean(pc, &Row::jain), 3)});
+    table.add_row({"", "max-utility", util::Table::num(mean(pm, &Row::high_kbps)),
+                   util::Table::num(mean(pm, &Row::low_kbps)),
+                   util::Table::num(mean(pm, &Row::jain), 3)});
   }
   table.print(std::cout);
   std::cout << "# expectation: both favor high utility; max-utility is far "
                "harsher on the low class (lower Jain index)\n";
+  bench::finish_sweep(cli, "bench_ablation_adaptation", report);
   return 0;
 }

@@ -11,8 +11,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Ablation A3: increment size vs accuracy and churn "
                "(3000 DR-connections) ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
@@ -20,12 +21,22 @@ int main() {
 
   std::vector<double> increments{25.0, 50.0, 100.0, 200.0, 400.0};
   if (bench::fast_mode()) increments = {50.0, 200.0};
+  if (cli.smoke) increments = {50.0};
+
+  std::vector<core::SweepPoint> points;
+  for (const double inc : increments) {
+    auto cfg = bench::paper_experiment(3000, inc);
+    if (cli.smoke) cfg = bench::smoke_config(cfg);
+    points.push_back({&bench::random_network(), cfg, util::Table::num(inc, 0)});
+  }
+  const auto sweep = core::run_sweep(points, cli.sweep_options());
 
   util::Table table({"increment Kb/s", "states", "sim Kb/s", "markov Kb/s",
                      "adjustments/event", "Kb/s moved/event"});
-  for (const double inc : increments) {
-    auto cfg = bench::paper_experiment(3000, inc);
-    const auto r = core::run_experiment(bench::random_network(), cfg);
+  for (std::size_t i = 0; i < increments.size(); ++i) {
+    const double inc = increments[i];
+    const auto& cfg = points[i].config;
+    const auto r = sweep.point_mean(i);
     const double events = static_cast<double>(cfg.warmup_events + cfg.measure_events +
                                               r.sim_stats.populate_attempts);
     // The paper's churn claim is about how *often* reservations change: the
@@ -44,5 +55,6 @@ int main() {
   table.print(std::cout);
   std::cout << "# expectation: average bandwidth barely moves with the "
                "increment (Table 1), while churn grows as increments shrink\n";
+  bench::finish_sweep(cli, "bench_ablation_increment", sweep.report);
   return 0;
 }

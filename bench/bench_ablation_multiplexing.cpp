@@ -4,6 +4,7 @@
 // what keeps the backup-channel scheme affordable.  This ablation measures
 // the cost of turning it off: fewer admitted connections and a larger share
 // of capacity frozen in backup reservations, at equal offered load.
+#include <cmath>
 #include <iostream>
 #include <vector>
 
@@ -20,17 +21,19 @@ struct Row {
 };
 
 Row run(const eqos::topology::Graph& g, std::size_t tried, bool multiplexing,
-        double capacity) {
+        double capacity, std::uint64_t seed, bool smoke) {
   auto cfg = eqos::bench::paper_experiment(tried);
+  if (smoke) cfg = eqos::bench::smoke_config(cfg);
   cfg.network.backup_multiplexing = multiplexing;
   cfg.network.link_capacity_kbps = capacity;
+  cfg.workload.seed = seed;
 
   // Run the establishment phase manually so the reservation share can be
   // read off the links afterwards.
   eqos::net::Network net(g, cfg.network);
   eqos::sim::Simulator sim(net, cfg.workload);
   Row row;
-  row.established = sim.populate(tried);
+  row.established = sim.populate(cfg.target_connections);
   sim.run_events(cfg.measure_events / 2);
   double share = 0.0;
   for (eqos::topology::LinkId l = 0; l < g.num_links(); ++l)
@@ -43,28 +46,49 @@ Row run(const eqos::topology::Graph& g, std::size_t tried, bool multiplexing,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Ablation A1: backup multiplexing (overbooking) on/off ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
   std::cout << "# tight 3 Mb/s links make the reservation cost visible\n";
 
   std::vector<std::size_t> loads{500, 1000, 1500, 2000};
   if (bench::fast_mode()) loads = {500, 1500};
+  if (cli.smoke) loads = {500};
+
+  // Grid: point = (load, mux on/off), run across the CLI's workers.
+  core::SweepReport report;
+  const auto rows = bench::run_point_grid(
+      cli, loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
+        const std::size_t n = loads[point / 2];
+        const bool mux = point % 2 == 0;
+        return run(bench::random_network(), n, mux, 3000.0,
+                   core::sweep_seed(bench::kWorkloadSeed, point, rep), cli.smoke);
+      });
 
   util::Table table({"tried", "mux est.", "nomux est.", "mux Kb/s", "nomux Kb/s",
                      "mux bkup share", "nomux bkup share"});
-  for (const std::size_t n : loads) {
-    const Row mux = run(bench::random_network(), n, true, 3000.0);
-    const Row nomux = run(bench::random_network(), n, false, 3000.0);
-    table.add_row({std::to_string(n), std::to_string(mux.established),
-                   std::to_string(nomux.established), util::Table::num(mux.sim_kbps),
-                   util::Table::num(nomux.sim_kbps),
-                   util::Table::num(mux.backup_share, 3),
-                   util::Table::num(nomux.backup_share, 3)});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto mean = [&](std::size_t point, auto field) {
+      return bench::rep_mean(rows, point, cli.reps,
+                             [&](const Row& r) { return r.*field; });
+    };
+    const std::size_t pm = i * 2, pn = i * 2 + 1;
+    table.add_row(
+        {std::to_string(loads[i]),
+         std::to_string(static_cast<std::size_t>(
+             std::llround(mean(pm, &Row::established)))),
+         std::to_string(static_cast<std::size_t>(
+             std::llround(mean(pn, &Row::established)))),
+         util::Table::num(mean(pm, &Row::sim_kbps)),
+         util::Table::num(mean(pn, &Row::sim_kbps)),
+         util::Table::num(mean(pm, &Row::backup_share), 3),
+         util::Table::num(mean(pn, &Row::backup_share), 3)});
   }
   table.print(std::cout);
   std::cout << "# expectation: multiplexing admits more connections and "
                "freezes a smaller capacity share in backup reservations\n";
+  bench::finish_sweep(cli, "bench_ablation_multiplexing", report);
   return 0;
 }

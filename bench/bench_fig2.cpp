@@ -10,8 +10,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Figure 2: average bandwidth vs number of DR-connections ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
   bench::print_workload_header(bench::paper_experiment(1000));
@@ -19,14 +20,22 @@ int main() {
   std::vector<std::size_t> loads{250, 500, 1000, 1500, 2000, 2500, 3000,
                                  3500, 4000, 4500, 5000, 6000, 7000, 8000};
   if (bench::fast_mode()) loads = {500, 2000, 4000, 6000};
+  if (cli.smoke) loads = {500};
+
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t n : loads) {
+    auto cfg = bench::paper_experiment(n);
+    if (cli.smoke) cfg = bench::smoke_config(cfg);
+    points.push_back({&bench::random_network(), cfg, std::to_string(n)});
+  }
+  const auto sweep = core::run_sweep(points, cli.sweep_options());
 
   util::Table table({"connections", "established", "sim Kb/s", "markov Kb/s",
                      "refined Kb/s", "ideal Kb/s", "ideal(clamped)", "avg hops",
                      "Pf", "Ps"});
-  for (const std::size_t n : loads) {
-    const auto r = core::run_experiment(bench::random_network(),
-                                        bench::paper_experiment(n));
-    table.add_row({std::to_string(n), std::to_string(r.established),
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto r = sweep.point_mean(i);
+    table.add_row({std::to_string(loads[i]), std::to_string(r.established),
                    util::Table::num(r.sim_mean_bandwidth_kbps),
                    util::Table::num(r.analytic_paper_kbps),
                    util::Table::num(r.analytic_refined_kbps),
@@ -39,5 +48,6 @@ int main() {
   table.print(std::cout);
   std::cout << "# expectation: sim ~ markov, monotone decline Bmax -> Bmin, "
                "ideal is an upper bound\n";
+  bench::finish_sweep(cli, "bench_fig2", sweep.report);
   return 0;
 }

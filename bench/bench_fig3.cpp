@@ -12,22 +12,36 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Figure 3: average bandwidth vs number of nodes "
                "(3000 DR-connections) ==\n";
   bench::print_workload_header(bench::paper_experiment(3000));
 
   std::vector<std::size_t> sizes{100, 200, 300, 400, 500};
   if (bench::fast_mode()) sizes = {100, 300};
+  if (cli.smoke) sizes = {100};
+
+  // Topologies are generated up front (points borrow their graphs).
+  std::vector<topology::Graph> graphs;
+  graphs.reserve(sizes.size());
+  for (const std::size_t nodes : sizes)
+    graphs.push_back(topology::generate_waxman({nodes, 0.33, 0.20, true},
+                                               bench::kTopologySeed + nodes));
+  std::vector<core::SweepPoint> points;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    auto cfg = bench::paper_experiment(3000);
+    if (cli.smoke) cfg = bench::smoke_config(cfg);
+    points.push_back({&graphs[i], cfg, std::to_string(sizes[i])});
+  }
+  const auto sweep = core::run_sweep(points, cli.sweep_options());
 
   util::Table table({"nodes", "edges", "established", "sim Kb/s", "markov Kb/s",
                      "ideal(clamped)", "avg hops"});
-  for (const std::size_t nodes : sizes) {
-    const auto g = topology::generate_waxman({nodes, 0.33, 0.20, true},
-                                             bench::kTopologySeed + nodes);
-    const auto r = core::run_experiment(g, bench::paper_experiment(3000));
-    table.add_row({std::to_string(nodes), std::to_string(g.num_links()),
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto r = sweep.point_mean(i);
+    table.add_row({std::to_string(sizes[i]), std::to_string(graphs[i].num_links()),
                    std::to_string(r.established),
                    util::Table::num(r.sim_mean_bandwidth_kbps),
                    util::Table::num(r.analytic_paper_kbps),
@@ -37,5 +51,6 @@ int main() {
   table.print(std::cout);
   std::cout << "# expectation: edges grow fast with nodes; bandwidth rises "
                "toward Bmax as the same load spreads thinner\n";
+  bench::finish_sweep(cli, "bench_fig3", sweep.report);
   return 0;
 }

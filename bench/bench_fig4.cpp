@@ -12,8 +12,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Figure 4: average bandwidth vs link failure rate ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
   bench::print_workload_header(bench::paper_experiment(2000));
@@ -22,15 +23,29 @@ int main() {
   std::vector<double> rates{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2};
   if (bench::fast_mode()) rates = {1e-7, 1e-5, 1e-3};
   std::vector<std::size_t> loads{2000, 3000};
+  if (cli.smoke) {
+    rates = {1e-4};
+    loads = {2000};
+  }
 
-  util::Table table({"failure rate", "load", "sim Kb/s", "markov Kb/s",
-                     "failures", "activations", "drops"});
+  std::vector<core::SweepPoint> points;
   for (const std::size_t load : loads) {
     for (const double gamma : rates) {
       auto cfg = bench::paper_experiment(load);
       cfg.workload.failure_rate = gamma;
       cfg.workload.repair_rate = 1e-2;
-      const auto r = core::run_experiment(bench::random_network(), cfg);
+      if (cli.smoke) cfg = bench::smoke_config(cfg);
+      points.push_back({&bench::random_network(), cfg, std::to_string(load)});
+    }
+  }
+  const auto sweep = core::run_sweep(points, cli.sweep_options());
+
+  util::Table table({"failure rate", "load", "sim Kb/s", "markov Kb/s",
+                     "failures", "activations", "drops"});
+  std::size_t point = 0;
+  for (const std::size_t load : loads) {
+    for (const double gamma : rates) {
+      const auto r = sweep.point_mean(point++);
       table.add_row({util::Table::sci(gamma, 1), std::to_string(load),
                      util::Table::num(r.sim_mean_bandwidth_kbps),
                      util::Table::num(r.analytic_paper_kbps),
@@ -42,5 +57,6 @@ int main() {
   table.print(std::cout);
   std::cout << "# expectation: flat across gamma <= 1e-4 (gamma << lambda); "
                "the Avg2000 series sits above Avg3000\n";
+  bench::finish_sweep(cli, "bench_fig4", sweep.report);
   return 0;
 }

@@ -1,12 +1,27 @@
 // Micro-benchmarks (google-benchmark) for the building blocks: the Markov
 // solvers (the SHARPE replacement), topology generation, route search, and
 // the network's hot operations.
+//
+// Besides the google-benchmark flags, the binary understands:
+//   --sweep-json PATH [--threads N] [--reps N]
+//       skip the micro-benchmarks and instead measure a 4-point x N-rep
+//       run_sweep throughput (parallel vs serial baseline), verify the two
+//       produce identical results, and write the report as JSON;
+//   --smoke
+//       run one tiny micro-benchmark only (the ctest bench-smoke label).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "markov/bandwidth_chain.hpp"
 #include "markov/ctmc.hpp"
 #include "matrix/gth.hpp"
 #include "matrix/lu.hpp"
+#include "net/flooding.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "topology/paths.hpp"
@@ -128,6 +143,105 @@ void BM_FailLinkRepair(benchmark::State& state) {
 }
 BENCHMARK(BM_FailLinkRepair)->Unit(benchmark::kMicrosecond);
 
+void BM_FloodRoute(benchmark::State& state) {
+  const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);
+  const std::vector<net::LinkState> links(g.num_links(), net::LinkState(10'000.0));
+  util::Rng rng(23);
+  for (auto _ : state) {
+    const auto src = static_cast<topology::NodeId>(rng.index(100));
+    auto dst = static_cast<topology::NodeId>(rng.index(99));
+    if (dst >= src) ++dst;
+    benchmark::DoNotOptimize(net::flood_route(g, links, src, dst, 100.0, 16));
+  }
+}
+BENCHMARK(BM_FloodRoute);
+
+/// --sweep-json: measure run_sweep throughput (4 load points x reps) at the
+/// requested thread count against a 1-thread baseline of the same points,
+/// check the two runs produced identical results, and write the JSON report.
+int run_sweep_measurement(const std::string& path, std::size_t threads,
+                          std::size_t reps, bool smoke) {
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t load : {500u, 1000u, 1500u, 2000u}) {
+    auto cfg = bench::paper_experiment(load);
+    if (smoke) cfg = bench::smoke_config(cfg);
+    points.push_back({&bench::random_network(), cfg, std::to_string(load)});
+  }
+  core::SweepOptions par;
+  par.threads = threads;
+  par.reps = reps;
+  const auto parallel = core::run_sweep(points, par);
+  core::SweepOptions ser;
+  ser.threads = 1;
+  ser.reps = reps;
+  const auto serial = core::run_sweep(points, ser);
+
+  for (std::size_t i = 0; i < parallel.results.size(); ++i) {
+    const auto& a = parallel.results[i];
+    const auto& b = serial.results[i];
+    if (a.established != b.established ||
+        a.sim_mean_bandwidth_kbps != b.sim_mean_bandwidth_kbps ||
+        a.analytic_paper_kbps != b.analytic_paper_kbps) {
+      std::cerr << "bench_micro: thread-count determinism violated at slot " << i
+                << "\n";
+      return 1;
+    }
+  }
+
+  core::SweepReport report = parallel.report;
+  report.serial_wall_seconds = serial.report.wall_seconds;
+  report.speedup_vs_serial = report.wall_seconds > 0.0
+                                 ? serial.report.wall_seconds / report.wall_seconds
+                                 : 0.0;
+  std::cout << "sweep: " << report.points << " points x " << report.reps
+            << " reps, " << report.threads << " thread(s): "
+            << report.wall_seconds << " s (serial " << report.serial_wall_seconds
+            << " s, speedup " << report.speedup_vs_serial
+            << "x); results identical across thread counts\n";
+  if (!core::write_sweep_json(path, "bench_micro", report)) {
+    std::cerr << "bench_micro: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string sweep_json;
+  std::size_t threads = 0;  // hardware concurrency by default for the sweep
+  std::size_t reps = 4;
+  bool smoke = false;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sweep-json" && i + 1 < argc)
+      sweep_json = argv[++i];
+    else if (arg == "--threads" && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    else if (arg == "--reps" && i + 1 < argc)
+      reps = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10)));
+    else
+      fwd.push_back(argv[i]);
+  }
+  for (char* a : fwd)
+    if (std::strcmp(a, "--smoke") == 0) smoke = true;
+  if (smoke)
+    fwd.erase(std::remove_if(fwd.begin(), fwd.end(),
+                             [](char* a) { return std::strcmp(a, "--smoke") == 0; }),
+              fwd.end());
+
+  if (!sweep_json.empty()) return run_sweep_measurement(sweep_json, threads, reps, smoke);
+
+  static char filter_flag[] = "--benchmark_filter=BM_GthSteadyState/9";
+  if (smoke) fwd.push_back(filter_flag);
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 // *total* arrival/termination rates (a tagged channel retreats for any
 // newcomer, whatever that newcomer asked for) but class-specific state
 // spaces and matrices.
+#include <cmath>
 #include <iostream>
 #include <vector>
 
@@ -25,10 +26,66 @@ eqos::net::ElasticQosSpec audio_qos() {
   return q;
 }
 
+struct Row {
+  std::size_t video_count = 0;
+  std::size_t audio_count = 0;
+  double video_sim = 0.0;
+  double video_markov = 0.0;
+  double audio_sim = 0.0;
+  double audio_markov = 0.0;
+};
+
+Row run(std::size_t n, std::uint64_t seed, bool smoke) {
+  using namespace eqos;
+  net::Network network(bench::random_network(), net::NetworkConfig{});
+  sim::WorkloadConfig w;
+  w.qos = bench::paper_qos();
+  w.qos_mix = {{bench::paper_qos(), 1.0}, {audio_qos(), 1.0}};
+  w.seed = seed;
+  sim::Simulator sim(network, w);
+  sim.populate(n);
+  const bool tiny = smoke || bench::fast_mode();
+  sim.run_events(smoke ? 30 : (tiny ? 100 : 300));
+
+  const auto is_video = [](const net::DrConnection& c) {
+    return c.qos.bmax_kbps == 500.0;
+  };
+  const auto is_audio = [](const net::DrConnection& c) {
+    return c.qos.bmax_kbps == 192.0;
+  };
+  sim::TransitionRecorder video_rec(bench::paper_qos(), sim.now(), is_video);
+  sim::TransitionRecorder audio_rec(audio_qos(), sim.now(), is_audio);
+  const std::size_t half = (smoke ? 60 : (tiny ? 400 : 1200)) / 2;
+  sim.attach_recorder(&video_rec);
+  sim.run_events(half);
+  sim.attach_recorder(&audio_rec);
+  sim.run_events(half);
+  sim.attach_recorder(nullptr);
+
+  Row row;
+  for (net::ConnectionId id : network.active_ids())
+    (is_video(network.connection(id)) ? row.video_count : row.audio_count) += 1;
+
+  const auto video_est = video_rec.estimates(sim.now(), network);
+  sim::WorkloadConfig video_w = w;
+  video_w.qos = bench::paper_qos();
+  const auto video_an = core::analyze(video_est, video_w);
+  const auto audio_est = audio_rec.estimates(sim.now(), network);
+  sim::WorkloadConfig audio_w = w;
+  audio_w.qos = audio_qos();
+  const auto audio_an = core::analyze(audio_est, audio_w);
+  row.video_sim = video_est.mean_bandwidth_kbps;
+  row.video_markov = video_an.average_bandwidth_kbps;
+  row.audio_sim = audio_est.mean_bandwidth_kbps;
+  row.audio_markov = audio_an.average_bandwidth_kbps;
+  return row;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Extension: mixed video/audio traffic, per-class chains ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
   std::cout << "# video [100,500]/50 and audio [64,192]/64, 50/50 mix; "
@@ -36,56 +93,35 @@ int main() {
 
   std::vector<std::size_t> loads{1000, 3000, 5000, 7000};
   if (bench::fast_mode()) loads = {2000, 5000};
+  if (cli.smoke) loads = {500};
+
+  core::SweepReport report;
+  const auto rows = bench::run_point_grid(
+      cli, loads.size(), report, [&](std::size_t point, std::size_t rep) {
+        return run(loads[point],
+                   core::sweep_seed(bench::kWorkloadSeed, point, rep), cli.smoke);
+      });
 
   util::Table table({"tried", "class", "established", "sim Kb/s", "markov Kb/s"});
-  for (const std::size_t n : loads) {
-    net::Network network(bench::random_network(), net::NetworkConfig{});
-    sim::WorkloadConfig w;
-    w.qos = bench::paper_qos();
-    w.qos_mix = {{bench::paper_qos(), 1.0}, {audio_qos(), 1.0}};
-    w.seed = bench::kWorkloadSeed;
-    sim::Simulator sim(network, w);
-    sim.populate(n);
-    sim.run_events(bench::fast_mode() ? 100 : 300);
-
-    const auto is_video = [](const net::DrConnection& c) {
-      return c.qos.bmax_kbps == 500.0;
-    };
-    const auto is_audio = [](const net::DrConnection& c) {
-      return c.qos.bmax_kbps == 192.0;
-    };
-    sim::TransitionRecorder video_rec(bench::paper_qos(), sim.now(), is_video);
-    sim::TransitionRecorder audio_rec(audio_qos(), sim.now(), is_audio);
-    const std::size_t half = (bench::fast_mode() ? 400 : 1200) / 2;
-    sim.attach_recorder(&video_rec);
-    sim.run_events(half);
-    sim.attach_recorder(&audio_rec);
-    sim.run_events(half);
-    sim.attach_recorder(nullptr);
-
-    std::size_t video_count = 0;
-    std::size_t audio_count = 0;
-    for (net::ConnectionId id : network.active_ids())
-      (is_video(network.connection(id)) ? video_count : audio_count) += 1;
-
-    const auto video_est = video_rec.estimates(sim.now(), network);
-    sim::WorkloadConfig video_w = w;
-    video_w.qos = bench::paper_qos();
-    const auto video_an = core::analyze(video_est, video_w);
-    const auto audio_est = audio_rec.estimates(sim.now(), network);
-    sim::WorkloadConfig audio_w = w;
-    audio_w.qos = audio_qos();
-    const auto audio_an = core::analyze(audio_est, audio_w);
-
-    table.add_row({std::to_string(n), "video", std::to_string(video_count),
-                   util::Table::num(video_est.mean_bandwidth_kbps),
-                   util::Table::num(video_an.average_bandwidth_kbps)});
-    table.add_row({"", "audio", std::to_string(audio_count),
-                   util::Table::num(audio_est.mean_bandwidth_kbps),
-                   util::Table::num(audio_an.average_bandwidth_kbps)});
+  const auto mean = [&](std::size_t point, auto field) {
+    return bench::rep_mean(rows, point, cli.reps,
+                           [&](const Row& r) { return r.*field; });
+  };
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    table.add_row({std::to_string(loads[i]), "video",
+                   std::to_string(static_cast<std::size_t>(
+                       std::llround(mean(i, &Row::video_count)))),
+                   util::Table::num(mean(i, &Row::video_sim)),
+                   util::Table::num(mean(i, &Row::video_markov))});
+    table.add_row({"", "audio",
+                   std::to_string(static_cast<std::size_t>(
+                       std::llround(mean(i, &Row::audio_count)))),
+                   util::Table::num(mean(i, &Row::audio_sim)),
+                   util::Table::num(mean(i, &Row::audio_markov))});
   }
   table.print(std::cout);
   std::cout << "# expectation: each class's chain tracks its own simulation "
                "mean; audio (smaller range) degrades later than video\n";
+  bench::finish_sweep(cli, "bench_multiclass", report);
   return 0;
 }

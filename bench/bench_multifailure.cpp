@@ -18,6 +18,7 @@
 //
 // Pass --audit to run the full invariant audit (internal + external ledger
 // recomputation) after every injected fault event.
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <numeric>
@@ -30,12 +31,38 @@
 #include "fault/scenario.hpp"
 #include "sim/simulator.hpp"
 
+namespace {
+
+struct Row {
+  std::size_t bursts = 0;
+  std::size_t activated = 0;
+  std::size_t victims = 0;
+  std::size_t pair = 0;
+  std::size_t degraded = 0;
+  std::size_t dropped = 0;
+  std::size_t p_hit = 0;
+  std::size_t b_hit = 0;
+  std::size_t dbl_hit = 0;
+  double unprotected_pct = 0.0;
+  double sim_kbps = 0.0;
+  std::size_t audit_checks = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace eqos;
+  // Strip the bench-local --audit flag before the shared CLI parse.
   bool audit = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--audit") == 0) audit = true;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--audit") == 0)
+      audit = true;
+    else
+      args.push_back(argv[i]);
   }
+  const bench::BenchCli cli =
+      bench::parse_cli(static_cast<int>(args.size()), args.data());
 
   std::cout << "== Multi-failure: SRLG burst size vs dependability ==\n";
   const topology::Graph& graph = bench::random_network();
@@ -47,72 +74,100 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> sizes{1, 2, 3, 4, 6, 8};
   if (bench::fast_mode()) sizes = {1, 3, 6};
-  const std::size_t warmup = bench::fast_mode() ? 200 : 500;
-  const std::size_t measure = bench::fast_mode() ? 1000 : 6000;
+  if (cli.smoke) sizes = {2};
+  const std::size_t populate = cli.smoke ? 300 : 2000;
+  const std::size_t warmup = cli.smoke ? 30 : (bench::fast_mode() ? 200 : 500);
+  const std::size_t measure = cli.smoke ? 100 : (bench::fast_mode() ? 1000 : 6000);
   const double intensity = 1e-4;
+
+  core::SweepReport report;
+  const auto rows = bench::run_point_grid(
+      cli, sizes.size(), report, [&](std::size_t point, std::size_t rep) {
+        const std::size_t k = sizes[point];
+        net::NetworkConfig ncfg;
+        ncfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+        net::Network network(graph, ncfg);
+
+        sim::WorkloadConfig wl;
+        wl.qos = bench::paper_qos();
+        wl.arrival_rate = 1e-3;
+        wl.termination_rate = 1e-3;
+        wl.failure_rate = 0.0;  // all failures come from the scenario
+        wl.seed = core::sweep_seed(bench::kWorkloadSeed, point, rep);
+        sim::Simulator sim(network, wl);
+        sim.populate(populate);
+
+        // Partition a shuffled link list into SRLGs of size k.
+        std::vector<topology::LinkId> links(graph.num_links());
+        std::iota(links.begin(), links.end(), topology::LinkId{0});
+        util::Rng shuffle_rng(bench::kTopologySeed ^ k);
+        shuffle_rng.shuffle(links);
+        fault::FaultScenario scenario;
+        for (std::size_t i = 0; i < links.size(); i += k) {
+          const std::size_t end = std::min(i + k, links.size());
+          scenario.define_group("srlg" + std::to_string(i / k),
+                                {links.begin() + static_cast<std::ptrdiff_t>(i),
+                                 links.begin() + static_cast<std::ptrdiff_t>(end)});
+        }
+        scenario.stochastic().group_failure_rate =
+            intensity / static_cast<double>(k);
+        scenario.stochastic().repair.kind = fault::RepairDistribution::kExponential;
+        scenario.stochastic().repair.rate = 1e-2;
+        scenario.stochastic().auto_repair = true;
+        sim.load_scenario(scenario);
+
+        fault::InvariantAuditor auditor(network);
+        if (audit) sim.injector().set_auditor(&auditor);
+
+        sim.run_events(warmup);
+        sim::TransitionRecorder recorder(wl.qos, sim.now());
+        sim.attach_recorder(&recorder);
+        sim.run_events(measure);
+        const sim::ModelEstimates est = recorder.estimates(sim.now(), network);
+        const net::NetworkStats& ns = network.stats();
+
+        Row row;
+        row.bursts = sim.injector().stats().burst_failures;
+        row.activated = ns.backups_activated;
+        row.victims = ns.unprotected_victims;
+        row.pair = ns.reestablished_pair;
+        row.degraded = ns.reestablished_degraded;
+        row.dropped = ns.drop_causes.total();
+        row.p_hit = ns.drop_causes.primary_hit;
+        row.b_hit = ns.drop_causes.backup_hit_while_active;
+        row.dbl_hit = ns.drop_causes.double_hit;
+        row.unprotected_pct = 100.0 * est.unprotected_fraction;
+        row.sim_kbps = est.mean_bandwidth_kbps;
+        row.audit_checks = auditor.checks_run();
+        return row;
+      });
 
   util::Table table({"srlg k", "bursts", "activated", "victims", "pair", "degraded",
                      "dropped", "p-hit", "b-hit", "dbl-hit", "unprot %", "sim Kb/s"});
+  const auto mean = [&](std::size_t point, auto field) {
+    return bench::rep_mean(rows, point, cli.reps,
+                           [&](const Row& r) { return r.*field; });
+  };
+  const auto count = [&](std::size_t point, auto field) {
+    return std::to_string(
+        static_cast<std::size_t>(std::llround(mean(point, field))));
+  };
   std::size_t audit_checks = 0;
-  for (const std::size_t k : sizes) {
-    net::NetworkConfig ncfg;
-    ncfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
-    net::Network network(graph, ncfg);
-
-    sim::WorkloadConfig wl;
-    wl.qos = bench::paper_qos();
-    wl.arrival_rate = 1e-3;
-    wl.termination_rate = 1e-3;
-    wl.failure_rate = 0.0;  // all failures come from the scenario
-    wl.seed = bench::kWorkloadSeed;
-    sim::Simulator sim(network, wl);
-    sim.populate(2000);
-
-    // Partition a shuffled link list into SRLGs of size k.
-    std::vector<topology::LinkId> links(graph.num_links());
-    std::iota(links.begin(), links.end(), topology::LinkId{0});
-    util::Rng shuffle_rng(bench::kTopologySeed ^ k);
-    shuffle_rng.shuffle(links);
-    fault::FaultScenario scenario;
-    for (std::size_t i = 0; i < links.size(); i += k) {
-      const std::size_t end = std::min(i + k, links.size());
-      scenario.define_group("srlg" + std::to_string(i / k),
-                            {links.begin() + static_cast<std::ptrdiff_t>(i),
-                             links.begin() + static_cast<std::ptrdiff_t>(end)});
-    }
-    scenario.stochastic().group_failure_rate = intensity / static_cast<double>(k);
-    scenario.stochastic().repair.kind = fault::RepairDistribution::kExponential;
-    scenario.stochastic().repair.rate = 1e-2;
-    scenario.stochastic().auto_repair = true;
-    sim.load_scenario(scenario);
-
-    fault::InvariantAuditor auditor(network);
-    if (audit) sim.injector().set_auditor(&auditor);
-
-    sim.run_events(warmup);
-    sim::TransitionRecorder recorder(wl.qos, sim.now());
-    sim.attach_recorder(&recorder);
-    sim.run_events(measure);
-    const sim::ModelEstimates est = recorder.estimates(sim.now(), network);
-    const net::NetworkStats& ns = network.stats();
-    audit_checks += auditor.checks_run();
-
-    table.add_row({std::to_string(k), std::to_string(sim.injector().stats().burst_failures),
-                   std::to_string(ns.backups_activated),
-                   std::to_string(ns.unprotected_victims),
-                   std::to_string(ns.reestablished_pair),
-                   std::to_string(ns.reestablished_degraded),
-                   std::to_string(ns.drop_causes.total()),
-                   std::to_string(ns.drop_causes.primary_hit),
-                   std::to_string(ns.drop_causes.backup_hit_while_active),
-                   std::to_string(ns.drop_causes.double_hit),
-                   util::Table::num(100.0 * est.unprotected_fraction, 3),
-                   util::Table::num(est.mean_bandwidth_kbps)});
+  for (const Row& r : rows) audit_checks += r.audit_checks;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    table.add_row({std::to_string(sizes[i]), count(i, &Row::bursts),
+                   count(i, &Row::activated), count(i, &Row::victims),
+                   count(i, &Row::pair), count(i, &Row::degraded),
+                   count(i, &Row::dropped), count(i, &Row::p_hit),
+                   count(i, &Row::b_hit), count(i, &Row::dbl_hit),
+                   util::Table::num(mean(i, &Row::unprotected_pct), 3),
+                   util::Table::num(mean(i, &Row::sim_kbps))});
   }
   table.print(std::cout);
   if (audit) std::cout << "# audit checks passed: " << audit_checks << "\n";
   std::cout << "# expectation: victims / degraded / drops grow with k at constant "
                "link-failure intensity; kReestablish converts most strandings into "
                "pair or degraded re-establishments\n";
+  bench::finish_sweep(cli, "bench_multifailure", report);
   return 0;
 }

@@ -11,24 +11,9 @@
 
 #include "common.hpp"
 
-namespace {
-
-struct Cell {
-  double markov_kbps = 0.0;
-  double sim_kbps = 0.0;
-  std::size_t established = 0;
-};
-
-Cell run_cell(const eqos::topology::Graph& g, std::size_t tried, double increment) {
-  const auto r =
-      eqos::core::run_experiment(g, eqos::bench::paper_experiment(tried, increment));
-  return Cell{r.analytic_paper_kbps, r.sim_mean_bandwidth_kbps, r.established};
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Table 1: average bandwidth vs increment size "
                "(5-state = 100 Kb/s, 9-state = 50 Kb/s) ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
@@ -39,21 +24,37 @@ int main() {
 
   std::vector<std::size_t> loads{1000, 2000, 3000, 4000, 5000};
   if (bench::fast_mode()) loads = {1000, 3000, 5000};
+  if (cli.smoke) loads = {1000};
+
+  // Four cells per row: (Random, Tier) x (100 Kb/s, 50 Kb/s increment).
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t n : loads) {
+    for (const auto* g : {&bench::random_network(), &bench::tier_network()}) {
+      for (const double increment : {100.0, 50.0}) {
+        auto cfg = bench::paper_experiment(n, increment);
+        if (cli.smoke) cfg = bench::smoke_config(cfg);
+        points.push_back({g, cfg, std::to_string(n)});
+      }
+    }
+  }
+  const auto sweep = core::run_sweep(points, cli.sweep_options());
 
   util::Table table({"tried", "Random-5st", "Random-9st", "Tier-5st", "Tier-9st",
                      "Random est.", "Tier est."});
-  for (const std::size_t n : loads) {
-    const Cell r5 = run_cell(bench::random_network(), n, 100.0);
-    const Cell r9 = run_cell(bench::random_network(), n, 50.0);
-    const Cell t5 = run_cell(bench::tier_network(), n, 100.0);
-    const Cell t9 = run_cell(bench::tier_network(), n, 50.0);
-    table.add_row({std::to_string(n), util::Table::num(r5.markov_kbps),
-                   util::Table::num(r9.markov_kbps), util::Table::num(t5.markov_kbps),
-                   util::Table::num(t9.markov_kbps), std::to_string(r9.established),
-                   std::to_string(t9.established)});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto r5 = sweep.point_mean(i * 4 + 0);
+    const auto r9 = sweep.point_mean(i * 4 + 1);
+    const auto t5 = sweep.point_mean(i * 4 + 2);
+    const auto t9 = sweep.point_mean(i * 4 + 3);
+    table.add_row({std::to_string(loads[i]), util::Table::num(r5.analytic_paper_kbps),
+                   util::Table::num(r9.analytic_paper_kbps),
+                   util::Table::num(t5.analytic_paper_kbps),
+                   util::Table::num(t9.analytic_paper_kbps),
+                   std::to_string(r9.established), std::to_string(t9.established)});
   }
   table.print(std::cout);
   std::cout << "# expectation: 5-state ~ 9-state in every row; Tier est. << "
                "Random est.\n";
+  bench::finish_sweep(cli, "bench_table1", sweep.report);
   return 0;
 }

@@ -20,13 +20,19 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== Extension: transient recovery from a global elastic "
                "preemption (3000 DR-connections) ==\n";
   bench::print_graph_header("Random (Waxman)", bench::random_network());
+  // One sequential trajectory: there is nothing to fan out, so the shared
+  // --threads/--reps flags are accepted but have no effect here.
+  if (cli.threads != 1 || cli.reps != 1)
+    std::cout << "# single sequential trajectory; --threads/--reps ignored\n";
 
   auto cfg = bench::paper_experiment(3000);
+  if (cli.smoke) cfg = bench::smoke_config(cfg);
   net::Network network(bench::random_network(), cfg.network);
   sim::Simulator sim(network, cfg.workload);
   sim.populate(cfg.target_connections);
@@ -70,8 +76,10 @@ int main() {
   util::Table table({"t (x1000)", "sim Kb/s", "chain Kb/s"});
   table.add_row({"0.0", util::Table::num(network.mean_reserved_kbps()),
                  util::Table::num(chain.mean_bandwidth_at(pi0, 0.0))});
-  for (const double h : {2000.0, 5000.0, 10000.0, 20000.0, 40000.0, 80000.0,
-                         160000.0, 320000.0}) {
+  std::vector<double> horizons{2000.0,  5000.0,   10000.0,  20000.0,
+                               40000.0, 80000.0, 160000.0, 320000.0};
+  if (cli.smoke) horizons = {2000.0, 10000.0};
+  for (const double h : horizons) {
     sim.run_until(t0 + h);
     table.add_row({util::Table::num(h / 1000.0, 0),
                    util::Table::num(network.mean_reserved_kbps()),

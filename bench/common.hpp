@@ -9,11 +9,15 @@
 // are what EXPERIMENTS.md records.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "topology/metrics.hpp"
 #include "topology/transit_stub.hpp"
 #include "topology/waxman.hpp"
@@ -27,6 +31,130 @@ inline constexpr std::uint64_t kWorkloadSeed = 4242;
 inline bool fast_mode() {
   const char* env = std::getenv("EQOS_FAST");
   return env != nullptr && std::string(env) != "0";
+}
+
+/// Shared command line of every bench driver.
+///
+///   --threads N   sweep worker threads (default 1 = historical serial
+///                 behavior; 0 = hardware concurrency; env EQOS_THREADS
+///                 supplies the default)
+///   --reps N      independent replications per sweep point, averaged in the
+///                 printed tables (default 1 = historical output)
+///   --smoke       one tiny point per bench (the ctest `bench-smoke` label)
+///   --json PATH   write the sweep throughput report as JSON
+///
+/// Results are bit-identical for every --threads value (see core/sweep.hpp);
+/// --reps changes the printed numbers only because more seeds are averaged.
+struct BenchCli {
+  std::size_t threads = 1;
+  std::size_t reps = 1;
+  bool smoke = false;
+  std::string json;
+
+  [[nodiscard]] core::SweepOptions sweep_options() const {
+    core::SweepOptions o;
+    o.threads = threads;
+    o.reps = reps;
+    return o;
+  }
+};
+
+/// Parses the shared flags; exits on --help or malformed input.
+inline BenchCli parse_cli(int argc, char** argv) {
+  BenchCli cli;
+  if (const char* env = std::getenv("EQOS_THREADS"))
+    cli.threads = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": missing value after " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      cli.threads = static_cast<std::size_t>(std::strtoull(need_value(i), nullptr, 10));
+      ++i;
+    } else if (arg == "--reps") {
+      cli.reps = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoull(need_value(i), nullptr, 10)));
+      ++i;
+    } else if (arg == "--smoke") {
+      cli.smoke = true;
+    } else if (arg == "--json") {
+      cli.json = need_value(i);
+      ++i;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--threads N] [--reps N] [--smoke] [--json PATH]\n"
+                   "  --threads N  sweep workers (1 = serial, 0 = hardware)\n"
+                   "  --reps N     replications per point (averaged)\n"
+                   "  --smoke      single tiny point (CI smoke test)\n"
+                   "  --json PATH  write sweep throughput report as JSON\n";
+      std::exit(0);
+    } else {
+      std::cerr << argv[0] << ": unknown flag " << arg << " (see --help)\n";
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// Runs `fn(point, rep)` for every (point, rep) of an n-point grid across
+/// the CLI's worker threads and fills `report` with the throughput
+/// measurement.  The generic path for benches whose per-point protocol is
+/// not run_experiment.  Results land at [point * reps + rep]; determinism
+/// follows from each fn call owning its state and seeding reps with
+/// core::sweep_seed (rep 0 keeps the base seed — the historical output).
+template <typename Fn>
+auto run_point_grid(const BenchCli& cli, std::size_t n, core::SweepReport& report,
+                    Fn&& fn) {
+  const std::size_t total = n * cli.reps;
+  const auto start = std::chrono::steady_clock::now();
+  auto results = core::parallel_points(
+      total, cli.threads,
+      [&](std::size_t i) { return fn(i / cli.reps, i % cli.reps); });
+  report.points = n;
+  report.reps = cli.reps;
+  report.threads =
+      cli.threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                       : cli.threads;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.points_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(total) / report.wall_seconds
+          : 0.0;
+  return results;
+}
+
+/// Mean of `fn(rep_result)` over one point's replications in a
+/// run_point_grid result vector.
+template <typename R, typename Fn>
+double rep_mean(const std::vector<R>& results, std::size_t point, std::size_t reps,
+                Fn&& fn) {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < reps; ++r)
+    sum += static_cast<double>(fn(results[point * reps + r]));
+  return sum / static_cast<double>(reps);
+}
+
+/// Emits the sweep throughput line and the optional JSON report.  The line
+/// is suppressed for a default invocation (serial, 1 rep, no JSON) so the
+/// historical bench output stays byte-identical.
+inline void finish_sweep(const BenchCli& cli, const char* bench,
+                         const core::SweepReport& report) {
+  if (cli.threads != 1 || cli.reps != 1 || cli.smoke || !cli.json.empty())
+    std::cout << "# sweep: " << report.points << " points x " << report.reps
+              << " reps on " << report.threads << " thread(s), "
+              << util::Table::num(report.wall_seconds, 3) << " s wall ("
+              << util::Table::num(report.points_per_second, 2) << " points/s)\n";
+  if (!cli.json.empty()) {
+    if (!core::write_sweep_json(cli.json, bench, report))
+      std::cerr << bench << ": cannot write " << cli.json << "\n";
+  }
 }
 
 /// The paper's QoS spec; increment selects the 9-state (50) or 5-state (100)
@@ -52,6 +180,16 @@ inline core::ExperimentConfig paper_experiment(std::size_t connections,
   cfg.target_connections = connections;
   cfg.warmup_events = fast_mode() ? 100 : 300;
   cfg.measure_events = fast_mode() ? 400 : 1500;
+  return cfg;
+}
+
+/// Shrinks an experiment configuration to smoke size (a few dozen events);
+/// used by every bench under --smoke so the ctest `bench-smoke` label runs
+/// in seconds.
+inline core::ExperimentConfig smoke_config(core::ExperimentConfig cfg) {
+  cfg.target_connections = std::min<std::size_t>(cfg.target_connections, 200);
+  cfg.warmup_events = 20;
+  cfg.measure_events = 60;
   return cfg;
 }
 

@@ -1,25 +1,43 @@
 #include "core/experiment.hpp"
 
+#include <chrono>
+
 #include "core/ideal.hpp"
 
 namespace eqos::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point& mark) {
+  const Clock::time_point now = Clock::now();
+  const double s = std::chrono::duration<double>(now - mark).count();
+  mark = now;
+  return s;
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const topology::Graph& graph,
                                 const ExperimentConfig& config) {
   ExperimentResult result;
+  Clock::time_point mark = Clock::now();
 
   net::Network network(graph, config.network);
   sim::Simulator simulator(network, config.workload);
 
   result.established = simulator.populate(config.target_connections);
   result.attempted = simulator.stats().populate_attempts;
+  result.timings.populate_seconds = seconds_since(mark);
 
   if (config.warmup_events > 0) simulator.run_events(config.warmup_events);
+  result.timings.warmup_seconds = seconds_since(mark);
 
   sim::TransitionRecorder recorder(config.workload.qos, simulator.now());
   simulator.attach_recorder(&recorder);
   simulator.run_events(config.measure_events);
   simulator.attach_recorder(nullptr);
+  result.timings.measure_seconds = seconds_since(mark);
 
   result.estimates = recorder.estimates(simulator.now(), network);
   result.sim_mean_bandwidth_kbps = result.estimates.mean_bandwidth_kbps;
@@ -43,6 +61,7 @@ ExperimentResult run_experiment(const topology::Graph& graph,
   }
   result.network_stats = network.stats();
   result.sim_stats = simulator.stats();
+  result.timings.analyze_seconds = seconds_since(mark);
   return result;
 }
 

@@ -28,6 +28,28 @@ struct ExperimentConfig {
   std::size_t measure_events = 2000;
 };
 
+/// Wall-clock cost of one experiment, split by protocol phase.  Timing is
+/// measurement metadata, not simulation output: every other field of
+/// ExperimentResult is a deterministic function of (graph, config), while
+/// these depend on the hardware and are excluded from reproducibility
+/// comparisons (tests/test_sweep.cpp compares results with timings zeroed).
+struct PhaseTimings {
+  double populate_seconds = 0.0;  ///< initial population establishment
+  double warmup_seconds = 0.0;    ///< discarded churn
+  double measure_seconds = 0.0;   ///< recorded churn
+  double analyze_seconds = 0.0;   ///< chain solve + analytic models
+  [[nodiscard]] double total_seconds() const noexcept {
+    return populate_seconds + warmup_seconds + measure_seconds + analyze_seconds;
+  }
+  PhaseTimings& operator+=(const PhaseTimings& o) noexcept {
+    populate_seconds += o.populate_seconds;
+    warmup_seconds += o.warmup_seconds;
+    measure_seconds += o.measure_seconds;
+    analyze_seconds += o.analyze_seconds;
+    return *this;
+  }
+};
+
 /// Everything an experiment produces.
 struct ExperimentResult {
   std::size_t attempted = 0;    ///< establishment attempts during populate
@@ -48,6 +70,7 @@ struct ExperimentResult {
   AnalysisResult refined_analysis;
   net::NetworkStats network_stats;
   sim::SimulationStats sim_stats;
+  PhaseTimings timings;  ///< wall-clock phase breakdown (non-deterministic)
 };
 
 /// Runs the two-phase protocol on (a copy of) `graph`.

@@ -1,0 +1,182 @@
+#include "core/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace eqos::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::size_t mean_count(const std::vector<ExperimentResult>& reps,
+                       std::size_t ExperimentResult::* field) {
+  double sum = 0.0;
+  for (const auto& r : reps) sum += static_cast<double>(r.*field);
+  return static_cast<std::size_t>(
+      std::llround(sum / static_cast<double>(reps.size())));
+}
+
+double mean_value(const std::vector<ExperimentResult>& reps,
+                  double ExperimentResult::* field) {
+  double sum = 0.0;
+  for (const auto& r : reps) sum += r.*field;
+  return sum / static_cast<double>(reps.size());
+}
+
+template <typename S, typename T>
+void average_member(const std::vector<ExperimentResult>& reps, S& out,
+                    S ExperimentResult::* group, T S::* field) {
+  double sum = 0.0;
+  for (const auto& r : reps) sum += static_cast<double>(r.*group.*field);
+  const double mean = sum / static_cast<double>(reps.size());
+  if constexpr (std::is_floating_point_v<T>)
+    out.*field = mean;
+  else
+    out.*field = static_cast<T>(std::llround(mean));
+}
+
+}  // namespace
+
+std::uint64_t sweep_seed(std::uint64_t base, std::size_t point, std::size_t rep) {
+  if (rep == 0) return base;  // single-rep sweeps replay the serial benches
+  return util::Rng::substream_seed(base, sweep_substream(point, rep));
+}
+
+std::vector<ExperimentResult> SweepOutcome::point_results(std::size_t point) const {
+  const std::size_t reps = report.reps == 0 ? 1 : report.reps;
+  const std::size_t begin = point * reps;
+  if (begin + reps > results.size())
+    throw std::out_of_range("sweep: point index out of range");
+  return {results.begin() + static_cast<std::ptrdiff_t>(begin),
+          results.begin() + static_cast<std::ptrdiff_t>(begin + reps)};
+}
+
+ExperimentResult SweepOutcome::point_mean(std::size_t point) const {
+  return mean_result(point_results(point));
+}
+
+SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
+                       const SweepOptions& options) {
+  const std::size_t reps = options.reps == 0 ? 1 : options.reps;
+  std::size_t threads = options.threads;
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  for (const SweepPoint& p : points)
+    if (p.graph == nullptr)
+      throw std::invalid_argument("sweep: point without a graph");
+
+  SweepOutcome outcome;
+  outcome.results.resize(points.size() * reps);
+  outcome.report.points = points.size();
+  outcome.report.reps = reps;
+  outcome.report.threads = threads;
+
+  const auto run_one = [&](std::size_t slot) {
+    const std::size_t point = slot / reps;
+    const std::size_t rep = slot % reps;
+    const SweepPoint& p = points[point];
+    ExperimentConfig cfg = p.config;
+    cfg.workload.seed = sweep_seed(p.config.workload.seed, point, rep);
+    outcome.results[slot] = run_experiment(*p.graph, cfg);
+  };
+
+  const Clock::time_point start = Clock::now();
+  const std::size_t total = outcome.results.size();
+  if (threads <= 1 || total <= 1) {
+    for (std::size_t slot = 0; slot < total; ++slot) run_one(slot);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(total, run_one);
+  }
+  outcome.report.wall_seconds = elapsed_seconds(start);
+  if (outcome.report.wall_seconds > 0.0)
+    outcome.report.points_per_second =
+        static_cast<double>(total) / outcome.report.wall_seconds;
+  for (const ExperimentResult& r : outcome.results)
+    outcome.report.phases += r.timings;
+  return outcome;
+}
+
+ExperimentResult mean_result(const std::vector<ExperimentResult>& reps) {
+  if (reps.empty()) return {};
+  if (reps.size() == 1) return reps.front();
+
+  // Nested model structures (matrices, analyses) come from rep 0; every
+  // scalar the benches print is averaged below.
+  ExperimentResult out = reps.front();
+  out.attempted = mean_count(reps, &ExperimentResult::attempted);
+  out.established = mean_count(reps, &ExperimentResult::established);
+  out.active_at_end = mean_count(reps, &ExperimentResult::active_at_end);
+  for (auto field :
+       {&ExperimentResult::sim_mean_bandwidth_kbps, &ExperimentResult::analytic_paper_kbps,
+        &ExperimentResult::analytic_refined_kbps, &ExperimentResult::ideal_kbps,
+        &ExperimentResult::ideal_clamped_kbps, &ExperimentResult::mean_hops,
+        &ExperimentResult::protected_fraction})
+    out.*field = mean_value(reps, field);
+
+  for (auto field : {&sim::ModelEstimates::pf, &sim::ModelEstimates::ps,
+                     &sim::ModelEstimates::pf_termination, &sim::ModelEstimates::pf_failure,
+                     &sim::ModelEstimates::mean_bandwidth_kbps,
+                     &sim::ModelEstimates::unprotected_time,
+                     &sim::ModelEstimates::unprotected_fraction})
+    average_member(reps, out.estimates, &ExperimentResult::estimates, field);
+
+  for (auto field :
+       {&net::NetworkStats::requests, &net::NetworkStats::accepted,
+        &net::NetworkStats::rejected_no_primary, &net::NetworkStats::rejected_no_backup,
+        &net::NetworkStats::terminated, &net::NetworkStats::failures_injected,
+        &net::NetworkStats::repairs, &net::NetworkStats::backups_activated,
+        &net::NetworkStats::connections_dropped, &net::NetworkStats::backups_reestablished,
+        &net::NetworkStats::backups_evicted, &net::NetworkStats::unprotected_victims,
+        &net::NetworkStats::reestablished_pair, &net::NetworkStats::reestablished_degraded,
+        &net::NetworkStats::quanta_adjustments})
+    average_member(reps, out.network_stats, &ExperimentResult::network_stats, field);
+
+  for (auto field :
+       {&sim::SimulationStats::arrival_events, &sim::SimulationStats::termination_events,
+        &sim::SimulationStats::failure_events, &sim::SimulationStats::repair_events,
+        &sim::SimulationStats::populate_attempts, &sim::SimulationStats::populate_accepted})
+    average_member(reps, out.sim_stats, &ExperimentResult::sim_stats, field);
+
+  for (auto field : {&PhaseTimings::populate_seconds, &PhaseTimings::warmup_seconds,
+                     &PhaseTimings::measure_seconds, &PhaseTimings::analyze_seconds})
+    average_member(reps, out.timings, &ExperimentResult::timings, field);
+  return out;
+}
+
+bool write_sweep_json(const std::string& path, const std::string& bench,
+                      const SweepReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto num = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  out << "{\n";
+  out << "  \"bench\": \"" << bench << "\",\n";
+  out << "  \"points\": " << report.points << ",\n";
+  out << "  \"reps\": " << report.reps << ",\n";
+  out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"wall_seconds\": " << num(report.wall_seconds) << ",\n";
+  out << "  \"serial_wall_seconds\": " << num(report.serial_wall_seconds) << ",\n";
+  out << "  \"points_per_second\": " << num(report.points_per_second) << ",\n";
+  out << "  \"speedup_vs_serial\": " << num(report.speedup_vs_serial) << ",\n";
+  out << "  \"phases\": {\n";
+  out << "    \"populate_seconds\": " << num(report.phases.populate_seconds) << ",\n";
+  out << "    \"warmup_seconds\": " << num(report.phases.warmup_seconds) << ",\n";
+  out << "    \"measure_seconds\": " << num(report.phases.measure_seconds) << ",\n";
+  out << "    \"analyze_seconds\": " << num(report.phases.analyze_seconds) << "\n";
+  out << "  }\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace eqos::core

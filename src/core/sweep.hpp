@@ -1,0 +1,129 @@
+// Parallel experiment sweeps.
+//
+// Every figure of the paper is a sweep — offered load × failure rate ×
+// topology — and its points are embarrassingly parallel: run_experiment is
+// a pure function of (graph, config).  run_sweep executes a vector of such
+// points on a fixed thread pool (util::ThreadPool) and guarantees results
+// **bit-identical regardless of thread count**:
+//
+//  * each (point, replication) computes from its own Network/Simulator and
+//    its own RNG stream — no shared mutable state;
+//  * replication r of point i uses the point's own workload seed for r = 0
+//    (so a single-rep sweep reproduces the historical serial output of the
+//    benches exactly) and the SplitMix64 sub-stream
+//    util::Rng::substream_seed(seed, sweep_substream(i, r)) for r > 0, so
+//    sub-seeds are derivable without any cross-point coordination;
+//  * results land in slots indexed by (point, rep) — claim order is
+//    irrelevant.
+//
+// The harness also measures throughput (points/sec, per-phase wall time)
+// and can serialize the measurement as JSON (BENCH_sweep.json) so the perf
+// trajectory is tracked across PRs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eqos::core {
+
+/// One point of a sweep: an experiment configuration bound to a topology.
+/// The graph is borrowed and must outlive the sweep; several points may
+/// share one graph (it is only read).
+struct SweepPoint {
+  const topology::Graph* graph = nullptr;
+  ExperimentConfig config;
+  std::string label;  ///< free-form, carried into reports
+};
+
+/// Execution options of a sweep.
+struct SweepOptions {
+  /// Worker threads.  1 (the default) runs points inline on the calling
+  /// thread — byte-for-byte the historical serial behavior.  0 means
+  /// hardware concurrency.
+  std::size_t threads = 1;
+  /// Independent replications per point.  Rep 0 keeps each point's
+  /// configured workload seed; rep r > 0 derives a SplitMix64 sub-seed.
+  std::size_t reps = 1;
+};
+
+/// Throughput measurement of one run_sweep call.
+struct SweepReport {
+  std::size_t points = 0;
+  std::size_t reps = 0;
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;        ///< the parallel run
+  double serial_wall_seconds = 0.0; ///< optional 1-thread baseline (0 = unmeasured)
+  double points_per_second = 0.0;   ///< (points*reps) / wall_seconds
+  /// serial_wall_seconds / wall_seconds when the baseline was measured.
+  double speedup_vs_serial = 0.0;
+  /// Sum of per-(point,rep) phase wall times (CPU-side work breakdown).
+  PhaseTimings phases;
+};
+
+/// Results of a sweep: `results[point * reps + rep]`.
+struct SweepOutcome {
+  std::vector<ExperimentResult> results;
+  SweepReport report;
+
+  /// Replications of one point, rep-major.
+  [[nodiscard]] std::vector<ExperimentResult> point_results(std::size_t point) const;
+  /// Rep-averaged result of one point (see mean_result); rep 0's nested
+  /// model structures are kept as representative.
+  [[nodiscard]] ExperimentResult point_mean(std::size_t point) const;
+};
+
+/// The sub-stream id replication `rep` of point `point` draws its seed
+/// from (rep >= 1; rep 0 keeps the configured seed).  Point-major so seeds
+/// stay distinct across an entire sweep whatever its shape.
+[[nodiscard]] constexpr std::uint64_t sweep_substream(std::size_t point,
+                                                      std::size_t rep) noexcept {
+  return (static_cast<std::uint64_t>(point) << 20) | static_cast<std::uint64_t>(rep);
+}
+
+/// The effective workload seed of (point, rep) under `base` (the point's
+/// configured seed).
+[[nodiscard]] std::uint64_t sweep_seed(std::uint64_t base, std::size_t point,
+                                       std::size_t rep);
+
+/// Runs every (point, rep) across `options.threads` workers.  Results are
+/// bit-identical for any thread count (timings excepted).  Exceptions from
+/// points propagate after all workers drain.
+[[nodiscard]] SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
+                                     const SweepOptions& options);
+
+/// Element-wise replication average: scalar doubles are averaged, counters
+/// are averaged and rounded to the nearest integer, per-phase timings are
+/// averaged, and nested model structures (matrices, analyses) are taken
+/// from the first replication as representative.  Empty input returns a
+/// default result.
+[[nodiscard]] ExperimentResult mean_result(const std::vector<ExperimentResult>& reps);
+
+/// Serializes a report (plus environment metadata: hardware concurrency,
+/// build type) as a JSON object to `path`.  `bench` names the producing
+/// binary.  Returns false when the file cannot be written.
+bool write_sweep_json(const std::string& path, const std::string& bench,
+                      const SweepReport& report);
+
+/// Runs `fn(i)` for i in [0, n) with `threads` workers and collects the
+/// returned values in index order; threads <= 1 runs inline (exact serial
+/// execution).  The generic building block behind run_sweep, for bench
+/// drivers whose per-point protocol is not run_experiment.
+template <typename Fn>
+auto parallel_points(std::size_t n, std::size_t threads, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> results(n);
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  util::ThreadPool pool(threads);
+  pool.parallel_for(n, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace eqos::core

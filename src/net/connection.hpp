@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "net/qos.hpp"
 #include "topology/paths.hpp"
@@ -41,6 +42,12 @@ struct DrConnection {
   /// Links of the backup that also lie on the primary (only non-zero for
   /// maximally — not fully — link-disjoint backups).
   std::size_t backup_overlap_links = 0;
+
+  /// Position of this connection's entry in the network's per-link primary
+  /// registry (`primaries_on_link_[primary.links[i]][registry_slots[i]] ==
+  /// id`), maintained by Network::register_primary / unregister_primary so
+  /// deregistration is a swap-erase instead of a per-link linear scan.
+  std::vector<std::uint32_t> registry_slots;
 
   /// Elastic grant in increments beyond bmin (0 .. qos.max_extra_quanta()).
   std::size_t extra_quanta = 0;

@@ -23,6 +23,18 @@ struct Label {
   }
 };
 
+/// Per-thread scratch reused across floods: label, frontier, and
+/// frontier-membership storage would otherwise be allocated per call, and a
+/// flood runs per establishment when the distributed protocol is simulated.
+/// Thread-local (not shared) so parallel sweep workers never contend; each
+/// call fully re-initializes what it reads, so reuse cannot change results.
+struct FloodScratch {
+  std::vector<Label> labels;
+  std::vector<topology::NodeId> frontier;
+  std::vector<topology::NodeId> next;
+  std::vector<char> in_next;  // membership flags for `next` (O(1) dedup)
+};
+
 }  // namespace
 
 FloodResult flood_route(const topology::Graph& graph,
@@ -34,16 +46,21 @@ FloodResult flood_route(const topology::Graph& graph,
   if (links.size() != graph.num_links())
     throw std::invalid_argument("flood_route: link table size mismatch");
 
+  thread_local FloodScratch scratch;
   FloodResult result;
-  std::vector<Label> labels(graph.num_nodes());
+  std::vector<Label>& labels = scratch.labels;
+  labels.assign(graph.num_nodes(), Label{});
   labels[src] = Label{0, std::numeric_limits<double>::infinity(), 0, true};
 
   // Synchronous rounds: `frontier` holds nodes whose best copy arrived in
   // the previous round and must be forwarded.
-  std::vector<topology::NodeId> frontier{src};
+  std::vector<topology::NodeId>& frontier = scratch.frontier;
+  std::vector<topology::NodeId>& next = scratch.next;
+  frontier.assign(1, src);
+  scratch.in_next.assign(graph.num_nodes(), 0);
   for (std::size_t round = 1; round <= hop_bound && !frontier.empty(); ++round) {
     result.rounds = round;
-    std::vector<topology::NodeId> next;
+    next.clear();
     for (const topology::NodeId u : frontier) {
       const Label& from = labels[u];
       // A copy whose label was superseded after scheduling is stale.
@@ -56,15 +73,17 @@ FloodResult flood_route(const topology::Graph& graph,
         Label& at = labels[adj.neighbor];
         if (at.better_than(round, allowance)) continue;  // worse copy: discard
         at = Label{round, allowance, adj.link, true};
-        if (adj.neighbor != dst &&
-            std::find(next.begin(), next.end(), adj.neighbor) == next.end())
+        if (adj.neighbor != dst && !scratch.in_next[adj.neighbor]) {
+          scratch.in_next[adj.neighbor] = 1;
           next.push_back(adj.neighbor);
+        }
       }
     }
     // The destination confirms as soon as any copy arrives; copies still in
     // flight at the same round already competed via better_than above.
     if (labels[dst].seen) break;
-    frontier = std::move(next);
+    frontier.swap(next);
+    for (const topology::NodeId u : frontier) scratch.in_next[u] = 0;
   }
 
   if (!labels[dst].seen) return result;

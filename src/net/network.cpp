@@ -4,27 +4,20 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 namespace eqos::net {
 namespace {
 
-/// Priority of a candidate under the coefficient scheme: the next increment
-/// goes to the channel with the lowest utility-weighted level, ties broken
-/// by id for determinism.
-struct CoefficientKey {
-  double level;
-  ConnectionId id;
-  friend bool operator<(const CoefficientKey& a, const CoefficientKey& b) {
-    return a.level != b.level ? a.level < b.level : a.id < b.id;
-  }
-  friend bool operator>(const CoefficientKey& a, const CoefficientKey& b) {
-    return b < a;
-  }
-};
+/// Is `v` ascending with no duplicates?  Debug-only precondition check for
+/// redistribute (callers merge already-sorted chaining sets).
+[[maybe_unused]] bool sorted_unique(const std::vector<ConnectionId>& v) {
+  return std::is_sorted(v.begin(), v.end()) &&
+         std::adjacent_find(v.begin(), v.end()) == v.end();
+}
 
 }  // namespace
 
@@ -34,7 +27,8 @@ Network::Network(topology::Graph graph, NetworkConfig config)
       links_(graph_.num_links(), LinkState(config.link_capacity_kbps)),
       backups_(graph_.num_links(), config.backup_multiplexing),
       router_(graph_, links_, backups_, config.route_policy),
-      primaries_on_link_(graph_.num_links()) {
+      primaries_on_link_(graph_.num_links()),
+      direct_union_scratch_(graph_.num_links()) {
   if (graph_.num_nodes() < 2)
     throw std::invalid_argument("network: topology needs at least two nodes");
 }
@@ -66,25 +60,42 @@ util::DynamicBitset Network::path_bits(const topology::Path& p) const {
 
 // ---- Chaining classification ------------------------------------------------
 
-Network::ChainSets Network::classify_against(const util::DynamicBitset& event_links,
-                                             ConnectionId exclude) const {
-  ChainSets sets;
-  util::DynamicBitset direct_union(graph_.num_links());
-  for (ConnectionId id : active_ids_) {
-    if (id == exclude) continue;
-    const DrConnection& c = connections_.at(id);
-    if (c.primary_links.intersects(event_links)) {
-      sets.direct.push_back(id);
-      direct_union |= c.primary_links;
-    }
+const Network::ChainSets& Network::classify_against(
+    const std::vector<topology::LinkId>& event_path_links,
+    const util::DynamicBitset& event_links, ConnectionId exclude) const {
+  ChainSets& sets = chain_scratch_;
+  sets.direct.clear();
+  sets.indirect.clear();
+
+  // Direct members come straight from the per-link registry: only the
+  // event's own links are inspected, not the whole active set.  A channel
+  // traversing k event links appears k times; sort + unique restores the
+  // old full-scan result (sorted ascending, each id once).
+  for (topology::LinkId l : event_path_links) {
+    const auto& on_link = primaries_on_link_[l];
+    sets.direct.insert(sets.direct.end(), on_link.begin(), on_link.end());
   }
+  std::sort(sets.direct.begin(), sets.direct.end());
+  sets.direct.erase(std::unique(sets.direct.begin(), sets.direct.end()),
+                    sets.direct.end());
+  if (exclude != 0) {
+    const auto it =
+        std::lower_bound(sets.direct.begin(), sets.direct.end(), exclude);
+    if (it != sets.direct.end() && *it == exclude) sets.direct.erase(it);
+  }
+
+  util::DynamicBitset& direct_union = direct_union_scratch_;
+  direct_union.clear();
+  for (ConnectionId id : sets.direct) direct_union |= connections_.at(id).primary_links;
+
+  // Indirect members (share a link with a direct member but not the event
+  // path) still need one pass over the active set — they can sit anywhere.
   for (ConnectionId id : active_ids_) {
     if (id == exclude) continue;
     const DrConnection& c = connections_.at(id);
     if (c.primary_links.intersects(event_links)) continue;  // already direct
     if (c.primary_links.intersects(direct_union)) sets.indirect.push_back(id);
   }
-  std::sort(sets.direct.begin(), sets.direct.end());
   std::sort(sets.indirect.begin(), sets.indirect.end());
   return sets;
 }
@@ -114,22 +125,28 @@ void Network::grant_one(DrConnection& c) {
   ++stats_.quanta_adjustments;
 }
 
-void Network::redistribute(std::vector<ConnectionId> candidates) {
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
-                                  [&](ConnectionId id) { return !is_active(id); }),
-                   candidates.end());
-  if (candidates.empty()) return;
+void Network::redistribute(const std::vector<ConnectionId>& candidates) {
+  assert(sorted_unique(candidates));
+  // Spare only shrinks while increments are handed out, so a candidate that
+  // cannot gain *now* can never gain later in this redistribution.  Seeding
+  // with the currently-gainable subset is therefore behavior-identical to
+  // queueing everyone — and when the network is saturated (the common case
+  // during churn) the subset is empty and we return before any heap or
+  // ordering work.
+  auto& gainable = gainable_scratch_;
+  gainable.clear();
+  for (ConnectionId id : candidates)
+    if (is_active(id) && can_gain(connections_.at(id))) gainable.push_back(id);
+  if (gainable.empty()) return;
 
   if (config_.adaptation == AdaptationScheme::kMaxUtility) {
     // Highest utility monopolizes the spare before the next channel gets any.
-    std::sort(candidates.begin(), candidates.end(), [&](ConnectionId a, ConnectionId b) {
+    std::sort(gainable.begin(), gainable.end(), [&](ConnectionId a, ConnectionId b) {
       const double ua = connections_.at(a).qos.utility;
       const double ub = connections_.at(b).qos.utility;
       return ua != ub ? ua > ub : a < b;
     });
-    for (ConnectionId id : candidates) {
+    for (ConnectionId id : gainable) {
       DrConnection& c = mutable_connection(id);
       while (can_gain(c)) grant_one(c);
     }
@@ -137,26 +154,32 @@ void Network::redistribute(std::vector<ConnectionId> candidates) {
   }
 
   // Coefficient scheme: repeatedly give one increment to the candidate with
-  // the lowest (level+1)/utility.  Spare only shrinks during redistribution,
-  // so a candidate that cannot gain when popped never can again and is
-  // dropped permanently; otherwise it is granted one increment and re-queued
-  // with its new level.  Each candidate therefore enters the heap at most
-  // (increments gained + 1) times.
-  std::priority_queue<CoefficientKey, std::vector<CoefficientKey>,
-                      std::greater<CoefficientKey>>
-      heap;
-  for (ConnectionId id : candidates) {
+  // the lowest (level+1)/utility, ties broken by id.  A popped candidate that
+  // can no longer gain is dropped permanently (see above); otherwise it is
+  // granted one increment and re-queued with its new level.  Each candidate
+  // therefore enters the heap at most (increments gained + 1) times.  The
+  // heap lives in a reused member vector driven by push_heap/pop_heap —
+  // exactly what std::priority_queue is specified to do, so pop order (and
+  // every grant) is unchanged; the comparator's total order makes that order
+  // independent of insertion sequence anyway.
+  using Key = std::pair<double, ConnectionId>;  // (level+1)/utility, id
+  auto& heap = heap_scratch_;
+  heap.clear();
+  const auto cmp = std::greater<Key>{};  // min-heap on (level, id)
+  for (ConnectionId id : gainable) {
     const DrConnection& c = connections_.at(id);
-    heap.push(CoefficientKey{static_cast<double>(c.extra_quanta + 1) / c.qos.utility, id});
+    heap.emplace_back(static_cast<double>(c.extra_quanta + 1) / c.qos.utility, id);
   }
+  std::make_heap(heap.begin(), heap.end(), cmp);
   while (!heap.empty()) {
-    const CoefficientKey key = heap.top();
-    heap.pop();
-    DrConnection& c = mutable_connection(key.id);
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const ConnectionId id = heap.back().second;
+    heap.pop_back();
+    DrConnection& c = mutable_connection(id);
     if (!can_gain(c)) continue;
     grant_one(c);
-    heap.push(CoefficientKey{static_cast<double>(c.extra_quanta + 1) / c.qos.utility,
-                             key.id});
+    heap.emplace_back(static_cast<double>(c.extra_quanta + 1) / c.qos.utility, id);
+    std::push_heap(heap.begin(), heap.end(), cmp);
   }
 }
 
@@ -170,14 +193,39 @@ void Network::release_primary_min(const DrConnection& c) {
   for (topology::LinkId l : c.primary.links) links_[l].release_min(c.qos.bmin_kbps);
 }
 
-void Network::register_primary(const DrConnection& c) {
-  for (topology::LinkId l : c.primary.links) primaries_on_link_[l].push_back(c.id);
+void Network::register_primary(DrConnection& c) {
+  c.registry_slots.resize(c.primary.links.size());
+  for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
+    auto& list = primaries_on_link_[c.primary.links[i]];
+    c.registry_slots[i] = static_cast<std::uint32_t>(list.size());
+    list.push_back(c.id);
+  }
 }
 
 void Network::unregister_primary(const DrConnection& c) {
-  for (topology::LinkId l : c.primary.links) {
+  // Swap-erase via the cached slot instead of a linear scan per link.
+  // Registry order is irrelevant to behavior: every consumer sorts what it
+  // gathers (classify_against, fail_link's victim lists), so the swap does
+  // not perturb results.
+  assert(c.registry_slots.size() == c.primary.links.size());
+  for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
+    const topology::LinkId l = c.primary.links[i];
     auto& list = primaries_on_link_[l];
-    list.erase(std::remove(list.begin(), list.end(), c.id), list.end());
+    const std::uint32_t slot = c.registry_slots[i];
+    assert(slot < list.size() && list[slot] == c.id);
+    const ConnectionId moved = list.back();
+    list[slot] = moved;
+    list.pop_back();
+    if (moved == c.id) continue;  // c sat in the last slot of this list
+    // Re-point the moved connection's cached slot for this link.  A primary
+    // path is simple, so the link appears exactly once in its link list.
+    DrConnection& m = connections_.at(moved);
+    for (std::size_t j = 0; j < m.primary.links.size(); ++j) {
+      if (m.primary.links[j] == l) {
+        m.registry_slots[j] = slot;
+        break;
+      }
+    }
   }
 }
 
@@ -296,7 +344,9 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
 
   // Classify existing channels and snapshot their elastic state before the
   // retreat (the paper's S_i -> S_0 -> S_j happens atomically at event time).
-  const ChainSets chain = classify_against(new_bits, /*exclude=*/0);
+  // The newcomer is not yet registered, so no exclusion is needed; the
+  // returned sets stay valid through this event (no nested classify).
+  const ChainSets& chain = classify_against(primary->links, new_bits, /*exclude=*/0);
   std::unordered_map<ConnectionId, std::size_t> before;
   before.reserve(chain.direct.size() + chain.indirect.size());
   for (ConnectionId id : chain.direct) before[id] = connections_.at(id).extra_quanta;
@@ -328,11 +378,14 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   }
 
   // Redistribute spare capacity among everyone the event touched, the
-  // newcomer included.
-  std::vector<ConnectionId> candidates = chain.direct;
-  candidates.insert(candidates.end(), chain.indirect.begin(), chain.indirect.end());
-  candidates.push_back(id);
-  redistribute(std::move(candidates));
+  // newcomer included.  direct and indirect are sorted and disjoint, so a
+  // set_union merge yields the sorted-unique list redistribute expects; the
+  // newcomer's id is the largest ever issued, so appending keeps it sorted.
+  merge_scratch_.clear();
+  std::set_union(chain.direct.begin(), chain.direct.end(), chain.indirect.begin(),
+                 chain.indirect.end(), std::back_inserter(merge_scratch_));
+  merge_scratch_.push_back(id);
+  redistribute(merge_scratch_);
 
   outcome.accepted = true;
   outcome.id = id;
@@ -357,7 +410,8 @@ TerminationReport Network::terminate_connection(ConnectionId id) {
 
   // Only channels sharing a link with the departing primary can gain
   // (Section 3.2's T transitions).
-  const ChainSets chain = classify_against(c.primary_links, /*exclude=*/id);
+  const ChainSets& chain = classify_against(c.primary.links, c.primary_links,
+                                            /*exclude=*/id);
   std::unordered_map<ConnectionId, std::size_t> before;
   before.reserve(chain.direct.size());
   for (ConnectionId cid : chain.direct) before[cid] = connections_.at(cid).extra_quanta;
@@ -390,18 +444,18 @@ FailureReport Network::fail_link(topology::LinkId link) {
   links_[link].set_failed(true);
   ++stats_.failures_injected;
 
-  // Victims, deterministic order.
-  std::vector<ConnectionId> primary_victims;
-  std::vector<ConnectionId> backup_victims;
-  for (ConnectionId id : active_ids_) {
-    const DrConnection& c = connections_.at(id);
-    if (c.primary_links.test(link))
-      primary_victims.push_back(id);
-    else if (c.backup && c.backup_links.test(link))
-      backup_victims.push_back(id);
-  }
+  // Victims, deterministic order — read off the per-link registries instead
+  // of scanning every active connection.  A connection hit on both channels
+  // counts only as a primary victim (the registry difference reproduces the
+  // old scan's else-if).
+  std::vector<ConnectionId> primary_victims = primaries_on_link_[link];
   std::sort(primary_victims.begin(), primary_victims.end());
-  std::sort(backup_victims.begin(), backup_victims.end());
+  std::vector<ConnectionId> backups_here = backups_.backups_on_link(link);
+  std::sort(backups_here.begin(), backups_here.end());
+  std::vector<ConnectionId> backup_victims;
+  std::set_difference(backups_here.begin(), backups_here.end(),
+                      primary_victims.begin(), primary_victims.end(),
+                      std::back_inserter(backup_victims));
   report.primaries_hit = primary_victims.size();
 
   util::DynamicBitset activated_bits(graph_.num_links());
@@ -570,11 +624,15 @@ FailureReport Network::fail_link(topology::LinkId link) {
   report.backups_evicted = evicted;
   report.backups_reestablished += reestablished;
 
+  // The four groups are mutually disjoint (direct/gainers exclude the
+  // activated set; rescued victims were never activated), so one sort of the
+  // concatenation yields the sorted-unique candidate list.
   std::vector<ConnectionId> candidates = direct;
   candidates.insert(candidates.end(), gainers.begin(), gainers.end());
   candidates.insert(candidates.end(), activated.begin(), activated.end());
   candidates.insert(candidates.end(), rescued.begin(), rescued.end());
-  redistribute(std::move(candidates));
+  std::sort(candidates.begin(), candidates.end());
+  redistribute(candidates);
 
   report.changes.reserve(direct.size() + gainers.size());
   for (ConnectionId id : direct)
@@ -714,6 +772,14 @@ void Network::audit() const {
       if (links_[l].failed()) throw std::logic_error("invariant: primary on failed link");
       committed[l] += c.qos.bmin_kbps;
       granted[l] += c.extra_kbps();
+    }
+    // Cached registry slots must round-trip to this connection.
+    if (c.registry_slots.size() != c.primary.links.size())
+      throw std::logic_error("invariant: registry slot count mismatch");
+    for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
+      const auto& list = primaries_on_link_[c.primary.links[i]];
+      if (c.registry_slots[i] >= list.size() || list[c.registry_slots[i]] != c.id)
+        throw std::logic_error("invariant: stale registry slot");
     }
     if (c.backup) {
       if (c.backup->nodes.front() != c.src || c.backup->nodes.back() != c.dst)

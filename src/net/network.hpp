@@ -166,8 +166,15 @@ class Network {
   };
 
   [[nodiscard]] DrConnection& mutable_connection(ConnectionId id);
-  [[nodiscard]] ChainSets classify_against(const util::DynamicBitset& event_links,
-                                           ConnectionId exclude) const;
+  /// Classifies every active channel (except `exclude`) against the event
+  /// path with link list `event_path_links` / bitset `event_links`.  Direct
+  /// members come straight from the per-link primary registry (only the
+  /// event's links are inspected); indirect members still need one pass
+  /// over the active set.  Returns a reference to reused scratch valid
+  /// until the next classify_against call.
+  [[nodiscard]] const ChainSets& classify_against(
+      const std::vector<topology::LinkId>& event_path_links,
+      const util::DynamicBitset& event_links, ConnectionId exclude) const;
 
   /// Sets a connection's elastic grant to zero, returning spare to its
   /// links.
@@ -175,13 +182,19 @@ class Network {
 
   /// Grants spare capacity in increments to `candidates` according to the
   /// configured adaptation scheme, until no candidate can gain.
-  void redistribute(std::vector<ConnectionId> candidates);
+  /// `candidates` must be ascending and duplicate-free (every caller builds
+  /// it by merging the already-sorted chaining sets); when no candidate can
+  /// gain — the common case during saturated churn — the call returns
+  /// before any heap or ordering work.
+  void redistribute(const std::vector<ConnectionId>& candidates);
   [[nodiscard]] bool can_gain(const DrConnection& c) const;
   void grant_one(DrConnection& c);
 
   void commit_primary_min(const DrConnection& c);
   void release_primary_min(const DrConnection& c);
-  void register_primary(const DrConnection& c);
+  /// Appends `c` to the per-link primary registry of every primary link and
+  /// records the slot indices in `c.registry_slots` (swap-erase support).
+  void register_primary(DrConnection& c);
   void unregister_primary(const DrConnection& c);
 
   /// Reserves a backup along `path` for `c` and syncs link reservations.
@@ -225,6 +238,18 @@ class Network {
 
   ConnectionId next_id_ = 1;
   NetworkStats stats_;
+
+  // ---- Reused event scratch ------------------------------------------------
+  // Every arrival/termination/failure classifies chains and merges candidate
+  // lists; these buffers avoid re-allocating them per event.  They carry no
+  // state across events (each use fully overwrites what it reads), so reuse
+  // cannot change results.  Mutable because classify_against is logically
+  // const; the Network is not thread-safe regardless.
+  mutable ChainSets chain_scratch_;
+  mutable util::DynamicBitset direct_union_scratch_;
+  mutable std::vector<ConnectionId> gainable_scratch_;
+  mutable std::vector<std::pair<double, ConnectionId>> heap_scratch_;
+  mutable std::vector<ConnectionId> merge_scratch_;
 };
 
 }  // namespace eqos::net

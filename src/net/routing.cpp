@@ -13,11 +13,11 @@ std::optional<topology::Path> Router::find_primary(topology::NodeId src,
     return links_[l].admits_primary(bmin);
   };
   if (policy_ == RoutePolicy::kShortest)
-    return topology::shortest_path(graph_, src, dst, admissible);
+    return search_.shortest(graph_, src, dst, admissible);
   const topology::LinkWidth headroom = [&](topology::LinkId l) {
     return links_[l].admission_headroom();
   };
-  return topology::widest_shortest_path(graph_, src, dst, headroom, admissible);
+  return search_.widest_shortest(graph_, src, dst, headroom, admissible);
 }
 
 std::optional<topology::Path> Router::find_backup(
@@ -29,7 +29,7 @@ std::optional<topology::Path> Router::find_backup(
     const double need = backups_.incremental_need(l, bmin, primary_links);
     return links_[l].admission_headroom() >= need - LinkState::kEpsilon;
   };
-  auto path = topology::min_overlap_path(graph_, src, dst, primary_links, admissible);
+  auto path = search_.min_overlap(graph_, src, dst, primary_links, admissible);
   if (!path) return std::nullopt;
   std::size_t overlap = 0;
   for (topology::LinkId l : path->links)

@@ -57,6 +57,12 @@ class Router {
   const std::vector<LinkState>& links_;
   const BackupManager& backups_;
   RoutePolicy policy_;
+  /// Reused search buffers: route selection runs twice per arrival (primary
+  /// + backup), so per-call scratch allocation is churn-loop hot-path cost.
+  /// Mutable because the searches are logically const (the workspace is
+  /// invisible to callers); makes the router non-thread-safe, which it
+  /// already was by way of the mutable ledgers it reads.
+  mutable topology::PathSearch search_;
 };
 
 }  // namespace eqos::net

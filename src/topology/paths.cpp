@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <set>
 #include <stdexcept>
 
@@ -46,79 +45,79 @@ std::size_t Path::overlap(const Path& other) const {
   return n;
 }
 
-std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
-                                  const LinkFilter& filter) {
+std::optional<Path> PathSearch::shortest(const Graph& g, NodeId src, NodeId dst,
+                                         const LinkFilter& filter) {
   if (src >= g.num_nodes() || dst >= g.num_nodes())
     throw std::invalid_argument("shortest_path: unknown node");
   if (src == dst) return Path{{src}, {}};
 
-  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreached);
-  std::vector<LinkId> via_link(g.num_nodes(), 0);
-  std::queue<NodeId> frontier;
-  dist[src] = 0;
-  frontier.push(src);
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop();
+  dist_.assign(g.num_nodes(), kUnreached);
+  via_link_.assign(g.num_nodes(), 0);
+  queue_.clear();
+  dist_[src] = 0;
+  queue_.push_back(src);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
     for (const auto& adj : g.adjacent(u)) {
-      if (!usable(filter, adj.link) || dist[adj.neighbor] != kUnreached) continue;
-      dist[adj.neighbor] = dist[u] + 1;
-      via_link[adj.neighbor] = adj.link;
-      if (adj.neighbor == dst) return reconstruct(g, src, dst, via_link);
-      frontier.push(adj.neighbor);
+      if (!usable(filter, adj.link) || dist_[adj.neighbor] != kUnreached) continue;
+      dist_[adj.neighbor] = dist_[u] + 1;
+      via_link_[adj.neighbor] = adj.link;
+      if (adj.neighbor == dst) return reconstruct(g, src, dst, via_link_);
+      queue_.push_back(adj.neighbor);
     }
   }
   return std::nullopt;
 }
 
-std::optional<Path> widest_shortest_path(const Graph& g, NodeId src, NodeId dst,
-                                         const LinkWidth& width,
-                                         const LinkFilter& filter) {
+std::optional<Path> PathSearch::widest_shortest(const Graph& g, NodeId src, NodeId dst,
+                                                const LinkWidth& width,
+                                                const LinkFilter& filter) {
   if (src >= g.num_nodes() || dst >= g.num_nodes())
     throw std::invalid_argument("widest_shortest_path: unknown node");
   if (!width) throw std::invalid_argument("widest_shortest_path: null width");
   if (src == dst) return Path{{src}, {}};
 
-  // Lexicographic Dijkstra on (hops asc, bottleneck width desc).
-  struct Label {
-    std::uint32_t hops = kUnreached;
-    double width = 0.0;
-  };
-  const auto better = [](const Label& a, const Label& b) {
+  // Lexicographic Dijkstra on (hops asc, bottleneck width desc).  The heap
+  // runs on the reused wide_heap_ buffer via push_heap/pop_heap — the same
+  // operations std::priority_queue performs, so the pop order (and thus the
+  // chosen route) is identical to the historical implementation.
+  const auto better = [](const WideLabel& a, const WideLabel& b) {
     return a.hops != b.hops ? a.hops < b.hops : a.width > b.width;
   };
-
-  std::vector<Label> best(g.num_nodes());
-  std::vector<LinkId> via_link(g.num_nodes(), 0);
-  using QueueEntry = std::pair<Label, NodeId>;
+  using QueueEntry = std::pair<WideLabel, NodeId>;
   const auto cmp = [&](const QueueEntry& a, const QueueEntry& b) {
     return better(b.first, a.first);  // min-heap by label
   };
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)> heap(cmp);
-  best[src] = {0, std::numeric_limits<double>::infinity()};
-  heap.push({best[src], src});
-  while (!heap.empty()) {
-    const auto [label, u] = heap.top();
-    heap.pop();
-    if (better(best[u], label)) continue;  // stale entry
+
+  wide_best_.assign(g.num_nodes(), WideLabel{kUnreached, 0.0});
+  via_link_.assign(g.num_nodes(), 0);
+  wide_heap_.clear();
+  wide_best_[src] = {0, std::numeric_limits<double>::infinity()};
+  wide_heap_.push_back({wide_best_[src], src});
+  while (!wide_heap_.empty()) {
+    std::pop_heap(wide_heap_.begin(), wide_heap_.end(), cmp);
+    const auto [label, u] = wide_heap_.back();
+    wide_heap_.pop_back();
+    if (better(wide_best_[u], label)) continue;  // stale entry
     if (u == dst) break;
     for (const auto& adj : g.adjacent(u)) {
       if (!usable(filter, adj.link)) continue;
-      const Label candidate{label.hops + 1, std::min(label.width, width(adj.link))};
-      if (better(candidate, best[adj.neighbor])) {
-        best[adj.neighbor] = candidate;
-        via_link[adj.neighbor] = adj.link;
-        heap.push({candidate, adj.neighbor});
+      const WideLabel candidate{label.hops + 1, std::min(label.width, width(adj.link))};
+      if (better(candidate, wide_best_[adj.neighbor])) {
+        wide_best_[adj.neighbor] = candidate;
+        via_link_[adj.neighbor] = adj.link;
+        wide_heap_.push_back({candidate, adj.neighbor});
+        std::push_heap(wide_heap_.begin(), wide_heap_.end(), cmp);
       }
     }
   }
-  if (best[dst].hops == kUnreached) return std::nullopt;
-  return reconstruct(g, src, dst, via_link);
+  if (wide_best_[dst].hops == kUnreached) return std::nullopt;
+  return reconstruct(g, src, dst, via_link_);
 }
 
-std::optional<Path> min_overlap_path(const Graph& g, NodeId src, NodeId dst,
-                                     const util::DynamicBitset& avoid,
-                                     const LinkFilter& filter) {
+std::optional<Path> PathSearch::min_overlap(const Graph& g, NodeId src, NodeId dst,
+                                            const util::DynamicBitset& avoid,
+                                            const LinkFilter& filter) {
   if (src >= g.num_nodes() || dst >= g.num_nodes())
     throw std::invalid_argument("min_overlap_path: unknown node");
   if (src == dst) return Path{{src}, {}};
@@ -126,30 +125,57 @@ std::optional<Path> min_overlap_path(const Graph& g, NodeId src, NodeId dst,
   // Dijkstra with cost = overlap * kPenalty + hops; the penalty dominates any
   // possible hop count so overlap is minimized first.
   const double kPenalty = static_cast<double>(g.num_links() + 1);
-  std::vector<double> best(g.num_nodes(), std::numeric_limits<double>::infinity());
-  std::vector<LinkId> via_link(g.num_nodes(), 0);
-  using QueueEntry = std::pair<double, NodeId>;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
-  best[src] = 0.0;
-  heap.push({0.0, src});
-  while (!heap.empty()) {
-    const auto [cost, u] = heap.top();
-    heap.pop();
-    if (cost > best[u]) continue;
+  const auto cmp = std::greater<std::pair<double, NodeId>>{};
+  cost_best_.assign(g.num_nodes(), std::numeric_limits<double>::infinity());
+  via_link_.assign(g.num_nodes(), 0);
+  cost_heap_.clear();
+  cost_best_[src] = 0.0;
+  cost_heap_.push_back({0.0, src});
+  while (!cost_heap_.empty()) {
+    std::pop_heap(cost_heap_.begin(), cost_heap_.end(), cmp);
+    const auto [cost, u] = cost_heap_.back();
+    cost_heap_.pop_back();
+    if (cost > cost_best_[u]) continue;
     if (u == dst) break;
     for (const auto& adj : g.adjacent(u)) {
       if (!usable(filter, adj.link)) continue;
       const double step = 1.0 + (avoid.test(adj.link) ? kPenalty : 0.0);
       const double candidate = cost + step;
-      if (candidate < best[adj.neighbor]) {
-        best[adj.neighbor] = candidate;
-        via_link[adj.neighbor] = adj.link;
-        heap.push({candidate, adj.neighbor});
+      if (candidate < cost_best_[adj.neighbor]) {
+        cost_best_[adj.neighbor] = candidate;
+        via_link_[adj.neighbor] = adj.link;
+        cost_heap_.push_back({candidate, adj.neighbor});
+        std::push_heap(cost_heap_.begin(), cost_heap_.end(), cmp);
       }
     }
   }
-  if (!std::isfinite(best[dst])) return std::nullopt;
-  return reconstruct(g, src, dst, via_link);
+  if (!std::isfinite(cost_best_[dst])) return std::nullopt;
+  return reconstruct(g, src, dst, via_link_);
+}
+
+namespace {
+// Scratch behind the free-function entry points.  Every search fully
+// re-initializes the buffers it uses, so reuse cannot change results (the
+// equality against a fresh PathSearch is asserted in tests/test_sweep.cpp);
+// thread_local keeps the free functions safe under the sweep's thread pool.
+thread_local PathSearch free_search;
+}  // namespace
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const LinkFilter& filter) {
+  return free_search.shortest(g, src, dst, filter);
+}
+
+std::optional<Path> widest_shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                         const LinkWidth& width,
+                                         const LinkFilter& filter) {
+  return free_search.widest_shortest(g, src, dst, width, filter);
+}
+
+std::optional<Path> min_overlap_path(const Graph& g, NodeId src, NodeId dst,
+                                     const util::DynamicBitset& avoid,
+                                     const LinkFilter& filter) {
+  return free_search.min_overlap(g, src, dst, avoid, filter);
 }
 
 std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst, std::size_t k,

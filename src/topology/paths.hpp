@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "topology/graph.hpp"
@@ -37,6 +39,45 @@ struct Path {
 using LinkFilter = std::function<bool(LinkId)>;
 /// Width (e.g. spare bandwidth) of a link, used for tie-breaking.
 using LinkWidth = std::function<double(LinkId)>;
+
+/// Reusable workspace for the path searches below.
+///
+/// The searches need per-node label, predecessor, and frontier storage;
+/// allocating those on every call dominates route-search cost in the
+/// simulator's churn loop (every arrival runs one primary and one backup
+/// search).  A PathSearch owns those buffers and reuses them across calls,
+/// so after the first search on a given graph size no scratch allocation
+/// happens (only the returned Path is built fresh).  Results are identical
+/// to the free functions for every input — asserted in
+/// tests/test_sweep.cpp.  Not thread-safe; use one instance per thread.
+class PathSearch {
+ public:
+  /// See topology::shortest_path.
+  [[nodiscard]] std::optional<Path> shortest(const Graph& g, NodeId src, NodeId dst,
+                                             const LinkFilter& filter = nullptr);
+  /// See topology::widest_shortest_path.
+  [[nodiscard]] std::optional<Path> widest_shortest(const Graph& g, NodeId src,
+                                                    NodeId dst, const LinkWidth& width,
+                                                    const LinkFilter& filter = nullptr);
+  /// See topology::min_overlap_path.
+  [[nodiscard]] std::optional<Path> min_overlap(const Graph& g, NodeId src, NodeId dst,
+                                                const util::DynamicBitset& avoid,
+                                                const LinkFilter& filter = nullptr);
+
+ private:
+  struct WideLabel {
+    std::uint32_t hops;
+    double width;
+  };
+
+  std::vector<std::uint32_t> dist_;        // BFS levels
+  std::vector<LinkId> via_link_;           // predecessors
+  std::vector<NodeId> queue_;              // BFS ring buffer
+  std::vector<WideLabel> wide_best_;       // widest-shortest labels
+  std::vector<std::pair<WideLabel, NodeId>> wide_heap_;
+  std::vector<double> cost_best_;          // min-overlap costs
+  std::vector<std::pair<double, NodeId>> cost_heap_;
+};
 
 /// Fewest-hop path from src to dst using only links passing `filter`
 /// (nullptr = all links).  Empty optional when disconnected.

@@ -44,4 +44,13 @@ Rng Rng::split() {
   return Rng(z);
 }
 
+std::uint64_t Rng::substream_seed(std::uint64_t base, std::uint64_t stream_id) {
+  // The (stream_id)-th output of SplitMix64 seeded with `base`: advance the
+  // Weyl state stream_id+1 steps (a single multiply), then avalanche.
+  std::uint64_t z = base + (stream_id + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace eqos::util

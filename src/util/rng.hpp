@@ -65,6 +65,25 @@ class Rng {
   /// children; the parent's future draws are advanced by one.
   [[nodiscard]] Rng split();
 
+  /// Derives the child stream for `stream_id` *without* consuming parent
+  /// state: the child seed is the `stream_id`-th output of a SplitMix64
+  /// generator seeded with this stream's seed.  Equal (seed, stream_id)
+  /// pairs give equal children on every platform, so sweep points and
+  /// replications can derive their sub-streams independently and in any
+  /// order (the property core::run_sweep relies on for thread-count
+  /// invariance).  Distinct stream ids give well-separated children; see
+  /// test_util's overlap checks.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const {
+    return Rng(substream_seed(seed_, stream_id));
+  }
+
+  /// The seed `split(stream_id)` would use: SplitMix64 output number
+  /// `stream_id` from state `base`.  Exposed so callers that only need a
+  /// derived 64-bit seed (not a constructed engine) avoid the mt19937_64
+  /// init cost.
+  [[nodiscard]] static std::uint64_t substream_seed(std::uint64_t base,
+                                                    std::uint64_t stream_id);
+
  private:
   std::mt19937_64 engine_;
   std::uint64_t seed_;

@@ -1,0 +1,124 @@
+// A fixed-size thread pool for embarrassingly parallel sweeps.
+//
+// Deliberately work-stealing-free: tasks are claimed from a single shared
+// index counter, so the only scheduling nondeterminism is *which thread*
+// runs a task — never what the task computes.  Sweep code stores each
+// task's result into a slot owned by its index, which makes sweep results
+// bit-identical regardless of thread count (see core/sweep.hpp).
+// Header-only; used by core::run_sweep and the bench harnesses.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eqos::util {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).  `threads == 0` means
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not submit further tasks to the same pool
+  /// from within wait() (no nested parallelism — sweeps don't need it).
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++outstanding_;
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.  Rethrows the first
+  /// exception a task raised (by submission-claim order of the failing
+  /// tasks, not deterministic across thread counts — exceptions in sweep
+  /// points are bugs, not results).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    if (first_error_) {
+      std::exception_ptr e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Runs `fn(i)` for every i in [0, n) across the pool and waits.  Each
+  /// index is claimed exactly once; `fn` must only touch state owned by its
+  /// index (plus read-only shared state) for deterministic results.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::shared_ptr<std::atomic<std::size_t>> next =
+        std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t lanes = std::min(n, workers_.size());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      submit([next, n, &fn] {
+        for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) fn(i);
+      });
+    }
+    wait();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ and drained
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --outstanding_;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace eqos::util

@@ -1,0 +1,405 @@
+// Determinism tests for the parallel sweep harness and the churn-loop
+// hot-path optimizations it rides on:
+//
+//  * run_sweep is bit-identical across thread counts (1/2/8) and its
+//    single-thread, single-rep path reproduces run_experiment exactly;
+//  * the seeding scheme (rep 0 keeps the configured seed, rep > 0 derives a
+//    SplitMix64 sub-stream) is stable and collision-free;
+//  * PathSearch's reused scratch buffers return the same routes as the
+//    allocating free functions for every query;
+//  * flood_route with its thread_local scratch is repeat-deterministic;
+//  * redistribute's gainable prefilter + manual heap preserves the
+//    tie-break order (equal coefficients/utilities resolve by lower id);
+//  * Rng::split(stream_id) derives children without consuming parent state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "net/flooding.hpp"
+#include "net/link_state.hpp"
+#include "net/network.hpp"
+#include "topology/paths.hpp"
+#include "topology/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace eqos {
+namespace {
+
+using topology::Graph;
+
+// ---- shared fixtures -----------------------------------------------------
+
+const Graph& small_waxman() {
+  static const Graph g = topology::generate_waxman({30, 0.4, 0.3, true}, 7);
+  return g;
+}
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  q.utility = 1.0;
+  return q;
+}
+
+core::ExperimentConfig tiny_experiment(std::size_t target, std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.workload.qos = paper_qos();
+  cfg.workload.seed = seed;
+  cfg.target_connections = target;
+  cfg.warmup_events = 30;
+  cfg.measure_events = 120;
+  return cfg;
+}
+
+/// Field-by-field equality of the deterministic parts of two results.
+/// Timings are wall-clock metadata and deliberately excluded (see
+/// PhaseTimings' doc comment in core/experiment.hpp).
+void expect_result_eq(const core::ExperimentResult& a,
+                      const core::ExperimentResult& b, const char* where) {
+  SCOPED_TRACE(where);
+  EXPECT_EQ(a.attempted, b.attempted);
+  EXPECT_EQ(a.established, b.established);
+  EXPECT_EQ(a.active_at_end, b.active_at_end);
+  // Bitwise, not approximate: the guarantee is "same bytes", so any FP
+  // difference at all means a scheduling-dependent code path leaked in.
+  EXPECT_EQ(a.sim_mean_bandwidth_kbps, b.sim_mean_bandwidth_kbps);
+  EXPECT_EQ(a.analytic_paper_kbps, b.analytic_paper_kbps);
+  EXPECT_EQ(a.analytic_refined_kbps, b.analytic_refined_kbps);
+  EXPECT_EQ(a.ideal_kbps, b.ideal_kbps);
+  EXPECT_EQ(a.ideal_clamped_kbps, b.ideal_clamped_kbps);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.protected_fraction, b.protected_fraction);
+  EXPECT_EQ(a.estimates.pf, b.estimates.pf);
+  EXPECT_EQ(a.estimates.ps, b.estimates.ps);
+  EXPECT_EQ(a.estimates.pf_termination, b.estimates.pf_termination);
+  EXPECT_EQ(a.estimates.pf_failure, b.estimates.pf_failure);
+  EXPECT_EQ(a.estimates.mean_bandwidth_kbps, b.estimates.mean_bandwidth_kbps);
+  EXPECT_EQ(a.estimates.occupancy, b.estimates.occupancy);
+  EXPECT_EQ(a.network_stats.requests, b.network_stats.requests);
+  EXPECT_EQ(a.network_stats.accepted, b.network_stats.accepted);
+  EXPECT_EQ(a.network_stats.terminated, b.network_stats.terminated);
+  EXPECT_EQ(a.network_stats.quanta_adjustments, b.network_stats.quanta_adjustments);
+  EXPECT_EQ(a.sim_stats.arrival_events, b.sim_stats.arrival_events);
+  EXPECT_EQ(a.sim_stats.termination_events, b.sim_stats.termination_events);
+}
+
+// ---- seeding scheme ------------------------------------------------------
+
+TEST(SweepSeed, RepZeroKeepsConfiguredSeed) {
+  EXPECT_EQ(core::sweep_seed(42, 0, 0), 42u);
+  EXPECT_EQ(core::sweep_seed(42, 17, 0), 42u);
+  EXPECT_EQ(core::sweep_seed(0xdeadbeef, 3, 0), 0xdeadbeefu);
+}
+
+TEST(SweepSeed, LaterRepsDeriveSubstreams) {
+  const std::uint64_t base = 42;
+  EXPECT_EQ(core::sweep_seed(base, 5, 2),
+            util::Rng::substream_seed(base, core::sweep_substream(5, 2)));
+  EXPECT_NE(core::sweep_seed(base, 5, 1), base);
+}
+
+TEST(SweepSeed, NoCollisionsAcrossGrid) {
+  // Every (point, rep) pair of a realistic grid gets a distinct seed.
+  std::set<std::uint64_t> seen;
+  for (std::size_t p = 0; p < 16; ++p)
+    for (std::size_t r = 0; r < 8; ++r)
+      seen.insert(core::sweep_seed(42, p, r));
+  // Rep 0 of every point shares the base seed by design; all others differ.
+  EXPECT_EQ(seen.size(), 16u * 8u - 15u);
+}
+
+TEST(SweepSeed, SubstreamIsPointMajor) {
+  EXPECT_EQ(core::sweep_substream(0, 0), 0u);
+  EXPECT_EQ(core::sweep_substream(0, 5), 5u);
+  EXPECT_EQ(core::sweep_substream(1, 0), std::uint64_t{1} << 20);
+  EXPECT_NE(core::sweep_substream(1, 2), core::sweep_substream(2, 1));
+}
+
+// ---- run_sweep determinism ----------------------------------------------
+
+std::vector<core::SweepPoint> three_point_sweep() {
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t target : {40u, 80u, 120u})
+    points.push_back({&small_waxman(), tiny_experiment(target, 11), ""});
+  return points;
+}
+
+TEST(RunSweep, BitIdenticalAcrossThreadCounts) {
+  const auto points = three_point_sweep();
+  core::SweepOptions opt;
+  opt.reps = 2;
+
+  opt.threads = 1;
+  const auto serial = core::run_sweep(points, opt);
+  opt.threads = 2;
+  const auto two = core::run_sweep(points, opt);
+  opt.threads = 8;
+  const auto eight = core::run_sweep(points, opt);
+
+  ASSERT_EQ(serial.results.size(), points.size() * opt.reps);
+  ASSERT_EQ(two.results.size(), serial.results.size());
+  ASSERT_EQ(eight.results.size(), serial.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    expect_result_eq(serial.results[i], two.results[i], "threads 1 vs 2");
+    expect_result_eq(serial.results[i], eight.results[i], "threads 1 vs 8");
+  }
+}
+
+TEST(RunSweep, RepZeroMatchesDirectRunExperiment) {
+  // A single-rep sweep must reproduce the historical serial protocol:
+  // run_experiment called directly with the point's own config.
+  const auto points = three_point_sweep();
+  const auto sweep = core::run_sweep(points, core::SweepOptions{});
+  ASSERT_EQ(sweep.results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto direct = core::run_experiment(*points[i].graph, points[i].config);
+    expect_result_eq(sweep.results[i], direct, "sweep vs direct");
+  }
+}
+
+TEST(RunSweep, RepsAreIndependentStreams) {
+  // Rep 1 must differ from rep 0 (different seed => different trajectory)
+  // while both stay individually reproducible.
+  std::vector<core::SweepPoint> points{
+      {&small_waxman(), tiny_experiment(80, 11), ""}};
+  core::SweepOptions opt;
+  opt.reps = 2;
+  const auto a = core::run_sweep(points, opt);
+  const auto b = core::run_sweep(points, opt);
+  ASSERT_EQ(a.results.size(), 2u);
+  expect_result_eq(a.results[0], b.results[0], "rep 0 reproducible");
+  expect_result_eq(a.results[1], b.results[1], "rep 1 reproducible");
+  EXPECT_NE(a.results[0].sim_mean_bandwidth_kbps,
+            a.results[1].sim_mean_bandwidth_kbps);
+}
+
+TEST(RunSweep, PointMeanAveragesScalars) {
+  std::vector<core::SweepPoint> points{
+      {&small_waxman(), tiny_experiment(60, 11), ""}};
+  core::SweepOptions opt;
+  opt.reps = 3;
+  const auto sweep = core::run_sweep(points, opt);
+  const auto reps = sweep.point_results(0);
+  ASSERT_EQ(reps.size(), 3u);
+  const auto mean = sweep.point_mean(0);
+  double expected = 0.0;
+  for (const auto& r : reps) expected += r.sim_mean_bandwidth_kbps;
+  expected /= 3.0;
+  EXPECT_DOUBLE_EQ(mean.sim_mean_bandwidth_kbps, expected);
+}
+
+TEST(ParallelPoints, CollectsInIndexOrderAtAnyThreadCount) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto out = core::parallel_points(
+        100, threads, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+// ---- PathSearch scratch reuse vs free functions -------------------------
+
+TEST(PathSearch, ReusedBuffersMatchFreeFunctions) {
+  const Graph g = topology::generate_waxman({60, 0.4, 0.3, true}, 13);
+  topology::PathSearch search;  // one instance reused across every query
+  util::Rng rng(5);
+
+  // A width map and a filter that knocks out ~20% of links, regenerated
+  // per query so stale scratch state from a previous (filter, width) pair
+  // would be caught.
+  for (int q = 0; q < 200; ++q) {
+    const auto src = static_cast<topology::NodeId>(rng.index(60));
+    auto dst = static_cast<topology::NodeId>(rng.index(59));
+    if (dst >= src) ++dst;
+    std::vector<double> width(g.num_links());
+    std::vector<char> blocked(g.num_links());
+    for (std::size_t l = 0; l < g.num_links(); ++l) {
+      width[l] = rng.uniform(1.0, 100.0);
+      blocked[l] = rng.chance(0.2) ? 1 : 0;
+    }
+    const auto filter = [&](topology::LinkId l) { return !blocked[l]; };
+    const auto width_of = [&](topology::LinkId l) { return width[l]; };
+    util::DynamicBitset avoid(g.num_links());
+    for (std::size_t l = 0; l < g.num_links(); ++l)
+      if (rng.chance(0.1)) avoid.set(l);
+
+    const auto s1 = search.shortest(g, src, dst, filter);
+    const auto s2 = topology::shortest_path(g, src, dst, filter);
+    ASSERT_EQ(s1.has_value(), s2.has_value());
+    if (s1) {
+      EXPECT_EQ(s1->nodes, s2->nodes);
+      EXPECT_EQ(s1->links, s2->links);
+    }
+
+    const auto w1 = search.widest_shortest(g, src, dst, width_of, filter);
+    const auto w2 = topology::widest_shortest_path(g, src, dst, width_of, filter);
+    ASSERT_EQ(w1.has_value(), w2.has_value());
+    if (w1) {
+      EXPECT_EQ(w1->nodes, w2->nodes);
+      EXPECT_EQ(w1->links, w2->links);
+    }
+
+    const auto m1 = search.min_overlap(g, src, dst, avoid, filter);
+    const auto m2 = topology::min_overlap_path(g, src, dst, avoid, filter);
+    ASSERT_EQ(m1.has_value(), m2.has_value());
+    if (m1) {
+      EXPECT_EQ(m1->nodes, m2->nodes);
+      EXPECT_EQ(m1->links, m2->links);
+    }
+  }
+}
+
+TEST(PathSearch, SurvivesGraphSizeChanges) {
+  // The same instance must adapt its buffers when queried on graphs of
+  // different sizes (smaller after larger, so stale labels could linger).
+  topology::PathSearch search;
+  const Graph big = topology::generate_waxman({80, 0.4, 0.3, true}, 17);
+  const Graph small = topology::generate_waxman({20, 0.5, 0.4, true}, 19);
+  for (const Graph* g : {&big, &small, &big, &small}) {
+    const std::size_t n = g->num_nodes();
+    const auto mine = search.shortest(*g, 0, static_cast<topology::NodeId>(n - 1));
+    const auto ref =
+        topology::shortest_path(*g, 0, static_cast<topology::NodeId>(n - 1));
+    ASSERT_EQ(mine.has_value(), ref.has_value());
+    if (mine) EXPECT_EQ(mine->links, ref->links);
+  }
+}
+
+// ---- flood_route scratch determinism ------------------------------------
+
+TEST(FloodRoute, RepeatDeterministic) {
+  // flood_route keeps thread_local scratch across calls; repeated identical
+  // queries (and interleaved different ones) must return identical results.
+  const Graph g = topology::generate_waxman({50, 0.4, 0.3, true}, 23);
+  const std::vector<net::LinkState> links(g.num_links(), net::LinkState(10'000.0));
+  util::Rng rng(29);
+  for (int q = 0; q < 100; ++q) {
+    const auto src = static_cast<topology::NodeId>(rng.index(50));
+    auto dst = static_cast<topology::NodeId>(rng.index(49));
+    if (dst >= src) ++dst;
+    const auto a = net::flood_route(g, links, src, dst, 100.0, 16);
+    const auto b = net::flood_route(g, links, src, dst, 100.0, 16);
+    ASSERT_EQ(a.route.has_value(), b.route.has_value());
+    if (a.route) {
+      EXPECT_EQ(a.route->nodes, b.route->nodes);
+      EXPECT_EQ(a.route->links, b.route->links);
+    }
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.rounds, b.rounds);
+  }
+}
+
+// ---- redistribute tie-break determinism ---------------------------------
+
+/// Two nodes, one link of 250 Kb/s, two identical 100..500-by-50 channels:
+/// after both are admitted the link holds 200 committed and one spare
+/// 50-increment that exactly one channel can take.  Both channels have
+/// equal utility and equal quanta, so the winner is decided purely by the
+/// tie-break — which must be the lower id, deterministically.
+net::Network tiny_contended_network(net::AdaptationScheme scheme) {
+  Graph g(2);
+  g.add_link(0, 1);
+  net::NetworkConfig cfg;
+  cfg.link_capacity_kbps = 250.0;
+  cfg.require_backup = false;  // a 1-link graph has no disjoint backup
+  cfg.adaptation = scheme;
+  return net::Network(g, cfg);
+}
+
+void check_tie_break(net::AdaptationScheme scheme, const char* name) {
+  SCOPED_TRACE(name);
+  auto net = tiny_contended_network(scheme);
+  const auto q = paper_qos();
+  const auto first = net.request_connection(0, 1, q);
+  const auto second = net.request_connection(0, 1, q);
+  ASSERT_TRUE(first.accepted);
+  ASSERT_TRUE(second.accepted);
+
+  const auto& c1 = net.connection(first.id);
+  const auto& c2 = net.connection(second.id);
+  // Exactly one spare increment existed; equal keys => lower id wins.
+  EXPECT_EQ(c1.extra_quanta + c2.extra_quanta, 1u);
+  EXPECT_EQ(c1.extra_quanta, 1u);
+  EXPECT_EQ(c2.extra_quanta, 0u);
+  net.audit();
+
+  // The outcome is a pure function of the request sequence: a second
+  // identical network reproduces it exactly.
+  auto net2 = tiny_contended_network(scheme);
+  const auto r1 = net2.request_connection(0, 1, q);
+  const auto r2 = net2.request_connection(0, 1, q);
+  ASSERT_TRUE(r1.accepted && r2.accepted);
+  EXPECT_EQ(net2.connection(r1.id).extra_quanta, c1.extra_quanta);
+  EXPECT_EQ(net2.connection(r2.id).extra_quanta, c2.extra_quanta);
+
+  // Termination hands the freed bandwidth to the survivor.
+  net.terminate_connection(first.id);
+  EXPECT_EQ(net.connection(second.id).extra_quanta, 3u);  // 150 spare / 50
+  net.audit();
+}
+
+TEST(Redistribute, TieBreakIsLowerIdCoefficient) {
+  check_tie_break(net::AdaptationScheme::kCoefficient, "kCoefficient");
+}
+
+TEST(Redistribute, TieBreakIsLowerIdMaxUtility) {
+  check_tie_break(net::AdaptationScheme::kMaxUtility, "kMaxUtility");
+}
+
+// ---- Rng::split(stream_id) ----------------------------------------------
+
+TEST(RngSplit, KeyedSplitDoesNotConsumeParentState) {
+  util::Rng parent(42);
+  util::Rng reference(42);
+  const auto child = parent.split(7);
+  (void)child;
+  // The parent's stream is untouched: it replays a fresh twin exactly.
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(parent.uniform(), reference.uniform());
+}
+
+TEST(RngSplit, KeyedSplitIsDeterministicAndKeyed) {
+  const util::Rng parent(42);
+  util::Rng a = parent.split(3);
+  util::Rng b = parent.split(3);
+  util::Rng c = parent.split(4);
+  EXPECT_EQ(a.seed(), b.seed());
+  EXPECT_NE(a.seed(), c.seed());
+  EXPECT_EQ(a.seed(), util::Rng::substream_seed(42, 3));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngSplit, SubstreamsDoNotOverlap) {
+  // Distinct stream ids (including adjacent ones) give streams whose draw
+  // sequences share no common values over a sizable window — the property
+  // the sweep's per-(point, rep) seeding relies on.
+  const std::uint64_t base = 42;
+  std::vector<std::set<std::uint64_t>> draws;
+  for (const std::uint64_t id : {0ull, 1ull, 2ull, 1ull << 20, (1ull << 20) | 1}) {
+    util::Rng rng(util::Rng::substream_seed(base, id));
+    std::set<std::uint64_t> mine;
+    for (int i = 0; i < 1000; ++i)
+      mine.insert(rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
+    draws.push_back(std::move(mine));
+  }
+  for (std::size_t i = 0; i < draws.size(); ++i)
+    for (std::size_t j = i + 1; j < draws.size(); ++j) {
+      std::vector<std::uint64_t> common;
+      std::set_intersection(draws[i].begin(), draws[i].end(), draws[j].begin(),
+                            draws[j].end(), std::back_inserter(common));
+      EXPECT_TRUE(common.empty())
+          << "streams " << i << " and " << j << " overlap";
+    }
+}
+
+}  // namespace
+}  // namespace eqos
