@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sweep.json files and fail on throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--tolerance 0.20] [--require-all]
+
+Both files may use the keyed format written by core::write_sweep_json
+({"benches": {"bench_fig2": {...}, ...}}) or the historical single-object
+format ({"bench": "bench_fig2", ...}).  For every bench present in both
+files, the current points_per_second must be no more than --tolerance
+(default 20%) below the baseline; any worse and the script prints the
+offenders and exits nonzero.  Benches present only in the baseline are
+warnings unless --require-all makes them errors (benches only in CURRENT
+are always fine — new measurements are not regressions).
+
+Wired into ctest as the `perf-smoke` label: a smoke-mode sweep writes a
+fresh measurement which is compared against the committed baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    """Returns {bench_name: entry_dict} for either supported format."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if "benches" in data and isinstance(data["benches"], dict):
+        return data["benches"]
+    if "bench" in data:
+        name = data.pop("bench")
+        return {name: data}
+    raise ValueError(f"{path}: neither a keyed nor a legacy sweep measurement")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed reference BENCH_sweep.json")
+    parser.add_argument("current", help="freshly measured BENCH_sweep.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional points/sec drop before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when a baseline bench is missing from the current file",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_entries(args.baseline)
+        current = load_entries(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    missing = []
+    for name in sorted(baseline):
+        if name not in current:
+            missing.append(name)
+            continue
+        old = float(baseline[name].get("points_per_second", 0.0))
+        new = float(current[name].get("points_per_second", 0.0))
+        if old <= 0.0:
+            print(f"  {name}: baseline has no throughput, skipped")
+            continue
+        ratio = new / old
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append(name)
+        print(
+            f"  {name}: {old:.4g} -> {new:.4g} points/s "
+            f"({(ratio - 1.0) * 100.0:+.1f}%) {status}"
+        )
+
+    for name in missing:
+        print(f"  {name}: present in baseline only", file=sys.stderr)
+    if failures:
+        print(
+            f"bench_compare: {len(failures)} bench(es) regressed more than "
+            f"{args.tolerance * 100.0:.0f}%: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    if missing and args.require_all:
+        print("bench_compare: benches missing from current file", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

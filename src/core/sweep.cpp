@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -154,28 +156,115 @@ ExperimentResult mean_result(const std::vector<ExperimentResult>& reps) {
   return out;
 }
 
+namespace {
+
+/// Serializes one report as the body of a per-bench entry (indented two
+/// levels, no trailing newline after the closing brace).
+std::string sweep_entry_json(const SweepReport& report) {
+  const auto num = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  std::ostringstream out;
+  out << "{\n";
+  out << "      \"points\": " << report.points << ",\n";
+  out << "      \"reps\": " << report.reps << ",\n";
+  out << "      \"threads\": " << report.threads << ",\n";
+  out << "      \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "      \"wall_seconds\": " << num(report.wall_seconds) << ",\n";
+  out << "      \"serial_wall_seconds\": " << num(report.serial_wall_seconds) << ",\n";
+  out << "      \"points_per_second\": " << num(report.points_per_second) << ",\n";
+  out << "      \"speedup_vs_serial\": " << num(report.speedup_vs_serial) << ",\n";
+  out << "      \"phases\": {\n";
+  out << "        \"populate_seconds\": " << num(report.phases.populate_seconds) << ",\n";
+  out << "        \"warmup_seconds\": " << num(report.phases.warmup_seconds) << ",\n";
+  out << "        \"measure_seconds\": " << num(report.phases.measure_seconds) << ",\n";
+  out << "        \"analyze_seconds\": " << num(report.phases.analyze_seconds) << "\n";
+  out << "      }\n";
+  out << "    }";
+  return out.str();
+}
+
+/// Captures the brace-balanced object starting at text[open] ('{'); returns
+/// one past the closing brace, or npos when unbalanced.  The writer never
+/// emits braces inside strings, so plain counting suffices.
+std::size_t match_braces(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Parses the per-bench entries out of an existing measurement file (either
+/// the keyed format this writer produces or the historical single-object
+/// format with a top-level "bench" name).  Unparseable content is dropped —
+/// the file is a measurement cache, not a source of truth.
+std::map<std::string, std::string> parse_sweep_entries(const std::string& text) {
+  std::map<std::string, std::string> entries;
+  const std::size_t benches = text.find("\"benches\"");
+  if (benches != std::string::npos) {
+    std::size_t map_open = text.find('{', benches);
+    if (map_open == std::string::npos) return entries;
+    std::size_t pos = map_open + 1;
+    while (true) {
+      const std::size_t name_open = text.find('"', pos);
+      if (name_open == std::string::npos) break;
+      const std::size_t name_close = text.find('"', name_open + 1);
+      if (name_close == std::string::npos) break;
+      const std::size_t body_open = text.find('{', name_close + 1);
+      if (body_open == std::string::npos) break;
+      const std::size_t body_end = match_braces(text, body_open);
+      if (body_end == std::string::npos) break;
+      entries[text.substr(name_open + 1, name_close - name_open - 1)] =
+          text.substr(body_open, body_end - body_open);
+      pos = body_end;
+    }
+    return entries;
+  }
+  // Historical flat format: one object with a "bench": "<name>" field.
+  const std::size_t bench_key = text.find("\"bench\"");
+  if (bench_key == std::string::npos) return entries;
+  const std::size_t name_open = text.find('"', text.find(':', bench_key) + 1);
+  if (name_open == std::string::npos) return entries;
+  const std::size_t name_close = text.find('"', name_open + 1);
+  if (name_close == std::string::npos) return entries;
+  const std::string name = text.substr(name_open + 1, name_close - name_open - 1);
+  // Keep the old fields minus the name line (now the key).
+  std::istringstream in(text);
+  std::ostringstream body;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("\"bench\"") == std::string::npos) body << line << '\n';
+  std::string migrated = body.str();
+  while (!migrated.empty() && (migrated.back() == '\n' || migrated.back() == ' '))
+    migrated.pop_back();
+  if (!migrated.empty()) entries[name] = migrated;
+  return entries;
+}
+
+}  // namespace
+
 bool write_sweep_json(const std::string& path, const std::string& bench,
                       const SweepReport& report) {
+  std::map<std::string, std::string> entries;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      entries = parse_sweep_entries(text.str());
+    }
+  }
+  entries[bench] = sweep_entry_json(report);
+
   std::ofstream out(path);
   if (!out) return false;
-  const auto num = [](double v) { return std::isfinite(v) ? v : 0.0; };
-  out << "{\n";
-  out << "  \"bench\": \"" << bench << "\",\n";
-  out << "  \"points\": " << report.points << ",\n";
-  out << "  \"reps\": " << report.reps << ",\n";
-  out << "  \"threads\": " << report.threads << ",\n";
-  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
-  out << "  \"wall_seconds\": " << num(report.wall_seconds) << ",\n";
-  out << "  \"serial_wall_seconds\": " << num(report.serial_wall_seconds) << ",\n";
-  out << "  \"points_per_second\": " << num(report.points_per_second) << ",\n";
-  out << "  \"speedup_vs_serial\": " << num(report.speedup_vs_serial) << ",\n";
-  out << "  \"phases\": {\n";
-  out << "    \"populate_seconds\": " << num(report.phases.populate_seconds) << ",\n";
-  out << "    \"warmup_seconds\": " << num(report.phases.warmup_seconds) << ",\n";
-  out << "    \"measure_seconds\": " << num(report.phases.measure_seconds) << ",\n";
-  out << "    \"analyze_seconds\": " << num(report.phases.analyze_seconds) << "\n";
-  out << "  }\n";
-  out << "}\n";
+  out << "{\n  \"benches\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, body] : entries) {
+    out << "    \"" << name << "\": " << body;
+    out << (++i == entries.size() ? "\n" : ",\n");
+  }
+  out << "  }\n}\n";
   return static_cast<bool>(out);
 }
 

@@ -102,9 +102,13 @@ struct SweepOutcome {
 /// default result.
 [[nodiscard]] ExperimentResult mean_result(const std::vector<ExperimentResult>& reps);
 
-/// Serializes a report (plus environment metadata: hardware concurrency,
-/// build type) as a JSON object to `path`.  `bench` names the producing
-/// binary.  Returns false when the file cannot be written.
+/// Serializes a report (plus environment metadata: hardware concurrency)
+/// into the sweep-measurement file at `path`, which holds ONE entry per
+/// bench keyed by bench name:  {"benches": {"bench_fig2": {...}, ...}}.
+/// Entries of other benches already in the file are preserved (a file in
+/// the historical single-object format is migrated), this bench's entry is
+/// replaced, and keys are written in sorted order so the file is stable
+/// under re-runs.  Returns false when the file cannot be written.
 bool write_sweep_json(const std::string& path, const std::string& bench,
                       const SweepReport& report);
 

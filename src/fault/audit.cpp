@@ -71,6 +71,19 @@ void audit_network(const net::Network& network) {
                 std::to_string(network.backups().count_on_link(l)) + " entries, walk found " +
                 std::to_string(backup_count[l]));
     }
+    // Every registered id must belong to an active connection whose backup
+    // traverses this link (catches a stale slot left by swap-erase).
+    for (net::ConnectionId id : network.backups().backups_on_link(l)) {
+      if (!network.is_active(id)) {
+        violation(where + ": backup registry references inactive connection " +
+                  std::to_string(id));
+      }
+      const net::DrConnection& c = network.connection(id);
+      if (!c.has_backup() || !c.backup_links.test(l)) {
+        violation(where + ": registered backup of connection " + std::to_string(id) +
+                  " does not traverse the link");
+      }
+    }
     // recompute_reservation() rebuilds R_l from the registry entries; the
     // cached value and the LinkState mirror must both agree with it.
     const double fresh = network.backups().recompute_reservation(l);
@@ -94,6 +107,14 @@ void audit_network(const net::Network& network) {
     if (committed[l] > 0.0 && s.failed()) {
       violation(where + ": failed link still carries committed bandwidth");
     }
+  }
+
+  // BackupManager internal bookkeeping (swap-erase slot caches, flat
+  // scenario ledger ordering, interned primary sets).
+  try {
+    network.backups().audit();
+  } catch (const std::logic_error& e) {
+    violation(e.what());
   }
 }
 

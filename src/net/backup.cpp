@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace eqos::net {
 
@@ -20,10 +22,21 @@ double BackupManager::incremental_need(topology::LinkId l, double bmin,
   const Registry& reg = per_link_[l];
   if (!multiplexing_) return bmin;
 
+  // Both the primary's set bits and the ledger keys are ascending: one merge
+  // pass, no hashing.  Each key is located by a binary search anchored at
+  // the previous match, so a few primary bits against a long ledger cost
+  // O(bits * log(keys)) instead of a full scan.  max() over doubles is
+  // order-free, so the result is the same value the historical hash-map
+  // walk produced.
   double need = reg.reservation;
+  const topology::LinkId* keys = reg.scenario_keys.data();
+  const topology::LinkId* const end = keys + reg.scenario_keys.size();
+  const topology::LinkId* k = keys;
   primary_links.for_each_set_bit([&](std::size_t f) {
-    const auto it = reg.scenario_sum.find(static_cast<topology::LinkId>(f));
-    const double existing = it == reg.scenario_sum.end() ? 0.0 : it->second;
+    const auto key = static_cast<topology::LinkId>(f);
+    k = std::lower_bound(k, end, key);
+    const double existing =
+        (k != end && *k == key) ? reg.scenario_sums[k - keys] : 0.0;
     need = std::max(need, existing + bmin);
   });
   // A backup with an empty primary (degenerate) still needs its own bmin.
@@ -31,48 +44,156 @@ double BackupManager::incremental_need(topology::LinkId l, double bmin,
   return need - reg.reservation;
 }
 
+BackupManager::PrimarySet BackupManager::intern(
+    ConnectionId id, const util::DynamicBitset& primary_links) {
+  const auto it = interned_.find(id);
+  if (it != interned_.end() && *it->second == primary_links) return it->second;
+  auto fresh = std::make_shared<const util::DynamicBitset>(primary_links);
+  interned_[id] = fresh;  // older sets stay alive through their entries
+  return fresh;
+}
+
 void BackupManager::add(topology::LinkId l, ConnectionId id, double bmin,
                         const util::DynamicBitset& primary_links) {
   assert(l < per_link_.size());
   Registry& reg = per_link_[l];
-  reg.entries.push_back(Entry{id, bmin, primary_links});
+  reg.slot_of[id] = static_cast<std::uint32_t>(reg.entries.size());
+  reg.entries.push_back(Entry{id, bmin, intern(id, primary_links)});
   if (!multiplexing_) {
     reg.reservation += bmin;
     return;
   }
+  bits_scratch_.clear();
   primary_links.for_each_set_bit([&](std::size_t f) {
-    const double sum =
-        (reg.scenario_sum[static_cast<topology::LinkId>(f)] += bmin);
-    reg.reservation = std::max(reg.reservation, sum);
+    bits_scratch_.push_back(static_cast<topology::LinkId>(f));
   });
+  scenario_add(reg, bmin);
   reg.reservation = std::max(reg.reservation, bmin);
+}
+
+void BackupManager::scenario_add(Registry& reg, double bmin) {
+  auto& keys = reg.scenario_keys;
+  auto& sums = reg.scenario_sums;
+  const std::vector<topology::LinkId>& bits = bits_scratch_;
+
+  // First pass: how many keys are new?
+  std::size_t missing = 0;
+  {
+    std::size_t k = 0;
+    const std::size_t n = keys.size();
+    for (const topology::LinkId key : bits) {
+      while (k < n && keys[k] < key) ++k;
+      if (k >= n || keys[k] != key) ++missing;
+    }
+  }
+
+  if (missing == 0) {
+    // Update in place; every key already exists.
+    std::size_t k = 0;
+    for (const topology::LinkId key : bits) {
+      while (keys[k] < key) ++k;
+      sums[k] += bmin;
+      reg.reservation = std::max(reg.reservation, sums[k]);
+    }
+    return;
+  }
+
+  // Backward in-place merge: grow once, then weave old entries and new keys
+  // from the tails so no element shifts more than once.
+  const std::size_t old_n = keys.size();
+  keys.resize(old_n + missing);
+  sums.resize(old_n + missing);
+  std::size_t w = keys.size();  // write cursor (one past)
+  std::size_t i = old_n;        // old-entry cursor (one past)
+  for (std::size_t j = bits.size(); j > 0; --j) {
+    const topology::LinkId key = bits[j - 1];
+    while (i > 0 && keys[i - 1] > key) {
+      --w;
+      --i;
+      keys[w] = keys[i];
+      sums[w] = sums[i];
+    }
+    --w;
+    if (i > 0 && keys[i - 1] == key) {
+      --i;
+      sums[w] = sums[i] + bmin;
+    } else {
+      sums[w] = bmin;
+    }
+    keys[w] = key;
+    reg.reservation = std::max(reg.reservation, sums[w]);
+  }
+  assert(w == i);  // untouched prefix already in place
 }
 
 void BackupManager::remove(topology::LinkId l, ConnectionId id) {
   assert(l < per_link_.size());
   Registry& reg = per_link_[l];
-  const auto it = std::find_if(reg.entries.begin(), reg.entries.end(),
-                               [&](const Entry& e) { return e.id == id; });
-  if (it == reg.entries.end()) return;
-  const Entry removed = std::move(*it);
-  reg.entries.erase(it);
-  if (!multiplexing_) {
+  const auto slot_it = reg.slot_of.find(id);
+  if (slot_it == reg.slot_of.end()) return;
+  const std::uint32_t slot = slot_it->second;
+  assert(slot < reg.entries.size() && reg.entries[slot].id == id);
+  Entry removed = std::move(reg.entries[slot]);
+  reg.slot_of.erase(slot_it);
+  if (static_cast<std::size_t>(slot) + 1 != reg.entries.size()) {
+    reg.entries[slot] = std::move(reg.entries.back());
+    reg.slot_of[reg.entries[slot].id] = slot;
+  }
+  reg.entries.pop_back();
+
+  if (multiplexing_) {
+    bits_scratch_.clear();
+    removed.primary_links->for_each_set_bit([&](std::size_t f) {
+      bits_scratch_.push_back(static_cast<topology::LinkId>(f));
+    });
+    scenario_subtract(reg, removed.bmin);
+    rebuild_reservation(reg);
+  } else {
     reg.reservation -= removed.bmin;
     if (reg.reservation < 0.0) reg.reservation = 0.0;
-    return;
   }
-  removed.primary_links.for_each_set_bit([&](std::size_t f) {
-    const auto sit = reg.scenario_sum.find(static_cast<topology::LinkId>(f));
-    assert(sit != reg.scenario_sum.end());
-    sit->second -= removed.bmin;
-    if (sit->second <= 1e-9) reg.scenario_sum.erase(sit);
-  });
-  rebuild_reservation(reg);
+
+  // Drop the interned set once no registry entry references it.  (If the
+  // connection re-registered with a different primary, the cached set is the
+  // newer one and its use count keeps it alive independently.)
+  removed.primary_links.reset();
+  const auto cached = interned_.find(id);
+  if (cached != interned_.end() && cached->second.use_count() == 1)
+    interned_.erase(cached);
+}
+
+void BackupManager::scenario_subtract(Registry& reg, double bmin) {
+  auto& keys = reg.scenario_keys;
+  auto& sums = reg.scenario_sums;
+  const std::vector<topology::LinkId>& bits = bits_scratch_;
+
+  std::size_t w = 0;
+  std::size_t j = 0;
+  std::size_t matched = 0;
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    while (j < bits.size() && bits[j] < keys[r]) ++j;
+    double sum = sums[r];
+    bool hit = false;
+    if (j < bits.size() && bits[j] == keys[r]) {
+      sum -= bmin;
+      hit = true;
+      ++j;
+      ++matched;
+    }
+    if (hit && sum <= 1e-9) continue;  // scenario emptied: drop the key
+    keys[w] = keys[r];
+    sums[w] = sum;
+    ++w;
+  }
+  keys.resize(w);
+  sums.resize(w);
+  assert(matched == bits.size());  // every primary link had a ledger key
+  (void)matched;
 }
 
 void BackupManager::rebuild_reservation(Registry& reg) const {
   double worst = 0.0;
-  for (const auto& [f, sum] : reg.scenario_sum) worst = std::max(worst, sum);
+  for (const double sum : reg.scenario_sums) worst = std::max(worst, sum);
   for (const auto& e : reg.entries) worst = std::max(worst, e.bmin);
   reg.reservation = worst;
 }
@@ -82,7 +203,7 @@ std::vector<ConnectionId> BackupManager::activated_by(topology::LinkId l,
   assert(l < per_link_.size());
   std::vector<ConnectionId> out;
   for (const auto& e : per_link_[l].entries)
-    if (e.primary_links.test(failed)) out.push_back(e.id);
+    if (e.primary_links->test(failed)) out.push_back(e.id);
   return out;
 }
 
@@ -110,14 +231,49 @@ double BackupManager::recompute_reservation(topology::LinkId l) const {
   double worst = 0.0;
   for (const auto& pivot : reg.entries) {
     worst = std::max(worst, pivot.bmin);
-    pivot.primary_links.for_each_set_bit([&](std::size_t f) {
+    pivot.primary_links->for_each_set_bit([&](std::size_t f) {
       double sum = 0.0;
       for (const auto& e : reg.entries)
-        if (e.primary_links.test(f)) sum += e.bmin;
+        if (e.primary_links->test(f)) sum += e.bmin;
       worst = std::max(worst, sum);
     });
   }
   return worst;
+}
+
+void BackupManager::audit() const {
+  for (std::size_t l = 0; l < per_link_.size(); ++l) {
+    const Registry& reg = per_link_[l];
+    if (reg.slot_of.size() != reg.entries.size())
+      throw std::logic_error("backup audit: slot map size mismatch on link " +
+                             std::to_string(l));
+    for (std::size_t s = 0; s < reg.entries.size(); ++s) {
+      const Entry& e = reg.entries[s];
+      if (!e.primary_links)
+        throw std::logic_error("backup audit: null primary set on link " +
+                               std::to_string(l));
+      const auto it = reg.slot_of.find(e.id);
+      if (it == reg.slot_of.end() || it->second != s)
+        throw std::logic_error("backup audit: slot cache mismatch on link " +
+                               std::to_string(l));
+    }
+    if (reg.scenario_keys.size() != reg.scenario_sums.size())
+      throw std::logic_error("backup audit: ledger length mismatch on link " +
+                             std::to_string(l));
+    if (!std::is_sorted(reg.scenario_keys.begin(), reg.scenario_keys.end()) ||
+        std::adjacent_find(reg.scenario_keys.begin(), reg.scenario_keys.end()) !=
+            reg.scenario_keys.end())
+      throw std::logic_error("backup audit: ledger keys not strictly sorted on link " +
+                             std::to_string(l));
+  }
+  for (const auto& [id, set] : interned_) {
+    if (!set)
+      throw std::logic_error("backup audit: null interned set for connection " +
+                             std::to_string(id));
+    if (set.use_count() <= 1)
+      throw std::logic_error("backup audit: orphaned interned set for connection " +
+                             std::to_string(id));
+  }
 }
 
 }  // namespace eqos::net

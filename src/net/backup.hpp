@@ -15,9 +15,17 @@
 // The manager caches, per link, the per-failure-scenario sums and the
 // resulting reservation so that `incremental_need` — evaluated for every
 // candidate link during backup route search — costs O(primary path length).
+// The scenario ledger is a sparse flat pair of sorted vectors (keys, sums):
+// `incremental_need` walks it and the primary's set bits (both ascending) in
+// one merge pass, so the per-candidate-link cost is pointer chasing over two
+// contiguous arrays with no hashing.  Each connection's primary link set is
+// interned once, so registering a backup on k links stores k shared
+// references to one bitset instead of k copies.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +56,8 @@ class BackupManager {
            const util::DynamicBitset& primary_links);
 
   /// Removes connection `id`'s backup from link `l` (no-op if absent).
+  /// Uses the cached slot for an O(1) swap-erase; registry order is not
+  /// meaningful (every caller that needs determinism sorts the ids).
   void remove(topology::LinkId l, ConnectionId id);
 
   /// Ids of backups on link `l` whose primary traverses `failed`.
@@ -66,24 +76,54 @@ class BackupManager {
   /// the cache (tests); returns the from-scratch value.
   [[nodiscard]] double recompute_reservation(topology::LinkId l) const;
 
+  /// Verifies internal bookkeeping: slot maps round-trip to entries, the
+  /// scenario ledger is strictly sorted with matching key/sum lengths, and
+  /// interned primary sets match what entries reference.  Throws
+  /// std::logic_error on any mismatch (wired into Network::audit and
+  /// fault::audit_network).
+  void audit() const;
+
+  /// Number of distinct interned primary link sets (test observability).
+  [[nodiscard]] std::size_t interned_sets() const noexcept { return interned_.size(); }
+
  private:
+  using PrimarySet = std::shared_ptr<const util::DynamicBitset>;
+
   struct Entry {
     ConnectionId id;
     double bmin;
-    util::DynamicBitset primary_links;
+    PrimarySet primary_links;  // interned; shared across this backup's links
   };
 
   struct Registry {
     std::vector<Entry> entries;
-    /// scenario_sum[f] = sum of bmin over entries whose primary crosses f.
-    std::unordered_map<topology::LinkId, double> scenario_sum;
+    /// slot_of[id] = index of id's entry in `entries` (swap-erase cache).
+    std::unordered_map<ConnectionId, std::uint32_t> slot_of;
+    /// Sparse flat scenario ledger: scenario_sums[i] = sum of bmin over
+    /// entries whose primary crosses scenario_keys[i]; keys strictly
+    /// ascending, vectors parallel.
+    std::vector<topology::LinkId> scenario_keys;
+    std::vector<double> scenario_sums;
     double reservation = 0.0;
   };
 
+  /// Returns a shared copy of `primary_links`, reusing the cached set when
+  /// the connection registers the same primary on multiple backup links.
+  [[nodiscard]] PrimarySet intern(ConnectionId id,
+                                  const util::DynamicBitset& primary_links);
+  /// Folds `bmin` into the scenario sums for every key in `bits_scratch_`.
+  void scenario_add(Registry& reg, double bmin);
+  /// Subtracts `bmin` from the scenario sums for every key in
+  /// `bits_scratch_`, dropping keys whose sum reaches zero.
+  void scenario_subtract(Registry& reg, double bmin);
   void rebuild_reservation(Registry& reg) const;
 
   bool multiplexing_;
   std::vector<Registry> per_link_;
+  /// Latest interned primary set per connection; purged when no registry
+  /// entry references it any more.
+  std::unordered_map<ConnectionId, PrimarySet> interned_;
+  std::vector<topology::LinkId> bits_scratch_;  // set bits of one primary set
 };
 
 }  // namespace eqos::net

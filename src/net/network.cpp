@@ -26,7 +26,8 @@ Network::Network(topology::Graph graph, NetworkConfig config)
       config_(config),
       links_(graph_.num_links(), LinkState(config.link_capacity_kbps)),
       backups_(graph_.num_links(), config.backup_multiplexing),
-      router_(graph_, links_, backups_, config.route_policy),
+      goal_(graph_),
+      router_(graph_, links_, backups_, config.route_policy, &goal_),
       primaries_on_link_(graph_.num_links()),
       direct_union_scratch_(graph_.num_links()) {
   if (graph_.num_nodes() < 2)
@@ -90,11 +91,18 @@ const Network::ChainSets& Network::classify_against(
 
   // Indirect members (share a link with a direct member but not the event
   // path) still need one pass over the active set — they can sit anywhere.
-  for (ConnectionId id : active_ids_) {
+  // The dense pointer mirror avoids a hash probe per active id, and testing
+  // the (superset) direct union first rejects unrelated channels with a
+  // single bitset intersect; the event-link test only runs for candidates.
+  // Membership is unchanged: indirect = intersects(union) && !intersects(event).
+  const std::size_t n_active = active_ids_.size();
+  for (std::size_t i = 0; i < n_active; ++i) {
+    const ConnectionId id = active_ids_[i];
     if (id == exclude) continue;
-    const DrConnection& c = connections_.at(id);
+    const DrConnection& c = *active_conns_[i];
+    if (!c.primary_links.intersects(direct_union)) continue;
     if (c.primary_links.intersects(event_links)) continue;  // already direct
-    if (c.primary_links.intersects(direct_union)) sets.indirect.push_back(id);
+    sets.indirect.push_back(id);
   }
   std::sort(sets.indirect.begin(), sets.indirect.end());
   return sets;
@@ -274,6 +282,8 @@ void Network::drop_active(ConnectionId id) {
   active_index_[active_ids_.back()] = idx;
   std::swap(active_ids_[idx], active_ids_.back());
   active_ids_.pop_back();
+  active_conns_[idx] = active_conns_.back();
+  active_conns_.pop_back();
   active_index_.erase(id);
   connections_.erase(id);
 }
@@ -369,6 +379,7 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   DrConnection& conn = it->second;
   active_index_[id] = active_ids_.size();
   active_ids_.push_back(id);
+  active_conns_.push_back(&conn);
   register_primary(conn);
 
   if (backup) {
@@ -442,6 +453,7 @@ FailureReport Network::fail_link(topology::LinkId link) {
   report.existing_before = active_ids_.size();
   if (links_[link].failed()) return report;  // idempotent
   links_[link].set_failed(true);
+  goal_.set_link_usable(link, false);
   ++stats_.failures_injected;
 
   // Victims, deterministic order — read off the per-link registries instead
@@ -648,6 +660,7 @@ std::size_t Network::repair_link(topology::LinkId link) {
   if (link >= links_.size()) throw std::invalid_argument("network: unknown link");
   if (!links_[link].failed()) return 0;
   links_[link].set_failed(false);
+  goal_.set_link_usable(link, true);
   ++stats_.repairs;
 
   std::size_t reestablished = 0;
@@ -853,14 +866,26 @@ void Network::audit() const {
     if (s.failed() && backups_.count_on_link(l) != 0)
       throw std::logic_error("invariant: backup parked on failed link " +
                              std::to_string(l));
+    // Goal-directed search bound: the distance field must mask exactly the
+    // failed links, or its lower bounds could prune a live route.
+    if (goal_.link_usable(l) == s.failed())
+      throw std::logic_error("invariant: goal-field usable mask stale on link " +
+                             std::to_string(l));
   }
+  // BackupManager internals: slot caches, flat scenario ledger, interning.
+  backups_.audit();
   // Active-id bookkeeping.
   if (active_ids_.size() != connections_.size())
     throw std::logic_error("invariant: active id count mismatch");
+  if (active_conns_.size() != active_ids_.size())
+    throw std::logic_error("invariant: active pointer mirror size mismatch");
   for (std::size_t i = 0; i < active_ids_.size(); ++i) {
     const auto it = active_index_.find(active_ids_[i]);
     if (it == active_index_.end() || it->second != i)
       throw std::logic_error("invariant: active index mismatch");
+    const auto conn = connections_.find(active_ids_[i]);
+    if (conn == connections_.end() || active_conns_[i] != &conn->second)
+      throw std::logic_error("invariant: active pointer mirror stale");
   }
 }
 

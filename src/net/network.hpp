@@ -228,11 +228,19 @@ class Network {
   NetworkConfig config_;
   std::vector<LinkState> links_;
   BackupManager backups_;
+  /// Per-destination hop-distance bounds for goal-directed route search;
+  /// fail_link/repair_link keep its usable-link mask equal to the non-failed
+  /// set (declared before router_, which borrows it).
+  topology::HopDistanceField goal_;
   Router router_;
 
   std::unordered_map<ConnectionId, DrConnection> connections_;
   std::vector<ConnectionId> active_ids_;
   std::unordered_map<ConnectionId, std::size_t> active_index_;
+  /// Dense mirror of active_ids_: active_conns_[i] points at the
+  /// connections_ node for active_ids_[i] (unordered_map nodes are stable),
+  /// so per-event scans over the active set skip the hash probe per id.
+  std::vector<const DrConnection*> active_conns_;
   /// Primary channels traversing each link.
   std::vector<std::vector<ConnectionId>> primaries_on_link_;
 

@@ -3,33 +3,46 @@
 namespace eqos::net {
 
 Router::Router(const topology::Graph& graph, const std::vector<LinkState>& links,
-               const BackupManager& backups, RoutePolicy policy)
-    : graph_(graph), links_(links), backups_(backups), policy_(policy) {}
+               const BackupManager& backups, RoutePolicy policy,
+               topology::HopDistanceField* goal)
+    : graph_(graph), links_(links), backups_(backups), policy_(policy), goal_(goal) {}
+
+// The filters below are concrete lambdas handed to PathSearch's member
+// templates, so each edge relaxation is a direct (inlinable) call instead of
+// a std::function dispatch.
 
 std::optional<topology::Path> Router::find_primary(topology::NodeId src,
                                                    topology::NodeId dst,
                                                    double bmin) const {
-  const topology::LinkFilter admissible = [&](topology::LinkId l) {
+  const auto admissible = [&](topology::LinkId l) {
     return links_[l].admits_primary(bmin);
   };
   if (policy_ == RoutePolicy::kShortest)
-    return search_.shortest(graph_, src, dst, admissible);
-  const topology::LinkWidth headroom = [&](topology::LinkId l) {
+    return search_.shortest(graph_, src, dst, admissible, bound_for(dst));
+  const auto headroom = [&](topology::LinkId l) {
     return links_[l].admission_headroom();
   };
-  return search_.widest_shortest(graph_, src, dst, headroom, admissible);
+  return search_.widest_shortest(graph_, src, dst, headroom, admissible,
+                                 bound_for(dst));
 }
 
 std::optional<topology::Path> Router::find_backup(
     topology::NodeId src, topology::NodeId dst, double bmin,
     const util::DynamicBitset& primary_links, bool require_disjoint) const {
-  const topology::LinkFilter admissible = [&](topology::LinkId l) {
+  const auto admissible = [&](topology::LinkId l) {
     if (links_[l].failed()) return false;
     if (require_disjoint && primary_links.test(l)) return false;
+    const double headroom = links_[l].admission_headroom();
+    // incremental_need is bounded by bmin (every scenario sum is <= the
+    // cached reservation, so need <= reservation + bmin; without
+    // multiplexing it IS bmin), so a link with headroom for a full bmin
+    // admits without walking the scenario ledger at all.
+    if (headroom >= bmin - LinkState::kEpsilon) return true;
     const double need = backups_.incremental_need(l, bmin, primary_links);
-    return links_[l].admission_headroom() >= need - LinkState::kEpsilon;
+    return headroom >= need - LinkState::kEpsilon;
   };
-  auto path = search_.min_overlap(graph_, src, dst, primary_links, admissible);
+  auto path = search_.min_overlap(graph_, src, dst, primary_links, admissible,
+                                  bound_for(dst));
   if (!path) return std::nullopt;
   std::size_t overlap = 0;
   for (topology::LinkId l : path->links)

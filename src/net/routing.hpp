@@ -15,6 +15,7 @@
 #include "net/backup.hpp"
 #include "net/link_state.hpp"
 #include "net/qos.hpp"
+#include "topology/goal.hpp"
 #include "topology/graph.hpp"
 #include "topology/paths.hpp"
 
@@ -34,9 +35,14 @@ enum class RoutePolicy : std::uint8_t {
 class Router {
  public:
   /// Keeps references; the graph, link table, and backup manager must
-  /// outlive the router.
+  /// outlive the router.  `goal`, when non-null, supplies per-destination
+  /// hop-distance lower bounds for goal-directed pruning (the owner must
+  /// keep its usable-link set a superset of what the admission filters
+  /// admit — the network masks exactly the failed links); routes are
+  /// bit-identical with or without it.
   Router(const topology::Graph& graph, const std::vector<LinkState>& links,
-         const BackupManager& backups, RoutePolicy policy = RoutePolicy::kWidestShortest);
+         const BackupManager& backups, RoutePolicy policy = RoutePolicy::kWidestShortest,
+         topology::HopDistanceField* goal = nullptr);
 
   /// Fewest-hop / widest primary route admitting `bmin` on every link.
   [[nodiscard]] std::optional<topology::Path> find_primary(topology::NodeId src,
@@ -53,10 +59,16 @@ class Router {
       const util::DynamicBitset& primary_links, bool require_disjoint) const;
 
  private:
+  /// Hop bound for `dst` (nullptr when no field is attached).
+  [[nodiscard]] const std::uint32_t* bound_for(topology::NodeId dst) const {
+    return goal_ ? goal_->to_destination(dst) : nullptr;
+  }
+
   const topology::Graph& graph_;
   const std::vector<LinkState>& links_;
   const BackupManager& backups_;
   RoutePolicy policy_;
+  topology::HopDistanceField* goal_;
   /// Reused search buffers: route selection runs twice per arrival (primary
   /// + backup), so per-call scratch allocation is churn-loop hot-path cost.
   /// Mutable because the searches are logically const (the workspace is

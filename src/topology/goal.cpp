@@ -1,0 +1,44 @@
+#include "topology/goal.hpp"
+
+#include <cassert>
+
+namespace eqos::topology {
+
+HopDistanceField::HopDistanceField(const Graph& graph)
+    : graph_(graph),
+      usable_(graph.num_links(), 1),
+      dist_(graph.num_nodes()),
+      built_version_(graph.num_nodes(), 0) {}
+
+void HopDistanceField::set_link_usable(LinkId link, bool usable) {
+  assert(link < usable_.size());
+  const char value = usable ? 1 : 0;
+  if (usable_[link] == value) return;
+  usable_[link] = value;
+  ++version_;
+}
+
+const std::uint32_t* HopDistanceField::to_destination(NodeId dst) {
+  assert(dst < graph_.num_nodes());
+  if (built_version_[dst] == version_) return dist_[dst].data();
+
+  std::vector<std::uint32_t>& dist = dist_[dst];
+  dist.assign(graph_.num_nodes(), kUnreachable);
+  queue_.clear();
+  dist[dst] = 0;
+  queue_.push_back(dst);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    const std::uint32_t next = dist[u] + 1;
+    for (const auto& adj : graph_.adjacent(u)) {
+      if (!usable_[adj.link] || dist[adj.neighbor] != kUnreachable) continue;
+      dist[adj.neighbor] = next;
+      queue_.push_back(adj.neighbor);
+    }
+  }
+  built_version_[dst] = version_;
+  ++rebuilds_;
+  return dist.data();
+}
+
+}  // namespace eqos::topology

@@ -1,0 +1,71 @@
+// Per-destination hop-distance fields for goal-directed route search.
+//
+// Every route search the simulator runs knows its destination, so an
+// admissible lower bound on the remaining hop count lets the searches in
+// topology/paths.hpp skip work that provably cannot contribute to the
+// chosen route (see PathSearch's pruning notes for exactly which cuts are
+// sound).  A HopDistanceField owns one BFS distance vector per destination,
+// computed over the links currently marked usable (the network marks failed
+// links unusable), built lazily on first request and cached until the
+// topology version changes.
+//
+// Admissibility contract: a field computed over link set M is a valid lower
+// bound for any search whose filter admits only links in M.  The network
+// masks exactly the failed links, and both of its filters
+// (LinkState::admits_primary and the backup admissibility test) reject
+// failed links, so the bound holds for every search the Router issues.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace eqos::topology {
+
+/// Lazily-computed, version-cached BFS hop distances to each destination.
+class HopDistanceField {
+ public:
+  /// Distance value of nodes that cannot reach the destination over the
+  /// usable links.  Matches the searches' "unreached" label.
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+  /// Borrow the graph; all links start usable.  The graph must outlive the
+  /// field and must not gain nodes or links afterwards.
+  explicit HopDistanceField(const Graph& graph);
+
+  /// Marks a link (un)usable; a change bumps the topology version and
+  /// invalidates every cached field.
+  void set_link_usable(LinkId link, bool usable);
+
+  [[nodiscard]] bool link_usable(LinkId link) const { return usable_[link] != 0; }
+
+  /// Monotone counter identifying the current usable-link set.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Hop distances from every node to `dst` over the usable links,
+  /// recomputing only when the version moved since the last request for
+  /// this destination.  The pointer stays valid until the next
+  /// set_link_usable call for this destination... in fact until the field
+  /// itself is destroyed (storage is per-destination and only overwritten
+  /// in place).  `dist[v] == kUnreachable` marks nodes with no usable
+  /// route to `dst`.
+  [[nodiscard]] const std::uint32_t* to_destination(NodeId dst);
+
+  /// Number of cached-field rebuilds (test observability).
+  [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<char> usable_;
+  std::uint64_t version_ = 1;
+
+  /// dist_[dst] is valid iff built_version_[dst] == version_.
+  std::vector<std::vector<std::uint32_t>> dist_;
+  std::vector<std::uint64_t> built_version_;
+  std::vector<NodeId> queue_;  // reused BFS frontier
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace eqos::topology

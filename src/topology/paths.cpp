@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <limits>
 #include <set>
 #include <stdexcept>
 
-namespace eqos::topology {
-namespace {
+#include "topology/goal.hpp"
 
-constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+namespace eqos::topology {
+
+static_assert(HopDistanceField::kUnreachable ==
+                  std::numeric_limits<std::uint32_t>::max(),
+              "distance-field hints must share the searches' unreached label");
+
+namespace detail {
 
 Path reconstruct(const Graph& g, NodeId src, NodeId dst,
                  const std::vector<LinkId>& via_link) {
@@ -27,6 +30,10 @@ Path reconstruct(const Graph& g, NodeId src, NodeId dst,
   std::reverse(p.links.begin(), p.links.end());
   return p;
 }
+
+}  // namespace detail
+
+namespace {
 
 bool usable(const LinkFilter& filter, LinkId l) { return !filter || filter(l); }
 
@@ -47,110 +54,24 @@ std::size_t Path::overlap(const Path& other) const {
 
 std::optional<Path> PathSearch::shortest(const Graph& g, NodeId src, NodeId dst,
                                          const LinkFilter& filter) {
-  if (src >= g.num_nodes() || dst >= g.num_nodes())
-    throw std::invalid_argument("shortest_path: unknown node");
-  if (src == dst) return Path{{src}, {}};
-
-  dist_.assign(g.num_nodes(), kUnreached);
-  via_link_.assign(g.num_nodes(), 0);
-  queue_.clear();
-  dist_[src] = 0;
-  queue_.push_back(src);
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const NodeId u = queue_[head];
-    for (const auto& adj : g.adjacent(u)) {
-      if (!usable(filter, adj.link) || dist_[adj.neighbor] != kUnreached) continue;
-      dist_[adj.neighbor] = dist_[u] + 1;
-      via_link_[adj.neighbor] = adj.link;
-      if (adj.neighbor == dst) return reconstruct(g, src, dst, via_link_);
-      queue_.push_back(adj.neighbor);
-    }
-  }
-  return std::nullopt;
+  if (!filter) return shortest(g, src, dst, AllLinks{});
+  return shortest(g, src, dst, detail::FilterRef{&filter});
 }
 
 std::optional<Path> PathSearch::widest_shortest(const Graph& g, NodeId src, NodeId dst,
                                                 const LinkWidth& width,
                                                 const LinkFilter& filter) {
-  if (src >= g.num_nodes() || dst >= g.num_nodes())
-    throw std::invalid_argument("widest_shortest_path: unknown node");
   if (!width) throw std::invalid_argument("widest_shortest_path: null width");
-  if (src == dst) return Path{{src}, {}};
-
-  // Lexicographic Dijkstra on (hops asc, bottleneck width desc).  The heap
-  // runs on the reused wide_heap_ buffer via push_heap/pop_heap — the same
-  // operations std::priority_queue performs, so the pop order (and thus the
-  // chosen route) is identical to the historical implementation.
-  const auto better = [](const WideLabel& a, const WideLabel& b) {
-    return a.hops != b.hops ? a.hops < b.hops : a.width > b.width;
-  };
-  using QueueEntry = std::pair<WideLabel, NodeId>;
-  const auto cmp = [&](const QueueEntry& a, const QueueEntry& b) {
-    return better(b.first, a.first);  // min-heap by label
-  };
-
-  wide_best_.assign(g.num_nodes(), WideLabel{kUnreached, 0.0});
-  via_link_.assign(g.num_nodes(), 0);
-  wide_heap_.clear();
-  wide_best_[src] = {0, std::numeric_limits<double>::infinity()};
-  wide_heap_.push_back({wide_best_[src], src});
-  while (!wide_heap_.empty()) {
-    std::pop_heap(wide_heap_.begin(), wide_heap_.end(), cmp);
-    const auto [label, u] = wide_heap_.back();
-    wide_heap_.pop_back();
-    if (better(wide_best_[u], label)) continue;  // stale entry
-    if (u == dst) break;
-    for (const auto& adj : g.adjacent(u)) {
-      if (!usable(filter, adj.link)) continue;
-      const WideLabel candidate{label.hops + 1, std::min(label.width, width(adj.link))};
-      if (better(candidate, wide_best_[adj.neighbor])) {
-        wide_best_[adj.neighbor] = candidate;
-        via_link_[adj.neighbor] = adj.link;
-        wide_heap_.push_back({candidate, adj.neighbor});
-        std::push_heap(wide_heap_.begin(), wide_heap_.end(), cmp);
-      }
-    }
-  }
-  if (wide_best_[dst].hops == kUnreached) return std::nullopt;
-  return reconstruct(g, src, dst, via_link_);
+  if (!filter) return widest_shortest(g, src, dst, detail::WidthRef{&width}, AllLinks{});
+  return widest_shortest(g, src, dst, detail::WidthRef{&width},
+                         detail::FilterRef{&filter});
 }
 
 std::optional<Path> PathSearch::min_overlap(const Graph& g, NodeId src, NodeId dst,
                                             const util::DynamicBitset& avoid,
                                             const LinkFilter& filter) {
-  if (src >= g.num_nodes() || dst >= g.num_nodes())
-    throw std::invalid_argument("min_overlap_path: unknown node");
-  if (src == dst) return Path{{src}, {}};
-
-  // Dijkstra with cost = overlap * kPenalty + hops; the penalty dominates any
-  // possible hop count so overlap is minimized first.
-  const double kPenalty = static_cast<double>(g.num_links() + 1);
-  const auto cmp = std::greater<std::pair<double, NodeId>>{};
-  cost_best_.assign(g.num_nodes(), std::numeric_limits<double>::infinity());
-  via_link_.assign(g.num_nodes(), 0);
-  cost_heap_.clear();
-  cost_best_[src] = 0.0;
-  cost_heap_.push_back({0.0, src});
-  while (!cost_heap_.empty()) {
-    std::pop_heap(cost_heap_.begin(), cost_heap_.end(), cmp);
-    const auto [cost, u] = cost_heap_.back();
-    cost_heap_.pop_back();
-    if (cost > cost_best_[u]) continue;
-    if (u == dst) break;
-    for (const auto& adj : g.adjacent(u)) {
-      if (!usable(filter, adj.link)) continue;
-      const double step = 1.0 + (avoid.test(adj.link) ? kPenalty : 0.0);
-      const double candidate = cost + step;
-      if (candidate < cost_best_[adj.neighbor]) {
-        cost_best_[adj.neighbor] = candidate;
-        via_link_[adj.neighbor] = adj.link;
-        cost_heap_.push_back({candidate, adj.neighbor});
-        std::push_heap(cost_heap_.begin(), cost_heap_.end(), cmp);
-      }
-    }
-  }
-  if (!std::isfinite(cost_best_[dst])) return std::nullopt;
-  return reconstruct(g, src, dst, via_link_);
+  if (!filter) return min_overlap(g, src, dst, avoid, AllLinks{});
+  return min_overlap(g, src, dst, avoid, detail::FilterRef{&filter});
 }
 
 namespace {

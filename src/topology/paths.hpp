@@ -9,10 +9,14 @@
 // ("maximally link-disjoint" when no fully disjoint path exists).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -35,10 +39,40 @@ struct Path {
   [[nodiscard]] std::size_t overlap(const Path& other) const;
 };
 
-/// Predicate deciding whether a link may be used by the search.
+/// Predicate deciding whether a link may be used by the search.  The
+/// type-erased entry points below take this; the hot path (net::Router)
+/// passes concrete callables to the member templates instead, so each edge
+/// relaxation costs a direct (inlinable) call rather than a std::function
+/// dispatch.
 using LinkFilter = std::function<bool(LinkId)>;
 /// Width (e.g. spare bandwidth) of a link, used for tie-breaking.
 using LinkWidth = std::function<double(LinkId)>;
+
+/// Filter admitting every link — the concrete stand-in for a null
+/// LinkFilter on the templated fast path.
+struct AllLinks {
+  constexpr bool operator()(LinkId) const noexcept { return true; }
+};
+
+namespace detail {
+
+/// Rebuilds the node/link sequence from the predecessor array.
+[[nodiscard]] Path reconstruct(const Graph& g, NodeId src, NodeId dst,
+                               const std::vector<LinkId>& via_link);
+
+/// Concrete adapter for a (known non-null) LinkFilter.
+struct FilterRef {
+  const LinkFilter* fn;
+  bool operator()(LinkId l) const { return (*fn)(l); }
+};
+
+/// Concrete adapter for a (known non-null) LinkWidth.
+struct WidthRef {
+  const LinkWidth* fn;
+  double operator()(LinkId l) const { return (*fn)(l); }
+};
+
+}  // namespace detail
 
 /// Reusable workspace for the path searches below.
 ///
@@ -49,9 +83,176 @@ using LinkWidth = std::function<double(LinkId)>;
 /// so after the first search on a given graph size no scratch allocation
 /// happens (only the returned Path is built fresh).  Results are identical
 /// to the free functions for every input — asserted in
-/// tests/test_sweep.cpp.  Not thread-safe; use one instance per thread.
+/// tests/test_sweep.cpp and tests/test_fastpath.cpp.  Not thread-safe; use
+/// one instance per thread.
+///
+/// The member templates additionally accept `dist_to_dst`, a per-node
+/// admissible lower bound on the remaining hop count (usually
+/// HopDistanceField::to_destination).  The bound must be computed over a
+/// link set that CONTAINS every link the filter admits; passing a tighter
+/// field is undefined (it could prune a node on the true route).  With a
+/// valid field the returned routes are bit-identical to the unpruned
+/// searches.  Which cuts each search makes — and why nothing more is sound
+/// — is documented on the implementations below and in DESIGN.md §7.
 class PathSearch {
  public:
+  /// See topology::shortest_path.  Prunes nodes the field marks unreachable
+  /// from dst: BFS frontier order is FIFO (stable), and a node that cannot
+  /// reach dst over the bound's link superset can never be relaxed from —
+  /// nor relax — any node that can (an edge between the two classes would
+  /// contradict the bound), so skipping the class leaves every label and
+  /// predecessor the route reconstruction can read untouched.
+  template <typename Filter>
+  [[nodiscard]] std::optional<Path> shortest(const Graph& g, NodeId src, NodeId dst,
+                                             Filter&& filter,
+                                             const std::uint32_t* dist_to_dst = nullptr) {
+    if (src >= g.num_nodes() || dst >= g.num_nodes())
+      throw std::invalid_argument("shortest_path: unknown node");
+    if (src == dst) return Path{{src}, {}};
+    if (dist_to_dst && dist_to_dst[src] == kUnreached) return std::nullopt;
+
+    dist_.assign(g.num_nodes(), kUnreached);
+    via_link_.assign(g.num_nodes(), 0);
+    queue_.clear();
+    dist_[src] = 0;
+    queue_.push_back(src);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId u = queue_[head];
+      for (const auto& adj : g.adjacent(u)) {
+        if (!filter(adj.link) || dist_[adj.neighbor] != kUnreached) continue;
+        if (dist_to_dst && dist_to_dst[adj.neighbor] == kUnreached) continue;
+        dist_[adj.neighbor] = dist_[u] + 1;
+        via_link_[adj.neighbor] = adj.link;
+        if (adj.neighbor == dst) return detail::reconstruct(g, src, dst, via_link_);
+        queue_.push_back(adj.neighbor);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// See topology::widest_shortest_path.  The only goal-directed cut here
+  /// is the disconnected-source short-circuit.  Anything deeper is unsound
+  /// for bit-identity: the heap orders entries by label alone (hops, then
+  /// width — NOT a total order over entries), so which of two equal-label
+  /// nodes pops first depends on the heap's array layout, which any
+  /// suppressed push would perturb.  Equal-label pops can relax a shared
+  /// neighbor to the same candidate label through different links, where
+  /// pop order decides the recorded predecessor — i.e. the route.  Only
+  /// content-preserving cuts are sound, and those save nothing.
+  template <typename Width, typename Filter>
+  [[nodiscard]] std::optional<Path> widest_shortest(
+      const Graph& g, NodeId src, NodeId dst, Width&& width, Filter&& filter,
+      const std::uint32_t* dist_to_dst = nullptr) {
+    if (src >= g.num_nodes() || dst >= g.num_nodes())
+      throw std::invalid_argument("widest_shortest_path: unknown node");
+    if (src == dst) return Path{{src}, {}};
+    if (dist_to_dst && dist_to_dst[src] == kUnreached) return std::nullopt;
+
+    // Lexicographic Dijkstra on (hops asc, bottleneck width desc).  The heap
+    // runs on the reused wide_heap_ buffer via push_heap/pop_heap — the same
+    // operations std::priority_queue performs, so the pop order (and thus the
+    // chosen route) is identical to the historical implementation.
+    const auto better = [](const WideLabel& a, const WideLabel& b) {
+      return a.hops != b.hops ? a.hops < b.hops : a.width > b.width;
+    };
+    using QueueEntry = std::pair<WideLabel, NodeId>;
+    const auto cmp = [&](const QueueEntry& a, const QueueEntry& b) {
+      return better(b.first, a.first);  // min-heap by label
+    };
+
+    wide_best_.assign(g.num_nodes(), WideLabel{kUnreached, 0.0});
+    via_link_.assign(g.num_nodes(), 0);
+    wide_heap_.clear();
+    wide_best_[src] = {0, std::numeric_limits<double>::infinity()};
+    wide_heap_.push_back({wide_best_[src], src});
+    while (!wide_heap_.empty()) {
+      std::pop_heap(wide_heap_.begin(), wide_heap_.end(), cmp);
+      const auto [label, u] = wide_heap_.back();
+      wide_heap_.pop_back();
+      if (better(wide_best_[u], label)) continue;  // stale entry
+      if (u == dst) break;
+      for (const auto& adj : g.adjacent(u)) {
+        if (!filter(adj.link)) continue;
+        const WideLabel candidate{label.hops + 1,
+                                  std::min(label.width, width(adj.link))};
+        if (better(candidate, wide_best_[adj.neighbor])) {
+          wide_best_[adj.neighbor] = candidate;
+          via_link_[adj.neighbor] = adj.link;
+          wide_heap_.push_back({candidate, adj.neighbor});
+          std::push_heap(wide_heap_.begin(), wide_heap_.end(), cmp);
+        }
+      }
+    }
+    if (wide_best_[dst].hops == kUnreached) return std::nullopt;
+    return detail::reconstruct(g, src, dst, via_link_);
+  }
+
+  /// See topology::min_overlap_path.  Full goal-directed pruning: a
+  /// candidate label c for node v is dropped when v cannot reach dst over
+  /// the bound's links, or when c + dist_to_dst[v] (each remaining hop
+  /// costs >= 1; avoid-penalties only add) exceeds dst's current best
+  /// label.  This is bit-identity-sound because the heap comparator is a
+  /// strict total order over entries — (cost, node id) — so the pop
+  /// sequence is the sorted order of whatever was pushed, independent of
+  /// array layout.  Every node on the final route receives its optimal
+  /// label through a chain of relaxations that all satisfy the bound
+  /// (label + admissible remainder <= final dst cost), so no pruned
+  /// candidate can be, or reorder, a relaxation the reconstruction reads;
+  /// pruned candidates are exactly the transient improvements a later
+  /// strict improvement would have overwritten anyway.
+  template <typename Filter>
+  [[nodiscard]] std::optional<Path> min_overlap(
+      const Graph& g, NodeId src, NodeId dst, const util::DynamicBitset& avoid,
+      Filter&& filter, const std::uint32_t* dist_to_dst = nullptr) {
+    if (src >= g.num_nodes() || dst >= g.num_nodes())
+      throw std::invalid_argument("min_overlap_path: unknown node");
+    if (src == dst) return Path{{src}, {}};
+    if (dist_to_dst && dist_to_dst[src] == kUnreached) return std::nullopt;
+
+    // Dijkstra with cost = overlap * kPenalty + hops; the penalty dominates
+    // any possible hop count so overlap is minimized first.  All costs are
+    // small integers stored in doubles, so the pruning comparison below is
+    // exact.
+    const double kPenalty = static_cast<double>(g.num_links() + 1);
+    const auto cmp = std::greater<std::pair<double, NodeId>>{};
+    cost_best_.assign(g.num_nodes(), std::numeric_limits<double>::infinity());
+    via_link_.assign(g.num_nodes(), 0);
+    cost_heap_.clear();
+    cost_best_[src] = 0.0;
+    cost_heap_.push_back({0.0, src});
+    while (!cost_heap_.empty()) {
+      std::pop_heap(cost_heap_.begin(), cost_heap_.end(), cmp);
+      const auto [cost, u] = cost_heap_.back();
+      cost_heap_.pop_back();
+      if (cost > cost_best_[u]) continue;
+      if (u == dst) break;
+      for (const auto& adj : g.adjacent(u)) {
+        if (!filter(adj.link)) continue;
+        const double step = 1.0 + (avoid.test(adj.link) ? kPenalty : 0.0);
+        const double candidate = cost + step;
+        if (candidate < cost_best_[adj.neighbor]) {
+          if (dist_to_dst) {
+            const std::uint32_t left = dist_to_dst[adj.neighbor];
+            if (left == kUnreached ||
+                candidate + static_cast<double>(left) > cost_best_[dst])
+              continue;
+          }
+          cost_best_[adj.neighbor] = candidate;
+          via_link_[adj.neighbor] = adj.link;
+          cost_heap_.push_back({candidate, adj.neighbor});
+          std::push_heap(cost_heap_.begin(), cost_heap_.end(), cmp);
+        }
+      }
+    }
+    if (!std::isfinite(cost_best_[dst])) return std::nullopt;
+    return detail::reconstruct(g, src, dst, via_link_);
+  }
+
+  // ---- Type-erased overloads (historical API) -----------------------------
+  // Thin wrappers over the member templates: a null filter becomes
+  // AllLinks, a non-null one a FilterRef, so existing callers (and the free
+  // functions) compile and behave exactly as before.
+
   /// See topology::shortest_path.
   [[nodiscard]] std::optional<Path> shortest(const Graph& g, NodeId src, NodeId dst,
                                              const LinkFilter& filter = nullptr);
@@ -65,6 +266,9 @@ class PathSearch {
                                                 const LinkFilter& filter = nullptr);
 
  private:
+  /// Matches HopDistanceField::kUnreachable (static_asserted in paths.cpp).
+  static constexpr std::uint32_t kUnreached = 0xffffffffu;
+
   struct WideLabel {
     std::uint32_t hops;
     double width;

@@ -1,6 +1,10 @@
 // Unit tests for backup-channel reservation and multiplexing (overbooking).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "net/backup.hpp"
 #include "net/network.hpp"
 #include "net/qos.hpp"
@@ -108,6 +112,151 @@ TEST(BackupManager, CachedReservationMatchesRecompute) {
     for (topology::LinkId l = 0; l < 20; ++l) m.remove(l, id);
   for (topology::LinkId l = 0; l < 20; ++l)
     EXPECT_NEAR(m.reservation(l), m.recompute_reservation(l), 1e-9);
+}
+
+TEST(BackupManager, SwapEraseRemoveKeepsRegistryConsistent) {
+  // Remove from the middle repeatedly; the slot-cached swap-erase must keep
+  // membership, reservations, and the internal audit happy.
+  BackupManager m(12, true);
+  for (ConnectionId id = 1; id <= 8; ++id)
+    m.add(3, id, 50.0 * static_cast<double>(id), bits(12, {id % 12, (id + 3) % 12}));
+  m.audit();
+  for (ConnectionId id : {ConnectionId{4}, ConnectionId{1}, ConnectionId{8}}) {
+    m.remove(3, id);
+    m.audit();
+    EXPECT_NEAR(m.reservation(3), m.recompute_reservation(3), 1e-9);
+  }
+  auto left = m.backups_on_link(3);
+  std::sort(left.begin(), left.end());
+  EXPECT_EQ(left, (std::vector<ConnectionId>{2, 3, 5, 6, 7}));
+  m.remove(3, 4);  // already gone: no-op
+  EXPECT_EQ(m.count_on_link(3), 5u);
+}
+
+TEST(BackupManager, InternsOnePrimarySetPerConnection) {
+  BackupManager m(16, true);
+  const auto primary = bits(16, {0, 1, 2});
+  // One backup spanning four links: one interned set, shared.
+  for (topology::LinkId l : {4, 5, 6, 7}) m.add(l, 1, 100.0, primary);
+  EXPECT_EQ(m.interned_sets(), 1u);
+  m.add(9, 2, 100.0, bits(16, {3}));
+  EXPECT_EQ(m.interned_sets(), 2u);
+  m.audit();
+  // Dropping the backup link-by-link releases the set with the last link.
+  for (topology::LinkId l : {4, 5, 6}) m.remove(l, 1);
+  EXPECT_EQ(m.interned_sets(), 2u);
+  m.remove(7, 1);
+  EXPECT_EQ(m.interned_sets(), 1u);
+  m.remove(9, 2);
+  EXPECT_EQ(m.interned_sets(), 0u);
+  m.audit();
+}
+
+// The flat scenario ledger and the incremental reservation maintenance must
+// agree with a from-scratch recomputation on every link after arbitrary
+// churn, with and without multiplexing.
+void churn_and_check(bool multiplexing) {
+  constexpr std::size_t kLinks = 24;
+  BackupManager m(kLinks, multiplexing);
+  util::Rng rng(multiplexing ? 101 : 202);
+  std::vector<std::pair<topology::LinkId, ConnectionId>> live;  // (link, id)
+  ConnectionId next_id = 1;
+  for (int step = 0; step < 2000; ++step) {
+    const bool add = live.empty() || rng.chance(0.55);
+    if (add) {
+      util::DynamicBitset p(kLinks);
+      const std::size_t n = 1 + rng.index(5);
+      for (std::size_t k = 0; k < n; ++k) p.set(rng.index(kLinks));
+      const auto id = next_id++;
+      const double bmin = rng.uniform(10.0, 400.0);
+      // A backup may span several links, sharing one interned primary set.
+      const std::size_t span = 1 + rng.index(3);
+      for (std::size_t k = 0; k < span; ++k) {
+        const auto l = static_cast<topology::LinkId>(rng.index(kLinks));
+        if (std::find(live.begin(), live.end(), std::make_pair(l, id)) != live.end())
+          continue;
+        m.add(l, id, bmin, p);
+        live.push_back({l, id});
+      }
+    } else {
+      const std::size_t victim = rng.index(live.size());
+      m.remove(live[victim].first, live[victim].second);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    if (step % 100 == 0) {
+      for (topology::LinkId l = 0; l < kLinks; ++l)
+        ASSERT_NEAR(m.reservation(l), m.recompute_reservation(l), 1e-6)
+            << "step " << step << " link " << l;
+      m.audit();
+    }
+  }
+  for (topology::LinkId l = 0; l < kLinks; ++l)
+    EXPECT_NEAR(m.reservation(l), m.recompute_reservation(l), 1e-6);
+  m.audit();
+}
+
+TEST(BackupManager, ReservationMatchesRecomputeUnderChurnMultiplexed) {
+  churn_and_check(true);
+}
+
+TEST(BackupManager, ReservationMatchesRecomputeUnderChurnPlainSum) {
+  churn_and_check(false);
+}
+
+// Network-level churn: arrivals, departures, and link failures/repairs; the
+// incrementally maintained reservation must match the from-scratch value on
+// every link, with and without multiplexing.
+void network_churn_and_check(bool multiplexing) {
+  NetworkConfig cfg;
+  cfg.link_capacity_kbps = 2000.0;
+  cfg.backup_multiplexing = multiplexing;
+  cfg.require_backup = false;
+  Network net(topology::generate_waxman({30, 0.4, 0.3, true}, 47), cfg);
+  util::Rng rng(multiplexing ? 7 : 8);
+  std::vector<ConnectionId> active;
+  std::vector<topology::LinkId> failed;
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.5 || active.empty()) {
+      const auto src = static_cast<topology::NodeId>(rng.index(30));
+      auto dst = static_cast<topology::NodeId>(rng.index(29));
+      if (dst >= src) ++dst;
+      const auto outcome = net.request_connection(src, dst, paper_qos());
+      if (outcome.accepted) active.push_back(outcome.id);
+    } else if (roll < 0.8) {
+      const std::size_t victim = rng.index(active.size());
+      if (net.is_active(active[victim])) net.terminate_connection(active[victim]);
+      active[victim] = active.back();
+      active.pop_back();
+    } else if (roll < 0.9 && failed.size() < 3) {
+      const auto l = static_cast<topology::LinkId>(rng.index(net.graph().num_links()));
+      net.fail_link(l);
+      failed.push_back(l);
+    } else if (!failed.empty()) {
+      net.repair_link(failed.back());
+      failed.pop_back();
+    }
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](ConnectionId id) { return !net.is_active(id); }),
+                 active.end());
+    if (step % 50 == 0) {
+      for (topology::LinkId l = 0; l < net.graph().num_links(); ++l)
+        ASSERT_NEAR(net.backups().reservation(l), net.backups().recompute_reservation(l),
+                    1e-6)
+            << "step " << step << " link " << l;
+      net.audit();
+    }
+  }
+  net.audit();
+}
+
+TEST(NetworkBackup, ReservationMatchesRecomputeUnderNetworkChurnMultiplexed) {
+  network_churn_and_check(true);
+}
+
+TEST(NetworkBackup, ReservationMatchesRecomputeUnderNetworkChurnPlainSum) {
+  network_churn_and_check(false);
 }
 
 // ---- Multiplexing at the network level ----------------------------------------------

@@ -1,0 +1,216 @@
+// Tests for the goal-directed route-search fast path: HopDistanceField
+// caching/invalidation, and bit-identical routes between the pruned member
+// searches and the unpruned free functions on random topologies with failed
+// links — at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "net/network.hpp"
+#include "topology/goal.hpp"
+#include "topology/paths.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::topology {
+namespace {
+
+std::string route_str(const std::optional<Path>& p) {
+  if (!p) return "none";
+  std::ostringstream out;
+  for (LinkId l : p->links) out << l << ',';
+  return out.str();
+}
+
+// ---- HopDistanceField ----------------------------------------------------------
+
+TEST(HopDistanceField, MatchesBfsHopCounts) {
+  const Graph g = generate_waxman({60, 0.4, 0.3, true}, 21);
+  HopDistanceField field(g);
+  for (NodeId dst : {NodeId{0}, NodeId{17}, NodeId{59}}) {
+    const std::uint32_t* dist = field.to_destination(dst);
+    for (NodeId src = 0; src < g.num_nodes(); ++src) {
+      const auto p = shortest_path(g, src, dst);
+      if (p)
+        EXPECT_EQ(dist[src], p->hops()) << "src " << src << " dst " << dst;
+      else
+        EXPECT_EQ(dist[src], HopDistanceField::kUnreachable);
+    }
+  }
+}
+
+TEST(HopDistanceField, CachesUntilVersionMoves) {
+  const Graph g = generate_waxman({30, 0.4, 0.3, true}, 5);
+  HopDistanceField field(g);
+  (void)field.to_destination(3);
+  (void)field.to_destination(3);
+  (void)field.to_destination(3);
+  EXPECT_EQ(field.rebuilds(), 1u);
+  (void)field.to_destination(7);
+  EXPECT_EQ(field.rebuilds(), 2u);
+
+  const auto version = field.version();
+  field.set_link_usable(0, true);  // no change: still usable
+  EXPECT_EQ(field.version(), version);
+  field.set_link_usable(0, false);
+  EXPECT_GT(field.version(), version);
+  (void)field.to_destination(3);
+  EXPECT_EQ(field.rebuilds(), 3u);
+  (void)field.to_destination(3);
+  EXPECT_EQ(field.rebuilds(), 3u);
+}
+
+TEST(HopDistanceField, MasksUnusableLinks) {
+  // A path graph 0-1-2: cutting the middle link strands node 0 from 2.
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  HopDistanceField field(g);
+  EXPECT_EQ(field.to_destination(2)[0], 2u);
+  field.set_link_usable(1, false);
+  const std::uint32_t* dist = field.to_destination(2);
+  EXPECT_EQ(dist[0], HopDistanceField::kUnreachable);
+  EXPECT_EQ(dist[1], HopDistanceField::kUnreachable);
+  EXPECT_EQ(dist[2], 0u);
+  field.set_link_usable(1, true);
+  EXPECT_EQ(field.to_destination(2)[0], 2u);
+}
+
+// ---- Pruned vs unpruned route equality -----------------------------------------
+
+// Runs `queries` random (src, dst, filter) probes of all three searches on
+// `g` with `failed` links down, comparing the pruned member searches (with a
+// distance field masking the failed links) against the unpruned free
+// functions.  Returns the serialized routes so callers can also compare
+// across thread counts.
+std::vector<std::string> probe_routes(const Graph& g, const std::vector<LinkId>& failed,
+                                      std::uint64_t seed, std::size_t queries) {
+  std::vector<char> down(g.num_links(), 0);
+  for (LinkId l : failed) down[l] = 1;
+  HopDistanceField field(g);
+  for (LinkId l : failed) field.set_link_usable(l, false);
+  PathSearch search;
+  util::Rng rng(seed);
+
+  // Pseudo-random per-link weights make the filters and widths non-trivial
+  // but deterministic.
+  std::vector<double> weight(g.num_links());
+  for (auto& w : weight) w = rng.uniform(1.0, 10.0);
+
+  std::vector<std::string> routes;
+  routes.reserve(queries * 3);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto src = static_cast<NodeId>(rng.index(g.num_nodes()));
+    const auto dst = static_cast<NodeId>(rng.index(g.num_nodes()));
+    const double cutoff = rng.uniform(0.0, 3.0);
+    // Admissible subset of the field's usable links (never a superset).
+    const auto filter = [&](LinkId l) { return !down[l] && weight[l] >= cutoff; };
+    const auto width = [&](LinkId l) { return weight[l]; };
+    util::DynamicBitset avoid(g.num_links());
+    for (int k = 0; k < 6; ++k) avoid.set(rng.index(g.num_links()));
+
+    const LinkFilter erased = filter;
+    const std::uint32_t* bound = field.to_destination(dst);
+
+    const auto s_fast = search.shortest(g, src, dst, filter, bound);
+    const auto s_ref = shortest_path(g, src, dst, erased);
+    EXPECT_EQ(route_str(s_fast), route_str(s_ref)) << "shortest " << src << "->" << dst;
+
+    const auto w_fast = search.widest_shortest(g, src, dst, width, filter, bound);
+    const auto w_ref = widest_shortest_path(g, src, dst, width, erased);
+    EXPECT_EQ(route_str(w_fast), route_str(w_ref)) << "widest " << src << "->" << dst;
+
+    const auto m_fast = search.min_overlap(g, src, dst, avoid, filter, bound);
+    const auto m_ref = min_overlap_path(g, src, dst, avoid, erased);
+    EXPECT_EQ(route_str(m_fast), route_str(m_ref)) << "overlap " << src << "->" << dst;
+
+    routes.push_back(route_str(s_fast));
+    routes.push_back(route_str(w_fast));
+    routes.push_back(route_str(m_fast));
+  }
+  return routes;
+}
+
+std::vector<LinkId> random_failures(const Graph& g, std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  std::vector<LinkId> failed;
+  for (std::size_t i = 0; i < n; ++i)
+    failed.push_back(static_cast<LinkId>(rng.index(g.num_links())));
+  return failed;
+}
+
+TEST(FastPath, PrunedEqualsUnprunedOnWaxman) {
+  const Graph g = generate_waxman({80, 0.4, 0.25, true}, 31);
+  probe_routes(g, random_failures(g, 1, 10), 77, 150);
+}
+
+TEST(FastPath, PrunedEqualsUnprunedOnTransitStub) {
+  const auto ts = generate_transit_stub({}, 13);
+  // Transit-stub failures routinely disconnect whole stubs — exactly the
+  // case the unreachable-class pruning must get right.
+  probe_routes(ts.graph, random_failures(ts.graph, 2, 12), 78, 150);
+}
+
+TEST(FastPath, RouteEqualityHoldsAcrossThreadCounts) {
+  const Graph g = generate_waxman({60, 0.4, 0.3, true}, 41);
+  const auto failed = random_failures(g, 3, 8);
+  // Each worker probes an independent slice with its own field and search;
+  // the concatenated routes must not depend on the thread count.
+  const auto run = [&](std::size_t threads) {
+    auto per_point = core::parallel_points(8, threads, [&](std::size_t i) {
+      return probe_routes(g, failed, 100 + i, 25);
+    });
+    std::vector<std::string> all;
+    for (auto& chunk : per_point)
+      for (auto& r : chunk) all.push_back(std::move(r));
+    return all;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+// ---- Network wiring ------------------------------------------------------------
+
+TEST(FastPath, NetworkKeepsGoalFieldInSyncAcrossFailures) {
+  net::NetworkConfig cfg;
+  net::Network network(generate_waxman({40, 0.4, 0.3, true}, 9), cfg);
+  net::ElasticQosSpec qos;
+  qos.bmin_kbps = 100.0;
+  qos.bmax_kbps = 300.0;
+  qos.increment_kbps = 50.0;
+  util::Rng rng(17);
+  std::vector<net::ConnectionId> ids;
+  for (int i = 0; i < 60; ++i) {
+    const auto src = static_cast<NodeId>(rng.index(40));
+    auto dst = static_cast<NodeId>(rng.index(39));
+    if (dst >= src) ++dst;
+    const auto outcome = network.request_connection(src, dst, qos);
+    if (outcome.accepted) ids.push_back(outcome.id);
+  }
+  // audit() cross-checks the goal field's usable mask against every link's
+  // failed flag (and everything else) after each mutation.
+  const auto l0 = static_cast<LinkId>(rng.index(network.graph().num_links()));
+  const auto l1 = static_cast<LinkId>(rng.index(network.graph().num_links()));
+  network.fail_link(l0);
+  network.audit();
+  network.fail_link(l1);
+  network.audit();
+  network.repair_link(l0);
+  network.audit();
+  for (std::size_t i = 0; i < ids.size(); i += 2)
+    if (network.is_active(ids[i])) network.terminate_connection(ids[i]);
+  network.audit();
+  network.repair_link(l1);
+  network.audit();
+}
+
+}  // namespace
+}  // namespace eqos::topology
