@@ -26,6 +26,7 @@
 #include "sim/simulator.hpp"
 #include "topology/paths.hpp"
 #include "topology/waxman.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -142,6 +143,50 @@ void BM_FailLinkRepair(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FailLinkRepair)->Unit(benchmark::kMicrosecond);
+
+void BM_LogDisabled(benchmark::State& state) {
+  // Guards the deferred-ostringstream LogLine: a disabled statement must not
+  // construct a stream or allocate (tens of ns would show up here if the
+  // stream came back).
+  const auto prev = util::set_log_level(util::LogLevel::kError);
+  for (auto _ : state) {
+    EQOS_DEBUG() << "connection " << 42 << " retreated to " << 3.5 << " quanta";
+  }
+  util::set_log_level(prev);
+}
+BENCHMARK(BM_LogDisabled);
+
+void BM_MetricsDisabled(benchmark::State& state) {
+  // The disabled-registry cost of a wired-in counter/histogram: one relaxed
+  // load + branch each.  This is what every Network call site pays when obs
+  // is off, so it must stay in the low single-digit ns.
+  auto counter = obs::MetricsRegistry::global().counter("bench.disabled_counter");
+  auto hist = obs::MetricsRegistry::global().histogram("bench.disabled_hist", {1, 2, 4});
+  const bool prev = obs::set_metrics_enabled(false);
+  for (auto _ : state) {
+    counter.inc();
+    hist.observe(3.0);
+  }
+  obs::set_metrics_enabled(prev);
+}
+BENCHMARK(BM_MetricsDisabled);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  auto counter = obs::MetricsRegistry::global().counter("bench.enabled_counter");
+  const bool prev = obs::set_metrics_enabled(true);
+  for (auto _ : state) counter.inc();
+  obs::set_metrics_enabled(prev);
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_TraceEventDisabled(benchmark::State& state) {
+  const bool prev = obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    obs::trace_event(obs::TraceKind::kArrivalAdmitted, 1, 2, 3.0);
+  }
+  obs::set_trace_enabled(prev);
+}
+BENCHMARK(BM_TraceEventDisabled);
 
 void BM_FloodRoute(benchmark::State& state) {
   const auto g = topology::generate_waxman({100, 0.33, 0.20, true}, 7);

@@ -18,6 +18,8 @@
 
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topology/metrics.hpp"
 #include "topology/transit_stub.hpp"
 #include "topology/waxman.hpp"
@@ -42,6 +44,12 @@ inline bool fast_mode() {
 ///                 printed tables (default 1 = historical output)
 ///   --smoke       one tiny point per bench (the ctest `bench-smoke` label)
 ///   --json PATH   write the sweep throughput report as JSON
+///   --metrics     enable the obs::MetricsRegistry; the aggregate snapshot is
+///                 printed after the tables and embedded in the --json report
+///   --trace       enable the obs trace flight recorder (audit failures dump
+///                 the last-N events as JSON; see EQOS_TRACE_DUMP)
+///   --trace-json PATH  also dump the recorded trace to PATH at exit
+///                 (implies --trace)
 ///
 /// Results are bit-identical for every --threads value (see core/sweep.hpp);
 /// --reps changes the printed numbers only because more seeds are averaged.
@@ -50,6 +58,9 @@ struct BenchCli {
   std::size_t reps = 1;
   bool smoke = false;
   std::string json;
+  bool metrics = false;
+  bool trace = false;
+  std::string trace_json;
 
   [[nodiscard]] core::SweepOptions sweep_options() const {
     core::SweepOptions o;
@@ -85,13 +96,31 @@ inline BenchCli parse_cli(int argc, char** argv) {
     } else if (arg == "--json") {
       cli.json = need_value(i);
       ++i;
+    } else if (arg == "--metrics") {
+      cli.metrics = true;
+      obs::set_metrics_enabled(true);
+    } else if (arg == "--trace") {
+      cli.trace = true;
+      obs::set_trace_enabled(true);
+    } else if (arg == "--trace-json") {
+      cli.trace_json = need_value(i);
+      cli.trace = true;
+      obs::set_trace_enabled(true);
+      obs::set_trace_dump_path(cli.trace_json);
+      ++i;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--threads N] [--reps N] [--smoke] [--json PATH]\n"
+                << " [--threads N] [--reps N] [--smoke] [--json PATH]"
+                   " [--metrics] [--trace] [--trace-json PATH]\n"
                    "  --threads N  sweep workers (1 = serial, 0 = hardware)\n"
                    "  --reps N     replications per point (averaged)\n"
                    "  --smoke      single tiny point (CI smoke test)\n"
-                   "  --json PATH  write sweep throughput report as JSON\n";
+                   "  --json PATH  write sweep throughput report as JSON\n"
+                   "  --metrics    enable the metrics registry (snapshot printed\n"
+                   "               and embedded in the --json report)\n"
+                   "  --trace      enable the trace flight recorder (audit\n"
+                   "               failures dump the last-N events as JSON)\n"
+                   "  --trace-json PATH  dump the recorded trace to PATH at exit\n";
       std::exit(0);
     } else {
       std::cerr << argv[0] << ": unknown flag " << arg << " (see --help)\n";
@@ -111,10 +140,23 @@ template <typename Fn>
 auto run_point_grid(const BenchCli& cli, std::size_t n, core::SweepReport& report,
                     Fn&& fn) {
   const std::size_t total = n * cli.reps;
+  // Per-(point,rep) metric deltas are well-defined only when points run one
+  // at a time (the registry is process-global) — mirror run_sweep's rule.
+  const bool capture_points = obs::metrics_enabled() && cli.threads <= 1;
   const auto start = std::chrono::steady_clock::now();
-  auto results = core::parallel_points(
-      total, cli.threads,
-      [&](std::size_t i) { return fn(i / cli.reps, i % cli.reps); });
+  auto results = core::parallel_points(total, cli.threads, [&](std::size_t i) {
+    if (!capture_points) return fn(i / cli.reps, i % cli.reps);
+    const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+    auto r = fn(i / cli.reps, i % cli.reps);
+    report.point_metrics.emplace_back(
+        "point" + std::to_string(i / cli.reps) + ".rep" + std::to_string(i % cli.reps),
+        obs::snapshot_delta(before, obs::MetricsRegistry::global().snapshot()));
+    return r;
+  });
+  if (obs::metrics_enabled()) {
+    report.has_metrics = true;
+    report.metrics = obs::MetricsRegistry::global().snapshot();
+  }
   report.points = n;
   report.reps = cli.reps;
   report.threads =
@@ -151,9 +193,18 @@ inline void finish_sweep(const BenchCli& cli, const char* bench,
               << " reps on " << report.threads << " thread(s), "
               << util::Table::num(report.wall_seconds, 3) << " s wall ("
               << util::Table::num(report.points_per_second, 2) << " points/s)\n";
+  if (cli.metrics) {
+    const obs::MetricsSnapshot snap =
+        report.has_metrics ? report.metrics : obs::MetricsRegistry::global().snapshot();
+    std::cout << "# metrics\n" << snap.to_json(0) << "\n";
+  }
   if (!cli.json.empty()) {
     if (!core::write_sweep_json(cli.json, bench, report))
       std::cerr << bench << ": cannot write " << cli.json << "\n";
+  }
+  if (!cli.trace_json.empty()) {
+    if (obs::dump_trace("end of run").empty())
+      std::cerr << bench << ": cannot write " << cli.trace_json << "\n";
   }
 }
 

@@ -2,16 +2,18 @@
 """Compare two BENCH_sweep.json files and fail on throughput regressions.
 
 Usage:
-    bench_compare.py BASELINE CURRENT [--tolerance 0.20] [--require-all]
+    bench_compare.py BASELINE CURRENT [--tolerance 0.20]
 
 Both files may use the keyed format written by core::write_sweep_json
 ({"benches": {"bench_fig2": {...}, ...}}) or the historical single-object
-format ({"bench": "bench_fig2", ...}).  For every bench present in both
-files, the current points_per_second must be no more than --tolerance
-(default 20%) below the baseline; any worse and the script prints the
-offenders and exits nonzero.  Benches present only in the baseline are
-warnings unless --require-all makes them errors (benches only in CURRENT
-are always fine — new measurements are not regressions).
+format ({"bench": "bench_fig2", ...}).  For every bench in the baseline,
+the current points_per_second must be no more than --tolerance (default
+20%) below the baseline; any worse and the script prints the offenders and
+exits nonzero.  A bench present in the baseline but absent from the current
+file is an error — a silently-vanished measurement must not read as a pass
+(benches only in CURRENT are always fine — new measurements are not
+regressions).  A baseline or current entry whose points_per_second is
+missing, non-numeric, NaN, or <= 0 is likewise an error, never a skip.
 
 Wired into ctest as the `perf-smoke` label: a smoke-mode sweep writes a
 fresh measurement which is compared against the committed baseline.
@@ -19,6 +21,7 @@ fresh measurement which is compared against the committed baseline.
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -34,6 +37,27 @@ def load_entries(path):
     raise ValueError(f"{path}: neither a keyed nor a legacy sweep measurement")
 
 
+def throughput(entries, name, path):
+    """points_per_second of one entry, or raises ValueError with the reason."""
+    value = entries[name].get("points_per_second")
+    if value is None:
+        raise ValueError(f"{path}: {name} has no points_per_second field")
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{path}: {name} points_per_second is not a number: {value!r}"
+        ) from None
+    if math.isnan(value):
+        raise ValueError(f"{path}: {name} points_per_second is NaN")
+    if value <= 0.0:
+        raise ValueError(
+            f"{path}: {name} points_per_second is {value:g} (must be > 0; "
+            "a zero-throughput measurement is a broken run, not a baseline)"
+        )
+    return value
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed reference BENCH_sweep.json")
@@ -47,7 +71,7 @@ def main():
     parser.add_argument(
         "--require-all",
         action="store_true",
-        help="fail when a baseline bench is missing from the current file",
+        help="kept for compatibility; missing benches are always errors now",
     )
     args = parser.parse_args()
 
@@ -60,14 +84,17 @@ def main():
 
     failures = []
     missing = []
+    bad_entries = []
     for name in sorted(baseline):
         if name not in current:
             missing.append(name)
             continue
-        old = float(baseline[name].get("points_per_second", 0.0))
-        new = float(current[name].get("points_per_second", 0.0))
-        if old <= 0.0:
-            print(f"  {name}: baseline has no throughput, skipped")
+        try:
+            old = throughput(baseline, name, args.baseline)
+            new = throughput(current, name, args.current)
+        except ValueError as e:
+            print(f"  {name}: BAD ENTRY ({e})")
+            bad_entries.append(name)
             continue
         ratio = new / old
         status = "ok"
@@ -79,6 +106,7 @@ def main():
             f"({(ratio - 1.0) * 100.0:+.1f}%) {status}"
         )
 
+    rc = 0
     for name in missing:
         print(f"  {name}: present in baseline only", file=sys.stderr)
     if failures:
@@ -87,11 +115,21 @@ def main():
             f"{args.tolerance * 100.0:.0f}%: {', '.join(failures)}",
             file=sys.stderr,
         )
-        return 1
-    if missing and args.require_all:
-        print("bench_compare: benches missing from current file", file=sys.stderr)
-        return 1
-    return 0
+        rc = 1
+    if bad_entries:
+        print(
+            f"bench_compare: unusable points_per_second for: {', '.join(bad_entries)}",
+            file=sys.stderr,
+        )
+        rc = 1
+    if missing:
+        print(
+            f"bench_compare: bench(es) missing from {args.current}: "
+            f"{', '.join(missing)}",
+            file=sys.stderr,
+        )
+        rc = 1
+    return rc
 
 
 if __name__ == "__main__":

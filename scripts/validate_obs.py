@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate the observability JSON artifacts a bench emits.
+
+Usage:
+    validate_obs.py --sweep-json PATH --bench NAME [--trace-json PATH]
+
+Checks the schema of:
+  * the "metrics" section core::write_sweep_json embeds when a bench runs
+    with --metrics: every entry is {"kind": "counter"|"gauge"|"histogram",
+    ...} with the fields of its kind (counters/gauges carry an integer
+    "value"; histograms carry "count", "sum", ascending "bounds", and
+    len(bounds)+1 "buckets" summing to "count");
+  * the flight-recorder dump written by --trace-json: {"reason", ...,
+    "num_events": N, "events": [...]} with N == len(events), seq strictly
+    ascending, and every event kind from the known set.
+
+Wired into ctest as the `obs-smoke` label.  Exits nonzero with the first
+schema violation on stderr.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_KINDS = {
+    "arrival-admitted",
+    "arrival-rejected",
+    "termination",
+    "retreat",
+    "redistribute",
+    "backup-activated",
+    "backup-lost",
+    "reroute",
+    "drop",
+    "fail-link",
+    "repair-link",
+    "audit-step",
+}
+
+
+def fail(message):
+    print(f"validate_obs: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(condition, message):
+    if not condition:
+        fail(message)
+
+
+def validate_metrics(metrics, where):
+    require(isinstance(metrics, dict), f"{where}: metrics is not an object")
+    require(metrics, f"{where}: metrics object is empty")
+    for name, entry in metrics.items():
+        ctx = f"{where}: metric {name!r}"
+        require(isinstance(entry, dict), f"{ctx} is not an object")
+        kind = entry.get("kind")
+        if kind in ("counter", "gauge"):
+            require(isinstance(entry.get("value"), int), f"{ctx}: missing integer value")
+        elif kind == "histogram":
+            count = entry.get("count")
+            bounds = entry.get("bounds")
+            buckets = entry.get("buckets")
+            require(isinstance(count, int) and count >= 0, f"{ctx}: bad count")
+            require(isinstance(entry.get("sum"), (int, float)), f"{ctx}: bad sum")
+            require(
+                isinstance(bounds, list)
+                and all(isinstance(b, (int, float)) for b in bounds)
+                and bounds == sorted(bounds),
+                f"{ctx}: bounds must be an ascending number list",
+            )
+            require(
+                isinstance(buckets, list)
+                and len(buckets) == len(bounds) + 1
+                and all(isinstance(b, int) and b >= 0 for b in buckets),
+                f"{ctx}: buckets must be len(bounds)+1 non-negative ints",
+            )
+            require(sum(buckets) == count, f"{ctx}: buckets do not sum to count")
+        else:
+            fail(f"{ctx}: unknown kind {kind!r}")
+
+
+def validate_sweep(path, bench):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data.get("benches")
+    require(isinstance(entries, dict), f"{path}: no 'benches' object")
+    entry = entries.get(bench)
+    require(isinstance(entry, dict), f"{path}: no entry for {bench!r}")
+    require("metrics" in entry, f"{path}: {bench} entry has no 'metrics' section")
+    validate_metrics(entry["metrics"], path)
+    for label, point in entry.get("point_metrics", {}).items():
+        validate_metrics(point, f"{path} point {label!r}")
+    print(f"validate_obs: {path}: {bench} metrics ok "
+          f"({len(entry['metrics'])} metrics)")
+
+
+def validate_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    require(isinstance(data.get("reason"), str), f"{path}: missing reason string")
+    events = data.get("events")
+    require(isinstance(events, list), f"{path}: missing events array")
+    require(data.get("num_events") == len(events),
+            f"{path}: num_events != len(events)")
+    prev_seq = None
+    for i, event in enumerate(events):
+        ctx = f"{path}: event {i}"
+        require(isinstance(event, dict), f"{ctx} is not an object")
+        seq = event.get("seq")
+        require(isinstance(seq, int) and seq >= 0, f"{ctx}: bad seq")
+        require(prev_seq is None or seq > prev_seq, f"{ctx}: seq not ascending")
+        prev_seq = seq
+        require(isinstance(event.get("time"), (int, float)), f"{ctx}: bad time")
+        require(event.get("kind") in TRACE_KINDS,
+                f"{ctx}: unknown kind {event.get('kind')!r}")
+        require(isinstance(event.get("a"), int), f"{ctx}: bad operand a")
+        require(isinstance(event.get("b"), int), f"{ctx}: bad operand b")
+        require(isinstance(event.get("value"), (int, float)), f"{ctx}: bad value")
+    print(f"validate_obs: {path}: trace ok ({len(events)} events)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sweep-json", required=True)
+    parser.add_argument("--bench", required=True)
+    parser.add_argument("--trace-json")
+    args = parser.parse_args()
+    try:
+        validate_sweep(args.sweep_json, args.bench)
+        if args.trace_json:
+            validate_trace(args.trace_json)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

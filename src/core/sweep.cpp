@@ -95,10 +95,26 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
   const Clock::time_point start = Clock::now();
   const std::size_t total = outcome.results.size();
   if (threads <= 1 || total <= 1) {
-    for (std::size_t slot = 0; slot < total; ++slot) run_one(slot);
+    const bool per_point = obs::metrics_enabled();
+    obs::MetricsSnapshot before;
+    if (per_point) before = obs::MetricsRegistry::global().snapshot();
+    for (std::size_t slot = 0; slot < total; ++slot) {
+      run_one(slot);
+      if (per_point) {
+        obs::MetricsSnapshot after = obs::MetricsRegistry::global().snapshot();
+        outcome.report.point_metrics.emplace_back(
+            "point" + std::to_string(slot / reps) + ".rep" + std::to_string(slot % reps),
+            obs::snapshot_delta(before, after));
+        before = std::move(after);
+      }
+    }
   } else {
     util::ThreadPool pool(threads);
     pool.parallel_for(total, run_one);
+  }
+  if (obs::metrics_enabled()) {
+    outcome.report.has_metrics = true;
+    outcome.report.metrics = obs::MetricsRegistry::global().snapshot();
   }
   outcome.report.wall_seconds = elapsed_seconds(start);
   if (outcome.report.wall_seconds > 0.0)
@@ -177,8 +193,22 @@ std::string sweep_entry_json(const SweepReport& report) {
   out << "        \"warmup_seconds\": " << num(report.phases.warmup_seconds) << ",\n";
   out << "        \"measure_seconds\": " << num(report.phases.measure_seconds) << ",\n";
   out << "        \"analyze_seconds\": " << num(report.phases.analyze_seconds) << "\n";
-  out << "      }\n";
-  out << "    }";
+  out << "      }";
+  // Metrics sections exist only when the run had --metrics on, so files
+  // produced with observability disabled stay byte-identical to before.
+  if (report.has_metrics) {
+    out << ",\n      \"metrics\": " << report.metrics.to_json(6);
+    if (!report.point_metrics.empty()) {
+      out << ",\n      \"point_metrics\": {\n";
+      for (std::size_t i = 0; i < report.point_metrics.size(); ++i) {
+        const auto& [label, snap] = report.point_metrics[i];
+        out << "        \"" << label << "\": " << snap.to_json(8)
+            << (i + 1 == report.point_metrics.size() ? "\n" : ",\n");
+      }
+      out << "      }";
+    }
+  }
+  out << "\n    }";
   return out.str();
 }
 

@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eqos::core {
@@ -62,6 +64,16 @@ struct SweepReport {
   double speedup_vs_serial = 0.0;
   /// Sum of per-(point,rep) phase wall times (CPU-side work breakdown).
   PhaseTimings phases;
+  /// Aggregate obs::MetricsRegistry snapshot at sweep end; only captured
+  /// (has_metrics) when obs::metrics_enabled() — the JSON writer then emits
+  /// a "metrics" section, and the default output stays byte-identical.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+  /// Per-(point,rep) snapshot deltas, labelled "point<i>.rep<r>".  Captured
+  /// only for serial sweeps: concurrent points share the process-global
+  /// registry, so per-point deltas are well-defined only when points run one
+  /// at a time.
+  std::vector<std::pair<std::string, obs::MetricsSnapshot>> point_metrics;
 };
 
 /// Results of a sweep: `results[point * reps + rep]`.

@@ -7,13 +7,18 @@
 
 #include "net/link_state.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 
 namespace eqos::fault {
 
 namespace {
 
 [[noreturn]] void violation(const std::string& what) {
-  throw std::logic_error("audit_network: " + what);
+  // annotate_audit_failure dumps the trace flight recorder (when enabled)
+  // and appends the dump path; it is a no-op for messages already annotated
+  // by a nested audit (e.g. BackupManager::audit below).
+  throw std::logic_error(
+      obs::annotate_audit_failure("audit_network: " + what));
 }
 
 bool close(double a, double b) {
@@ -123,7 +128,11 @@ void InvariantAuditor::check(const std::string& context) {
     network_->audit();
     audit_network(*network_);
   } catch (const std::logic_error& e) {
-    throw std::logic_error("invariant violation " + context + ": " + e.what());
+    // The innermost audit already dumped the flight recorder and tagged the
+    // message; annotate here too so a dump exists even for audit paths that
+    // bypass the instrumented sites (idempotent on tagged messages).
+    throw std::logic_error(obs::annotate_audit_failure("invariant violation " + context +
+                                                       ": " + e.what()));
   }
   ++checks_;
 }

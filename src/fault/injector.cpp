@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fault/audit.hpp"
+#include "obs/trace.hpp"
 
 namespace eqos::fault {
 
@@ -17,8 +18,11 @@ FaultInjector::FaultInjector(net::Network& network, Scheduler scheduler, Hooks h
 
 void FaultInjector::audit_after(const char* what, std::size_t target) {
   if (!auditor_) return;
+  obs::set_trace_time(scheduler_.now());
   auditor_->check("after " + std::string(what) + " " + std::to_string(target) + " @t=" +
                   std::to_string(scheduler_.now()));
+  obs::trace_event(obs::TraceKind::kAuditStep, static_cast<std::uint32_t>(target),
+                   static_cast<std::uint32_t>(auditor_->checks_run()));
 }
 
 // ---- Legacy mode ------------------------------------------------------------
@@ -39,6 +43,7 @@ void FaultInjector::do_legacy_failure() {
   // Draw-for-draw reproduction of the pre-injector Simulator::do_failure:
   // alive-link pick, then the repair delay, then the next failure delay, all
   // from one stream in this exact order.
+  obs::set_trace_time(scheduler_.now());
   if (hooks_.before_event) hooks_.before_event(scheduler_.now());
   const std::size_t num_links = network_.graph().num_links();
   std::size_t alive = 0;
@@ -60,6 +65,7 @@ void FaultInjector::do_legacy_failure() {
     audit_after("legacy fail-link", chosen);
     scheduler_.schedule_at(
         scheduler_.now() + legacy_rng_->exponential(legacy_repair_rate_), [this, chosen] {
+          obs::set_trace_time(scheduler_.now());
           if (hooks_.before_event) hooks_.before_event(scheduler_.now());
           network_.repair_link(chosen);
           ++stats_.auto_repairs;
@@ -115,6 +121,7 @@ void FaultInjector::load_scenario(const FaultScenario& scenario, util::Rng rng) 
 }
 
 void FaultInjector::apply_scripted(const FaultEvent& event) {
+  obs::set_trace_time(scheduler_.now());
   if (hooks_.before_event) hooks_.before_event(scheduler_.now());
   switch (event.kind) {
     case FaultKind::kFailLink:
@@ -164,6 +171,7 @@ void FaultInjector::apply_scripted(const FaultEvent& event) {
 
 void FaultInjector::fire_link_process(std::size_t process) {
   auto& [link, rng] = link_processes_[process];
+  obs::set_trace_time(scheduler_.now());
   if (hooks_.before_event) hooks_.before_event(scheduler_.now());
   if (inject_link_failure(link, stochastic_.auto_repair, rng)) ++stats_.poisson_failures;
   if (hooks_.on_fault_event) hooks_.on_fault_event();
@@ -175,6 +183,7 @@ void FaultInjector::fire_link_process(std::size_t process) {
 }
 
 void FaultInjector::fire_burst_process() {
+  obs::set_trace_time(scheduler_.now());
   if (hooks_.before_event) hooks_.before_event(scheduler_.now());
   double total = 0.0;
   for (const SrlgGroup& g : groups_) total += g.weight;
@@ -217,6 +226,7 @@ void FaultInjector::schedule_auto_repair(topology::LinkId link, util::Rng& repai
   scheduler_.schedule_at(scheduler_.now() + delay, [this, link] {
     // A scripted repair may have beaten us to it; repair_link is a no-op
     // (returns 0 without touching stats) for an alive link.
+    obs::set_trace_time(scheduler_.now());
     if (hooks_.before_event) hooks_.before_event(scheduler_.now());
     network_.repair_link(link);
     ++stats_.auto_repairs;

@@ -1,5 +1,7 @@
 #include "net/backup.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -242,6 +244,14 @@ double BackupManager::recompute_reservation(topology::LinkId l) const {
 }
 
 void BackupManager::audit() const {
+  try {
+    audit_impl();
+  } catch (const std::logic_error& e) {
+    throw std::logic_error(obs::annotate_audit_failure(e.what()));
+  }
+}
+
+void BackupManager::audit_impl() const {
   for (std::size_t l = 0; l < per_link_.size(); ++l) {
     const Registry& reg = per_link_[l];
     if (reg.slot_of.size() != reg.entries.size())

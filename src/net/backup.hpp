@@ -87,6 +87,10 @@ class BackupManager {
   [[nodiscard]] std::size_t interned_sets() const noexcept { return interned_.size(); }
 
  private:
+  /// The audit body; audit() wraps it to attach a flight-recorder dump to
+  /// the violation message.
+  void audit_impl() const;
+
   using PrimarySet = std::shared_ptr<const util::DynamicBitset>;
 
   struct Entry {

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include "obs/trace.hpp"
 #include "topology/disjoint.hpp"
 
 #include <algorithm>
@@ -32,6 +33,25 @@ Network::Network(topology::Graph graph, NetworkConfig config)
       direct_union_scratch_(graph_.num_links()) {
   if (graph_.num_nodes() < 2)
     throw std::invalid_argument("network: topology needs at least two nodes");
+  // Metric names are process-wide: every Network (e.g. a sweep's concurrent
+  // instances) aggregates into the same registry entries.  Registration is
+  // find-or-create, so repeated construction is cheap and idempotent.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs_.arrivals_admitted = reg.counter("net.arrivals_admitted");
+  obs_.arrivals_rejected = reg.counter("net.arrivals_rejected");
+  obs_.terminations = reg.counter("net.terminations");
+  obs_.retreats = reg.counter("net.retreats");
+  obs_.redistributes = reg.counter("net.redistributes");
+  obs_.backups_activated = reg.counter("net.backups_activated");
+  obs_.backups_lost = reg.counter("net.backups_lost");
+  obs_.reroutes = reg.counter("net.reroutes");
+  obs_.drops = reg.counter("net.drops");
+  obs_.link_failures = reg.counter("net.link_failures");
+  obs_.link_repairs = reg.counter("net.link_repairs");
+  obs_.active_connections = reg.gauge("net.active_connections");
+  obs_.primary_hops = reg.histogram("net.primary_hops", {1, 2, 3, 4, 6, 8, 12, 16});
+  obs_.redistribute_gainable =
+      reg.histogram("net.redistribute_gainable", {0, 1, 2, 4, 8, 16, 32, 64});
 }
 
 const LinkState& Network::link_state(topology::LinkId l) const {
@@ -115,6 +135,9 @@ void Network::retreat(DrConnection& c) {
   const double extra = c.extra_kbps();
   for (topology::LinkId l : c.primary.links) links_[l].revoke_elastic(extra);
   stats_.quanta_adjustments += c.extra_quanta;
+  obs_.retreats.inc();
+  obs::trace_event(obs::TraceKind::kRetreat, static_cast<std::uint32_t>(c.id), 0,
+                   static_cast<double>(c.extra_quanta));
   c.extra_quanta = 0;
 }
 
@@ -146,6 +169,11 @@ void Network::redistribute(const std::vector<ConnectionId>& candidates) {
   for (ConnectionId id : candidates)
     if (is_active(id) && can_gain(connections_.at(id))) gainable.push_back(id);
   if (gainable.empty()) return;
+  obs_.redistributes.inc();
+  obs_.redistribute_gainable.observe(static_cast<double>(gainable.size()));
+  obs::trace_event(obs::TraceKind::kRedistribute,
+                   static_cast<std::uint32_t>(candidates.size()),
+                   static_cast<std::uint32_t>(gainable.size()));
 
   if (config_.adaptation == AdaptationScheme::kMaxUtility) {
     // Highest utility monopolizes the spare before the next channel gets any.
@@ -316,6 +344,9 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   if (!primary) {
     ++stats_.rejected_no_primary;
     outcome.reject_reason = RejectReason::kNoPrimaryRoute;
+    obs_.arrivals_rejected.inc();
+    obs::trace_event(obs::TraceKind::kArrivalRejected, src, dst,
+                     static_cast<double>(static_cast<int>(outcome.reject_reason)));
     return outcome;
   }
   util::DynamicBitset new_bits = path_bits(*primary);
@@ -348,6 +379,9 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
     if (!backup) {
       ++stats_.rejected_no_backup;
       outcome.reject_reason = RejectReason::kNoBackupRoute;
+      obs_.arrivals_rejected.inc();
+      obs::trace_event(obs::TraceKind::kArrivalRejected, src, dst,
+                       static_cast<double>(static_cast<int>(outcome.reject_reason)));
       return outcome;
     }
   }
@@ -401,6 +435,12 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   outcome.accepted = true;
   outcome.id = id;
   outcome.initial_quanta = conn.extra_quanta;
+  obs_.arrivals_admitted.inc();
+  obs_.active_connections.add(1);
+  obs_.primary_hops.observe(static_cast<double>(conn.primary.hops()));
+  obs::trace_event(obs::TraceKind::kArrivalAdmitted, static_cast<std::uint32_t>(id),
+                   static_cast<std::uint32_t>(conn.primary.hops()),
+                   static_cast<double>(conn.extra_quanta));
   outcome.changes.reserve(chain.direct.size() + chain.indirect.size());
   for (ConnectionId cid : chain.direct)
     outcome.changes.push_back(StateChange{cid, Chaining::kDirect, before[cid],
@@ -441,6 +481,10 @@ TerminationReport Network::terminate_connection(ConnectionId id) {
     report.changes.push_back(StateChange{cid, Chaining::kDirect, before[cid],
                                          connections_.at(cid).extra_quanta});
   ++stats_.terminated;
+  obs_.terminations.inc();
+  obs_.active_connections.sub(1);
+  obs::trace_event(obs::TraceKind::kTermination, static_cast<std::uint32_t>(id),
+                   static_cast<std::uint32_t>(report.existing_after));
   return report;
 }
 
@@ -455,6 +499,9 @@ FailureReport Network::fail_link(topology::LinkId link) {
   links_[link].set_failed(true);
   goal_.set_link_usable(link, false);
   ++stats_.failures_injected;
+  obs_.link_failures.inc();
+  obs::trace_event(obs::TraceKind::kFailLink, link,
+                   static_cast<std::uint32_t>(primaries_on_link_[link].size()));
 
   // Victims, deterministic order — read off the per-link registries instead
   // of scanning every active connection.  A connection hit on both channels
@@ -523,6 +570,9 @@ FailureReport Network::fail_link(topology::LinkId link) {
         activated_bits |= c.primary_links;
         activated.push_back(id);
         ++stats_.backups_activated;
+        obs_.backups_activated.inc();
+        obs::trace_event(obs::TraceKind::kBackupActivated,
+                         static_cast<std::uint32_t>(id), link);
         continue;
       }
     } else {
@@ -557,6 +607,9 @@ FailureReport Network::fail_link(topology::LinkId link) {
         ++stats_.reestablished_degraded;
         report.degraded_ids.push_back(s.id);
       }
+      obs_.reroutes.inc();
+      obs::trace_event(obs::TraceKind::kReroute, static_cast<std::uint32_t>(s.id),
+                       out == RescueOutcome::kPair ? 1u : 2u);
       continue;
     }
     if (s.double_hit)
@@ -570,6 +623,9 @@ FailureReport Network::fail_link(topology::LinkId link) {
     drop_active(s.id);
     ++stats_.connections_dropped;
     ++report.connections_dropped;
+    obs_.drops.inc();
+    obs_.active_connections.sub(1);
+    obs::trace_event(obs::TraceKind::kDrop, static_cast<std::uint32_t>(s.id), link);
   }
   stats_.drop_causes += report.drop_causes;
 
@@ -580,6 +636,8 @@ FailureReport Network::fail_link(topology::LinkId link) {
     if (!c.backup || !c.backup_links.test(link)) continue;
     remove_backup(c);
     ++report.backups_lost;
+    obs_.backups_lost.inc();
+    obs::trace_event(obs::TraceKind::kBackupLost, static_cast<std::uint32_t>(id), link);
   }
 
   // Retreat channels chained to the activated backups and re-established
@@ -662,6 +720,7 @@ std::size_t Network::repair_link(topology::LinkId link) {
   links_[link].set_failed(false);
   goal_.set_link_usable(link, true);
   ++stats_.repairs;
+  obs_.link_repairs.inc();
 
   std::size_t reestablished = 0;
   std::vector<ConnectionId> ids = active_ids_;
@@ -674,6 +733,8 @@ std::size_t Network::repair_link(topology::LinkId link) {
       ++stats_.backups_reestablished;
     }
   }
+  obs::trace_event(obs::TraceKind::kRepairLink, link,
+                   static_cast<std::uint32_t>(reestablished));
   return reestablished;
 }
 
@@ -759,6 +820,16 @@ double Network::protected_fraction() const {
 // ---- Invariants ----------------------------------------------------------------------
 
 void Network::audit() const {
+  try {
+    audit_impl();
+  } catch (const std::logic_error& e) {
+    // With the flight recorder on, the violation message carries the path of
+    // a JSON dump of the last-N trace events (obs/trace.hpp).
+    throw std::logic_error(obs::annotate_audit_failure(e.what()));
+  }
+}
+
+void Network::audit_impl() const {
   constexpr double kEps = 1e-6;
   // Per-link ledgers against per-connection ground truth.
   std::vector<double> committed(links_.size(), 0.0);

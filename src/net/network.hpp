@@ -31,6 +31,7 @@
 #include "net/link_state.hpp"
 #include "net/qos.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
 #include "topology/graph.hpp"
 
 namespace eqos::net {
@@ -159,6 +160,31 @@ class Network {
   void validate_invariants() const { audit(); }
 
  private:
+  /// Pre-resolved global-registry metric handles (looked up once at
+  /// construction).  Every update is a no-op guarded by a single relaxed
+  /// load while obs::metrics_enabled() is false, so carrying these in the
+  /// event paths costs nothing with observability off.
+  struct ObsHandles {
+    obs::Counter arrivals_admitted;
+    obs::Counter arrivals_rejected;
+    obs::Counter terminations;
+    obs::Counter retreats;
+    obs::Counter redistributes;
+    obs::Counter backups_activated;
+    obs::Counter backups_lost;
+    obs::Counter reroutes;
+    obs::Counter drops;
+    obs::Counter link_failures;
+    obs::Counter link_repairs;
+    obs::Gauge active_connections;
+    obs::Histogram primary_hops;
+    obs::Histogram redistribute_gainable;
+  };
+
+  /// The audit body; audit() wraps it to attach a flight-recorder dump to
+  /// the violation message.
+  void audit_impl() const;
+
   // Chaining classification sets for one event path set.
   struct ChainSets {
     std::vector<ConnectionId> direct;
@@ -246,6 +272,7 @@ class Network {
 
   ConnectionId next_id_ = 1;
   NetworkStats stats_;
+  ObsHandles obs_;
 
   // ---- Reused event scratch ------------------------------------------------
   // Every arrival/termination/failure classifies chains and merges candidate

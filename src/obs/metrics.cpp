@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace eqos::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Monotonic thread-slot source; slots wrap modulo kShards (sharing a slot
+/// is exact because every update is an atomic RMW).
+std::atomic<std::size_t> g_next_slot{0};
+
+const char* kind_name(detail::MetricKind kind) {
+  switch (kind) {
+    case detail::MetricKind::kCounter: return "counter";
+    case detail::MetricKind::kGauge: return "gauge";
+    case detail::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string json_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+bool set_metrics_enabled(bool enabled) noexcept {
+  return g_metrics_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t shard_slot() noexcept {
+  thread_local const std::size_t slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+void counter_add(Metric& m, std::uint64_t n) noexcept {
+  m.cells[shard_slot()].bits.fetch_add(n, std::memory_order_relaxed);
+}
+
+void gauge_add(Metric& m, std::int64_t delta) noexcept {
+  // Two's-complement wraparound makes unsigned fetch_add exact for signed
+  // deltas; the aggregate is re-interpreted as signed on scrape.
+  m.cells[shard_slot()].bits.fetch_add(static_cast<std::uint64_t>(delta),
+                                       std::memory_order_relaxed);
+}
+
+void histogram_observe(Metric& m, double value) noexcept {
+  const std::size_t per = m.cells_per_shard();
+  const std::size_t base = shard_slot() * per;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(m.bounds.begin(), m.bounds.end(), value) - m.bounds.begin());
+  m.cells[base + bucket].bits.fetch_add(1, std::memory_order_relaxed);
+  // The per-shard sum is double bits; a CAS loop keeps it exact even when
+  // threads beyond the shard count share a slot.
+  std::atomic<std::uint64_t>& sum = m.cells[base + m.bounds.size() + 1].bits;
+  std::uint64_t old_bits = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(
+      old_bits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old_bits) + value),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t counter_value(const Metric& m) noexcept {
+  std::uint64_t total = 0;
+  for (const ShardCell& cell : m.cells) total += cell.bits.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t gauge_value(const Metric& m) noexcept {
+  return static_cast<std::int64_t>(counter_value(m));
+}
+
+}  // namespace detail
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const Entry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json(std::size_t indent) const {
+  const std::string pad(indent, ' ');
+  std::ostringstream out;
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << pad << "  \"" << e.name << "\": {\"kind\": \"" << kind_name(e.kind) << "\", ";
+    switch (e.kind) {
+      case detail::MetricKind::kCounter:
+        out << "\"value\": " << e.count;
+        break;
+      case detail::MetricKind::kGauge:
+        out << "\"value\": " << e.gauge;
+        break;
+      case detail::MetricKind::kHistogram: {
+        out << "\"count\": " << e.count << ", \"sum\": " << json_number(e.sum)
+            << ", \"bounds\": [";
+        for (std::size_t b = 0; b < e.bounds.size(); ++b)
+          out << (b ? ", " : "") << json_number(e.bounds[b]);
+        out << "], \"buckets\": [";
+        for (std::size_t b = 0; b < e.buckets.size(); ++b)
+          out << (b ? ", " : "") << e.buckets[b];
+        out << "]";
+        break;
+      }
+    }
+    out << "}" << (i + 1 == entries.size() ? "\n" : ",\n");
+  }
+  out << pad << "}";
+  return out.str();
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  delta.entries.reserve(after.entries.size());
+  for (const MetricsSnapshot::Entry& e : after.entries) {
+    MetricsSnapshot::Entry d = e;
+    if (const MetricsSnapshot::Entry* b = before.find(e.name); b != nullptr) {
+      d.count -= b->count;
+      d.gauge -= b->gauge;
+      d.sum -= b->sum;
+      for (std::size_t i = 0; i < d.buckets.size() && i < b->buckets.size(); ++i)
+        d.buckets[i] -= b->buckets[i];
+    }
+    delta.entries.push_back(std::move(d));
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked by design
+  return *registry;
+}
+
+detail::Metric& MetricsRegistry::find_or_create(std::string_view name,
+                                                detail::MetricKind kind,
+                                                std::vector<double> bounds) {
+  if (name.empty()) throw std::invalid_argument("metrics: empty metric name");
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
+    throw std::invalid_argument("metrics: histogram bounds must be strictly ascending");
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (detail::Metric& m : metrics_) {
+    if (m.name != name) continue;
+    if (m.kind != kind || m.bounds != bounds)
+      throw std::logic_error("metrics: '" + std::string(name) +
+                             "' re-registered with a different kind or bounds");
+    return m;
+  }
+  detail::Metric& m = metrics_.emplace_back();
+  m.name = std::string(name);
+  m.kind = kind;
+  m.bounds = std::move(bounds);
+  m.cells = std::vector<detail::ShardCell>(detail::kShards * m.cells_per_shard());
+  return m;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(&find_or_create(name, detail::MetricKind::kCounter, {}));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&find_or_create(name, detail::MetricKind::kGauge, {}));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  return Histogram(&find_or_create(name, detail::MetricKind::kHistogram, std::move(bounds)));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(metrics_.size());
+  for (const detail::Metric& m : metrics_) {
+    MetricsSnapshot::Entry e;
+    e.name = m.name;
+    e.kind = m.kind;
+    switch (m.kind) {
+      case detail::MetricKind::kCounter:
+        e.count = detail::counter_value(m);
+        break;
+      case detail::MetricKind::kGauge:
+        e.gauge = detail::gauge_value(m);
+        break;
+      case detail::MetricKind::kHistogram: {
+        e.bounds = m.bounds;
+        const std::size_t per = m.cells_per_shard();
+        e.buckets.assign(m.bounds.size() + 1, 0);
+        for (std::size_t shard = 0; shard < detail::kShards; ++shard) {
+          const std::size_t base = shard * per;
+          for (std::size_t b = 0; b <= m.bounds.size(); ++b)
+            e.buckets[b] += m.cells[base + b].bits.load(std::memory_order_relaxed);
+          e.sum += std::bit_cast<double>(
+              m.cells[base + m.bounds.size() + 1].bits.load(std::memory_order_relaxed));
+        }
+        for (std::uint64_t b : e.buckets) e.count += b;
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (detail::Metric& m : metrics_)
+    for (detail::ShardCell& cell : m.cells) cell.bits.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace eqos::obs

@@ -1,0 +1,207 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace eqos::obs {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::size_t> g_capacity{512};
+
+thread_local double t_trace_time = 0.0;
+
+/// Bounded ring written only by its owning thread.  `written` counts all
+/// events ever recorded; the surviving window is the last min(written,
+/// capacity) slots.
+struct TraceRing {
+  std::vector<TraceEvent> slots;
+  std::uint64_t written = 0;
+};
+
+/// Ring registry.  Rings live until clear_trace() resets them (thread exit
+/// keeps a ring's tail dumpable — a thread that died right before the audit
+/// failure is exactly the interesting one).
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceRing>> rings;
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* registry = new RingRegistry;  // leaked by design
+  return *registry;
+}
+
+TraceRing& this_thread_ring() {
+  thread_local TraceRing* ring = [] {
+    auto owned = std::make_unique<TraceRing>();
+    owned->slots.resize(std::max<std::size_t>(1, g_capacity.load(std::memory_order_relaxed)));
+    TraceRing* raw = owned.get();
+    RingRegistry& registry = ring_registry();
+    const std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+struct DumpPath {
+  std::mutex mu;
+  std::string path;
+  bool initialized = false;
+};
+
+DumpPath& dump_path_state() {
+  static DumpPath* state = new DumpPath;
+  return *state;
+}
+
+std::string json_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kArrivalAdmitted: return "arrival-admitted";
+    case TraceKind::kArrivalRejected: return "arrival-rejected";
+    case TraceKind::kTermination: return "termination";
+    case TraceKind::kRetreat: return "retreat";
+    case TraceKind::kRedistribute: return "redistribute";
+    case TraceKind::kBackupActivated: return "backup-activated";
+    case TraceKind::kBackupLost: return "backup-lost";
+    case TraceKind::kReroute: return "reroute";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kFailLink: return "fail-link";
+    case TraceKind::kRepairLink: return "repair-link";
+    case TraceKind::kAuditStep: return "audit-step";
+  }
+  return "?";
+}
+
+bool trace_enabled() noexcept { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+bool set_trace_enabled(bool enabled) noexcept {
+  return g_trace_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t events) {
+  g_capacity.store(std::max<std::size_t>(1, events), std::memory_order_relaxed);
+}
+
+void set_trace_time(double now) noexcept { t_trace_time = now; }
+
+namespace detail {
+
+void trace_event_slow(TraceKind kind, std::uint32_t a, std::uint32_t b,
+                      double value) noexcept {
+  TraceRing& ring = this_thread_ring();
+  TraceEvent& slot = ring.slots[ring.written % ring.slots.size()];
+  slot.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  slot.time = t_trace_time;
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  slot.value = value;
+  ++ring.written;
+}
+
+}  // namespace detail
+
+std::vector<TraceEvent> collect_trace() {
+  std::vector<TraceEvent> events;
+  RingRegistry& registry = ring_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    const std::uint64_t surviving =
+        std::min<std::uint64_t>(ring->written, ring->slots.size());
+    for (std::uint64_t i = 0; i < surviving; ++i)
+      events.push_back(ring->slots[(ring->written - surviving + i) % ring->slots.size()]);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) { return x.seq < y.seq; });
+  return events;
+}
+
+void clear_trace() {
+  RingRegistry& registry = ring_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) ring->written = 0;
+}
+
+std::string trace_to_json(std::vector<TraceEvent> events, std::string_view reason) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) { return x.seq < y.seq; });
+  std::ostringstream out;
+  out << "{\n  \"reason\": \"" << json_escape(reason) << "\",\n";
+  out << "  \"num_events\": " << events.size() << ",\n";
+  out << "  \"events\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << "    {\"seq\": " << e.seq << ", \"time\": " << json_number(e.time)
+        << ", \"kind\": \"" << trace_kind_name(e.kind) << "\", \"a\": " << e.a
+        << ", \"b\": " << e.b << ", \"value\": " << json_number(e.value) << "}"
+        << (i + 1 == events.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+void set_trace_dump_path(std::string path) {
+  DumpPath& state = dump_path_state();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.path = std::move(path);
+  state.initialized = true;
+}
+
+std::string trace_dump_path() {
+  DumpPath& state = dump_path_state();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.initialized) {
+    const char* env = std::getenv("EQOS_TRACE_DUMP");
+    state.path = (env != nullptr && *env != '\0') ? env : "eqos_trace_dump.json";
+    state.initialized = true;
+  }
+  return state.path;
+}
+
+std::string dump_trace(std::string_view reason) {
+  if (!trace_enabled()) return {};
+  const std::string path = trace_dump_path();
+  std::ofstream out(path);
+  if (!out) return {};
+  out << trace_to_json(collect_trace(), reason);
+  return out ? path : std::string{};
+}
+
+std::string annotate_audit_failure(const std::string& what) {
+  if (!trace_enabled() || what.find(" [trace: ") != std::string::npos) return what;
+  const std::string path = dump_trace(what);
+  if (path.empty()) return what;
+  return what + " [trace: " + path + "]";
+}
+
+}  // namespace eqos::obs

@@ -1,0 +1,117 @@
+// Trace flight recorder: bounded per-thread ring buffers of compact
+// structured events, dumped as JSON when an invariant audit fails.
+//
+// The recorder answers the question a bare `std::logic_error("ledger
+// drift")` cannot: *what did the event loop actually do right before the
+// invariant broke?*  Every instrumented site (arrival admitted/rejected,
+// retreat, redistribute, backup activation, reroute/rescue, drop, link
+// fail/repair, audit step) appends one fixed-size TraceEvent to its
+// thread's ring; when an audit throws, annotate_audit_failure() dumps the
+// merged, sequence-ordered tail of every ring to a JSON file and appends
+// the dump path to the exception message — turning "assert fired at event
+// 73k" into a replayable last-N-events timeline.
+//
+// Cost model: when disabled (the default), trace_event() is one relaxed
+// atomic load and a branch — free enough for the innermost event paths (the
+// macro-bench goldens stay byte-identical and perf-smoke holds).  When
+// enabled, an event is one relaxed fetch_add (global sequence) plus five
+// stores into this thread's ring; rings never lock and never allocate after
+// their first event.
+//
+// Concurrency: each ring is written only by its owning thread.
+// collect_trace()/dump are exact when writers are quiescent (tests, or the
+// serial audit path that just threw); a dump taken while *other* sweep
+// threads keep running may smear their in-flight slots, which is the usual
+// flight-recorder trade and fine for a crash artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eqos::obs {
+
+/// What happened.  Operand meaning per kind is documented in
+/// trace_kind_name(); `a`/`b` are connection/link ids or counts, `value` a
+/// bandwidth or quanta figure.
+enum class TraceKind : std::uint8_t {
+  kArrivalAdmitted,   ///< a=connection, b=hops, value=initial quanta
+  kArrivalRejected,   ///< a=src, b=dst, value=reject reason code
+  kTermination,       ///< a=connection, b=active after
+  kRetreat,           ///< a=connection, value=quanta revoked
+  kRedistribute,      ///< a=candidates, b=gainable candidates
+  kBackupActivated,   ///< a=connection, b=failed link
+  kBackupLost,        ///< a=connection, b=failed link (parked backup died)
+  kReroute,           ///< a=connection, b=1 fresh pair / 2 degraded
+  kDrop,              ///< a=connection, b=failed link
+  kFailLink,          ///< a=link, b=primaries hit
+  kRepairLink,        ///< a=link, b=backups re-established
+  kAuditStep,         ///< a=audit target, b=checks run so far
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind kind) noexcept;
+
+/// One ring slot (fixed-size, trivially copyable).
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< global record order (merge key)
+  double time = 0.0;      ///< simulated time (see set_trace_time)
+  TraceKind kind = TraceKind::kArrivalAdmitted;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double value = 0.0;
+};
+
+/// Process-global trace switch (default off).
+[[nodiscard]] bool trace_enabled() noexcept;
+/// Flips the switch; returns the previous value.
+bool set_trace_enabled(bool enabled) noexcept;
+
+/// Per-thread ring capacity for rings created *after* the call (default
+/// 512).  Existing rings keep their size.
+void set_trace_capacity(std::size_t events);
+
+/// Simulated-time context of subsequent trace_event() calls on this thread
+/// (each sweep worker drives its own Simulator, so the clock is per-thread).
+void set_trace_time(double now) noexcept;
+
+namespace detail {
+void trace_event_slow(TraceKind kind, std::uint32_t a, std::uint32_t b,
+                      double value) noexcept;
+}
+
+/// Records one event on this thread's ring.  Free (one relaxed load + branch)
+/// when tracing is disabled.
+inline void trace_event(TraceKind kind, std::uint32_t a = 0, std::uint32_t b = 0,
+                        double value = 0.0) noexcept {
+  if (trace_enabled()) detail::trace_event_slow(kind, a, b, value);
+}
+
+/// Merged, seq-ascending view over every ring's surviving events.
+[[nodiscard]] std::vector<TraceEvent> collect_trace();
+
+/// Drops all recorded events (ring registrations survive).
+void clear_trace();
+
+/// Serializes `events` (any order; they are sorted by seq) into the audit
+/// dump JSON document:  {"reason": ..., "events": [...]}.
+[[nodiscard]] std::string trace_to_json(std::vector<TraceEvent> events,
+                                        std::string_view reason);
+
+/// Dump file for audit failures (default "eqos_trace_dump.json", overridden
+/// by the EQOS_TRACE_DUMP environment variable at first use).
+void set_trace_dump_path(std::string path);
+[[nodiscard]] std::string trace_dump_path();
+
+/// Writes the current trace to trace_dump_path().  Returns the path, or ""
+/// when tracing is disabled or the file cannot be written.
+std::string dump_trace(std::string_view reason);
+
+/// Audit-failure hook used by Network::audit, BackupManager::audit, and
+/// fault::audit_network: dumps the trace (when tracing is enabled) and
+/// returns `what` with " [trace: PATH]" appended.  Idempotent — a message
+/// that already carries a trace marker is returned unchanged, so nested
+/// audits (auditor -> network -> backup manager) dump exactly once.
+[[nodiscard]] std::string annotate_audit_failure(const std::string& what);
+
+}  // namespace eqos::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace eqos::sim {
 
 void WorkloadConfig::validate() const {
@@ -75,6 +77,7 @@ std::pair<topology::NodeId, topology::NodeId> Simulator::random_pair() {
 }
 
 std::size_t Simulator::populate(std::size_t attempts) {
+  obs::set_trace_time(queue_.now());
   std::size_t accepted = 0;
   for (std::size_t i = 0; i < attempts; ++i) {
     ++stats_.populate_attempts;
@@ -104,6 +107,7 @@ void Simulator::schedule_termination() {
 }
 
 void Simulator::do_arrival() {
+  obs::set_trace_time(queue_.now());
   if (recorder_) recorder_->advance_to(queue_.now(), network_);
   const auto [src, dst] = random_pair();
   const net::ArrivalOutcome outcome =
@@ -115,6 +119,7 @@ void Simulator::do_arrival() {
 }
 
 void Simulator::do_termination() {
+  obs::set_trace_time(queue_.now());
   if (recorder_) recorder_->advance_to(queue_.now(), network_);
   const auto& ids = network_.active_ids();
   if (!ids.empty()) {

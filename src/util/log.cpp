@@ -36,9 +36,9 @@ LogLevel log_level() {
   return g_level.load(std::memory_order_relaxed);
 }
 
-void set_log_level(LogLevel level) {
+LogLevel set_log_level(LogLevel level) {
   std::call_once(g_env_once, init_from_env);
-  g_level.store(level, std::memory_order_relaxed);
+  return g_level.exchange(level, std::memory_order_relaxed);
 }
 
 LogLevel parse_log_level(std::string_view name) {
@@ -48,6 +48,13 @@ LogLevel parse_log_level(std::string_view name) {
   if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
   if (name == "off") return LogLevel::kOff;
+  // Warn once per process: a misspelled EQOS_LOG silently behaving like
+  // "warn" is the kind of config typo that hides for months.
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::cerr << "[eqos:WARN] unknown log level '" << name
+              << "' (accepted: trace|debug|info|warn|error|off); using warn\n";
+  }
   return LogLevel::kWarn;
 }
 

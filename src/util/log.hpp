@@ -7,6 +7,7 @@
 // (trace|debug|info|warn|error|off) read at first use.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -17,10 +18,12 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Current process-global level (initialized from EQOS_LOG on first call).
 [[nodiscard]] LogLevel log_level();
 
-/// Overrides the process-global level.
-void set_log_level(LogLevel level);
+/// Overrides the process-global level; returns the previous level (so scopes
+/// — tests, benches — can restore it).
+LogLevel set_log_level(LogLevel level);
 
-/// Parses a level name; returns kWarn for unknown names.
+/// Parses a level name; returns kWarn for unknown names, after warning once
+/// per process on stderr with the offending value and the accepted set.
 [[nodiscard]] LogLevel parse_log_level(std::string_view name);
 
 namespace detail {
@@ -28,25 +31,32 @@ void emit(LogLevel level, std::string_view message);
 }
 
 /// Statement-style logging:  EQOS_LOG_AT(LogLevel::kInfo) << "x=" << x;
+///
+/// The ostringstream is not constructed until the first << on an *enabled*
+/// line, so a disabled statement costs two loads and a branch — no stream
+/// construction, no allocation (bench_micro's BM_log_disabled guards this).
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
   ~LogLine() {
-    if (enabled_) detail::emit(level_, stream_.str());
+    if (enabled_) detail::emit(level_, stream_ ? stream_->str() : std::string());
   }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    if (enabled_) stream_ << value;
+    if (enabled_) {
+      if (!stream_) stream_.emplace();
+      *stream_ << value;
+    }
     return *this;
   }
 
  private:
   LogLevel level_;
   bool enabled_;
-  std::ostringstream stream_;
+  std::optional<std::ostringstream> stream_;
 };
 
 }  // namespace eqos::util

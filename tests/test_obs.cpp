@@ -1,0 +1,460 @@
+// Unit tests for the observability layer: metrics registry exactness (single
+// thread and across the sweep thread pool at 1/2/8 workers), log-level
+// parsing and torn-line-free concurrent logging, the trace flight recorder's
+// ring semantics, and the acceptance path — a forced invariant-audit failure
+// must dump a flight-recorder JSON whose tail reconstructs the violating
+// event sequence.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/audit.hpp"
+#include "fault/injector.hpp"
+#include "fault/scenario.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
+#include "topology/waxman.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eqos {
+namespace {
+
+/// Scoped enable/restore of the global metrics switch.
+struct MetricsOn {
+  bool prev = obs::set_metrics_enabled(true);
+  ~MetricsOn() { obs::set_metrics_enabled(prev); }
+};
+
+/// Scoped enable/restore of the global trace switch.
+struct TraceOn {
+  bool prev = obs::set_trace_enabled(true);
+  ~TraceOn() { obs::set_trace_enabled(prev); }
+};
+
+// ---- Metrics registry -------------------------------------------------------
+
+TEST(Metrics, DisabledHandlesAreNoOps) {
+  auto counter = obs::MetricsRegistry::global().counter("test.disabled.counter");
+  const bool prev = obs::set_metrics_enabled(false);
+  counter.inc(5);
+  EXPECT_EQ(counter.value(), 0u);
+  obs::set_metrics_enabled(true);
+  counter.inc(5);
+  EXPECT_EQ(counter.value(), 5u);
+  obs::set_metrics_enabled(prev);
+}
+
+TEST(Metrics, SetEnabledReturnsPrevious) {
+  const bool original = obs::set_metrics_enabled(true);
+  EXPECT_TRUE(obs::set_metrics_enabled(false));
+  EXPECT_FALSE(obs::set_metrics_enabled(original));
+}
+
+TEST(Metrics, CounterGaugeHistogramExactness) {
+  MetricsOn on;
+  auto& reg = obs::MetricsRegistry::global();
+  auto counter = reg.counter("test.exact.counter");
+  auto gauge = reg.gauge("test.exact.gauge");
+  auto hist = reg.histogram("test.exact.hist", {1.0, 2.0, 4.0});
+
+  counter.inc();
+  counter.inc(3);
+  gauge.add(5);
+  gauge.sub(2);
+  hist.observe(0.5);   // bucket 0: (-inf, 1]
+  hist.observe(1.5);   // bucket 1: (1, 2]
+  hist.observe(3.0);   // bucket 2: (2, 4]
+  hist.observe(100.0); // bucket 3: (4, +inf)
+
+  EXPECT_EQ(counter.value(), 4u);
+  EXPECT_EQ(gauge.value(), 3);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto* c = snap.find("test.exact.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->count, 4u);
+  const auto* g = snap.find("test.exact.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->gauge, 3);
+  const auto* h = snap.find("test.exact.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_DOUBLE_EQ(h->sum, 105.0);
+  ASSERT_EQ(h->buckets.size(), 4u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[1], 1u);
+  EXPECT_EQ(h->buckets[2], 1u);
+  EXPECT_EQ(h->buckets[3], 1u);
+  EXPECT_EQ(snap.find("test.exact.absent"), nullptr);
+}
+
+TEST(Metrics, GaugeGoesNegative) {
+  MetricsOn on;
+  auto gauge = obs::MetricsRegistry::global().gauge("test.negative.gauge");
+  gauge.sub(7);
+  EXPECT_EQ(gauge.value(), -7);
+  gauge.add(7);
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(Metrics, RegistrationConflictsThrow) {
+  auto& reg = obs::MetricsRegistry::global();
+  (void)reg.counter("test.conflict.metric");
+  EXPECT_THROW((void)reg.gauge("test.conflict.metric"), std::logic_error);
+  (void)reg.histogram("test.conflict.hist", {1.0, 2.0});
+  EXPECT_THROW((void)reg.histogram("test.conflict.hist", {1.0, 3.0}), std::logic_error);
+  EXPECT_THROW((void)reg.counter(""), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("test.conflict.bad", {2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("test.conflict.dup", {1.0, 1.0}),
+               std::invalid_argument);
+  // Same kind and bounds: find-or-create returns the same metric.
+  auto a = reg.counter("test.conflict.metric");
+  MetricsOn on;
+  a.inc();
+  EXPECT_EQ(reg.counter("test.conflict.metric").value(), 1u);
+}
+
+TEST(Metrics, SnapshotDelta) {
+  MetricsOn on;
+  auto& reg = obs::MetricsRegistry::global();
+  auto counter = reg.counter("test.delta.counter");
+  auto hist = reg.histogram("test.delta.hist", {10.0});
+  counter.inc(2);
+  hist.observe(5.0);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  counter.inc(3);
+  hist.observe(20.0);
+  const obs::MetricsSnapshot delta = obs::snapshot_delta(before, reg.snapshot());
+  const auto* c = delta.find("test.delta.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->count, 3u);
+  const auto* h = delta.find("test.delta.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 20.0);
+  ASSERT_EQ(h->buckets.size(), 2u);
+  EXPECT_EQ(h->buckets[0], 0u);
+  EXPECT_EQ(h->buckets[1], 1u);
+}
+
+TEST(Metrics, ExactAcrossThreadCounts) {
+  // The shard design must aggregate to identical exact totals whatever the
+  // worker count — including 8 workers hammering the same metrics through
+  // the sweep thread pool.
+  MetricsOn on;
+  auto& reg = obs::MetricsRegistry::global();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kIncsPerTask = 1000;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const std::string suffix = std::to_string(threads);
+    auto counter = reg.counter("test.mt.counter." + suffix);
+    auto gauge = reg.gauge("test.mt.gauge." + suffix);
+    auto hist = reg.histogram("test.mt.hist." + suffix, {2.0, 5.0});
+    util::ThreadPool pool(threads);
+    pool.parallel_for(kTasks, [&](std::size_t i) {
+      for (std::size_t k = 0; k < kIncsPerTask; ++k) counter.inc();
+      gauge.add(3);
+      gauge.sub(1);
+      for (std::size_t k = 0; k < 8; ++k) hist.observe(static_cast<double>(i % 8));
+    });
+    EXPECT_EQ(counter.value(), kTasks * kIncsPerTask) << threads << " threads";
+    EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(2 * kTasks))
+        << threads << " threads";
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const auto* h = snap.find("test.mt.hist." + suffix);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, kTasks * 8);
+    // Each of the 64 tasks observes i % 8 eight times: sum = 8 * 8 * (0+..+7).
+    EXPECT_DOUBLE_EQ(h->sum, 8.0 * 8.0 * 28.0) << threads << " threads";
+    ASSERT_EQ(h->buckets.size(), 3u);
+    EXPECT_EQ(h->buckets[0], kTasks * 8 * 3 / 8);  // values 0, 1, 2
+    EXPECT_EQ(h->buckets[1], kTasks * 8 * 3 / 8);  // values 3, 4, 5
+    EXPECT_EQ(h->buckets[2], kTasks * 8 * 2 / 8);  // values 6, 7
+  }
+}
+
+TEST(Metrics, SnapshotJsonShape) {
+  MetricsOn on;
+  auto& reg = obs::MetricsRegistry::global();
+  auto counter = reg.counter("test.json.counter");
+  counter.inc(9);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"test.json.counter\": {\"kind\": \"counter\", \"value\": 9}"),
+            std::string::npos)
+      << json;
+}
+
+// ---- Logging ----------------------------------------------------------------
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(util::parse_log_level("trace"), util::LogLevel::kTrace);
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), util::LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), util::LogLevel::kOff);
+  // Unknown names fall back to warn and warn at most once per process.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(util::parse_log_level("bogus"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("other-bogus"), util::LogLevel::kWarn);
+  const std::string err = testing::internal::GetCapturedStderr();
+  std::size_t warnings = 0;
+  for (std::size_t pos = 0; (pos = err.find("unknown log level", pos)) != std::string::npos;
+       ++pos)
+    ++warnings;
+  EXPECT_LE(warnings, 1u);  // one-time: other tests may already have spent it
+}
+
+TEST(Log, SetLevelReturnsPrevious) {
+  const util::LogLevel original = util::set_log_level(util::LogLevel::kDebug);
+  EXPECT_EQ(util::set_log_level(util::LogLevel::kError), util::LogLevel::kDebug);
+  EXPECT_EQ(util::set_log_level(original), util::LogLevel::kError);
+}
+
+/// Streamable probe that records whether operator<< ever ran.
+struct InsertionProbe {
+  bool* hit;
+};
+std::ostream& operator<<(std::ostream& os, const InsertionProbe& p) {
+  *p.hit = true;
+  return os;
+}
+
+TEST(Log, DisabledLineSkipsInsertions) {
+  const util::LogLevel original = util::set_log_level(util::LogLevel::kError);
+  bool hit = false;
+  EQOS_DEBUG() << InsertionProbe{&hit} << 42;
+  EXPECT_FALSE(hit);
+  testing::internal::CaptureStderr();
+  EQOS_ERROR() << InsertionProbe{&hit};
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("[eqos:ERROR]"),
+            std::string::npos);
+  EXPECT_TRUE(hit);
+  util::set_log_level(original);
+}
+
+TEST(Log, ConcurrentLinesNotTorn) {
+  // 1/2/8 pool workers logging concurrently: every emitted stderr line must
+  // be one complete log statement — no interleaved fragments, no torn lines.
+  constexpr std::size_t kLines = 64;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const std::string path =
+        testing::TempDir() + "eqos_torn_" + std::to_string(threads) + ".log";
+    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    std::cerr.flush();
+    const int saved = ::dup(2);
+    ASSERT_GE(saved, 0);
+    ASSERT_GE(::dup2(fd, 2), 0);
+    ::close(fd);
+    const util::LogLevel original = util::set_log_level(util::LogLevel::kInfo);
+    {
+      util::ThreadPool pool(threads);
+      pool.parallel_for(kLines, [](std::size_t i) {
+        EQOS_INFO() << "task " << i << " payload abcdefghijklmnop " << i * 7;
+      });
+    }
+    util::set_log_level(original);
+    std::cerr.flush();
+    ASSERT_GE(::dup2(saved, 2), 0);
+    ::close(saved);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<bool> seen(kLines, false);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      std::size_t task = 0;
+      std::size_t check = 0;
+      char word[32] = {0};
+      ASSERT_EQ(std::sscanf(line.c_str(), "[eqos:INFO] task %zu payload %31s %zu",
+                            &task, word, &check),
+                3)
+          << "torn line with " << threads << " threads: '" << line << "'";
+      EXPECT_STREQ(word, "abcdefghijklmnop") << line;
+      ASSERT_LT(task, kLines);
+      EXPECT_EQ(check, task * 7) << line;
+      EXPECT_FALSE(seen[task]) << "duplicate line for task " << task;
+      seen[task] = true;
+    }
+    EXPECT_EQ(lines, kLines) << threads << " threads";
+    std::remove(path.c_str());
+  }
+}
+
+// ---- Trace flight recorder --------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  const bool prev = obs::set_trace_enabled(false);
+  obs::clear_trace();
+  obs::trace_event(obs::TraceKind::kDrop, 1, 2, 3.0);
+  EXPECT_TRUE(obs::collect_trace().empty());
+  EXPECT_TRUE(obs::dump_trace("disabled").empty());
+  obs::set_trace_enabled(prev);
+}
+
+TEST(Trace, RingKeepsLastEventsInSeqOrder) {
+  TraceOn on;
+  obs::clear_trace();
+  obs::set_trace_capacity(8);
+  // A fresh thread gets a fresh ring at the just-set capacity.
+  std::thread writer([] {
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      obs::set_trace_time(static_cast<double>(i));
+      obs::trace_event(obs::TraceKind::kAuditStep, i, 0, 0.0);
+    }
+  });
+  writer.join();
+  obs::set_trace_capacity(512);  // restore the default for later rings
+  const std::vector<obs::TraceEvent> events = obs::collect_trace();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 12u + i);  // the last 8 of 20
+    EXPECT_DOUBLE_EQ(events[i].time, static_cast<double>(12 + i));
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+  }
+  obs::clear_trace();
+  EXPECT_TRUE(obs::collect_trace().empty());
+}
+
+TEST(Trace, JsonContainsReasonAndKinds) {
+  std::vector<obs::TraceEvent> events(2);
+  events[0].seq = 7;
+  events[0].kind = obs::TraceKind::kFailLink;
+  events[0].a = 3;
+  events[1].seq = 2;
+  events[1].kind = obs::TraceKind::kArrivalAdmitted;
+  const std::string json = obs::trace_to_json(events, "unit \"test\"");
+  EXPECT_NE(json.find("\"reason\": \"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"num_events\": 2"), std::string::npos);
+  // Sorted by seq: the arrival comes first despite input order.
+  const std::size_t arrival = json.find("\"kind\": \"arrival-admitted\"");
+  const std::size_t fail = json.find("\"kind\": \"fail-link\"");
+  ASSERT_NE(arrival, std::string::npos);
+  ASSERT_NE(fail, std::string::npos);
+  EXPECT_LT(arrival, fail);
+}
+
+TEST(Trace, AnnotateIsIdempotentAndOffWhenDisabled) {
+  {
+    const bool prev = obs::set_trace_enabled(false);
+    EXPECT_EQ(obs::annotate_audit_failure("boom"), "boom");
+    obs::set_trace_enabled(prev);
+  }
+  TraceOn on;
+  const std::string dump = testing::TempDir() + "eqos_annotate_dump.json";
+  obs::set_trace_dump_path(dump);
+  const std::string once = obs::annotate_audit_failure("boom");
+  EXPECT_NE(once.find(" [trace: "), std::string::npos);
+  EXPECT_EQ(obs::annotate_audit_failure(once), once);  // nested audits: one dump
+  std::remove(dump.c_str());
+}
+
+// ---- Acceptance: audit failure dumps the flight recorder --------------------
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+TEST(Trace, AuditFailureDumpsViolatingSequence) {
+  TraceOn on;
+  obs::clear_trace();
+  const std::string dump = testing::TempDir() + "eqos_audit_dump.json";
+  obs::set_trace_dump_path(dump);
+  std::remove(dump.c_str());
+
+  const topology::Graph g = topology::generate_waxman({30, 0.5, 0.4, true}, 11);
+  net::Network network(g, net::NetworkConfig{});
+  util::Rng rng(99);
+  for (int i = 0; i < 60; ++i) {
+    const auto src = static_cast<topology::NodeId>(rng.index(g.num_nodes()));
+    auto dst = static_cast<topology::NodeId>(rng.index(g.num_nodes() - 1));
+    if (dst >= src) ++dst;
+    (void)network.request_connection(src, dst, paper_qos());
+  }
+  // Corrupt the admission ledger behind the network's back: the next audit
+  // must detect the drift and dump the flight recorder.
+  const_cast<net::LinkState&>(network.link_state(0)).commit_min(64.0);
+
+  sim::EventQueue queue;
+  fault::FaultScenario scenario;
+  scenario.fail_link(5.0, 1);
+  fault::FaultInjector injector(
+      network,
+      fault::Scheduler{[&queue] { return queue.now(); },
+                       [&queue](double t, std::function<void()> a) {
+                         queue.schedule(t, std::move(a));
+                       }},
+      fault::Hooks{});
+  fault::InvariantAuditor auditor(network);
+  injector.set_auditor(&auditor);
+  injector.load_scenario(scenario, util::Rng(7));
+
+  std::string message;
+  try {
+    queue.run_until(10.0);
+    FAIL() << "expected the corrupted ledger to fail the audit";
+  } catch (const std::logic_error& e) {
+    message = e.what();
+  }
+  EXPECT_NE(message.find("committed_min ledger mismatch"), std::string::npos) << message;
+  ASSERT_NE(message.find(" [trace: " + dump + "]"), std::string::npos) << message;
+
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << "no flight-recorder dump at " << dump;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"reason\": "), std::string::npos);
+  EXPECT_NE(json.find("committed_min ledger mismatch"), std::string::npos);
+  // The tail must reconstruct the violating sequence: the scripted failure
+  // of link 1 (and its per-connection consequences) after the arrivals.
+  const std::size_t fail = json.find("\"kind\": \"fail-link\", \"a\": 1,");
+  ASSERT_NE(fail, std::string::npos) << json.substr(0, 2000);
+  const std::size_t first_arrival = json.find("\"kind\": \"arrival-");
+  ASSERT_NE(first_arrival, std::string::npos);
+  EXPECT_LT(first_arrival, fail);
+  EXPECT_EQ(json.find("\"kind\": \"audit-step\""), std::string::npos)
+      << "the failing audit step must not have been recorded as passed";
+  // seq strictly ascending across the whole dump.
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  for (std::size_t pos = json.find("\"seq\": "); pos != std::string::npos;
+       pos = json.find("\"seq\": ", pos + 1)) {
+    const std::uint64_t seq = std::strtoull(json.c_str() + pos + 7, nullptr, 10);
+    if (!first) {
+      EXPECT_GT(seq, prev_seq);
+    }
+    prev_seq = seq;
+    first = false;
+  }
+  EXPECT_FALSE(first) << "dump contains no events";
+  std::remove(dump.c_str());
+  obs::clear_trace();
+}
+
+}  // namespace
+}  // namespace eqos
