@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   // Grid: point = (load, scheme), run across the CLI's workers.
   core::SweepReport report;
   const auto rows = bench::run_point_grid(
-      cli, loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
+      cli, "bench_ablation_adaptation", loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
         const std::size_t n = loads[point / 2];
         const auto scheme = point % 2 == 0 ? net::AdaptationScheme::kCoefficient
                                            : net::AdaptationScheme::kMaxUtility;
@@ -109,6 +109,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: both favor high utility; max-utility is far "
                "harsher on the low class (lower Jain index)\n";
-  bench::finish_sweep(cli, "bench_ablation_adaptation", report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_ablation_adaptation", report);
 }

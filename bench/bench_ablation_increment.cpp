@@ -55,6 +55,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: average bandwidth barely moves with the "
                "increment (Table 1), while churn grows as increments shrink\n";
-  bench::finish_sweep(cli, "bench_ablation_increment", sweep.report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_ablation_increment", sweep.report);
 }

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   // Grid: point = (load, mux on/off), run across the CLI's workers.
   core::SweepReport report;
   const auto rows = bench::run_point_grid(
-      cli, loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
+      cli, "bench_ablation_multiplexing", loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
         const std::size_t n = loads[point / 2];
         const bool mux = point % 2 == 0;
         return run(bench::random_network(), n, mux, 3000.0,
@@ -89,6 +89,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: multiplexing admits more connections and "
                "freezes a smaller capacity share in backup reservations\n";
-  bench::finish_sweep(cli, "bench_ablation_multiplexing", report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_ablation_multiplexing", report);
 }

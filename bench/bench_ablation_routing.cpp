@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   // Grid: point = (load, policy), run across the CLI's workers.
   core::SweepReport report;
   const auto rows = bench::run_point_grid(
-      cli, loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
+      cli, "bench_ablation_routing", loads.size() * 2, report, [&](std::size_t point, std::size_t rep) {
         const std::size_t n = loads[point / 2];
         const auto policy = point % 2 == 0 ? net::RoutePolicy::kWidestShortest
                                            : net::RoutePolicy::kShortest;
@@ -94,6 +94,5 @@ int main(int argc, char** argv) {
   std::cout << "# expectation: widest-shortest spreads committed load more "
                "evenly (lower CV) and sustains acceptance deeper into "
                "saturation\n";
-  bench::finish_sweep(cli, "bench_ablation_routing", report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_ablation_routing", report);
 }

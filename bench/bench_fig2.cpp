@@ -48,6 +48,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: sim ~ markov, monotone decline Bmax -> Bmin, "
                "ideal is an upper bound\n";
-  bench::finish_sweep(cli, "bench_fig2", sweep.report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_fig2", sweep.report);
 }

@@ -51,6 +51,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: edges grow fast with nodes; bandwidth rises "
                "toward Bmax as the same load spreads thinner\n";
-  bench::finish_sweep(cli, "bench_fig3", sweep.report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_fig3", sweep.report);
 }

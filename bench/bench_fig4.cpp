@@ -57,6 +57,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: flat across gamma <= 1e-4 (gamma << lambda); "
                "the Avg2000 series sits above Avg3000\n";
-  bench::finish_sweep(cli, "bench_fig4", sweep.report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_fig4", sweep.report);
 }

@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
 
   core::SweepReport report;
   const auto rows = bench::run_point_grid(
-      cli, loads.size(), report, [&](std::size_t point, std::size_t rep) {
+      cli, "bench_multiclass", loads.size(), report, [&](std::size_t point, std::size_t rep) {
         return run(loads[point],
                    core::sweep_seed(bench::kWorkloadSeed, point, rep), cli.smoke);
       });
@@ -122,6 +122,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: each class's chain tracks its own simulation "
                "mean; audio (smaller range) degrades later than video\n";
-  bench::finish_sweep(cli, "bench_multiclass", report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_multiclass", report);
 }

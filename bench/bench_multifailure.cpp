@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
 
   core::SweepReport report;
   const auto rows = bench::run_point_grid(
-      cli, sizes.size(), report, [&](std::size_t point, std::size_t rep) {
+      cli, "bench_multifailure", sizes.size(), report, [&](std::size_t point, std::size_t rep) {
         const std::size_t k = sizes[point];
         net::NetworkConfig ncfg;
         ncfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
@@ -168,6 +168,5 @@ int main(int argc, char** argv) {
   std::cout << "# expectation: victims / degraded / drops grow with k at constant "
                "link-failure intensity; kReestablish converts most strandings into "
                "pair or degraded re-establishments\n";
-  bench::finish_sweep(cli, "bench_multifailure", report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_multifailure", report);
 }

@@ -55,6 +55,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "# expectation: 5-state ~ 9-state in every row; Tier est. << "
                "Random est.\n";
-  bench::finish_sweep(cli, "bench_table1", sweep.report);
-  return 0;
+  return bench::finish_sweep(cli, "bench_table1", sweep.report);
 }

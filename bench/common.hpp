@@ -10,16 +10,21 @@
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
+#include <type_traits>
 
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "state/serial.hpp"
 #include "topology/metrics.hpp"
 #include "topology/transit_stub.hpp"
 #include "topology/waxman.hpp"
@@ -62,71 +67,177 @@ struct BenchCli {
   bool trace = false;
   std::string trace_json;
 
+  // Crash tolerance (see core::SweepCheckpoint).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t retries = 2;
+  double backoff_seconds = 0.0;
+  double watchdog_seconds = 0.0;
+
+  [[nodiscard]] core::SweepCheckpoint checkpoint_options() const {
+    core::SweepCheckpoint c;
+    c.dir = checkpoint_dir;
+    c.every = checkpoint_every;
+    c.resume = resume;
+    c.max_retries = retries;
+    c.retry_backoff_seconds = backoff_seconds;
+    c.watchdog_seconds = watchdog_seconds;
+    return c;
+  }
+
   [[nodiscard]] core::SweepOptions sweep_options() const {
     core::SweepOptions o;
     o.threads = threads;
     o.reps = reps;
+    o.checkpoint = checkpoint_options();
     return o;
   }
 };
 
-/// Parses the shared flags; exits on --help or malformed input.
+/// Strict numeric parse: the whole string must be a base-10 non-negative
+/// integer ("abc", "", "12x", and "-3" all fail).
+inline bool parse_size_arg(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  std::size_t v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [p, ec] = std::from_chars(begin, end, v, 10);
+  if (ec != std::errc() || p != end) return false;
+  out = v;
+  return true;
+}
+
+/// Strict double parse; rejects trailing junk, negatives, and non-finites.
+inline bool parse_seconds_arg(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || !(v >= 0.0) || v > 1e12) return false;
+  out = v;
+  return true;
+}
+
+inline void cli_usage(const char* prog, std::ostream& out) {
+  out << "usage: " << prog
+      << " [--threads N] [--reps N] [--smoke] [--json PATH]"
+         " [--metrics] [--trace] [--trace-json PATH]"
+         " [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
+         " [--retries N] [--backoff SEC] [--watchdog SEC]\n"
+         "  --threads N  sweep workers (1 = serial, 0 = hardware)\n"
+         "  --reps N     replications per point (averaged), N >= 1\n"
+         "  --smoke      single tiny point (CI smoke test)\n"
+         "  --json PATH  write sweep throughput report as JSON\n"
+         "  --metrics    enable the metrics registry (snapshot printed\n"
+         "               and embedded in the --json report)\n"
+         "  --trace      enable the trace flight recorder (audit\n"
+         "               failures dump the last-N events as JSON)\n"
+         "  --trace-json PATH  dump the recorded trace to PATH at exit\n"
+         "  --checkpoint-dir DIR   persist each completed sweep cell to DIR\n"
+         "  --checkpoint-every N   rewrite the manifest every N cells (default 1)\n"
+         "  --resume     skip cells already completed in --checkpoint-dir;\n"
+         "               corrupt cells are quarantined (*.corrupt) and redone\n"
+         "  --retries N  re-attempts for a cell that throws (default 2)\n"
+         "  --backoff SEC   sleep attempt*SEC between retries (default 0)\n"
+         "  --watchdog SEC  flag cells running longer than SEC (default off)\n"
+         "All flags also accept --flag=value.\n";
+}
+
+[[noreturn]] inline void cli_fail(const char* prog, const std::string& message) {
+  std::cerr << prog << ": " << message << "\n";
+  cli_usage(prog, std::cerr);
+  std::exit(2);
+}
+
+/// Parses the shared flags.  Exits 0 on --help; exits 2 with a usage message
+/// on an unknown flag, a missing value, or a malformed value (--threads=abc,
+/// --reps -3, ...).
 inline BenchCli parse_cli(int argc, char** argv) {
   BenchCli cli;
-  if (const char* env = std::getenv("EQOS_THREADS"))
-    cli.threads = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
-  auto need_value = [&](int i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << argv[0] << ": missing value after " << argv[i] << "\n";
-      std::exit(2);
-    }
-    return argv[i + 1];
-  };
+  if (const char* env = std::getenv("EQOS_THREADS")) {
+    if (!parse_size_arg(env, cli.threads))
+      cli_fail(argv[0], std::string("EQOS_THREADS is not a non-negative integer: ") + env);
+  }
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads") {
-      cli.threads = static_cast<std::size_t>(std::strtoull(need_value(i), nullptr, 10));
-      ++i;
-    } else if (arg == "--reps") {
-      cli.reps = std::max<std::size_t>(
-          1, static_cast<std::size_t>(std::strtoull(need_value(i), nullptr, 10)));
-      ++i;
-    } else if (arg == "--smoke") {
+    std::string name = argv[i];
+    std::optional<std::string> inline_value;
+    if (name.size() > 2 && name.rfind("--", 0) == 0) {
+      const std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name.resize(eq);
+      }
+    }
+    const auto value = [&]() -> std::string {
+      if (inline_value) return *inline_value;
+      if (i + 1 >= argc) cli_fail(argv[0], "missing value after " + name);
+      return argv[++i];
+    };
+    const auto size_value = [&](std::size_t minimum) -> std::size_t {
+      const std::string text = value();
+      std::size_t v = 0;
+      if (!parse_size_arg(text, v) || v < minimum)
+        cli_fail(argv[0], name + " expects an integer >= " + std::to_string(minimum) +
+                              ", got '" + text + "'");
+      return v;
+    };
+    const auto seconds_value = [&]() -> double {
+      const std::string text = value();
+      double v = 0.0;
+      if (!parse_seconds_arg(text, v))
+        cli_fail(argv[0], name + " expects a non-negative number of seconds, got '" +
+                              text + "'");
+      return v;
+    };
+    const auto no_value = [&] {
+      if (inline_value) cli_fail(argv[0], name + " does not take a value");
+    };
+    if (name == "--threads") {
+      cli.threads = size_value(0);
+    } else if (name == "--reps") {
+      cli.reps = size_value(1);
+    } else if (name == "--smoke") {
+      no_value();
       cli.smoke = true;
-    } else if (arg == "--json") {
-      cli.json = need_value(i);
-      ++i;
-    } else if (arg == "--metrics") {
+    } else if (name == "--json") {
+      cli.json = value();
+    } else if (name == "--metrics") {
+      no_value();
       cli.metrics = true;
       obs::set_metrics_enabled(true);
-    } else if (arg == "--trace") {
+    } else if (name == "--trace") {
+      no_value();
       cli.trace = true;
       obs::set_trace_enabled(true);
-    } else if (arg == "--trace-json") {
-      cli.trace_json = need_value(i);
+    } else if (name == "--trace-json") {
+      cli.trace_json = value();
       cli.trace = true;
       obs::set_trace_enabled(true);
       obs::set_trace_dump_path(cli.trace_json);
-      ++i;
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0]
-                << " [--threads N] [--reps N] [--smoke] [--json PATH]"
-                   " [--metrics] [--trace] [--trace-json PATH]\n"
-                   "  --threads N  sweep workers (1 = serial, 0 = hardware)\n"
-                   "  --reps N     replications per point (averaged)\n"
-                   "  --smoke      single tiny point (CI smoke test)\n"
-                   "  --json PATH  write sweep throughput report as JSON\n"
-                   "  --metrics    enable the metrics registry (snapshot printed\n"
-                   "               and embedded in the --json report)\n"
-                   "  --trace      enable the trace flight recorder (audit\n"
-                   "               failures dump the last-N events as JSON)\n"
-                   "  --trace-json PATH  dump the recorded trace to PATH at exit\n";
+    } else if (name == "--checkpoint-dir") {
+      cli.checkpoint_dir = value();
+      if (cli.checkpoint_dir.empty())
+        cli_fail(argv[0], "--checkpoint-dir expects a directory path");
+    } else if (name == "--checkpoint-every") {
+      cli.checkpoint_every = size_value(1);
+    } else if (name == "--resume") {
+      no_value();
+      cli.resume = true;
+    } else if (name == "--retries") {
+      cli.retries = size_value(0);
+    } else if (name == "--backoff") {
+      cli.backoff_seconds = seconds_value();
+    } else if (name == "--watchdog") {
+      cli.watchdog_seconds = seconds_value();
+    } else if (name == "--help" || name == "-h") {
+      cli_usage(argv[0], std::cout);
       std::exit(0);
     } else {
-      std::cerr << argv[0] << ": unknown flag " << arg << " (see --help)\n";
-      std::exit(2);
+      cli_fail(argv[0], "unknown flag " + name);
     }
   }
+  if (cli.resume && cli.checkpoint_dir.empty())
+    cli_fail(argv[0], "--resume requires --checkpoint-dir");
   return cli;
 }
 
@@ -136,23 +247,64 @@ inline BenchCli parse_cli(int argc, char** argv) {
 /// not run_experiment.  Results land at [point * reps + rep]; determinism
 /// follows from each fn call owning its state and seeding reps with
 /// core::sweep_seed (rep 0 keeps the base seed — the historical output).
+///
+/// Cells run under a core::CellHarness: a throwing cell is retried and then
+/// recorded in report.failures (its row stays default-constructed), and with
+/// --checkpoint-dir completed cells persist for --resume.  Persistence needs
+/// a byte-copyable row: non-trivially-copyable row types silently run with
+/// retry/watchdog only.  `bench` keys the checkpoint fingerprint.
 template <typename Fn>
-auto run_point_grid(const BenchCli& cli, std::size_t n, core::SweepReport& report,
-                    Fn&& fn) {
+auto run_point_grid(const BenchCli& cli, const char* bench, std::size_t n,
+                    core::SweepReport& report, Fn&& fn) {
+  using Row = std::decay_t<decltype(fn(std::size_t{0}, std::size_t{0}))>;
   const std::size_t total = n * cli.reps;
   // Per-(point,rep) metric deltas are well-defined only when points run one
   // at a time (the registry is process-global) — mirror run_sweep's rule.
   const bool capture_points = obs::metrics_enabled() && cli.threads <= 1;
+  std::vector<Row> results(total);
+
+  core::SweepCheckpoint ckpt = cli.checkpoint_options();
+  if constexpr (!std::is_trivially_copyable_v<Row>) ckpt.dir.clear();
+  core::CellHarness harness(ckpt, state::kKindGridRow,
+                            core::grid_fingerprint(bench, n, cli.reps, sizeof(Row)),
+                            n, cli.reps);
+  if (ckpt.resume)
+    harness.resume([&](std::size_t point, std::size_t rep, state::Buffer& payload) {
+      if constexpr (std::is_trivially_copyable_v<Row>) {
+        if (payload.remaining() != sizeof(Row))
+          throw state::CorruptError("grid cell payload size mismatch");
+        payload.get_bytes(&results[point * cli.reps + rep], sizeof(Row));
+      }
+    });
+
   const auto start = std::chrono::steady_clock::now();
-  auto results = core::parallel_points(total, cli.threads, [&](std::size_t i) {
-    if (!capture_points) return fn(i / cli.reps, i % cli.reps);
-    const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
-    auto r = fn(i / cli.reps, i % cli.reps);
-    report.point_metrics.emplace_back(
-        "point" + std::to_string(i / cli.reps) + ".rep" + std::to_string(i % cli.reps),
-        obs::snapshot_delta(before, obs::MetricsRegistry::global().snapshot()));
-    return r;
-  });
+  const auto run_slot = [&](std::size_t i) {
+    harness.run_cell(
+        i,
+        [&] {
+          if (!capture_points) {
+            results[i] = fn(i / cli.reps, i % cli.reps);
+            return;
+          }
+          const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+          results[i] = fn(i / cli.reps, i % cli.reps);
+          report.point_metrics.emplace_back(
+              "point" + std::to_string(i / cli.reps) + ".rep" + std::to_string(i % cli.reps),
+              obs::snapshot_delta(before, obs::MetricsRegistry::global().snapshot()));
+        },
+        [&](state::Buffer& payload) {
+          if constexpr (std::is_trivially_copyable_v<Row>)
+            payload.put_bytes(&results[i], sizeof(Row));
+        });
+  };
+  if (cli.threads <= 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) run_slot(i);
+  } else {
+    util::ThreadPool pool(cli.threads);
+    pool.parallel_for(total, run_slot);
+  }
+  harness.finish(report);
+
   if (obs::metrics_enabled()) {
     report.has_metrics = true;
     report.metrics = obs::MetricsRegistry::global().snapshot();
@@ -183,16 +335,31 @@ double rep_mean(const std::vector<R>& results, std::size_t point, std::size_t re
   return sum / static_cast<double>(reps);
 }
 
-/// Emits the sweep throughput line and the optional JSON report.  The line
-/// is suppressed for a default invocation (serial, 1 rep, no JSON) so the
-/// historical bench output stays byte-identical.
-inline void finish_sweep(const BenchCli& cli, const char* bench,
-                         const core::SweepReport& report) {
-  if (cli.threads != 1 || cli.reps != 1 || cli.smoke || !cli.json.empty())
+/// Emits the sweep throughput line and the optional JSON report, and
+/// returns the bench's exit code: 0 on a clean sweep, 1 when any cell
+/// failed every attempt (the failures are listed on stderr and embedded in
+/// the JSON report), so scripted runs cannot mistake a partial sweep for a
+/// complete one.  The throughput line is suppressed for a default
+/// invocation (serial, 1 rep, no JSON) so the historical bench output stays
+/// byte-identical; under EQOS_FIXED_TIMING its wall-clock numbers print as
+/// zeros (resume-vs-straight-through byte comparisons).  Resume accounting
+/// goes to stderr only — stdout must not differ between a resumed run and a
+/// straight-through one.
+inline int finish_sweep(const BenchCli& cli, const char* bench,
+                        const core::SweepReport& report) {
+  if (cli.threads != 1 || cli.reps != 1 || cli.smoke || !cli.json.empty()) {
+    const bool fixed = core::fixed_timing();
     std::cout << "# sweep: " << report.points << " points x " << report.reps
               << " reps on " << report.threads << " thread(s), "
-              << util::Table::num(report.wall_seconds, 3) << " s wall ("
-              << util::Table::num(report.points_per_second, 2) << " points/s)\n";
+              << util::Table::num(fixed ? 0.0 : report.wall_seconds, 3) << " s wall ("
+              << util::Table::num(fixed ? 0.0 : report.points_per_second, 2)
+              << " points/s)\n";
+  }
+  if (report.cells_loaded != 0 || report.cells_quarantined != 0 ||
+      report.cells_retried != 0 || report.watchdog_flagged != 0)
+    std::cerr << "# checkpoint: " << report.cells_loaded << " cell(s) resumed, "
+              << report.cells_quarantined << " quarantined, " << report.cells_retried
+              << " retried, " << report.watchdog_flagged << " watchdog-flagged\n";
   if (cli.metrics) {
     const obs::MetricsSnapshot snap =
         report.has_metrics ? report.metrics : obs::MetricsRegistry::global().snapshot();
@@ -206,6 +373,10 @@ inline void finish_sweep(const BenchCli& cli, const char* bench,
     if (obs::dump_trace("end of run").empty())
       std::cerr << bench << ": cannot write " << cli.trace_json << "\n";
   }
+  for (const core::SweepCellFailure& f : report.failures)
+    std::cerr << bench << ": point " << f.point << " rep " << f.rep
+              << " failed after " << f.attempts << " attempt(s): " << f.error << "\n";
+  return report.failures.empty() ? 0 : 1;
 }
 
 /// The paper's QoS spec; increment selects the 9-state (50) or 5-state (100)

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full CI pipeline: the gates a change must clear before it merges.
+#
+#   1. default build  + tier-1 unit tests (`ctest -L tier1`, must-stay-green)
+#   2. checkpoint-smoke: kill-mid-sweep -> resume -> byte-identical output
+#   3. perf-smoke: bench_fig2 throughput vs the committed baseline
+#   4. sanitize preset (ASan + UBSan) build + tier-1 tests
+#
+# Stages run in this order so the cheap determinism gates fail fast before
+# the sanitizer rebuild.  Pass --no-asan to skip stage 4 (e.g. on a machine
+# without sanitizer runtimes); any other argument is an error.
+#
+#   scripts/ci.sh [--no-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    *) echo "usage: scripts/ci.sh [--no-asan]" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+stage() { printf '\n== %s ==\n' "$1"; }
+
+stage "configure + build (default preset)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+stage "tier-1 unit tests"
+ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
+
+stage "checkpoint smoke (crash -> resume -> byte-identical)"
+ctest --test-dir build -L checkpoint-smoke --output-on-failure
+
+stage "perf smoke (throughput vs baseline)"
+ctest --test-dir build -L perf-smoke --output-on-failure
+
+if [ "$run_asan" -eq 1 ]; then
+  stage "sanitizer build + tier-1 (ASan + UBSan)"
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j "$jobs"
+  ctest --preset sanitize -L tier1 -j "$jobs"
+fi
+
+stage "CI green"

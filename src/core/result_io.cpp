@@ -1,0 +1,247 @@
+#include "core/result_io.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace eqos::core {
+namespace {
+
+void put_matrix(state::Buffer& out, const matrix::Matrix& m) {
+  out.put_u64(m.rows());
+  out.put_u64(m.cols());
+  out.put_f64_vec(m.data());
+}
+
+matrix::Matrix get_matrix(state::Buffer& in) {
+  const std::size_t rows = in.get_u64();
+  const std::size_t cols = in.get_u64();
+  const std::vector<double> data = in.get_f64_vec();
+  if (data.size() != rows * cols || (rows != 0) != (cols != 0))
+    throw state::CorruptError("checkpoint matrix shape inconsistent");
+  matrix::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = data[r * cols + c];
+  return m;
+}
+
+void put_losses(state::Buffer& out, const net::LossBreakdown& l) {
+  out.put_u64(l.primary_hit);
+  out.put_u64(l.backup_hit_while_active);
+  out.put_u64(l.double_hit);
+  out.put_u64(l.reestablish_failed);
+}
+
+void get_losses(state::Buffer& in, net::LossBreakdown& l) {
+  l.primary_hit = in.get_u64();
+  l.backup_hit_while_active = in.get_u64();
+  l.double_hit = in.get_u64();
+  l.reestablish_failed = in.get_u64();
+}
+
+void put_estimates(state::Buffer& out, const sim::ModelEstimates& e) {
+  out.put_f64(e.pf);
+  out.put_f64(e.ps);
+  out.put_f64(e.pf_termination);
+  out.put_f64(e.pf_failure);
+  put_matrix(out, e.arrival_move);
+  put_matrix(out, e.indirect_move);
+  put_matrix(out, e.termination_move);
+  put_matrix(out, e.failure_move);
+  put_matrix(out, e.arrival_counts);
+  put_matrix(out, e.indirect_counts);
+  put_matrix(out, e.termination_counts);
+  put_matrix(out, e.failure_counts);
+  out.put_u64(e.arrivals_observed);
+  out.put_u64(e.terminations_observed);
+  out.put_u64(e.failures_observed);
+  out.put_f64(e.mean_bandwidth_kbps);
+  out.put_f64_vec(e.occupancy);
+  put_losses(out, e.losses);
+  out.put_u64(e.unprotected_victims);
+  out.put_u64(e.reestablished_pair);
+  out.put_u64(e.reestablished_degraded);
+  out.put_f64(e.unprotected_time);
+  out.put_f64(e.unprotected_fraction);
+}
+
+sim::ModelEstimates get_estimates(state::Buffer& in) {
+  sim::ModelEstimates e;
+  e.pf = in.get_f64();
+  e.ps = in.get_f64();
+  e.pf_termination = in.get_f64();
+  e.pf_failure = in.get_f64();
+  e.arrival_move = get_matrix(in);
+  e.indirect_move = get_matrix(in);
+  e.termination_move = get_matrix(in);
+  e.failure_move = get_matrix(in);
+  e.arrival_counts = get_matrix(in);
+  e.indirect_counts = get_matrix(in);
+  e.termination_counts = get_matrix(in);
+  e.failure_counts = get_matrix(in);
+  e.arrivals_observed = in.get_u64();
+  e.terminations_observed = in.get_u64();
+  e.failures_observed = in.get_u64();
+  e.mean_bandwidth_kbps = in.get_f64();
+  e.occupancy = in.get_f64_vec();
+  get_losses(in, e.losses);
+  e.unprotected_victims = in.get_u64();
+  e.reestablished_pair = in.get_u64();
+  e.reestablished_degraded = in.get_u64();
+  e.unprotected_time = in.get_f64();
+  e.unprotected_fraction = in.get_f64();
+  return e;
+}
+
+void put_chain(state::Buffer& out, const markov::ChainParameters& p) {
+  out.put_f64(p.bmin_kbps);
+  out.put_f64(p.bmax_kbps);
+  out.put_f64(p.increment_kbps);
+  out.put_f64(p.arrival_rate);
+  out.put_f64(p.termination_rate);
+  out.put_f64(p.failure_rate);
+  out.put_f64(p.p_direct);
+  out.put_f64(p.p_indirect);
+  put_matrix(out, p.arrival_move);
+  put_matrix(out, p.indirect_move);
+  put_matrix(out, p.termination_move);
+  out.put_bool(p.failure_move.has_value());
+  if (p.failure_move) put_matrix(out, *p.failure_move);
+  out.put_bool(p.p_direct_termination.has_value());
+  if (p.p_direct_termination) out.put_f64(*p.p_direct_termination);
+}
+
+markov::ChainParameters get_chain(state::Buffer& in) {
+  markov::ChainParameters p;
+  p.bmin_kbps = in.get_f64();
+  p.bmax_kbps = in.get_f64();
+  p.increment_kbps = in.get_f64();
+  p.arrival_rate = in.get_f64();
+  p.termination_rate = in.get_f64();
+  p.failure_rate = in.get_f64();
+  p.p_direct = in.get_f64();
+  p.p_indirect = in.get_f64();
+  p.arrival_move = get_matrix(in);
+  p.indirect_move = get_matrix(in);
+  p.termination_move = get_matrix(in);
+  if (in.get_bool()) p.failure_move = get_matrix(in);
+  if (in.get_bool()) p.p_direct_termination = in.get_f64();
+  return p;
+}
+
+void put_analysis(state::Buffer& out, const AnalysisResult& a) {
+  put_chain(out, a.parameters);
+  out.put_f64_vec(a.steady_state);
+  out.put_f64(a.average_bandwidth_kbps);
+  out.put_bool(a.degenerate);
+  out.put_f64(a.mean_degradation_time);
+  out.put_f64(a.mean_recovery_time);
+}
+
+AnalysisResult get_analysis(state::Buffer& in) {
+  AnalysisResult a;
+  a.parameters = get_chain(in);
+  a.steady_state = in.get_f64_vec();
+  a.average_bandwidth_kbps = in.get_f64();
+  a.degenerate = in.get_bool();
+  a.mean_degradation_time = in.get_f64();
+  a.mean_recovery_time = in.get_f64();
+  return a;
+}
+
+void put_network_stats(state::Buffer& out, const net::NetworkStats& s) {
+  out.put_u64(s.requests);
+  out.put_u64(s.accepted);
+  out.put_u64(s.rejected_no_primary);
+  out.put_u64(s.rejected_no_backup);
+  out.put_u64(s.terminated);
+  out.put_u64(s.failures_injected);
+  out.put_u64(s.repairs);
+  out.put_u64(s.backups_activated);
+  out.put_u64(s.connections_dropped);
+  out.put_u64(s.backups_reestablished);
+  out.put_u64(s.backups_evicted);
+  out.put_u64(s.unprotected_victims);
+  out.put_u64(s.reestablished_pair);
+  out.put_u64(s.reestablished_degraded);
+  out.put_u64(s.quanta_adjustments);
+  put_losses(out, s.drop_causes);
+}
+
+void get_network_stats(state::Buffer& in, net::NetworkStats& s) {
+  s.requests = in.get_u64();
+  s.accepted = in.get_u64();
+  s.rejected_no_primary = in.get_u64();
+  s.rejected_no_backup = in.get_u64();
+  s.terminated = in.get_u64();
+  s.failures_injected = in.get_u64();
+  s.repairs = in.get_u64();
+  s.backups_activated = in.get_u64();
+  s.connections_dropped = in.get_u64();
+  s.backups_reestablished = in.get_u64();
+  s.backups_evicted = in.get_u64();
+  s.unprotected_victims = in.get_u64();
+  s.reestablished_pair = in.get_u64();
+  s.reestablished_degraded = in.get_u64();
+  s.quanta_adjustments = in.get_u64();
+  get_losses(in, s.drop_causes);
+}
+
+}  // namespace
+
+void save_result(state::Buffer& out, const ExperimentResult& result) {
+  out.put_u64(result.attempted);
+  out.put_u64(result.established);
+  out.put_u64(result.active_at_end);
+  out.put_f64(result.sim_mean_bandwidth_kbps);
+  out.put_f64(result.analytic_paper_kbps);
+  out.put_f64(result.analytic_refined_kbps);
+  out.put_f64(result.ideal_kbps);
+  out.put_f64(result.ideal_clamped_kbps);
+  out.put_f64(result.mean_hops);
+  out.put_f64(result.protected_fraction);
+  put_estimates(out, result.estimates);
+  put_analysis(out, result.paper_analysis);
+  put_analysis(out, result.refined_analysis);
+  put_network_stats(out, result.network_stats);
+  out.put_u64(result.sim_stats.arrival_events);
+  out.put_u64(result.sim_stats.termination_events);
+  out.put_u64(result.sim_stats.failure_events);
+  out.put_u64(result.sim_stats.repair_events);
+  out.put_u64(result.sim_stats.populate_attempts);
+  out.put_u64(result.sim_stats.populate_accepted);
+  out.put_f64(result.timings.populate_seconds);
+  out.put_f64(result.timings.warmup_seconds);
+  out.put_f64(result.timings.measure_seconds);
+  out.put_f64(result.timings.analyze_seconds);
+}
+
+ExperimentResult load_result(state::Buffer& in) {
+  ExperimentResult r;
+  r.attempted = in.get_u64();
+  r.established = in.get_u64();
+  r.active_at_end = in.get_u64();
+  r.sim_mean_bandwidth_kbps = in.get_f64();
+  r.analytic_paper_kbps = in.get_f64();
+  r.analytic_refined_kbps = in.get_f64();
+  r.ideal_kbps = in.get_f64();
+  r.ideal_clamped_kbps = in.get_f64();
+  r.mean_hops = in.get_f64();
+  r.protected_fraction = in.get_f64();
+  r.estimates = get_estimates(in);
+  r.paper_analysis = get_analysis(in);
+  r.refined_analysis = get_analysis(in);
+  get_network_stats(in, r.network_stats);
+  r.sim_stats.arrival_events = in.get_u64();
+  r.sim_stats.termination_events = in.get_u64();
+  r.sim_stats.failure_events = in.get_u64();
+  r.sim_stats.repair_events = in.get_u64();
+  r.sim_stats.populate_attempts = in.get_u64();
+  r.sim_stats.populate_accepted = in.get_u64();
+  r.timings.populate_seconds = in.get_f64();
+  r.timings.warmup_seconds = in.get_f64();
+  r.timings.measure_seconds = in.get_f64();
+  r.timings.analyze_seconds = in.get_f64();
+  return r;
+}
+
+}  // namespace eqos::core

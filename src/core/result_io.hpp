@@ -1,0 +1,25 @@
+// Bit-exact serialization of ExperimentResult for sweep checkpoints.
+//
+// A resumable sweep persists every completed (point, rep) cell so a crashed
+// run can pick up where it left off and still produce *byte-identical*
+// output.  That only works if the serialized result round-trips exactly:
+// every double is stored as its IEEE-754 bit pattern, every matrix with its
+// shape, and optional members with a presence flag.  Structural validation
+// throws state::CorruptError so damaged cells are quarantined and
+// recomputed, never silently merged into the sweep output.
+#pragma once
+
+#include "core/experiment.hpp"
+#include "state/serial.hpp"
+
+namespace eqos::core {
+
+/// Serializes `result` (all fields, including nested model structures and
+/// phase timings) into `out`.
+void save_result(state::Buffer& out, const ExperimentResult& result);
+
+/// Reads a result saved by save_result.  Throws state::CorruptError on any
+/// structural inconsistency (bad matrix shape, truncated payload).
+[[nodiscard]] ExperimentResult load_result(state::Buffer& in);
+
+}  // namespace eqos::core

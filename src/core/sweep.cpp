@@ -1,13 +1,17 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "core/result_io.hpp"
 #include "util/rng.hpp"
 
 namespace eqos::core {
@@ -17,6 +21,10 @@ using Clock = std::chrono::steady_clock;
 
 double elapsed_seconds(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double steady_seconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
 }
 
 std::size_t mean_count(const std::vector<ExperimentResult>& reps,
@@ -53,6 +61,217 @@ std::uint64_t sweep_seed(std::uint64_t base, std::size_t point, std::size_t rep)
   return util::Rng::substream_seed(base, sweep_substream(point, rep));
 }
 
+bool fixed_timing() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("EQOS_FIXED_TIMING");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+  }();
+  return enabled;
+}
+
+namespace {
+
+void put_workload(state::Buffer& fp, const sim::WorkloadConfig& w) {
+  fp.put_f64(w.arrival_rate);
+  fp.put_f64(w.termination_rate);
+  fp.put_f64(w.failure_rate);
+  fp.put_f64(w.repair_rate);
+  const auto put_spec = [&fp](const net::ElasticQosSpec& q) {
+    fp.put_f64(q.bmin_kbps);
+    fp.put_f64(q.bmax_kbps);
+    fp.put_f64(q.increment_kbps);
+    fp.put_f64(q.utility);
+  };
+  put_spec(w.qos);
+  fp.put_u64(w.qos_mix.size());
+  for (const auto& [spec, weight] : w.qos_mix) {
+    put_spec(spec);
+    fp.put_f64(weight);
+  }
+  fp.put_u64(w.seed);
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint(const std::vector<SweepPoint>& points, std::size_t reps) {
+  state::Buffer fp;
+  fp.put_u64(points.size());
+  fp.put_u64(reps);
+  for (const SweepPoint& p : points) {
+    if (p.graph != nullptr) {
+      fp.put_u64(p.graph->num_nodes());
+      fp.put_u64(p.graph->num_links());
+      for (std::size_t l = 0; l < p.graph->num_links(); ++l) {
+        const topology::Link& link = p.graph->link(static_cast<topology::LinkId>(l));
+        fp.put_u64(link.a);
+        fp.put_u64(link.b);
+      }
+    }
+    const net::NetworkConfig& nc = p.config.network;
+    fp.put_f64(nc.link_capacity_kbps);
+    fp.put_u8(static_cast<std::uint8_t>(nc.adaptation));
+    fp.put_bool(nc.backup_multiplexing);
+    fp.put_bool(nc.require_backup);
+    fp.put_bool(nc.require_full_disjoint);
+    fp.put_u8(static_cast<std::uint8_t>(nc.route_policy));
+    fp.put_bool(nc.joint_disjoint_fallback);
+    fp.put_u8(static_cast<std::uint8_t>(nc.second_failure_policy));
+    put_workload(fp, p.config.workload);
+    fp.put_u64(p.config.target_connections);
+    fp.put_u64(p.config.warmup_events);
+    fp.put_u64(p.config.measure_events);
+  }
+  return fp.crc();
+}
+
+std::uint64_t grid_fingerprint(const std::string& bench, std::size_t points,
+                               std::size_t reps, std::size_t row_bytes) {
+  state::Buffer fp;
+  fp.put_str(bench);
+  fp.put_u64(points);
+  fp.put_u64(reps);
+  fp.put_u64(row_bytes);
+  return fp.crc();
+}
+
+CellHarness::CellHarness(const SweepCheckpoint& options, std::uint32_t payload_kind,
+                         std::uint64_t fingerprint, std::size_t points, std::size_t reps)
+    : options_(options),
+      points_(points),
+      reps_(reps == 0 ? 1 : reps),
+      loaded_(points * reps_, 0),
+      running_since_(points * reps_),
+      watchdog_hit_(points * reps_) {
+  for (auto& stamp : running_since_) stamp.store(-1.0, std::memory_order_relaxed);
+  if (!options_.dir.empty())
+    store_ = std::make_unique<state::CheckpointStore>(options_.dir, payload_kind,
+                                                      fingerprint);
+  if (options_.watchdog_seconds > 0.0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+CellHarness::~CellHarness() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mutex_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void CellHarness::watchdog_loop() {
+  const double budget = options_.watchdog_seconds;
+  const auto poll = std::chrono::duration<double>(std::max(0.05, budget / 4.0));
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_cv_.wait_for(lock, poll, [this] { return stop_; })) {
+    const double now = steady_seconds();
+    for (std::size_t slot = 0; slot < running_since_.size(); ++slot) {
+      const double since = running_since_[slot].load(std::memory_order_relaxed);
+      if (since < 0.0 || now - since <= budget) continue;
+      if (watchdog_hit_[slot].exchange(true)) continue;
+      watchdog_flagged_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "sweep watchdog: cell (point %zu, rep %zu) has been running "
+                   "%.1f s (budget %.1f s)\n",
+                   slot / reps_, slot % reps_, now - since, budget);
+    }
+  }
+}
+
+void CellHarness::mark_running(std::size_t slot, bool running) {
+  running_since_[slot].store(running ? steady_seconds() : -1.0,
+                             std::memory_order_relaxed);
+}
+
+void CellHarness::resume(const Decode& decode) {
+  if (!store_) return;
+  state::CheckpointStore::ScanResult scanned = store_->scan();
+  cells_quarantined_ += scanned.quarantined;
+  for (state::CheckpointStore::Cell& cell : scanned.cells) {
+    const std::size_t slot = cell.point * reps_ + cell.rep;
+    if (cell.point >= points_ || cell.rep >= reps_) {
+      // A cell from a different sweep shape; the fingerprint normally
+      // catches this, but quarantine rather than index out of bounds.
+      state::CheckpointStore::quarantine(cell.file);
+      ++cells_quarantined_;
+      continue;
+    }
+    try {
+      decode(cell.point, cell.rep, cell.payload);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep resume: quarantining %s: %s\n",
+                   cell.file.string().c_str(), e.what());
+      state::CheckpointStore::quarantine(cell.file);
+      ++cells_quarantined_;
+      continue;
+    }
+    loaded_[slot] = 1;
+    ++cells_loaded_;
+    store_->note_completed(cell.point, cell.rep, cell.payload.crc(),
+                          cell.payload.size(), options_.every == 0 ? 1 : options_.every);
+  }
+}
+
+void CellHarness::run_cell(std::size_t slot, const std::function<void()>& body,
+                          const Encode& encode) {
+  if (loaded(slot)) return;
+  const std::size_t point = slot / reps_;
+  const std::size_t rep = slot % reps_;
+  const std::size_t attempts_allowed = options_.max_retries + 1;
+  for (std::size_t attempt = 1;; ++attempt) {
+    mark_running(slot, true);
+    try {
+      body();
+      mark_running(slot, false);
+      if (store_) {
+        state::Buffer payload;
+        encode(payload);
+        const std::uint32_t crc = payload.crc();
+        const std::size_t bytes = payload.size();
+        store_->write_cell(point, rep, payload);
+        store_->note_completed(point, rep, crc, bytes,
+                               options_.every == 0 ? 1 : options_.every);
+      }
+      return;
+    } catch (const std::exception& e) {
+      mark_running(slot, false);
+      if (attempt < attempts_allowed) {
+        cells_retried_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "sweep: cell (point %zu, rep %zu) attempt %zu/%zu failed: "
+                     "%s -- retrying\n",
+                     point, rep, attempt, attempts_allowed, e.what());
+        if (options_.retry_backoff_seconds > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              options_.retry_backoff_seconds * static_cast<double>(attempt)));
+        continue;
+      }
+      std::fprintf(stderr,
+                   "sweep: cell (point %zu, rep %zu) failed after %zu attempt(s): %s\n",
+                   point, rep, attempt, e.what());
+      std::lock_guard<std::mutex> lock(failures_mutex_);
+      failures_.push_back({point, rep, attempt, e.what()});
+      return;
+    }
+  }
+}
+
+void CellHarness::finish(SweepReport& report) {
+  if (store_) store_->flush_manifest();
+  std::lock_guard<std::mutex> lock(failures_mutex_);
+  std::sort(failures_.begin(), failures_.end(),
+            [](const SweepCellFailure& a, const SweepCellFailure& b) {
+              return a.point != b.point ? a.point < b.point : a.rep < b.rep;
+            });
+  report.failures.insert(report.failures.end(), failures_.begin(), failures_.end());
+  report.cells_loaded += cells_loaded_;
+  report.cells_quarantined += cells_quarantined_;
+  report.cells_retried += cells_retried_.load(std::memory_order_relaxed);
+  report.watchdog_flagged += watchdog_flagged_.load(std::memory_order_relaxed);
+}
+
 std::vector<ExperimentResult> SweepOutcome::point_results(std::size_t point) const {
   const std::size_t reps = report.reps == 0 ? 1 : report.reps;
   const std::size_t begin = point * reps;
@@ -83,6 +302,14 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
   outcome.report.reps = reps;
   outcome.report.threads = threads;
 
+  CellHarness harness(options.checkpoint, state::kKindSweepCell,
+                      sweep_fingerprint(points, reps), points.size(), reps);
+  if (options.checkpoint.resume)
+    harness.resume([&](std::size_t point, std::size_t rep, state::Buffer& payload) {
+      outcome.results[point * reps + rep] = load_result(payload);
+      payload.expect_consumed();
+    });
+
   const auto run_one = [&](std::size_t slot) {
     const std::size_t point = slot / reps;
     const std::size_t rep = slot % reps;
@@ -90,6 +317,11 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     ExperimentConfig cfg = p.config;
     cfg.workload.seed = sweep_seed(p.config.workload.seed, point, rep);
     outcome.results[slot] = run_experiment(*p.graph, cfg);
+  };
+  const auto run_slot = [&](std::size_t slot) {
+    harness.run_cell(
+        slot, [&] { run_one(slot); },
+        [&](state::Buffer& payload) { save_result(payload, outcome.results[slot]); });
   };
 
   const Clock::time_point start = Clock::now();
@@ -99,7 +331,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     obs::MetricsSnapshot before;
     if (per_point) before = obs::MetricsRegistry::global().snapshot();
     for (std::size_t slot = 0; slot < total; ++slot) {
-      run_one(slot);
+      run_slot(slot);
       if (per_point) {
         obs::MetricsSnapshot after = obs::MetricsRegistry::global().snapshot();
         outcome.report.point_metrics.emplace_back(
@@ -110,8 +342,9 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     }
   } else {
     util::ThreadPool pool(threads);
-    pool.parallel_for(total, run_one);
+    pool.parallel_for(total, run_slot);
   }
+  harness.finish(outcome.report);
   if (obs::metrics_enabled()) {
     outcome.report.has_metrics = true;
     outcome.report.metrics = obs::MetricsRegistry::global().snapshot();
@@ -174,26 +407,67 @@ ExperimentResult mean_result(const std::vector<ExperimentResult>& reps) {
 
 namespace {
 
+/// Minimal JSON string escaping for error messages (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& s) {
+  std::ostringstream out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
 /// Serializes one report as the body of a per-bench entry (indented two
 /// levels, no trailing newline after the closing brace).
 std::string sweep_entry_json(const SweepReport& report) {
   const auto num = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  // Wall-clock fields are the only nondeterministic output; EQOS_FIXED_TIMING
+  // zeroes them so resumed and straight-through runs byte-compare equal.
+  const auto wall = [&num](double v) { return fixed_timing() ? 0.0 : num(v); };
   std::ostringstream out;
   out << "{\n";
   out << "      \"points\": " << report.points << ",\n";
   out << "      \"reps\": " << report.reps << ",\n";
   out << "      \"threads\": " << report.threads << ",\n";
   out << "      \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
-  out << "      \"wall_seconds\": " << num(report.wall_seconds) << ",\n";
-  out << "      \"serial_wall_seconds\": " << num(report.serial_wall_seconds) << ",\n";
-  out << "      \"points_per_second\": " << num(report.points_per_second) << ",\n";
-  out << "      \"speedup_vs_serial\": " << num(report.speedup_vs_serial) << ",\n";
+  out << "      \"wall_seconds\": " << wall(report.wall_seconds) << ",\n";
+  out << "      \"serial_wall_seconds\": " << wall(report.serial_wall_seconds) << ",\n";
+  out << "      \"points_per_second\": " << wall(report.points_per_second) << ",\n";
+  out << "      \"speedup_vs_serial\": " << wall(report.speedup_vs_serial) << ",\n";
   out << "      \"phases\": {\n";
-  out << "        \"populate_seconds\": " << num(report.phases.populate_seconds) << ",\n";
-  out << "        \"warmup_seconds\": " << num(report.phases.warmup_seconds) << ",\n";
-  out << "        \"measure_seconds\": " << num(report.phases.measure_seconds) << ",\n";
-  out << "        \"analyze_seconds\": " << num(report.phases.analyze_seconds) << "\n";
+  out << "        \"populate_seconds\": " << wall(report.phases.populate_seconds) << ",\n";
+  out << "        \"warmup_seconds\": " << wall(report.phases.warmup_seconds) << ",\n";
+  out << "        \"measure_seconds\": " << wall(report.phases.measure_seconds) << ",\n";
+  out << "        \"analyze_seconds\": " << wall(report.phases.analyze_seconds) << "\n";
   out << "      }";
+  // Failed cells surface in the report file (and the bench exit code), so a
+  // sweep that silently skipped points can never pass for a complete one.
+  // Absent for clean runs, keeping those files byte-identical to before.
+  if (!report.failures.empty()) {
+    out << ",\n      \"failures\": [\n";
+    for (std::size_t i = 0; i < report.failures.size(); ++i) {
+      const SweepCellFailure& f = report.failures[i];
+      out << "        {\"point\": " << f.point << ", \"rep\": " << f.rep
+          << ", \"attempts\": " << f.attempts << ", \"error\": \""
+          << json_escape(f.error) << "\"}"
+          << (i + 1 == report.failures.size() ? "\n" : ",\n");
+    }
+    out << "      ]";
+  }
   // Metrics sections exist only when the run had --metrics on, so files
   // produced with observability disabled stay byte-identical to before.
   if (report.has_metrics) {

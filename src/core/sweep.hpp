@@ -21,13 +21,21 @@
 // trajectory is tracked across PRs.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "obs/metrics.hpp"
+#include "state/cellstore.hpp"
+#include "state/serial.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eqos::core {
@@ -41,6 +49,28 @@ struct SweepPoint {
   std::string label;  ///< free-form, carried into reports
 };
 
+/// Crash-tolerance options of a sweep.  With a non-empty `dir` every
+/// completed (point, rep) cell is persisted as a self-validating checkpoint
+/// file; `resume` loads the completed cells back and only recomputes the
+/// rest.  Retry/watchdog settings apply whether or not persistence is on.
+struct SweepCheckpoint {
+  /// Cell-store directory; empty (the default) disables persistence.
+  std::string dir;
+  /// Rewrite MANIFEST.tsv after every N cell completions.
+  std::size_t every = 1;
+  /// Load completed cells from `dir` before running.  Corrupt, truncated,
+  /// version-mismatched, or wrong-fingerprint cells are quarantined
+  /// (renamed *.corrupt) and recomputed.
+  bool resume = false;
+  /// Re-attempts for a cell whose computation throws.
+  std::size_t max_retries = 2;
+  /// Sleep attempt * backoff seconds between retries of one cell.
+  double retry_backoff_seconds = 0.0;
+  /// Flag (on stderr and in the report) cells running longer than this
+  /// wall-clock budget; 0 disables the watchdog.
+  double watchdog_seconds = 0.0;
+};
+
 /// Execution options of a sweep.
 struct SweepOptions {
   /// Worker threads.  1 (the default) runs points inline on the calling
@@ -50,6 +80,17 @@ struct SweepOptions {
   /// Independent replications per point.  Rep 0 keeps each point's
   /// configured workload seed; rep r > 0 derives a SplitMix64 sub-seed.
   std::size_t reps = 1;
+  /// Crash tolerance (persistence off by default).
+  SweepCheckpoint checkpoint;
+};
+
+/// One (point, rep) whose computation threw on every attempt.  The sweep
+/// continues past it; the cell's result slot stays default-constructed.
+struct SweepCellFailure {
+  std::size_t point = 0;
+  std::size_t rep = 0;
+  std::size_t attempts = 0;  ///< tries made (1 + retries)
+  std::string error;         ///< what() of the final attempt
 };
 
 /// Throughput measurement of one run_sweep call.
@@ -74,6 +115,14 @@ struct SweepReport {
   /// registry, so per-point deltas are well-defined only when points run one
   /// at a time.
   std::vector<std::pair<std::string, obs::MetricsSnapshot>> point_metrics;
+
+  // Crash-tolerance accounting (all zero for a plain run).
+  /// Cells whose computation threw on every attempt, sorted by (point, rep).
+  std::vector<SweepCellFailure> failures;
+  std::size_t cells_loaded = 0;       ///< completed cells restored on resume
+  std::size_t cells_quarantined = 0;  ///< corrupt cell files renamed *.corrupt
+  std::size_t cells_retried = 0;      ///< re-attempts after a thrown cell
+  std::size_t watchdog_flagged = 0;   ///< cells that blew the wall-clock budget
 };
 
 /// Results of a sweep: `results[point * reps + rep]`.
@@ -101,9 +150,98 @@ struct SweepOutcome {
 [[nodiscard]] std::uint64_t sweep_seed(std::uint64_t base, std::size_t point,
                                        std::size_t rep);
 
+/// True when EQOS_FIXED_TIMING is set (non-empty, not "0").  Sweep JSON and
+/// the bench "# sweep:" line then print zeros for every wall-clock field, so
+/// a resumed run's output is byte-comparable against a straight-through run
+/// (timing is the only legitimately nondeterministic output).
+[[nodiscard]] bool fixed_timing();
+
+/// Fingerprint binding a checkpoint directory to a sweep's full
+/// configuration: every point's topology, network config, and workload,
+/// plus the replication count.  Resuming against cells written by a
+/// different sweep quarantines them instead of merging wrong results.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const std::vector<SweepPoint>& points,
+                                              std::size_t reps);
+
+/// Fingerprint for bench-specific grid sweeps (run_point_grid): the bench
+/// name, grid shape, and the row payload size.
+[[nodiscard]] std::uint64_t grid_fingerprint(const std::string& bench, std::size_t points,
+                                             std::size_t reps, std::size_t row_bytes);
+
+/// Crash-tolerance harness for one sweep's (point, rep) cells, shared by
+/// run_sweep and the bench grid drivers.  Wraps each cell's computation
+/// with retry + backoff, records cells that keep throwing instead of
+/// aborting the sweep, optionally persists every completed cell to a
+/// state::CheckpointStore, and (with a watchdog budget) flags cells whose
+/// wall-clock time explodes.  run_cell is safe to call concurrently for
+/// distinct slots.
+class CellHarness {
+ public:
+  /// `options.dir` empty disables persistence (retry/watchdog still work).
+  /// `payload_kind` and `fingerprint` stamp and validate the cell files.
+  CellHarness(const SweepCheckpoint& options, std::uint32_t payload_kind,
+              std::uint64_t fingerprint, std::size_t points, std::size_t reps);
+  ~CellHarness();
+
+  CellHarness(const CellHarness&) = delete;
+  CellHarness& operator=(const CellHarness&) = delete;
+
+  /// Whether completed cells are persisted to disk.
+  [[nodiscard]] bool persistent() const noexcept { return store_ != nullptr; }
+
+  using Decode = std::function<void(std::size_t point, std::size_t rep, state::Buffer&)>;
+  using Encode = std::function<void(state::Buffer&)>;
+
+  /// Scans the store and feeds every valid cell to `decode` (which should
+  /// throw state::CorruptError on a payload it cannot apply — the cell is
+  /// then quarantined and recomputed).  Decoded cells are marked loaded and
+  /// skipped by run_cell.  No-op without a store.
+  void resume(const Decode& decode);
+
+  [[nodiscard]] bool loaded(std::size_t slot) const { return loaded_[slot] != 0; }
+
+  /// Runs `body` for one cell unless the cell was loaded by resume().  On
+  /// an exception the cell is retried (bounded, linear backoff); the final
+  /// failure is recorded, not rethrown.  On success `encode` serializes the
+  /// result into the store (when persistent).
+  void run_cell(std::size_t slot, const std::function<void()>& body, const Encode& encode);
+
+  /// Flushes the manifest and folds counters + failures into `report`.
+  void finish(SweepReport& report);
+
+ private:
+  void watchdog_loop();
+  void mark_running(std::size_t slot, bool running);
+
+  SweepCheckpoint options_;
+  std::size_t points_;
+  std::size_t reps_;
+  std::unique_ptr<state::CheckpointStore> store_;
+  std::vector<char> loaded_;
+  /// Start stamp (seconds on the steady clock) per in-flight slot; negative
+  /// when the slot is not running.  Written by workers, read by the
+  /// watchdog.
+  std::vector<std::atomic<double>> running_since_;
+  std::vector<std::atomic<bool>> watchdog_hit_;
+  std::atomic<std::size_t> cells_retried_{0};
+  std::atomic<std::size_t> watchdog_flagged_{0};
+  std::size_t cells_loaded_ = 0;       ///< resume() only (single-threaded)
+  std::size_t cells_quarantined_ = 0;  ///< resume() only
+  std::mutex failures_mutex_;
+  std::vector<SweepCellFailure> failures_;
+  std::thread watchdog_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+};
+
 /// Runs every (point, rep) across `options.threads` workers.  Results are
-/// bit-identical for any thread count (timings excepted).  Exceptions from
-/// points propagate after all workers drain.
+/// bit-identical for any thread count (timings excepted).  A cell whose
+/// computation throws is retried per `options.checkpoint` and, when it
+/// keeps throwing, recorded in report.failures with its slot left
+/// default-constructed — one bad point no longer aborts the whole sweep.
+/// With `options.checkpoint.dir` set, completed cells are persisted and
+/// `options.checkpoint.resume` skips them on a re-run.
 [[nodiscard]] SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
                                      const SweepOptions& options);
 

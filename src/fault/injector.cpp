@@ -16,6 +16,15 @@ FaultInjector::FaultInjector(net::Network& network, Scheduler scheduler, Hooks h
   }
 }
 
+void FaultInjector::sched(double time, std::uint32_t kind, std::uint64_t a,
+                          std::function<void()> action) {
+  if (scheduler_.schedule_tagged) {
+    scheduler_.schedule_tagged(time, kind, a, 0, std::move(action));
+  } else {
+    scheduler_.schedule_at(time, std::move(action));
+  }
+}
+
 void FaultInjector::audit_after(const char* what, std::size_t target) {
   if (!auditor_) return;
   obs::set_trace_time(scheduler_.now());
@@ -35,8 +44,8 @@ void FaultInjector::enable_legacy_poisson(double failure_rate, double repair_rat
   legacy_failure_rate_ = failure_rate;
   legacy_repair_rate_ = repair_rate;
   legacy_rng_.emplace(std::move(rng));
-  scheduler_.schedule_at(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
-                         [this] { do_legacy_failure(); });
+  sched(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
+        kTagLegacyFailure, 0, [this] { do_legacy_failure(); });
 }
 
 void FaultInjector::do_legacy_failure() {
@@ -63,19 +72,21 @@ void FaultInjector::do_legacy_failure() {
     ++stats_.poisson_failures;
     if (hooks_.on_failure) hooks_.on_failure(report);
     audit_after("legacy fail-link", chosen);
-    scheduler_.schedule_at(
-        scheduler_.now() + legacy_rng_->exponential(legacy_repair_rate_), [this, chosen] {
-          obs::set_trace_time(scheduler_.now());
-          if (hooks_.before_event) hooks_.before_event(scheduler_.now());
-          network_.repair_link(chosen);
-          ++stats_.auto_repairs;
-          if (hooks_.on_repair) hooks_.on_repair();
-          audit_after("legacy repair-link", chosen);
-        });
+    sched(scheduler_.now() + legacy_rng_->exponential(legacy_repair_rate_),
+          kTagLegacyRepair, chosen, [this, chosen] { do_legacy_repair(chosen); });
   }
   if (hooks_.on_fault_event) hooks_.on_fault_event();
-  scheduler_.schedule_at(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
-                         [this] { do_legacy_failure(); });
+  sched(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
+        kTagLegacyFailure, 0, [this] { do_legacy_failure(); });
+}
+
+void FaultInjector::do_legacy_repair(topology::LinkId link) {
+  obs::set_trace_time(scheduler_.now());
+  if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+  network_.repair_link(link);
+  ++stats_.auto_repairs;
+  if (hooks_.on_repair) hooks_.on_repair();
+  audit_after("legacy repair-link", link);
 }
 
 // ---- Scenario mode ----------------------------------------------------------
@@ -101,21 +112,23 @@ void FaultInjector::load_scenario(const FaultScenario& scenario, util::Rng rng) 
   }
   if (stochastic_.group_failure_rate > 0.0) burst_rng_.emplace(rng.split());
 
-  for (const FaultEvent& event : scenario.sorted_events()) {
-    scheduler_.schedule_at(event.time, [this, event] { apply_scripted(event); });
+  scripted_events_ = scenario.sorted_events();
+  for (std::size_t i = 0; i < scripted_events_.size(); ++i) {
+    sched(scripted_events_[i].time, kTagScripted, i,
+          [this, i] { apply_scripted(scripted_events_[i]); });
   }
   for (std::size_t i = 0; i < link_processes_.size(); ++i) {
     const double t =
         scheduler_.now() + link_processes_[i].second.exponential(link_rates_[i]);
     if (t <= stochastic_.horizon) {
-      scheduler_.schedule_at(t, [this, i] { fire_link_process(i); });
+      sched(t, kTagLinkProcess, i, [this, i] { fire_link_process(i); });
     }
   }
   if (burst_rng_) {
     const double t =
         scheduler_.now() + burst_rng_->exponential(stochastic_.group_failure_rate);
     if (t <= stochastic_.horizon) {
-      scheduler_.schedule_at(t, [this] { fire_burst_process(); });
+      sched(t, kTagBurst, 0, [this] { fire_burst_process(); });
     }
   }
 }
@@ -178,7 +191,7 @@ void FaultInjector::fire_link_process(std::size_t process) {
   audit_after("poisson fail-link", link);
   const double t = scheduler_.now() + rng.exponential(link_rates_[process]);
   if (t <= stochastic_.horizon) {
-    scheduler_.schedule_at(t, [this, process] { fire_link_process(process); });
+    sched(t, kTagLinkProcess, process, [this, process] { fire_link_process(process); });
   }
 }
 
@@ -205,7 +218,7 @@ void FaultInjector::fire_burst_process() {
   const double t =
       scheduler_.now() + burst_rng_->exponential(stochastic_.group_failure_rate);
   if (t <= stochastic_.horizon) {
-    scheduler_.schedule_at(t, [this] { fire_burst_process(); });
+    sched(t, kTagBurst, 0, [this] { fire_burst_process(); });
   }
 }
 
@@ -223,16 +236,115 @@ bool FaultInjector::inject_link_failure(topology::LinkId link, bool auto_repair,
 
 void FaultInjector::schedule_auto_repair(topology::LinkId link, util::Rng& repair_rng) {
   const double delay = stochastic_.repair.sample(repair_rng);
-  scheduler_.schedule_at(scheduler_.now() + delay, [this, link] {
-    // A scripted repair may have beaten us to it; repair_link is a no-op
-    // (returns 0 without touching stats) for an alive link.
-    obs::set_trace_time(scheduler_.now());
-    if (hooks_.before_event) hooks_.before_event(scheduler_.now());
-    network_.repair_link(link);
-    ++stats_.auto_repairs;
-    if (hooks_.on_repair) hooks_.on_repair();
-    audit_after("auto repair-link", link);
-  });
+  sched(scheduler_.now() + delay, kTagAutoRepair, link,
+        [this, link] { do_auto_repair(link); });
+}
+
+void FaultInjector::do_auto_repair(topology::LinkId link) {
+  // A scripted repair may have beaten us to it; repair_link is a no-op
+  // (returns 0 without touching stats) for an alive link.
+  obs::set_trace_time(scheduler_.now());
+  if (hooks_.before_event) hooks_.before_event(scheduler_.now());
+  network_.repair_link(link);
+  ++stats_.auto_repairs;
+  if (hooks_.on_repair) hooks_.on_repair();
+  audit_after("auto repair-link", link);
+}
+
+// ---- Checkpointing ----------------------------------------------------------
+
+namespace {
+
+void put_opt_rng(state::Buffer& out, const std::optional<util::Rng>& rng) {
+  out.put_bool(rng.has_value());
+  if (rng) {
+    out.put_u64(rng->seed());
+    out.put_str(rng->engine_state());
+  }
+}
+
+void get_opt_rng(state::Buffer& in, std::optional<util::Rng>& rng, const char* name) {
+  const bool present = in.get_bool();
+  if (present != rng.has_value())
+    throw state::CorruptError(std::string("checkpoint injector mode mismatch: ") + name +
+                              (present ? " saved but not configured" : " configured but not saved"));
+  if (!present) return;
+  const std::uint64_t seed = in.get_u64();
+  rng->set_engine_state(seed, in.get_str());
+}
+
+}  // namespace
+
+void FaultInjector::save_state(state::Buffer& out) const {
+  put_opt_rng(out, legacy_rng_);
+  put_opt_rng(out, scripted_rng_);
+  put_opt_rng(out, burst_rng_);
+  out.put_u64(link_processes_.size());
+  for (const auto& [link, rng] : link_processes_) {
+    out.put_u64(link);
+    out.put_u64(rng.seed());
+    out.put_str(rng.engine_state());
+  }
+  out.put_u64(stats_.scripted_failures);
+  out.put_u64(stats_.scripted_repairs);
+  out.put_u64(stats_.poisson_failures);
+  out.put_u64(stats_.burst_failures);
+  out.put_u64(stats_.auto_repairs);
+  out.put_u64(stats_.skipped_failures);
+}
+
+void FaultInjector::load_state(state::Buffer& in) {
+  get_opt_rng(in, legacy_rng_, "legacy rng");
+  get_opt_rng(in, scripted_rng_, "scripted rng");
+  get_opt_rng(in, burst_rng_, "burst rng");
+  const std::size_t n = in.get_count(1);
+  if (n != link_processes_.size())
+    throw state::CorruptError("checkpoint injector has " + std::to_string(n) +
+                              " link processes, this scenario has " +
+                              std::to_string(link_processes_.size()));
+  for (auto& [link, rng] : link_processes_) {
+    if (in.get_u64() != link)
+      throw state::CorruptError("checkpoint injector link-process set differs from scenario");
+    const std::uint64_t seed = in.get_u64();
+    rng.set_engine_state(seed, in.get_str());
+  }
+  stats_.scripted_failures = in.get_u64();
+  stats_.scripted_repairs = in.get_u64();
+  stats_.poisson_failures = in.get_u64();
+  stats_.burst_failures = in.get_u64();
+  stats_.auto_repairs = in.get_u64();
+  stats_.skipped_failures = in.get_u64();
+}
+
+std::function<void()> FaultInjector::rebuild_action(std::uint32_t kind, std::uint64_t a) {
+  switch (kind) {
+    case kTagLegacyFailure:
+      return [this] { do_legacy_failure(); };
+    case kTagLegacyRepair: {
+      const auto link = static_cast<topology::LinkId>(a);
+      return [this, link] { do_legacy_repair(link); };
+    }
+    case kTagScripted: {
+      if (a >= scripted_events_.size())
+        throw state::CorruptError("checkpoint scripted-event index out of range");
+      const auto i = static_cast<std::size_t>(a);
+      return [this, i] { apply_scripted(scripted_events_[i]); };
+    }
+    case kTagLinkProcess: {
+      if (a >= link_processes_.size())
+        throw state::CorruptError("checkpoint link-process index out of range");
+      const auto i = static_cast<std::size_t>(a);
+      return [this, i] { fire_link_process(i); };
+    }
+    case kTagBurst:
+      return [this] { fire_burst_process(); };
+    case kTagAutoRepair: {
+      const auto link = static_cast<topology::LinkId>(a);
+      return [this, link] { do_auto_repair(link); };
+    }
+    default:
+      return nullptr;  // not an injector kind
+  }
 }
 
 }  // namespace eqos::fault

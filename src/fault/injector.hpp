@@ -29,6 +29,7 @@
 #include "fault/scenario.hpp"
 #include "net/events.hpp"
 #include "net/network.hpp"
+#include "state/serial.hpp"
 #include "util/rng.hpp"
 
 namespace eqos::fault {
@@ -40,7 +41,22 @@ struct Scheduler {
   std::function<double()> now;
   /// Schedules an action at an absolute time (>= now()).
   std::function<void(double, std::function<void()>)> schedule_at;
+  /// Optional: schedules with a serializable (kind, a, b) tag so the host's
+  /// event queue can checkpoint the event.  When absent, schedule_at is used
+  /// and the injector's events are untagged (not checkpointable).
+  std::function<void(double, std::uint32_t, std::uint64_t, std::uint64_t,
+                     std::function<void()>)>
+      schedule_tagged;
 };
+
+/// EventTag kinds the injector uses on a tagging scheduler (sim::EventQueue
+/// convention: the Simulator owns kinds 1..15, the injector 16+).
+inline constexpr std::uint32_t kTagLegacyFailure = 16;  ///< next legacy Poisson failure
+inline constexpr std::uint32_t kTagLegacyRepair = 17;   ///< a = link id
+inline constexpr std::uint32_t kTagScripted = 18;       ///< a = scripted event index
+inline constexpr std::uint32_t kTagLinkProcess = 19;    ///< a = link process index
+inline constexpr std::uint32_t kTagBurst = 20;          ///< next SRLG burst
+inline constexpr std::uint32_t kTagAutoRepair = 21;     ///< a = link id
 
 /// Host callbacks.  All optional; fired in the order listed within one
 /// injected event.
@@ -102,9 +118,32 @@ class FaultInjector {
   [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Network& network() noexcept { return network_; }
 
+  // ---- Checkpointing --------------------------------------------------------
+
+  /// Serializes the injector's evolving state: every rng engine state and
+  /// the stats counters.  Static configuration (scenario structure, rates)
+  /// is NOT serialized — a restore host first reconstructs the injector the
+  /// same way as the original run (enable_legacy_poisson / load_scenario
+  /// with the same inputs), then overwrites the evolving state.
+  void save_state(state::Buffer& out) const;
+
+  /// Restores state saved by save_state().  Throws state::CorruptError when
+  /// the checkpoint does not match this injector's configuration (different
+  /// mode, different per-link process set).
+  void load_state(state::Buffer& in);
+
+  /// Turns an injector EventTag (kind 16+) back into its closure during an
+  /// event-queue restore.  Returns null for kinds the injector does not own.
+  [[nodiscard]] std::function<void()> rebuild_action(std::uint32_t kind, std::uint64_t a);
+
  private:
+  /// Schedules through schedule_tagged when available, else schedule_at.
+  void sched(double time, std::uint32_t kind, std::uint64_t a,
+             std::function<void()> action);
+
   // Legacy mode.
   void do_legacy_failure();
+  void do_legacy_repair(topology::LinkId link);
 
   // Scenario mode.
   void apply_scripted(const FaultEvent& event);
@@ -115,6 +154,7 @@ class FaultInjector {
   /// was alive.
   bool inject_link_failure(topology::LinkId link, bool auto_repair, util::Rng& repair_rng);
   void schedule_auto_repair(topology::LinkId link, util::Rng& repair_rng);
+  void do_auto_repair(topology::LinkId link);
   void audit_after(const char* what, std::size_t target);
 
   net::Network& network_;
@@ -132,6 +172,9 @@ class FaultInjector {
   std::vector<SrlgGroup> groups_;
   StochasticFaultConfig stochastic_;
   bool auto_repair_scripted_ = false;
+  /// The scenario's scripted events in firing order; scheduled closures
+  /// capture an index into this vector so they can be tagged and rebuilt.
+  std::vector<FaultEvent> scripted_events_;
   std::optional<util::Rng> scripted_rng_;
   /// Per-link Poisson streams, parallel to rates_ (only links with a
   /// positive rate get a stream).

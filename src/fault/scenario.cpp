@@ -241,6 +241,25 @@ FaultScenario FaultScenario::parse(std::istream& in) {
   FaultScenario scenario;
   std::string raw;
   std::size_t line_no = 0;
+  // Scripted timestamps must be strictly increasing in the file.  A scenario
+  // author who writes them out of order (or duplicates one) almost certainly
+  // made an editing mistake; silently reordering would mask it, and equal
+  // timestamps would make the firing order depend on file position in a way
+  // that is easy to get wrong.  Reject with the offending line instead.
+  double last_event_time = -1.0;
+  std::size_t last_event_line = 0;
+  const auto check_order = [&](double t, std::size_t line) {
+    if (last_event_line != 0 && t <= last_event_time) {
+      parse_fail(line, (t == last_event_time
+                            ? std::string("duplicate timestamp ")
+                            : std::string("out-of-order timestamp ")) +
+                           std::to_string(t) + " (line " +
+                           std::to_string(last_event_line) + " already scheduled t=" +
+                           std::to_string(last_event_time) + ")");
+    }
+    last_event_time = t;
+    last_event_line = line;
+  };
   while (std::getline(in, raw)) {
     ++line_no;
     if (const auto hash = raw.find('#'); hash != std::string::npos) raw.resize(hash);
@@ -267,16 +286,19 @@ FaultScenario FaultScenario::parse(std::istream& in) {
       const double t = parse_number(line, line_no, "time");
       const std::size_t link = parse_id(line, line_no, "link id");
       expect_end(line, line_no);
+      check_order(t, line_no);
       cmd == "fail-link" ? scenario.fail_link(t, link) : scenario.repair_link(t, link);
     } else if (cmd == "fail-node" || cmd == "repair-node") {
       const double t = parse_number(line, line_no, "time");
       const std::size_t node = parse_id(line, line_no, "node id");
       expect_end(line, line_no);
+      check_order(t, line_no);
       cmd == "fail-node" ? scenario.fail_node(t, node) : scenario.repair_node(t, node);
     } else if (cmd == "fail-group" || cmd == "repair-group") {
       const double t = parse_number(line, line_no, "time");
       const std::string name = parse_word(line, line_no, "group name");
       expect_end(line, line_no);
+      check_order(t, line_no);
       try {
         cmd == "fail-group" ? scenario.fail_group(t, name) : scenario.repair_group(t, name);
       } catch (const std::invalid_argument&) {

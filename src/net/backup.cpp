@@ -243,6 +243,107 @@ double BackupManager::recompute_reservation(topology::LinkId l) const {
   return worst;
 }
 
+void BackupManager::save_state(state::Buffer& out) const {
+  out.put_bool(multiplexing_);
+  out.put_u64(per_link_.size());
+  // Distinct primary sets in first-seen (link, entry) order; entries and the
+  // interned cache reference them by index so pointer sharing round-trips.
+  std::unordered_map<const util::DynamicBitset*, std::uint64_t> index_of;
+  std::vector<const util::DynamicBitset*> sets;
+  for (const Registry& reg : per_link_) {
+    for (const Entry& e : reg.entries) {
+      if (index_of.emplace(e.primary_links.get(), sets.size()).second)
+        sets.push_back(e.primary_links.get());
+    }
+  }
+  out.put_u64(sets.size());
+  for (const util::DynamicBitset* s : sets) {
+    out.put_u64(s->size());
+    std::vector<std::uint64_t> bits;
+    s->for_each_set_bit([&](std::size_t b) { bits.push_back(b); });
+    out.put_u64_vec(bits);
+  }
+  for (const Registry& reg : per_link_) {
+    out.put_u64(reg.entries.size());
+    for (const Entry& e : reg.entries) {
+      out.put_u64(e.id);
+      out.put_f64(e.bmin);
+      out.put_u64(index_of.at(e.primary_links.get()));
+    }
+    out.put_vec(reg.scenario_keys,
+                [&out](topology::LinkId k) { out.put_u64(k); });
+    out.put_f64_vec(reg.scenario_sums);
+    out.put_f64(reg.reservation);
+  }
+  // The interned cache (latest set per connection), sorted by id so the
+  // serialized bytes do not depend on hash iteration order.
+  std::vector<std::pair<ConnectionId, std::uint64_t>> cache;
+  cache.reserve(interned_.size());
+  for (const auto& [id, set] : interned_)
+    cache.emplace_back(id, index_of.at(set.get()));
+  std::sort(cache.begin(), cache.end());
+  out.put_u64(cache.size());
+  for (const auto& [id, idx] : cache) {
+    out.put_u64(id);
+    out.put_u64(idx);
+  }
+}
+
+void BackupManager::load_state(state::Buffer& in) {
+  if (in.get_bool() != multiplexing_)
+    throw state::CorruptError(
+        "checkpoint backup-multiplexing mode differs from this configuration");
+  if (in.get_u64() != per_link_.size())
+    throw state::CorruptError("checkpoint backup registry link count mismatch");
+  const std::size_t num_sets = in.get_count(8);
+  std::vector<PrimarySet> sets;
+  sets.reserve(num_sets);
+  for (std::size_t i = 0; i < num_sets; ++i) {
+    const std::size_t bits = static_cast<std::size_t>(in.get_u64());
+    util::DynamicBitset set(bits);
+    for (std::uint64_t b : in.get_u64_vec()) {
+      if (b >= bits)
+        throw state::CorruptError("checkpoint backup primary-set bit out of range");
+      set.set(static_cast<std::size_t>(b));
+    }
+    sets.push_back(std::make_shared<const util::DynamicBitset>(std::move(set)));
+  }
+  for (Registry& reg : per_link_) {
+    reg = Registry{};
+    const std::size_t n = in.get_count(8);
+    reg.entries.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      Entry e;
+      e.id = in.get_u64();
+      e.bmin = in.get_f64();
+      const std::uint64_t idx = in.get_u64();
+      if (idx >= sets.size())
+        throw state::CorruptError("checkpoint backup entry set index out of range");
+      e.primary_links = sets[idx];
+      if (!reg.slot_of.emplace(e.id, static_cast<std::uint32_t>(s)).second)
+        throw state::CorruptError("checkpoint backup registry has duplicate entry");
+      reg.entries.push_back(std::move(e));
+    }
+    const std::size_t nk = in.get_count(8);
+    reg.scenario_keys.reserve(nk);
+    for (std::size_t k = 0; k < nk; ++k)
+      reg.scenario_keys.push_back(static_cast<topology::LinkId>(in.get_u64()));
+    reg.scenario_sums = in.get_f64_vec();
+    if (reg.scenario_sums.size() != reg.scenario_keys.size())
+      throw state::CorruptError("checkpoint backup scenario ledger length mismatch");
+    reg.reservation = in.get_f64();
+  }
+  interned_.clear();
+  const std::size_t nc = in.get_count(16);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const ConnectionId id = in.get_u64();
+    const std::uint64_t idx = in.get_u64();
+    if (idx >= sets.size())
+      throw state::CorruptError("checkpoint backup interned set index out of range");
+    interned_[id] = sets[idx];
+  }
+}
+
 void BackupManager::audit() const {
   try {
     audit_impl();

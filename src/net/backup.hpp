@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "net/connection.hpp"
+#include "state/serial.hpp"
 #include "topology/graph.hpp"
 #include "util/bitset.hpp"
 
@@ -85,6 +86,18 @@ class BackupManager {
 
   /// Number of distinct interned primary link sets (test observability).
   [[nodiscard]] std::size_t interned_sets() const noexcept { return interned_.size(); }
+
+  /// Serializes the flat ledgers exactly: per-link entries in registry
+  /// order, the scenario key/sum vectors (FP accumulations survive
+  /// bit-for-bit), reservations, and the interning structure (distinct
+  /// primary sets are stored once and entries reference them by index, so
+  /// restored sharing — and audit's use-count checks — match the original).
+  void save_state(state::Buffer& out) const;
+
+  /// Restores into a freshly constructed manager with the same link count
+  /// and multiplexing mode; throws state::CorruptError otherwise or when
+  /// the payload is structurally inconsistent.
+  void load_state(state::Buffer& in);
 
  private:
   /// The audit body; audit() wraps it to attach a flight-recorder dump to

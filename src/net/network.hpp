@@ -32,6 +32,7 @@
 #include "net/qos.hpp"
 #include "net/routing.hpp"
 #include "obs/metrics.hpp"
+#include "state/serial.hpp"
 #include "topology/graph.hpp"
 
 namespace eqos::net {
@@ -158,6 +159,23 @@ class Network {
 
   /// Back-compat alias for audit().
   void validate_invariants() const { audit(); }
+
+  // ---- Checkpointing --------------------------------------------------------
+
+  /// Serializes the evolving state: link ledgers, every active connection
+  /// (paths, QoS, elastic grants, registry slots) in active_ids_ order —
+  /// the order every floating-point aggregate iterates, so restored sums
+  /// accumulate identically — the backup manager's ledgers, the stats
+  /// counters, and the id allocator.  Caches (hop-distance field, link
+  /// bitsets, index maps) are rebuilt on load, not stored.
+  void save_state(state::Buffer& out) const;
+
+  /// Restores into a freshly constructed Network over the same graph and
+  /// config.  Throws state::CorruptError when the checkpoint is
+  /// structurally inconsistent with this network.  Runs audit() before
+  /// returning — a restored network that fails its invariants never goes
+  /// live.
+  void load_state(state::Buffer& in);
 
  private:
   /// Pre-resolved global-registry metric handles (looked up once at

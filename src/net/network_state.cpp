@@ -1,0 +1,244 @@
+// Checkpoint serialization of the Network (save_state / load_state).
+//
+// Kept out of network.cpp so the event-path code stays focused; this file
+// only reads and writes state the event paths maintain.
+//
+// Serialization policy: order-bearing state is stored exactly (active_ids_
+// order, per-link registry slots, the backup manager's flat ledgers), while
+// derived caches are rebuilt (primary/backup link bitsets from the paths,
+// active_index_/active_conns_ mirrors, the hop-distance field's usable mask
+// from the failed flags).  Every floating-point ledger value round-trips as
+// its IEEE-754 bit pattern; link ledgers are rebuilt through the public
+// mutators, whose "0 + x" accumulation reproduces the stored value exactly.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "state/serial.hpp"
+
+namespace eqos::net {
+namespace {
+
+void put_path(state::Buffer& out, const topology::Path& p) {
+  out.put_vec(p.nodes, [&out](topology::NodeId n) { out.put_u64(n); });
+  out.put_vec(p.links, [&out](topology::LinkId l) { out.put_u64(l); });
+}
+
+topology::Path get_path(state::Buffer& in, std::size_t num_nodes,
+                        std::size_t num_links) {
+  topology::Path p;
+  const std::size_t nn = in.get_count(8);
+  p.nodes.reserve(nn);
+  for (std::size_t i = 0; i < nn; ++i) {
+    const std::uint64_t n = in.get_u64();
+    if (n >= num_nodes)
+      throw state::CorruptError("checkpoint path node out of range");
+    p.nodes.push_back(static_cast<topology::NodeId>(n));
+  }
+  const std::size_t nl = in.get_count(8);
+  p.links.reserve(nl);
+  for (std::size_t i = 0; i < nl; ++i) {
+    const std::uint64_t l = in.get_u64();
+    if (l >= num_links)
+      throw state::CorruptError("checkpoint path link out of range");
+    p.links.push_back(static_cast<topology::LinkId>(l));
+  }
+  if (p.nodes.size() != p.links.size() + 1)
+    throw state::CorruptError("checkpoint path node/link lengths inconsistent");
+  return p;
+}
+
+}  // namespace
+
+void Network::save_state(state::Buffer& out) const {
+  // Link ledgers (capacity included so a config mismatch is caught).
+  out.put_u64(links_.size());
+  for (const LinkState& ls : links_) {
+    out.put_f64(ls.capacity());
+    out.put_f64(ls.committed_min());
+    out.put_f64(ls.backup_reserved());
+    out.put_f64(ls.elastic_granted());
+    out.put_bool(ls.failed());
+  }
+
+  out.put_u64(active_ids_.size());
+  for (ConnectionId id : active_ids_) {
+    const DrConnection& c = connections_.at(id);
+    out.put_u64(c.id);
+    out.put_u64(c.src);
+    out.put_u64(c.dst);
+    out.put_f64(c.qos.bmin_kbps);
+    out.put_f64(c.qos.bmax_kbps);
+    out.put_f64(c.qos.increment_kbps);
+    out.put_f64(c.qos.utility);
+    put_path(out, c.primary);
+    out.put_bool(c.backup.has_value());
+    if (c.backup) put_path(out, *c.backup);
+    out.put_u8(static_cast<std::uint8_t>(c.backup_status));
+    out.put_u64(c.backup_overlap_links);
+    out.put_vec(c.registry_slots, [&out](std::uint32_t s) { out.put_u32(s); });
+    out.put_u64(c.extra_quanta);
+    out.put_u64(c.activations);
+    out.put_u64(c.rescues);
+  }
+  out.put_u64(next_id_);
+
+  out.put_u64(stats_.requests);
+  out.put_u64(stats_.accepted);
+  out.put_u64(stats_.rejected_no_primary);
+  out.put_u64(stats_.rejected_no_backup);
+  out.put_u64(stats_.terminated);
+  out.put_u64(stats_.failures_injected);
+  out.put_u64(stats_.repairs);
+  out.put_u64(stats_.backups_activated);
+  out.put_u64(stats_.connections_dropped);
+  out.put_u64(stats_.backups_reestablished);
+  out.put_u64(stats_.backups_evicted);
+  out.put_u64(stats_.unprotected_victims);
+  out.put_u64(stats_.reestablished_pair);
+  out.put_u64(stats_.reestablished_degraded);
+  out.put_u64(stats_.drop_causes.primary_hit);
+  out.put_u64(stats_.drop_causes.backup_hit_while_active);
+  out.put_u64(stats_.drop_causes.double_hit);
+  out.put_u64(stats_.drop_causes.reestablish_failed);
+  out.put_u64(stats_.quanta_adjustments);
+
+  backups_.save_state(out);
+}
+
+void Network::load_state(state::Buffer& in) {
+  const std::size_t num_links = graph_.num_links();
+  const std::size_t num_nodes = graph_.num_nodes();
+
+  if (in.get_u64() != links_.size())
+    throw state::CorruptError("checkpoint network link count mismatch");
+  for (topology::LinkId l = 0; l < links_.size(); ++l) {
+    const double capacity = in.get_f64();
+    if (capacity != links_[l].capacity())
+      throw state::CorruptError("checkpoint link capacity differs from configuration");
+    const double committed = in.get_f64();
+    const double backup_reserved = in.get_f64();
+    const double elastic = in.get_f64();
+    const bool failed = in.get_bool();
+    if (!(committed >= 0.0) || !(backup_reserved >= 0.0) || !(elastic >= 0.0))
+      throw state::CorruptError("checkpoint link ledger has a negative pool");
+    LinkState fresh(capacity);
+    fresh.commit_min(committed);
+    fresh.set_backup_reserved(backup_reserved);
+    fresh.grant_elastic(elastic);
+    fresh.set_failed(failed);
+    links_[l] = fresh;
+    goal_.set_link_usable(l, !failed);
+  }
+
+  connections_.clear();
+  active_ids_.clear();
+  active_index_.clear();
+  active_conns_.clear();
+  for (auto& list : primaries_on_link_) list.clear();
+
+  const std::size_t n_conn = in.get_count(1);
+  active_ids_.reserve(n_conn);
+  active_conns_.reserve(n_conn);
+  for (std::size_t i = 0; i < n_conn; ++i) {
+    DrConnection c;
+    c.id = in.get_u64();
+    if (c.id == 0) throw state::CorruptError("checkpoint connection id 0 is reserved");
+    const std::uint64_t src = in.get_u64();
+    const std::uint64_t dst = in.get_u64();
+    if (src >= num_nodes || dst >= num_nodes)
+      throw state::CorruptError("checkpoint connection endpoint out of range");
+    c.src = static_cast<topology::NodeId>(src);
+    c.dst = static_cast<topology::NodeId>(dst);
+    c.qos.bmin_kbps = in.get_f64();
+    c.qos.bmax_kbps = in.get_f64();
+    c.qos.increment_kbps = in.get_f64();
+    c.qos.utility = in.get_f64();
+    c.primary = get_path(in, num_nodes, num_links);
+    c.primary_links = path_bits(c.primary);
+    if (in.get_bool()) {
+      c.backup = get_path(in, num_nodes, num_links);
+      c.backup_links = path_bits(*c.backup);
+    } else {
+      c.backup_links = util::DynamicBitset(num_links);
+    }
+    const std::uint8_t status = in.get_u8();
+    if (status > static_cast<std::uint8_t>(BackupStatus::kUnprotected))
+      throw state::CorruptError("checkpoint connection has unknown backup status");
+    c.backup_status = static_cast<BackupStatus>(status);
+    c.backup_overlap_links = static_cast<std::size_t>(in.get_u64());
+    const std::size_t n_slots = in.get_count(4);
+    if (n_slots != c.primary.links.size())
+      throw state::CorruptError("checkpoint registry slot count differs from primary path");
+    c.registry_slots.reserve(n_slots);
+    for (std::size_t s = 0; s < n_slots; ++s) c.registry_slots.push_back(in.get_u32());
+    c.extra_quanta = static_cast<std::size_t>(in.get_u64());
+    c.activations = static_cast<std::size_t>(in.get_u64());
+    c.rescues = static_cast<std::size_t>(in.get_u64());
+
+    const ConnectionId id = c.id;
+    const auto [it, inserted] = connections_.emplace(id, std::move(c));
+    if (!inserted)
+      throw state::CorruptError("checkpoint has duplicate connection id " +
+                                std::to_string(id));
+    active_index_[id] = active_ids_.size();
+    active_ids_.push_back(id);
+    active_conns_.push_back(&it->second);
+  }
+
+  // Per-link primary registries from the serialized slots.  Slots must tile
+  // each registry exactly — a hole or collision means the checkpoint and
+  // the connection set disagree.
+  for (ConnectionId id : active_ids_) {
+    const DrConnection& c = connections_.at(id);
+    for (std::size_t s = 0; s < c.primary.links.size(); ++s) {
+      auto& list = primaries_on_link_[c.primary.links[s]];
+      const std::uint32_t slot = c.registry_slots[s];
+      if (slot >= list.size()) list.resize(slot + 1, 0);
+      if (list[slot] != 0)
+        throw state::CorruptError("checkpoint registry slot collision on link " +
+                                  std::to_string(c.primary.links[s]));
+      list[slot] = id;
+    }
+  }
+  for (std::size_t l = 0; l < primaries_on_link_.size(); ++l) {
+    for (ConnectionId id : primaries_on_link_[l]) {
+      if (id == 0)
+        throw state::CorruptError("checkpoint registry slot hole on link " +
+                                  std::to_string(l));
+    }
+  }
+
+  next_id_ = in.get_u64();
+  if (next_id_ < 1)
+    throw state::CorruptError("checkpoint connection id allocator invalid");
+
+  stats_.requests = in.get_u64();
+  stats_.accepted = in.get_u64();
+  stats_.rejected_no_primary = in.get_u64();
+  stats_.rejected_no_backup = in.get_u64();
+  stats_.terminated = in.get_u64();
+  stats_.failures_injected = in.get_u64();
+  stats_.repairs = in.get_u64();
+  stats_.backups_activated = in.get_u64();
+  stats_.connections_dropped = in.get_u64();
+  stats_.backups_reestablished = in.get_u64();
+  stats_.backups_evicted = in.get_u64();
+  stats_.unprotected_victims = in.get_u64();
+  stats_.reestablished_pair = in.get_u64();
+  stats_.reestablished_degraded = in.get_u64();
+  stats_.drop_causes.primary_hit = in.get_u64();
+  stats_.drop_causes.backup_hit_while_active = in.get_u64();
+  stats_.drop_causes.double_hit = in.get_u64();
+  stats_.drop_causes.reestablish_failed = in.get_u64();
+  stats_.quanta_adjustments = in.get_u64();
+
+  backups_.load_state(in);
+
+  // A restored network must satisfy every invariant before it goes live;
+  // audit routes failures through obs::annotate_audit_failure.
+  audit();
+}
+
+}  // namespace eqos::net

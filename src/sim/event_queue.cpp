@@ -1,28 +1,28 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace eqos::sim {
 
-void EventQueue::schedule(double time, Action action) {
+void EventQueue::schedule(double time, EventTag tag, Action action) {
   if (time < now_) throw std::invalid_argument("event_queue: scheduling in the past");
   if (!action) throw std::invalid_argument("event_queue: null action");
-  queue_.push(Entry{time, next_seq_++, std::move(action)});
+  heap_.push_back(Entry{time, next_seq_++, tag, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-void EventQueue::schedule_in(double delay, Action action) {
+void EventQueue::schedule_in(double delay, EventTag tag, Action action) {
   if (delay < 0.0) throw std::invalid_argument("event_queue: negative delay");
-  schedule(now_ + delay, std::move(action));
+  schedule(now_ + delay, tag, std::move(action));
 }
 
 bool EventQueue::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-free
-  // here because we pop immediately — but stay conservative and copy the
-  // small struct, moving only the closure.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   now_ = entry.time;
   entry.action();
   return true;
@@ -31,7 +31,7 @@ bool EventQueue::step() {
 std::size_t EventQueue::run_until(double end_time) {
   if (end_time < now_) throw std::invalid_argument("event_queue: end time in the past");
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= end_time) {
+  while (!heap_.empty() && heap_.front().time <= end_time) {
     step();
     ++executed;
   }
@@ -39,8 +39,39 @@ std::size_t EventQueue::run_until(double end_time) {
   return executed;
 }
 
-void EventQueue::clear() {
-  while (!queue_.empty()) queue_.pop();
+void EventQueue::clear() { heap_.clear(); }
+
+std::vector<EventQueue::PendingEvent> EventQueue::snapshot() const {
+  std::vector<PendingEvent> events;
+  events.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    if (e.tag.kind == 0)
+      throw std::logic_error(
+          "event_queue: cannot snapshot an untagged event (seq " +
+          std::to_string(e.seq) + ")");
+    events.push_back(PendingEvent{e.time, e.seq, e.tag});
+  }
+  std::sort(events.begin(), events.end(), [](const PendingEvent& a, const PendingEvent& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  });
+  return events;
+}
+
+void EventQueue::restore(double now, std::uint64_t next_seq,
+                         const std::vector<PendingEvent>& events,
+                         const Rebuilder& rebuild) {
+  heap_.clear();
+  now_ = now;
+  next_seq_ = next_seq;
+  heap_.reserve(events.size());
+  for (const PendingEvent& e : events) {
+    Action action = rebuild(e.tag);
+    if (!action)
+      throw std::invalid_argument("event_queue: restore produced a null action (kind " +
+                                  std::to_string(e.tag.kind) + ")");
+    heap_.push_back(Entry{e.time, e.seq, e.tag, std::move(action)});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 }  // namespace eqos::sim

@@ -2,14 +2,30 @@
 //
 // A time-ordered queue of closures with a monotonically advancing clock.
 // Ties are broken by insertion order so simulations are fully deterministic.
+//
+// Checkpointing: closures cannot be serialized, so every event that must
+// survive a checkpoint carries an EventTag — a (kind, a, b) triple its owner
+// knows how to turn back into a closure.  snapshot() emits the pending
+// (time, seq, tag) entries; restore() rebuilds the heap by asking a caller-
+// supplied Rebuilder for each tag's closure.  Because (time, seq) keys are
+// unique, the rebuilt heap pops in exactly the original order, so a restored
+// simulation replays event-for-event identically.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace eqos::sim {
+
+/// Serializable identity of a scheduled event.  `kind` namespaces are owned
+/// by the scheduling component (Simulator uses 1..15, FaultInjector 16+);
+/// `a`/`b` are kind-specific operands (a link id, a scripted-event index).
+struct EventTag {
+  std::uint32_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
 
 /// Deterministic future-event list.
 class EventQueue {
@@ -17,15 +33,20 @@ class EventQueue {
   using Action = std::function<void()>;
 
   /// Schedules `action` at absolute `time` (>= now()).  Events at equal
-  /// times fire in scheduling order.
-  void schedule(double time, Action action);
+  /// times fire in scheduling order.  Untagged events cannot be
+  /// checkpointed — snapshot() throws if any are pending.
+  void schedule(double time, Action action) { schedule(time, EventTag{}, std::move(action)); }
+
+  /// Schedules a tagged (checkpointable) event.
+  void schedule(double time, EventTag tag, Action action);
 
   /// Schedules `action` `delay` time units from now.
-  void schedule_in(double delay, Action action);
+  void schedule_in(double delay, Action action) { schedule_in(delay, EventTag{}, std::move(action)); }
+  void schedule_in(double delay, EventTag tag, Action action);
 
   [[nodiscard]] double now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
 
   /// Pops and runs the earliest event, advancing the clock.  Returns false
   /// when the queue is empty.
@@ -38,19 +59,48 @@ class EventQueue {
   /// Discards all pending events (the clock keeps its value).
   void clear();
 
+  // ---- Checkpointing --------------------------------------------------------
+
+  /// One pending event as seen by a checkpoint.
+  struct PendingEvent {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    EventTag tag;
+  };
+
+  /// The pending events in (time, seq) order.  Throws std::logic_error if
+  /// any pending event is untagged (kind == 0): such an event cannot be
+  /// reconstructed, so the simulation is not checkpointable at this instant.
+  [[nodiscard]] std::vector<PendingEvent> snapshot() const;
+
+  /// The sequence number the next schedule() call would receive (serialized
+  /// so post-restore scheduling continues the original numbering).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// Turns a tag back into its closure during restore().
+  using Rebuilder = std::function<Action(const EventTag&)>;
+
+  /// Replaces the queue contents: clock set to `now`, next_seq to
+  /// `next_seq`, and each event's closure rebuilt from its tag.  Throws
+  /// std::invalid_argument if `rebuild` returns a null action.
+  void restore(double now, std::uint64_t next_seq,
+               const std::vector<PendingEvent>& events, const Rebuilder& rebuild);
+
  private:
   struct Entry {
     double time;
     std::uint64_t seq;
+    EventTag tag;
     Action action;
   };
+  /// std::push_heap/pop_heap build a max-heap, so "later" compares greater.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

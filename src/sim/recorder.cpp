@@ -183,4 +183,84 @@ ModelEstimates TransitionRecorder::estimates(double end_time,
   return est;
 }
 
+void TransitionRecorder::save_state(state::Buffer& out) const {
+  const auto put_matrix = [&out](const matrix::Matrix& m) {
+    out.put_u64(m.rows());
+    out.put_u64(m.cols());
+    out.put_f64_vec(m.data());
+  };
+  out.put_u64(n_);
+  out.put_f64(last_time_);
+  out.put_f64(direct_pairs_arrival_);
+  out.put_f64(indirect_pairs_arrival_);
+  out.put_f64(eligible_pairs_arrival_);
+  out.put_f64(direct_pairs_termination_);
+  out.put_f64(eligible_pairs_termination_);
+  out.put_f64(direct_pairs_failure_);
+  out.put_f64(eligible_pairs_failure_);
+  put_matrix(a_counts_);
+  put_matrix(b_counts_);
+  put_matrix(t_counts_);
+  put_matrix(f_counts_);
+  out.put_u64(arrivals_);
+  out.put_u64(terminations_);
+  out.put_u64(failures_);
+  out.put_f64_vec(occupancy_area_);
+  out.put_f64(bandwidth_area_);
+  out.put_f64(channel_area_);
+  out.put_u64(losses_.primary_hit);
+  out.put_u64(losses_.backup_hit_while_active);
+  out.put_u64(losses_.double_hit);
+  out.put_u64(losses_.reestablish_failed);
+  out.put_u64(unprotected_victims_);
+  out.put_u64(reestablished_pair_);
+  out.put_u64(reestablished_degraded_);
+  out.put_f64(unprotected_area_);
+}
+
+void TransitionRecorder::load_state(state::Buffer& in) {
+  const auto get_matrix = [&in](matrix::Matrix& m) {
+    const std::size_t rows = static_cast<std::size_t>(in.get_u64());
+    const std::size_t cols = static_cast<std::size_t>(in.get_u64());
+    if (rows != m.rows() || cols != m.cols())
+      throw state::CorruptError("checkpoint recorder matrix shape mismatch");
+    const std::vector<double> data = in.get_f64_vec();
+    if (data.size() != rows * cols)
+      throw state::CorruptError("checkpoint recorder matrix payload size mismatch");
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) m(i, j) = data[i * cols + j];
+  };
+  if (in.get_u64() != n_)
+    throw state::CorruptError(
+        "checkpoint recorder state-space size differs from this recorder's QoS");
+  last_time_ = in.get_f64();
+  direct_pairs_arrival_ = in.get_f64();
+  indirect_pairs_arrival_ = in.get_f64();
+  eligible_pairs_arrival_ = in.get_f64();
+  direct_pairs_termination_ = in.get_f64();
+  eligible_pairs_termination_ = in.get_f64();
+  direct_pairs_failure_ = in.get_f64();
+  eligible_pairs_failure_ = in.get_f64();
+  get_matrix(a_counts_);
+  get_matrix(b_counts_);
+  get_matrix(t_counts_);
+  get_matrix(f_counts_);
+  arrivals_ = static_cast<std::size_t>(in.get_u64());
+  terminations_ = static_cast<std::size_t>(in.get_u64());
+  failures_ = static_cast<std::size_t>(in.get_u64());
+  occupancy_area_ = in.get_f64_vec();
+  if (occupancy_area_.size() != n_)
+    throw state::CorruptError("checkpoint recorder occupancy size mismatch");
+  bandwidth_area_ = in.get_f64();
+  channel_area_ = in.get_f64();
+  losses_.primary_hit = in.get_u64();
+  losses_.backup_hit_while_active = in.get_u64();
+  losses_.double_hit = in.get_u64();
+  losses_.reestablish_failed = in.get_u64();
+  unprotected_victims_ = static_cast<std::size_t>(in.get_u64());
+  reestablished_pair_ = static_cast<std::size_t>(in.get_u64());
+  reestablished_degraded_ = static_cast<std::size_t>(in.get_u64());
+  unprotected_area_ = in.get_f64();
+}
+
 }  // namespace eqos::sim

@@ -18,6 +18,7 @@
 #include "net/events.hpp"
 #include "net/network.hpp"
 #include "net/qos.hpp"
+#include "state/serial.hpp"
 #include "util/stats.hpp"
 
 namespace eqos::sim {
@@ -105,6 +106,18 @@ class TransitionRecorder {
                                          const net::Network& network) const;
 
   [[nodiscard]] std::size_t num_states() const noexcept { return n_; }
+
+  /// Serializes every accumulator — chaining tallies, count matrices,
+  /// occupancy/bandwidth integrals, dependability counters — and the window
+  /// clock, all bit-exact.  The class filter is a closure and is NOT
+  /// serialized: the restoring host constructs the recorder with the same
+  /// filter before calling load_state().
+  void save_state(state::Buffer& out) const;
+
+  /// Restores accumulators saved by save_state().  Throws
+  /// state::CorruptError when the serialized state-space size does not
+  /// match this recorder's QoS.
+  void load_state(state::Buffer& in);
 
  private:
   void count_changes(const std::vector<net::StateChange>& changes,

@@ -1,10 +1,34 @@
 #include "sim/simulator.hpp"
 
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
+#include "state/serial.hpp"
 
 namespace eqos::sim {
+namespace {
+
+/// EventTag kinds owned by the Simulator (1..15; the injector uses 16+).
+constexpr std::uint32_t kTagArrival = 1;
+constexpr std::uint32_t kTagTermination = 2;
+
+constexpr char kCheckpointMagic[4] = {'E', 'Q', 'S', 'C'};
+
+void put_rng(state::Buffer& out, const util::Rng& rng) {
+  out.put_u64(rng.seed());
+  out.put_str(rng.engine_state());
+}
+
+void get_rng(state::Buffer& in, util::Rng& rng) {
+  const std::uint64_t seed = in.get_u64();
+  rng.set_engine_state(seed, in.get_str());
+}
+
+}  // namespace
 
 void WorkloadConfig::validate() const {
   if (arrival_rate < 0.0 || termination_rate < 0.0 || failure_rate < 0.0 ||
@@ -42,6 +66,10 @@ Simulator::Simulator(net::Network& network, WorkloadConfig config)
   fault::Scheduler scheduler{
       [this] { return queue_.now(); },
       [this](double t, std::function<void()> action) { queue_.schedule(t, std::move(action)); },
+      [this](double t, std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+             std::function<void()> action) {
+        queue_.schedule(t, EventTag{kind, a, b}, std::move(action));
+      },
   };
   fault::Hooks hooks;
   hooks.before_event = [this](double t) {
@@ -98,12 +126,12 @@ void Simulator::load_scenario(const fault::FaultScenario& scenario) {
 
 void Simulator::schedule_arrival() {
   queue_.schedule_in(arrival_rng_.exponential(config_.arrival_rate),
-                     [this] { do_arrival(); });
+                     EventTag{kTagArrival, 0, 0}, [this] { do_arrival(); });
 }
 
 void Simulator::schedule_termination() {
   queue_.schedule_in(termination_rng_.exponential(config_.termination_rate),
-                     [this] { do_termination(); });
+                     EventTag{kTagTermination, 0, 0}, [this] { do_termination(); });
 }
 
 void Simulator::do_arrival() {
@@ -141,5 +169,182 @@ void Simulator::run_events(std::size_t n) {
 }
 
 void Simulator::run_until(double t) { queue_.run_until(t); }
+
+std::uint64_t Simulator::config_fingerprint() const {
+  state::Buffer fp;
+  const topology::Graph& g = network_.graph();
+  fp.put_u64(g.num_nodes());
+  fp.put_u64(g.num_links());
+  for (std::size_t l = 0; l < g.num_links(); ++l) {
+    const topology::Link& link = g.link(static_cast<topology::LinkId>(l));
+    fp.put_u64(link.a);
+    fp.put_u64(link.b);
+  }
+  const net::NetworkConfig& nc = network_.config();
+  fp.put_f64(nc.link_capacity_kbps);
+  fp.put_u8(static_cast<std::uint8_t>(nc.adaptation));
+  fp.put_bool(nc.backup_multiplexing);
+  fp.put_bool(nc.require_backup);
+  fp.put_bool(nc.require_full_disjoint);
+  fp.put_u8(static_cast<std::uint8_t>(nc.route_policy));
+  fp.put_bool(nc.joint_disjoint_fallback);
+  fp.put_u8(static_cast<std::uint8_t>(nc.second_failure_policy));
+  const auto put_spec = [&fp](const net::ElasticQosSpec& q) {
+    fp.put_f64(q.bmin_kbps);
+    fp.put_f64(q.bmax_kbps);
+    fp.put_f64(q.increment_kbps);
+    fp.put_f64(q.utility);
+  };
+  fp.put_f64(config_.arrival_rate);
+  fp.put_f64(config_.termination_rate);
+  fp.put_f64(config_.failure_rate);
+  fp.put_f64(config_.repair_rate);
+  put_spec(config_.qos);
+  fp.put_u64(config_.qos_mix.size());
+  for (const auto& [spec, weight] : config_.qos_mix) {
+    put_spec(spec);
+    fp.put_f64(weight);
+  }
+  fp.put_u64(config_.seed);
+  return fp.crc();
+}
+
+void Simulator::save_checkpoint(std::ostream& out) const {
+  std::vector<state::Section> sections;
+
+  state::Section rng{"rng", {}};
+  put_rng(rng.payload, arrival_rng_);
+  put_rng(rng.payload, termination_rng_);
+  sections.push_back(std::move(rng));
+
+  state::Section queue{"queue", {}};
+  queue.payload.put_f64(queue_.now());
+  queue.payload.put_u64(queue_.next_seq());
+  const std::vector<EventQueue::PendingEvent> events = queue_.snapshot();
+  queue.payload.put_u64(events.size());
+  for (const EventQueue::PendingEvent& e : events) {
+    queue.payload.put_f64(e.time);
+    queue.payload.put_u64(e.seq);
+    queue.payload.put_u32(e.tag.kind);
+    queue.payload.put_u64(e.tag.a);
+    queue.payload.put_u64(e.tag.b);
+  }
+  sections.push_back(std::move(queue));
+
+  state::Section network{"network", {}};
+  network_.save_state(network.payload);
+  sections.push_back(std::move(network));
+
+  state::Section injector{"injector", {}};
+  injector_->save_state(injector.payload);
+  sections.push_back(std::move(injector));
+
+  state::Section recorder{"recorder", {}};
+  recorder.payload.put_bool(recorder_ != nullptr);
+  if (recorder_) recorder_->save_state(recorder.payload);
+  sections.push_back(std::move(recorder));
+
+  state::Section sim{"sim", {}};
+  sim.payload.put_u64(stats_.arrival_events);
+  sim.payload.put_u64(stats_.termination_events);
+  sim.payload.put_u64(stats_.failure_events);
+  sim.payload.put_u64(stats_.repair_events);
+  sim.payload.put_u64(stats_.populate_attempts);
+  sim.payload.put_u64(stats_.populate_accepted);
+  sim.payload.put_u64(countable_events_);
+  sections.push_back(std::move(sim));
+
+  state::write_sections(out, kCheckpointMagic, state::kKindSimulation,
+                        config_fingerprint(), sections);
+}
+
+void Simulator::load_checkpoint(std::istream& in) {
+  state::SectionFile file = state::read_sections(in, kCheckpointMagic);
+  if (file.payload_kind != state::kKindSimulation)
+    throw state::CorruptError("checkpoint payload kind is not a simulation");
+  if (file.fingerprint != config_fingerprint())
+    throw state::CorruptError(
+        "checkpoint was taken from a different simulation configuration");
+
+  try {
+    state::Buffer& rng = file.section("rng");
+    get_rng(rng, arrival_rng_);
+    get_rng(rng, termination_rng_);
+    rng.expect_consumed();
+
+    state::Buffer& network = file.section("network");
+    network_.load_state(network);
+    network.expect_consumed();
+
+    state::Buffer& injector = file.section("injector");
+    injector_->load_state(injector);
+    injector.expect_consumed();
+
+    state::Buffer& recorder = file.section("recorder");
+    const bool had_recorder = recorder.get_bool();
+    if (had_recorder != (recorder_ != nullptr))
+      throw state::CorruptError(
+          had_recorder
+              ? "checkpoint carries recorder state but no recorder is attached"
+              : "checkpoint has no recorder state but a recorder is attached");
+    if (recorder_) recorder_->load_state(recorder);
+    recorder.expect_consumed();
+
+    state::Buffer& sim = file.section("sim");
+    stats_.arrival_events = sim.get_u64();
+    stats_.termination_events = sim.get_u64();
+    stats_.failure_events = sim.get_u64();
+    stats_.repair_events = sim.get_u64();
+    stats_.populate_attempts = sim.get_u64();
+    stats_.populate_accepted = sim.get_u64();
+    countable_events_ = sim.get_u64();
+    sim.expect_consumed();
+
+    // The queue goes last: it discards whatever the constructor scheduled
+    // and replaces it with the checkpointed events, whose closures are
+    // rebuilt against the state restored above.
+    state::Buffer& queue = file.section("queue");
+    const double now = queue.get_f64();
+    const std::uint64_t next_seq = queue.get_u64();
+    const std::size_t n_events = queue.get_count(8 + 8 + 4 + 8 + 8);
+    std::vector<EventQueue::PendingEvent> events;
+    events.reserve(n_events);
+    for (std::size_t i = 0; i < n_events; ++i) {
+      EventQueue::PendingEvent e;
+      e.time = queue.get_f64();
+      e.seq = queue.get_u64();
+      e.tag.kind = queue.get_u32();
+      e.tag.a = queue.get_u64();
+      e.tag.b = queue.get_u64();
+      events.push_back(e);
+    }
+    queue.expect_consumed();
+    queue_.restore(now, next_seq, events,
+                   [this](const EventTag& tag) -> EventQueue::Action {
+                     switch (tag.kind) {
+                       case kTagArrival:
+                         return [this] { do_arrival(); };
+                       case kTagTermination:
+                         return [this] { do_termination(); };
+                       default: {
+                         auto action = injector_->rebuild_action(tag.kind, tag.a);
+                         if (!action)
+                           throw state::CorruptError(
+                               "checkpoint event has unknown tag kind " +
+                               std::to_string(tag.kind));
+                         return action;
+                       }
+                     }
+                   });
+  } catch (const state::CorruptError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Ledger mutators and the post-load audit throw ordinary exceptions;
+    // reaching one means the checkpoint encodes an impossible state, which
+    // is corruption as far as callers are concerned.
+    throw state::CorruptError(std::string("checkpoint failed to apply: ") +
+                              e.what());
+  }
+}
 
 }  // namespace eqos::sim

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -94,12 +95,33 @@ class Simulator {
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
 
+  // ---- Checkpointing --------------------------------------------------------
+
+  /// Serializes the full simulation state — rng engine states, the pending
+  /// event queue (as tags), the network, the fault injector, the attached
+  /// recorder, and the driver counters — as a versioned section file with
+  /// per-section CRCs.  A run restored from this checkpoint replays the
+  /// remaining events bit-for-bit identically to the uninterrupted run.
+  void save_checkpoint(std::ostream& out) const;
+
+  /// Restores a checkpoint into a simulator constructed over the SAME
+  /// topology, network config, and workload, with the same scenario loaded
+  /// and the same recorder attachment.  A fingerprint over graph + config
+  /// rejects checkpoints from a different setup.  Throws
+  /// state::CorruptError (or VersionMismatchError) on any validation
+  /// failure — callers quarantine and recompute, never resume from bad
+  /// state.  Network::audit() runs before the method returns.
+  void load_checkpoint(std::istream& in);
+
  private:
   void schedule_arrival();
   void schedule_termination();
   void do_arrival();
   void do_termination();
   [[nodiscard]] std::pair<topology::NodeId, topology::NodeId> random_pair();
+  /// CRC over the graph's link list, the network config, and the workload
+  /// config — binds a checkpoint to the setup that produced it.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
 
   net::Network& network_;
   WorkloadConfig config_;

@@ -1,0 +1,147 @@
+#include "state/cellstore.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <system_error>
+
+#include "util/log.hpp"
+
+namespace eqos::state {
+namespace {
+
+constexpr char kCellMagic[4] = {'E', 'Q', 'C', 'P'};
+constexpr const char* kManifestName = "MANIFEST.tsv";
+
+/// Parses "cell-<point>-<rep>.ckpt"; returns false for anything else
+/// (manifest, .tmp leftovers, .corrupt quarantine, stray files).
+bool parse_cell_name(const std::string& name, std::size_t& point, std::size_t& rep) {
+  constexpr std::string_view prefix = "cell-";
+  constexpr std::string_view suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return false;
+  const std::string_view mid(name.data() + prefix.size(),
+                             name.size() - prefix.size() - suffix.size());
+  const std::size_t dash = mid.find('-');
+  if (dash == std::string_view::npos || dash == 0 || dash + 1 >= mid.size()) return false;
+  const auto parse = [](std::string_view s, std::size_t& out) {
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  };
+  return parse(mid.substr(0, dash), point) && parse(mid.substr(dash + 1), rep);
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, std::uint32_t payload_kind,
+                                 std::uint64_t fingerprint)
+    : dir_(std::move(dir)), payload_kind_(payload_kind), fingerprint_(fingerprint) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string CheckpointStore::cell_filename(std::size_t point, std::size_t rep) {
+  return "cell-" + std::to_string(point) + "-" + std::to_string(rep) + ".ckpt";
+}
+
+void CheckpointStore::quarantine(const std::filesystem::path& file) noexcept {
+  std::error_code ec;
+  std::filesystem::path target = file;
+  target += ".corrupt";
+  std::filesystem::rename(file, target, ec);
+  if (ec) {
+    // rename over an existing quarantine file works on POSIX; anything else
+    // (permissions, vanished file) we can only report.
+    EQOS_WARN() << "checkpoint: could not quarantine " << file.string() << ": "
+                << ec.message();
+  } else {
+    EQOS_WARN() << "checkpoint: quarantined corrupt file " << target.string();
+  }
+}
+
+CheckpointStore::ScanResult CheckpointStore::scan() {
+  ScanResult result;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    std::size_t point = 0, rep = 0;
+    if (!parse_cell_name(name, point, rep)) continue;
+    try {
+      SectionFile file = read_sections_file(entry.path().string(), kCellMagic);
+      if (file.payload_kind != payload_kind_)
+        throw CorruptError("cell has payload kind " + std::to_string(file.payload_kind) +
+                           ", expected " + std::to_string(payload_kind_));
+      if (file.fingerprint != fingerprint_)
+        throw CorruptError("cell fingerprint does not match this sweep's configuration");
+      Cell cell;
+      cell.point = point;
+      cell.rep = rep;
+      cell.payload = std::move(file.section("cell"));
+      cell.file = entry.path();
+      result.cells.push_back(std::move(cell));
+    } catch (const CorruptError& e) {
+      EQOS_WARN() << "checkpoint: " << name << ": " << e.what();
+      quarantine(entry.path());
+      ++result.quarantined;
+    }
+  }
+  if (ec)
+    throw std::runtime_error("checkpoint: cannot scan directory " + dir_ + ": " +
+                             ec.message());
+  std::sort(result.cells.begin(), result.cells.end(),
+            [](const Cell& a, const Cell& b) {
+              return a.point != b.point ? a.point < b.point : a.rep < b.rep;
+            });
+  return result;
+}
+
+void CheckpointStore::write_cell(std::size_t point, std::size_t rep,
+                                 const Buffer& payload) {
+  std::vector<Section> sections;
+  sections.push_back(Section{"cell", payload});
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) / cell_filename(point, rep);
+  write_sections_file(path.string(), kCellMagic, payload_kind_, fingerprint_, sections);
+}
+
+void CheckpointStore::note_completed(std::size_t point, std::size_t rep,
+                                     std::uint32_t crc, std::size_t bytes,
+                                     std::size_t flush_every) {
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    completed_.push_back(Completed{point, rep, bytes, crc});
+    if (++unflushed_ >= std::max<std::size_t>(flush_every, 1)) {
+      unflushed_ = 0;
+      flush = true;
+    }
+  }
+  if (flush) flush_manifest();
+}
+
+void CheckpointStore::flush_manifest() {
+  std::vector<Completed> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows = completed_;
+    unflushed_ = 0;
+  }
+  std::sort(rows.begin(), rows.end(), [](const Completed& a, const Completed& b) {
+    return a.point != b.point ? a.point < b.point : a.rep < b.rep;
+  });
+  const std::filesystem::path path = std::filesystem::path(dir_) / kManifestName;
+  const std::string tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    out << "# point\trep\tcrc32\tbytes\n";
+    for (const Completed& c : rows)
+      out << c.point << '\t' << c.rep << '\t' << c.crc << '\t' << c.bytes << '\n';
+    if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace eqos::state

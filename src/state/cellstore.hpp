@@ -1,0 +1,92 @@
+// Crash-tolerant sweep checkpoint directory.
+//
+// A resumable sweep persists one small file per completed (point, rep) cell
+// plus a human-readable manifest.  The cell files are the source of truth —
+// each is a self-validating section file (magic, format version, per-section
+// CRC, and a fingerprint binding it to the sweep's configuration), so a
+// resume never needs to trust the manifest:
+//
+//   <dir>/cell-<point>-<rep>.ckpt   one serialized result, written atomically
+//                                   (tmp + rename) after the cell completes
+//   <dir>/MANIFEST.tsv              "point  rep  crc32  bytes" per completed
+//                                   cell, rewritten atomically every
+//                                   --checkpoint-every completions
+//
+// scan() validates every cell file and *quarantines* anything unreadable —
+// truncated, bit-flipped, wrong version, wrong fingerprint — by renaming it
+// to <name>.corrupt.  Quarantined cells are simply recomputed: graceful
+// degradation, never silent reuse of bad data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "state/serial.hpp"
+
+namespace eqos::state {
+
+/// Manages one sweep's checkpoint directory.  write_cell is safe to call
+/// from concurrent sweep workers (distinct cells write distinct files; the
+/// manifest is guarded by a mutex).
+class CheckpointStore {
+ public:
+  /// Creates `dir` if needed.  `payload_kind` and `fingerprint` stamp every
+  /// cell file and are verified by scan().
+  CheckpointStore(std::string dir, std::uint32_t payload_kind, std::uint64_t fingerprint);
+
+  /// One validated cell found by scan().
+  struct Cell {
+    std::size_t point = 0;
+    std::size_t rep = 0;
+    Buffer payload;
+    std::filesystem::path file;  ///< for quarantining on decode failure
+  };
+
+  struct ScanResult {
+    std::vector<Cell> cells;          ///< valid cells, sorted by (point, rep)
+    std::size_t quarantined = 0;      ///< corrupt files renamed *.corrupt
+  };
+
+  /// Validates every cell file in the directory.  Files that fail any check
+  /// (CRC, magic, version, payload kind, fingerprint) are quarantined and
+  /// counted; the survivors are returned for the caller to decode.
+  [[nodiscard]] ScanResult scan();
+
+  /// Atomically persists one completed cell (write tmp, rename).
+  void write_cell(std::size_t point, std::size_t rep, const Buffer& payload);
+
+  /// Records a completed cell for the manifest; flushes the manifest every
+  /// `flush_every` completions (and always on flush_manifest()).
+  void note_completed(std::size_t point, std::size_t rep, std::uint32_t crc,
+                      std::size_t bytes, std::size_t flush_every);
+
+  /// Rewrites MANIFEST.tsv atomically from the completions recorded so far.
+  void flush_manifest();
+
+  /// Renames `file` to `file + ".corrupt"` (replacing any previous
+  /// quarantine of the same name).  Never throws: quarantining is
+  /// best-effort cleanup on an already-failing path.
+  static void quarantine(const std::filesystem::path& file) noexcept;
+
+  [[nodiscard]] static std::string cell_filename(std::size_t point, std::size_t rep);
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  struct Completed {
+    std::size_t point, rep, bytes;
+    std::uint32_t crc;
+  };
+
+  std::string dir_;
+  std::uint32_t payload_kind_;
+  std::uint64_t fingerprint_;
+  std::mutex mutex_;                  ///< guards completed_
+  std::vector<Completed> completed_;
+  std::size_t unflushed_ = 0;
+};
+
+}  // namespace eqos::state

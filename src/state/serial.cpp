@@ -1,0 +1,244 @@
+#include "state/serial.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace eqos::state {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+// ---- Buffer -----------------------------------------------------------------
+
+void Buffer::put_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void Buffer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Buffer::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Buffer::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Buffer::put_str(const std::string& s) {
+  put_u64(s.size());
+  put_bytes(s.data(), s.size());
+}
+
+void Buffer::put_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+void Buffer::put_f64_vec(const std::vector<double>& v) {
+  put_u64(v.size());
+  for (double x : v) put_f64(x);
+}
+
+void Buffer::put_u64_vec(const std::vector<std::uint64_t>& v) {
+  put_u64(v.size());
+  for (std::uint64_t x : v) put_u64(x);
+}
+
+void Buffer::need(std::size_t n) const {
+  if (cursor_ + n > bytes_.size())
+    throw CorruptError("checkpoint payload truncated (need " + std::to_string(n) +
+                       " bytes, have " + std::to_string(bytes_.size() - cursor_) + ")");
+}
+
+std::uint8_t Buffer::get_u8() {
+  need(1);
+  return bytes_[cursor_++];
+}
+
+std::uint32_t Buffer::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[cursor_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Buffer::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[cursor_++]) << (8 * i);
+  return v;
+}
+
+double Buffer::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string Buffer::get_str() {
+  const std::size_t n = get_count(1);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + cursor_), n);
+  cursor_ += n;
+  return s;
+}
+
+std::size_t Buffer::get_count(std::size_t min_element_bytes) {
+  const std::uint64_t n = get_u64();
+  if (min_element_bytes > 0 && n > remaining() / min_element_bytes)
+    throw CorruptError("checkpoint count field exceeds payload size");
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<double> Buffer::get_f64_vec() {
+  const std::size_t n = get_count(8);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = get_f64();
+  return v;
+}
+
+std::vector<std::uint64_t> Buffer::get_u64_vec() {
+  const std::size_t n = get_count(8);
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = get_u64();
+  return v;
+}
+
+void Buffer::get_bytes(void* out, std::size_t n) {
+  need(n);
+  std::memcpy(out, bytes_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+void Buffer::expect_consumed() const {
+  if (cursor_ != bytes_.size())
+    throw CorruptError("checkpoint section has " +
+                       std::to_string(bytes_.size() - cursor_) + " trailing bytes");
+}
+
+// ---- Section files ----------------------------------------------------------
+
+namespace {
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(b), 8);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint8_t b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) throw CorruptError("checkpoint truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint8_t b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8)) throw CorruptError("checkpoint truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void write_sections(std::ostream& out, const char magic[4], std::uint32_t payload_kind,
+                    std::uint64_t fingerprint, const std::vector<Section>& sections) {
+  out.write(magic, 4);
+  write_u32(out, kFormatVersion);
+  write_u32(out, payload_kind);
+  write_u64(out, fingerprint);
+  for (const Section& s : sections) {
+    write_u32(out, static_cast<std::uint32_t>(s.name.size()));
+    out.write(s.name.data(), static_cast<std::streamsize>(s.name.size()));
+    write_u64(out, s.payload.size());
+    write_u32(out, s.payload.crc());
+    out.write(reinterpret_cast<const char*>(s.payload.bytes().data()),
+              static_cast<std::streamsize>(s.payload.size()));
+  }
+  write_u32(out, 0);  // trailer
+}
+
+Buffer& SectionFile::section(const std::string& name) {
+  const auto it = sections.find(name);
+  if (it == sections.end())
+    throw CorruptError("checkpoint is missing section '" + name + "'");
+  return it->second;
+}
+
+SectionFile read_sections(std::istream& in, const char magic[4]) {
+  char found[4];
+  if (!in.read(found, 4) || std::memcmp(found, magic, 4) != 0)
+    throw CorruptError("checkpoint has the wrong magic (not a checkpoint file?)");
+  SectionFile file;
+  file.version = read_u32(in);
+  if (file.version != kFormatVersion)
+    throw VersionMismatchError("checkpoint format version " +
+                               std::to_string(file.version) + " (this build reads " +
+                               std::to_string(kFormatVersion) + ")");
+  file.payload_kind = read_u32(in);
+  file.fingerprint = read_u64(in);
+  while (true) {
+    const std::uint32_t name_len = read_u32(in);
+    if (name_len == 0) break;  // trailer
+    if (name_len > 256) throw CorruptError("checkpoint section name too long");
+    std::string name(name_len, '\0');
+    if (!in.read(name.data(), name_len)) throw CorruptError("checkpoint truncated");
+    const std::uint64_t size = read_u64(in);
+    const std::uint32_t expected_crc = read_u32(in);
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        !in.read(reinterpret_cast<char*>(payload.data()),
+                 static_cast<std::streamsize>(size)))
+      throw CorruptError("checkpoint truncated inside section '" + name + "'");
+    if (crc32(payload.data(), payload.size()) != expected_crc)
+      throw CorruptError("checkpoint section '" + name + "' failed its CRC check");
+    file.sections.emplace(std::move(name), Buffer(std::move(payload)));
+  }
+  return file;
+}
+
+void write_sections_file(const std::string& path, const char magic[4],
+                         std::uint32_t payload_kind, std::uint64_t fingerprint,
+                         const std::vector<Section>& sections) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    write_sections(out, magic, payload_kind, fingerprint, sections);
+    if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+SectionFile read_sections_file(const std::string& path, const char magic[4]) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return read_sections(in, magic);
+}
+
+}  // namespace eqos::state

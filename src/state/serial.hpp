@@ -1,0 +1,172 @@
+// Versioned, checksummed binary serialization primitives.
+//
+// The checkpoint layer (Simulator::save_checkpoint, the sweep cell store)
+// needs a format that (a) round-trips every simulation value *bit*-exactly —
+// doubles are stored as their IEEE-754 bit patterns, never through text —
+// and (b) detects corruption instead of silently loading garbage.  The
+// format is deliberately simple:
+//
+//   header    magic (4 bytes) | format_version u32 | payload_kind u32 |
+//             fingerprint u64
+//   sections  repeated: name_len u32 | name | payload_len u64 | crc32 u32 |
+//             payload bytes
+//   trailer   name_len == 0
+//
+// Every section carries a CRC-32 of its payload; a mismatch (or a truncated
+// file, an unknown magic, or a version from the future) raises CorruptError
+// so callers can quarantine the file and recompute.  The `fingerprint` binds
+// a file to the configuration that produced it — resuming a sweep against a
+// directory written by a different bench or config must fail loudly, never
+// deliver wrong-but-plausible results.
+//
+// All integers are little-endian fixed-width; the writer and reader below
+// are byte-order explicit so checkpoints are portable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eqos::state {
+
+/// Thrown when a checkpoint is unreadable: truncated, checksum mismatch,
+/// wrong magic, or a payload that fails structural validation.  Callers
+/// treat this as "quarantine and recompute", never as a fatal error.
+class CorruptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown for a checkpoint whose format version this build does not read
+/// (a CorruptError subtype: the quarantine path is the same).
+class VersionMismatchError : public CorruptError {
+ public:
+  using CorruptError::CorruptError;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `n` bytes.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// A growable byte buffer with typed little-endian put/get primitives.
+/// Writes append; reads advance an internal cursor and throw CorruptError
+/// when the payload runs out — a flipped length byte can never walk past
+/// the end of the buffer.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept { return bytes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  /// Bytes left to read.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - cursor_;
+  }
+  void rewind() noexcept { cursor_ = 0; }
+  [[nodiscard]] std::uint32_t crc() const noexcept {
+    return crc32(bytes_.data(), bytes_.size());
+  }
+
+  // ---- Writers ------------------------------------------------------------
+
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern — round-trips NaN payloads and signed zeros.
+  void put_f64(double v);
+  void put_str(const std::string& s);
+  void put_bytes(const void* data, std::size_t n);
+
+  template <typename T, typename Fn>
+  void put_vec(const std::vector<T>& v, Fn&& put_one) {
+    put_u64(v.size());
+    for (const T& x : v) put_one(x);
+  }
+  void put_f64_vec(const std::vector<double>& v);
+  void put_u64_vec(const std::vector<std::uint64_t>& v);
+
+  // ---- Readers (throw CorruptError on underrun) ---------------------------
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string get_str();
+
+  /// Reads a u64 element count and bounds-checks it against the bytes left
+  /// (each element needs at least `min_element_bytes`), so a corrupted count
+  /// cannot trigger a huge allocation.
+  [[nodiscard]] std::size_t get_count(std::size_t min_element_bytes);
+  [[nodiscard]] std::vector<double> get_f64_vec();
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_vec();
+  /// Copies `n` raw bytes out (the inverse of put_bytes).
+  void get_bytes(void* out, std::size_t n);
+
+  /// Asserts the whole payload was consumed (a structural check: trailing
+  /// bytes mean the reader and writer disagree about the layout).
+  void expect_consumed() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+/// Current checkpoint format version.  Bump on any layout change; readers
+/// reject other versions with VersionMismatchError.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Payload kinds carried in the file header (what the sections describe).
+inline constexpr std::uint32_t kKindSimulation = 1;   ///< full Simulator state
+inline constexpr std::uint32_t kKindSweepCell = 2;    ///< one (point, rep) result
+inline constexpr std::uint32_t kKindGridRow = 3;      ///< raw bench grid row
+
+/// One named section with its payload.
+struct Section {
+  std::string name;
+  Buffer payload;
+};
+
+/// Writes a section file: header, each section with its CRC, trailer.
+void write_sections(std::ostream& out, const char magic[4], std::uint32_t payload_kind,
+                    std::uint64_t fingerprint, const std::vector<Section>& sections);
+
+/// A parsed section file.
+struct SectionFile {
+  std::uint32_t version = 0;
+  std::uint32_t payload_kind = 0;
+  std::uint64_t fingerprint = 0;
+  std::map<std::string, Buffer> sections;
+
+  /// Required section access; throws CorruptError when absent.
+  [[nodiscard]] Buffer& section(const std::string& name);
+};
+
+/// Reads and validates a section file: magic and version checked, every
+/// section's CRC verified.  Throws CorruptError / VersionMismatchError.
+[[nodiscard]] SectionFile read_sections(std::istream& in, const char magic[4]);
+
+/// Atomic file write: serialize to `path + ".tmp"`, then rename over `path`.
+/// A crash mid-write leaves either the old file or a .tmp that readers
+/// ignore — never a half-written checkpoint under the real name.
+void write_sections_file(const std::string& path, const char magic[4],
+                         std::uint32_t payload_kind, std::uint64_t fingerprint,
+                         const std::vector<Section>& sections);
+
+/// Reads a section file from disk; CorruptError on any validation failure,
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] SectionFile read_sections_file(const std::string& path, const char magic[4]);
+
+}  // namespace eqos::state

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
+#include <stdexcept>
 
 namespace eqos::util {
 
@@ -42,6 +44,21 @@ Rng Rng::split() {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   z ^= z >> 31;
   return Rng(z);
+}
+
+std::string Rng::engine_state() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::set_engine_state(std::uint64_t seed, const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  if (!(in >> engine))
+    throw std::invalid_argument("Rng::set_engine_state: malformed engine state");
+  engine_ = engine;
+  seed_ = seed;
 }
 
 std::uint64_t Rng::substream_seed(std::uint64_t base, std::uint64_t stream_id) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace eqos::util {
@@ -83,6 +84,16 @@ class Rng {
   /// init cost.
   [[nodiscard]] static std::uint64_t substream_seed(std::uint64_t base,
                                                     std::uint64_t stream_id);
+
+  /// The full engine state as the standard's textual serialization (624
+  /// space-separated words).  Together with seed(), this captures the stream
+  /// exactly: a checkpoint restored via set_engine_state() replays the
+  /// remaining draws bit-for-bit.
+  [[nodiscard]] std::string engine_state() const;
+
+  /// Restores a stream captured by seed() + engine_state().  Throws
+  /// std::invalid_argument when `state` is not a valid mt19937_64 dump.
+  void set_engine_state(std::uint64_t seed, const std::string& state);
 
  private:
   std::mt19937_64 engine_;

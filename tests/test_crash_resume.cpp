@@ -1,0 +1,216 @@
+// End-to-end crash-tolerance test: kill a persisting bench mid-sweep,
+// corrupt one of the surviving cell files, resume with --resume, and check
+// the resumed run's stdout and BENCH_sweep.json are byte-identical to a
+// straight-through run — at 1 worker thread and at 8.
+//
+// The bench under test is bench_fig2 (path supplied by ctest through the
+// EQOS_BENCH_FIG2 environment variable); every run sets EQOS_FIXED_TIMING=1
+// so wall-clock fields print as zeros and byte comparison is meaningful.
+// The same binary also serves as the CLI-hardening fixture: unknown flags
+// and malformed values must exit 2 with usage on stderr, --help must exit 0.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* bench_path() { return std::getenv("EQOS_BENCH_FIG2"); }
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Exit status of a finished child: WEXITSTATUS for a normal exit,
+/// 128 + signal for a killed one (mirroring the shell convention).
+int reap(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+/// Spawns the bench with `args`, stdout/stderr redirected to files, and
+/// EQOS_FIXED_TIMING=1 in its environment.  Returns the child pid.
+pid_t spawn_bench(const std::vector<std::string>& args, const fs::path& out,
+                  const fs::path& err) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child: redirect, pin the deterministic-timing env, exec.
+  if (std::freopen(out.c_str(), "wb", stdout) == nullptr) _exit(127);
+  if (std::freopen(err.c_str(), "wb", stderr) == nullptr) _exit(127);
+  setenv("EQOS_FIXED_TIMING", "1", 1);
+  unsetenv("EQOS_FAST");  // a fixed shape regardless of the outer harness
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(bench_path()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  execv(bench_path(), argv.data());
+  _exit(127);
+}
+
+int run_bench(const std::vector<std::string>& args, const fs::path& out,
+              const fs::path& err) {
+  return reap(spawn_bench(args, out, err));
+}
+
+std::vector<fs::path> cell_files(const fs::path& dir) {
+  std::vector<fs::path> cells;
+  if (!fs::exists(dir)) return cells;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".ckpt") cells.push_back(entry.path());
+  return cells;
+}
+
+/// The shared sweep shape: smoke-sized points, several reps so the sweep
+/// has enough cells to be killed in the middle of.
+std::vector<std::string> sweep_args(std::size_t threads) {
+  return {"--smoke", "--reps", "8", "--threads", std::to_string(threads)};
+}
+
+void append(std::vector<std::string>& args, std::initializer_list<std::string> more) {
+  args.insert(args.end(), more);
+}
+
+void crash_resume_roundtrip(std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  const fs::path work =
+      fresh_dir("eqos_test_crash_resume_t" + std::to_string(threads));
+  const fs::path ckpt = work / "ckpt";
+
+  // 1. The reference: one uninterrupted run, no checkpointing.
+  auto ref_args = sweep_args(threads);
+  append(ref_args, {"--json", (work / "ref.json").string()});
+  ASSERT_EQ(run_bench(ref_args, work / "ref.out", work / "ref.err"), 0);
+
+  // 2. The victim: same sweep, persisting cells; SIGKILL it as soon as the
+  //    first completed cell lands on disk.
+  auto crash_args = sweep_args(threads);
+  append(crash_args, {"--checkpoint-dir", ckpt.string(), "--json",
+                      (work / "crash.json").string()});
+  const pid_t victim =
+      spawn_bench(crash_args, work / "crash.out", work / "crash.err");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (cell_files(ckpt).empty() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  kill(victim, SIGKILL);
+  const int victim_status = reap(victim);
+  auto survivors = cell_files(ckpt);
+  ASSERT_FALSE(survivors.empty()) << "no cell was checkpointed before the kill";
+  // The interesting case is a mid-sweep kill; if the machine was so slow the
+  // sweep finished first, the test still verifies a full-load resume.
+  const bool killed_mid_sweep = victim_status == 128 + SIGKILL;
+
+  // 3. Corrupt one survivor: resume must quarantine and recompute it.
+  {
+    std::fstream f(survivors.front(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-2, std::ios::end);
+    const char byte = 0x55;
+    f.write(&byte, 1);
+  }
+
+  // 4. Resume.  Completed cells load, the corrupt one is quarantined and
+  //    recomputed, the rest compute fresh — and every byte of output matches
+  //    the uninterrupted run.
+  auto resume_args = sweep_args(threads);
+  append(resume_args, {"--checkpoint-dir", ckpt.string(), "--resume", "--json",
+                       (work / "resume.json").string()});
+  ASSERT_EQ(run_bench(resume_args, work / "resume.out", work / "resume.err"), 0);
+
+  EXPECT_EQ(slurp(work / "resume.out"), slurp(work / "ref.out"))
+      << "resumed stdout differs from the straight-through run";
+  EXPECT_EQ(slurp(work / "resume.json"), slurp(work / "ref.json"))
+      << "resumed BENCH_sweep.json differs from the straight-through run";
+  // The quarantine left an audit trail next to the recomputed cell.
+  EXPECT_TRUE(fs::exists(survivors.front().string() + ".corrupt"));
+  if (killed_mid_sweep) {
+    // Resume accounting goes to stderr (stdout must stay byte-clean).
+    EXPECT_NE(slurp(work / "resume.err").find("# checkpoint:"), std::string::npos);
+  }
+}
+
+TEST(CrashResume, SerialSweepResumesByteIdentical) {
+  if (bench_path() == nullptr) GTEST_SKIP() << "EQOS_BENCH_FIG2 not set";
+  crash_resume_roundtrip(1);
+}
+
+TEST(CrashResume, ParallelSweepResumesByteIdentical) {
+  if (bench_path() == nullptr) GTEST_SKIP() << "EQOS_BENCH_FIG2 not set";
+  crash_resume_roundtrip(8);
+}
+
+// ---- CLI hardening -------------------------------------------------------
+
+struct CliRun {
+  int status = -1;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli(const std::vector<std::string>& args) {
+  const fs::path work = fresh_dir("eqos_test_cli_hardening");
+  CliRun r;
+  r.status = run_bench(args, work / "out", work / "err");
+  r.out = slurp(work / "out");
+  r.err = slurp(work / "err");
+  return r;
+}
+
+TEST(BenchCli, UnknownFlagExitsTwoWithUsage) {
+  if (bench_path() == nullptr) GTEST_SKIP() << "EQOS_BENCH_FIG2 not set";
+  const auto r = run_cli({"--bogus-flag"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(BenchCli, MalformedValuesExitTwo) {
+  if (bench_path() == nullptr) GTEST_SKIP() << "EQOS_BENCH_FIG2 not set";
+  EXPECT_EQ(run_cli({"--threads", "abc"}).status, 2);
+  EXPECT_EQ(run_cli({"--reps", "0"}).status, 2);
+  EXPECT_EQ(run_cli({"--reps"}).status, 2);  // missing value
+  EXPECT_EQ(run_cli({"--backoff", "-1"}).status, 2);
+  EXPECT_EQ(run_cli({"--checkpoint-every", "12x"}).status, 2);
+}
+
+TEST(BenchCli, ResumeRequiresCheckpointDir) {
+  if (bench_path() == nullptr) GTEST_SKIP() << "EQOS_BENCH_FIG2 not set";
+  const auto r = run_cli({"--resume"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("--resume requires --checkpoint-dir"), std::string::npos);
+}
+
+TEST(BenchCli, HelpExitsZero) {
+  if (bench_path() == nullptr) GTEST_SKIP() << "EQOS_BENCH_FIG2 not set";
+  const auto r = run_cli({"--help"});
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+  EXPECT_NE(r.out.find("--checkpoint-dir"), std::string::npos);
+}
+
+}  // namespace

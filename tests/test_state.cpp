@@ -1,0 +1,693 @@
+// Checkpoint/restore correctness tests.
+//
+//  * state::Buffer round-trips every primitive bit-exactly (doubles as
+//    IEEE-754 bit patterns, including signed zero and NaN) and its readers
+//    throw CorruptError instead of walking past the payload;
+//  * the section-file container detects bad magic, future versions,
+//    bit-flips, and truncation;
+//  * util::Rng's engine_state round-trip replays a million draws exactly;
+//  * EventQueue snapshot/restore rebuilds the pending heap in (time, seq)
+//    order, and refuses to snapshot untagged events;
+//  * Simulator::save_checkpoint / load_checkpoint: a restored run replays
+//    the remaining events bit-for-bit identically to the uninterrupted run,
+//    for the legacy Poisson failure process, for a full fault scenario
+//    (scripted + stochastic + bursts + auto-repair), and with a recorder
+//    attached; mismatched configurations and corrupted bytes are rejected;
+//  * state::CheckpointStore quarantines corrupt and wrong-fingerprint cell
+//    files (renamed *.corrupt) instead of loading them;
+//  * core::CellHarness retries throwing cells, records cells that keep
+//    failing, and its watchdog flags cells that blow their wall-clock
+//    budget;
+//  * core::run_sweep with a checkpoint dir resumes to bit-identical results
+//    after losing or corrupting cell files, and isolates per-cell failures
+//    instead of aborting the sweep.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "fault/scenario.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+#include "state/cellstore.hpp"
+#include "state/serial.hpp"
+#include "topology/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace eqos {
+namespace {
+
+namespace fs = std::filesystem;
+using topology::Graph;
+
+// ---- shared fixtures -----------------------------------------------------
+
+const Graph& small_waxman() {
+  static const Graph g = topology::generate_waxman({30, 0.4, 0.3, true}, 7);
+  return g;
+}
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  q.utility = 1.0;
+  return q;
+}
+
+sim::WorkloadConfig churn_workload(std::uint64_t seed, double failure_rate) {
+  sim::WorkloadConfig cfg;
+  cfg.qos = paper_qos();
+  cfg.seed = seed;
+  cfg.failure_rate = failure_rate;
+  cfg.repair_rate = 1e-2;
+  return cfg;
+}
+
+/// A scratch directory under the system temp dir, wiped on entry so every
+/// test run starts clean.
+fs::path fresh_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// ---- Buffer primitives ---------------------------------------------------
+
+TEST(Buffer, RoundTripsEveryPrimitive) {
+  state::Buffer b;
+  b.put_u8(0xAB);
+  b.put_u32(0xDEADBEEF);
+  b.put_u64(0x0123456789ABCDEFull);
+  b.put_bool(true);
+  b.put_f64(-0.0);
+  b.put_f64(std::numeric_limits<double>::quiet_NaN());
+  b.put_str("elastic qos");
+  b.put_f64_vec({1.5, -2.25, 0.0});
+  b.put_u64_vec({7, 0, 42});
+  const char raw[4] = {'a', 'b', 'c', 'd'};
+  b.put_bytes(raw, sizeof(raw));
+
+  EXPECT_EQ(b.get_u8(), 0xAB);
+  EXPECT_EQ(b.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(b.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(b.get_bool());
+  const double neg_zero = b.get_f64();
+  EXPECT_EQ(bits_of(neg_zero), bits_of(-0.0));  // sign bit survives
+  const double nan = b.get_f64();
+  EXPECT_TRUE(std::isnan(nan));
+  EXPECT_EQ(bits_of(nan), bits_of(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(b.get_str(), "elastic qos");
+  EXPECT_EQ(b.get_f64_vec(), (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_EQ(b.get_u64_vec(), (std::vector<std::uint64_t>{7, 0, 42}));
+  char out[4] = {};
+  b.get_bytes(out, sizeof(out));
+  EXPECT_EQ(std::memcmp(out, raw, sizeof(raw)), 0);
+  EXPECT_NO_THROW(b.expect_consumed());
+}
+
+TEST(Buffer, UnderrunThrowsInsteadOfWalkingPastEnd) {
+  state::Buffer b;
+  b.put_u32(1);
+  (void)b.get_u32();
+  EXPECT_THROW((void)b.get_u8(), state::CorruptError);
+  EXPECT_THROW((void)b.get_u64(), state::CorruptError);
+  EXPECT_THROW((void)b.get_f64(), state::CorruptError);
+}
+
+TEST(Buffer, CorruptedCountCannotTriggerHugeAllocation) {
+  // A flipped length prefix claims 2^60 elements; get_count must reject it
+  // against the bytes actually present rather than try to allocate.
+  state::Buffer b;
+  b.put_u64(std::uint64_t{1} << 60);
+  EXPECT_THROW((void)b.get_count(8), state::CorruptError);
+}
+
+TEST(Buffer, TrailingBytesFailExpectConsumed) {
+  state::Buffer b;
+  b.put_u32(1);
+  b.put_u32(2);
+  (void)b.get_u32();
+  EXPECT_THROW(b.expect_consumed(), state::CorruptError);
+}
+
+// ---- section files -------------------------------------------------------
+
+constexpr char kTestMagic[4] = {'T', 'S', 'T', '1'};
+
+std::string write_test_sections() {
+  state::Section s;
+  s.name = "payload";
+  s.payload.put_u64(1234);
+  s.payload.put_f64(2.5);
+  std::ostringstream out;
+  state::write_sections(out, kTestMagic, state::kKindSweepCell, 0x1122334455667788ull,
+                        {s});
+  return out.str();
+}
+
+TEST(SectionFile, RoundTrip) {
+  std::istringstream in(write_test_sections());
+  auto file = state::read_sections(in, kTestMagic);
+  EXPECT_EQ(file.version, state::kFormatVersion);
+  EXPECT_EQ(file.payload_kind, state::kKindSweepCell);
+  EXPECT_EQ(file.fingerprint, 0x1122334455667788ull);
+  auto& payload = file.section("payload");
+  EXPECT_EQ(payload.get_u64(), 1234u);
+  EXPECT_EQ(payload.get_f64(), 2.5);
+  EXPECT_NO_THROW(payload.expect_consumed());
+  EXPECT_THROW((void)file.section("absent"), state::CorruptError);
+}
+
+TEST(SectionFile, RejectsWrongMagic) {
+  std::string bytes = write_test_sections();
+  bytes[0] ^= 0x40;
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)state::read_sections(in, kTestMagic), state::CorruptError);
+}
+
+TEST(SectionFile, RejectsFutureVersion) {
+  std::string bytes = write_test_sections();
+  bytes[4] = static_cast<char>(0xFF);  // version u32 follows the 4-byte magic
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)state::read_sections(in, kTestMagic),
+               state::VersionMismatchError);
+}
+
+TEST(SectionFile, DetectsBitFlipInPayload) {
+  std::string bytes = write_test_sections();
+  bytes[bytes.size() - 3] ^= 0x01;  // inside the section payload
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)state::read_sections(in, kTestMagic), state::CorruptError);
+}
+
+TEST(SectionFile, DetectsTruncation) {
+  const std::string bytes = write_test_sections();
+  for (const std::size_t keep : {bytes.size() - 1, bytes.size() / 2, std::size_t{7}}) {
+    std::istringstream in(bytes.substr(0, keep));
+    EXPECT_THROW((void)state::read_sections(in, kTestMagic), state::CorruptError)
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+// ---- Rng engine-state round-trip -----------------------------------------
+
+TEST(RngState, MillionDrawRoundTrip) {
+  util::Rng original(0x5EED);
+  // Advance well past one mt19937_64 refill boundary before capturing.
+  for (int i = 0; i < 1000; ++i) (void)original.uniform();
+
+  const std::string dump = original.engine_state();
+  util::Rng restored(0);  // seed overwritten by set_engine_state
+  restored.set_engine_state(original.seed(), dump);
+  EXPECT_EQ(restored.seed(), original.seed());
+
+  for (int i = 0; i < 1'000'000; ++i)
+    ASSERT_EQ(original.uniform(), restored.uniform()) << "draw " << i;
+}
+
+TEST(RngState, RejectsGarbageDump) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.set_engine_state(1, "not a valid engine dump"),
+               std::invalid_argument);
+}
+
+// ---- EventQueue snapshot/restore -----------------------------------------
+
+TEST(EventQueue, SnapshotRestoreReplaysInOriginalOrder) {
+  // Fill a queue mid-churn (some events executed, ties on equal times),
+  // snapshot it, rebuild a second queue from the tags, and check both run
+  // the remaining events in exactly the same order.
+  std::vector<std::uint64_t> log_a;
+  sim::EventQueue a;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const double t = static_cast<double>(i % 5);  // lots of time ties
+    a.schedule(t, sim::EventTag{1, i, 0}, [&log_a, i] { log_a.push_back(i); });
+  }
+  (void)a.run_until(1.5);  // execute a prefix so now() > 0 mid-snapshot
+  const auto pending = a.snapshot();
+  const double now = a.now();
+  const std::uint64_t next_seq = a.next_seq();
+  ASSERT_FALSE(pending.empty());
+
+  std::vector<std::uint64_t> log_b = log_a;  // same executed prefix
+  sim::EventQueue b;
+  b.restore(now, next_seq, pending, [&log_b](const sim::EventTag& tag) {
+    return [&log_b, i = tag.a] { log_b.push_back(i); };
+  });
+  EXPECT_EQ(b.now(), now);
+  EXPECT_EQ(b.pending(), pending.size());
+
+  while (a.step()) {
+  }
+  while (b.step()) {
+  }
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.next_seq(), b.next_seq());
+}
+
+TEST(EventQueue, UntaggedEventsAreNotCheckpointable) {
+  sim::EventQueue q;
+  q.schedule(1.0, [] {});  // no tag: cannot be reconstructed
+  EXPECT_THROW((void)q.snapshot(), std::logic_error);
+}
+
+TEST(EventQueue, RestoreRejectsNullRebuiltAction) {
+  sim::EventQueue q;
+  const std::vector<sim::EventQueue::PendingEvent> events{{1.0, 0, {1, 0, 0}}};
+  EXPECT_THROW(
+      q.restore(0.0, 1, events, [](const sim::EventTag&) { return sim::EventQueue::Action{}; }),
+      std::invalid_argument);
+}
+
+// ---- Simulator checkpoint ------------------------------------------------
+
+void expect_same_state(sim::Simulator& a, net::Network& na, sim::Simulator& b,
+                       net::Network& nb) {
+  EXPECT_EQ(a.now(), b.now());  // bitwise: same event sequence, same clock
+  EXPECT_EQ(na.num_active(), nb.num_active());
+  EXPECT_EQ(na.mean_reserved_kbps(), nb.mean_reserved_kbps());
+  EXPECT_EQ(a.stats().arrival_events, b.stats().arrival_events);
+  EXPECT_EQ(a.stats().termination_events, b.stats().termination_events);
+  EXPECT_EQ(a.stats().failure_events, b.stats().failure_events);
+  EXPECT_EQ(a.stats().repair_events, b.stats().repair_events);
+  EXPECT_EQ(na.stats().requests, nb.stats().requests);
+  EXPECT_EQ(na.stats().accepted, nb.stats().accepted);
+  EXPECT_EQ(na.stats().terminated, nb.stats().terminated);
+  EXPECT_EQ(na.stats().failures_injected, nb.stats().failures_injected);
+  nb.audit();
+}
+
+TEST(SimulatorCheckpoint, RestoredRunReplaysLegacyPoissonIdentically) {
+  const net::NetworkConfig ncfg;
+  const auto wl = churn_workload(11, 1e-4);
+
+  net::Network net_a(small_waxman(), ncfg);
+  sim::Simulator sim_a(net_a, wl);
+  sim_a.populate(150);
+  sim_a.run_events(400);
+
+  std::stringstream ckpt;
+  sim_a.save_checkpoint(ckpt);
+  sim_a.run_events(400);  // the uninterrupted run continues...
+
+  net::Network net_b(small_waxman(), ncfg);
+  sim::Simulator sim_b(net_b, wl);  // fresh simulator, same setup
+  sim_b.load_checkpoint(ckpt);
+  sim_b.run_events(400);  // ...and the restored run must match it bit-for-bit
+
+  expect_same_state(sim_a, net_a, sim_b, net_b);
+  EXPECT_GT(sim_a.stats().failure_events, 0u);  // the test exercised failures
+}
+
+fault::FaultScenario mixed_scenario() {
+  fault::FaultScenario sc;
+  sc.define_group("conduit", {0, 1, 2}, 2.0);
+  // Early scripted events fire before the checkpoint; the far-future pair
+  // stays pending across it, exercising scripted-tag rebuild on restore.
+  sc.fail_link(1e4, 3);
+  sc.repair_link(2e4, 3);
+  sc.fail_group(5e8, "conduit");
+  sc.repair_group(6e8, "conduit");
+  sc.stochastic().link_failure_rate = 1e-6;   // per-link Poisson processes
+  sc.stochastic().group_failure_rate = 5e-7;  // correlated SRLG bursts
+  sc.stochastic().repair.kind = fault::RepairDistribution::kWeibull;
+  sc.stochastic().repair.shape = 1.5;
+  sc.stochastic().repair.scale = 80.0;
+  sc.stochastic().auto_repair = true;
+  return sc;
+}
+
+TEST(SimulatorCheckpoint, RestoredRunReplaysFullScenarioIdentically) {
+  // Covers every injector tag kind: legacy failure/repair (failure_rate > 0),
+  // scripted events, per-link processes, SRLG bursts, and auto-repairs.
+  const net::NetworkConfig ncfg;
+  const auto wl = churn_workload(23, 5e-5);
+  const auto scenario = mixed_scenario();
+
+  net::Network net_a(small_waxman(), ncfg);
+  sim::Simulator sim_a(net_a, wl);
+  sim_a.load_scenario(scenario);
+  sim_a.populate(150);
+  sim_a.run_events(400);
+
+  std::stringstream ckpt;
+  sim_a.save_checkpoint(ckpt);
+  sim_a.run_events(400);
+
+  net::Network net_b(small_waxman(), ncfg);
+  sim::Simulator sim_b(net_b, wl);
+  sim_b.load_scenario(scenario);  // same scenario loaded before restore
+  sim_b.load_checkpoint(ckpt);
+  sim_b.run_events(400);
+
+  expect_same_state(sim_a, net_a, sim_b, net_b);
+}
+
+TEST(SimulatorCheckpoint, RestoredRecorderAccumulatesIdentically) {
+  const net::NetworkConfig ncfg;
+  const auto wl = churn_workload(31, 1e-4);
+
+  net::Network net_a(small_waxman(), ncfg);
+  sim::Simulator sim_a(net_a, wl);
+  sim_a.populate(150);
+  sim_a.run_events(200);
+  sim::TransitionRecorder rec_a(paper_qos(), sim_a.now());
+  sim_a.attach_recorder(&rec_a);
+  sim_a.run_events(200);
+
+  std::stringstream ckpt;
+  sim_a.save_checkpoint(ckpt);
+  sim_a.run_events(300);
+  const auto est_a = rec_a.estimates(sim_a.now(), net_a);
+
+  net::Network net_b(small_waxman(), ncfg);
+  sim::Simulator sim_b(net_b, wl);
+  sim::TransitionRecorder rec_b(paper_qos(), 0.0);  // state overwritten by load
+  sim_b.attach_recorder(&rec_b);
+  sim_b.load_checkpoint(ckpt);
+  sim_b.run_events(300);
+  const auto est_b = rec_b.estimates(sim_b.now(), net_b);
+
+  expect_same_state(sim_a, net_a, sim_b, net_b);
+  EXPECT_EQ(est_a.pf, est_b.pf);
+  EXPECT_EQ(est_a.ps, est_b.ps);
+  EXPECT_EQ(est_a.pf_termination, est_b.pf_termination);
+  EXPECT_EQ(est_a.mean_bandwidth_kbps, est_b.mean_bandwidth_kbps);
+  EXPECT_EQ(est_a.occupancy, est_b.occupancy);
+  EXPECT_EQ(est_a.arrivals_observed, est_b.arrivals_observed);
+  EXPECT_EQ(est_a.terminations_observed, est_b.terminations_observed);
+}
+
+TEST(SimulatorCheckpoint, RejectsDifferentConfiguration) {
+  const net::NetworkConfig ncfg;
+  const auto wl = churn_workload(11, 0.0);
+  net::Network net_a(small_waxman(), ncfg);
+  sim::Simulator sim_a(net_a, wl);
+  sim_a.populate(50);
+  sim_a.run_events(100);
+  std::stringstream ckpt;
+  sim_a.save_checkpoint(ckpt);
+
+  // Same topology, different link capacity: the fingerprint must refuse.
+  net::NetworkConfig other = ncfg;
+  other.link_capacity_kbps *= 2.0;
+  net::Network net_b(small_waxman(), other);
+  sim::Simulator sim_b(net_b, wl);
+  EXPECT_THROW(sim_b.load_checkpoint(ckpt), state::CorruptError);
+
+  // Same network, different workload seed: also a different simulation.
+  std::stringstream ckpt2(ckpt.str());
+  net::Network net_c(small_waxman(), ncfg);
+  sim::Simulator sim_c(net_c, churn_workload(12, 0.0));
+  EXPECT_THROW(sim_c.load_checkpoint(ckpt2), state::CorruptError);
+}
+
+TEST(SimulatorCheckpoint, DetectsBitFlippedCheckpoint) {
+  const net::NetworkConfig ncfg;
+  const auto wl = churn_workload(11, 1e-4);
+  net::Network net_a(small_waxman(), ncfg);
+  sim::Simulator sim_a(net_a, wl);
+  sim_a.populate(100);
+  sim_a.run_events(200);
+  std::stringstream out;
+  sim_a.save_checkpoint(out);
+  std::string bytes = out.str();
+  bytes[bytes.size() / 2] ^= 0x10;
+
+  std::istringstream in(bytes);
+  net::Network net_b(small_waxman(), ncfg);
+  sim::Simulator sim_b(net_b, wl);
+  EXPECT_THROW(sim_b.load_checkpoint(in), state::CorruptError);
+}
+
+// ---- CheckpointStore quarantine ------------------------------------------
+
+TEST(CheckpointStore, RoundTripsCells) {
+  const auto dir = fresh_dir("eqos_test_cellstore_roundtrip");
+  state::CheckpointStore store(dir.string(), state::kKindSweepCell, 0xFEED);
+  state::Buffer payload;
+  payload.put_u64(7);
+  payload.put_f64(1.5);
+  store.write_cell(2, 1, payload);
+  store.note_completed(2, 1, payload.crc(), payload.size(), 1);
+  EXPECT_TRUE(fs::exists(dir / state::CheckpointStore::cell_filename(2, 1)));
+  EXPECT_TRUE(fs::exists(dir / "MANIFEST.tsv"));
+
+  state::CheckpointStore reopened(dir.string(), state::kKindSweepCell, 0xFEED);
+  auto scan = reopened.scan();
+  EXPECT_EQ(scan.quarantined, 0u);
+  ASSERT_EQ(scan.cells.size(), 1u);
+  EXPECT_EQ(scan.cells[0].point, 2u);
+  EXPECT_EQ(scan.cells[0].rep, 1u);
+  EXPECT_EQ(scan.cells[0].payload.get_u64(), 7u);
+  EXPECT_EQ(scan.cells[0].payload.get_f64(), 1.5);
+  EXPECT_NO_THROW(scan.cells[0].payload.expect_consumed());
+}
+
+TEST(CheckpointStore, QuarantinesBitFlippedCell) {
+  const auto dir = fresh_dir("eqos_test_cellstore_corrupt");
+  state::CheckpointStore store(dir.string(), state::kKindSweepCell, 0xFEED);
+  state::Buffer payload;
+  payload.put_u64(7);
+  store.write_cell(0, 0, payload);
+
+  // Flip the last byte (inside the CRC-protected payload).
+  const fs::path cell = dir / state::CheckpointStore::cell_filename(0, 0);
+  {
+    std::fstream f(cell, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekg(-1, std::ios::end);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x01;
+    f.seekp(static_cast<std::streamoff>(size) - 1);
+    f.write(&byte, 1);
+  }
+
+  auto scan = store.scan();
+  EXPECT_EQ(scan.cells.size(), 0u);
+  EXPECT_EQ(scan.quarantined, 1u);
+  EXPECT_FALSE(fs::exists(cell));
+  EXPECT_TRUE(fs::exists(cell.string() + ".corrupt"));
+}
+
+TEST(CheckpointStore, QuarantinesWrongFingerprint) {
+  const auto dir = fresh_dir("eqos_test_cellstore_fingerprint");
+  state::CheckpointStore writer(dir.string(), state::kKindSweepCell, 1);
+  state::Buffer payload;
+  payload.put_u64(7);
+  writer.write_cell(0, 0, payload);
+
+  // The same directory reopened for a *different* sweep configuration must
+  // not trust the cell.
+  state::CheckpointStore reader(dir.string(), state::kKindSweepCell, 2);
+  auto scan = reader.scan();
+  EXPECT_EQ(scan.cells.size(), 0u);
+  EXPECT_EQ(scan.quarantined, 1u);
+}
+
+// ---- CellHarness retry / failure isolation / watchdog --------------------
+
+TEST(CellHarness, RetriesTransientFailures) {
+  core::SweepCheckpoint opt;  // no dir: retry/watchdog without persistence
+  opt.max_retries = 2;
+  core::CellHarness harness(opt, state::kKindSweepCell, 0, 1, 1);
+  int calls = 0;
+  harness.run_cell(
+      0,
+      [&calls] {
+        if (++calls == 1) throw std::runtime_error("transient");
+      },
+      [](state::Buffer&) {});
+  core::SweepReport report;
+  harness.finish(report);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(report.cells_retried, 1u);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(CellHarness, RecordsCellsThatKeepFailing) {
+  core::SweepCheckpoint opt;
+  opt.max_retries = 1;
+  core::CellHarness harness(opt, state::kKindSweepCell, 0, 2, 1);
+  int calls = 0;
+  harness.run_cell(
+      0, [&calls] { ++calls; throw std::runtime_error("permanent: disk on fire"); },
+      [](state::Buffer&) {});
+  harness.run_cell(1, [] {}, [](state::Buffer&) {});  // the sweep continues
+  core::SweepReport report;
+  harness.finish(report);
+  EXPECT_EQ(calls, 2);  // 1 + max_retries attempts
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].point, 0u);
+  EXPECT_EQ(report.failures[0].rep, 0u);
+  EXPECT_EQ(report.failures[0].attempts, 2u);
+  EXPECT_NE(report.failures[0].error.find("disk on fire"), std::string::npos);
+}
+
+TEST(CellHarness, WatchdogFlagsSlowCells) {
+  core::SweepCheckpoint opt;
+  opt.watchdog_seconds = 0.05;
+  core::CellHarness harness(opt, state::kKindSweepCell, 0, 1, 1);
+  harness.run_cell(
+      0, [] { std::this_thread::sleep_for(std::chrono::milliseconds(400)); },
+      [](state::Buffer&) {});
+  core::SweepReport report;
+  harness.finish(report);
+  EXPECT_GE(report.watchdog_flagged, 1u);
+  EXPECT_TRUE(report.failures.empty());  // slow is flagged, not failed
+}
+
+// ---- run_sweep: resume + failure isolation -------------------------------
+
+core::ExperimentConfig tiny_experiment(std::size_t target, std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.workload.qos = paper_qos();
+  cfg.workload.seed = seed;
+  cfg.target_connections = target;
+  cfg.warmup_events = 30;
+  cfg.measure_events = 120;
+  return cfg;
+}
+
+std::vector<core::SweepPoint> two_point_sweep() {
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t target : {40u, 80u})
+    points.push_back({&small_waxman(), tiny_experiment(target, 11), ""});
+  return points;
+}
+
+void expect_result_eq(const core::ExperimentResult& a,
+                      const core::ExperimentResult& b, const char* where) {
+  SCOPED_TRACE(where);
+  EXPECT_EQ(a.attempted, b.attempted);
+  EXPECT_EQ(a.established, b.established);
+  EXPECT_EQ(a.active_at_end, b.active_at_end);
+  EXPECT_EQ(a.sim_mean_bandwidth_kbps, b.sim_mean_bandwidth_kbps);
+  EXPECT_EQ(a.analytic_paper_kbps, b.analytic_paper_kbps);
+  EXPECT_EQ(a.analytic_refined_kbps, b.analytic_refined_kbps);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.estimates.pf, b.estimates.pf);
+  EXPECT_EQ(a.estimates.ps, b.estimates.ps);
+  EXPECT_EQ(a.estimates.occupancy, b.estimates.occupancy);
+  EXPECT_EQ(a.network_stats.requests, b.network_stats.requests);
+  EXPECT_EQ(a.network_stats.accepted, b.network_stats.accepted);
+  EXPECT_EQ(a.sim_stats.arrival_events, b.sim_stats.arrival_events);
+  EXPECT_EQ(a.sim_stats.termination_events, b.sim_stats.termination_events);
+}
+
+TEST(RunSweepResume, ResumeAfterLostAndCorruptedCellsIsBitIdentical) {
+  const auto dir = fresh_dir("eqos_test_sweep_resume");
+  const auto points = two_point_sweep();
+  core::SweepOptions opt;
+  opt.reps = 2;
+  opt.checkpoint.dir = dir.string();
+
+  // A straight-through persisting run writes one cell file per (point, rep).
+  const auto straight = core::run_sweep(points, opt);
+  ASSERT_EQ(straight.results.size(), 4u);
+  EXPECT_EQ(straight.report.cells_loaded, 0u);
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t r = 0; r < 2; ++r)
+      EXPECT_TRUE(fs::exists(dir / state::CheckpointStore::cell_filename(p, r)));
+
+  // Resume with everything intact: all cells load, none recompute.
+  opt.checkpoint.resume = true;
+  const auto resumed = core::run_sweep(points, opt);
+  EXPECT_EQ(resumed.report.cells_loaded, 4u);
+  EXPECT_EQ(resumed.report.cells_quarantined, 0u);
+  for (std::size_t i = 0; i < 4; ++i)
+    expect_result_eq(straight.results[i], resumed.results[i], "full resume");
+
+  // Simulate a crash that lost one cell and corrupted another: the lost one
+  // is recomputed, the corrupt one quarantined and recomputed, and the
+  // final results are still bit-identical to the straight-through run.
+  fs::remove(dir / state::CheckpointStore::cell_filename(1, 0));
+  const fs::path victim = dir / state::CheckpointStore::cell_filename(0, 1);
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-2, std::ios::end);
+    char byte = 0x7F;
+    f.write(&byte, 1);
+  }
+  const auto partial = core::run_sweep(points, opt);
+  EXPECT_EQ(partial.report.cells_loaded, 2u);
+  EXPECT_EQ(partial.report.cells_quarantined, 1u);
+  EXPECT_TRUE(fs::exists(victim.string() + ".corrupt"));
+  for (std::size_t i = 0; i < 4; ++i)
+    expect_result_eq(straight.results[i], partial.results[i], "partial resume");
+}
+
+TEST(RunSweepResume, ParallelResumeMatchesSerial) {
+  const auto dir = fresh_dir("eqos_test_sweep_resume_mt");
+  const auto points = two_point_sweep();
+  core::SweepOptions opt;
+  opt.reps = 2;
+
+  const auto reference = core::run_sweep(points, opt);  // plain serial run
+
+  opt.threads = 8;
+  opt.checkpoint.dir = dir.string();
+  const auto persisted = core::run_sweep(points, opt);
+  fs::remove(dir / state::CheckpointStore::cell_filename(0, 0));
+  opt.checkpoint.resume = true;
+  const auto resumed = core::run_sweep(points, opt);
+  EXPECT_EQ(resumed.report.cells_loaded, 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_result_eq(reference.results[i], persisted.results[i], "8-thread persisted");
+    expect_result_eq(reference.results[i], resumed.results[i], "8-thread resumed");
+  }
+}
+
+TEST(RunSweepIsolation, OneBadPointDoesNotAbortTheSweep) {
+  auto points = two_point_sweep();
+  core::SweepPoint bad{&small_waxman(), tiny_experiment(40, 11), "bad"};
+  bad.config.workload.arrival_rate = -1.0;  // Simulator ctor throws
+  points.insert(points.begin() + 1, bad);
+
+  core::SweepOptions opt;
+  opt.checkpoint.max_retries = 0;
+  const auto outcome = core::run_sweep(points, opt);
+  ASSERT_EQ(outcome.results.size(), 3u);
+  ASSERT_EQ(outcome.report.failures.size(), 1u);
+  EXPECT_EQ(outcome.report.failures[0].point, 1u);
+  EXPECT_EQ(outcome.report.failures[0].attempts, 1u);
+  // The good points still computed; the bad slot stays default-constructed.
+  EXPECT_GT(outcome.results[0].attempted, 0u);
+  EXPECT_EQ(outcome.results[1].attempted, 0u);
+  EXPECT_GT(outcome.results[2].attempted, 0u);
+
+  // The failed cell reproduces the direct-call results for its neighbors.
+  const auto direct = core::run_experiment(*points[0].graph, points[0].config);
+  expect_result_eq(outcome.results[0], direct, "slot 0 unaffected by slot 1");
+}
+
+}  // namespace
+}  // namespace eqos
