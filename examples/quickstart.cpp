@@ -34,7 +34,7 @@ int main() {
             << ", reserved=" << network.connection(first.id).reserved_kbps()
             << " Kb/s (alone, it gets the full maximum)\n";
   std::cout << "  primary hops: " << network.connection(first.id).primary.hops()
-            << ", backup hops: " << network.connection(first.id).backup->hops()
+            << ", backup hops: " << network.connection(first.id).backups.front().path.hops()
             << " (link-disjoint, reserved but idle)\n";
 
   // 3. Pile more connections onto the same endpoints: everyone retreats and

@@ -15,6 +15,13 @@ file is an error — a silently-vanished measurement must not read as a pass
 regressions).  A baseline or current entry whose points_per_second is
 missing, non-numeric, NaN, or <= 0 is likewise an error, never a skip.
 
+Ablation benches may key their entries per variant as "name/variant"
+(e.g. "bench_multifailure/dual" from --schemes).  A plain baseline name is
+satisfied by variant entries in the current file and vice versa: the
+comparison then uses the best variant throughput, so a legacy baseline is
+not flagged missing just because the measurement grew variants (or a
+variant baseline meets a legacy measurement).
+
 Wired into ctest as the `perf-smoke` label: a smoke-mode sweep writes a
 fresh measurement which is compared against the committed baseline.
 """
@@ -82,16 +89,34 @@ def main():
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
 
+    def resolve(entries, name, path):
+        """Throughput for `name`, falling back across the variant boundary.
+
+        Exact key first; otherwise "name" matches its "name/variant"
+        entries (best throughput) and "name/variant" matches a plain
+        "name".  Returns (value, label) or raises KeyError/ValueError.
+        """
+        if name in entries:
+            return throughput(entries, name, path), name
+        variants = sorted(k for k in entries if k.startswith(name + "/"))
+        if variants:
+            best = max(variants, key=lambda k: throughput(entries, k, path))
+            return throughput(entries, best, path), f"{name} (via {best})"
+        base = name.split("/", 1)[0]
+        if "/" in name and base in entries:
+            return throughput(entries, base, path), f"{name} (via {base})"
+        raise KeyError(name)
+
     failures = []
     missing = []
     bad_entries = []
     for name in sorted(baseline):
-        if name not in current:
+        try:
+            old, _ = resolve(baseline, name, args.baseline)
+            new, label = resolve(current, name, args.current)
+        except KeyError:
             missing.append(name)
             continue
-        try:
-            old = throughput(baseline, name, args.baseline)
-            new = throughput(current, name, args.current)
         except ValueError as e:
             print(f"  {name}: BAD ENTRY ({e})")
             bad_entries.append(name)
@@ -102,7 +127,7 @@ def main():
             status = "REGRESSION"
             failures.append(name)
         print(
-            f"  {name}: {old:.4g} -> {new:.4g} points/s "
+            f"  {label}: {old:.4g} -> {new:.4g} points/s "
             f"({(ratio - 1.0) * 100.0:+.1f}%) {status}"
         )
 

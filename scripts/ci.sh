@@ -3,8 +3,9 @@
 #
 #   1. default build  + tier-1 unit tests (`ctest -L tier1`, must-stay-green)
 #   2. checkpoint-smoke: kill-mid-sweep -> resume -> byte-identical output
-#   3. perf-smoke: bench_fig2 throughput vs the committed baseline
-#   4. sanitize preset (ASan + UBSan) build + tier-1 tests
+#   3. robustness-smoke: backup-scheme ablation + recovery-percentile schema
+#   4. perf-smoke: bench_fig2 throughput vs the committed baseline
+#   5. sanitize preset (ASan + UBSan) build + tier-1 tests
 #
 # Stages run in this order so the cheap determinism gates fail fast before
 # the sanitizer rebuild.  Pass --no-asan to skip stage 4 (e.g. on a machine
@@ -36,6 +37,9 @@ ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
 
 stage "checkpoint smoke (crash -> resume -> byte-identical)"
 ctest --test-dir build -L checkpoint-smoke --output-on-failure
+
+stage "robustness smoke (scheme ablation + recovery-SLA schema)"
+ctest --test-dir build -L robustness-smoke --output-on-failure
 
 stage "perf smoke (throughput vs baseline)"
 ctest --test-dir build -L perf-smoke --output-on-failure

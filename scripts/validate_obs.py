@@ -3,6 +3,8 @@
 
 Usage:
     validate_obs.py --sweep-json PATH --bench NAME [--trace-json PATH]
+    validate_obs.py --sweep-json PATH --bench NAME \
+        --recovery-schemes single,dual,segment
 
 Checks the schema of:
   * the "metrics" section core::write_sweep_json embeds when a bench runs
@@ -12,10 +14,16 @@ Checks the schema of:
     len(bounds)+1 "buckets" summing to "count");
   * the flight-recorder dump written by --trace-json: {"reason", ...,
     "num_events": N, "events": [...]} with N == len(events), seq strictly
-    ascending, and every event kind from the known set.
+    ascending, and every event kind from the known set;
+  * with --recovery-schemes, the per-scheme entries ("<bench>/<scheme>")
+    the backup-scheme ablation writes: each must carry an "extra" object
+    with, per failure process (poisson, adversary), monotone non-negative
+    recovery percentiles *_ttr_p50 <= *_ttr_p95 <= *_ttr_p99 plus
+    *_survived_backup_set, *_dropped (non-negative integers) and
+    *_revenue (non-negative number).
 
-Wired into ctest as the `obs-smoke` label.  Exits nonzero with the first
-schema violation on stderr.
+Wired into ctest as the `obs-smoke` and `robustness-smoke` labels.  Exits
+nonzero with the first schema violation on stderr.
 """
 
 import argparse
@@ -95,6 +103,43 @@ def validate_sweep(path, bench):
           f"({len(entry['metrics'])} metrics)")
 
 
+RECOVERY_PROCESSES = ("poisson", "adversary")
+
+
+def validate_recovery(path, bench, schemes):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data.get("benches")
+    require(isinstance(entries, dict), f"{path}: no 'benches' object")
+    for scheme in schemes:
+        key = f"{bench}/{scheme}"
+        entry = entries.get(key)
+        require(isinstance(entry, dict), f"{path}: no entry for {key!r}")
+        extra = entry.get("extra")
+        require(isinstance(extra, dict), f"{path}: {key} has no 'extra' object")
+        for process in RECOVERY_PROCESSES:
+            ctx = f"{path}: {key} {process}"
+            pcts = []
+            for q in (50, 95, 99):
+                v = extra.get(f"{process}_ttr_p{q}")
+                require(isinstance(v, (int, float)) and v >= 0,
+                        f"{ctx}: bad ttr p{q}")
+                pcts.append(v)
+            require(pcts[0] <= pcts[1] <= pcts[2],
+                    f"{ctx}: recovery percentiles not monotone: {pcts}")
+            for field in ("survived_backup_set", "dropped"):
+                v = extra.get(f"{process}_{field}")
+                require(
+                    isinstance(v, (int, float)) and v >= 0
+                    and float(v).is_integer(),
+                    f"{ctx}: bad {field}",
+                )
+            revenue = extra.get(f"{process}_revenue")
+            require(isinstance(revenue, (int, float)) and revenue >= 0,
+                    f"{ctx}: bad revenue")
+        print(f"validate_obs: {path}: {key} recovery percentiles ok")
+
+
 def validate_trace(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
@@ -125,9 +170,18 @@ def main():
     parser.add_argument("--sweep-json", required=True)
     parser.add_argument("--bench", required=True)
     parser.add_argument("--trace-json")
+    parser.add_argument(
+        "--recovery-schemes",
+        help="comma-separated scheme suffixes: validate the per-scheme "
+             "'<bench>/<scheme>' recovery-percentile entries instead of "
+             "the metrics section")
     args = parser.parse_args()
     try:
-        validate_sweep(args.sweep_json, args.bench)
+        if args.recovery_schemes:
+            validate_recovery(args.sweep_json, args.bench,
+                              [s for s in args.recovery_schemes.split(",") if s])
+        else:
+            validate_sweep(args.sweep_json, args.bench)
         if args.trace_json:
             validate_trace(args.trace_json)
     except (OSError, json.JSONDecodeError) as e:

@@ -29,6 +29,7 @@ void put_losses(state::Buffer& out, const net::LossBreakdown& l) {
   out.put_u64(l.backup_hit_while_active);
   out.put_u64(l.double_hit);
   out.put_u64(l.reestablish_failed);
+  out.put_u64(l.survived_backup_set);
 }
 
 void get_losses(state::Buffer& in, net::LossBreakdown& l) {
@@ -36,6 +37,7 @@ void get_losses(state::Buffer& in, net::LossBreakdown& l) {
   l.backup_hit_while_active = in.get_u64();
   l.double_hit = in.get_u64();
   l.reestablish_failed = in.get_u64();
+  l.survived_backup_set = in.get_u64();
 }
 
 void put_estimates(state::Buffer& out, const sim::ModelEstimates& e) {
@@ -164,7 +166,9 @@ void put_network_stats(state::Buffer& out, const net::NetworkStats& s) {
   out.put_u64(s.reestablished_pair);
   out.put_u64(s.reestablished_degraded);
   out.put_u64(s.quanta_adjustments);
+  out.put_u64(s.survived_via_backup_set);
   put_losses(out, s.drop_causes);
+  out.put_vec(s.recovery_times, [&out](double t) { out.put_f64(t); });
 }
 
 void get_network_stats(state::Buffer& in, net::NetworkStats& s) {
@@ -183,7 +187,12 @@ void get_network_stats(state::Buffer& in, net::NetworkStats& s) {
   s.reestablished_pair = in.get_u64();
   s.reestablished_degraded = in.get_u64();
   s.quanta_adjustments = in.get_u64();
+  s.survived_via_backup_set = in.get_u64();
   get_losses(in, s.drop_causes);
+  s.recovery_times.clear();
+  const std::size_t n_ttr = in.get_count(8);
+  s.recovery_times.reserve(n_ttr);
+  for (std::size_t i = 0; i < n_ttr; ++i) s.recovery_times.push_back(in.get_f64());
 }
 
 }  // namespace

@@ -116,6 +116,12 @@ std::uint64_t sweep_fingerprint(const std::vector<SweepPoint>& points, std::size
     fp.put_u8(static_cast<std::uint8_t>(nc.route_policy));
     fp.put_bool(nc.joint_disjoint_fallback);
     fp.put_u8(static_cast<std::uint8_t>(nc.second_failure_policy));
+    fp.put_u8(static_cast<std::uint8_t>(nc.backup_scheme));
+    fp.put_u64(nc.segment_span_hops);
+    fp.put_u8(static_cast<std::uint8_t>(nc.srlg_policy));
+    fp.put_f64(nc.recovery_detect_time);
+    fp.put_f64(nc.recovery_xc_time_per_hop);
+    fp.put_f64(nc.recovery_setup_time_per_hop);
     put_workload(fp, p.config.workload);
     fp.put_u64(p.config.target_connections);
     fp.put_u64(p.config.warmup_events);
@@ -390,7 +396,8 @@ ExperimentResult mean_result(const std::vector<ExperimentResult>& reps) {
         &net::NetworkStats::connections_dropped, &net::NetworkStats::backups_reestablished,
         &net::NetworkStats::backups_evicted, &net::NetworkStats::unprotected_victims,
         &net::NetworkStats::reestablished_pair, &net::NetworkStats::reestablished_degraded,
-        &net::NetworkStats::quanta_adjustments})
+        &net::NetworkStats::quanta_adjustments,
+        &net::NetworkStats::survived_via_backup_set})
     average_member(reps, out.network_stats, &ExperimentResult::network_stats, field);
 
   for (auto field :
@@ -454,6 +461,17 @@ std::string sweep_entry_json(const SweepReport& report) {
   out << "        \"measure_seconds\": " << wall(report.phases.measure_seconds) << ",\n";
   out << "        \"analyze_seconds\": " << wall(report.phases.analyze_seconds) << "\n";
   out << "      }";
+  // Bench-specific scalars (deterministic simulation outputs, not wall
+  // clock); absent when the bench supplies none, so existing entries stay
+  // byte-identical.
+  if (!report.extra.empty()) {
+    out << ",\n      \"extra\": {\n";
+    for (std::size_t i = 0; i < report.extra.size(); ++i) {
+      out << "        \"" << report.extra[i].first << "\": " << num(report.extra[i].second)
+          << (i + 1 == report.extra.size() ? "\n" : ",\n");
+    }
+    out << "      }";
+  }
   // Failed cells surface in the report file (and the bench exit code), so a
   // sweep that silently skipped points can never pass for a complete one.
   // Absent for clean runs, keeping those files byte-identical to before.

@@ -105,6 +105,10 @@ struct SweepReport {
   double speedup_vs_serial = 0.0;
   /// Sum of per-(point,rep) phase wall times (CPU-side work breakdown).
   PhaseTimings phases;
+  /// Bench-specific scalar results (e.g. recovery-time percentiles), emitted
+  /// as an "extra" JSON object in insertion order.  Empty for most benches,
+  /// keeping their entries byte-identical to before the field existed.
+  std::vector<std::pair<std::string, double>> extra;
   /// Aggregate obs::MetricsRegistry snapshot at sweep end; only captured
   /// (has_metrics) when obs::metrics_enabled() — the JSON writer then emits
   /// a "metrics" section, and the default output stays byte-identical.

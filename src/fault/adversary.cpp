@@ -1,0 +1,149 @@
+#include "fault/adversary.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+
+namespace eqos::fault {
+
+namespace {
+
+/// Damage ordering: dropped connections, then revenue at risk, then sheer
+/// victim count (more disruption even when everything survives).
+bool worse(const DamageAssessment& a, const DamageAssessment& b) {
+  if (a.dropped != b.dropped) return a.dropped > b.dropped;
+  if (a.revenue_at_risk != b.revenue_at_risk)
+    return a.revenue_at_risk > b.revenue_at_risk;
+  return a.victims > b.victims;
+}
+
+/// Advances `idx` to the next k-combination of {0..n-1} in lexicographic
+/// order; false when exhausted.
+bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
+  const std::size_t k = idx.size();
+  std::size_t i = k;
+  while (i > 0) {
+    --i;
+    if (idx[i] != i + n - k) {
+      ++idx[i];
+      for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DamageAssessment assess_damage(const net::Network& network,
+                               const util::DynamicBitset& failed_links) {
+  DamageAssessment out;
+  for (net::ConnectionId id : network.active_ids()) {
+    const net::DrConnection& c = network.connection(id);
+    if (!c.primary_links.intersects(failed_links)) continue;
+    ++out.victims;
+    // The victim keeps service iff every failed primary link is defended by
+    // a channel that triggers on it and is itself clear of the attack.
+    // Per-link coverage is the scheme-uniform test: a full-span channel
+    // triggers on the whole primary, a segment channel on its span.
+    bool survives = true;
+    for (topology::LinkId l : c.primary.links) {
+      if (!failed_links.test(l)) continue;
+      bool covered = false;
+      for (const net::BackupChannel& ch : c.backups) {
+        if (!ch.trigger_links.test(l)) continue;
+        if (ch.links.intersects(failed_links)) continue;
+        covered = true;
+        break;
+      }
+      if (!covered) {
+        survives = false;
+        break;
+      }
+    }
+    if (survives) {
+      ++out.survivable;
+    } else {
+      ++out.dropped;
+      out.revenue_at_risk += c.qos.bmin_kbps;
+    }
+  }
+  return out;
+}
+
+AttackPlan worst_case_attack(const net::Network& network,
+                             const std::vector<SrlgGroup>& groups,
+                             const AdversaryBudget& budget) {
+  const std::size_t num_links = network.graph().num_links();
+  AttackPlan plan;
+  plan.failed_links = util::DynamicBitset(num_links);
+  if (groups.empty() || budget.max_groups == 0) {
+    plan.damage = assess_damage(network, plan.failed_links);
+    plan.exhaustive = true;
+    return plan;
+  }
+  const std::size_t k = std::min(budget.max_groups, groups.size());
+
+  std::vector<util::DynamicBitset> bits;
+  bits.reserve(groups.size());
+  for (const SrlgGroup& g : groups) {
+    util::DynamicBitset b(num_links);
+    for (topology::LinkId l : g.links) b.set(l);
+    bits.push_back(std::move(b));
+  }
+
+  // C(n, k) in floating point: only compared against the cap, so the loss
+  // of precision on astronomically large counts is irrelevant.
+  double combos = 1.0;
+  for (std::size_t i = 0; i < k; ++i)
+    combos = combos * static_cast<double>(groups.size() - i) /
+             static_cast<double>(i + 1);
+
+  if (combos <= static_cast<double>(budget.max_combinations)) {
+    // Exhaustive: damage is monotone in the failed-link set, so the worst
+    // plan uses exactly k groups.
+    std::vector<std::size_t> idx(k);
+    for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+    bool first = true;
+    do {
+      util::DynamicBitset failed(num_links);
+      for (std::size_t g : idx) failed |= bits[g];
+      DamageAssessment d = assess_damage(network, failed);
+      if (first || worse(d, plan.damage)) {
+        first = false;
+        plan.group_indices = idx;
+        plan.failed_links = std::move(failed);
+        plan.damage = d;
+      }
+    } while (next_combination(idx, groups.size()));
+    plan.exhaustive = true;
+    return plan;
+  }
+
+  // Greedy: one group per round, maximizing marginal damage; ties keep the
+  // lowest group index.
+  std::vector<bool> used(groups.size(), false);
+  util::DynamicBitset failed(num_links);
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t best = groups.size();
+    DamageAssessment best_damage;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (used[g]) continue;
+      util::DynamicBitset trial = failed;
+      trial |= bits[g];
+      DamageAssessment d = assess_damage(network, trial);
+      if (best == groups.size() || worse(d, best_damage)) {
+        best = g;
+        best_damage = d;
+      }
+    }
+    used[best] = true;
+    failed |= bits[best];
+    plan.group_indices.push_back(best);
+    plan.damage = best_damage;
+  }
+  plan.failed_links = std::move(failed);
+  return plan;
+}
+
+}  // namespace eqos::fault

@@ -1,0 +1,77 @@
+// Budgeted SRLG adversary: what is the worst simultaneous k-group failure
+// against the network's *current* connection and backup-set state?
+//
+// Complements the stochastic fault processes (scenario.hpp) with a
+// worst-case lens in the spirit of network-interdiction studies of
+// geographically-correlated failures: the adversary picks the combination
+// of shared-risk groups whose joint failure drops the most protected
+// traffic.  Used by bench_multifailure to stress every backup scheme with
+// matched attack budgets, and by tests as an oracle for survivability
+// claims.  Everything here is a pure read of the network — assessing or
+// planning an attack mutates nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/scenario.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos::net {
+class Network;
+}
+
+namespace eqos::fault {
+
+/// How much the adversary may spend.
+struct AdversaryBudget {
+  /// Simultaneous SRLG groups the adversary may fail (k).
+  std::size_t max_groups = 2;
+  /// Exhaustive enumeration cap: when C(num_groups, k) exceeds this, the
+  /// planner falls back to greedy marginal-damage selection.
+  std::size_t max_combinations = 100000;
+};
+
+/// Static damage of one simultaneous link-set failure.
+struct DamageAssessment {
+  /// Active connections whose primary crosses at least one failed link.
+  std::size_t victims = 0;
+  /// Victims whose backup set still covers them: every failed primary link
+  /// is defended by a channel that triggers on it and is itself clear of
+  /// the attack.
+  std::size_t survivable = 0;
+  /// victims - survivable: connections that would lose service outright
+  /// (barring a post-hoc re-establishment rescue).
+  std::size_t dropped = 0;
+  /// Sum of bmin over the non-survivable victims — the revenue the attack
+  /// puts at risk.
+  double revenue_at_risk = 0.0;
+};
+
+/// Evaluates the simultaneous failure of `failed_links` against the
+/// network's current state.  Pure read; deterministic.
+[[nodiscard]] DamageAssessment assess_damage(const net::Network& network,
+                                             const util::DynamicBitset& failed_links);
+
+/// The planner's chosen attack.
+struct AttackPlan {
+  /// Indices into the group table handed to worst_case_attack, ascending
+  /// for exhaustive plans, selection order for greedy ones.
+  std::vector<std::size_t> group_indices;
+  /// Union of the chosen groups' links.
+  util::DynamicBitset failed_links;
+  DamageAssessment damage;
+  /// True when every k-combination was enumerated (the plan is optimal for
+  /// the damage ordering); false means greedy marginal selection.
+  bool exhaustive = false;
+};
+
+/// Finds the worst simultaneous failure of at most `budget.max_groups`
+/// groups.  Damage ordering: more dropped connections first, then more
+/// revenue at risk, then more victims; ties keep the lexicographically
+/// first combination, so plans are deterministic.
+[[nodiscard]] AttackPlan worst_case_attack(const net::Network& network,
+                                           const std::vector<SrlgGroup>& groups,
+                                           const AdversaryBudget& budget);
+
+}  // namespace eqos::fault

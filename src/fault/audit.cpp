@@ -49,14 +49,38 @@ void audit_network(const net::Network& network) {
                   std::to_string(l));
       }
     }
-    if (c.has_backup()) {
-      for (topology::LinkId l : c.backup->links) {
+    // Backup-set invariants: every channel clear of failed links, siblings
+    // pairwise link-disjoint (the scheme's disjointness promise), and no
+    // channel sharing a declared risk group with its primary or a sibling
+    // when the SRLG policy requires it.
+    util::DynamicBitset sibling_union(num_links);
+    for (std::size_t bi = 0; bi < c.backups.size(); ++bi) {
+      const net::BackupChannel& ch = c.backups[bi];
+      for (topology::LinkId l : ch.path.links) {
         ++backup_count[l];
         if (network.link_state(l).failed()) {
           violation("connection " + std::to_string(id) + " backup parked on failed link " +
                     std::to_string(l));
         }
       }
+      if (ch.links.intersects(sibling_union)) {
+        violation("connection " + std::to_string(id) +
+                  " backup channels share a link");
+      }
+      if (network.config().srlg_policy == net::SrlgPolicy::kRequire) {
+        for (const util::DynamicBitset& g : network.risk_groups()) {
+          if (!g.intersects(ch.links)) continue;
+          if (g.intersects(c.primary_links)) {
+            violation("connection " + std::to_string(id) +
+                      " backup shares an SRLG with its primary");
+          }
+          if (g.intersects(sibling_union)) {
+            violation("connection " + std::to_string(id) +
+                      " backup channels share an SRLG");
+          }
+        }
+      }
+      sibling_union |= ch.links;
     }
   }
 
@@ -84,7 +108,7 @@ void audit_network(const net::Network& network) {
                   std::to_string(id));
       }
       const net::DrConnection& c = network.connection(id);
-      if (!c.has_backup() || !c.backup_links.test(l)) {
+      if (!c.backup_on_link(l)) {
         violation(where + ": registered backup of connection " + std::to_string(id) +
                   " does not traverse the link");
       }

@@ -376,6 +376,18 @@ void BackupManager::audit_impl() const {
             reg.scenario_keys.end())
       throw std::logic_error("backup audit: ledger keys not strictly sorted on link " +
                              std::to_string(l));
+    // The cached reservation must cover the worst single-failure scenario,
+    // and no live ledger row may carry a non-positive demand sum.
+    double worst = 0.0;
+    for (double s : reg.scenario_sums) {
+      if (!(s > 0.0))
+        throw std::logic_error("backup audit: non-positive scenario sum on link " +
+                               std::to_string(l));
+      if (s > worst) worst = s;
+    }
+    if (reg.reservation < worst - 1e-9)
+      throw std::logic_error("backup audit: reservation below worst scenario on link " +
+                             std::to_string(l));
   }
   for (const auto& [id, set] : interned_) {
     if (!set)

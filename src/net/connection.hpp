@@ -1,15 +1,17 @@
 // DR-connection records.
 //
 // A dependable real-time connection owns a primary channel (carrying
-// traffic at bmin + extra) and, whenever the network can provide one, a
-// passive backup channel reserved at bmin.  The link sets of both channels
-// are cached as bitsets because chaining classification — performed for
-// every existing connection on every arrival — reduces to bitset
-// intersection tests.
+// traffic at bmin + extra) and, whenever the network can provide them, a
+// *set* of passive backup channels reserved at bmin.  The paper's baseline
+// provisioning keeps exactly one full-span backup; the dual and segment
+// schemes (net/network.hpp BackupScheme) keep up to two full-span channels
+// or one channel per primary sub-path.  The link sets of every channel are
+// cached as bitsets because chaining classification — performed for every
+// existing connection on every arrival — reduces to bitset intersection
+// tests.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "net/qos.hpp"
@@ -22,8 +24,22 @@ using ConnectionId = std::uint64_t;
 
 /// Why the connection currently lacks a backup channel.
 enum class BackupStatus : std::uint8_t {
-  kProtected,     ///< a backup channel is reserved
+  kProtected,     ///< at least one backup channel is reserved
   kUnprotected,   ///< no backup route could be established (yet)
+};
+
+/// One passive backup channel of a DR-connection.
+struct BackupChannel {
+  topology::Path path;
+  util::DynamicBitset links;          ///< over the graph's link ids
+  /// Primary links whose failure this channel defends against: the whole
+  /// primary for full-span channels, the covered sub-path's links for
+  /// segment backups.  This is also the trigger set registered with the
+  /// BackupManager, i.e. the scenario key of its multiplexed reservation.
+  util::DynamicBitset trigger_links;
+  /// Links of this channel that also lie on the primary (only non-zero for
+  /// maximally — not fully — link-disjoint backups).
+  std::size_t overlap_links = 0;
 };
 
 /// One established DR-connection.
@@ -36,12 +52,11 @@ struct DrConnection {
   topology::Path primary;
   util::DynamicBitset primary_links;  ///< over the graph's link ids
 
-  std::optional<topology::Path> backup;
-  util::DynamicBitset backup_links;   ///< empty bitset when no backup
+  /// Backup channels in activation order (channel 0 is tried first when a
+  /// failure hits a link several channels defend).  Sibling channels are
+  /// pairwise link-disjoint.
+  std::vector<BackupChannel> backups;
   BackupStatus backup_status = BackupStatus::kUnprotected;
-  /// Links of the backup that also lie on the primary (only non-zero for
-  /// maximally — not fully — link-disjoint backups).
-  std::size_t backup_overlap_links = 0;
 
   /// Position of this connection's entry in the network's per-link primary
   /// registry (`primaries_on_link_[primary.links[i]][registry_slots[i]] ==
@@ -52,14 +67,31 @@ struct DrConnection {
   /// Elastic grant in increments beyond bmin (0 .. qos.max_extra_quanta()).
   std::size_t extra_quanta = 0;
   /// Number of times this connection survived a primary failure by
-  /// switching to its backup.
+  /// switching to a backup.
   std::size_t activations = 0;
   /// Number of times this connection survived a failure with no usable
   /// backup by being re-established on fresh routes
   /// (SecondFailurePolicy::kReestablish).
   std::size_t rescues = 0;
+  /// Backup channels lost from the current set (died with an earlier
+  /// failure, or evicted to settle overbooking debt) since it was last
+  /// fully provisioned.  A later activation that still finds a covering
+  /// sibling therefore owes its survival to the multi-channel set even
+  /// when no channel was consumed in that same call.
+  std::size_t siblings_lost = 0;
 
-  [[nodiscard]] bool has_backup() const noexcept { return backup.has_value(); }
+  [[nodiscard]] bool has_backup() const noexcept { return !backups.empty(); }
+  /// True iff some backup channel traverses link `l`.
+  [[nodiscard]] bool backup_on_link(std::size_t l) const {
+    for (const BackupChannel& ch : backups)
+      if (ch.links.test(l)) return true;
+    return false;
+  }
+  /// Links of the first backup shared with the primary (the paper's
+  /// maximal-disjointness overlap; 0 when unprotected).
+  [[nodiscard]] std::size_t backup_overlap_links() const noexcept {
+    return backups.empty() ? 0 : backups.front().overlap_links;
+  }
   /// Current reserved bandwidth of the primary channel in Kbit/s.
   [[nodiscard]] double reserved_kbps() const { return qos.bandwidth_at(extra_quanta); }
   /// Current elastic grant in Kbit/s.

@@ -85,6 +85,12 @@ struct LossBreakdown {
   /// Drops above for which a re-establishment attempt (fresh disjoint pair,
   /// then degraded single path) was made and failed.
   std::size_t reestablish_failed = 0;
+  /// Not a loss: victims that *survived* because a pre-provisioned sibling
+  /// beyond the first covering channel took over (multi-backup schemes).
+  /// Recorded here so the per-cause breakdown shows, next to each loss
+  /// category, how often the backup set defused what would otherwise have
+  /// been a double-hit.  Excluded from total().
+  std::size_t survived_backup_set = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
     return primary_hit + backup_hit_while_active + double_hit;
@@ -94,6 +100,7 @@ struct LossBreakdown {
     backup_hit_while_active += o.backup_hit_while_active;
     double_hit += o.double_hit;
     reestablish_failed += o.reestablish_failed;
+    survived_backup_set += o.survived_backup_set;
     return *this;
   }
 };
@@ -122,8 +129,16 @@ struct FailureReport {
   /// Victims re-homed degraded: a single path at bmin, flagged unprotected,
   /// with a backup retry pending on the next repair (outcome (b)).
   std::size_t reestablished_degraded = 0;
+  /// Victims that survived via a sibling beyond the first covering channel
+  /// (also tallied in drop_causes.survived_backup_set).
+  std::size_t survived_via_backup_set = 0;
   /// Why each dropped connection was lost (outcome (c)).
   LossBreakdown drop_causes;
+  /// Time-to-reroute of every victim that kept service (switchover or
+  /// rescue), in simulated time units, in victim-processing order.  Dropped
+  /// victims contribute no sample — the SLA metric measures recovery, and
+  /// drops are already accounted in drop_causes.
+  std::vector<double> recovery_times;
   /// Channels chained to the activated backups (retreat + re-share moves).
   std::vector<StateChange> changes;
   /// Connections that switched to their backups (ascending id).
@@ -156,6 +171,12 @@ struct NetworkStats {
   /// Total elastic increment changes (grant or revoke, per connection, in
   /// quanta) — the adaptation-churn metric of ablation A3.
   std::size_t quanta_adjustments = 0;
+  /// Victims that survived via a sibling beyond the first covering channel.
+  std::size_t survived_via_backup_set = 0;
+  /// Every victim's time-to-reroute (see FailureReport::recovery_times),
+  /// accumulated over the network's lifetime in event order — the sample
+  /// set behind the p50/p95/p99 recovery SLA columns.
+  std::vector<double> recovery_times;
 };
 
 }  // namespace eqos::net

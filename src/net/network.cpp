@@ -20,6 +20,58 @@ namespace {
          std::adjacent_find(v.begin(), v.end()) == v.end();
 }
 
+/// Metric-name suffix of a scheme ("net.drops.<scheme>" etc.).
+const char* scheme_name(BackupScheme s) {
+  switch (s) {
+    case BackupScheme::kSingle: return "single";
+    case BackupScheme::kDualDisjoint: return "dual";
+    case BackupScheme::kSegment: return "segment";
+  }
+  return "unknown";
+}
+
+/// Locates the splice anchors of `patch` on `primary`: the unique positions
+/// of the patch's endpoint nodes, in order.  False when either endpoint is
+/// missing, ambiguous (a repeated node — possible after earlier segment
+/// splices), or reversed: such a channel cannot be spliced in safely.
+bool splice_points(const topology::Path& primary, const topology::Path& patch,
+                   std::size_t& a, std::size_t& b) {
+  std::size_t ca = 0;
+  std::size_t cb = 0;
+  for (std::size_t i = 0; i < primary.nodes.size(); ++i) {
+    if (primary.nodes[i] == patch.nodes.front()) {
+      a = i;
+      ++ca;
+    }
+    if (primary.nodes[i] == patch.nodes.back()) {
+      b = i;
+      ++cb;
+    }
+  }
+  return ca == 1 && cb == 1 && a < b;
+}
+
+/// Segment-establishment filter: interior nodes of `patch` must avoid
+/// `primary` entirely, or the spliced path would visit a node twice (and
+/// later splice anchors would become ambiguous).  Full-span backups are not
+/// held to this — a full-span switchover replaces the primary wholesale, so
+/// shared interior nodes are harmless there.
+bool splice_compatible(const topology::Path& primary, const topology::Path& patch) {
+  for (std::size_t i = 1; i + 1 < patch.nodes.size(); ++i)
+    for (topology::NodeId n : primary.nodes)
+      if (patch.nodes[i] == n) return false;
+  return true;
+}
+
+/// Does the path visit every node at most once?  Activation-time guard for
+/// spliced primaries (a full-span switchover result is the router's own
+/// simple path and always passes).
+bool nodes_unique(const topology::Path& p) {
+  std::vector<topology::NodeId> nodes = p.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  return std::adjacent_find(nodes.begin(), nodes.end()) == nodes.end();
+}
+
 }  // namespace
 
 Network::Network(topology::Graph graph, NetworkConfig config)
@@ -52,6 +104,77 @@ Network::Network(topology::Graph graph, NetworkConfig config)
   obs_.primary_hops = reg.histogram("net.primary_hops", {1, 2, 3, 4, 6, 8, 12, 16});
   obs_.redistribute_gainable =
       reg.histogram("net.redistribute_gainable", {0, 1, 2, 4, 8, 16, 32, 64});
+  obs_.backup_set_survivals = reg.counter("net.backup_set_survivals");
+  const std::string scheme = scheme_name(config_.backup_scheme);
+  obs_.scheme_drops = reg.counter("net.drops." + scheme);
+  obs_.scheme_activations = reg.counter("net.activations." + scheme);
+  obs_.time_to_reroute =
+      reg.histogram("net.time_to_reroute", {0.5, 1, 2, 4, 8, 16, 32});
+}
+
+void Network::set_risk_groups(
+    const std::vector<std::vector<topology::LinkId>>& groups) {
+  std::vector<util::DynamicBitset> built;
+  built.reserve(groups.size());
+  for (const auto& g : groups) {
+    util::DynamicBitset bits(graph_.num_links());
+    for (topology::LinkId l : g) {
+      if (l >= graph_.num_links())
+        throw std::invalid_argument("network: risk group references unknown link");
+      bits.set(l);
+    }
+    built.push_back(std::move(bits));
+  }
+  risk_groups_ = std::move(built);
+}
+
+util::DynamicBitset Network::srlg_expand(const util::DynamicBitset& links) const {
+  util::DynamicBitset out = links;
+  for (const util::DynamicBitset& g : risk_groups_)
+    if (g.intersects(links)) out |= g;
+  return out;
+}
+
+bool Network::fully_protected(const DrConnection& c) const {
+  switch (config_.backup_scheme) {
+    case BackupScheme::kSingle:
+      return !c.backups.empty();
+    case BackupScheme::kDualDisjoint:
+      return c.backups.size() >= 2;
+    case BackupScheme::kSegment: {
+      util::DynamicBitset covered(graph_.num_links());
+      for (const BackupChannel& ch : c.backups) covered |= ch.trigger_links;
+      for (topology::LinkId l : c.primary.links)
+        if (!covered.test(l)) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+topology::Path Network::splice_primary(const topology::Path& primary,
+                                       const topology::Path& patch) {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  const bool ok = splice_points(primary, patch, a, b);
+  assert(ok);
+  (void)ok;
+  topology::Path out;
+  out.nodes.reserve(a + patch.nodes.size() + (primary.nodes.size() - b - 1));
+  out.nodes.insert(out.nodes.end(), primary.nodes.begin(),
+                   primary.nodes.begin() + static_cast<std::ptrdiff_t>(a));
+  out.nodes.insert(out.nodes.end(), patch.nodes.begin(), patch.nodes.end());
+  out.nodes.insert(out.nodes.end(),
+                   primary.nodes.begin() + static_cast<std::ptrdiff_t>(b) + 1,
+                   primary.nodes.end());
+  out.links.reserve(a + patch.links.size() + (primary.links.size() - b));
+  out.links.insert(out.links.end(), primary.links.begin(),
+                   primary.links.begin() + static_cast<std::ptrdiff_t>(a));
+  out.links.insert(out.links.end(), patch.links.begin(), patch.links.end());
+  out.links.insert(out.links.end(),
+                   primary.links.begin() + static_cast<std::ptrdiff_t>(b),
+                   primary.links.end());
+  return out;
 }
 
 const LinkState& Network::link_state(topology::LinkId l) const {
@@ -269,40 +392,184 @@ void Network::sync_backup_reservation(topology::LinkId l) {
   links_[l].set_backup_reserved(backups_.reservation(l));
 }
 
-void Network::commit_backup(DrConnection& c, topology::Path path) {
-  assert(!c.backup);
-  c.backup_links = path_bits(path);
+void Network::commit_backup(DrConnection& c, topology::Path path,
+                            util::DynamicBitset trigger) {
+  BackupChannel ch;
+  ch.links = path_bits(path);
   std::size_t overlap = 0;
   for (topology::LinkId l : path.links)
     if (c.primary_links.test(l)) ++overlap;
-  c.backup_overlap_links = overlap;
+  ch.overlap_links = overlap;
   for (topology::LinkId l : path.links) {
-    backups_.add(l, c.id, c.qos.bmin_kbps, c.primary_links);
+    backups_.add(l, c.id, c.qos.bmin_kbps, trigger);
     sync_backup_reservation(l);
   }
-  c.backup = std::move(path);
+  ch.path = std::move(path);
+  ch.trigger_links = std::move(trigger);
+  c.backups.push_back(std::move(ch));
   c.backup_status = BackupStatus::kProtected;
 }
 
-void Network::remove_backup(DrConnection& c) {
-  if (!c.backup) return;
-  for (topology::LinkId l : c.backup->links) {
+void Network::remove_backup_channel(DrConnection& c, std::size_t idx) {
+  assert(idx < c.backups.size());
+  for (topology::LinkId l : c.backups[idx].path.links) {
     backups_.remove(l, c.id);
     sync_backup_reservation(l);
   }
-  c.backup.reset();
-  c.backup_links = util::DynamicBitset(graph_.num_links());
-  c.backup_overlap_links = 0;
-  c.backup_status = BackupStatus::kUnprotected;
+  c.backups.erase(c.backups.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (c.backups.empty()) c.backup_status = BackupStatus::kUnprotected;
+}
+
+void Network::remove_backup(DrConnection& c) {
+  while (!c.backups.empty()) remove_backup_channel(c, c.backups.size() - 1);
+  c.siblings_lost = 0;  // the set these losses were charged against is gone
+}
+
+void Network::retrigger_backup_channel(DrConnection& c, std::size_t idx,
+                                       util::DynamicBitset trigger) {
+  BackupChannel& ch = c.backups[idx];
+  for (topology::LinkId l : ch.path.links) {
+    backups_.remove(l, c.id);
+    backups_.add(l, c.id, c.qos.bmin_kbps, trigger);
+    sync_backup_reservation(l);
+  }
+  std::size_t overlap = 0;
+  for (topology::LinkId l : ch.path.links)
+    if (c.primary_links.test(l)) ++overlap;
+  ch.overlap_links = overlap;
+  ch.trigger_links = std::move(trigger);
+}
+
+std::optional<topology::Path> Network::find_backup_channel(
+    topology::NodeId src, topology::NodeId dst, double bmin,
+    const util::DynamicBitset& trigger, const util::DynamicBitset& primary_bits,
+    const util::DynamicBitset* sibling_links, bool require_disjoint) const {
+  Router::BackupQuery q;
+  q.src = src;
+  q.dst = dst;
+  q.bmin = bmin;
+  q.trigger = &trigger;
+  q.primary = &primary_bits;
+  q.require_disjoint = require_disjoint;
+  const bool srlg_on =
+      config_.srlg_policy != SrlgPolicy::kIgnore && !risk_groups_.empty();
+  util::DynamicBitset forbidden(graph_.num_links());
+  bool use_forbidden = false;
+  if (sibling_links) {
+    forbidden |= *sibling_links;
+    use_forbidden = true;
+  }
+  util::DynamicBitset soft;
+  if (srlg_on) {
+    if (config_.srlg_policy == SrlgPolicy::kAvoid) {
+      // Soft worst-case awareness: minimize overlap with every link that
+      // shares fate with the primary, not only the primary itself.
+      soft = srlg_expand(primary_bits);
+      q.soft_avoid = &soft;
+    } else {
+      // Hard: a channel sharing an SRLG with what it protects (or with a
+      // sibling it is supposed to outlive) is inadmissible.
+      util::DynamicBitset risky = primary_bits;
+      if (sibling_links) risky |= *sibling_links;
+      forbidden |= srlg_expand(risky);
+      use_forbidden = true;
+    }
+  }
+  if (use_forbidden) q.forbidden = &forbidden;
+  return router_.find_backup(q);
 }
 
 bool Network::establish_backup(DrConnection& c) {
-  assert(!c.backup);
-  auto path = router_.find_backup(c.src, c.dst, c.qos.bmin_kbps, c.primary_links,
-                                  config_.require_full_disjoint);
-  if (!path) return false;
-  commit_backup(c, std::move(*path));
-  return true;
+  bool added = false;
+  switch (config_.backup_scheme) {
+    case BackupScheme::kSingle: {
+      if (!c.backups.empty()) break;
+      auto path = find_backup_channel(c.src, c.dst, c.qos.bmin_kbps,
+                                      c.primary_links, c.primary_links, nullptr,
+                                      config_.require_full_disjoint);
+      if (!path) break;
+      commit_backup(c, std::move(*path), c.primary_links);
+      added = true;
+      break;
+    }
+    case BackupScheme::kDualDisjoint: {
+      while (c.backups.size() < 2) {
+        util::DynamicBitset siblings(graph_.num_links());
+        for (const BackupChannel& ch : c.backups) siblings |= ch.links;
+        const bool first = c.backups.empty();
+        // The first channel follows the paper's rule (maximal disjointness
+        // allowed); the second must be fully disjoint from the primary and
+        // link-free of its sibling so one failure cannot take both.
+        auto path = find_backup_channel(c.src, c.dst, c.qos.bmin_kbps,
+                                        c.primary_links, c.primary_links,
+                                        first ? nullptr : &siblings,
+                                        first ? config_.require_full_disjoint : true);
+        if (!path) break;
+        commit_backup(c, std::move(*path), c.primary_links);
+        added = true;
+      }
+      break;
+    }
+    case BackupScheme::kSegment:
+      added = establish_segment_backups(c);
+      break;
+  }
+  // A freshly completed set owes nothing to history: survival credit for
+  // earlier sibling losses applies only while the set stays depleted.
+  if (fully_protected(c)) c.siblings_lost = 0;
+  return added;
+}
+
+bool Network::establish_segment_backups(DrConnection& c) {
+  const std::size_t span = std::max<std::size_t>(1, config_.segment_span_hops);
+  util::DynamicBitset covered(graph_.num_links());
+  util::DynamicBitset siblings(graph_.num_links());
+  for (const BackupChannel& ch : c.backups) {
+    covered |= ch.trigger_links;
+    siblings |= ch.links;
+  }
+  bool added = false;
+  const auto& nodes = c.primary.nodes;
+  const auto& plinks = c.primary.links;
+  for (std::size_t a = 0; a < plinks.size(); a += span) {
+    const std::size_t b = std::min(a + span, plinks.size());
+    bool uncovered = false;
+    for (std::size_t i = a; i < b; ++i)
+      if (!covered.test(plinks[i])) {
+        uncovered = true;
+        break;
+      }
+    if (!uncovered) continue;
+    util::DynamicBitset trigger(graph_.num_links());
+    for (std::size_t i = a; i < b; ++i) trigger.set(plinks[i]);
+    auto path = find_backup_channel(nodes[a], nodes[b], c.qos.bmin_kbps, trigger,
+                                    c.primary_links, &siblings,
+                                    /*require_disjoint=*/true);
+    if (!path) continue;
+    if (!splice_compatible(c.primary, *path)) continue;
+    commit_backup(c, std::move(*path), std::move(trigger));
+    siblings |= c.backups.back().links;
+    for (std::size_t i = a; i < b; ++i) covered.set(plinks[i]);
+    added = true;
+  }
+  return added;
+}
+
+bool Network::segment_cover_possible(const topology::Path& primary,
+                                     const util::DynamicBitset& primary_bits,
+                                     double bmin) const {
+  const std::size_t span = std::max<std::size_t>(1, config_.segment_span_hops);
+  util::DynamicBitset no_siblings(graph_.num_links());
+  for (std::size_t a = 0; a < primary.links.size(); a += span) {
+    const std::size_t b = std::min(a + span, primary.links.size());
+    util::DynamicBitset trigger(graph_.num_links());
+    for (std::size_t i = a; i < b; ++i) trigger.set(primary.links[i]);
+    auto path = find_backup_channel(primary.nodes[a], primary.nodes[b], bmin,
+                                    trigger, primary_bits, &no_siblings,
+                                    /*require_disjoint=*/true);
+    if (path && splice_compatible(primary, *path)) return true;
+  }
+  return false;
 }
 
 void Network::drop_active(ConnectionId id) {
@@ -355,15 +622,28 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   // post-admission ledger (elastic grants are irrelevant to admission).
   for (topology::LinkId l : primary->links) links_[l].commit_min(qos.bmin_kbps);
 
-  auto backup = router_.find_backup(src, dst, qos.bmin_kbps, new_bits,
-                                    config_.require_full_disjoint);
-  if (!backup && config_.require_backup) {
+  // First-channel search.  kSingle/kDualDisjoint look for a full-span
+  // backup exactly as the paper prescribes; kSegment probes (query-only)
+  // whether at least one segment detour exists — its channels are committed
+  // after registration, when the connection record carrying them exists.
+  std::optional<topology::Path> backup;
+  bool backup_possible = false;
+  if (config_.backup_scheme == BackupScheme::kSegment) {
+    backup_possible = segment_cover_possible(*primary, new_bits, qos.bmin_kbps);
+  } else {
+    backup = find_backup_channel(src, dst, qos.bmin_kbps, new_bits, new_bits,
+                                 nullptr, config_.require_full_disjoint);
+    backup_possible = backup.has_value();
+  }
+  if (!backup_possible && config_.require_backup) {
     for (topology::LinkId l : primary->links) links_[l].release_min(qos.bmin_kbps);
     // Sequential establishment failed; optionally re-plan primary and
     // backup jointly (trap topologies).  The admissibility filter is the
     // primary test for both legs — conservative for the backup leg, whose
-    // multiplexed incremental need never exceeds bmin.
-    if (config_.joint_disjoint_fallback) {
+    // multiplexed incremental need never exceeds bmin.  (Full-span schemes
+    // only: a segment cover has no single pair to re-plan.)
+    if (config_.joint_disjoint_fallback &&
+        config_.backup_scheme != BackupScheme::kSegment) {
       const topology::LinkFilter admissible = [&](topology::LinkId l) {
         return links_[l].admits_primary(qos.bmin_kbps);
       };
@@ -406,7 +686,6 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   c.qos = qos;
   c.primary = std::move(*primary);
   c.primary_links = new_bits;
-  c.backup_links = util::DynamicBitset(graph_.num_links());
   const ConnectionId id = c.id;
   auto [it, inserted] = connections_.emplace(id, std::move(c));
   assert(inserted);
@@ -416,10 +695,13 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   active_conns_.push_back(&conn);
   register_primary(conn);
 
-  if (backup) {
-    commit_backup(conn, std::move(*backup));
+  if (backup) commit_backup(conn, std::move(*backup), conn.primary_links);
+  // Multi-channel schemes top up the rest of the set (second disjoint
+  // channel / segment cover) now that the record exists.
+  if (config_.backup_scheme != BackupScheme::kSingle) establish_backup(conn);
+  if (conn.has_backup()) {
     outcome.backup_established = true;
-    outcome.backup_overlap_links = conn.backup_overlap_links;
+    outcome.backup_overlap_links = conn.backup_overlap_links();
   }
 
   // Redistribute spare capacity among everyone the event touched, the
@@ -536,53 +818,146 @@ FailureReport Network::fail_link(topology::LinkId link) {
     unregister_primary(c);
     freed_bits |= c.primary_links;
 
-    // Activation feasibility: the backup must exist, be fully alive, and
-    // have room for bmin on every link (its reservation guaranteed this for
-    // single failures; overbooking debt from earlier failures may not).
-    bool feasible = c.backup.has_value();
+    // Walk the covering channels in activation order.  A channel covers
+    // this failure when its trigger set contains the failed link (segment
+    // channels cover only their sub-path).  Each covering candidate must be
+    // fully alive, spliceable, and have room for bmin on every link (its
+    // reservation guaranteed this for single failures; overbooking debt
+    // from earlier failures may not); candidates that fail are consumed and
+    // the next sibling is tried — that fallback is exactly what the
+    // multi-backup schemes buy.
     bool double_hit = false;
-    if (feasible && c.backup_links.test(link)) {
-      // Maximally-disjoint backup shared the failed link (bridge case).
-      ++report.backups_died_with_primary;
-      double_hit = true;
-      feasible = false;
-    }
-    if (feasible)
-      for (topology::LinkId l : c.backup->links)
-        if (links_[l].failed()) feasible = false;
-    if (feasible) {
-      const topology::Path backup_path = *c.backup;  // copy before removal
+    bool activated_here = false;
+    std::size_t consumed = 0;  // covering channels spent before success
+    std::size_t j = 0;
+    while (j < c.backups.size()) {
+      if (!c.backups[j].trigger_links.test(link)) {
+        ++j;
+        continue;
+      }
+      if (c.backups[j].links.test(link)) {
+        // Maximally-disjoint channel shared the failed link (bridge case):
+        // it died with the primary.
+        ++report.backups_died_with_primary;
+        double_hit = true;
+        ++consumed;
+        remove_backup_channel(c, j);
+        continue;
+      }
+      bool alive = true;
+      for (topology::LinkId l : c.backups[j].path.links)
+        if (links_[l].failed()) {
+          alive = false;
+          break;
+        }
+      if (!alive) {
+        ++consumed;
+        remove_backup_channel(c, j);
+        continue;
+      }
+      const topology::Path patch = c.backups[j].path;  // copy before removal
+      std::size_t sa = 0;
+      std::size_t sb = 0;
+      if (!splice_points(c.primary, patch, sa, sb)) {
+        ++consumed;
+        remove_backup_channel(c, j);
+        continue;
+      }
+      topology::Path new_primary = splice_primary(c.primary, patch);
+      if (!nodes_unique(new_primary)) {
+        ++consumed;
+        remove_backup_channel(c, j);
+        continue;
+      }
       // Drop its own reservation first so the headroom test is honest.
-      remove_backup(c);
-      for (topology::LinkId l : backup_path.links) {
+      remove_backup_channel(c, j);
+      bool room = true;
+      for (topology::LinkId l : patch.links) {
         if (links_[l].capacity() - links_[l].committed_min() <
             c.qos.bmin_kbps - LinkState::kEpsilon) {
-          feasible = false;
+          room = false;
           break;
         }
       }
-      if (feasible) {
-        c.primary = backup_path;
-        c.primary_links = path_bits(backup_path);
-        for (topology::LinkId l : backup_path.links) links_[l].commit_min(c.qos.bmin_kbps);
-        register_primary(c);
-        ++c.activations;
-        activated_bits |= c.primary_links;
-        activated.push_back(id);
-        ++stats_.backups_activated;
-        obs_.backups_activated.inc();
-        obs::trace_event(obs::TraceKind::kBackupActivated,
-                         static_cast<std::uint32_t>(id), link);
-        continue;
+      if (!room) {
+        ++consumed;
+        continue;  // channel spent; the next covering sibling may still work
       }
-    } else {
-      remove_backup(c);
+      // Switch over.  (The kept old-primary links just released this
+      // connection's own bmin, so re-committing them cannot overflow.)
+      c.primary = std::move(new_primary);
+      c.primary_links = path_bits(c.primary);
+      for (topology::LinkId l : c.primary.links) links_[l].commit_min(c.qos.bmin_kbps);
+      register_primary(c);
+      ++c.activations;
+      activated_bits |= c.primary_links;
+      activated.push_back(id);
+      ++stats_.backups_activated;
+      obs_.backups_activated.inc();
+      obs_.scheme_activations.inc();
+      obs::trace_event(obs::TraceKind::kBackupActivated,
+                       static_cast<std::uint32_t>(id), link);
+      // Recovery-time SLA sample: detection plus the scheme's switchover
+      // cost — per-hop cross-connect signalling along the activated channel,
+      // except under kDualDisjoint whose pre-cross-connected channels
+      // actuate in parallel (one XC time regardless of length).
+      double ttr = config_.recovery_detect_time;
+      if (config_.backup_scheme == BackupScheme::kDualDisjoint)
+        ttr += config_.recovery_xc_time_per_hop;
+      else
+        ttr += config_.recovery_xc_time_per_hop *
+               static_cast<double>(patch.links.size());
+      report.recovery_times.push_back(ttr);
+      stats_.recovery_times.push_back(ttr);
+      obs_.time_to_reroute.observe(ttr);
+      if (consumed > 0 || c.siblings_lost > 0) {
+        // A sibling beyond the first covering channel saved the day: the
+        // dual-failure case the backup *set* exists for.  Counts both
+        // channels consumed in this very call and siblings lost to earlier
+        // failures (an SRLG fails link by link, so the double hit usually
+        // lands across fail_link calls).  Explicitly not an unprotected
+        // victim (the service never lapsed).
+        ++report.survived_via_backup_set;
+        ++report.drop_causes.survived_backup_set;
+        obs_.backup_set_survivals.inc();
+      }
+      // Surviving siblings: full-span channels now defend the new primary —
+      // drop any that cross a failed link, re-register the rest under the
+      // new trigger.  Segment channels keep their own (unchanged) segments.
+      std::size_t k = 0;
+      while (k < c.backups.size()) {
+        bool sib_dead = false;
+        for (topology::LinkId l : c.backups[k].path.links)
+          if (links_[l].failed()) {
+            sib_dead = true;
+            break;
+          }
+        if (sib_dead) {
+          remove_backup_channel(c, k);
+          ++c.siblings_lost;
+          ++report.backups_lost;
+          obs_.backups_lost.inc();
+          obs::trace_event(obs::TraceKind::kBackupLost,
+                           static_cast<std::uint32_t>(id), link);
+          continue;
+        }
+        if (config_.backup_scheme != BackupScheme::kSegment)
+          retrigger_backup_channel(c, k, c.primary_links);
+        ++k;
+      }
+      activated_here = true;
+      break;
     }
-    // No usable backup: a dependability violation whatever the outcome.
+    if (activated_here) continue;
+    // No usable channel: strip any remaining (non-covering) channels — a
+    // rescue or drop re-homes the connection, and the old set defends a
+    // primary that no longer exists.
+    remove_backup(c);
     ++report.unprotected_victims;
     ++stats_.unprotected_victims;
     stranded.push_back(Stranded{id, double_hit, c.activations > 0});
   }
+  stats_.survived_via_backup_set += report.survived_via_backup_set;
   report.backups_activated = activated.size();
   report.activated_ids = activated;
 
@@ -598,6 +973,14 @@ FailureReport Network::fail_link(topology::LinkId link) {
       const DrConnection& c = connections_.at(s.id);
       activated_bits |= c.primary_links;
       rescued.push_back(s.id);
+      // Recovery-time SLA sample: a rescue signals a fresh end-to-end setup
+      // along the new primary (no pre-reserved cross-connects to lean on).
+      const double ttr = config_.recovery_detect_time +
+                         config_.recovery_setup_time_per_hop *
+                             static_cast<double>(c.primary.links.size());
+      report.recovery_times.push_back(ttr);
+      stats_.recovery_times.push_back(ttr);
+      obs_.time_to_reroute.observe(ttr);
       if (out == RescueOutcome::kPair) {
         ++report.reestablished_pair;
         ++stats_.reestablished_pair;
@@ -624,17 +1007,30 @@ FailureReport Network::fail_link(topology::LinkId link) {
     ++stats_.connections_dropped;
     ++report.connections_dropped;
     obs_.drops.inc();
+    obs_.scheme_drops.inc();
     obs_.active_connections.sub(1);
     obs::trace_event(obs::TraceKind::kDrop, static_cast<std::uint32_t>(s.id), link);
   }
   stats_.drop_causes += report.drop_causes;
 
-  // Backups parked on the failed link are gone.
+  // Backup channels parked on the failed link are gone (siblings are
+  // link-disjoint, so at most one channel per connection crosses it; the
+  // rest of the set stays).
   for (ConnectionId id : backup_victims) {
     if (!is_active(id)) continue;
     DrConnection& c = mutable_connection(id);
-    if (!c.backup || !c.backup_links.test(link)) continue;
-    remove_backup(c);
+    bool lost = false;
+    std::size_t k = 0;
+    while (k < c.backups.size()) {
+      if (!c.backups[k].links.test(link)) {
+        ++k;
+        continue;
+      }
+      remove_backup_channel(c, k);
+      ++c.siblings_lost;
+      lost = true;
+    }
+    if (!lost) continue;
     ++report.backups_lost;
     obs_.backups_lost.inc();
     obs::trace_event(obs::TraceKind::kBackupLost, static_cast<std::uint32_t>(id), link);
@@ -672,11 +1068,12 @@ FailureReport Network::fail_link(topology::LinkId link) {
   for (ConnectionId id : gainers) before[id] = connections_.at(id).extra_quanta;
   for (ConnectionId id : direct) retreat(mutable_connection(id));
 
-  // Replacement backups for survivors that lost theirs.
+  // Replacement backups for survivors whose set is below the scheme's
+  // target (the switchover consumed a channel, or one parked here died).
   for (ConnectionId id : activated) {
     if (!is_active(id)) continue;
     DrConnection& c = mutable_connection(id);
-    if (!c.backup && establish_backup(c)) {
+    if (!fully_protected(c) && establish_backup(c)) {
       ++report.backups_reestablished;
       ++stats_.backups_reestablished;
     }
@@ -684,7 +1081,7 @@ FailureReport Network::fail_link(topology::LinkId link) {
   for (ConnectionId id : backup_victims) {
     if (!is_active(id)) continue;
     DrConnection& c = mutable_connection(id);
-    if (!c.backup && establish_backup(c)) {
+    if (!fully_protected(c) && establish_backup(c)) {
       ++report.backups_reestablished;
       ++stats_.backups_reestablished;
     }
@@ -727,7 +1124,7 @@ std::size_t Network::repair_link(topology::LinkId link) {
   std::sort(ids.begin(), ids.end());
   for (ConnectionId id : ids) {
     DrConnection& c = mutable_connection(id);
-    if (c.backup) continue;
+    if (fully_protected(c)) continue;
     if (establish_backup(c)) {
       ++reestablished;
       ++stats_.backups_reestablished;
@@ -774,7 +1171,15 @@ std::pair<std::size_t, std::size_t> Network::settle_overbooking_debt() {
       auto ids = backups_.backups_on_link(l);
       std::sort(ids.begin(), ids.end());
       DrConnection& c = mutable_connection(ids.front());
-      remove_backup(c);
+      // Evict only the channel parked on the overflowing link; the rest of
+      // the set is innocent and keeps protecting.
+      for (std::size_t k = 0; k < c.backups.size(); ++k) {
+        if (c.backups[k].links.test(l)) {
+          remove_backup_channel(c, k);
+          ++c.siblings_lost;
+          break;
+        }
+      }
       to_rehome.push_back(c.id);
       ++evicted;
       ++stats_.backups_evicted;
@@ -784,7 +1189,7 @@ std::pair<std::size_t, std::size_t> Network::settle_overbooking_debt() {
   for (ConnectionId id : to_rehome) {
     if (!is_active(id)) continue;
     DrConnection& c = mutable_connection(id);
-    if (!c.backup && establish_backup(c)) {
+    if (!fully_protected(c) && establish_backup(c)) {
       ++reestablished;
       ++stats_.backups_reestablished;
     }
@@ -813,7 +1218,7 @@ double Network::protected_fraction() const {
   if (active_ids_.empty()) return 0.0;
   std::size_t n = 0;
   for (ConnectionId id : active_ids_)
-    if (connections_.at(id).backup) ++n;
+    if (connections_.at(id).has_backup()) ++n;
   return static_cast<double>(n) / static_cast<double>(active_ids_.size());
 }
 
@@ -865,27 +1270,79 @@ void Network::audit_impl() const {
       if (c.registry_slots[i] >= list.size() || list[c.registry_slots[i]] != c.id)
         throw std::logic_error("invariant: stale registry slot");
     }
-    if (c.backup) {
-      if (c.backup->nodes.front() != c.src || c.backup->nodes.back() != c.dst)
-        throw std::logic_error("invariant: backup endpoints mismatch");
-      if (!(path_bits(*c.backup) == c.backup_links))
-        throw std::logic_error("invariant: backup bitset mismatch");
+    if (c.has_backup()) {
       if (c.backup_status != BackupStatus::kProtected)
         throw std::logic_error("invariant: backup status mismatch");
-      // Disjointness per policy, and the cached overlap count.
-      std::size_t overlap = 0;
-      for (topology::LinkId l : c.backup->links) {
-        if (links_[l].failed())
-          throw std::logic_error("invariant: backup on failed link");
-        ++backup_count[l];
-        if (c.primary_links.test(l)) ++overlap;
+      // Scheme cap on the set size.
+      if (config_.backup_scheme == BackupScheme::kSingle && c.backups.size() > 1)
+        throw std::logic_error("invariant: multiple backups under kSingle");
+      if (config_.backup_scheme == BackupScheme::kDualDisjoint && c.backups.size() > 2)
+        throw std::logic_error("invariant: more than two backups under kDualDisjoint");
+      util::DynamicBitset sibling_union(links_.size());
+      for (std::size_t bi = 0; bi < c.backups.size(); ++bi) {
+        const BackupChannel& ch = c.backups[bi];
+        if (ch.path.nodes.empty())
+          throw std::logic_error("invariant: empty backup channel path");
+        if (config_.backup_scheme == BackupScheme::kSegment) {
+          // A segment channel spans two nodes of the primary and defends
+          // exactly the primary links between them.
+          std::size_t sa = 0;
+          std::size_t sb = 0;
+          if (!splice_points(c.primary, ch.path, sa, sb))
+            throw std::logic_error("invariant: segment backup not spliceable");
+        } else if (ch.path.nodes.front() != c.src || ch.path.nodes.back() != c.dst) {
+          throw std::logic_error("invariant: backup endpoints mismatch");
+        }
+        if (!(path_bits(ch.path) == ch.links))
+          throw std::logic_error("invariant: backup bitset mismatch");
+        // The trigger set defends existing primary links only.
+        if (ch.trigger_links.none())
+          throw std::logic_error("invariant: backup channel with empty trigger");
+        bool trigger_subset = true;
+        ch.trigger_links.for_each_set_bit([&](std::size_t f) {
+          if (!c.primary_links.test(f)) trigger_subset = false;
+        });
+        if (!trigger_subset)
+          throw std::logic_error("invariant: backup trigger outside the primary");
+        // No backup shares a link with a sibling: the scheme's disjointness
+        // promise, and what lets BackupManager key entries by connection.
+        if (ch.links.intersects(sibling_union))
+          throw std::logic_error("invariant: backup channels share a link");
+        // SRLG promise (kRequire): no channel shares a risk group with its
+        // primary or with a sibling it must outlive.  (Holds for sets
+        // provisioned after set_risk_groups; declare groups before
+        // admitting traffic when running under kRequire.)
+        if (config_.srlg_policy == SrlgPolicy::kRequire) {
+          for (const util::DynamicBitset& g : risk_groups_) {
+            if (!g.intersects(ch.links)) continue;
+            if (g.intersects(c.primary_links))
+              throw std::logic_error("invariant: backup shares an SRLG with its primary");
+            if (g.intersects(sibling_union))
+              throw std::logic_error("invariant: backup channels share an SRLG");
+          }
+        }
+        sibling_union |= ch.links;
+        // Disjointness per policy, and the cached overlap count.
+        std::size_t overlap = 0;
+        for (topology::LinkId l : ch.path.links) {
+          if (links_[l].failed())
+            throw std::logic_error("invariant: backup on failed link");
+          ++backup_count[l];
+          if (c.primary_links.test(l)) ++overlap;
+        }
+        if (overlap != ch.overlap_links)
+          throw std::logic_error("invariant: backup overlap count stale");
+        if (config_.require_full_disjoint && overlap > 0)
+          throw std::logic_error("invariant: backup overlaps primary under full disjointness");
+        // Only the first full-span channel may lean on maximal (not full)
+        // disjointness; additional channels and all segment detours are
+        // established fully disjoint.
+        if (overlap > 0 &&
+            (bi > 0 || config_.backup_scheme == BackupScheme::kSegment))
+          throw std::logic_error("invariant: non-primary backup channel overlaps primary");
+        if (overlap == ch.path.links.size())
+          throw std::logic_error("invariant: backup fully overlaps its primary");
       }
-      if (overlap != c.backup_overlap_links)
-        throw std::logic_error("invariant: backup overlap count stale");
-      if (config_.require_full_disjoint && overlap > 0)
-        throw std::logic_error("invariant: backup overlaps primary under full disjointness");
-      if (overlap == c.backup->links.size())
-        throw std::logic_error("invariant: backup fully overlaps its primary");
     } else if (c.backup_status == BackupStatus::kProtected) {
       throw std::logic_error("invariant: protected without a backup");
     }
@@ -931,7 +1388,7 @@ void Network::audit_impl() const {
       const auto it = connections_.find(id);
       if (it == connections_.end())
         throw std::logic_error("invariant: stale backup registration");
-      if (!it->second.backup_links.test(l))
+      if (!it->second.backup_on_link(l))
         throw std::logic_error("invariant: registered backup does not traverse link");
     }
     if (s.failed() && backups_.count_on_link(l) != 0)

@@ -52,6 +52,36 @@ enum class SecondFailurePolicy : std::uint8_t {
   kReestablish,
 };
 
+/// How backup capacity is provisioned per DR-connection.
+enum class BackupScheme : std::uint8_t {
+  /// Paper baseline: one full-span (maximally) link-disjoint backup.
+  kSingle,
+  /// Two mutually link-disjoint full-span backups with parallel
+  /// cross-connection activation (Kumar et al., arXiv:2003.02503): both
+  /// channels are pre-cross-connected, so switchover latency is one
+  /// constant XC actuation instead of per-hop signalling, and a failure
+  /// that kills the primary *and* the first backup still leaves a path.
+  kDualDisjoint,
+  /// One backup per primary sub-path of at most `segment_span_hops` hops:
+  /// a failure reroutes only the covered segment (short detours, fast
+  /// local recovery), at the cost of per-segment coverage gaps when no
+  /// disjoint detour exists.
+  kSegment,
+};
+
+/// How shared-risk link groups constrain backup placement (the admission
+/// -time, worst-case-aware objective of Liang/Lee/Modiano,
+/// arXiv:1603.03102).  Groups are supplied via Network::set_risk_groups.
+enum class SrlgPolicy : std::uint8_t {
+  kIgnore,   ///< paper baseline: link-disjointness only
+  /// Soft: the backup search also minimizes overlap with links sharing an
+  /// SRLG with the primary (ties broken as before).
+  kAvoid,
+  /// Hard: links sharing an SRLG with the primary (or with a sibling
+  /// channel) are inadmissible for backups.
+  kRequire,
+};
+
 /// Static configuration of a Network.
 struct NetworkConfig {
   double link_capacity_kbps = 10'000.0;  ///< the paper's 10 Mb/s links
@@ -76,6 +106,21 @@ struct NetworkConfig {
   /// SecondFailurePolicy).  kDrop matches the paper's single-failure model;
   /// kReestablish is the graceful multi-failure policy.
   SecondFailurePolicy second_failure_policy = SecondFailurePolicy::kDrop;
+  /// Backup provisioning scheme (see BackupScheme).
+  BackupScheme backup_scheme = BackupScheme::kSingle;
+  /// Maximum primary hops covered by one segment backup (kSegment only).
+  std::size_t segment_span_hops = 3;
+  /// SRLG-awareness of backup placement (see SrlgPolicy).
+  SrlgPolicy srlg_policy = SrlgPolicy::kIgnore;
+  // -- Recovery-time model (simulated time units) ---------------------------
+  // Time-to-reroute for a victim = failure detection/notification, plus the
+  // switchover itself: per-hop cross-connect signalling along the activated
+  // channel (kSingle/kSegment), one parallel cross-connect actuation
+  // (kDualDisjoint, whose channels are pre-cross-connected), or per-hop
+  // end-to-end setup signalling for a kReestablish rescue.
+  double recovery_detect_time = 0.5;
+  double recovery_xc_time_per_hop = 0.2;
+  double recovery_setup_time_per_hop = 1.0;
 };
 
 /// The executable network model.
@@ -123,6 +168,12 @@ class Network {
   /// of channels that held grants.
   std::size_t preempt_all_elastic();
 
+  /// Declares the shared-risk link groups the SrlgPolicy consults (e.g. the
+  /// groups of a fault::FaultScenario).  Replaces any previous declaration;
+  /// affects only subsequently placed backups.  Each group is a set of link
+  /// ids; a link may belong to several groups.
+  void set_risk_groups(const std::vector<std::vector<topology::LinkId>>& groups);
+
   // ---- Observers ----------------------------------------------------------
 
   [[nodiscard]] const topology::Graph& graph() const noexcept { return graph_; }
@@ -147,6 +198,14 @@ class Network {
   [[nodiscard]] double mean_primary_hops() const;
   /// Fraction of active connections holding a backup.
   [[nodiscard]] double protected_fraction() const;
+  /// Per-group link bitsets declared via set_risk_groups (empty when none).
+  [[nodiscard]] const std::vector<util::DynamicBitset>& risk_groups() const noexcept {
+    return risk_groups_;
+  }
+  /// True iff the scheme considers `c` fully provisioned (kSingle: one
+  /// channel; kDualDisjoint: two; kSegment: every primary link covered by
+  /// some channel's trigger set).
+  [[nodiscard]] bool fully_protected(const DrConnection& c) const;
 
   /// Full invariant audit: capacity conservation on every link ledger,
   /// primary/backup link-disjointness per policy, BackupManager
@@ -197,6 +256,15 @@ class Network {
     obs::Gauge active_connections;
     obs::Histogram primary_hops;
     obs::Histogram redistribute_gainable;
+    /// Victims that survived because a sibling beyond the first covering
+    /// channel took over (multi-backup schemes only).
+    obs::Counter backup_set_survivals;
+    /// Per-scheme loss/activation split: "net.drops.<scheme>" /
+    /// "net.activations.<scheme>" where <scheme> is single|dual|segment.
+    obs::Counter scheme_drops;
+    obs::Counter scheme_activations;
+    /// Activation latency (time-to-reroute) samples, per victim.
+    obs::Histogram time_to_reroute;
   };
 
   /// The audit body; audit() wraps it to attach a flight-recorder dump to
@@ -241,12 +309,46 @@ class Network {
   void register_primary(DrConnection& c);
   void unregister_primary(const DrConnection& c);
 
-  /// Reserves a backup along `path` for `c` and syncs link reservations.
-  void commit_backup(DrConnection& c, topology::Path path);
-  /// Drops c's backup reservation (if any) and syncs link reservations.
+  /// Reserves a backup channel along `path` (defending the primary links in
+  /// `trigger`) for `c` and syncs link reservations.  The channel is
+  /// appended to `c.backups` (activation order = establishment order).
+  void commit_backup(DrConnection& c, topology::Path path,
+                     util::DynamicBitset trigger);
+  /// Drops channel `idx` of c's backup set and syncs link reservations.
+  /// Later channels shift down one slot (activation order is preserved).
+  void remove_backup_channel(DrConnection& c, std::size_t idx);
+  /// Drops every backup channel of `c`.
   void remove_backup(DrConnection& c);
-  /// Finds and reserves a backup for `c`; returns success.
+  /// Tops up c's backup set to the configured scheme's target (one channel,
+  /// two disjoint channels, or per-segment coverage).  Returns true when at
+  /// least one channel was added.
   bool establish_backup(DrConnection& c);
+  /// Re-registers channel `idx` under a new trigger set (after a switchover
+  /// changed the primary a full-span sibling defends).
+  void retrigger_backup_channel(DrConnection& c, std::size_t idx,
+                                util::DynamicBitset trigger);
+  /// One-channel route search shared by every scheme: wraps the router
+  /// query with the configured SRLG policy and the sibling-exclusion set.
+  [[nodiscard]] std::optional<topology::Path> find_backup_channel(
+      topology::NodeId src, topology::NodeId dst, double bmin,
+      const util::DynamicBitset& trigger, const util::DynamicBitset& primary_bits,
+      const util::DynamicBitset* sibling_links, bool require_disjoint) const;
+  /// kSegment top-up: one channel per uncovered primary sub-path of at most
+  /// segment_span_hops hops.  Returns true when any channel was added.
+  bool establish_segment_backups(DrConnection& c);
+  /// Admission probe for kSegment: can at least one segment channel be
+  /// established right now?  Query-only, no ledger mutation.
+  [[nodiscard]] bool segment_cover_possible(const topology::Path& primary,
+                                            const util::DynamicBitset& primary_bits,
+                                            double bmin) const;
+  /// Union of primary links plus every link sharing a risk group with one
+  /// (== primary_links when no groups are declared or policy is kIgnore).
+  [[nodiscard]] util::DynamicBitset srlg_expand(
+      const util::DynamicBitset& links) const;
+  /// Splices `patch` into `primary` between the patch's endpoint nodes
+  /// (full-span patch: the result is the patch itself).
+  [[nodiscard]] static topology::Path splice_primary(
+      const topology::Path& primary, const topology::Path& patch);
 
   void sync_backup_reservation(topology::LinkId l);
 
@@ -287,6 +389,12 @@ class Network {
   std::vector<const DrConnection*> active_conns_;
   /// Primary channels traversing each link.
   std::vector<std::vector<ConnectionId>> primaries_on_link_;
+
+  /// SRLG membership: one link bitset per declared group (see
+  /// set_risk_groups).  Consulted by backup placement (SrlgPolicy) and by
+  /// the audits; not checkpointed (callers re-declare after load, exactly
+  /// like the graph and config).
+  std::vector<util::DynamicBitset> risk_groups_;
 
   ConnectionId next_id_ = 1;
   NetworkStats stats_;

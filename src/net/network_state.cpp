@@ -73,14 +73,22 @@ void Network::save_state(state::Buffer& out) const {
     out.put_f64(c.qos.increment_kbps);
     out.put_f64(c.qos.utility);
     put_path(out, c.primary);
-    out.put_bool(c.backup.has_value());
-    if (c.backup) put_path(out, *c.backup);
+    // Backup set, in activation order.  Each channel stores its path and the
+    // trigger link list; the link bitset and overlap cache are derived.
+    out.put_u64(c.backups.size());
+    for (const BackupChannel& ch : c.backups) {
+      put_path(out, ch.path);
+      std::vector<std::uint64_t> trigger;
+      ch.trigger_links.for_each_set_bit(
+          [&trigger](std::size_t l) { trigger.push_back(l); });
+      out.put_vec(trigger, [&out](std::uint64_t l) { out.put_u64(l); });
+    }
     out.put_u8(static_cast<std::uint8_t>(c.backup_status));
-    out.put_u64(c.backup_overlap_links);
     out.put_vec(c.registry_slots, [&out](std::uint32_t s) { out.put_u32(s); });
     out.put_u64(c.extra_quanta);
     out.put_u64(c.activations);
     out.put_u64(c.rescues);
+    out.put_u64(c.siblings_lost);
   }
   out.put_u64(next_id_);
 
@@ -102,7 +110,10 @@ void Network::save_state(state::Buffer& out) const {
   out.put_u64(stats_.drop_causes.backup_hit_while_active);
   out.put_u64(stats_.drop_causes.double_hit);
   out.put_u64(stats_.drop_causes.reestablish_failed);
+  out.put_u64(stats_.drop_causes.survived_backup_set);
   out.put_u64(stats_.quanta_adjustments);
+  out.put_u64(stats_.survived_via_backup_set);
+  out.put_vec(stats_.recovery_times, [&out](double t) { out.put_f64(t); });
 
   backups_.save_state(out);
 }
@@ -157,17 +168,28 @@ void Network::load_state(state::Buffer& in) {
     c.qos.utility = in.get_f64();
     c.primary = get_path(in, num_nodes, num_links);
     c.primary_links = path_bits(c.primary);
-    if (in.get_bool()) {
-      c.backup = get_path(in, num_nodes, num_links);
-      c.backup_links = path_bits(*c.backup);
-    } else {
-      c.backup_links = util::DynamicBitset(num_links);
+    const std::size_t n_backups = in.get_count(1);
+    c.backups.reserve(n_backups);
+    for (std::size_t b = 0; b < n_backups; ++b) {
+      BackupChannel ch;
+      ch.path = get_path(in, num_nodes, num_links);
+      ch.links = path_bits(ch.path);
+      ch.trigger_links = util::DynamicBitset(num_links);
+      const std::size_t n_trigger = in.get_count(8);
+      for (std::size_t t = 0; t < n_trigger; ++t) {
+        const std::uint64_t l = in.get_u64();
+        if (l >= num_links)
+          throw state::CorruptError("checkpoint backup trigger link out of range");
+        ch.trigger_links.set(static_cast<std::size_t>(l));
+      }
+      for (topology::LinkId l : ch.path.links)
+        if (c.primary_links.test(l)) ++ch.overlap_links;
+      c.backups.push_back(std::move(ch));
     }
     const std::uint8_t status = in.get_u8();
     if (status > static_cast<std::uint8_t>(BackupStatus::kUnprotected))
       throw state::CorruptError("checkpoint connection has unknown backup status");
     c.backup_status = static_cast<BackupStatus>(status);
-    c.backup_overlap_links = static_cast<std::size_t>(in.get_u64());
     const std::size_t n_slots = in.get_count(4);
     if (n_slots != c.primary.links.size())
       throw state::CorruptError("checkpoint registry slot count differs from primary path");
@@ -176,6 +198,7 @@ void Network::load_state(state::Buffer& in) {
     c.extra_quanta = static_cast<std::size_t>(in.get_u64());
     c.activations = static_cast<std::size_t>(in.get_u64());
     c.rescues = static_cast<std::size_t>(in.get_u64());
+    c.siblings_lost = static_cast<std::size_t>(in.get_u64());
 
     const ConnectionId id = c.id;
     const auto [it, inserted] = connections_.emplace(id, std::move(c));
@@ -232,7 +255,14 @@ void Network::load_state(state::Buffer& in) {
   stats_.drop_causes.backup_hit_while_active = in.get_u64();
   stats_.drop_causes.double_hit = in.get_u64();
   stats_.drop_causes.reestablish_failed = in.get_u64();
+  stats_.drop_causes.survived_backup_set = in.get_u64();
   stats_.quanta_adjustments = in.get_u64();
+  stats_.survived_via_backup_set = in.get_u64();
+  stats_.recovery_times.clear();
+  const std::size_t n_ttr = in.get_count(8);
+  stats_.recovery_times.reserve(n_ttr);
+  for (std::size_t i = 0; i < n_ttr; ++i)
+    stats_.recovery_times.push_back(in.get_f64());
 
   backups_.load_state(in);
 

@@ -29,25 +29,39 @@ std::optional<topology::Path> Router::find_primary(topology::NodeId src,
 std::optional<topology::Path> Router::find_backup(
     topology::NodeId src, topology::NodeId dst, double bmin,
     const util::DynamicBitset& primary_links, bool require_disjoint) const {
+  BackupQuery q;
+  q.src = src;
+  q.dst = dst;
+  q.bmin = bmin;
+  q.trigger = &primary_links;
+  q.primary = &primary_links;
+  q.require_disjoint = require_disjoint;
+  return find_backup(q);
+}
+
+std::optional<topology::Path> Router::find_backup(const BackupQuery& q) const {
+  const util::DynamicBitset& primary = *q.primary;
+  const util::DynamicBitset& avoid = q.soft_avoid ? *q.soft_avoid : primary;
   const auto admissible = [&](topology::LinkId l) {
     if (links_[l].failed()) return false;
-    if (require_disjoint && primary_links.test(l)) return false;
+    if (q.forbidden && q.forbidden->test(l)) return false;
+    if (q.require_disjoint && primary.test(l)) return false;
     const double headroom = links_[l].admission_headroom();
     // incremental_need is bounded by bmin (every scenario sum is <= the
     // cached reservation, so need <= reservation + bmin; without
     // multiplexing it IS bmin), so a link with headroom for a full bmin
     // admits without walking the scenario ledger at all.
-    if (headroom >= bmin - LinkState::kEpsilon) return true;
-    const double need = backups_.incremental_need(l, bmin, primary_links);
+    if (headroom >= q.bmin - LinkState::kEpsilon) return true;
+    const double need = backups_.incremental_need(l, q.bmin, *q.trigger);
     return headroom >= need - LinkState::kEpsilon;
   };
-  auto path = search_.min_overlap(graph_, src, dst, primary_links, admissible,
-                                  bound_for(dst));
+  auto path = search_.min_overlap(graph_, q.src, q.dst, avoid, admissible,
+                                  bound_for(q.dst));
   if (!path) return std::nullopt;
   std::size_t overlap = 0;
   for (topology::LinkId l : path->links)
-    if (primary_links.test(l)) ++overlap;
-  if (require_disjoint && overlap > 0) return std::nullopt;
+    if (primary.test(l)) ++overlap;
+  if (q.require_disjoint && overlap > 0) return std::nullopt;
   // A backup that shares every link with its primary dies with it — it
   // provides no protection and would only waste reservation.
   if (overlap == path->links.size()) return std::nullopt;

@@ -58,6 +58,29 @@ class Router {
       topology::NodeId src, topology::NodeId dst, double bmin,
       const util::DynamicBitset& primary_links, bool require_disjoint) const;
 
+  /// General backup-channel search (the multi-backup schemes' entry point;
+  /// the overload above is the single-backup special case).
+  struct BackupQuery {
+    topology::NodeId src = 0;
+    topology::NodeId dst = 0;
+    double bmin = 0.0;
+    /// Scenario basis of the channel's multiplexed reservation — the
+    /// primary links whose failure will trigger it (whole primary for
+    /// full-span channels, the covered segment for segment backups).
+    const util::DynamicBitset* trigger = nullptr;
+    /// Link set overlap is accounted (and, under require_disjoint,
+    /// forbidden) against — the connection's primary.
+    const util::DynamicBitset* primary = nullptr;
+    /// Optional superset of `primary` the search *minimizes* overlap with
+    /// instead (SRLG-avoidance); nullptr = primary.
+    const util::DynamicBitset* soft_avoid = nullptr;
+    /// Optional hard-inadmissible links (sibling channels' links, SRLG
+    /// co-members under SrlgPolicy::kRequire); nullptr = none.
+    const util::DynamicBitset* forbidden = nullptr;
+    bool require_disjoint = false;
+  };
+  [[nodiscard]] std::optional<topology::Path> find_backup(const BackupQuery& q) const;
+
  private:
   /// Hop bound for `dst` (nullptr when no field is attached).
   [[nodiscard]] const std::uint32_t* bound_for(topology::NodeId dst) const {

@@ -212,6 +212,7 @@ void TransitionRecorder::save_state(state::Buffer& out) const {
   out.put_u64(losses_.backup_hit_while_active);
   out.put_u64(losses_.double_hit);
   out.put_u64(losses_.reestablish_failed);
+  out.put_u64(losses_.survived_backup_set);
   out.put_u64(unprotected_victims_);
   out.put_u64(reestablished_pair_);
   out.put_u64(reestablished_degraded_);
@@ -257,6 +258,7 @@ void TransitionRecorder::load_state(state::Buffer& in) {
   losses_.backup_hit_while_active = in.get_u64();
   losses_.double_hit = in.get_u64();
   losses_.reestablish_failed = in.get_u64();
+  losses_.survived_backup_set = in.get_u64();
   unprotected_victims_ = static_cast<std::size_t>(in.get_u64());
   reestablished_pair_ = static_cast<std::size_t>(in.get_u64());
   reestablished_degraded_ = static_cast<std::size_t>(in.get_u64());

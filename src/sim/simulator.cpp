@@ -122,6 +122,13 @@ void Simulator::attach_recorder(TransitionRecorder* recorder) { recorder_ = reco
 
 void Simulator::load_scenario(const fault::FaultScenario& scenario) {
   injector_->load_scenario(scenario, util::Rng(config_.seed ^ 0x7363656e6172696fULL));
+  // Declare the scenario's SRLGs to admission control, so the SRLG-aware
+  // placement policies see the same risk groups the fault process fails
+  // together.  A no-op under SrlgPolicy::kIgnore (the default).
+  std::vector<std::vector<topology::LinkId>> groups;
+  groups.reserve(scenario.groups().size());
+  for (const fault::SrlgGroup& g : scenario.groups()) groups.push_back(g.links);
+  network_.set_risk_groups(groups);
 }
 
 void Simulator::schedule_arrival() {
@@ -189,6 +196,12 @@ std::uint64_t Simulator::config_fingerprint() const {
   fp.put_u8(static_cast<std::uint8_t>(nc.route_policy));
   fp.put_bool(nc.joint_disjoint_fallback);
   fp.put_u8(static_cast<std::uint8_t>(nc.second_failure_policy));
+  fp.put_u8(static_cast<std::uint8_t>(nc.backup_scheme));
+  fp.put_u64(nc.segment_span_hops);
+  fp.put_u8(static_cast<std::uint8_t>(nc.srlg_policy));
+  fp.put_f64(nc.recovery_detect_time);
+  fp.put_f64(nc.recovery_xc_time_per_hop);
+  fp.put_f64(nc.recovery_setup_time_per_hop);
   const auto put_spec = [&fp](const net::ElasticQosSpec& q) {
     fp.put_f64(q.bmin_kbps);
     fp.put_f64(q.bmax_kbps);

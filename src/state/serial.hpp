@@ -125,8 +125,9 @@ class Buffer {
 };
 
 /// Current checkpoint format version.  Bump on any layout change; readers
-/// reject other versions with VersionMismatchError.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// reject other versions with VersionMismatchError.  v2: multi-backup sets
+/// (per-channel paths + trigger lists) and recovery-time samples.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Payload kinds carried in the file header (what the sections describe).
 inline constexpr std::uint32_t kKindSimulation = 1;   ///< full Simulator state

@@ -7,6 +7,18 @@
 
 namespace eqos::util {
 
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  if (q <= 0.0) return *std::min_element(samples.begin(), samples.end());
+  if (q >= 100.0) return *std::max_element(samples.begin(), samples.end());
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
 void RunningStat::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -16,6 +16,12 @@
 
 namespace eqos::util {
 
+/// Percentile of a sample set by linear interpolation between closest ranks
+/// (the numpy default).  `q` in [0, 100].  Returns 0 for an empty sample —
+/// the recovery-SLA columns print 0 when nothing rerouted.  Sorts a copy;
+/// callers on hot paths should batch their queries.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
 /// Streaming mean / variance / min / max (Welford).
 class RunningStat {
  public:

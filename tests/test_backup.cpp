@@ -296,7 +296,7 @@ TEST(NetworkBackup, BackupReservationVisibleOnLinks) {
   const auto outcome = net.request_connection(0, 3, paper_qos());
   ASSERT_TRUE(outcome.accepted);
   const DrConnection& c = net.connection(outcome.id);
-  ASSERT_TRUE(c.backup.has_value());
+  ASSERT_TRUE(c.has_backup());
   double reserved = 0.0;
   for (topology::LinkId l = 0; l < g.num_links(); ++l)
     reserved += net.link_state(l).backup_reserved();
@@ -335,8 +335,8 @@ TEST(NetworkBackup, BackupsReservedAtMinimumOnly) {
   const auto outcome = net.request_connection(0, 10, paper_qos());
   ASSERT_TRUE(outcome.accepted);
   const DrConnection& c = net.connection(outcome.id);
-  ASSERT_TRUE(c.backup.has_value());
-  for (topology::LinkId l : c.backup->links)
+  ASSERT_TRUE(c.has_backup());
+  for (topology::LinkId l : c.backups.front().path.links)
     EXPECT_LE(net.link_state(l).backup_reserved(),
               100.0 * static_cast<double>(net.backups().count_on_link(l)) + 1e-9);
   net.validate_invariants();

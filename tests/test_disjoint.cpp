@@ -164,7 +164,7 @@ TEST(JointFallback, RescuesTrapTopologyRequests) {
   EXPECT_TRUE(accepted.backup_established);
   EXPECT_EQ(accepted.backup_overlap_links, 0u);
   const auto& c = rescued.connection(accepted.id);
-  EXPECT_EQ(c.primary.hops() + c.backup->hops(), 6u);
+  EXPECT_EQ(c.primary.hops() + c.backups.front().path.hops(), 6u);
   rescued.validate_invariants();
 }
 

@@ -36,7 +36,7 @@ TEST(Failure, ActivatesBackupAndSwitchesPrimary) {
   const auto outcome = net.request_connection(0, 3, paper_qos());
   ASSERT_TRUE(outcome.accepted);
   const topology::LinkId hit = net.connection(outcome.id).primary.links[0];
-  const auto old_backup = *net.connection(outcome.id).backup;
+  const auto old_backup = net.connection(outcome.id).backups.front().path;
 
   const auto report = net.fail_link(hit);
   EXPECT_EQ(report.primaries_hit, 1u);
@@ -94,7 +94,7 @@ TEST(Failure, BackupCrossingFailedLinkIsLostAndReplaced) {
   ASSERT_TRUE(outcome.accepted);
   const DrConnection& before = net.connection(outcome.id);
   ASSERT_TRUE(before.has_backup());
-  const topology::LinkId backup_link = before.backup->links[0];
+  const topology::LinkId backup_link = before.backups.front().path.links[0];
 
   const auto report = net.fail_link(backup_link);
   EXPECT_EQ(report.primaries_hit, 0u);
@@ -103,7 +103,7 @@ TEST(Failure, BackupCrossingFailedLinkIsLostAndReplaced) {
   // With the default maximal-disjointness policy a degraded replacement is
   // allowed (it may overlap the primary on the ring remnant).
   if (after.has_backup()) {
-    for (topology::LinkId l : after.backup->links) EXPECT_NE(l, backup_link);
+    for (topology::LinkId l : after.backups.front().path.links) EXPECT_NE(l, backup_link);
   } else {
     EXPECT_EQ(after.backup_status, BackupStatus::kUnprotected);
   }
@@ -125,7 +125,7 @@ TEST(Failure, ChainedChannelsRetreatOnActivation) {
   Network net2(diamond(), cfg2);
   const auto victim = net2.request_connection(0, 3, paper_qos());
   ASSERT_TRUE(victim.accepted);
-  const auto backup_path = *net2.connection(victim.id).backup;
+  const auto backup_path = net2.connection(victim.id).backups.front().path;
   // Bystander rides the backup route's first link.
   const topology::Link bl = net2.graph().link(backup_path.links[0]);
   const auto bystander = net2.request_connection(bl.a, bl.b, paper_qos());
@@ -206,7 +206,7 @@ TEST(Failure, RepairRestoresAdmissibilityAndBackups) {
   ASSERT_TRUE(a.accepted);
   // Fail a backup link: connection loses protection, and no fully disjoint
   // replacement exists on the 3 remaining links.
-  const topology::LinkId backup_link = net.connection(a.id).backup->links[0];
+  const topology::LinkId backup_link = net.connection(a.id).backups.front().path.links[0];
   net.fail_link(backup_link);
   EXPECT_FALSE(net.connection(a.id).has_backup());
 
@@ -344,7 +344,7 @@ TEST(Failure, SharedLinkBackupVictimIsUnprotectedAndDoubleHit) {
   const auto a = net.request_connection(0, 2, paper_qos());
   ASSERT_TRUE(a.accepted);
   ASSERT_TRUE(net.connection(a.id).has_backup());
-  EXPECT_EQ(net.connection(a.id).backup_overlap_links, 1u);
+  EXPECT_EQ(net.connection(a.id).backup_overlap_links(), 1u);
 
   const auto report = net.fail_link(3);
   EXPECT_EQ(report.backups_died_with_primary, 1u);
@@ -396,7 +396,7 @@ ConnectionId strand_setup(Network& net, bool with_second_rescue_route) {
   const auto b = net.request_connection(0, 1, tight_qos());
   EXPECT_TRUE(b.accepted);
   EXPECT_EQ(net.connection(b.id).primary.links, std::vector<topology::LinkId>{0});
-  EXPECT_EQ(net.connection(b.id).backup->links,
+  EXPECT_EQ(net.connection(b.id).backups.front().path.links,
             (std::vector<topology::LinkId>{1, 2}));
 
   // Blockers hold the rescue routes' head links with committed bandwidth.
@@ -442,10 +442,10 @@ TEST(Failure, RescueEstablishesFreshDisjointPair) {
   const DrConnection& c = net.connection(b);
   EXPECT_EQ(c.rescues, 1u);
   ASSERT_TRUE(c.has_backup());
-  EXPECT_EQ(c.backup_overlap_links, 0u);
+  EXPECT_EQ(c.backup_overlap_links(), 0u);
   for (topology::LinkId l : c.primary.links) {
     EXPECT_FALSE(net.link_state(l).failed());
-    EXPECT_FALSE(c.backup_links.test(l));
+    EXPECT_FALSE(c.backup_on_link(l));
   }
   EXPECT_EQ(net.stats().reestablished_pair, 1u);
   EXPECT_EQ(net.stats().connections_dropped, 0u);
@@ -480,7 +480,7 @@ TEST(Failure, RescueDegradesToSinglePathAndRecoversOnRepair) {
   // is fully disjoint from the degraded primary.
   EXPECT_EQ(net.repair_link(1), 1u);
   EXPECT_TRUE(net.connection(b).has_backup());
-  EXPECT_EQ(net.connection(b).backup->links, (std::vector<topology::LinkId>{1, 2}));
+  EXPECT_EQ(net.connection(b).backups.front().path.links, (std::vector<topology::LinkId>{1, 2}));
   net.audit();
 }
 

@@ -122,9 +122,9 @@ TEST(Network, PrimaryTakesShortestRouteBackupDisjoint) {
   const auto outcome = net.request_connection(0, 3, paper_qos());
   const DrConnection& c = net.connection(outcome.id);
   EXPECT_EQ(c.primary.hops(), 1u);  // the 0-3 chord
-  ASSERT_TRUE(c.backup.has_value());
-  EXPECT_EQ(c.backup_overlap_links, 0u);
-  EXPECT_EQ(c.backup->hops(), 3u);  // around the ring
+  ASSERT_TRUE(c.has_backup());
+  EXPECT_EQ(c.backup_overlap_links(), 0u);
+  EXPECT_EQ(c.backups.front().path.hops(), 3u);  // around the ring
   net.validate_invariants();
 }
 

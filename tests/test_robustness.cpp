@@ -1,0 +1,389 @@
+// Dual-failure survivability tests for the multi-backup schemes:
+//
+//  * a scripted SRLG-style dual failure (backup channel first, primary
+//    second) exercised under every BackupScheme, checking the
+//    survived-via-backup-set accounting, recovery-time SLA samples, and the
+//    rule that a rescued-or-surviving victim is never double-counted as an
+//    unprotected loss;
+//  * the SRLG adversary's damage assessment on a hand-built topology;
+//  * sweep determinism: the scheme ablation is bit-identical across 1/2/8
+//    worker threads, including the new recovery-time sample vectors;
+//  * checkpoint bit-identity: backup-set state (channel paths, trigger
+//    lists, siblings_lost) survives a save/load/save round trip byte-for-
+//    byte under every scheme.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "fault/adversary.hpp"
+#include "net/network.hpp"
+#include "state/serial.hpp"
+#include "topology/waxman.hpp"
+#include "util/bitset.hpp"
+
+namespace eqos {
+namespace {
+
+using topology::Graph;
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+/// Theta graph: exactly three pairwise link-disjoint 0->1 routes — the
+/// direct link 0 (shortest, always the primary) and the two-hop detours
+/// 0-2-1 (links 1,2) and 0-3-1 (links 3,4).  No fourth route exists, so a
+/// lost backup channel cannot be replaced.
+Graph theta() {
+  Graph g(4);
+  g.add_link(0, 1);  // 0: primary
+  g.add_link(0, 2);  // 1
+  g.add_link(2, 1);  // 2
+  g.add_link(0, 3);  // 3
+  g.add_link(3, 1);  // 4
+  return g;
+}
+
+/// Ladder: primary 0-1-2 (links 0,1) with exactly one detour per primary
+/// link — 0-3-1 (links 2,3) around link 0 and 1-4-2 (links 4,5) around
+/// link 1.  With segment span 1 each primary link gets its own channel.
+Graph ladder() {
+  Graph g(5);
+  g.add_link(0, 1);  // 0: primary hop 1
+  g.add_link(1, 2);  // 1: primary hop 2
+  g.add_link(0, 3);  // 2
+  g.add_link(3, 1);  // 3
+  g.add_link(1, 4);  // 4
+  g.add_link(4, 2);  // 5
+  return g;
+}
+
+net::NetworkConfig scheme_config(net::BackupScheme scheme) {
+  net::NetworkConfig cfg;
+  cfg.backup_scheme = scheme;
+  cfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+  return cfg;
+}
+
+// ---- Scripted SRLG dual failure, one scheme at a time --------------------
+//
+// The SRLG failure model fails its member links one at a time, so the
+// "primary + backup channel" double hit lands across two fail_link calls:
+// the backup dies first (no replacement possible on these graphs), then the
+// primary.  A multi-backup set must convert that into a seamless switchover
+// credited to the set; the single-backup baseline must not claim the credit.
+
+TEST(SrlgDualFailure, SingleSchemeGetsNoSetCredit) {
+  const Graph g = theta();
+  net::Network net(g, scheme_config(net::BackupScheme::kSingle));
+  const auto outcome = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  ASSERT_EQ(net.connection(outcome.id).backups.size(), 1u);
+
+  // Hit the detour the single backup sits on (either detour works: losing
+  // the channel triggers an immediate replacement onto the other detour).
+  const topology::LinkId backup_link =
+      net.connection(outcome.id).backups.front().path.links[0];
+  net.fail_link(backup_link);
+  const auto report = net.fail_link(0);  // primary
+
+  EXPECT_EQ(report.backups_activated, 1u);
+  EXPECT_EQ(report.survived_via_backup_set, 0u);
+  EXPECT_EQ(net.stats().drop_causes.survived_backup_set, 0u);
+  EXPECT_TRUE(net.is_active(outcome.id));
+  net.validate_invariants();
+}
+
+TEST(SrlgDualFailure, DualSchemeSurvivesViaSet) {
+  const Graph g = theta();
+  net::Network net(g, scheme_config(net::BackupScheme::kDualDisjoint));
+  const auto outcome = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  ASSERT_EQ(net.connection(outcome.id).backups.size(), 2u);
+
+  // Kill the first backup channel (the theta graph has no spare route, so
+  // the set stays depleted), then the primary.
+  const topology::LinkId backup_link =
+      net.connection(outcome.id).backups.front().path.links[0];
+  const auto first = net.fail_link(backup_link);
+  EXPECT_EQ(first.backups_lost, 1u);
+  EXPECT_EQ(first.backups_reestablished, 0u);
+  ASSERT_EQ(net.connection(outcome.id).backups.size(), 1u);
+  EXPECT_EQ(net.connection(outcome.id).siblings_lost, 1u);
+
+  const auto second = net.fail_link(0);
+  EXPECT_EQ(second.primaries_hit, 1u);
+  EXPECT_EQ(second.backups_activated, 1u);
+  EXPECT_EQ(second.survived_via_backup_set, 1u);
+  EXPECT_EQ(second.unprotected_victims, 0u);
+  EXPECT_EQ(second.connections_dropped, 0u);
+  EXPECT_EQ(net.stats().drop_causes.survived_backup_set, 1u);
+  EXPECT_EQ(net.stats().survived_via_backup_set, 1u);
+
+  // Recovery-time SLA sample: detection plus one parallel cross-connect
+  // actuation (kDualDisjoint pays a constant, not per-hop, switchover).
+  ASSERT_EQ(second.recovery_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(second.recovery_times[0],
+                   net.config().recovery_detect_time +
+                       net.config().recovery_xc_time_per_hop);
+
+  EXPECT_TRUE(net.is_active(outcome.id));
+  EXPECT_EQ(net.connection(outcome.id).activations, 1u);
+  net.validate_invariants();
+}
+
+TEST(SrlgDualFailure, SegmentSchemeSurvivesViaDepletedSet) {
+  const Graph g = ladder();
+  net::NetworkConfig cfg = scheme_config(net::BackupScheme::kSegment);
+  cfg.segment_span_hops = 1;
+  net::Network net(g, cfg);
+  const auto outcome = net.request_connection(0, 2, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  ASSERT_EQ(net.connection(outcome.id).backups.size(), 2u);
+
+  // Kill the segment channel covering primary link 1 (detour 1-4-2; the
+  // ladder has no alternate detour), then fail primary link 0, whose own
+  // segment channel 0-3-1 is alive and splices in.
+  const auto first = net.fail_link(4);
+  EXPECT_EQ(first.backups_lost, 1u);
+  ASSERT_EQ(net.connection(outcome.id).backups.size(), 1u);
+  EXPECT_EQ(net.connection(outcome.id).siblings_lost, 1u);
+
+  const auto second = net.fail_link(0);
+  EXPECT_EQ(second.backups_activated, 1u);
+  EXPECT_EQ(second.survived_via_backup_set, 1u);
+  EXPECT_EQ(second.unprotected_victims, 0u);
+
+  // Segment switchover signals per patch hop (two links on the detour).
+  ASSERT_EQ(second.recovery_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(second.recovery_times[0],
+                   net.config().recovery_detect_time +
+                       2.0 * net.config().recovery_xc_time_per_hop);
+
+  EXPECT_TRUE(net.is_active(outcome.id));
+  net.validate_invariants();
+}
+
+TEST(SrlgDualFailure, SegmentVictimWhoseCoverDiedIsRescuedNotSilent) {
+  // Mirror case: the SRLG kills the covering channel itself, then the
+  // primary link it covered — no seamless switchover is possible, and the
+  // victim must surface as unprotected (then rescued or dropped), never as
+  // a set survival.
+  const Graph g = ladder();
+  net::NetworkConfig cfg = scheme_config(net::BackupScheme::kSegment);
+  cfg.segment_span_hops = 1;
+  net::Network net(g, cfg);
+  const auto outcome = net.request_connection(0, 2, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+
+  net.fail_link(2);  // detour 0-3-1 dies: primary link 0 now uncovered
+  const auto report = net.fail_link(0);
+  EXPECT_EQ(report.backups_activated, 0u);
+  EXPECT_EQ(report.survived_via_backup_set, 0u);
+  EXPECT_EQ(report.unprotected_victims, 1u);
+  // kReestablish either re-homes the victim or drops it; both are honest.
+  EXPECT_EQ(report.reestablished_pair + report.reestablished_degraded +
+                report.connections_dropped,
+            1u);
+  net.validate_invariants();
+}
+
+// ---- Adversary damage assessment -----------------------------------------
+
+TEST(Adversary, AssessDamageSeparatesCoveredFromExposed) {
+  const Graph g = theta();
+  net::Network net(g, scheme_config(net::BackupScheme::kDualDisjoint));
+  const auto outcome = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+
+  // Attack = primary only: both full-span channels cover it, clear of the
+  // attack -> survivable.
+  util::DynamicBitset attack(g.num_links());
+  attack.set(0);
+  const auto covered = fault::assess_damage(net, attack);
+  EXPECT_EQ(covered.victims, 1u);
+  EXPECT_EQ(covered.survivable, 1u);
+  EXPECT_EQ(covered.dropped, 0u);
+
+  // Attack = primary + both detour first-hops: every covering channel is
+  // inside the attack -> projected drop with revenue at risk.
+  attack.set(1);
+  attack.set(3);
+  const auto exposed = fault::assess_damage(net, attack);
+  EXPECT_EQ(exposed.victims, 1u);
+  EXPECT_EQ(exposed.survivable, 0u);
+  EXPECT_EQ(exposed.dropped, 1u);
+  EXPECT_GT(exposed.revenue_at_risk, 0.0);
+}
+
+TEST(Adversary, WorstCaseAttackFindsTheLethalCombination) {
+  const Graph g = theta();
+  net::Network net(g, scheme_config(net::BackupScheme::kDualDisjoint));
+  const auto outcome = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+
+  // Four singleton SRLGs; only {primary, detour-a, detour-b} kills the
+  // connection, and that needs 3 groups.  With budget 2 the worst plan
+  // degrades but cannot drop; with budget 3 it must find the kill.
+  std::vector<fault::SrlgGroup> groups;
+  for (topology::LinkId l : {0u, 1u, 3u}) {
+    fault::SrlgGroup grp;
+    grp.name = "g" + std::to_string(l);
+    grp.links = {l};
+    groups.push_back(grp);
+  }
+
+  fault::AdversaryBudget two;
+  two.max_groups = 2;
+  const auto plan2 = fault::worst_case_attack(net, groups, two);
+  EXPECT_TRUE(plan2.exhaustive);
+  EXPECT_EQ(plan2.damage.dropped, 0u);
+
+  fault::AdversaryBudget three;
+  three.max_groups = 3;
+  const auto plan3 = fault::worst_case_attack(net, groups, three);
+  EXPECT_TRUE(plan3.exhaustive);
+  EXPECT_EQ(plan3.group_indices.size(), 3u);
+  EXPECT_EQ(plan3.damage.dropped, 1u);
+}
+
+// ---- Sweep determinism across thread counts ------------------------------
+
+const Graph& sweep_graph() {
+  static const Graph g = topology::generate_waxman({30, 0.4, 0.3, true}, 7);
+  return g;
+}
+
+core::ExperimentConfig scheme_experiment(net::BackupScheme scheme) {
+  core::ExperimentConfig cfg;
+  cfg.network = scheme_config(scheme);
+  cfg.workload.qos = paper_qos();
+  cfg.workload.seed = 11;
+  cfg.workload.failure_rate = 2e-4;  // exercise activations and losses
+  cfg.target_connections = 60;
+  cfg.warmup_events = 30;
+  cfg.measure_events = 150;
+  return cfg;
+}
+
+TEST(RobustnessSweep, SchemeAblationBitIdenticalAcrossThreads) {
+  std::vector<core::SweepPoint> points;
+  for (const net::BackupScheme s :
+       {net::BackupScheme::kSingle, net::BackupScheme::kDualDisjoint,
+        net::BackupScheme::kSegment})
+    points.push_back({&sweep_graph(), scheme_experiment(s), ""});
+
+  core::SweepOptions opt;
+  opt.reps = 2;
+  opt.threads = 1;
+  const auto serial = core::run_sweep(points, opt);
+  opt.threads = 2;
+  const auto two = core::run_sweep(points, opt);
+  opt.threads = 8;
+  const auto eight = core::run_sweep(points, opt);
+
+  ASSERT_EQ(serial.results.size(), points.size() * opt.reps);
+  ASSERT_EQ(two.results.size(), serial.results.size());
+  ASSERT_EQ(eight.results.size(), serial.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    SCOPED_TRACE("result " + std::to_string(i));
+    for (const core::ExperimentResult* other :
+         {&two.results[i], &eight.results[i]}) {
+      const net::NetworkStats& a = serial.results[i].network_stats;
+      const net::NetworkStats& b = other->network_stats;
+      EXPECT_EQ(a.requests, b.requests);
+      EXPECT_EQ(a.accepted, b.accepted);
+      EXPECT_EQ(a.failures_injected, b.failures_injected);
+      EXPECT_EQ(a.backups_activated, b.backups_activated);
+      EXPECT_EQ(a.connections_dropped, b.connections_dropped);
+      EXPECT_EQ(a.survived_via_backup_set, b.survived_via_backup_set);
+      // Bitwise: the recovery-time sample vector (order included) is part
+      // of the determinism contract behind the p50/p95/p99 columns.
+      EXPECT_EQ(a.recovery_times, b.recovery_times);
+      EXPECT_EQ(serial.results[i].sim_mean_bandwidth_kbps,
+                other->sim_mean_bandwidth_kbps);
+    }
+  }
+}
+
+// ---- Checkpoint bit-identity of backup-set state -------------------------
+
+void expect_save_load_save_identical(const Graph& g,
+                                     const net::NetworkConfig& cfg,
+                                     net::Network& original) {
+  state::Buffer first;
+  original.save_state(first);
+
+  net::Network restored(g, cfg);
+  state::Buffer in(first.bytes());
+  restored.load_state(in);
+  restored.validate_invariants();
+
+  state::Buffer second;
+  restored.save_state(second);
+  EXPECT_EQ(first.bytes(), second.bytes());
+}
+
+TEST(RobustnessCheckpoint, BackupSetStateRoundTripsBitIdentically) {
+  // Every scheme, after a partial SRLG hit, carries non-trivial backup-set
+  // state: channel paths, per-channel trigger lists, and the siblings_lost
+  // depletion counter.  All of it must survive save -> load -> save with
+  // identical bytes.
+  {
+    const Graph g = theta();
+    for (const net::BackupScheme s :
+         {net::BackupScheme::kSingle, net::BackupScheme::kDualDisjoint}) {
+      SCOPED_TRACE(static_cast<int>(s));
+      const net::NetworkConfig cfg = scheme_config(s);
+      net::Network net(g, cfg);
+      const auto outcome = net.request_connection(0, 1, paper_qos());
+      ASSERT_TRUE(outcome.accepted);
+      net.fail_link(net.connection(outcome.id).backups.front().path.links[0]);
+      expect_save_load_save_identical(g, cfg, net);
+    }
+  }
+  {
+    const Graph g = ladder();
+    net::NetworkConfig cfg = scheme_config(net::BackupScheme::kSegment);
+    cfg.segment_span_hops = 1;
+    net::Network net(g, cfg);
+    const auto outcome = net.request_connection(0, 2, paper_qos());
+    ASSERT_TRUE(outcome.accepted);
+    net.fail_link(4);  // deplete the set so siblings_lost != 0
+    ASSERT_EQ(net.connection(outcome.id).siblings_lost, 1u);
+    expect_save_load_save_identical(g, cfg, net);
+  }
+}
+
+TEST(RobustnessCheckpoint, SiblingsLostSurvivesRestore) {
+  const Graph g = theta();
+  const net::NetworkConfig cfg = scheme_config(net::BackupScheme::kDualDisjoint);
+  net::Network net(g, cfg);
+  const auto outcome = net.request_connection(0, 1, paper_qos());
+  ASSERT_TRUE(outcome.accepted);
+  net.fail_link(net.connection(outcome.id).backups.front().path.links[0]);
+  ASSERT_EQ(net.connection(outcome.id).siblings_lost, 1u);
+
+  state::Buffer out;
+  net.save_state(out);
+  net::Network restored(g, cfg);
+  state::Buffer in(out.bytes());
+  restored.load_state(in);
+
+  // The depletion counter is what credits the next activation to the set;
+  // losing it across a checkpoint would silently change the ablation.
+  ASSERT_TRUE(restored.is_active(outcome.id));
+  EXPECT_EQ(restored.connection(outcome.id).siblings_lost, 1u);
+  const auto report = restored.fail_link(0);
+  EXPECT_EQ(report.survived_via_backup_set, 1u);
+}
+
+}  // namespace
+}  // namespace eqos

@@ -196,6 +196,18 @@ TEST(SectionFile, RejectsFutureVersion) {
                state::VersionMismatchError);
 }
 
+TEST(SectionFile, RejectsOlderVersion) {
+  // v1 predates the multi-backup channel sets and recovery-time samples of
+  // v2; a v1 checkpoint must be refused with a version error (prompting a
+  // fresh run), not misparsed as the current layout.
+  std::string bytes = write_test_sections();
+  ASSERT_GE(state::kFormatVersion, 2u);
+  bytes[4] = static_cast<char>(0x01);
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)state::read_sections(in, kTestMagic),
+               state::VersionMismatchError);
+}
+
 TEST(SectionFile, DetectsBitFlipInPayload) {
   std::string bytes = write_test_sections();
   bytes[bytes.size() - 3] ^= 0x01;  // inside the section payload
