@@ -11,9 +11,12 @@
 //       run one tiny micro-benchmark only (the ctest bench-smoke label).
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common.hpp"
@@ -23,6 +26,8 @@
 #include "matrix/lu.hpp"
 #include "net/flooding.hpp"
 #include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/heap_queue.hpp"
 #include "sim/simulator.hpp"
 #include "topology/paths.hpp"
 #include "topology/waxman.hpp"
@@ -200,6 +205,116 @@ void BM_FloodRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FloodRoute);
+
+/// Event-engine hold model at `range(0)` pending events: prefill the queue,
+/// then in steady state every pop schedules one replacement at a random
+/// future offset, so the pending count stays constant.  Q selects the ladder
+/// queue (the production engine, tag-dispatched POD events) or the reference
+/// binary heap (one closure allocation per event).  items/s == events/s.
+template <typename Q>
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kKind = 1;
+  util::Rng rng(42);
+  std::array<double, 1024> offsets;
+  for (double& d : offsets) d = rng.uniform(0.0, 100.0);
+
+  Q queue;
+  std::uint64_t sink = 0;
+  constexpr bool kLadder = std::is_same_v<Q, sim::EventQueue>;
+  if constexpr (kLadder)
+    queue.set_handler(kKind, [&sink](const sim::EventTag& t) { sink += t.a; });
+
+  const auto schedule_one = [&](double t, std::uint64_t payload) {
+    if constexpr (kLadder)
+      queue.schedule(t, sim::EventTag{kKind, payload, 0});
+    else
+      queue.schedule(t, sim::EventTag{kKind, payload, 0},
+                     [&sink, payload] { sink += payload; });
+  };
+  for (std::size_t i = 0; i < pending; ++i)
+    schedule_one(offsets[i % offsets.size()], i);
+
+  std::size_t tick = 0;
+  for (auto _ : state) {
+    queue.step();
+    schedule_one(queue.now() + offsets[tick++ % offsets.size()], tick);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_TEMPLATE(BM_EventQueueScheduleRun, sim::EventQueue)
+    ->Name("BM_EventQueueScheduleRun/ladder")
+    ->RangeMultiplier(10)
+    ->Range(1000, 1000000);
+BENCHMARK_TEMPLATE(BM_EventQueueScheduleRun, sim::BaselineHeapQueue)
+    ->Name("BM_EventQueueScheduleRun/heap")
+    ->RangeMultiplier(10)
+    ->Range(1000, 1000000);
+
+/// One record of the redistribute candidate scan in the pre-arena layout:
+/// the hot quota/pricing fields embedded in a DrConnection-sized record, so
+/// each candidate touch drags a full cache line (or two) of cold path state.
+struct AosCandidate {
+  std::uint32_t extra_quanta;
+  std::uint32_t max_extra;
+  double increment;
+  double utility;
+  std::array<char, 184> cold;  // paths, bitsets, backups of a real record
+};
+
+/// The redistribute prefilter over `range(0)` candidates — quota test, then
+/// price the eligible ones — in array-of-structs (the old per-connection
+/// records) vs structure-of-arrays (the network's soa_* ledgers) layout.
+template <bool kSoA>
+void BM_RedistributeScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<AosCandidate> aos;
+  std::vector<std::uint32_t> extra(n), max_extra(n);
+  std::vector<double> increment(n), utility(n);
+  aos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto eq = static_cast<std::uint32_t>(rng.uniform_int(0, 8));
+    const auto me = static_cast<std::uint32_t>(rng.uniform_int(0, 8));
+    const double inc = rng.uniform(10.0, 100.0);
+    const double ut = rng.uniform(0.1, 2.0);
+    aos.push_back(AosCandidate{eq, me, inc, ut, {}});
+    extra[i] = eq;
+    max_extra[i] = me;
+    increment[i] = inc;
+    utility[i] = ut;
+  }
+  for (auto _ : state) {
+    double gain = 0.0;
+    std::size_t eligible = 0;
+    if constexpr (kSoA) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (extra[i] >= max_extra[i]) continue;
+        gain += increment[i] * utility[i];
+        ++eligible;
+      }
+    } else {
+      for (const AosCandidate& c : aos) {
+        if (c.extra_quanta >= c.max_extra) continue;
+        gain += c.increment * c.utility;
+        ++eligible;
+      }
+    }
+    benchmark::DoNotOptimize(gain);
+    benchmark::DoNotOptimize(eligible);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_TEMPLATE(BM_RedistributeScan, false)
+    ->Name("BM_RedistributeScan/aos")
+    ->Arg(4096)
+    ->Arg(65536);
+BENCHMARK_TEMPLATE(BM_RedistributeScan, true)
+    ->Name("BM_RedistributeScan/soa")
+    ->Arg(4096)
+    ->Arg(65536);
 
 /// --sweep-json: measure run_sweep throughput (4 load points x reps) at the
 /// requested thread count against a 1-thread baseline of the same points,

@@ -7,13 +7,14 @@ Usage:
 Both files may use the keyed format written by core::write_sweep_json
 ({"benches": {"bench_fig2": {...}, ...}}) or the historical single-object
 format ({"bench": "bench_fig2", ...}).  For every bench in the baseline,
-the current points_per_second must be no more than --tolerance (default
-20%) below the baseline; any worse and the script prints the offenders and
-exits nonzero.  A bench present in the baseline but absent from the current
-file is an error — a silently-vanished measurement must not read as a pass
-(benches only in CURRENT are always fine — new measurements are not
-regressions).  A baseline or current entry whose points_per_second is
-missing, non-numeric, NaN, or <= 0 is likewise an error, never a skip.
+the current points_per_second AND events_per_second must each be no more
+than --tolerance (default 20%) below the baseline; any worse and the script
+prints the offenders and exits nonzero.  A bench present in the baseline but
+absent from the current file is an error — a silently-vanished measurement
+must not read as a pass (benches only in CURRENT are always fine — new
+measurements are not regressions).  A baseline or current entry whose
+points_per_second or events_per_second is missing, non-numeric, NaN, or
+<= 0 is likewise an error, never a skip.
 
 Ablation benches may key their entries per variant as "name/variant"
 (e.g. "bench_multifailure/dual" from --schemes).  A plain baseline name is
@@ -44,22 +45,22 @@ def load_entries(path):
     raise ValueError(f"{path}: neither a keyed nor a legacy sweep measurement")
 
 
-def throughput(entries, name, path):
-    """points_per_second of one entry, or raises ValueError with the reason."""
-    value = entries[name].get("points_per_second")
+def throughput(entries, name, path, metric="points_per_second"):
+    """`metric` of one entry, or raises ValueError with the reason."""
+    value = entries[name].get(metric)
     if value is None:
-        raise ValueError(f"{path}: {name} has no points_per_second field")
+        raise ValueError(f"{path}: {name} has no {metric} field")
     try:
         value = float(value)
     except (TypeError, ValueError):
         raise ValueError(
-            f"{path}: {name} points_per_second is not a number: {value!r}"
+            f"{path}: {name} {metric} is not a number: {value!r}"
         ) from None
     if math.isnan(value):
-        raise ValueError(f"{path}: {name} points_per_second is NaN")
+        raise ValueError(f"{path}: {name} {metric} is NaN")
     if value <= 0.0:
         raise ValueError(
-            f"{path}: {name} points_per_second is {value:g} (must be > 0; "
+            f"{path}: {name} {metric} is {value:g} (must be > 0; "
             "a zero-throughput measurement is a broken run, not a baseline)"
         )
     return value
@@ -89,7 +90,7 @@ def main():
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
 
-    def resolve(entries, name, path):
+    def resolve(entries, name, path, metric):
         """Throughput for `name`, falling back across the variant boundary.
 
         Exact key first; otherwise "name" matches its "name/variant"
@@ -97,39 +98,47 @@ def main():
         "name".  Returns (value, label) or raises KeyError/ValueError.
         """
         if name in entries:
-            return throughput(entries, name, path), name
+            return throughput(entries, name, path, metric), name
         variants = sorted(k for k in entries if k.startswith(name + "/"))
         if variants:
-            best = max(variants, key=lambda k: throughput(entries, k, path))
-            return throughput(entries, best, path), f"{name} (via {best})"
+            best = max(variants, key=lambda k: throughput(entries, k, path, metric))
+            return throughput(entries, best, path, metric), f"{name} (via {best})"
         base = name.split("/", 1)[0]
         if "/" in name and base in entries:
-            return throughput(entries, base, path), f"{name} (via {base})"
+            return throughput(entries, base, path, metric), f"{name} (via {base})"
         raise KeyError(name)
 
+    # Both throughput axes are gated with identical handling: a regression in
+    # either fails, and a missing/NaN/zero value in either file is an error.
+    metrics = (
+        ("points_per_second", "points/s"),
+        ("events_per_second", "events/s"),
+    )
     failures = []
     missing = []
     bad_entries = []
     for name in sorted(baseline):
-        try:
-            old, _ = resolve(baseline, name, args.baseline)
-            new, label = resolve(current, name, args.current)
-        except KeyError:
-            missing.append(name)
-            continue
-        except ValueError as e:
-            print(f"  {name}: BAD ENTRY ({e})")
-            bad_entries.append(name)
-            continue
-        ratio = new / old
-        status = "ok"
-        if ratio < 1.0 - args.tolerance:
-            status = "REGRESSION"
-            failures.append(name)
-        print(
-            f"  {label}: {old:.4g} -> {new:.4g} points/s "
-            f"({(ratio - 1.0) * 100.0:+.1f}%) {status}"
-        )
+        for metric, unit in metrics:
+            try:
+                old, _ = resolve(baseline, name, args.baseline, metric)
+                new, label = resolve(current, name, args.current, metric)
+            except KeyError:
+                if name not in missing:
+                    missing.append(name)
+                continue
+            except ValueError as e:
+                print(f"  {name}: BAD ENTRY ({e})")
+                bad_entries.append(f"{name}.{metric}")
+                continue
+            ratio = new / old
+            status = "ok"
+            if ratio < 1.0 - args.tolerance:
+                status = "REGRESSION"
+                failures.append(f"{name}.{metric}")
+            print(
+                f"  {label}: {old:.4g} -> {new:.4g} {unit} "
+                f"({(ratio - 1.0) * 100.0:+.1f}%) {status}"
+            )
 
     rc = 0
     for name in missing:
@@ -143,7 +152,7 @@ def main():
         rc = 1
     if bad_entries:
         print(
-            f"bench_compare: unusable points_per_second for: {', '.join(bad_entries)}",
+            f"bench_compare: unusable throughput entries for: {', '.join(bad_entries)}",
             file=sys.stderr,
         )
         rc = 1

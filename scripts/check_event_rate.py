@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Enforce the event-engine throughput floor from a google-benchmark JSON dump.
+
+Usage:
+    check_event_rate.py BENCH_JSON [--floor 1e6] [--name BM_EventQueueScheduleRun/ladder]
+
+Reads the --benchmark_out JSON written by bench_micro, collects every entry
+whose name starts with --name (the ladder-queue hold-model benchmark, whose
+items_per_second IS events per second), and fails unless the best of them
+sustains at least --floor events/sec.  The best — not every — entry is
+gated because the 10^6-pending configuration is expected to be slower than
+the small ones; the floor asserts what the engine can sustain, single-core.
+
+Missing file, no matching entries, or a non-numeric rate are errors, never
+a skip: a vanished measurement must not read as a pass.  Wired into the
+perf-smoke ctest label and scripts/ci.sh.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", help="google-benchmark --benchmark_out JSON")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1e6,
+        help="minimum sustained events/sec (default 1e6)",
+    )
+    parser.add_argument(
+        "--name",
+        default="BM_EventQueueScheduleRun/ladder",
+        help="benchmark name prefix to gate on",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench_json, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_event_rate: {e}", file=sys.stderr)
+        return 2
+
+    rates = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("name", "")
+        if not name.startswith(args.name):
+            continue
+        if entry.get("run_type") == "aggregate":
+            continue
+        rate = entry.get("items_per_second")
+        try:
+            rate = float(rate)
+        except (TypeError, ValueError):
+            print(
+                f"check_event_rate: {name} has no numeric items_per_second",
+                file=sys.stderr,
+            )
+            return 2
+        if math.isnan(rate) or rate <= 0.0:
+            print(f"check_event_rate: {name} rate is unusable: {rate!r}", file=sys.stderr)
+            return 2
+        rates[name] = rate
+
+    if not rates:
+        print(
+            f"check_event_rate: no '{args.name}*' entries in {args.bench_json} — "
+            "the measurement vanished, which is a failure, not a skip",
+            file=sys.stderr,
+        )
+        return 2
+
+    best_name, best = max(rates.items(), key=lambda kv: kv[1])
+    for name in sorted(rates):
+        print(f"  {name}: {rates[name]:.4g} events/s")
+    if best < args.floor:
+        print(
+            f"check_event_rate: best rate {best:.4g} events/s ({best_name}) is below "
+            f"the floor {args.floor:.4g}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_event_rate: floor {args.floor:.4g} events/s met by {best_name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,11 @@
 #   1. default build  + tier-1 unit tests (`ctest -L tier1`, must-stay-green)
 #   2. checkpoint-smoke: kill-mid-sweep -> resume -> byte-identical output
 #   3. robustness-smoke: backup-scheme ablation + recovery-percentile schema
-#   4. perf-smoke: bench_fig2 throughput vs the committed baseline
-#   5. sanitize preset (ASan + UBSan) build + tier-1 tests
+#   4. perf-smoke: bench_fig2 throughput (points/s and events/s) vs the
+#      committed baseline, plus the event-engine >= 10^6 events/s floor
+#   5. event-rate floor, run directly (same gate as the perf-smoke label,
+#      invoked explicitly so the floor is visible in the CI transcript)
+#   6. sanitize preset (ASan + UBSan) build + tier-1 tests
 #
 # Stages run in this order so the cheap determinism gates fail fast before
 # the sanitizer rebuild.  Pass --no-asan to skip stage 4 (e.g. on a machine
@@ -43,6 +46,11 @@ ctest --test-dir build -L robustness-smoke --output-on-failure
 
 stage "perf smoke (throughput vs baseline)"
 ctest --test-dir build -L perf-smoke --output-on-failure
+
+stage "event-engine throughput floor (>= 1e6 events/s single-core)"
+build/bench/bench_micro '--benchmark_filter=BM_EventQueueScheduleRun/ladder/1000$' \
+  --benchmark_out=build/bench/BENCH_event_rate_ci.json --benchmark_out_format=json >/dev/null
+python3 scripts/check_event_rate.py build/bench/BENCH_event_rate_ci.json --floor 1e6
 
 if [ "$run_asan" -eq 1 ]; then
   stage "sanitizer build + tier-1 (ASan + UBSan)"

@@ -62,7 +62,17 @@ ExperimentResult run_experiment(const topology::Graph& graph,
   result.network_stats = network.stats();
   result.sim_stats = simulator.stats();
   result.timings.analyze_seconds = seconds_since(mark);
+  result.events_per_second = churn_events_per_second(result.sim_stats, result.timings);
   return result;
+}
+
+double churn_events_per_second(const sim::SimulationStats& stats,
+                               const PhaseTimings& timings) {
+  const double churn_seconds = timings.warmup_seconds + timings.measure_seconds;
+  if (!(churn_seconds > 0.0)) return 0.0;
+  const std::size_t events = stats.arrival_events + stats.termination_events +
+                             stats.failure_events + stats.repair_events;
+  return static_cast<double>(events) / churn_seconds;
 }
 
 }  // namespace eqos::core

@@ -71,7 +71,19 @@ struct ExperimentResult {
   net::NetworkStats network_stats;
   sim::SimulationStats sim_stats;
   PhaseTimings timings;  ///< wall-clock phase breakdown (non-deterministic)
+  /// Discrete events processed per wall-clock second across the churn phases
+  /// (warmup + measurement).  Like `timings`, a hardware-dependent
+  /// measurement, excluded from reproducibility comparisons; 0 when the
+  /// churn phases were too fast to time.
+  double events_per_second = 0.0;
 };
+
+/// Event throughput of the churn phases: (arrival + termination + failure +
+/// repair events) / (warmup + measure wall seconds), 0 when the denominator
+/// is not positive.  Shared by run_experiment and the checkpoint codec
+/// (load_result re-derives the rate instead of widening the cell format).
+[[nodiscard]] double churn_events_per_second(const sim::SimulationStats& stats,
+                                             const PhaseTimings& timings);
 
 /// Runs the two-phase protocol on (a copy of) `graph`.
 [[nodiscard]] ExperimentResult run_experiment(const topology::Graph& graph,

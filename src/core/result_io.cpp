@@ -250,6 +250,9 @@ ExperimentResult load_result(state::Buffer& in) {
   r.timings.warmup_seconds = in.get_f64();
   r.timings.measure_seconds = in.get_f64();
   r.timings.analyze_seconds = in.get_f64();
+  // Derived from the stats and timings above; recomputing keeps the cell
+  // wire format unchanged.
+  r.events_per_second = churn_events_per_second(r.sim_stats, r.timings);
   return r;
 }
 

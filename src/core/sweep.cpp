@@ -356,9 +356,16 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     outcome.report.metrics = obs::MetricsRegistry::global().snapshot();
   }
   outcome.report.wall_seconds = elapsed_seconds(start);
-  if (outcome.report.wall_seconds > 0.0)
+  if (outcome.report.wall_seconds > 0.0) {
     outcome.report.points_per_second =
         static_cast<double>(total) / outcome.report.wall_seconds;
+    std::size_t events = 0;
+    for (const ExperimentResult& r : outcome.results)
+      events += r.sim_stats.arrival_events + r.sim_stats.termination_events +
+                r.sim_stats.failure_events + r.sim_stats.repair_events;
+    outcome.report.events_per_second =
+        static_cast<double>(events) / outcome.report.wall_seconds;
+  }
   for (const ExperimentResult& r : outcome.results)
     outcome.report.phases += r.timings;
   return outcome;
@@ -378,7 +385,7 @@ ExperimentResult mean_result(const std::vector<ExperimentResult>& reps) {
        {&ExperimentResult::sim_mean_bandwidth_kbps, &ExperimentResult::analytic_paper_kbps,
         &ExperimentResult::analytic_refined_kbps, &ExperimentResult::ideal_kbps,
         &ExperimentResult::ideal_clamped_kbps, &ExperimentResult::mean_hops,
-        &ExperimentResult::protected_fraction})
+        &ExperimentResult::protected_fraction, &ExperimentResult::events_per_second})
     out.*field = mean_value(reps, field);
 
   for (auto field : {&sim::ModelEstimates::pf, &sim::ModelEstimates::ps,
@@ -454,6 +461,7 @@ std::string sweep_entry_json(const SweepReport& report) {
   out << "      \"wall_seconds\": " << wall(report.wall_seconds) << ",\n";
   out << "      \"serial_wall_seconds\": " << wall(report.serial_wall_seconds) << ",\n";
   out << "      \"points_per_second\": " << wall(report.points_per_second) << ",\n";
+  out << "      \"events_per_second\": " << wall(report.events_per_second) << ",\n";
   out << "      \"speedup_vs_serial\": " << wall(report.speedup_vs_serial) << ",\n";
   out << "      \"phases\": {\n";
   out << "        \"populate_seconds\": " << wall(report.phases.populate_seconds) << ",\n";

@@ -101,6 +101,10 @@ struct SweepReport {
   double wall_seconds = 0.0;        ///< the parallel run
   double serial_wall_seconds = 0.0; ///< optional 1-thread baseline (0 = unmeasured)
   double points_per_second = 0.0;   ///< (points*reps) / wall_seconds
+  /// Total churn events of every result / wall_seconds — the event-engine
+  /// throughput the sweep sustained.  0 for grid benches whose rows carry no
+  /// event counts.
+  double events_per_second = 0.0;
   /// serial_wall_seconds / wall_seconds when the baseline was measured.
   double speedup_vs_serial = 0.0;
   /// Sum of per-(point,rep) phase wall times (CPU-side work breakdown).

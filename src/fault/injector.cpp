@@ -16,12 +16,39 @@ FaultInjector::FaultInjector(net::Network& network, Scheduler scheduler, Hooks h
   }
 }
 
-void FaultInjector::sched(double time, std::uint32_t kind, std::uint64_t a,
-                          std::function<void()> action) {
-  if (scheduler_.schedule_tagged) {
-    scheduler_.schedule_tagged(time, kind, a, 0, std::move(action));
+void FaultInjector::sched(double time, std::uint32_t kind, std::uint64_t a) {
+  if (scheduler_.schedule_event) {
+    scheduler_.schedule_event(time, kind, a, 0);
+  } else if (scheduler_.schedule_tagged) {
+    scheduler_.schedule_tagged(time, kind, a, 0, rebuild_action(kind, a));
   } else {
-    scheduler_.schedule_at(time, std::move(action));
+    scheduler_.schedule_at(time, rebuild_action(kind, a));
+  }
+}
+
+void FaultInjector::dispatch(std::uint32_t kind, std::uint64_t a) {
+  switch (kind) {
+    case kTagLegacyFailure:
+      do_legacy_failure();
+      break;
+    case kTagLegacyRepair:
+      do_legacy_repair(static_cast<topology::LinkId>(a));
+      break;
+    case kTagScripted:
+      apply_scripted(scripted_events_[static_cast<std::size_t>(a)]);
+      break;
+    case kTagLinkProcess:
+      fire_link_process(static_cast<std::size_t>(a));
+      break;
+    case kTagBurst:
+      fire_burst_process();
+      break;
+    case kTagAutoRepair:
+      do_auto_repair(static_cast<topology::LinkId>(a));
+      break;
+    default:
+      throw std::logic_error("fault injector: dispatch of unknown kind " +
+                             std::to_string(kind));
   }
 }
 
@@ -45,7 +72,7 @@ void FaultInjector::enable_legacy_poisson(double failure_rate, double repair_rat
   legacy_repair_rate_ = repair_rate;
   legacy_rng_.emplace(std::move(rng));
   sched(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
-        kTagLegacyFailure, 0, [this] { do_legacy_failure(); });
+        kTagLegacyFailure, 0);
 }
 
 void FaultInjector::do_legacy_failure() {
@@ -73,11 +100,11 @@ void FaultInjector::do_legacy_failure() {
     if (hooks_.on_failure) hooks_.on_failure(report);
     audit_after("legacy fail-link", chosen);
     sched(scheduler_.now() + legacy_rng_->exponential(legacy_repair_rate_),
-          kTagLegacyRepair, chosen, [this, chosen] { do_legacy_repair(chosen); });
+          kTagLegacyRepair, chosen);
   }
   if (hooks_.on_fault_event) hooks_.on_fault_event();
   sched(scheduler_.now() + legacy_rng_->exponential(legacy_failure_rate_),
-        kTagLegacyFailure, 0, [this] { do_legacy_failure(); });
+        kTagLegacyFailure, 0);
 }
 
 void FaultInjector::do_legacy_repair(topology::LinkId link) {
@@ -114,21 +141,20 @@ void FaultInjector::load_scenario(const FaultScenario& scenario, util::Rng rng) 
 
   scripted_events_ = scenario.sorted_events();
   for (std::size_t i = 0; i < scripted_events_.size(); ++i) {
-    sched(scripted_events_[i].time, kTagScripted, i,
-          [this, i] { apply_scripted(scripted_events_[i]); });
+    sched(scripted_events_[i].time, kTagScripted, i);
   }
   for (std::size_t i = 0; i < link_processes_.size(); ++i) {
     const double t =
         scheduler_.now() + link_processes_[i].second.exponential(link_rates_[i]);
     if (t <= stochastic_.horizon) {
-      sched(t, kTagLinkProcess, i, [this, i] { fire_link_process(i); });
+      sched(t, kTagLinkProcess, i);
     }
   }
   if (burst_rng_) {
     const double t =
         scheduler_.now() + burst_rng_->exponential(stochastic_.group_failure_rate);
     if (t <= stochastic_.horizon) {
-      sched(t, kTagBurst, 0, [this] { fire_burst_process(); });
+      sched(t, kTagBurst, 0);
     }
   }
 }
@@ -191,7 +217,7 @@ void FaultInjector::fire_link_process(std::size_t process) {
   audit_after("poisson fail-link", link);
   const double t = scheduler_.now() + rng.exponential(link_rates_[process]);
   if (t <= stochastic_.horizon) {
-    sched(t, kTagLinkProcess, process, [this, process] { fire_link_process(process); });
+    sched(t, kTagLinkProcess, process);
   }
 }
 
@@ -218,7 +244,7 @@ void FaultInjector::fire_burst_process() {
   const double t =
       scheduler_.now() + burst_rng_->exponential(stochastic_.group_failure_rate);
   if (t <= stochastic_.horizon) {
-    sched(t, kTagBurst, 0, [this] { fire_burst_process(); });
+    sched(t, kTagBurst, 0);
   }
 }
 
@@ -236,8 +262,7 @@ bool FaultInjector::inject_link_failure(topology::LinkId link, bool auto_repair,
 
 void FaultInjector::schedule_auto_repair(topology::LinkId link, util::Rng& repair_rng) {
   const double delay = stochastic_.repair.sample(repair_rng);
-  sched(scheduler_.now() + delay, kTagAutoRepair, link,
-        [this, link] { do_auto_repair(link); });
+  sched(scheduler_.now() + delay, kTagAutoRepair, link);
 }
 
 void FaultInjector::do_auto_repair(topology::LinkId link) {

@@ -47,6 +47,12 @@ struct Scheduler {
   std::function<void(double, std::uint32_t, std::uint64_t, std::uint64_t,
                      std::function<void()>)>
       schedule_tagged;
+  /// Optional: schedules a tag-only POD event — no closure at all.  A host
+  /// providing this must route the injector's kinds (16..21) back to
+  /// FaultInjector::dispatch when they fire.  Preferred over the closure
+  /// paths when present.
+  std::function<void(double, std::uint32_t, std::uint64_t, std::uint64_t)>
+      schedule_event;
 };
 
 /// EventTag kinds the injector uses on a tagging scheduler (sim::EventQueue
@@ -136,10 +142,16 @@ class FaultInjector {
   /// event-queue restore.  Returns null for kinds the injector does not own.
   [[nodiscard]] std::function<void()> rebuild_action(std::uint32_t kind, std::uint64_t a);
 
+  /// Executes an injector event by tag — the POD fast path a
+  /// Scheduler::schedule_event host routes fired events through.  Throws
+  /// std::logic_error for kinds the injector does not own.
+  void dispatch(std::uint32_t kind, std::uint64_t a);
+
  private:
-  /// Schedules through schedule_tagged when available, else schedule_at.
-  void sched(double time, std::uint32_t kind, std::uint64_t a,
-             std::function<void()> action);
+  /// Schedules the event named by (kind, a) through schedule_event when
+  /// available (no closure), else through schedule_tagged / schedule_at
+  /// with the rebuilt closure.
+  void sched(double time, std::uint32_t kind, std::uint64_t a);
 
   // Legacy mode.
   void do_legacy_failure();

@@ -64,6 +64,13 @@ struct DrConnection {
   /// deregistration is a swap-erase instead of a per-link linear scan.
   std::vector<std::uint32_t> registry_slots;
 
+  /// Runtime bookkeeping, not serialized (rebuilt on load): the record's
+  /// slot in the network's connection arena, and its position in the dense
+  /// active-id mirror (Network::active_ids_).  Maintained by the arena
+  /// insert/drop paths.
+  std::uint32_t arena_slot = 0;
+  std::size_t active_pos = 0;
+
   /// Elastic grant in increments beyond bmin (0 .. qos.max_extra_quanta()).
   std::size_t extra_quanta = 0;
   /// Number of times this connection survived a primary failure by

@@ -183,20 +183,20 @@ const LinkState& Network::link_state(topology::LinkId l) const {
 }
 
 const DrConnection& Network::connection(ConnectionId id) const {
-  const auto it = connections_.find(id);
-  if (it == connections_.end())
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end())
     throw std::invalid_argument("network: unknown connection " + std::to_string(id));
-  return it->second;
+  return *it->second.ptr;
 }
 
 DrConnection& Network::mutable_connection(ConnectionId id) {
-  const auto it = connections_.find(id);
-  if (it == connections_.end())
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end())
     throw std::invalid_argument("network: unknown connection " + std::to_string(id));
-  return it->second;
+  return *it->second.ptr;
 }
 
-bool Network::is_active(ConnectionId id) const { return connections_.count(id) != 0; }
+bool Network::is_active(ConnectionId id) const { return slot_of_.count(id) != 0; }
 
 util::DynamicBitset Network::path_bits(const topology::Path& p) const {
   return p.link_set(graph_.num_links());
@@ -214,23 +214,23 @@ const Network::ChainSets& Network::classify_against(
   // Direct members come straight from the per-link registry: only the
   // event's own links are inspected, not the whole active set.  A channel
   // traversing k event links appears k times; sort + unique restores the
-  // old full-scan result (sorted ascending, each id once).
+  // old full-scan result (sorted ascending, each id once).  The registry's
+  // slot column gives each record without a hash probe, so the direct
+  // union accumulates during the same walk (re-ORing a duplicate is a
+  // no-op, and the excluded id is filtered before it can contribute).
+  util::DynamicBitset& direct_union = direct_union_scratch_;
+  direct_union.clear();
   for (topology::LinkId l : event_path_links) {
-    const auto& on_link = primaries_on_link_[l];
-    sets.direct.insert(sets.direct.end(), on_link.begin(), on_link.end());
+    const LinkRegistry& reg = primaries_on_link_[l];
+    for (std::size_t k = 0; k < reg.ids.size(); ++k) {
+      if (reg.ids[k] == exclude) continue;
+      sets.direct.push_back(reg.ids[k]);
+      direct_union |= arena_[reg.slots[k]].primary_links;
+    }
   }
   std::sort(sets.direct.begin(), sets.direct.end());
   sets.direct.erase(std::unique(sets.direct.begin(), sets.direct.end()),
                     sets.direct.end());
-  if (exclude != 0) {
-    const auto it =
-        std::lower_bound(sets.direct.begin(), sets.direct.end(), exclude);
-    if (it != sets.direct.end() && *it == exclude) sets.direct.erase(it);
-  }
-
-  util::DynamicBitset& direct_union = direct_union_scratch_;
-  direct_union.clear();
-  for (ConnectionId id : sets.direct) direct_union |= connections_.at(id).primary_links;
 
   // Indirect members (share a link with a direct member but not the event
   // path) still need one pass over the active set — they can sit anywhere.
@@ -262,6 +262,7 @@ void Network::retreat(DrConnection& c) {
   obs::trace_event(obs::TraceKind::kRetreat, static_cast<std::uint32_t>(c.id), 0,
                    static_cast<double>(c.extra_quanta));
   c.extra_quanta = 0;
+  soa_extra_quanta_[c.arena_slot] = 0;
 }
 
 bool Network::can_gain(const DrConnection& c) const {
@@ -276,6 +277,7 @@ void Network::grant_one(DrConnection& c) {
   for (topology::LinkId l : c.primary.links)
     links_[l].grant_elastic(c.qos.increment_kbps);
   ++c.extra_quanta;
+  soa_extra_quanta_[c.arena_slot] = static_cast<std::uint32_t>(c.extra_quanta);
   ++stats_.quanta_adjustments;
 }
 
@@ -289,8 +291,27 @@ void Network::redistribute(const std::vector<ConnectionId>& candidates) {
   // ordering work.
   auto& gainable = gainable_scratch_;
   gainable.clear();
-  for (ConnectionId id : candidates)
-    if (is_active(id) && can_gain(connections_.at(id))) gainable.push_back(id);
+  for (ConnectionId id : candidates) {
+    const auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) continue;  // dropped/terminated mid-event
+    const std::uint32_t s = it->second.slot;
+    // Quota prefilter on the flat SoA rows: under saturated churn most
+    // candidates sit at their maximum, so the record (and its path) is
+    // never touched.  Semantics identical to can_gain().  Once the record
+    // must be pulled in anyway for its link list, the increment comes from
+    // it too — same double the audit proves equal to soa_increment_[s],
+    // without streaming a second scattered array.
+    if (soa_extra_quanta_[s] >= soa_max_extra_[s]) continue;
+    const DrConnection& c = *it->second.ptr;
+    bool has_room = true;
+    for (topology::LinkId l : c.primary.links) {
+      if (links_[l].elastic_spare() < c.qos.increment_kbps - LinkState::kEpsilon) {
+        has_room = false;
+        break;
+      }
+    }
+    if (has_room) gainable.emplace_back(id, s);
+  }
   if (gainable.empty()) return;
   obs_.redistributes.inc();
   obs_.redistribute_gainable.observe(static_cast<double>(gainable.size()));
@@ -300,13 +321,15 @@ void Network::redistribute(const std::vector<ConnectionId>& candidates) {
 
   if (config_.adaptation == AdaptationScheme::kMaxUtility) {
     // Highest utility monopolizes the spare before the next channel gets any.
-    std::sort(gainable.begin(), gainable.end(), [&](ConnectionId a, ConnectionId b) {
-      const double ua = connections_.at(a).qos.utility;
-      const double ub = connections_.at(b).qos.utility;
-      return ua != ub ? ua > ub : a < b;
-    });
-    for (ConnectionId id : gainable) {
-      DrConnection& c = mutable_connection(id);
+    std::sort(gainable.begin(), gainable.end(),
+              [&](const std::pair<ConnectionId, std::uint32_t>& a,
+                  const std::pair<ConnectionId, std::uint32_t>& b) {
+                const double ua = soa_utility_[a.second];
+                const double ub = soa_utility_[b.second];
+                return ua != ub ? ua > ub : a.first < b.first;
+              });
+    for (const auto& [id, s] : gainable) {
+      DrConnection& c = arena_[s];
       while (can_gain(c)) grant_one(c);
     }
     return;
@@ -321,23 +344,28 @@ void Network::redistribute(const std::vector<ConnectionId>& candidates) {
   // exactly what std::priority_queue is specified to do, so pop order (and
   // every grant) is unchanged; the comparator's total order makes that order
   // independent of insertion sequence anyway.
-  using Key = std::pair<double, ConnectionId>;  // (level+1)/utility, id
   auto& heap = heap_scratch_;
   heap.clear();
-  const auto cmp = std::greater<Key>{};  // min-heap on (level, id)
-  for (ConnectionId id : gainable) {
-    const DrConnection& c = connections_.at(id);
-    heap.emplace_back(static_cast<double>(c.extra_quanta + 1) / c.qos.utility, id);
+  // Min-heap on (coef, id) — the slot rides along without affecting order,
+  // so every pop (and therefore every grant) matches the old
+  // pair<double, ConnectionId> heap exactly.
+  const auto cmp = [](const GainCandidate& a, const GainCandidate& b) {
+    return a.coef != b.coef ? a.coef > b.coef : a.id > b.id;
+  };
+  for (const auto& [id, s] : gainable) {
+    heap.push_back(GainCandidate{
+        static_cast<double>(soa_extra_quanta_[s] + 1) / soa_utility_[s], id, s});
   }
   std::make_heap(heap.begin(), heap.end(), cmp);
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), cmp);
-    const ConnectionId id = heap.back().second;
+    const GainCandidate top = heap.back();
     heap.pop_back();
-    DrConnection& c = mutable_connection(id);
+    DrConnection& c = arena_[top.slot];
     if (!can_gain(c)) continue;
     grant_one(c);
-    heap.emplace_back(static_cast<double>(c.extra_quanta + 1) / c.qos.utility, id);
+    heap.push_back(GainCandidate{
+        static_cast<double>(c.extra_quanta + 1) / c.qos.utility, top.id, top.slot});
     std::push_heap(heap.begin(), heap.end(), cmp);
   }
 }
@@ -355,9 +383,10 @@ void Network::release_primary_min(const DrConnection& c) {
 void Network::register_primary(DrConnection& c) {
   c.registry_slots.resize(c.primary.links.size());
   for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
-    auto& list = primaries_on_link_[c.primary.links[i]];
-    c.registry_slots[i] = static_cast<std::uint32_t>(list.size());
-    list.push_back(c.id);
+    LinkRegistry& reg = primaries_on_link_[c.primary.links[i]];
+    c.registry_slots[i] = static_cast<std::uint32_t>(reg.ids.size());
+    reg.ids.push_back(c.id);
+    reg.slots.push_back(c.arena_slot);
   }
 }
 
@@ -369,16 +398,19 @@ void Network::unregister_primary(const DrConnection& c) {
   assert(c.registry_slots.size() == c.primary.links.size());
   for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
     const topology::LinkId l = c.primary.links[i];
-    auto& list = primaries_on_link_[l];
+    LinkRegistry& reg = primaries_on_link_[l];
     const std::uint32_t slot = c.registry_slots[i];
-    assert(slot < list.size() && list[slot] == c.id);
-    const ConnectionId moved = list.back();
-    list[slot] = moved;
-    list.pop_back();
+    assert(slot < reg.ids.size() && reg.ids[slot] == c.id);
+    const ConnectionId moved = reg.ids.back();
+    reg.ids[slot] = moved;
+    reg.slots[slot] = reg.slots.back();
+    reg.ids.pop_back();
+    reg.slots.pop_back();
     if (moved == c.id) continue;  // c sat in the last slot of this list
-    // Re-point the moved connection's cached slot for this link.  A primary
-    // path is simple, so the link appears exactly once in its link list.
-    DrConnection& m = connections_.at(moved);
+    // Re-point the moved connection's cached slot for this link — via its
+    // arena slot, no hash probe.  A primary path is simple, so the link
+    // appears exactly once in its link list.
+    DrConnection& m = arena_[reg.slots[slot]];
     for (std::size_t j = 0; j < m.primary.links.size(); ++j) {
       if (m.primary.links[j] == l) {
         m.registry_slots[j] = slot;
@@ -572,15 +604,53 @@ bool Network::segment_cover_possible(const topology::Path& primary,
   return false;
 }
 
+DrConnection& Network::arena_insert(DrConnection&& c) {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(arena_.size());
+    arena_.push_back(std::move(c));
+    soa_extra_quanta_.push_back(0);
+    soa_max_extra_.push_back(0);
+    soa_increment_.push_back(0.0);
+    soa_utility_.push_back(0.0);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[slot] = std::move(c);
+  }
+  DrConnection& conn = arena_[slot];
+  conn.arena_slot = slot;
+  conn.active_pos = active_ids_.size();
+  slot_of_.emplace(conn.id, ArenaRef{slot, &conn});
+  active_ids_.push_back(conn.id);
+  active_slots_.push_back(slot);
+  active_conns_.push_back(&conn);
+  soa_extra_quanta_[slot] = static_cast<std::uint32_t>(conn.extra_quanta);
+  soa_max_extra_[slot] = static_cast<std::uint32_t>(conn.qos.max_extra_quanta());
+  soa_increment_[slot] = conn.qos.increment_kbps;
+  soa_utility_[slot] = conn.qos.utility;
+  return conn;
+}
+
 void Network::drop_active(ConnectionId id) {
-  const std::size_t idx = active_index_.at(id);
-  active_index_[active_ids_.back()] = idx;
-  std::swap(active_ids_[idx], active_ids_.back());
-  active_ids_.pop_back();
+  const auto it = slot_of_.find(id);
+  const std::uint32_t slot = it->second.slot;
+  const std::size_t idx = arena_[slot].active_pos;
+  const std::uint32_t moved_slot = active_slots_.back();
+  active_ids_[idx] = active_ids_.back();
+  active_slots_[idx] = moved_slot;
   active_conns_[idx] = active_conns_.back();
+  // Fix the moved record's position (a harmless self-assignment when the
+  // dropped record was the last one).
+  arena_[moved_slot].active_pos = idx;
+  active_ids_.pop_back();
+  active_slots_.pop_back();
   active_conns_.pop_back();
-  active_index_.erase(id);
-  connections_.erase(id);
+  slot_of_.erase(it);
+  // Blank the record so freed slots hold no stale paths/backups (and the
+  // audit can assert id == 0 for every free slot), then recycle the slot.
+  arena_[slot] = DrConnection{};
+  free_slots_.push_back(slot);
 }
 
 Network::RescueOutcome Network::rescue(DrConnection& c) {
@@ -673,8 +743,8 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   const ChainSets& chain = classify_against(primary->links, new_bits, /*exclude=*/0);
   std::unordered_map<ConnectionId, std::size_t> before;
   before.reserve(chain.direct.size() + chain.indirect.size());
-  for (ConnectionId id : chain.direct) before[id] = connections_.at(id).extra_quanta;
-  for (ConnectionId id : chain.indirect) before[id] = connections_.at(id).extra_quanta;
+  for (ConnectionId id : chain.direct) before[id] = conn_at(id).extra_quanta;
+  for (ConnectionId id : chain.indirect) before[id] = conn_at(id).extra_quanta;
 
   for (ConnectionId id : chain.direct) retreat(mutable_connection(id));
 
@@ -687,12 +757,7 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   c.primary = std::move(*primary);
   c.primary_links = new_bits;
   const ConnectionId id = c.id;
-  auto [it, inserted] = connections_.emplace(id, std::move(c));
-  assert(inserted);
-  DrConnection& conn = it->second;
-  active_index_[id] = active_ids_.size();
-  active_ids_.push_back(id);
-  active_conns_.push_back(&conn);
+  DrConnection& conn = arena_insert(std::move(c));
   register_primary(conn);
 
   if (backup) commit_backup(conn, std::move(*backup), conn.primary_links);
@@ -726,10 +791,10 @@ ArrivalOutcome Network::request_connection(topology::NodeId src, topology::NodeI
   outcome.changes.reserve(chain.direct.size() + chain.indirect.size());
   for (ConnectionId cid : chain.direct)
     outcome.changes.push_back(StateChange{cid, Chaining::kDirect, before[cid],
-                                          connections_.at(cid).extra_quanta});
+                                          conn_at(cid).extra_quanta});
   for (ConnectionId cid : chain.indirect)
     outcome.changes.push_back(StateChange{cid, Chaining::kIndirect, before[cid],
-                                          connections_.at(cid).extra_quanta});
+                                          conn_at(cid).extra_quanta});
   ++stats_.accepted;
   return outcome;
 }
@@ -747,7 +812,7 @@ TerminationReport Network::terminate_connection(ConnectionId id) {
                                             /*exclude=*/id);
   std::unordered_map<ConnectionId, std::size_t> before;
   before.reserve(chain.direct.size());
-  for (ConnectionId cid : chain.direct) before[cid] = connections_.at(cid).extra_quanta;
+  for (ConnectionId cid : chain.direct) before[cid] = conn_at(cid).extra_quanta;
 
   retreat(c);
   release_primary_min(c);
@@ -761,7 +826,7 @@ TerminationReport Network::terminate_connection(ConnectionId id) {
   report.changes.reserve(chain.direct.size());
   for (ConnectionId cid : chain.direct)
     report.changes.push_back(StateChange{cid, Chaining::kDirect, before[cid],
-                                         connections_.at(cid).extra_quanta});
+                                         conn_at(cid).extra_quanta});
   ++stats_.terminated;
   obs_.terminations.inc();
   obs_.active_connections.sub(1);
@@ -783,13 +848,13 @@ FailureReport Network::fail_link(topology::LinkId link) {
   ++stats_.failures_injected;
   obs_.link_failures.inc();
   obs::trace_event(obs::TraceKind::kFailLink, link,
-                   static_cast<std::uint32_t>(primaries_on_link_[link].size()));
+                   static_cast<std::uint32_t>(primaries_on_link_[link].ids.size()));
 
   // Victims, deterministic order — read off the per-link registries instead
   // of scanning every active connection.  A connection hit on both channels
   // counts only as a primary victim (the registry difference reproduces the
   // old scan's else-if).
-  std::vector<ConnectionId> primary_victims = primaries_on_link_[link];
+  std::vector<ConnectionId> primary_victims = primaries_on_link_[link].ids;
   std::sort(primary_victims.begin(), primary_victims.end());
   std::vector<ConnectionId> backups_here = backups_.backups_on_link(link);
   std::sort(backups_here.begin(), backups_here.end());
@@ -970,7 +1035,7 @@ FailureReport Network::fail_link(topology::LinkId link) {
         config_.second_failure_policy == SecondFailurePolicy::kReestablish;
     if (attempt) out = rescue(mutable_connection(s.id));
     if (out != RescueOutcome::kFailed) {
-      const DrConnection& c = connections_.at(s.id);
+      const DrConnection& c = conn_at(s.id);
       activated_bits |= c.primary_links;
       rescued.push_back(s.id);
       // Recovery-time SLA sample: a rescue signals a fresh end-to-end setup
@@ -1044,17 +1109,19 @@ FailureReport Network::fail_link(topology::LinkId link) {
   std::vector<ConnectionId> direct;
   std::vector<ConnectionId> gainers;
   util::DynamicBitset direct_union(graph_.num_links());
-  for (ConnectionId id : active_ids_) {
+  for (std::size_t i = 0; i < active_ids_.size(); ++i) {
+    const ConnectionId id = active_ids_[i];
     if (activated_set.count(id)) continue;
-    const DrConnection& c = connections_.at(id);
+    const DrConnection& c = *active_conns_[i];
     if (c.primary_links.intersects(activated_bits)) {
       direct.push_back(id);
       direct_union |= c.primary_links;
     }
   }
-  for (ConnectionId id : active_ids_) {
+  for (std::size_t i = 0; i < active_ids_.size(); ++i) {
+    const ConnectionId id = active_ids_[i];
     if (activated_set.count(id)) continue;
-    const DrConnection& c = connections_.at(id);
+    const DrConnection& c = *active_conns_[i];
     if (c.primary_links.intersects(activated_bits)) continue;
     if (c.primary_links.intersects(freed_bits) ||
         c.primary_links.intersects(direct_union))
@@ -1064,8 +1131,8 @@ FailureReport Network::fail_link(topology::LinkId link) {
   std::sort(gainers.begin(), gainers.end());
 
   std::unordered_map<ConnectionId, std::size_t> before;
-  for (ConnectionId id : direct) before[id] = connections_.at(id).extra_quanta;
-  for (ConnectionId id : gainers) before[id] = connections_.at(id).extra_quanta;
+  for (ConnectionId id : direct) before[id] = conn_at(id).extra_quanta;
+  for (ConnectionId id : gainers) before[id] = conn_at(id).extra_quanta;
   for (ConnectionId id : direct) retreat(mutable_connection(id));
 
   // Replacement backups for survivors whose set is below the scheme's
@@ -1104,10 +1171,10 @@ FailureReport Network::fail_link(topology::LinkId link) {
   report.changes.reserve(direct.size() + gainers.size());
   for (ConnectionId id : direct)
     report.changes.push_back(
-        StateChange{id, Chaining::kDirect, before[id], connections_.at(id).extra_quanta});
+        StateChange{id, Chaining::kDirect, before[id], conn_at(id).extra_quanta});
   for (ConnectionId id : gainers)
     report.changes.push_back(StateChange{id, Chaining::kIndirect, before[id],
-                                         connections_.at(id).extra_quanta});
+                                         conn_at(id).extra_quanta});
   return report;
 }
 
@@ -1202,23 +1269,23 @@ std::pair<std::size_t, std::size_t> Network::settle_overbooking_debt() {
 double Network::mean_reserved_kbps() const {
   if (active_ids_.empty()) return 0.0;
   double total = 0.0;
-  for (ConnectionId id : active_ids_) total += connections_.at(id).reserved_kbps();
+  for (const DrConnection* c : active_conns_) total += c->reserved_kbps();
   return total / static_cast<double>(active_ids_.size());
 }
 
 double Network::mean_primary_hops() const {
   if (active_ids_.empty()) return 0.0;
   double total = 0.0;
-  for (ConnectionId id : active_ids_)
-    total += static_cast<double>(connections_.at(id).primary.hops());
+  for (const DrConnection* c : active_conns_)
+    total += static_cast<double>(c->primary.hops());
   return total / static_cast<double>(active_ids_.size());
 }
 
 double Network::protected_fraction() const {
   if (active_ids_.empty()) return 0.0;
   std::size_t n = 0;
-  for (ConnectionId id : active_ids_)
-    if (connections_.at(id).has_backup()) ++n;
+  for (const DrConnection* c : active_conns_)
+    if (c->has_backup()) ++n;
   return static_cast<double>(n) / static_cast<double>(active_ids_.size());
 }
 
@@ -1241,7 +1308,7 @@ void Network::audit_impl() const {
   std::vector<double> granted(links_.size(), 0.0);
   std::vector<std::size_t> backup_count(links_.size(), 0);
   for (ConnectionId id : active_ids_) {
-    const DrConnection& c = connections_.at(id);
+    const DrConnection& c = conn_at(id);
     if (c.extra_quanta > c.qos.max_extra_quanta())
       throw std::logic_error("invariant: extra quanta above maximum");
     // Elastic-share bounds: bmin <= reserved <= bmax.
@@ -1266,9 +1333,12 @@ void Network::audit_impl() const {
     if (c.registry_slots.size() != c.primary.links.size())
       throw std::logic_error("invariant: registry slot count mismatch");
     for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
-      const auto& list = primaries_on_link_[c.primary.links[i]];
-      if (c.registry_slots[i] >= list.size() || list[c.registry_slots[i]] != c.id)
+      const LinkRegistry& reg = primaries_on_link_[c.primary.links[i]];
+      if (c.registry_slots[i] >= reg.ids.size() ||
+          reg.ids[c.registry_slots[i]] != c.id)
         throw std::logic_error("invariant: stale registry slot");
+      if (reg.slots[c.registry_slots[i]] != c.arena_slot)
+        throw std::logic_error("invariant: registry arena-slot column stale");
     }
     if (c.has_backup()) {
       if (c.backup_status != BackupStatus::kProtected)
@@ -1369,13 +1439,20 @@ void Network::audit_impl() const {
                              std::to_string(l));
     // Registry round-trip.
     double reg_min = 0.0;
-    for (ConnectionId id : primaries_on_link_[l]) {
-      const auto it = connections_.find(id);
-      if (it == connections_.end())
+    const LinkRegistry& reg = primaries_on_link_[l];
+    if (reg.slots.size() != reg.ids.size())
+      throw std::logic_error("invariant: registry column length mismatch on link " +
+                             std::to_string(l));
+    for (std::size_t k = 0; k < reg.ids.size(); ++k) {
+      const auto it = slot_of_.find(reg.ids[k]);
+      if (it == slot_of_.end())
         throw std::logic_error("invariant: stale primary registration");
-      if (!it->second.primary_links.test(l))
+      if (it->second.slot != reg.slots[k])
+        throw std::logic_error("invariant: registry slot column out of sync");
+      const DrConnection& rc = *it->second.ptr;
+      if (!rc.primary_links.test(l))
         throw std::logic_error("invariant: registered primary does not traverse link");
-      reg_min += it->second.qos.bmin_kbps;
+      reg_min += rc.qos.bmin_kbps;
     }
     if (std::abs(reg_min - committed[l]) > kEps)
       throw std::logic_error("invariant: primary registry mismatch on link " +
@@ -1385,10 +1462,10 @@ void Network::audit_impl() const {
       throw std::logic_error("invariant: backup registry count mismatch on link " +
                              std::to_string(l));
     for (ConnectionId id : backups_.backups_on_link(l)) {
-      const auto it = connections_.find(id);
-      if (it == connections_.end())
+      const auto it = slot_of_.find(id);
+      if (it == slot_of_.end())
         throw std::logic_error("invariant: stale backup registration");
-      if (!it->second.backup_on_link(l))
+      if (!it->second.ptr->backup_on_link(l))
         throw std::logic_error("invariant: registered backup does not traverse link");
     }
     if (s.failed() && backups_.count_on_link(l) != 0)
@@ -1402,18 +1479,48 @@ void Network::audit_impl() const {
   }
   // BackupManager internals: slot caches, flat scenario ledger, interning.
   backups_.audit();
-  // Active-id bookkeeping.
-  if (active_ids_.size() != connections_.size())
+  // Active-id bookkeeping, and arena slot liveness against the mirrors.
+  if (active_ids_.size() != slot_of_.size())
     throw std::logic_error("invariant: active id count mismatch");
-  if (active_conns_.size() != active_ids_.size())
+  if (active_conns_.size() != active_ids_.size() ||
+      active_slots_.size() != active_ids_.size())
     throw std::logic_error("invariant: active pointer mirror size mismatch");
+  if (arena_.size() != slot_of_.size() + free_slots_.size())
+    throw std::logic_error("invariant: arena slot accounting mismatch");
+  if (soa_extra_quanta_.size() != arena_.size() ||
+      soa_max_extra_.size() != arena_.size() ||
+      soa_increment_.size() != arena_.size() || soa_utility_.size() != arena_.size())
+    throw std::logic_error("invariant: SoA ledger length mismatch");
   for (std::size_t i = 0; i < active_ids_.size(); ++i) {
-    const auto it = active_index_.find(active_ids_[i]);
-    if (it == active_index_.end() || it->second != i)
-      throw std::logic_error("invariant: active index mismatch");
-    const auto conn = connections_.find(active_ids_[i]);
-    if (conn == connections_.end() || active_conns_[i] != &conn->second)
+    const std::uint32_t slot = active_slots_[i];
+    if (slot >= arena_.size())
+      throw std::logic_error("invariant: active slot out of arena bounds");
+    const DrConnection& c = arena_[slot];
+    if (c.id != active_ids_[i])
+      throw std::logic_error("invariant: arena record id mismatch");
+    if (c.arena_slot != slot || c.active_pos != i)
+      throw std::logic_error("invariant: arena back-pointers stale");
+    if (active_conns_[i] != &c)
       throw std::logic_error("invariant: active pointer mirror stale");
+    const auto it = slot_of_.find(c.id);
+    if (it == slot_of_.end() || it->second.slot != slot)
+      throw std::logic_error("invariant: slot index mismatch");
+    if (it->second.ptr != &c)
+      throw std::logic_error("invariant: slot index cached pointer stale");
+    if (soa_extra_quanta_[slot] != c.extra_quanta ||
+        soa_max_extra_[slot] != c.qos.max_extra_quanta() ||
+        soa_increment_[slot] != c.qos.increment_kbps ||
+        soa_utility_[slot] != c.qos.utility)
+      throw std::logic_error("invariant: SoA row out of sync with arena record");
+  }
+  // Every freed slot must hold a blank record (no id, nothing registered) so
+  // a stale reference through a recycled slot is caught as an id mismatch.
+  for (std::uint32_t slot : free_slots_) {
+    if (slot >= arena_.size())
+      throw std::logic_error("invariant: free slot out of arena bounds");
+    if (arena_[slot].id != 0 || slot_of_.count(arena_[slot].id) > 0 ||
+        !arena_[slot].backups.empty())
+      throw std::logic_error("invariant: free slot holds a live record");
   }
 }
 

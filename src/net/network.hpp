@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -278,6 +280,20 @@ class Network {
   };
 
   [[nodiscard]] DrConnection& mutable_connection(ConnectionId id);
+  /// Arena access for an id known to be active (internal call sites only;
+  /// slot_of_.at throws std::out_of_range on a violated precondition).
+  /// Goes through the cached record pointer, not arena_[slot]: one hash
+  /// probe plus a single dependent load, same as the old per-id node map.
+  [[nodiscard]] const DrConnection& conn_at(ConnectionId id) const {
+    return *slot_of_.at(id).ptr;
+  }
+  [[nodiscard]] DrConnection& conn_at(ConnectionId id) {
+    return *slot_of_.at(id).ptr;
+  }
+  /// Moves `c` into a (possibly recycled) arena slot, fills its runtime
+  /// slot/position fields and SoA row, and appends it to the active
+  /// mirrors.  Returns the arena record.
+  DrConnection& arena_insert(DrConnection&& c);
   /// Classifies every active channel (except `exclude`) against the event
   /// path with link list `event_path_links` / bitset `event_links`.  Direct
   /// members come straight from the per-link primary registry (only the
@@ -380,15 +396,45 @@ class Network {
   topology::HopDistanceField goal_;
   Router router_;
 
-  std::unordered_map<ConnectionId, DrConnection> connections_;
+  /// Connection arena: records live at a stable address for their active
+  /// lifetime (deque growth never moves elements), and freed slots are
+  /// recycled LIFO, so ids stay stable with no swap-moves of the heavy
+  /// records and per-event scans walk contiguous storage.
+  std::deque<DrConnection> arena_;
+  std::vector<std::uint32_t> free_slots_;
+  /// id -> arena slot + record address for every active connection (the
+  /// only per-id hash).  The pointer duplicates &arena_[slot] — stable for
+  /// the record's lifetime — so by-id lookups skip the deque's two-level
+  /// indexing (232-byte records pack only two per block, making that
+  /// indirection a guaranteed extra cache line on the request hot path).
+  struct ArenaRef {
+    std::uint32_t slot;
+    DrConnection* ptr;
+  };
+  std::unordered_map<ConnectionId, ArenaRef> slot_of_;
   std::vector<ConnectionId> active_ids_;
-  std::unordered_map<ConnectionId, std::size_t> active_index_;
-  /// Dense mirror of active_ids_: active_conns_[i] points at the
-  /// connections_ node for active_ids_[i] (unordered_map nodes are stable),
-  /// so per-event scans over the active set skip the hash probe per id.
+  /// Dense mirrors of active_ids_ (same order): the records' arena slots
+  /// and addresses, so per-event scans over the active set skip the hash
+  /// probe per id.
+  std::vector<std::uint32_t> active_slots_;
   std::vector<const DrConnection*> active_conns_;
-  /// Primary channels traversing each link.
-  std::vector<std::vector<ConnectionId>> primaries_on_link_;
+  /// Per-link primary registry, structure-of-arrays: `ids` carry identity
+  /// (what classification and victim lists sort), `slots` the matching
+  /// arena positions for hash-free record access.
+  struct LinkRegistry {
+    std::vector<ConnectionId> ids;
+    std::vector<std::uint32_t> slots;
+  };
+  std::vector<LinkRegistry> primaries_on_link_;
+  /// Structure-of-arrays mirror of the redistribute-hot per-connection
+  /// fields, indexed by arena slot: the gainable prefilter's quota test
+  /// scans flat vectors instead of pulling whole records through the cache.
+  /// extra_quanta is synced on every grant/retreat; the qos-derived rows
+  /// are fixed at insertion.
+  std::vector<std::uint32_t> soa_extra_quanta_;
+  std::vector<std::uint32_t> soa_max_extra_;
+  std::vector<double> soa_increment_;
+  std::vector<double> soa_utility_;
 
   /// SRLG membership: one link bitset per declared group (see
   /// set_risk_groups).  Consulted by backup placement (SrlgPolicy) and by
@@ -408,8 +454,17 @@ class Network {
   // const; the Network is not thread-safe regardless.
   mutable ChainSets chain_scratch_;
   mutable util::DynamicBitset direct_union_scratch_;
-  mutable std::vector<ConnectionId> gainable_scratch_;
-  mutable std::vector<std::pair<double, ConnectionId>> heap_scratch_;
+  /// (id, arena slot) of the currently-gainable candidates.
+  mutable std::vector<std::pair<ConnectionId, std::uint32_t>> gainable_scratch_;
+  /// Coefficient-scheme heap entry; ordered by (coef, id) exactly as the
+  /// old pair<double, ConnectionId> heap, the slot rides along for
+  /// hash-free record access.
+  struct GainCandidate {
+    double coef;
+    ConnectionId id;
+    std::uint32_t slot;
+  };
+  mutable std::vector<GainCandidate> heap_scratch_;
   mutable std::vector<ConnectionId> merge_scratch_;
 };
 

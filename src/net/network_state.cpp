@@ -6,8 +6,8 @@
 // Serialization policy: order-bearing state is stored exactly (active_ids_
 // order, per-link registry slots, the backup manager's flat ledgers), while
 // derived caches are rebuilt (primary/backup link bitsets from the paths,
-// active_index_/active_conns_ mirrors, the hop-distance field's usable mask
-// from the failed flags).  Every floating-point ledger value round-trips as
+// the arena slot assignment with its slot_of_/active_* mirrors and SoA
+// ledgers, the hop-distance field's usable mask from the failed flags).  Every floating-point ledger value round-trips as
 // its IEEE-754 bit pattern; link ledgers are rebuilt through the public
 // mutators, whose "0 + x" accumulation reproduces the stored value exactly.
 #include <string>
@@ -64,7 +64,7 @@ void Network::save_state(state::Buffer& out) const {
 
   out.put_u64(active_ids_.size());
   for (ConnectionId id : active_ids_) {
-    const DrConnection& c = connections_.at(id);
+    const DrConnection& c = conn_at(id);
     out.put_u64(c.id);
     out.put_u64(c.src);
     out.put_u64(c.dst);
@@ -143,11 +143,20 @@ void Network::load_state(state::Buffer& in) {
     goal_.set_link_usable(l, !failed);
   }
 
-  connections_.clear();
+  arena_.clear();
+  free_slots_.clear();
+  slot_of_.clear();
   active_ids_.clear();
-  active_index_.clear();
+  active_slots_.clear();
   active_conns_.clear();
-  for (auto& list : primaries_on_link_) list.clear();
+  soa_extra_quanta_.clear();
+  soa_max_extra_.clear();
+  soa_increment_.clear();
+  soa_utility_.clear();
+  for (LinkRegistry& reg : primaries_on_link_) {
+    reg.ids.clear();
+    reg.slots.clear();
+  }
 
   const std::size_t n_conn = in.get_count(1);
   active_ids_.reserve(n_conn);
@@ -201,32 +210,35 @@ void Network::load_state(state::Buffer& in) {
     c.siblings_lost = static_cast<std::size_t>(in.get_u64());
 
     const ConnectionId id = c.id;
-    const auto [it, inserted] = connections_.emplace(id, std::move(c));
-    if (!inserted)
+    if (slot_of_.count(id))
       throw state::CorruptError("checkpoint has duplicate connection id " +
                                 std::to_string(id));
-    active_index_[id] = active_ids_.size();
-    active_ids_.push_back(id);
-    active_conns_.push_back(&it->second);
+    // arena_insert assigns the slot, appends the active mirrors in
+    // checkpoint order, and derives the SoA row from the restored qos.
+    arena_insert(std::move(c));
   }
 
   // Per-link primary registries from the serialized slots.  Slots must tile
   // each registry exactly — a hole or collision means the checkpoint and
   // the connection set disagree.
-  for (ConnectionId id : active_ids_) {
-    const DrConnection& c = connections_.at(id);
+  for (const DrConnection* cp : active_conns_) {
+    const DrConnection& c = *cp;
     for (std::size_t s = 0; s < c.primary.links.size(); ++s) {
-      auto& list = primaries_on_link_[c.primary.links[s]];
+      LinkRegistry& reg = primaries_on_link_[c.primary.links[s]];
       const std::uint32_t slot = c.registry_slots[s];
-      if (slot >= list.size()) list.resize(slot + 1, 0);
-      if (list[slot] != 0)
+      if (slot >= reg.ids.size()) {
+        reg.ids.resize(slot + 1, 0);
+        reg.slots.resize(slot + 1, 0);
+      }
+      if (reg.ids[slot] != 0)
         throw state::CorruptError("checkpoint registry slot collision on link " +
                                   std::to_string(c.primary.links[s]));
-      list[slot] = id;
+      reg.ids[slot] = c.id;
+      reg.slots[slot] = c.arena_slot;
     }
   }
   for (std::size_t l = 0; l < primaries_on_link_.size(); ++l) {
-    for (ConnectionId id : primaries_on_link_[l]) {
+    for (ConnectionId id : primaries_on_link_[l].ids) {
       if (id == 0)
         throw state::CorruptError("checkpoint registry slot hole on link " +
                                   std::to_string(l));

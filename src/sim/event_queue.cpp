@@ -2,15 +2,172 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace eqos::sim {
 
+namespace {
+
+[[noreturn]] void throw_past(double time, double now, std::uint32_t kind) {
+  throw std::invalid_argument("event_queue: scheduling in the past (kind " +
+                              std::to_string(kind) + ", t=" + std::to_string(time) +
+                              " < now=" + std::to_string(now) + ")");
+}
+
+}  // namespace
+
+void EventQueue::set_handler(std::uint32_t kind, Handler handler) {
+  if (kind == 0 || kind > kMaxKind)
+    throw std::invalid_argument("event_queue: handler kind out of range (kind " +
+                                std::to_string(kind) + ")");
+  if (!handler) throw std::invalid_argument("event_queue: null handler");
+  if (handlers_.size() <= kind) handlers_.resize(kind + 1);
+  handlers_[kind] = std::move(handler);
+}
+
+std::uint64_t EventQueue::take_seq() {
+  // Seqs live in the key's high 48 bits; at 10^6 events/s that is ~9 years
+  // of continuous simulation before this trips.
+  if (next_seq_ >= (std::uint64_t{1} << 48))
+    throw std::overflow_error("event_queue: sequence number space exhausted");
+  return next_seq_++;
+}
+
+std::size_t EventQueue::bucket_index(double time) const noexcept {
+  // A pure function of `time` given fixed rung parameters, monotone in
+  // `time`, so same-time events share a bucket and bucket order respects
+  // time order.  The negated comparisons route non-finite intermediates
+  // (inf/NaN widths or offsets) into bucket 0, which is always correct —
+  // bucket 0 is fully sorted before its first pop.
+  if (!(bucket_width_ > 0.0)) return 0;
+  const double d = (time - rung_base_) / bucket_width_;
+  if (!(d > 0.0)) return 0;
+  if (d >= static_cast<double>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<std::size_t>(d);
+}
+
+void EventQueue::insert(double time, std::uint64_t key, std::uint64_t a, std::uint64_t b) {
+  const Event ev{time, key, a, b};
+  if (rung_active_ && time <= horizon_) {
+    const std::size_t idx = bucket_index(time);
+    std::vector<Event>& bucket = buckets_[idx];
+    if (bucket_sorted_[idx]) {
+      // Keep an already-sorted bucket sorted: binary-insert into the live
+      // suffix.  The new event can never land before the consumed prefix —
+      // its time is >= now() and its seq exceeds every consumed seq.
+      bucket.insert(std::lower_bound(bucket.begin() +
+                                         static_cast<std::ptrdiff_t>(bucket_head_[idx]),
+                                     bucket.end(), ev, Earlier{}),
+                    ev);
+    } else {
+      bucket.push_back(ev);
+    }
+    if (idx < cur_bucket_) cur_bucket_ = idx;  // jump back for the new front
+    ++rung_count_;
+  } else {
+    far_.push_back(ev);
+  }
+  ++size_;
+}
+
+void EventQueue::spill() {
+  // Pick the new horizon: take the whole overflow when it is small; for a
+  // huge overflow, slice off roughly the earliest kMaxSpillEvents by
+  // assuming a uniform spread over [tmin, tmax].  Events left behind are
+  // all > horizon, so later inserts <= horizon still order correctly.
+  double tmin = far_.front().time;
+  double tmax = tmin;
+  for (const Event& e : far_) {
+    if (e.time < tmin) tmin = e.time;
+    if (e.time > tmax) tmax = e.time;
+  }
+  double h = tmax;
+  if (far_.size() > kMaxSpillEvents) {
+    h = tmin + (tmax - tmin) * (static_cast<double>(kMaxSpillEvents) /
+                                static_cast<double>(far_.size()));
+    if (!(h >= tmin)) h = tmin;
+  }
+  rung_base_ = tmin;
+  horizon_ = h;
+  bucket_width_ = (h - tmin) / static_cast<double>(kNumBuckets);
+  rung_active_ = true;
+  cur_bucket_ = 0;
+  // In-place partition: move events <= horizon into their buckets (every
+  // bucket is empty/reset here — the rung only drains through pop, which
+  // resets a bucket as it exhausts).
+  std::size_t i = 0;
+  while (i < far_.size()) {
+    if (far_[i].time <= h) {
+      buckets_[bucket_index(far_[i].time)].push_back(far_[i]);
+      ++rung_count_;
+      far_[i] = far_.back();
+      far_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+const EventQueue::Event* EventQueue::front_event() {
+  if (size_ == 0) return nullptr;
+  if (rung_count_ == 0) spill();  // size_ > 0 and rung empty => far_ non-empty
+  while (bucket_head_[cur_bucket_] >= buckets_[cur_bucket_].size()) {
+    // Exhausted (or never-filled) bucket: reset it for the next rung and
+    // move on.  rung_count_ > 0 guarantees a non-empty bucket ahead.
+    buckets_[cur_bucket_].clear();
+    bucket_head_[cur_bucket_] = 0;
+    bucket_sorted_[cur_bucket_] = false;
+    ++cur_bucket_;
+  }
+  std::vector<Event>& bucket = buckets_[cur_bucket_];
+  if (!bucket_sorted_[cur_bucket_]) {
+    std::sort(bucket.begin() + static_cast<std::ptrdiff_t>(bucket_head_[cur_bucket_]),
+              bucket.end(), Earlier{});
+    bucket_sorted_[cur_bucket_] = true;
+  }
+  return &bucket[bucket_head_[cur_bucket_]];
+}
+
+void EventQueue::pop_front() {
+  std::vector<Event>& bucket = buckets_[cur_bucket_];
+  if (++bucket_head_[cur_bucket_] == bucket.size()) {
+    bucket.clear();
+    bucket_head_[cur_bucket_] = 0;
+    bucket_sorted_[cur_bucket_] = false;
+  }
+  --rung_count_;
+  --size_;
+}
+
+void EventQueue::dispatch(const Event& ev) {
+  if (ev.key & kClosureFlag) {
+    const auto it = closures_.find(seq_of(ev.key));
+    Action action = std::move(it->second);
+    closures_.erase(it);
+    action();
+  } else {
+    handlers_[kind_of(ev.key)](EventTag{kind_of(ev.key), ev.a, ev.b});
+  }
+}
+
 void EventQueue::schedule(double time, EventTag tag, Action action) {
-  if (time < now_) throw std::invalid_argument("event_queue: scheduling in the past");
+  if (time < now_) throw_past(time, now_, tag.kind);
   if (!action) throw std::invalid_argument("event_queue: null action");
-  heap_.push_back(Entry{time, next_seq_++, tag, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (tag.kind > kMaxKind)
+    throw std::invalid_argument("event_queue: event kind out of range (kind " +
+                                std::to_string(tag.kind) + ")");
+  const std::uint64_t seq = take_seq();
+  closures_.emplace(seq, std::move(action));
+  insert(time, (seq << kSeqShift) | kClosureFlag | tag.kind, tag.a, tag.b);
+}
+
+void EventQueue::schedule(double time, EventTag tag) {
+  if (time < now_) throw_past(time, now_, tag.kind);
+  if (!has_handler(tag.kind))
+    throw std::invalid_argument("event_queue: no handler registered (kind " +
+                                std::to_string(tag.kind) + ")");
+  insert(time, (take_seq() << kSeqShift) | tag.kind, tag.a, tag.b);
 }
 
 void EventQueue::schedule_in(double delay, EventTag tag, Action action) {
@@ -18,39 +175,67 @@ void EventQueue::schedule_in(double delay, EventTag tag, Action action) {
   schedule(now_ + delay, tag, std::move(action));
 }
 
+void EventQueue::schedule_in(double delay, EventTag tag) {
+  if (delay < 0.0) throw std::invalid_argument("event_queue: negative delay");
+  schedule(now_ + delay, tag);
+}
+
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  now_ = entry.time;
-  entry.action();
+  const Event* front = front_event();
+  if (front == nullptr) return false;
+  const Event ev = *front;  // copy before pop: the handler may schedule
+  pop_front();
+  now_ = ev.time;
+  dispatch(ev);
   return true;
 }
 
 std::size_t EventQueue::run_until(double end_time) {
   if (end_time < now_) throw std::invalid_argument("event_queue: end time in the past");
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.front().time <= end_time) {
-    step();
+  for (;;) {
+    const Event* front = front_event();
+    if (front == nullptr || front->time > end_time) break;
+    const Event ev = *front;
+    pop_front();
+    now_ = ev.time;
+    dispatch(ev);
     ++executed;
   }
   now_ = end_time;
   return executed;
 }
 
-void EventQueue::clear() { heap_.clear(); }
+void EventQueue::clear() {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].clear();
+    bucket_head_[i] = 0;
+    bucket_sorted_[i] = false;
+  }
+  far_.clear();
+  closures_.clear();
+  rung_active_ = false;
+  rung_base_ = bucket_width_ = horizon_ = 0.0;
+  rung_count_ = 0;
+  cur_bucket_ = 0;
+  size_ = 0;
+}
 
 std::vector<EventQueue::PendingEvent> EventQueue::snapshot() const {
   std::vector<PendingEvent> events;
-  events.reserve(heap_.size());
-  for (const Entry& e : heap_) {
-    if (e.tag.kind == 0)
+  events.reserve(size_);
+  const auto emit = [&events](const Event& e) {
+    if (kind_of(e.key) == 0)
       throw std::logic_error(
           "event_queue: cannot snapshot an untagged event (seq " +
-          std::to_string(e.seq) + ")");
-    events.push_back(PendingEvent{e.time, e.seq, e.tag});
-  }
+          std::to_string(seq_of(e.key)) + ")");
+    events.push_back(PendingEvent{e.time, seq_of(e.key),
+                                  EventTag{kind_of(e.key), e.a, e.b}});
+  };
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    for (std::size_t j = bucket_head_[i]; j < buckets_[i].size(); ++j)
+      emit(buckets_[i][j]);
+  for (const Event& e : far_) emit(e);
   std::sort(events.begin(), events.end(), [](const PendingEvent& a, const PendingEvent& b) {
     return a.time != b.time ? a.time < b.time : a.seq < b.seq;
   });
@@ -60,18 +245,29 @@ std::vector<EventQueue::PendingEvent> EventQueue::snapshot() const {
 void EventQueue::restore(double now, std::uint64_t next_seq,
                          const std::vector<PendingEvent>& events,
                          const Rebuilder& rebuild) {
-  heap_.clear();
+  clear();
   now_ = now;
   next_seq_ = next_seq;
-  heap_.reserve(events.size());
+  far_.reserve(events.size());
   for (const PendingEvent& e : events) {
+    if (e.tag.kind > kMaxKind)
+      throw std::invalid_argument("event_queue: event kind out of range (kind " +
+                                  std::to_string(e.tag.kind) + ")");
+    // The rebuilt closure doubles as tag validation (owners throw or return
+    // null for tags they cannot reconstruct); events whose kind has a
+    // registered handler then re-enter the POD fast path and the closure is
+    // discarded.
     Action action = rebuild(e.tag);
     if (!action)
       throw std::invalid_argument("event_queue: restore produced a null action (kind " +
                                   std::to_string(e.tag.kind) + ")");
-    heap_.push_back(Entry{e.time, e.seq, e.tag, std::move(action)});
+    std::uint64_t key = (e.seq << kSeqShift) | (e.tag.kind & kMaxKind);
+    if (!has_handler(e.tag.kind)) {
+      key |= kClosureFlag;
+      closures_.emplace(e.seq, std::move(action));
+    }
+    insert(e.time, key, e.tag.a, e.tag.b);
   }
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 }  // namespace eqos::sim

@@ -1,19 +1,39 @@
 // Discrete-event simulation core.
 //
-// A time-ordered queue of closures with a monotonically advancing clock.
+// A time-ordered future-event list with a monotonically advancing clock.
 // Ties are broken by insertion order so simulations are fully deterministic.
+//
+// Layout: a two-level calendar ("ladder") queue.  Near-future events live in
+// a rung of lazily-sorted buckets spanning [rung_base, horizon); far-future
+// events sit in one unsorted overflow vector.  When the rung drains, the
+// overflow is partitioned into a fresh rung sized so each spill moves at
+// most ~kMaxSpillEvents into buckets.  Pop order is the exact total order
+// (time, seq) — identical to the classic binary heap this replaced —
+// because same-time events always map to the same bucket and each bucket is
+// sorted by (time, seq) before its first pop.
+//
+// Execution: events are 32-byte PODs.  An event scheduled through the
+// tag-only overloads carries no closure at all — step() dispatches it to the
+// per-kind handler registered once via set_handler() (Simulator owns kinds
+// 1..15, FaultInjector 16+).  Closure-carrying events (untagged test/bench
+// events, or tagged events scheduled with an explicit action) keep their
+// std::function in a seq-keyed side table.
 //
 // Checkpointing: closures cannot be serialized, so every event that must
 // survive a checkpoint carries an EventTag — a (kind, a, b) triple its owner
 // knows how to turn back into a closure.  snapshot() emits the pending
-// (time, seq, tag) entries; restore() rebuilds the heap by asking a caller-
-// supplied Rebuilder for each tag's closure.  Because (time, seq) keys are
-// unique, the rebuilt heap pops in exactly the original order, so a restored
-// simulation replays event-for-event identically.
+// (time, seq, tag) entries; restore() asks a caller-supplied Rebuilder for
+// each tag's closure (validating the tag), then re-enqueues the event on the
+// handler fast path when one is registered for its kind.  Because
+// (time, seq) keys are unique, a restored queue pops in exactly the
+// original order, so a restored simulation replays event-for-event
+// identically.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 namespace eqos::sim {
@@ -31,22 +51,43 @@ struct EventTag {
 class EventQueue {
  public:
   using Action = std::function<void()>;
+  /// Per-kind execution hook for tag-only (POD) events.
+  using Handler = std::function<void(const EventTag&)>;
+
+  /// Largest representable event kind (kinds share the event key's low 16
+  /// bits with the closure flag).
+  static constexpr std::uint32_t kMaxKind = 0x7fff;
+
+  /// Registers the handler executed for tag-only events of `kind`
+  /// (1..kMaxKind).  Handlers are registered once, before scheduling; a
+  /// null handler or out-of-range kind throws std::invalid_argument.
+  void set_handler(std::uint32_t kind, Handler handler);
+  /// True iff a handler is registered for `kind`.
+  [[nodiscard]] bool has_handler(std::uint32_t kind) const noexcept {
+    return kind < handlers_.size() && static_cast<bool>(handlers_[kind]);
+  }
 
   /// Schedules `action` at absolute `time` (>= now()).  Events at equal
   /// times fire in scheduling order.  Untagged events cannot be
   /// checkpointed — snapshot() throws if any are pending.
   void schedule(double time, Action action) { schedule(time, EventTag{}, std::move(action)); }
 
-  /// Schedules a tagged (checkpointable) event.
+  /// Schedules a tagged (checkpointable) event with an explicit closure.
   void schedule(double time, EventTag tag, Action action);
+
+  /// Schedules a tag-only POD event dispatched to the kind's registered
+  /// handler — the allocation-free hot path.  Throws std::invalid_argument
+  /// if no handler is registered for `tag.kind`.
+  void schedule(double time, EventTag tag);
 
   /// Schedules `action` `delay` time units from now.
   void schedule_in(double delay, Action action) { schedule_in(delay, EventTag{}, std::move(action)); }
   void schedule_in(double delay, EventTag tag, Action action);
+  void schedule_in(double delay, EventTag tag);
 
   [[nodiscard]] double now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
   /// Pops and runs the earliest event, advancing the clock.  Returns false
   /// when the queue is empty.
@@ -56,7 +97,8 @@ class EventQueue {
   /// at exactly `end_time`.  Returns the number of events executed.
   std::size_t run_until(double end_time);
 
-  /// Discards all pending events (the clock keeps its value).
+  /// Discards all pending events (the clock keeps its value; registered
+  /// handlers survive).
   void clear();
 
   // ---- Checkpointing --------------------------------------------------------
@@ -82,25 +124,73 @@ class EventQueue {
 
   /// Replaces the queue contents: clock set to `now`, next_seq to
   /// `next_seq`, and each event's closure rebuilt from its tag.  Throws
-  /// std::invalid_argument if `rebuild` returns a null action.
+  /// std::invalid_argument if `rebuild` returns a null action.  Events
+  /// whose kind has a registered handler re-enter the POD fast path (the
+  /// rebuilt closure still validates the tag, then is discarded).
   void restore(double now, std::uint64_t next_seq,
                const std::vector<PendingEvent>& events, const Rebuilder& rebuild);
 
  private:
-  struct Entry {
+  /// One pending event.  `key` packs (seq << 16) | closure-flag | kind so a
+  /// single integer compare breaks time ties by insertion seq (seqs are
+  /// unique, and they occupy the high bits, so key order == seq order).
+  struct Event {
     double time;
-    std::uint64_t seq;
-    EventTag tag;
-    Action action;
+    std::uint64_t key;
+    std::uint64_t a;
+    std::uint64_t b;
   };
-  /// std::push_heap/pop_heap build a max-heap, so "later" compares greater.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  static_assert(sizeof(Event) == 32, "events must stay 32-byte PODs");
+
+  static constexpr std::uint64_t kClosureFlag = 0x8000;
+  static constexpr unsigned kSeqShift = 16;
+  static constexpr std::size_t kNumBuckets = 256;
+  /// Target cap on events moved bucket-ward per spill; bounds the work of
+  /// re-priming the rung from a huge overflow.
+  static constexpr std::size_t kMaxSpillEvents = 32 * 1024;
+
+  static constexpr std::uint32_t kind_of(std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(key & kMaxKind);
+  }
+  static constexpr std::uint64_t seq_of(std::uint64_t key) noexcept {
+    return key >> kSeqShift;
+  }
+
+  /// Ascending (time, key) — the pop order.
+  struct Earlier {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time < b.time : a.key < b.key;
     }
   };
 
-  std::vector<Entry> heap_;
+  [[nodiscard]] std::uint64_t take_seq();
+  void insert(double time, std::uint64_t key, std::uint64_t a, std::uint64_t b);
+  [[nodiscard]] std::size_t bucket_index(double time) const noexcept;
+  /// Re-primes the rung from the overflow vector (rung empty, far_ not).
+  void spill();
+  /// The earliest pending event, or nullptr when empty.  Advances
+  /// cur_bucket_ and sorts the front bucket as needed.
+  [[nodiscard]] const Event* front_event();
+  /// Removes the front event (must be the pointer front_event() returned).
+  void pop_front();
+  /// Runs `ev`'s handler or side-table closure.
+  void dispatch(const Event& ev);
+
+  std::array<std::vector<Event>, kNumBuckets> buckets_;
+  std::array<std::size_t, kNumBuckets> bucket_head_{};   ///< consumed prefix
+  std::array<bool, kNumBuckets> bucket_sorted_{};
+  std::vector<Event> far_;                               ///< unsorted, time > horizon_
+  double rung_base_ = 0.0;
+  double bucket_width_ = 0.0;
+  double horizon_ = 0.0;
+  bool rung_active_ = false;
+  std::size_t rung_count_ = 0;      ///< live events across all buckets
+  std::size_t cur_bucket_ = 0;      ///< first possibly non-empty bucket
+  std::size_t size_ = 0;
+
+  std::vector<Handler> handlers_;                        ///< indexed by kind
+  std::unordered_map<std::uint64_t, Action> closures_;   ///< seq -> action
+
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

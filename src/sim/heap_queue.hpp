@@ -1,0 +1,123 @@
+// Reference binary-heap event queue.
+//
+// The pre-ladder EventQueue implementation, kept header-only as (a) the
+// differential-test oracle for the ladder queue's (time, seq) pop order and
+// snapshot/restore contract, and (b) the "heap" side of the
+// BM_EventQueueScheduleRun micro-benchmark.  Not used by the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace eqos::sim {
+
+/// Deterministic future-event list backed by a binary max-heap of
+/// closure-carrying entries (one std::function allocation per event).
+class BaselineHeapQueue {
+ public:
+  using Action = std::function<void()>;
+  using PendingEvent = EventQueue::PendingEvent;
+  using Rebuilder = EventQueue::Rebuilder;
+
+  void schedule(double time, Action action) { schedule(time, EventTag{}, std::move(action)); }
+
+  void schedule(double time, EventTag tag, Action action) {
+    if (time < now_) throw std::invalid_argument("heap_queue: scheduling in the past");
+    if (!action) throw std::invalid_argument("heap_queue: null action");
+    heap_.push_back(Entry{time, next_seq_++, tag, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  void schedule_in(double delay, Action action) { schedule_in(delay, EventTag{}, std::move(action)); }
+
+  void schedule_in(double delay, EventTag tag, Action action) {
+    if (delay < 0.0) throw std::invalid_argument("heap_queue: negative delay");
+    schedule(now_ + delay, tag, std::move(action));
+  }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = entry.time;
+    entry.action();
+    return true;
+  }
+
+  std::size_t run_until(double end_time) {
+    if (end_time < now_) throw std::invalid_argument("heap_queue: end time in the past");
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.front().time <= end_time) {
+      step();
+      ++executed;
+    }
+    now_ = end_time;
+    return executed;
+  }
+
+  void clear() { heap_.clear(); }
+
+  [[nodiscard]] std::vector<PendingEvent> snapshot() const {
+    std::vector<PendingEvent> events;
+    events.reserve(heap_.size());
+    for (const Entry& e : heap_) {
+      if (e.tag.kind == 0)
+        throw std::logic_error("heap_queue: cannot snapshot an untagged event (seq " +
+                               std::to_string(e.seq) + ")");
+      events.push_back(PendingEvent{e.time, e.seq, e.tag});
+    }
+    std::sort(events.begin(), events.end(), [](const PendingEvent& a, const PendingEvent& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    });
+    return events;
+  }
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  void restore(double now, std::uint64_t next_seq, const std::vector<PendingEvent>& events,
+               const Rebuilder& rebuild) {
+    heap_.clear();
+    now_ = now;
+    next_seq_ = next_seq;
+    heap_.reserve(events.size());
+    for (const PendingEvent& e : events) {
+      Action action = rebuild(e.tag);
+      if (!action)
+        throw std::invalid_argument("heap_queue: restore produced a null action (kind " +
+                                    std::to_string(e.tag.kind) + ")");
+      heap_.push_back(Entry{e.time, e.seq, e.tag, std::move(action)});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventTag tag;
+    Action action;
+  };
+  /// std::push_heap/pop_heap build a max-heap, so "later" compares greater.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace eqos::sim

@@ -70,6 +70,11 @@ Simulator::Simulator(net::Network& network, WorkloadConfig config)
              std::function<void()> action) {
         queue_.schedule(t, EventTag{kind, a, b}, std::move(action));
       },
+      // The POD fast path: injector events carry only their tag; the
+      // per-kind handlers registered below route them back to dispatch().
+      [this](double t, std::uint32_t kind, std::uint64_t a, std::uint64_t b) {
+        queue_.schedule(t, EventTag{kind, a, b});
+      },
   };
   fault::Hooks hooks;
   hooks.before_event = [this](double t) {
@@ -85,6 +90,16 @@ Simulator::Simulator(net::Network& network, WorkloadConfig config)
   hooks.on_repair = [this] { ++stats_.repair_events; };
   injector_ = std::make_unique<fault::FaultInjector>(network_, std::move(scheduler),
                                                      std::move(hooks));
+
+  // Tag-dispatch handlers, registered once: events on the hot path are
+  // 32-byte PODs with no per-event closure allocation.
+  queue_.set_handler(kTagArrival, [this](const EventTag&) { do_arrival(); });
+  queue_.set_handler(kTagTermination, [this](const EventTag&) { do_termination(); });
+  for (std::uint32_t kind = fault::kTagLegacyFailure; kind <= fault::kTagAutoRepair;
+       ++kind) {
+    queue_.set_handler(kind,
+                       [this](const EventTag& tag) { injector_->dispatch(tag.kind, tag.a); });
+  }
 
   if (config_.arrival_rate > 0.0) schedule_arrival();
   if (config_.termination_rate > 0.0) schedule_termination();
@@ -133,12 +148,12 @@ void Simulator::load_scenario(const fault::FaultScenario& scenario) {
 
 void Simulator::schedule_arrival() {
   queue_.schedule_in(arrival_rng_.exponential(config_.arrival_rate),
-                     EventTag{kTagArrival, 0, 0}, [this] { do_arrival(); });
+                     EventTag{kTagArrival, 0, 0});
 }
 
 void Simulator::schedule_termination() {
   queue_.schedule_in(termination_rng_.exponential(config_.termination_rate),
-                     EventTag{kTagTermination, 0, 0}, [this] { do_termination(); });
+                     EventTag{kTagTermination, 0, 0});
 }
 
 void Simulator::do_arrival() {
