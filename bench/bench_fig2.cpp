@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   for (const std::size_t n : loads) {
     auto cfg = bench::paper_experiment(n);
     if (cli.smoke) cfg = bench::smoke_config(cfg);
+    cfg.shards = cli.shards;
     points.push_back({&bench::random_network(), cfg, std::to_string(n)});
   }
   const auto sweep = core::run_sweep(points, cli.sweep_options());

@@ -28,6 +28,7 @@
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/heap_queue.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "topology/paths.hpp"
 #include "topology/waxman.hpp"
@@ -249,6 +250,45 @@ BENCHMARK_TEMPLATE(BM_EventQueueScheduleRun, sim::EventQueue)
     ->Range(1000, 1000000);
 BENCHMARK_TEMPLATE(BM_EventQueueScheduleRun, sim::BaselineHeapQueue)
     ->Name("BM_EventQueueScheduleRun/heap")
+    ->RangeMultiplier(10)
+    ->Range(1000, 1000000);
+
+/// Hold model on the sharded engine: same steady-state pop+reschedule as
+/// above, but the pending population is spread over 8 shard-local ladders
+/// (locus = tag.a % 8) and every dispatch goes through the K-way front
+/// merge.  Replacements are scheduled from inside the handler so each one
+/// takes the cross-shard mailbox detour — the worst-case commit path.
+void BM_ShardedEngineScheduleRun(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kKind = 1;
+  constexpr std::uint32_t kShards = 8;
+  util::Rng rng(42);
+  std::array<double, 1024> offsets;
+  for (double& d : offsets) d = rng.uniform(0.0, 100.0);
+
+  sim::ShardedEngine engine;
+  engine.configure(kShards, 25.0, [](const sim::EventTag& t) {
+    return static_cast<std::uint32_t>(t.a % kShards);
+  });
+  std::uint64_t sink = 0;
+  std::uint64_t tick = 0;
+  const auto schedule_one = [&](double t) {
+    engine.schedule(t + offsets[tick % offsets.size()],
+                    sim::EventTag{kKind, tick % kShards, tick});
+    ++tick;
+  };
+  engine.set_handler(kKind, [&](const sim::EventTag& t) {
+    sink += t.b;
+    schedule_one(engine.now());
+  });
+  for (std::size_t i = 0; i < pending; ++i) schedule_one(0.0);
+
+  for (auto _ : state) engine.step();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedEngineScheduleRun)
+    ->Name("BM_ShardedEngineScheduleRun/shards8")
     ->RangeMultiplier(10)
     ->Range(1000, 1000000);
 

@@ -142,7 +142,12 @@ int run_schemes(const eqos::bench::BenchCli& cli, bool audit) {
         wl.termination_rate = 1e-3;
         wl.failure_rate = 0.0;  // all failures come from the scenario / adversary
         wl.seed = core::sweep_seed(bench::kWorkloadSeed, point, rep);
-        sim::Simulator sim(network, wl);
+        sim::Simulator sim(network, wl,
+                           sim::make_shard_plan(graph,
+                                                static_cast<std::uint32_t>(cli.shards),
+                                                ncfg.recovery_detect_time,
+                                                util::Rng::substream_seed(
+                                                    wl.seed, 0x73686172647325ULL)));
         sim.populate(populate);
 
         fault::FaultScenario scenario = partition_srlgs(graph, kSrlgSize);
@@ -202,9 +207,13 @@ int run_schemes(const eqos::bench::BenchCli& cli, bool audit) {
         row.pair = ns.reestablished_pair;
         row.degraded = ns.reestablished_degraded;
         row.dropped = ns.drop_causes.total();
-        row.p50 = util::percentile(ns.recovery_times, 50.0);
-        row.p95 = util::percentile(ns.recovery_times, 95.0);
-        row.p99 = util::percentile(ns.recovery_times, 99.0);
+        // One sort for all three SLA percentiles; NaN when no victim ever
+        // rerouted (absence of data, not instant recovery).
+        const std::vector<double> ttr =
+            util::percentiles(ns.recovery_times, {50.0, 95.0, 99.0});
+        row.p50 = ttr[0];
+        row.p95 = ttr[1];
+        row.p99 = ttr[2];
         row.revenue = rev.total;
         row.sim_kbps = est.mean_bandwidth_kbps;
         row.audit_checks = auditor.checks_run();
@@ -222,15 +231,21 @@ int run_schemes(const eqos::bench::BenchCli& cli, bool audit) {
     return std::to_string(
         static_cast<std::size_t>(std::llround(mean(point, field))));
   };
+  // A scheme/process cell with no rerouted victims has no recovery SLA to
+  // report: print "-" rather than a number that reads as instant recovery.
+  const auto ttr_cell = [&](std::size_t point, auto field) -> std::string {
+    const double v = mean(point, field);
+    return std::isnan(v) ? "-" : util::Table::num(v, 2);
+  };
   for (std::size_t point = 0; point < n_points; ++point) {
     table.add_row({scheme_names[point / 2], process_names[point % 2],
                    count(point, &SchemeRow::attacks), count(point, &SchemeRow::activated),
                    count(point, &SchemeRow::survived_set), count(point, &SchemeRow::victims),
                    count(point, &SchemeRow::pair), count(point, &SchemeRow::degraded),
                    count(point, &SchemeRow::dropped),
-                   util::Table::num(mean(point, &SchemeRow::p50), 2),
-                   util::Table::num(mean(point, &SchemeRow::p95), 2),
-                   util::Table::num(mean(point, &SchemeRow::p99), 2),
+                   ttr_cell(point, &SchemeRow::p50),
+                   ttr_cell(point, &SchemeRow::p95),
+                   ttr_cell(point, &SchemeRow::p99),
                    util::Table::num(mean(point, &SchemeRow::revenue)),
                    util::Table::num(mean(point, &SchemeRow::sim_kbps))});
   }
@@ -254,9 +269,14 @@ int run_schemes(const eqos::bench::BenchCli& cli, bool audit) {
       for (std::size_t pi = 0; pi < 2; ++pi) {
         const std::string prefix = process_names[pi];
         const std::size_t point = si * 2 + pi;
-        entry.extra.emplace_back(prefix + "_ttr_p50", mean(point, &SchemeRow::p50));
-        entry.extra.emplace_back(prefix + "_ttr_p95", mean(point, &SchemeRow::p95));
-        entry.extra.emplace_back(prefix + "_ttr_p99", mean(point, &SchemeRow::p99));
+        // Omit the SLA keys entirely when no victim rerouted: downstream
+        // consumers (validate_obs.py) treat absence as "no data" and a
+        // literal 0.0 as a reporting bug.
+        if (!std::isnan(mean(point, &SchemeRow::p50))) {
+          entry.extra.emplace_back(prefix + "_ttr_p50", mean(point, &SchemeRow::p50));
+          entry.extra.emplace_back(prefix + "_ttr_p95", mean(point, &SchemeRow::p95));
+          entry.extra.emplace_back(prefix + "_ttr_p99", mean(point, &SchemeRow::p99));
+        }
         entry.extra.emplace_back(prefix + "_survived_backup_set",
                                  mean(point, &SchemeRow::survived_set));
         entry.extra.emplace_back(prefix + "_dropped", mean(point, &SchemeRow::dropped));
@@ -324,7 +344,12 @@ int main(int argc, char** argv) {
         wl.termination_rate = 1e-3;
         wl.failure_rate = 0.0;  // all failures come from the scenario
         wl.seed = core::sweep_seed(bench::kWorkloadSeed, point, rep);
-        sim::Simulator sim(network, wl);
+        sim::Simulator sim(network, wl,
+                           sim::make_shard_plan(graph,
+                                                static_cast<std::uint32_t>(cli.shards),
+                                                ncfg.recovery_detect_time,
+                                                util::Rng::substream_seed(
+                                                    wl.seed, 0x73686172647325ULL)));
         sim.populate(populate);
 
         // Partition a shuffled link list into SRLGs of size k.

@@ -1,0 +1,219 @@
+// Sharded-simulation scaling: one run holding a 10^5-node topology.
+//
+// Two phases, one JSON entry (`bench_shard_scale`):
+//
+//  1. Network churn at scale: a 250x400 torus (100,000 nodes, 200,000
+//     links) partitioned into --shards groups, driven by the full workload
+//     (arrivals, terminations, a sampled set of per-link failure processes
+//     with auto-repair).  Exercises the sharded engine end-to-end: link
+//     events land on their owning shard, cross-shard schedules go through
+//     the mailboxes, and the network counts primary routes handed off
+//     between shard ledgers.
+//
+//  2. Engine hold-model throughput: the headline events/sec the perf gate
+//     tracks.  A ShardedEngine holds a large steady-state population of
+//     POD events whose loci rotate across shards (per-shard offset tables
+//     from Rng::substream_seed), so every dispatch exercises the K-way
+//     merge and most replacements cross a shard boundary.  Per-shard event
+//     throughput is reported with p50/p95/p99 over the shard set.
+//
+// Results of phase 1 are bit-identical at every --shards value (same
+// discipline as the macro benches); phase 2's *throughput* naturally
+// depends on the shard count — that is the number being measured.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "fault/scenario.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "topology/partition.hpp"
+#include "topology/regular.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eqos;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  const auto shards = static_cast<std::uint32_t>(cli.shards);
+  const bool fixed = core::fixed_timing();
+
+  // Smoke keeps the protocol but shrinks the torus; the measured run holds
+  // the full 10^5 nodes in one simulation.
+  const std::size_t rows = cli.smoke ? 40 : 250;
+  const std::size_t cols = cli.smoke ? 50 : 400;
+  const std::size_t populate = cli.smoke ? 50 : 200;
+  const std::size_t churn_events = cli.smoke ? 100 : 1000;
+  const std::size_t fault_links = cli.smoke ? 128 : 1024;
+  const std::size_t hold_pending = cli.smoke ? 20'000 : 200'000;
+  const std::size_t hold_steps = cli.smoke ? 100'000 : 2'000'000;
+
+  std::cout << "== Shard scaling: " << rows * cols << "-node torus on " << shards
+            << " shard(s) ==\n";
+  // print_graph_header's all-pairs BFS is O(N*E) — minutes at 10^5 nodes —
+  // so print the analytic torus stats instead.
+  const topology::Graph graph = topology::generate_torus(rows, cols);
+  std::cout << "# Torus: " << graph.num_nodes() << " nodes, " << graph.num_links()
+            << " links, avg degree 4.00, diameter " << (rows / 2 + cols / 2)
+            << "\n";
+
+  const std::uint64_t part_seed =
+      util::Rng::substream_seed(bench::kWorkloadSeed, 0x73686172647325ULL);
+  const topology::Partition partition =
+      topology::partition_graph(graph, shards, part_seed);
+  const std::size_t cut = topology::count_cut_links(graph, partition);
+  std::cout << "# partition: " << partition.shards << " shards, " << cut
+            << " cut links (" << util::Table::num(
+                   100.0 * static_cast<double>(cut) /
+                       static_cast<double>(graph.num_links()), 2)
+            << "% of links)\n";
+
+  const auto clock_now = [] { return std::chrono::steady_clock::now(); };
+  const auto seconds = [](auto a, auto b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  // ---- Phase 1: full-workload churn at scale ------------------------------
+  net::NetworkConfig ncfg;
+  net::Network network(graph, ncfg);
+  sim::WorkloadConfig wl;
+  wl.qos = bench::paper_qos();
+  wl.arrival_rate = 1e-3;
+  wl.termination_rate = 1e-3;
+  wl.seed = bench::kWorkloadSeed;
+  sim::ShardPlan plan;
+  plan.partition = partition;
+  plan.lookahead = ncfg.recovery_detect_time;
+  sim::Simulator sim(network, wl, plan);
+
+  const auto t0 = clock_now();
+  sim.populate(populate);
+
+  // A sampled set of per-link Poisson failure processes, strided across the
+  // link list so every shard owns some: these are the link-scoped events the
+  // locus routes off shard 0.
+  fault::FaultScenario scenario;
+  const std::size_t stride = std::max<std::size_t>(graph.num_links() / fault_links, 1);
+  for (std::size_t l = 0; l < graph.num_links(); l += stride)
+    scenario.stochastic().per_link_rates.emplace_back(
+        static_cast<topology::LinkId>(l), 2e-6);
+  scenario.stochastic().repair.kind = fault::RepairDistribution::kExponential;
+  scenario.stochastic().repair.rate = 1e-2;
+  scenario.stochastic().auto_repair = true;
+  sim.load_scenario(scenario);
+
+  sim.run_events(churn_events);
+  const double churn_wall = seconds(t0, clock_now());
+  const std::size_t churn_total = sim.stats().arrival_events +
+                                  sim.stats().termination_events +
+                                  sim.stats().failure_events +
+                                  sim.stats().repair_events;
+  const double churn_eps =
+      churn_wall > 0.0 ? static_cast<double>(churn_total) / churn_wall : 0.0;
+
+  std::cout << "# churn: " << churn_total << " events ("
+            << sim.stats().failure_events << " failures, "
+            << sim.stats().repair_events << " repairs), "
+            << sim.engine().cross_shard_events() << " cross-shard, "
+            << sim.engine().barrier_rounds() << " barrier rounds, "
+            << network.cross_shard_handoffs() << " route handoffs, "
+            << util::Table::num(fixed ? 0.0 : churn_eps, 0) << " events/s\n";
+
+  // ---- Phase 2: engine hold-model throughput ------------------------------
+  sim::ShardedEngine engine;
+  constexpr std::uint32_t kKind = 1;
+  const std::uint32_t k = std::max<std::uint32_t>(shards, 1);
+  engine.configure(k, 25.0,
+                   [k](const sim::EventTag& t) {
+                     return static_cast<std::uint32_t>(t.a % k);
+                   });
+  // Per-shard offset tables from the canonical substream derivation: shard
+  // s draws its hold offsets from substream_seed(seed, s).
+  std::vector<std::vector<double>> offsets(k);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    util::Rng rng(util::Rng::substream_seed(bench::kWorkloadSeed, s));
+    offsets[s].resize(512);
+    for (double& d : offsets[s]) d = rng.uniform(0.0, 100.0);
+  }
+
+  std::uint64_t sink = 0;
+  std::uint64_t tick = 0;
+  std::vector<std::uint64_t> shard_events(k, 0);
+  const auto schedule_one = [&](double t) {
+    const std::uint64_t locus = tick % k;
+    engine.schedule(t + offsets[locus][tick % offsets[locus].size()],
+                    sim::EventTag{kKind, locus, tick});
+    ++tick;
+  };
+  // Replacements are scheduled from inside the handler, so nearly every one
+  // targets a different shard than the dispatching one and takes the
+  // cross-shard mailbox detour — the worst-case commit path.
+  engine.set_handler(kKind, [&](const sim::EventTag& t) {
+    sink += t.b;
+    ++shard_events[t.a % k];
+    schedule_one(engine.now());
+  });
+  for (std::size_t i = 0; i < hold_pending; ++i) schedule_one(0.0);
+
+  const auto t1 = clock_now();
+  for (std::size_t i = 0; i < hold_steps; ++i) engine.step();
+  const double hold_wall = seconds(t1, clock_now());
+  const double hold_eps =
+      hold_wall > 0.0 ? static_cast<double>(hold_steps) / hold_wall : 0.0;
+  if (sink == 0) std::cerr << "bench_shard_scale: empty sink\n";
+
+  // Per-shard throughput spread (second consumer of util::percentiles).
+  std::vector<double> shard_tput(k, 0.0);
+  for (std::uint32_t s = 0; s < k; ++s)
+    shard_tput[s] = hold_wall > 0.0
+                        ? static_cast<double>(shard_events[s]) / hold_wall
+                        : 0.0;
+  const std::vector<double> tput_pct =
+      util::percentiles(shard_tput, {50.0, 95.0, 99.0});
+
+  util::Table table({"shard", "nodes", "links", "events", "events/s"});
+  std::vector<std::size_t> shard_nodes(k, 0);
+  std::vector<std::size_t> shard_links(k, 0);
+  for (topology::NodeId n = 0; n < graph.num_nodes(); ++n)
+    ++shard_nodes[partition.shard_of[n]];
+  for (const topology::Link& l : graph.links())
+    if (partition.shard_of[l.a] == partition.shard_of[l.b])
+      ++shard_links[partition.shard_of[l.a]];
+  for (std::uint32_t s = 0; s < k; ++s)
+    table.add_row({std::to_string(s), std::to_string(shard_nodes[s]),
+                   std::to_string(shard_links[s]), std::to_string(shard_events[s]),
+                   util::Table::num(fixed ? 0.0 : shard_tput[s], 0)});
+  table.print(std::cout);
+  std::cout << "# hold model: " << hold_steps << " events over " << k
+            << " shard(s), " << engine.cross_shard_events() << " cross-shard, "
+            << engine.barrier_rounds() << " barrier rounds, "
+            << util::Table::num(fixed ? 0.0 : hold_eps, 0) << " events/s aggregate\n";
+  std::cout << "# expectation: near-uniform per-shard event counts; cut links "
+               "stay a thin frontier of the torus\n";
+
+  core::SweepReport report;
+  report.points = 1;
+  report.reps = 1;
+  report.threads = k;
+  report.wall_seconds = churn_wall + hold_wall;
+  report.points_per_second =
+      report.wall_seconds > 0.0 ? 1.0 / report.wall_seconds : 0.0;
+  report.events_per_second = hold_eps;
+  report.extra.emplace_back("nodes", static_cast<double>(graph.num_nodes()));
+  report.extra.emplace_back("links", static_cast<double>(graph.num_links()));
+  report.extra.emplace_back("shards", static_cast<double>(k));
+  report.extra.emplace_back("cut_links", static_cast<double>(cut));
+  report.extra.emplace_back("churn_events_per_second", churn_eps);
+  report.extra.emplace_back("cross_shard_events",
+                            static_cast<double>(engine.cross_shard_events()));
+  report.extra.emplace_back("barrier_rounds",
+                            static_cast<double>(engine.barrier_rounds()));
+  report.extra.emplace_back("route_handoffs",
+                            static_cast<double>(network.cross_shard_handoffs()));
+  report.extra.emplace_back("shard_tput_p50", tput_pct[0]);
+  report.extra.emplace_back("shard_tput_p95", tput_pct[1]);
+  report.extra.emplace_back("shard_tput_p99", tput_pct[2]);
+  return bench::finish_sweep(cli, "bench_shard_scale", report);
+}

@@ -61,6 +61,9 @@ inline bool fast_mode() {
 struct BenchCli {
   std::size_t threads = 1;
   std::size_t reps = 1;
+  /// Event-engine shards per simulation (>= 1).  Results are bit-identical
+  /// at every value — the same invariance discipline as --threads.
+  std::size_t shards = 1;
   bool smoke = false;
   std::string json;
   bool metrics = false;
@@ -120,11 +123,13 @@ inline bool parse_seconds_arg(const std::string& text, double& out) {
 
 inline void cli_usage(const char* prog, std::ostream& out) {
   out << "usage: " << prog
-      << " [--threads N] [--reps N] [--smoke] [--json PATH]"
+      << " [--threads N] [--shards N] [--reps N] [--smoke] [--json PATH]"
          " [--metrics] [--trace] [--trace-json PATH]"
          " [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
          " [--retries N] [--backoff SEC] [--watchdog SEC]\n"
          "  --threads N  sweep workers (1 = serial, 0 = hardware)\n"
+         "  --shards N   event-engine shards per simulation (>= 1;\n"
+         "               results are bit-identical at every value)\n"
          "  --reps N     replications per point (averaged), N >= 1\n"
          "  --smoke      single tiny point (CI smoke test)\n"
          "  --json PATH  write sweep throughput report as JSON\n"
@@ -194,6 +199,8 @@ inline BenchCli parse_cli(int argc, char** argv) {
     };
     if (name == "--threads") {
       cli.threads = size_value(0);
+    } else if (name == "--shards") {
+      cli.shards = size_value(1);
     } else if (name == "--reps") {
       cli.reps = size_value(1);
     } else if (name == "--smoke") {

@@ -4,10 +4,12 @@
 #   1. default build  + tier-1 unit tests (`ctest -L tier1`, must-stay-green)
 #   2. checkpoint-smoke: kill-mid-sweep -> resume -> byte-identical output
 #   3. robustness-smoke: backup-scheme ablation + recovery-percentile schema
-#   4. perf-smoke: bench_fig2 throughput (points/s and events/s) vs the
-#      committed baseline, plus the event-engine >= 10^6 events/s floor
-#   5. event-rate floor, run directly (same gate as the perf-smoke label,
-#      invoked explicitly so the floor is visible in the CI transcript)
+#   4. perf-smoke: bench_fig2 + bench_shard_scale throughput (points/s and
+#      events/s) vs the committed baselines, plus the event-engine and
+#      sharded-engine >= 10^6 events/s floors
+#   5. event-rate floors and the sharded scaling bench, run directly (same
+#      gates as the perf-smoke label, invoked explicitly so the numbers are
+#      visible in the CI transcript)
 #   6. sanitize preset (ASan + UBSan) build + tier-1 tests
 #
 # Stages run in this order so the cheap determinism gates fail fast before
@@ -51,6 +53,18 @@ stage "event-engine throughput floor (>= 1e6 events/s single-core)"
 build/bench/bench_micro '--benchmark_filter=BM_EventQueueScheduleRun/ladder/1000$' \
   --benchmark_out=build/bench/BENCH_event_rate_ci.json --benchmark_out_format=json >/dev/null
 python3 scripts/check_event_rate.py build/bench/BENCH_event_rate_ci.json --floor 1e6
+
+stage "sharded-engine throughput floor (8 shards, >= 1e6 events/s)"
+build/bench/bench_micro '--benchmark_filter=BM_ShardedEngineScheduleRun/shards8/1000$' \
+  --benchmark_out=build/bench/BENCH_shard_rate_ci.json --benchmark_out_format=json >/dev/null
+python3 scripts/check_event_rate.py build/bench/BENCH_shard_rate_ci.json \
+  --name BM_ShardedEngineScheduleRun/shards8/1000 --floor 1e6
+
+stage "sharded scaling bench (smoke torus, 4 shards, vs baseline)"
+build/bench/bench_shard_scale --smoke --shards 4 \
+  --json build/bench/BENCH_shard_smoke_ci.json >/dev/null
+python3 scripts/bench_compare.py BENCH_shard_smoke_baseline.json \
+  build/bench/BENCH_shard_smoke_ci.json
 
 if [ "$run_asan" -eq 1 ]; then
   stage "sanitizer build + tier-1 (ASan + UBSan)"

@@ -17,10 +17,13 @@ Checks the schema of:
     ascending, and every event kind from the known set;
   * with --recovery-schemes, the per-scheme entries ("<bench>/<scheme>")
     the backup-scheme ablation writes: each must carry an "extra" object
-    with, per failure process (poisson, adversary), monotone non-negative
+    with, per failure process (poisson, adversary), monotone positive
     recovery percentiles *_ttr_p50 <= *_ttr_p95 <= *_ttr_p99 plus
     *_survived_backup_set, *_dropped (non-negative integers) and
-    *_revenue (non-negative number).
+    *_revenue (non-negative number).  A failure-free run omits all three
+    percentile keys (accepted); partial presence or a literal 0.0
+    percentile (the empty-sample-reads-as-instant-recovery bug) is an
+    error.
 
 Wired into ctest as the `obs-smoke` and `robustness-smoke` labels.  Exits
 nonzero with the first schema violation on stderr.
@@ -119,14 +122,29 @@ def validate_recovery(path, bench, schemes):
         require(isinstance(extra, dict), f"{path}: {key} has no 'extra' object")
         for process in RECOVERY_PROCESSES:
             ctx = f"{path}: {key} {process}"
-            pcts = []
-            for q in (50, 95, 99):
-                v = extra.get(f"{process}_ttr_p{q}")
-                require(isinstance(v, (int, float)) and v >= 0,
-                        f"{ctx}: bad ttr p{q}")
-                pcts.append(v)
-            require(pcts[0] <= pcts[1] <= pcts[2],
-                    f"{ctx}: recovery percentiles not monotone: {pcts}")
+            # A failure-free run records no recovery samples: all three
+            # percentile keys must then be absent (NaN percentiles are
+            # omitted from JSON).  Partial presence means the writer is
+            # inconsistent, and a literal 0.0 means the old
+            # empty-sample-reads-as-instant-recovery bug is back.
+            present = [q for q in (50, 95, 99)
+                       if f"{process}_ttr_p{q}" in extra]
+            if present:
+                require(len(present) == 3,
+                        f"{ctx}: partial recovery percentiles "
+                        f"(only p{present})")
+                pcts = []
+                for q in (50, 95, 99):
+                    v = extra.get(f"{process}_ttr_p{q}")
+                    require(isinstance(v, (int, float)) and v >= 0,
+                            f"{ctx}: bad ttr p{q}")
+                    require(v != 0.0,
+                            f"{ctx}: ttr p{q} is literal 0.0 — empty "
+                            "recovery samples must omit the key, not "
+                            "report instant recovery")
+                    pcts.append(v)
+                require(pcts[0] <= pcts[1] <= pcts[2],
+                        f"{ctx}: recovery percentiles not monotone: {pcts}")
             for field in ("survived_backup_set", "dropped"):
                 v = extra.get(f"{process}_{field}")
                 require(

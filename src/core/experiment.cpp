@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/ideal.hpp"
+#include "util/rng.hpp"
 
 namespace eqos::core {
 namespace {
@@ -24,7 +26,16 @@ ExperimentResult run_experiment(const topology::Graph& graph,
   Clock::time_point mark = Clock::now();
 
   net::Network network(graph, config.network);
-  sim::Simulator simulator(network, config.workload);
+  // The partition seed derives from the workload seed but the plan never
+  // feeds any fingerprint: shard count is an execution-layout knob, not part
+  // of the experiment's identity.
+  sim::Simulator simulator(
+      network, config.workload,
+      sim::make_shard_plan(network.graph(),
+                           static_cast<std::uint32_t>(std::max<std::size_t>(config.shards, 1)),
+                           config.network.recovery_detect_time,
+                           util::Rng::substream_seed(config.workload.seed,
+                                                     0x73686172647325ULL)));
 
   result.established = simulator.populate(config.target_connections);
   result.attempted = simulator.stats().populate_attempts;

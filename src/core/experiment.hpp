@@ -26,6 +26,11 @@ struct ExperimentConfig {
   std::size_t warmup_events = 500;
   /// Churn events inside the measurement window.
   std::size_t measure_events = 2000;
+  /// Event-engine shards (>= 1).  Purely an execution-layout knob: results
+  /// are bit-identical at every value, so it is excluded from checkpoint
+  /// and sweep fingerprints (a run checkpointed at one shard count resumes
+  /// at another).
+  std::size_t shards = 1;
 };
 
 /// Wall-clock cost of one experiment, split by protocol phase.  Timing is

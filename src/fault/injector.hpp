@@ -147,6 +147,14 @@ class FaultInjector {
   /// std::logic_error for kinds the injector does not own.
   void dispatch(std::uint32_t kind, std::uint64_t a);
 
+  /// The link driven by per-link process `index` (kTagLinkProcess operand),
+  /// or nullopt when out of range.  Lets a sharded host map a process event
+  /// to the shard owning its link.
+  [[nodiscard]] std::optional<topology::LinkId> process_link(std::size_t index) const {
+    if (index >= link_processes_.size()) return std::nullopt;
+    return link_processes_[index].first;
+  }
+
  private:
   /// Schedules the event named by (kind, a) through schedule_event when
   /// available (no closure), else through schedule_tagged / schedule_at

@@ -128,6 +128,24 @@ void Network::set_risk_groups(
   risk_groups_ = std::move(built);
 }
 
+void Network::set_partition(const topology::Partition& partition) {
+  link_shard_.clear();
+  cross_shard_handoffs_ = 0;
+  if (partition.shards <= 1 || partition.shard_of.size() != graph_.num_nodes())
+    return;
+  link_shard_.resize(graph_.num_links());
+  for (std::size_t l = 0; l < graph_.num_links(); ++l) {
+    // A link belongs to the shard of its first endpoint (the same owner
+    // rule the simulator's event locus uses).
+    link_shard_[l] = partition.shard_of[graph_.link(static_cast<topology::LinkId>(l)).a];
+  }
+}
+
+std::uint32_t Network::link_shard(topology::LinkId link) const {
+  if (link_shard_.empty()) return 0;
+  return link_shard_.at(link);
+}
+
 util::DynamicBitset Network::srlg_expand(const util::DynamicBitset& links) const {
   util::DynamicBitset out = links;
   for (const util::DynamicBitset& g : risk_groups_)
@@ -381,6 +399,14 @@ void Network::release_primary_min(const DrConnection& c) {
 }
 
 void Network::register_primary(DrConnection& c) {
+  if (!link_shard_.empty()) {
+    // Each shard change along the committed primary is a route handoff
+    // between shard-local ledgers (diagnostic only; see set_partition).
+    for (std::size_t i = 1; i < c.primary.links.size(); ++i) {
+      if (link_shard_[c.primary.links[i]] != link_shard_[c.primary.links[i - 1]])
+        ++cross_shard_handoffs_;
+    }
+  }
   c.registry_slots.resize(c.primary.links.size());
   for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
     LinkRegistry& reg = primaries_on_link_[c.primary.links[i]];

@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "state/serial.hpp"
 #include "topology/graph.hpp"
+#include "topology/partition.hpp"
 
 namespace eqos::net {
 
@@ -175,6 +176,24 @@ class Network {
   /// affects only subsequently placed backups.  Each group is a set of link
   /// ids; a link may belong to several groups.
   void set_risk_groups(const std::vector<std::vector<topology::LinkId>>& groups);
+
+  // ---- Sharding -----------------------------------------------------------
+
+  /// Declares the shard layout a sharded simulation runs this network
+  /// under.  Transient bookkeeping only — never serialized and never part
+  /// of a reported metric, so declaring it cannot perturb results — used to
+  /// attribute each link to its owning shard and to count cross-shard route
+  /// handoffs at primary (re)establishment.  A single-shard partition, or
+  /// one that does not cover the graph, clears the layout.
+  void set_partition(const topology::Partition& partition);
+  /// Shard owning `link` under the declared partition (0 when unsharded).
+  [[nodiscard]] std::uint32_t link_shard(topology::LinkId link) const;
+  /// Consecutive primary-route link pairs spanning two shards, accumulated
+  /// whenever a primary is (re)placed: arrivals, rescues, and backup
+  /// switchovers.  Each is a route handoff between shard-local ledgers.
+  [[nodiscard]] std::uint64_t cross_shard_handoffs() const noexcept {
+    return cross_shard_handoffs_;
+  }
 
   // ---- Observers ----------------------------------------------------------
 
@@ -441,6 +460,11 @@ class Network {
   /// the audits; not checkpointed (callers re-declare after load, exactly
   /// like the graph and config).
   std::vector<util::DynamicBitset> risk_groups_;
+
+  /// Transient shard layout (see set_partition): per-link owning shard;
+  /// empty when unsharded.  Like risk_groups_, never checkpointed.
+  std::vector<std::uint32_t> link_shard_;
+  std::uint64_t cross_shard_handoffs_ = 0;
 
   ConnectionId next_id_ = 1;
   NetworkStats stats_;

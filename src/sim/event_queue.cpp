@@ -206,6 +206,19 @@ std::size_t EventQueue::run_until(double end_time) {
   return executed;
 }
 
+void EventQueue::prepare(double horizon) {
+  if (size_ == 0) return;
+  if (rung_count_ == 0) spill();
+  const std::size_t last =
+      horizon >= horizon_ ? kNumBuckets - 1 : bucket_index(horizon);
+  for (std::size_t i = cur_bucket_; i <= last; ++i) {
+    if (bucket_sorted_[i] || bucket_head_[i] >= buckets_[i].size()) continue;
+    std::sort(buckets_[i].begin() + static_cast<std::ptrdiff_t>(bucket_head_[i]),
+              buckets_[i].end(), Earlier{});
+    bucket_sorted_[i] = true;
+  }
+}
+
 void EventQueue::clear() {
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     buckets_[i].clear();

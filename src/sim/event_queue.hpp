@@ -130,7 +130,18 @@ class EventQueue {
   void restore(double now, std::uint64_t next_seq,
                const std::vector<PendingEvent>& events, const Rebuilder& rebuild);
 
+  /// Pure maintenance: re-primes the rung from the overflow if drained and
+  /// pre-sorts every live bucket covering times up to `horizon`.  Pop order
+  /// and contents are unchanged — this only moves sorting work that step()
+  /// would do lazily to a moment of the caller's choosing, which is what
+  /// lets a sharded engine run per-shard maintenance concurrently inside a
+  /// conservative time window.  Idempotent; safe on an empty queue.
+  void prepare(double horizon);
+
  private:
+  /// ShardedEngine drives K ladders through insert/front_event/pop_front
+  /// with globally-assigned sequence numbers and its own dispatch tables.
+  friend class ShardedEngine;
   /// One pending event.  `key` packs (seq << 16) | closure-flag | kind so a
   /// single integer compare breaks time ties by insertion seq (seqs are
   /// unique, and they occupy the high bits, so key order == seq order).

@@ -1,0 +1,278 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace eqos::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Backlog below which the window barrier runs prepare() serially: with few
+/// pending events the per-window thread spawn costs more than the sorting
+/// it parallelizes.
+constexpr std::size_t kParallelPrepareThreshold = 4096;
+
+}  // namespace
+
+ShardPlan make_shard_plan(const topology::Graph& graph, std::uint32_t shards,
+                          double detect_time, std::uint64_t seed) {
+  ShardPlan plan;
+  plan.partition = topology::partition_graph(graph, shards, seed);
+  plan.lookahead = detect_time > 0.0 ? detect_time : 1.0;
+  if (plan.shards() <= 1) plan.lookahead = kInf;
+  return plan;
+}
+
+ShardedEngine::ShardedEngine()
+    : queues_(1), lookahead_(kInf), window_end_(-kInf) {}
+
+void ShardedEngine::configure(std::uint32_t shards, double lookahead, Locus locus) {
+  if (next_seq_ != 0 || pending() != 0)
+    throw std::logic_error("sharded_engine: configure after scheduling");
+  const std::uint32_t k = std::max<std::uint32_t>(shards, 1);
+  if (k > 1 && !locus)
+    throw std::invalid_argument("sharded_engine: multi-shard layout needs a locus");
+  if (k > 1 && !(lookahead > 0.0))
+    throw std::invalid_argument("sharded_engine: lookahead must be positive");
+  queues_ = std::vector<EventQueue>(k);
+  mailboxes_.assign(static_cast<std::size_t>(k) * k, {});
+  locus_ = std::move(locus);
+  lookahead_ = k == 1 ? kInf : lookahead;
+  window_end_ = -kInf;
+  barrier_rounds_ = 0;
+  cross_shard_events_ = 0;
+}
+
+void ShardedEngine::set_handler(std::uint32_t kind, Handler handler) {
+  if (kind == 0 || kind > kMaxKind)
+    throw std::invalid_argument("sharded_engine: handler kind out of range (kind " +
+                                std::to_string(kind) + ")");
+  if (!handler) throw std::invalid_argument("sharded_engine: null handler");
+  if (handlers_.size() <= kind) handlers_.resize(kind + 1);
+  handlers_[kind] = std::move(handler);
+}
+
+std::uint64_t ShardedEngine::take_seq() {
+  // Same 48-bit key budget as EventQueue: seqs share keys with the kind bits.
+  if (next_seq_ >= (std::uint64_t{1} << 48))
+    throw std::overflow_error("sharded_engine: sequence number space exhausted");
+  return next_seq_++;
+}
+
+std::uint32_t ShardedEngine::locus_of(const EventTag& tag) const {
+  if (queues_.size() == 1 || !locus_) return 0;
+  const std::uint32_t shard = locus_(tag);
+  if (shard >= queues_.size())
+    throw std::logic_error("sharded_engine: locus returned shard " +
+                           std::to_string(shard) + " of " +
+                           std::to_string(queues_.size()));
+  return shard;
+}
+
+void ShardedEngine::route(double time, std::uint64_t key, std::uint64_t a,
+                          std::uint64_t b) {
+  const std::uint32_t dst = locus_of(
+      EventTag{static_cast<std::uint32_t>(key & kMaxKind), a, b});
+  if (in_dispatch_ && dst != dispatching_shard_) {
+    mailboxes_[static_cast<std::size_t>(dispatching_shard_) * queues_.size() + dst]
+        .push_back(EventQueue::Event{time, key, a, b});
+    ++cross_shard_events_;
+  } else {
+    queues_[dst].insert(time, key, a, b);
+  }
+}
+
+void ShardedEngine::flush_mailboxes(std::uint32_t src) {
+  // Destination-ascending, FIFO within a pair: a fixed drain order so the
+  // exchange itself is deterministic.  (Pop order is already pinned by the
+  // globally assigned seqs; the fixed order keeps the protocol auditable.)
+  const std::size_t k = queues_.size();
+  for (std::size_t dst = 0; dst < k; ++dst) {
+    std::vector<EventQueue::Event>& box = mailboxes_[src * k + dst];
+    for (const EventQueue::Event& ev : box)
+      queues_[dst].insert(ev.time, ev.key, ev.a, ev.b);
+    box.clear();
+  }
+}
+
+void ShardedEngine::schedule(double time, EventTag tag, Action action) {
+  if (time < now_)
+    throw std::invalid_argument("sharded_engine: scheduling in the past (kind " +
+                                std::to_string(tag.kind) + ")");
+  if (!action) throw std::invalid_argument("sharded_engine: null action");
+  if (tag.kind > kMaxKind)
+    throw std::invalid_argument("sharded_engine: event kind out of range (kind " +
+                                std::to_string(tag.kind) + ")");
+  const std::uint64_t seq = take_seq();
+  closures_.emplace(seq, std::move(action));
+  route(time, (seq << EventQueue::kSeqShift) | EventQueue::kClosureFlag | tag.kind,
+        tag.a, tag.b);
+}
+
+void ShardedEngine::schedule(double time, EventTag tag) {
+  if (time < now_)
+    throw std::invalid_argument("sharded_engine: scheduling in the past (kind " +
+                                std::to_string(tag.kind) + ")");
+  if (!has_handler(tag.kind))
+    throw std::invalid_argument("sharded_engine: no handler registered (kind " +
+                                std::to_string(tag.kind) + ")");
+  route(time, (take_seq() << EventQueue::kSeqShift) | tag.kind, tag.a, tag.b);
+}
+
+void ShardedEngine::schedule_in(double delay, EventTag tag, Action action) {
+  if (delay < 0.0) throw std::invalid_argument("sharded_engine: negative delay");
+  schedule(now_ + delay, tag, std::move(action));
+}
+
+void ShardedEngine::schedule_in(double delay, EventTag tag) {
+  if (delay < 0.0) throw std::invalid_argument("sharded_engine: negative delay");
+  schedule(now_ + delay, tag);
+}
+
+std::size_t ShardedEngine::pending() const noexcept {
+  std::size_t total = 0;
+  for (const EventQueue& q : queues_) total += q.pending();
+  return total;
+}
+
+void ShardedEngine::open_window(double front_time) {
+  window_end_ = front_time + lookahead_;
+  ++barrier_rounds_;
+  const std::size_t k = queues_.size();
+  if (k > 1 && pending() >= kParallelPrepareThreshold) {
+    // The parallel maintenance plane: each shard re-primes and pre-sorts
+    // its own ladder up to the window end.  prepare() touches only that
+    // queue's storage and never changes pop order, so this is free of both
+    // data races and ordering effects.
+    std::vector<std::thread> workers;
+    workers.reserve(k);
+    for (std::size_t i = 0; i < k; ++i)
+      workers.emplace_back([this, i] { queues_[i].prepare(window_end_); });
+    for (std::thread& w : workers) w.join();
+  } else {
+    for (EventQueue& q : queues_) q.prepare(window_end_);
+  }
+}
+
+const EventQueue::Event* ShardedEngine::merge_front(std::uint32_t& shard) {
+  const EventQueue::Event* best = nullptr;
+  for (std::uint32_t i = 0; i < queues_.size(); ++i) {
+    const EventQueue::Event* f = queues_[i].front_event();
+    if (f == nullptr) continue;
+    if (best == nullptr || EventQueue::Earlier{}(*f, *best)) {
+      best = f;
+      shard = i;
+    }
+  }
+  // prepare() never changes any queue's front, so the window can open after
+  // the merge without re-peeking.
+  if (best != nullptr && best->time > window_end_) open_window(best->time);
+  return best;
+}
+
+void ShardedEngine::dispatch(const EventQueue::Event& ev, std::uint32_t shard) {
+  in_dispatch_ = true;
+  dispatching_shard_ = shard;
+  try {
+    if (ev.key & EventQueue::kClosureFlag) {
+      const auto it = closures_.find(EventQueue::seq_of(ev.key));
+      Action action = std::move(it->second);
+      closures_.erase(it);
+      action();
+    } else {
+      handlers_[EventQueue::kind_of(ev.key)](
+          EventTag{EventQueue::kind_of(ev.key), ev.a, ev.b});
+    }
+  } catch (...) {
+    in_dispatch_ = false;
+    flush_mailboxes(shard);
+    throw;
+  }
+  in_dispatch_ = false;
+  flush_mailboxes(shard);
+}
+
+bool ShardedEngine::step() {
+  std::uint32_t shard = 0;
+  const EventQueue::Event* front = merge_front(shard);
+  if (front == nullptr) return false;
+  const EventQueue::Event ev = *front;  // copy before pop: the handler may schedule
+  queues_[shard].pop_front();
+  now_ = ev.time;
+  dispatch(ev, shard);
+  return true;
+}
+
+std::size_t ShardedEngine::run_until(double end_time) {
+  if (end_time < now_)
+    throw std::invalid_argument("sharded_engine: end time in the past");
+  std::size_t executed = 0;
+  for (;;) {
+    std::uint32_t shard = 0;
+    const EventQueue::Event* front = merge_front(shard);
+    if (front == nullptr || front->time > end_time) break;
+    const EventQueue::Event ev = *front;
+    queues_[shard].pop_front();
+    now_ = ev.time;
+    dispatch(ev, shard);
+    ++executed;
+  }
+  now_ = end_time;
+  return executed;
+}
+
+void ShardedEngine::clear() {
+  for (EventQueue& q : queues_) q.clear();
+  for (std::vector<EventQueue::Event>& box : mailboxes_) box.clear();
+  closures_.clear();
+  window_end_ = -kInf;
+}
+
+std::vector<ShardedEngine::PendingEvent> ShardedEngine::snapshot() const {
+  std::vector<PendingEvent> all;
+  all.reserve(pending());
+  for (const EventQueue& q : queues_) {
+    std::vector<PendingEvent> part = q.snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(), [](const PendingEvent& a, const PendingEvent& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  });
+  return all;
+}
+
+void ShardedEngine::restore(double now, std::uint64_t next_seq,
+                            const std::vector<PendingEvent>& events,
+                            const Rebuilder& rebuild) {
+  clear();
+  now_ = now;
+  next_seq_ = next_seq;
+  barrier_rounds_ = 0;
+  cross_shard_events_ = 0;
+  for (const PendingEvent& e : events) {
+    if (e.tag.kind > kMaxKind)
+      throw std::invalid_argument("sharded_engine: event kind out of range (kind " +
+                                  std::to_string(e.tag.kind) + ")");
+    Action action = rebuild(e.tag);
+    if (!action)
+      throw std::invalid_argument(
+          "sharded_engine: restore produced a null action (kind " +
+          std::to_string(e.tag.kind) + ")");
+    std::uint64_t key = (e.seq << EventQueue::kSeqShift) | (e.tag.kind & kMaxKind);
+    if (!has_handler(e.tag.kind)) {
+      key |= EventQueue::kClosureFlag;
+      closures_.emplace(e.seq, std::move(action));
+    }
+    // Re-route through the locus: a checkpoint carries no shard layout, so
+    // the same file restores at any shard count.
+    queues_[locus_of(e.tag)].insert(e.time, key, e.tag.a, e.tag.b);
+  }
+}
+
+}  // namespace eqos::sim

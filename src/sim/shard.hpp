@@ -1,0 +1,182 @@
+// Sharded deterministic event engine.
+//
+// `ShardedEngine` partitions the future-event list across K `EventQueue`
+// ladder instances — one per graph shard — and advances them under a
+// conservative time-windowed barrier protocol while preserving the *exact*
+// serial execution order.  The design splits the engine into two planes:
+//
+//  * Commit plane (serial, bit-exact).  One global clock and one global
+//    sequence counter span all shards.  Each step K-way-merges the shard
+//    queues' front events by (time, seq) and dispatches the global minimum;
+//    since every shard queue pops in exact (time, seq) order, the merge of
+//    the K fronts is the global minimum, so the dispatch order is identical
+//    to a single queue holding every event.  Results are therefore
+//    bit-identical at any shard count — the property the sweep harness
+//    already guarantees for thread counts.
+//
+//  * Maintenance plane (parallel, order-neutral).  When the merged front
+//    crosses the current window, the engine opens a new window
+//    [T, T + lookahead) — lookahead derived from the failure detect time,
+//    the soonest a cross-shard effect can matter — and runs
+//    `EventQueue::prepare(window_end)` on every shard, concurrently when the
+//    backlog justifies threads.  prepare() only re-primes rungs and
+//    pre-sorts buckets, work step() would otherwise do lazily one queue at
+//    a time, so parallelism never touches ordering.
+//
+// Cross-shard traffic: an event scheduled *during a dispatch* whose locus
+// lands on a different shard is parked in the per-(src, dst) mailbox and
+// flushed — destination-ascending, FIFO within a pair — when the handler
+// returns, before the next front selection.  Sequence numbers are assigned
+// at schedule time from the global counter, so the parked detour is
+// order-equivalent to direct insertion; the mailboxes exist to keep a
+// handler from mutating a foreign shard's ladder mid-flight and to expose
+// the cross-shard event flow (`cross_shard_events()`) the scaling bench
+// reports.
+//
+// Checkpointing: snapshot() merges the per-shard snapshots into one global
+// (time, seq)-ordered list — byte-identical to what a single queue would
+// emit — and restore() re-routes each event through the locus function.  A
+// checkpoint therefore carries no shard layout at all: it can be written at
+// one shard count and resumed at another, bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "topology/partition.hpp"
+
+namespace eqos::sim {
+
+/// Shard layout for one simulation: the node partition plus the
+/// conservative window width.
+struct ShardPlan {
+  topology::Partition partition;
+  /// Window width for the barrier protocol (simulated time).  Ignored for
+  /// single-shard plans (the window is infinite).
+  double lookahead = 1.0;
+
+  [[nodiscard]] std::uint32_t shards() const noexcept {
+    return partition.shards == 0 ? 1 : partition.shards;
+  }
+};
+
+/// Builds the deterministic shard plan for a graph: seeded
+/// recursive-bisection partition plus a lookahead of `detect_time` (the
+/// failure detection/notification delay — the soonest one shard's failure
+/// can affect another's recovery bookkeeping).  A non-positive detect time
+/// falls back to 1.0.
+[[nodiscard]] ShardPlan make_shard_plan(const topology::Graph& graph,
+                                        std::uint32_t shards, double detect_time,
+                                        std::uint64_t seed);
+
+/// K-sharded deterministic future-event list.  Drop-in for EventQueue's
+/// public surface; a default-constructed engine is a single shard and
+/// behaves exactly like one EventQueue.
+class ShardedEngine {
+ public:
+  using Action = EventQueue::Action;
+  using Handler = EventQueue::Handler;
+  using PendingEvent = EventQueue::PendingEvent;
+  using Rebuilder = EventQueue::Rebuilder;
+  /// Maps an event's tag to the shard that owns it (in [0, shards)).
+  using Locus = std::function<std::uint32_t(const EventTag&)>;
+
+  static constexpr std::uint32_t kMaxKind = EventQueue::kMaxKind;
+
+  ShardedEngine();
+
+  /// Installs the shard layout.  Must run before anything is scheduled
+  /// (throws std::logic_error otherwise); registered handlers survive.
+  /// `locus` may be null when `shards` == 1.
+  void configure(std::uint32_t shards, double lookahead, Locus locus);
+
+  void set_handler(std::uint32_t kind, Handler handler);
+  [[nodiscard]] bool has_handler(std::uint32_t kind) const noexcept {
+    return kind < handlers_.size() && static_cast<bool>(handlers_[kind]);
+  }
+
+  void schedule(double time, Action action) {
+    schedule(time, EventTag{}, std::move(action));
+  }
+  void schedule(double time, EventTag tag, Action action);
+  void schedule(double time, EventTag tag);
+  void schedule_in(double delay, Action action) {
+    schedule_in(delay, EventTag{}, std::move(action));
+  }
+  void schedule_in(double delay, EventTag tag, Action action);
+  void schedule_in(double delay, EventTag tag);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+
+  /// Pops and runs the globally earliest event.  False when empty.
+  bool step();
+  /// Runs events with time <= `end_time`; clock finishes at `end_time`.
+  std::size_t run_until(double end_time);
+  /// Discards pending events (clock and handlers survive).
+  void clear();
+
+  // ---- Checkpointing ------------------------------------------------------
+
+  /// Pending events across all shards in global (time, seq) order —
+  /// byte-identical to a single EventQueue's snapshot of the same events,
+  /// so checkpoints are shard-count-invariant.
+  [[nodiscard]] std::vector<PendingEvent> snapshot() const;
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  /// Replaces the engine contents; each event is re-routed to its locus
+  /// shard (a checkpoint carries no shard layout).
+  void restore(double now, std::uint64_t next_seq,
+               const std::vector<PendingEvent>& events, const Rebuilder& rebuild);
+
+  // ---- Introspection (benches, tests) -------------------------------------
+
+  [[nodiscard]] std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+  [[nodiscard]] double lookahead() const noexcept { return lookahead_; }
+  /// Windows opened so far (barrier rounds of the maintenance plane).
+  [[nodiscard]] std::uint64_t barrier_rounds() const noexcept { return barrier_rounds_; }
+  /// Events that crossed a shard boundary through a mailbox.
+  [[nodiscard]] std::uint64_t cross_shard_events() const noexcept {
+    return cross_shard_events_;
+  }
+  [[nodiscard]] std::size_t shard_pending(std::uint32_t shard) const {
+    return queues_.at(shard).pending();
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t take_seq();
+  [[nodiscard]] std::uint32_t locus_of(const EventTag& tag) const;
+  /// Inserts directly or parks in a mailbox when issued mid-dispatch for a
+  /// foreign shard.
+  void route(double time, std::uint64_t key, std::uint64_t a, std::uint64_t b);
+  void flush_mailboxes(std::uint32_t src);
+  /// The globally earliest event (or nullptr), advancing the window first
+  /// when the front has crossed it.
+  [[nodiscard]] const EventQueue::Event* merge_front(std::uint32_t& shard);
+  void open_window(double front_time);
+  void dispatch(const EventQueue::Event& ev, std::uint32_t shard);
+
+  std::vector<EventQueue> queues_;
+  /// Parked cross-shard events, src-major (src * shards + dst).
+  std::vector<std::vector<EventQueue::Event>> mailboxes_;
+  Locus locus_;
+  double lookahead_ = 0.0;
+  double window_end_ = 0.0;
+  bool in_dispatch_ = false;
+  std::uint32_t dispatching_shard_ = 0;
+
+  std::vector<Handler> handlers_;
+  std::unordered_map<std::uint64_t, Action> closures_;
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t barrier_rounds_ = 0;
+  std::uint64_t cross_shard_events_ = 0;
+};
+
+}  // namespace eqos::sim

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -57,12 +58,37 @@ const net::ElasticQosSpec& WorkloadConfig::sample_qos(util::Rng& rng) const {
   return qos_mix.back().first;
 }
 
-Simulator::Simulator(net::Network& network, WorkloadConfig config)
+Simulator::Simulator(net::Network& network, WorkloadConfig config, ShardPlan plan)
     : network_(network),
       config_(config),
+      plan_(std::move(plan)),
       arrival_rng_(config.seed),
       termination_rng_(config.seed ^ 0x7465726d696e6174ULL) {
   config_.validate();
+  const std::uint32_t shards = plan_.shards();
+  if (shards > 1 && plan_.partition.shard_of.size() != network_.graph().num_nodes())
+    throw std::invalid_argument("simulator: shard plan does not cover the graph");
+  // Event locus: link-scoped events (repairs, per-link fault processes) live
+  // on the shard owning the link's first endpoint; everything driven by a
+  // global process (arrivals, terminations, network-wide failure draws,
+  // scripted scenario events, SRLG bursts) lives on the driver shard 0.
+  queue_.configure(
+      shards, plan_.lookahead, [this](const EventTag& tag) -> std::uint32_t {
+        switch (tag.kind) {
+          case fault::kTagLegacyRepair:
+          case fault::kTagAutoRepair:
+            return plan_.partition.shard(
+                network_.graph().link(static_cast<topology::LinkId>(tag.a)).a);
+          case fault::kTagLinkProcess: {
+            const auto link = injector_->process_link(static_cast<std::size_t>(tag.a));
+            if (!link) return 0;
+            return plan_.partition.shard(network_.graph().link(*link).a);
+          }
+          default:
+            return 0;
+        }
+      });
+  network_.set_partition(plan_.partition);
   fault::Scheduler scheduler{
       [this] { return queue_.now(); },
       [this](double t, std::function<void()> action) { queue_.schedule(t, std::move(action)); },

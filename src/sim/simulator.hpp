@@ -22,6 +22,7 @@
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/recorder.hpp"
+#include "sim/shard.hpp"
 #include "util/rng.hpp"
 
 namespace eqos::sim {
@@ -59,8 +60,12 @@ struct SimulationStats {
 /// Drives a Network with the configured workload.
 class Simulator {
  public:
-  /// The network must outlive the simulator.
-  Simulator(net::Network& network, WorkloadConfig config);
+  /// The network must outlive the simulator.  `plan` shards the event
+  /// engine over the topology (default: one shard).  Results are
+  /// bit-identical at every shard count — the plan affects only how the
+  /// event list is stored and maintained, never execution order — so
+  /// checkpoints written at one shard count restore at any other.
+  Simulator(net::Network& network, WorkloadConfig config, ShardPlan plan = {});
 
   /// Attempts to establish `attempts` connections between uniformly random
   /// distinct node pairs at the current simulation time and returns how many
@@ -94,6 +99,8 @@ class Simulator {
   [[nodiscard]] const SimulationStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+  /// The sharded event engine (shard layout, barrier/mailbox counters).
+  [[nodiscard]] const ShardedEngine& engine() const noexcept { return queue_; }
 
   // ---- Checkpointing --------------------------------------------------------
 
@@ -125,7 +132,8 @@ class Simulator {
 
   net::Network& network_;
   WorkloadConfig config_;
-  EventQueue queue_;
+  ShardPlan plan_;
+  ShardedEngine queue_;
   util::Rng arrival_rng_;
   util::Rng termination_rng_;
   /// Owns all failure/repair processes; heap-held because its scheduled

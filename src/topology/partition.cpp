@@ -1,0 +1,115 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eqos::topology {
+
+namespace {
+
+/// Splits `nodes` (sorted ascending) into two halves, the first of size
+/// `left_size`, by growing a BFS region from a seeded start node.  The
+/// frontier is a min-heap over node id, so growth order is a pure function
+/// of the graph and the start node.  On disconnected remainders the growth
+/// restarts from the smallest unassigned id.
+void bisect(const Graph& graph, const std::vector<NodeId>& nodes,
+            std::size_t left_size, std::uint64_t seed,
+            std::vector<NodeId>& left, std::vector<NodeId>& right) {
+  std::vector<char> eligible(graph.num_nodes(), 0);
+  for (NodeId n : nodes) eligible[n] = 1;
+
+  util::Rng rng(seed);
+  const NodeId start = nodes[rng.index(nodes.size())];
+
+  std::vector<char> taken(graph.num_nodes(), 0);
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> frontier;
+  frontier.push(start);
+  std::vector<char> queued(graph.num_nodes(), 0);
+  queued[start] = 1;
+  std::size_t next_restart = 0;  // scan cursor over `nodes` for restarts
+
+  left.clear();
+  right.clear();
+  while (left.size() < left_size) {
+    if (frontier.empty()) {
+      // Disconnected remainder: restart from the smallest unassigned id.
+      while (taken[nodes[next_restart]] || queued[nodes[next_restart]]) {
+        ++next_restart;
+      }
+      frontier.push(nodes[next_restart]);
+      queued[nodes[next_restart]] = 1;
+    }
+    const NodeId n = frontier.top();
+    frontier.pop();
+    if (taken[n]) continue;
+    taken[n] = 1;
+    left.push_back(n);
+    for (const Adjacency& adj : graph.adjacent(n)) {
+      if (eligible[adj.neighbor] && !taken[adj.neighbor] && !queued[adj.neighbor]) {
+        frontier.push(adj.neighbor);
+        queued[adj.neighbor] = 1;
+      }
+    }
+  }
+  for (NodeId n : nodes) {
+    if (!taken[n]) right.push_back(n);
+  }
+  std::sort(left.begin(), left.end());
+}
+
+/// Assigns shards [shard_lo, shard_lo + k) to `nodes` recursively.
+void assign(const Graph& graph, const std::vector<NodeId>& nodes,
+            std::uint32_t shard_lo, std::uint32_t k, std::uint64_t seed,
+            Partition& out) {
+  if (k == 1) {
+    for (NodeId n : nodes) out.shard_of[n] = shard_lo;
+    return;
+  }
+  const std::uint32_t k_left = (k + 1) / 2;
+  // Node count proportional to the shard split so K need not be a power
+  // of two: sizes stay within one of each other.
+  const std::size_t left_size =
+      nodes.size() * k_left / k + ((nodes.size() * k_left) % k != 0 ? 1 : 0);
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  bisect(graph, nodes, std::min(left_size, nodes.size()), seed, left, right);
+  assign(graph, left, shard_lo, k_left, util::Rng::substream_seed(seed, 1), out);
+  assign(graph, right, shard_lo + k_left, k - k_left,
+         util::Rng::substream_seed(seed, 2), out);
+}
+
+}  // namespace
+
+Partition partition_graph(const Graph& graph, std::uint32_t shards,
+                          std::uint64_t seed) {
+  Partition p;
+  p.shard_of.assign(graph.num_nodes(), 0);
+  if (graph.num_nodes() == 0) {
+    p.shards = 1;
+    return p;
+  }
+  std::uint32_t k = std::max<std::uint32_t>(shards, 1);
+  k = std::min<std::uint32_t>(k, static_cast<std::uint32_t>(graph.num_nodes()));
+  p.shards = k;
+  if (k == 1) return p;
+  std::vector<NodeId> all(graph.num_nodes());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<NodeId>(i);
+  assign(graph, all, 0, k, seed, p);
+  return p;
+}
+
+std::size_t count_cut_links(const Graph& graph, const Partition& p) {
+  if (p.shard_of.size() != graph.num_nodes()) {
+    throw std::invalid_argument("count_cut_links: partition/graph size mismatch");
+  }
+  std::size_t cut = 0;
+  for (const Link& l : graph.links()) {
+    if (p.shard_of[l.a] != p.shard_of[l.b]) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace eqos::topology

@@ -3,20 +3,44 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace eqos::util {
 
-double percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  if (q <= 0.0) return *std::min_element(samples.begin(), samples.end());
-  if (q >= 100.0) return *std::max_element(samples.begin(), samples.end());
-  std::sort(samples.begin(), samples.end());
-  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+namespace {
+
+/// Rank interpolation over an already-sorted, non-empty sample set.
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  if (q <= 0.0) return sorted.front();
+  if (q >= 100.0) return sorted.back();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples.size()) return samples.back();
-  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(samples.begin(), samples.end());
+  return sorted_percentile(samples, q);
+}
+
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& qs) {
+  if (samples.empty()) {
+    return std::vector<double>(qs.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(sorted_percentile(samples, q));
+  return out;
 }
 
 void RunningStat::add(double x) {
@@ -83,7 +107,9 @@ void TimeWeightedMean::update(double time, double value) {
     started_ = true;
     start_ = time;
   } else {
-    assert(time >= last_time_);
+    if (time < last_time_) {
+      throw std::invalid_argument("TimeWeightedMean::update: non-monotone time");
+    }
     area_ += last_value_ * (time - last_time_);
   }
   last_time_ = time;
@@ -92,7 +118,9 @@ void TimeWeightedMean::update(double time, double value) {
 
 double TimeWeightedMean::integral(double end_time) const {
   if (!started_) return 0.0;
-  assert(end_time >= last_time_);
+  if (end_time < last_time_) {
+    throw std::invalid_argument("TimeWeightedMean::integral: end before last update");
+  }
   return area_ + last_value_ * (end_time - last_time_);
 }
 

@@ -17,10 +17,17 @@
 namespace eqos::util {
 
 /// Percentile of a sample set by linear interpolation between closest ranks
-/// (the numpy default).  `q` in [0, 100].  Returns 0 for an empty sample —
-/// the recovery-SLA columns print 0 when nothing rerouted.  Sorts a copy;
-/// callers on hot paths should batch their queries.
+/// (the numpy default).  `q` in [0, 100].  Returns NaN for an empty sample —
+/// "no observations" must stay distinguishable from "recovered in 0 time";
+/// reporting layers omit the metric instead of printing the NaN.  Sorts a
+/// copy; callers with several queries should use `percentiles`.
 [[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Batched percentiles: sorts `samples` once and answers every query in
+/// `qs` (same rank interpolation as `percentile`).  Returns one value per
+/// query, in query order; all NaN for an empty sample set.
+[[nodiscard]] std::vector<double> percentiles(std::vector<double> samples,
+                                              const std::vector<double>& qs);
 
 /// Streaming mean / variance / min / max (Welford).
 class RunningStat {
@@ -58,7 +65,9 @@ class RunningStat {
 /// Call `update(t, v)` whenever the signal changes to value `v` at time `t`;
 /// the value is held constant until the next update.  `mean(t_end)` closes
 /// the last segment at `t_end` and returns the integral divided by the
-/// observed span.  Updates must have non-decreasing timestamps.
+/// observed span.  Updates must have non-decreasing timestamps; a
+/// non-monotone `update`/`integral` throws std::invalid_argument (a clock
+/// running backwards would silently corrupt the integral otherwise).
 class TimeWeightedMean {
  public:
   void update(double time, double value);

@@ -1,0 +1,331 @@
+// Tier-1 tests for the sharded deterministic engine: ladder-queue spill
+// edge cases, the seeded partitioner, shard-count invariance of full
+// simulations (checkpoint bytes compared), cross-shard checkpoint restore,
+// and the stats-layer regressions that rode along (NaN percentiles,
+// TimeWeightedMean monotonicity throws).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/scenario.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/heap_queue.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "topology/partition.hpp"
+#include "topology/transit_stub.hpp"
+#include "topology/waxman.hpp"
+#include "util/stats.hpp"
+
+namespace eqos {
+namespace {
+
+// Mirrors EventQueue::kMaxSpillEvents (private): the per-spill cap on how
+// many far-future events move into rung buckets at once.
+constexpr std::size_t kSpillCap = 32 * 1024;
+
+constexpr std::uint32_t kKind = 1;
+
+/// Registers a recording handler on `q` (must run before the first tagged
+/// schedule) appending payloads to `order` in pop order.
+void record_pops(sim::EventQueue& q, std::vector<std::uint64_t>& order) {
+  q.set_handler(kKind, [&order](const sim::EventTag& t) { order.push_back(t.a); });
+}
+
+// ---- EventQueue spill edge cases -----------------------------------------
+
+TEST(EventQueueSpill, AllEqualTimestampsPopInSeqOrder) {
+  // Every event at one timestamp makes the spilled range degenerate
+  // (bucket_width_ == 0); all events must land in bucket 0 and still pop in
+  // insertion (seq) order.
+  sim::EventQueue q;
+  std::vector<std::uint64_t> order;
+  record_pops(q, order);
+  const std::size_t n = 1000;
+  for (std::size_t i = 0; i < n; ++i)
+    q.schedule(5.0, sim::EventTag{kKind, i, 0});
+  while (q.step()) {
+  }
+  ASSERT_EQ(order.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueSpill, EqualTimestampsMatchHeapQueue) {
+  // Differential against the reference heap on a duplicate-heavy schedule.
+  sim::EventQueue ladder;
+  sim::BaselineHeapQueue heap;
+  std::vector<std::uint64_t> ladder_order;
+  std::vector<std::uint64_t> heap_order;
+  record_pops(ladder, ladder_order);
+  const double times[] = {3.0, 1.0, 3.0, 2.0, 1.0, 3.0, 1.0, 2.0};
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const double t = times[i % 8];
+    ladder.schedule(t, sim::EventTag{kKind, i, 0});
+    heap.schedule(t, sim::EventTag{kKind, i, 0},
+                  [&heap_order, i] { heap_order.push_back(i); });
+  }
+  while (ladder.step()) {
+  }
+  while (heap.step()) {
+  }
+  EXPECT_EQ(ladder_order, heap_order);
+}
+
+TEST(EventQueueSpill, OverflowAtSpillCapPlusOneMatchesHeapQueue) {
+  // Exactly one event past the spill cap: the first spill moves kSpillCap
+  // events and strands one in the far list; pop order must be unaffected.
+  sim::EventQueue ladder;
+  sim::BaselineHeapQueue heap;
+  std::vector<std::uint64_t> ladder_order;
+  std::vector<std::uint64_t> heap_order;
+  record_pops(ladder, ladder_order);
+  const std::size_t n = kSpillCap + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    // A mix of duplicates and distinct times, descending then ascending, so
+    // the spill sees an adversarial distribution.
+    const double t = static_cast<double>((i * 7919) % 1024) * 0.5;
+    ladder.schedule(t, sim::EventTag{kKind, i, 0});
+    heap.schedule(t, sim::EventTag{kKind, i, 0},
+                  [&heap_order, i] { heap_order.push_back(i); });
+  }
+  while (ladder.step()) {
+  }
+  while (heap.step()) {
+  }
+  ASSERT_EQ(ladder_order.size(), n);
+  EXPECT_EQ(ladder_order, heap_order);
+}
+
+// ---- Partitioner ----------------------------------------------------------
+
+TEST(Partition, DeterministicBalancedAndCovering) {
+  topology::WaxmanConfig wc;
+  wc.nodes = 200;
+  const topology::Graph g = topology::generate_waxman(wc, 7);
+  const topology::Partition p1 = topology::partition_graph(g, 8, 99);
+  const topology::Partition p2 = topology::partition_graph(g, 8, 99);
+  EXPECT_EQ(p1.shard_of, p2.shard_of);  // same seed, same layout
+  ASSERT_EQ(p1.shard_of.size(), g.num_nodes());
+  std::vector<std::size_t> sizes(8, 0);
+  for (const std::uint32_t s : p1.shard_of) {
+    ASSERT_LT(s, 8u);
+    ++sizes[s];
+  }
+  for (const std::size_t sz : sizes) {
+    EXPECT_GE(sz, g.num_nodes() / 16);  // no shard starves
+    EXPECT_LE(sz, g.num_nodes() / 4);   // no shard hoards
+  }
+  EXPECT_GT(topology::count_cut_links(g, p1), 0u);
+  // A different seed grows the bisection from different roots.
+  const topology::Partition p3 = topology::partition_graph(g, 8, 100);
+  EXPECT_NE(p1.shard_of, p3.shard_of);
+}
+
+TEST(Partition, SingleShardAndClamping) {
+  topology::WaxmanConfig wc;
+  wc.nodes = 20;
+  const topology::Graph g = topology::generate_waxman(wc, 7);
+  const topology::Partition one = topology::partition_graph(g, 1, 5);
+  EXPECT_EQ(one.shards, 1u);
+  EXPECT_EQ(topology::count_cut_links(g, one), 0u);
+  // More shards than nodes clamps to num_nodes.
+  const topology::Partition many = topology::partition_graph(g, 64, 5);
+  EXPECT_EQ(many.shards, g.num_nodes());
+}
+
+// ---- ShardedEngine determinism -------------------------------------------
+
+/// Runs a fixed scripted schedule (handler reschedules across shards) and
+/// returns the dispatch trace.
+std::vector<std::pair<double, std::uint64_t>> engine_trace(std::uint32_t shards) {
+  sim::ShardedEngine engine;
+  engine.configure(shards, 10.0, [shards](const sim::EventTag& t) {
+    return static_cast<std::uint32_t>(t.a % shards);
+  });
+  std::vector<std::pair<double, std::uint64_t>> trace;
+  engine.set_handler(kKind, [&](const sim::EventTag& t) {
+    trace.emplace_back(engine.now(), t.b);
+    if (t.b < 500) {
+      // Reschedule onto a rotating locus from inside the dispatch: at
+      // shards > 1 this takes the mailbox detour.
+      engine.schedule(engine.now() + 0.5 + static_cast<double>(t.b % 7),
+                      sim::EventTag{kKind, t.b + 1, t.b + 1});
+    }
+  });
+  for (std::uint64_t i = 0; i < 64; ++i)
+    engine.schedule(static_cast<double>(i % 16), sim::EventTag{kKind, i, i});
+  while (engine.step()) {
+  }
+  return trace;
+}
+
+TEST(ShardedEngine, TraceInvariantAcrossShardCounts) {
+  const auto t1 = engine_trace(1);
+  const auto t2 = engine_trace(2);
+  const auto t8 = engine_trace(8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+// ---- Full-simulation shard invariance ------------------------------------
+
+struct SimResult {
+  std::string checkpoint;
+  sim::SimulationStats stats;
+};
+
+/// One deterministic run: populate, scripted SRLG scenario plus stochastic
+/// churn, then a checkpoint snapshot of the complete state.
+SimResult run_sim(const topology::Graph& graph, std::uint32_t shards,
+                  std::size_t events) {
+  net::NetworkConfig ncfg;
+  net::Network network(graph, ncfg);
+  sim::WorkloadConfig wl;
+  wl.qos.bmin_kbps = 100.0;
+  wl.qos.bmax_kbps = 500.0;
+  wl.qos.increment_kbps = 50.0;
+  wl.arrival_rate = 0.01;
+  wl.termination_rate = 0.01;
+  wl.seed = 4242;
+  sim::ShardPlan plan = sim::make_shard_plan(graph, shards,
+                                             ncfg.recovery_detect_time, 77);
+  sim::Simulator sim(network, wl, plan);
+  sim.populate(40);
+
+  fault::FaultScenario scenario;
+  scenario.define_group("conduit", {0, 1, 2});
+  scenario.fail_group(50.0, "conduit");
+  scenario.repair_group(250.0, "conduit");
+  scenario.fail_link(120.0, 3);
+  scenario.repair_link(300.0, 3);
+  scenario.stochastic().link_failure_rate = 1e-4;
+  scenario.stochastic().repair.rate = 1e-2;
+  scenario.stochastic().auto_repair = true;
+  sim.load_scenario(scenario);
+  sim.run_events(events);
+
+  SimResult r;
+  std::ostringstream out;
+  sim.save_checkpoint(out);
+  r.checkpoint = out.str();
+  r.stats = sim.stats();
+  return r;
+}
+
+TEST(ShardInvariance, WaxmanCheckpointBitIdentical) {
+  topology::WaxmanConfig wc;
+  wc.nodes = 120;
+  const topology::Graph g = topology::generate_waxman(wc, 11);
+  const SimResult r1 = run_sim(g, 1, 300);
+  const SimResult r2 = run_sim(g, 2, 300);
+  const SimResult r8 = run_sim(g, 8, 300);
+  EXPECT_GT(r1.stats.failure_events, 0u);
+  EXPECT_EQ(r1.checkpoint, r2.checkpoint);
+  EXPECT_EQ(r1.checkpoint, r8.checkpoint);
+  EXPECT_EQ(r1.stats.arrival_events, r8.stats.arrival_events);
+  EXPECT_EQ(r1.stats.failure_events, r8.stats.failure_events);
+  EXPECT_EQ(r1.stats.repair_events, r8.stats.repair_events);
+}
+
+TEST(ShardInvariance, TransitStubCheckpointBitIdentical) {
+  const topology::TransitStubGraph ts =
+      topology::generate_transit_stub({}, 13);
+  const SimResult r1 = run_sim(ts.graph, 1, 300);
+  const SimResult r2 = run_sim(ts.graph, 2, 300);
+  const SimResult r8 = run_sim(ts.graph, 8, 300);
+  EXPECT_GT(r1.stats.failure_events, 0u);
+  EXPECT_EQ(r1.checkpoint, r2.checkpoint);
+  EXPECT_EQ(r1.checkpoint, r8.checkpoint);
+}
+
+TEST(ShardInvariance, CheckpointRestoresAcrossShardCounts) {
+  // Save mid-run at 2 shards, restore into an 8-shard simulator, and both
+  // must continue to byte-identical futures: shard count is an execution
+  // layout, not simulation state.
+  topology::WaxmanConfig wc;
+  wc.nodes = 120;
+  const topology::Graph g = topology::generate_waxman(wc, 11);
+
+  const auto make = [&g](std::uint32_t shards, net::Network& network,
+                         sim::WorkloadConfig& wl) {
+    net::NetworkConfig ncfg;
+    wl.qos.bmin_kbps = 100.0;
+    wl.qos.bmax_kbps = 500.0;
+    wl.qos.increment_kbps = 50.0;
+    wl.arrival_rate = 0.01;
+    wl.termination_rate = 0.01;
+    wl.seed = 4242;
+    return sim::Simulator(network, wl,
+                          sim::make_shard_plan(g, shards,
+                                               ncfg.recovery_detect_time, 77));
+  };
+
+  net::NetworkConfig ncfg;
+  net::Network net_a(g, ncfg);
+  sim::WorkloadConfig wl_a;
+  sim::Simulator sim_a = make(2, net_a, wl_a);
+  sim_a.populate(40);
+  fault::FaultScenario scenario;
+  scenario.stochastic().link_failure_rate = 1e-4;
+  scenario.stochastic().repair.rate = 1e-2;
+  sim_a.load_scenario(scenario);
+  sim_a.run_events(150);
+
+  std::ostringstream mid;
+  sim_a.save_checkpoint(mid);
+
+  net::Network net_b(g, ncfg);
+  sim::WorkloadConfig wl_b;
+  sim::Simulator sim_b = make(8, net_b, wl_b);
+  // The resume protocol reconstructs configuration (scenario included)
+  // before restoring state, exactly like the sweep driver does.
+  sim_b.load_scenario(scenario);
+  std::istringstream in(mid.str());
+  sim_b.load_checkpoint(in);
+
+  sim_a.run_events(150);
+  sim_b.run_events(150);
+  std::ostringstream end_a;
+  std::ostringstream end_b;
+  sim_a.save_checkpoint(end_a);
+  sim_b.save_checkpoint(end_b);
+  EXPECT_EQ(end_a.str(), end_b.str());
+  EXPECT_DOUBLE_EQ(sim_a.now(), sim_b.now());
+}
+
+// ---- Stats regressions ----------------------------------------------------
+
+TEST(Percentile, EmptySampleIsNaNNotZero) {
+  EXPECT_TRUE(std::isnan(util::percentile({}, 50.0)));
+  const std::vector<double> pct = util::percentiles({}, {50.0, 95.0, 99.0});
+  ASSERT_EQ(pct.size(), 3u);
+  for (const double v : pct) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(Percentile, BatchMatchesSingleQueries) {
+  const std::vector<double> samples{9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0};
+  const std::vector<double> qs{0.0, 25.0, 50.0, 95.0, 100.0};
+  const std::vector<double> batch = util::percentiles(samples, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], util::percentile(samples, qs[i]));
+}
+
+TEST(TimeWeightedMean, ThrowsOnNonMonotoneTime) {
+  util::TimeWeightedMean m;
+  m.update(1.0, 10.0);
+  m.update(2.0, 20.0);
+  EXPECT_THROW(m.update(1.5, 30.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.integral(1.5)), std::invalid_argument);
+  // The series is still usable after the rejected updates.
+  EXPECT_DOUBLE_EQ(m.integral(3.0), 10.0 + 20.0);
+}
+
+}  // namespace
+}  // namespace eqos
