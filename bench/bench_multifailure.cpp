@@ -28,6 +28,13 @@
 // revenue each scheme retains.  With --json, entries are keyed
 // "bench_multifailure/<scheme>" and carry the percentiles in an "extra"
 // section.
+//
+// Pass --recovery-protocol to run the event-driven recovery control plane
+// ablation instead: every scheme under ideal (p_loss = 0) vs lossy
+// (p_loss = 0.2) signaling at matched failure budgets, reporting *measured*
+// TTR and blackout percentiles plus signaling send/loss/retry and
+// deadline-miss counts.  JSON entries are keyed
+// "bench_multifailure/rp_<scheme>".
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -79,6 +86,29 @@ struct SchemeRow {
   double sim_kbps = 0.0;
 };
 
+/// One (scheme, signaling variant) cell of the --recovery-protocol ablation.
+struct RpRow {
+  std::size_t attacks = 0;        ///< SRLG bursts fired
+  std::size_t audit_checks = 0;
+  std::size_t severed = 0;        ///< victims handed to the recovery plane
+  std::size_t signals = 0;        ///< signaling messages sent
+  std::size_t losses = 0;         ///< signaling messages lost
+  std::size_t retries = 0;        ///< retry timeouts scheduled
+  std::size_t fallbacks = 0;      ///< fell back to the next covering channel
+  std::size_t deadline_miss = 0;  ///< victims dropped at the recovery deadline
+  std::size_t recovered = 0;      ///< commits + rescues
+  std::size_t dropped = 0;        ///< all drop causes
+  std::size_t victims = 0;        ///< unprotected victims (every severance)
+  std::size_t events = 0;         ///< churn events executed (for events/s)
+  double p50 = 0.0;               ///< measured time-to-reroute percentiles
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double b50 = 0.0;               ///< blackout-time percentiles (incl. drops)
+  double b95 = 0.0;
+  double b99 = 0.0;
+  double revenue = 0.0;
+};
+
 constexpr std::size_t kSrlgSize = 3;
 
 /// Partitions a shuffled link list into SRLGs of size k (the bench's
@@ -98,6 +128,211 @@ eqos::fault::FaultScenario partition_srlgs(const eqos::topology::Graph& graph,
                            links.begin() + static_cast<std::ptrdiff_t>(end)});
   }
   return scenario;
+}
+
+/// The --recovery-protocol ablation: every backup scheme under the
+/// event-driven recovery control plane, ideal signaling (p_loss = 0) vs
+/// lossy signaling (p_loss = 0.2) at matched failure budgets — both
+/// variants replay the identical Poisson SRLG burst sequence (same
+/// scenario, same per-scheme seeds), so every difference in the reported
+/// TTR / blackout / drop numbers is attributable to signaling losses.
+/// All times are *measured* simulated elapsed times (severance to commit),
+/// not the legacy analytic detect + per-hop formulas.
+int run_recovery_protocol(const eqos::bench::BenchCli& cli, bool audit) {
+  using namespace eqos;
+  const topology::Graph& graph = bench::random_network();
+  std::cout << "== Multi-failure: event-driven recovery protocol "
+               "(ideal vs lossy signaling) ==\n";
+  bench::print_graph_header("Random (Waxman)", graph);
+  bench::print_workload_header(bench::paper_experiment(2000));
+  std::cout << "# SRLGs of " << kSrlgSize << " links; Poisson bursts (group rate "
+               "0.01, repair rate 0.025), matched across variants; detect "
+               "U[0.1,0.5], timeout 0.5 x2 backoff, retry cap 3, deadline 8; "
+               "lossy variant p_loss 0.2\n";
+
+  const net::BackupScheme schemes[3] = {net::BackupScheme::kSingle,
+                                        net::BackupScheme::kDualDisjoint,
+                                        net::BackupScheme::kSegment};
+  const char* scheme_names[3] = {"single", "dual", "segment"};
+  const char* variant_names[2] = {"ideal", "lossy"};
+  const std::size_t populate = cli.smoke ? 300 : (bench::fast_mode() ? 800 : 2000);
+  const std::size_t warmup = cli.smoke ? 30 : (bench::fast_mode() ? 200 : 500);
+  const std::size_t attacks = cli.smoke ? 2 : (bench::fast_mode() ? 5 : 15);
+  const double spacing = 100.0;
+  const double outage = 40.0;
+  const std::size_t n_points = 6;  // 3 schemes x {ideal, lossy}
+
+  core::SweepReport report;
+  const auto rows = bench::run_point_grid(
+      cli, "bench_multifailure_recovery", n_points, report,
+      [&](std::size_t point, std::size_t rep) {
+        const std::size_t si = point / 2;
+        const bool lossy = (point % 2) != 0;
+
+        net::NetworkConfig ncfg;
+        ncfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+        ncfg.backup_scheme = schemes[si];
+        ncfg.srlg_policy = net::SrlgPolicy::kAvoid;
+        ncfg.recovery_protocol = true;
+        ncfg.recovery_signal_loss_prob = lossy ? 0.2 : 0.0;
+        net::Network network(graph, ncfg);
+
+        sim::WorkloadConfig wl;
+        wl.qos = bench::paper_qos();
+        wl.arrival_rate = 1e-3;
+        wl.termination_rate = 1e-3;
+        wl.failure_rate = 0.0;  // all failures come from the scenario
+        // Seeded per (scheme, rep) — NOT per variant — so ideal and lossy
+        // replay the identical failure sequence (the matched budget).
+        wl.seed = core::sweep_seed(bench::kWorkloadSeed, si, rep);
+        sim::Simulator sim(network, wl,
+                           sim::make_shard_plan(graph,
+                                                static_cast<std::uint32_t>(cli.shards),
+                                                ncfg,
+                                                util::Rng::substream_seed(
+                                                    wl.seed, 0x73686172647325ULL)));
+        sim.populate(populate);
+
+        fault::FaultScenario scenario = partition_srlgs(graph, kSrlgSize);
+        scenario.stochastic().group_failure_rate = 1.0 / spacing;
+        scenario.stochastic().repair.kind = fault::RepairDistribution::kExponential;
+        scenario.stochastic().repair.rate = 1.0 / outage;
+        scenario.stochastic().auto_repair = true;
+        sim.load_scenario(scenario);
+
+        sim.run_events(warmup);
+        sim::TransitionRecorder recorder(wl.qos, sim.now());
+        sim.attach_recorder(&recorder);
+
+        fault::InvariantAuditor auditor(network);
+        if (audit) sim.injector().set_auditor(&auditor);
+
+        double t = sim.now();
+        for (std::size_t a = 0; a < attacks; ++a) {
+          t += spacing + outage;
+          sim.run_until(t);
+        }
+
+        const net::RevenueReport rev = net::assess_revenue(network, net::RevenueModel{});
+        const net::NetworkStats& ns = network.stats();
+        const sim::RecoveryPlaneStats& rp = sim.recovery()->stats();
+        RpRow row;
+        row.attacks = sim.injector().stats().burst_failures;
+        row.severed = rp.severed;
+        row.signals = rp.signals_sent;
+        row.losses = rp.signals_lost;
+        row.retries = rp.retries;
+        row.fallbacks = rp.fallbacks;
+        row.deadline_miss = ns.drop_causes.deadline_miss;
+        row.recovered = rp.recovered;
+        row.dropped = ns.drop_causes.total();
+        row.victims = ns.unprotected_victims;
+        const std::vector<double> ttr =
+            util::percentiles(ns.recovery_times, {50.0, 95.0, 99.0});
+        row.p50 = ttr[0];
+        row.p95 = ttr[1];
+        row.p99 = ttr[2];
+        const std::vector<double> blk =
+            util::percentiles(ns.blackout_times, {50.0, 95.0, 99.0});
+        row.b50 = blk[0];
+        row.b95 = blk[1];
+        row.b99 = blk[2];
+        row.revenue = rev.total;
+        row.audit_checks = auditor.checks_run();
+        const sim::SimulationStats& ss = sim.stats();
+        row.events = ss.arrival_events + ss.termination_events +
+                     ss.failure_events + ss.repair_events;
+        return row;
+      });
+
+  // The grid helper only measures points/s; derive events/s from the churn
+  // each cell executed so bench_compare can gate both axes.
+  if (report.wall_seconds > 0.0) {
+    std::size_t total_events = 0;
+    for (const RpRow& r : rows) total_events += r.events;
+    report.events_per_second =
+        static_cast<double>(total_events) / report.wall_seconds;
+  }
+
+  util::Table table({"scheme", "signaling", "attacks", "severed", "signals",
+                     "losses", "retries", "fallbk", "ddl-miss", "recovered",
+                     "dropped", "ttr p50", "ttr p95", "ttr p99", "blk p50",
+                     "blk p95", "revenue"});
+  const auto mean = [&](std::size_t point, auto field) {
+    return bench::rep_mean(rows, point, cli.reps,
+                           [&](const RpRow& r) { return r.*field; });
+  };
+  const auto count = [&](std::size_t point, auto field) {
+    return std::to_string(
+        static_cast<std::size_t>(std::llround(mean(point, field))));
+  };
+  const auto sla_cell = [&](std::size_t point, auto field) -> std::string {
+    const double v = mean(point, field);
+    return std::isnan(v) ? "-" : util::Table::num(v, 2);
+  };
+  for (std::size_t point = 0; point < n_points; ++point) {
+    table.add_row({scheme_names[point / 2], variant_names[point % 2],
+                   count(point, &RpRow::attacks), count(point, &RpRow::severed),
+                   count(point, &RpRow::signals), count(point, &RpRow::losses),
+                   count(point, &RpRow::retries), count(point, &RpRow::fallbacks),
+                   count(point, &RpRow::deadline_miss),
+                   count(point, &RpRow::recovered), count(point, &RpRow::dropped),
+                   sla_cell(point, &RpRow::p50), sla_cell(point, &RpRow::p95),
+                   sla_cell(point, &RpRow::p99), sla_cell(point, &RpRow::b50),
+                   sla_cell(point, &RpRow::b95),
+                   util::Table::num(mean(point, &RpRow::revenue))});
+  }
+  table.print(std::cout);
+  if (audit) {
+    std::size_t audit_checks = 0;
+    for (const RpRow& r : rows) audit_checks += r.audit_checks;
+    std::cout << "# audit checks passed: " << audit_checks << "\n";
+  }
+  std::cout << "# expectation: lossy signaling stretches the measured TTR tail "
+               "(retries under exponential backoff) and converts the slowest "
+               "recoveries into deadline-miss drops; blackout percentiles "
+               "include dropped victims, TTR percentiles only survivors\n";
+
+  // One JSON entry per scheme ("bench_multifailure/rp_<scheme>"); both
+  // variants' measured SLA + signaling counters ride in "extra".
+  if (!cli.json.empty()) {
+    for (std::size_t si = 0; si < 3; ++si) {
+      core::SweepReport entry = report;
+      entry.points = 2;  // ideal + lossy
+      entry.extra.clear();
+      for (std::size_t pi = 0; pi < 2; ++pi) {
+        const std::string prefix = std::string(variant_names[pi]) + "_rp";
+        const std::size_t point = si * 2 + pi;
+        if (!std::isnan(mean(point, &RpRow::p50))) {
+          entry.extra.emplace_back(prefix + "_ttr_p50", mean(point, &RpRow::p50));
+          entry.extra.emplace_back(prefix + "_ttr_p95", mean(point, &RpRow::p95));
+          entry.extra.emplace_back(prefix + "_ttr_p99", mean(point, &RpRow::p99));
+        }
+        if (!std::isnan(mean(point, &RpRow::b50))) {
+          entry.extra.emplace_back(prefix + "_blackout_p50", mean(point, &RpRow::b50));
+          entry.extra.emplace_back(prefix + "_blackout_p95", mean(point, &RpRow::b95));
+          entry.extra.emplace_back(prefix + "_blackout_p99", mean(point, &RpRow::b99));
+        }
+        entry.extra.emplace_back(prefix + "_signals", mean(point, &RpRow::signals));
+        entry.extra.emplace_back(prefix + "_losses", mean(point, &RpRow::losses));
+        entry.extra.emplace_back(prefix + "_retries", mean(point, &RpRow::retries));
+        entry.extra.emplace_back(prefix + "_deadline_miss",
+                                 mean(point, &RpRow::deadline_miss));
+        entry.extra.emplace_back(prefix + "_victims", mean(point, &RpRow::victims));
+        entry.extra.emplace_back(prefix + "_dropped", mean(point, &RpRow::dropped));
+        entry.extra.emplace_back(prefix + "_recovered",
+                                 mean(point, &RpRow::recovered));
+      }
+      if (!core::write_sweep_json(cli.json,
+                                  std::string("bench_multifailure/rp_") +
+                                      scheme_names[si],
+                                  entry))
+        std::cerr << "bench_multifailure: cannot write " << cli.json << "\n";
+    }
+  }
+  bench::BenchCli tail = cli;
+  tail.json.clear();  // per-scheme entries already written above
+  return bench::finish_sweep(tail, "bench_multifailure", report);
 }
 
 int run_schemes(const eqos::bench::BenchCli& cli, bool audit) {
@@ -145,7 +380,7 @@ int run_schemes(const eqos::bench::BenchCli& cli, bool audit) {
         sim::Simulator sim(network, wl,
                            sim::make_shard_plan(graph,
                                                 static_cast<std::uint32_t>(cli.shards),
-                                                ncfg.recovery_detect_time,
+                                                ncfg,
                                                 util::Rng::substream_seed(
                                                     wl.seed, 0x73686172647325ULL)));
         sim.populate(populate);
@@ -301,17 +536,21 @@ int main(int argc, char** argv) {
   // parse.
   bool audit = false;
   bool schemes = false;
+  bool recovery_protocol = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--audit") == 0)
       audit = true;
     else if (i > 0 && std::strcmp(argv[i], "--schemes") == 0)
       schemes = true;
+    else if (i > 0 && std::strcmp(argv[i], "--recovery-protocol") == 0)
+      recovery_protocol = true;
     else
       args.push_back(argv[i]);
   }
   const bench::BenchCli cli =
       bench::parse_cli(static_cast<int>(args.size()), args.data());
+  if (recovery_protocol) return run_recovery_protocol(cli, audit);
   if (schemes) return run_schemes(cli, audit);
 
   std::cout << "== Multi-failure: SRLG burst size vs dependability ==\n";
@@ -347,7 +586,7 @@ int main(int argc, char** argv) {
         sim::Simulator sim(network, wl,
                            sim::make_shard_plan(graph,
                                                 static_cast<std::uint32_t>(cli.shards),
-                                                ncfg.recovery_detect_time,
+                                                ncfg,
                                                 util::Rng::substream_seed(
                                                     wl.seed, 0x73686172647325ULL)));
         sim.populate(populate);

@@ -4,6 +4,9 @@
 #   1. default build  + tier-1 unit tests (`ctest -L tier1`, must-stay-green)
 #   2. checkpoint-smoke: kill-mid-sweep -> resume -> byte-identical output
 #   3. robustness-smoke: backup-scheme ablation + recovery-percentile schema
+#   3b. recovery-smoke: event-driven recovery-protocol ablation (ideal vs
+#      lossy signaling) + measured-TTR/blackout schema and signaling
+#      invariants (retries >= losses, deadline_miss <= victims)
 #   4. perf-smoke: bench_fig2 + bench_shard_scale throughput (points/s and
 #      events/s) vs the committed baselines, plus the event-engine and
 #      sharded-engine >= 10^6 events/s floors
@@ -45,6 +48,9 @@ ctest --test-dir build -L checkpoint-smoke --output-on-failure
 
 stage "robustness smoke (scheme ablation + recovery-SLA schema)"
 ctest --test-dir build -L robustness-smoke --output-on-failure
+
+stage "recovery smoke (event-driven protocol ablation + signaling invariants)"
+ctest --test-dir build -L recovery-smoke --output-on-failure
 
 stage "perf smoke (throughput vs baseline)"
 ctest --test-dir build -L perf-smoke --output-on-failure

@@ -5,6 +5,8 @@ Usage:
     validate_obs.py --sweep-json PATH --bench NAME [--trace-json PATH]
     validate_obs.py --sweep-json PATH --bench NAME \
         --recovery-schemes single,dual,segment
+    validate_obs.py --sweep-json PATH --bench NAME \
+        --recovery-protocol-schemes single,dual,segment
 
 Checks the schema of:
   * the "metrics" section core::write_sweep_json embeds when a bench runs
@@ -23,7 +25,14 @@ Checks the schema of:
     *_revenue (non-negative number).  A failure-free run omits all three
     percentile keys (accepted); partial presence or a literal 0.0
     percentile (the empty-sample-reads-as-instant-recovery bug) is an
-    error.
+    error;
+  * with --recovery-protocol-schemes, the "<bench>/rp_<scheme>" entries the
+    --recovery-protocol ablation writes: per signaling variant (ideal,
+    lossy), monotone positive measured-TTR and blackout percentiles
+    (all-or-none key presence, as above), non-negative signaling counters,
+    and the protocol invariants retries >= losses (every observed loss
+    schedules a retry) and deadline_miss <= victims (only severed victims
+    can miss the deadline).
 
 Wired into ctest as the `obs-smoke` and `robustness-smoke` labels.  Exits
 nonzero with the first schema violation on stderr.
@@ -158,6 +167,64 @@ def validate_recovery(path, bench, schemes):
         print(f"validate_obs: {path}: {key} recovery percentiles ok")
 
 
+RP_VARIANTS = ("ideal", "lossy")
+RP_COUNTERS = ("signals", "losses", "retries", "deadline_miss", "victims",
+               "dropped", "recovered")
+
+
+def check_percentile_triple(extra, ctx, prefix, what):
+    """All-or-none presence; if present, positive and monotone."""
+    present = [q for q in (50, 95, 99) if f"{prefix}_p{q}" in extra]
+    if not present:
+        return
+    require(len(present) == 3,
+            f"{ctx}: partial {what} percentiles (only p{present})")
+    pcts = []
+    for q in (50, 95, 99):
+        v = extra.get(f"{prefix}_p{q}")
+        require(isinstance(v, (int, float)) and v >= 0, f"{ctx}: bad {what} p{q}")
+        require(v != 0.0,
+                f"{ctx}: {what} p{q} is literal 0.0 — empty samples must "
+                "omit the key, not report instant recovery")
+        pcts.append(v)
+    require(pcts[0] <= pcts[1] <= pcts[2],
+            f"{ctx}: {what} percentiles not monotone: {pcts}")
+
+
+def validate_recovery_protocol(path, bench, schemes):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data.get("benches")
+    require(isinstance(entries, dict), f"{path}: no 'benches' object")
+    for scheme in schemes:
+        key = f"{bench}/rp_{scheme}"
+        entry = entries.get(key)
+        require(isinstance(entry, dict), f"{path}: no entry for {key!r}")
+        extra = entry.get("extra")
+        require(isinstance(extra, dict), f"{path}: {key} has no 'extra' object")
+        for variant in RP_VARIANTS:
+            prefix = f"{variant}_rp"
+            ctx = f"{path}: {key} {variant}"
+            check_percentile_triple(extra, ctx, f"{prefix}_ttr", "measured TTR")
+            check_percentile_triple(extra, ctx, f"{prefix}_blackout", "blackout")
+            counters = {}
+            for field in RP_COUNTERS:
+                v = extra.get(f"{prefix}_{field}")
+                require(isinstance(v, (int, float)) and v >= 0,
+                        f"{ctx}: bad {field}")
+                counters[field] = v
+            # Protocol invariants (held per run, so they survive averaging
+            # over reps): each observed loss schedules exactly one retry,
+            # and only severed victims can miss the recovery deadline.
+            require(counters["retries"] >= counters["losses"],
+                    f"{ctx}: retries {counters['retries']} < "
+                    f"losses {counters['losses']}")
+            require(counters["deadline_miss"] <= counters["victims"],
+                    f"{ctx}: deadline_miss {counters['deadline_miss']} > "
+                    f"victims {counters['victims']}")
+        print(f"validate_obs: {path}: {key} recovery-protocol metrics ok")
+
+
 def validate_trace(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
@@ -193,9 +260,19 @@ def main():
         help="comma-separated scheme suffixes: validate the per-scheme "
              "'<bench>/<scheme>' recovery-percentile entries instead of "
              "the metrics section")
+    parser.add_argument(
+        "--recovery-protocol-schemes",
+        help="comma-separated scheme suffixes: validate the per-scheme "
+             "'<bench>/rp_<scheme>' recovery-protocol entries (measured "
+             "TTR/blackout percentiles + signaling invariants) instead of "
+             "the metrics section")
     args = parser.parse_args()
     try:
-        if args.recovery_schemes:
+        if args.recovery_protocol_schemes:
+            validate_recovery_protocol(
+                args.sweep_json, args.bench,
+                [s for s in args.recovery_protocol_schemes.split(",") if s])
+        elif args.recovery_schemes:
             validate_recovery(args.sweep_json, args.bench,
                               [s for s in args.recovery_schemes.split(",") if s])
         else:

@@ -33,7 +33,7 @@ ExperimentResult run_experiment(const topology::Graph& graph,
       network, config.workload,
       sim::make_shard_plan(network.graph(),
                            static_cast<std::uint32_t>(std::max<std::size_t>(config.shards, 1)),
-                           config.network.recovery_detect_time,
+                           config.network,
                            util::Rng::substream_seed(config.workload.seed,
                                                      0x73686172647325ULL)));
 

@@ -40,6 +40,27 @@ DamageAssessment assess_damage(const net::Network& network,
   DamageAssessment out;
   for (net::ConnectionId id : network.active_ids()) {
     const net::DrConnection& c = network.connection(id);
+    if (c.recovering) {
+      // In-flight recovery (the event-driven protocol): the victim is
+      // already disrupted, so it counts whatever the attack adds; it can
+      // still be saved iff some channel covering its severed link stays
+      // clear of the attack.
+      ++out.victims;
+      bool covered = false;
+      for (const net::BackupChannel& ch : c.backups) {
+        if (!ch.trigger_links.test(c.recovering_link)) continue;
+        if (ch.links.intersects(failed_links)) continue;
+        covered = true;
+        break;
+      }
+      if (covered) {
+        ++out.survivable;
+      } else {
+        ++out.dropped;
+        out.revenue_at_risk += c.qos.bmin_kbps;
+      }
+      continue;
+    }
     if (!c.primary_links.intersects(failed_links)) continue;
     ++out.victims;
     // The victim keeps service iff every failed primary link is defended by

@@ -35,18 +35,33 @@ void audit_network(const net::Network& network) {
 
   for (net::ConnectionId id : network.active_ids()) {
     const net::DrConnection& c = network.connection(id);
-    const double reserved = c.reserved_kbps();
-    if (reserved < c.qos.bmin_kbps - net::LinkState::kEpsilon ||
-        reserved > c.qos.bmax_kbps + net::LinkState::kEpsilon) {
-      violation("connection " + std::to_string(id) + " reserved " +
-                std::to_string(reserved) + " outside [bmin, bmax]");
-    }
-    for (topology::LinkId l : c.primary.links) {
-      committed[l] += c.qos.bmin_kbps;
-      elastic[l] += c.extra_kbps();
-      if (network.link_state(l).failed()) {
-        violation("connection " + std::to_string(id) + " active path crosses failed link " +
-                  std::to_string(l));
+    if (c.recovering) {
+      // A recovering victim parks with its primary resources released
+      // (mirrors Network::audit()): the stale primary path is kept only as
+      // splice context, so it is exempt from the ledger walk and the
+      // failed-link check.  Its surviving backup reservations still count.
+      if (!network.config().recovery_protocol) {
+        violation("connection " + std::to_string(id) +
+                  " recovering with the recovery protocol off");
+      }
+      if (c.extra_quanta != 0) {
+        violation("connection " + std::to_string(id) +
+                  " recovering but still holds an elastic grant");
+      }
+    } else {
+      const double reserved = c.reserved_kbps();
+      if (reserved < c.qos.bmin_kbps - net::LinkState::kEpsilon ||
+          reserved > c.qos.bmax_kbps + net::LinkState::kEpsilon) {
+        violation("connection " + std::to_string(id) + " reserved " +
+                  std::to_string(reserved) + " outside [bmin, bmax]");
+      }
+      for (topology::LinkId l : c.primary.links) {
+        committed[l] += c.qos.bmin_kbps;
+        elastic[l] += c.extra_kbps();
+        if (network.link_state(l).failed()) {
+          violation("connection " + std::to_string(id) + " active path crosses failed link " +
+                    std::to_string(l));
+        }
       }
     }
     // Backup-set invariants: every channel clear of failed links, siblings

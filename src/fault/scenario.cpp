@@ -281,7 +281,11 @@ FaultScenario FaultScenario::parse(std::istream& in) {
       const std::string name = parse_word(line, line_no, "group name");
       const double weight = parse_number(line, line_no, "weight");
       expect_end(line, line_no);
-      scenario.groups_[scenario.group_index(name)].weight = weight;
+      try {
+        scenario.groups_[scenario.group_index(name)].weight = weight;
+      } catch (const std::invalid_argument&) {
+        parse_fail(line_no, "unknown group '" + name + "' (define it first)");
+      }
     } else if (cmd == "fail-link" || cmd == "repair-link") {
       const double t = parse_number(line, line_no, "time");
       const std::size_t link = parse_id(line, line_no, "link id");

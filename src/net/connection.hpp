@@ -86,6 +86,14 @@ struct DrConnection {
   /// sibling therefore owes its survival to the multi-channel set even
   /// when no channel was consumed in that same call.
   std::size_t siblings_lost = 0;
+  /// Simulated recovery control plane: the primary was severed by a failure
+  /// and the connection awaits event-driven recovery (detection + signaling
+  /// under sim::RecoveryPlane).  While set, the record holds no primary
+  /// resources (minimums released, registry slots empty, extra_quanta 0);
+  /// `recovering_link` is the failed link that severed it.  Serialized
+  /// (checkpoint v3) so in-flight recoveries survive a resume.
+  bool recovering = false;
+  topology::LinkId recovering_link = 0;
 
   [[nodiscard]] bool has_backup() const noexcept { return !backups.empty(); }
   /// True iff some backup channel traverses link `l`.

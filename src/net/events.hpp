@@ -85,6 +85,10 @@ struct LossBreakdown {
   /// Drops above for which a re-establishment attempt (fresh disjoint pair,
   /// then degraded single path) was made and failed.
   std::size_t reestablish_failed = 0;
+  /// Simulated recovery control plane only: the victim's recovery (however
+  /// it would otherwise have ended) overran its per-class deadline and the
+  /// connection was dropped mid-recovery.
+  std::size_t deadline_miss = 0;
   /// Not a loss: victims that *survived* because a pre-provisioned sibling
   /// beyond the first covering channel took over (multi-backup schemes).
   /// Recorded here so the per-cause breakdown shows, next to each loss
@@ -93,16 +97,30 @@ struct LossBreakdown {
   std::size_t survived_backup_set = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
-    return primary_hit + backup_hit_while_active + double_hit;
+    return primary_hit + backup_hit_while_active + double_hit + deadline_miss;
   }
   LossBreakdown& operator+=(const LossBreakdown& o) noexcept {
     primary_hit += o.primary_hit;
     backup_hit_while_active += o.backup_hit_while_active;
     double_hit += o.double_hit;
     reestablish_failed += o.reestablish_failed;
+    deadline_miss += o.deadline_miss;
     survived_backup_set += o.survived_backup_set;
     return *this;
   }
+};
+
+/// One primary victim handed to the simulated recovery control plane
+/// (NetworkConfig::recovery_protocol): fail_link severed its primary and
+/// marked it kRecovering instead of rescuing it synchronously.  The plane
+/// consumes these to seed per-victim detection/signaling state machines.
+struct SeveredVictim {
+  ConnectionId id = 0;
+  topology::LinkId link = 0;        ///< the failed link that hit the primary
+  /// Number of hops of the severed primary (sizes a kReestablish setup).
+  std::size_t primary_hops = 0;
+  bool double_hit = false;          ///< a covering backup died with the primary
+  bool was_active = false;          ///< the hit path was an activated former backup
 };
 
 /// Result of Network::fail_link.
@@ -149,6 +167,10 @@ struct FailureReport {
   std::vector<ConnectionId> reestablished_ids;
   /// Connections re-established degraded at bmin (ascending id).
   std::vector<ConnectionId> degraded_ids;
+  /// Simulated recovery control plane only (otherwise empty): victims this
+  /// failure severed into the kRecovering state, in victim-processing
+  /// (ascending-id) order, for the sim layer to pick up.
+  std::vector<SeveredVictim> severed;
 };
 
 /// Counters accumulated over a Network's lifetime.
@@ -177,6 +199,12 @@ struct NetworkStats {
   /// accumulated over the network's lifetime in event order — the sample
   /// set behind the p50/p95/p99 recovery SLA columns.
   std::vector<double> recovery_times;
+  /// Simulated recovery control plane only: per-victim service-interruption
+  /// (blackout) time — failure instant to restored service for survivors,
+  /// failure instant to drop for victims lost mid-recovery.  Unlike
+  /// recovery_times, dropped victims DO contribute a sample here: blackout
+  /// measures interruption, not successful recovery.
+  std::vector<double> blackout_times;
 };
 
 }  // namespace eqos::net

@@ -85,6 +85,36 @@ Network::Network(topology::Graph graph, NetworkConfig config)
       direct_union_scratch_(graph_.num_links()) {
   if (graph_.num_nodes() < 2)
     throw std::invalid_argument("network: topology needs at least two nodes");
+  // Configuration validation: reject bad values here, naming the field, so
+  // they cannot silently propagate (e.g. a negative detect time used to slip
+  // through to sim::make_shard_plan, which quietly substituted lookahead 1.0).
+  if (!(config_.link_capacity_kbps > 0.0))
+    throw std::invalid_argument("NetworkConfig.link_capacity_kbps must be positive");
+  if (config_.recovery_detect_time < 0.0)
+    throw std::invalid_argument("NetworkConfig.recovery_detect_time must be non-negative");
+  if (config_.recovery_xc_time_per_hop < 0.0)
+    throw std::invalid_argument(
+        "NetworkConfig.recovery_xc_time_per_hop must be non-negative");
+  if (config_.recovery_setup_time_per_hop < 0.0)
+    throw std::invalid_argument(
+        "NetworkConfig.recovery_setup_time_per_hop must be non-negative");
+  if (config_.segment_span_hops == 0)
+    throw std::invalid_argument("NetworkConfig.segment_span_hops must be positive");
+  if (config_.recovery_detect_min < 0.0)
+    throw std::invalid_argument("NetworkConfig.recovery_detect_min must be non-negative");
+  if (config_.recovery_detect_max < config_.recovery_detect_min)
+    throw std::invalid_argument(
+        "NetworkConfig.recovery_detect_max must be >= recovery_detect_min");
+  if (!(config_.recovery_signal_loss_prob >= 0.0 &&
+        config_.recovery_signal_loss_prob <= 1.0))
+    throw std::invalid_argument(
+        "NetworkConfig.recovery_signal_loss_prob must be in [0, 1]");
+  if (!(config_.recovery_signal_timeout > 0.0))
+    throw std::invalid_argument("NetworkConfig.recovery_signal_timeout must be positive");
+  if (config_.recovery_signal_backoff < 1.0)
+    throw std::invalid_argument("NetworkConfig.recovery_signal_backoff must be >= 1");
+  if (!(config_.recovery_deadline > 0.0))
+    throw std::invalid_argument("NetworkConfig.recovery_deadline must be positive");
   // Metric names are process-wide: every Network (e.g. a sweep's concurrent
   // instances) aggregates into the same registry entries.  Registration is
   // find-or-create, so repeated construction is cheap and idempotent.
@@ -110,6 +140,8 @@ Network::Network(topology::Graph graph, NetworkConfig config)
   obs_.scheme_activations = reg.counter("net.activations." + scheme);
   obs_.time_to_reroute =
       reg.histogram("net.time_to_reroute", {0.5, 1, 2, 4, 8, 16, 32});
+  obs_.blackout_time =
+      reg.histogram("net.blackout_time", {0.5, 1, 2, 4, 8, 16, 32});
 }
 
 void Network::set_risk_groups(
@@ -261,6 +293,10 @@ const Network::ChainSets& Network::classify_against(
     const ConnectionId id = active_ids_[i];
     if (id == exclude) continue;
     const DrConnection& c = *active_conns_[i];
+    // A recovering victim holds no primary resources: its (stale) link set
+    // must neither chain nor gain.  Its registry entries are gone, so the
+    // direct walk above already never sees it.
+    if (c.recovering) continue;
     if (!c.primary_links.intersects(direct_union)) continue;
     if (c.primary_links.intersects(event_links)) continue;  // already direct
     sets.indirect.push_back(id);
@@ -321,6 +357,8 @@ void Network::redistribute(const std::vector<ConnectionId>& candidates) {
     // without streaming a second scattered array.
     if (soa_extra_quanta_[s] >= soa_max_extra_[s]) continue;
     const DrConnection& c = *it->second.ptr;
+    // A recovering victim has no committed primary to grant onto.
+    if (c.recovering) continue;
     bool has_room = true;
     for (topology::LinkId l : c.primary.links) {
       if (links_[l].elastic_spare() < c.qos.increment_kbps - LinkState::kEpsilon) {
@@ -538,6 +576,10 @@ std::optional<topology::Path> Network::find_backup_channel(
 }
 
 bool Network::establish_backup(DrConnection& c) {
+  // A recovering victim's primary is gone; fresh channels would defend a
+  // path that no longer exists.  Its set is replenished after the recovery
+  // commits (complete_recovery) or re-homes it (rescue).
+  if (c.recovering) return false;
   bool added = false;
   switch (config_.backup_scheme) {
     case BackupScheme::kSingle: {
@@ -832,6 +874,22 @@ TerminationReport Network::terminate_connection(ConnectionId id) {
   TerminationReport report;
   report.id = id;
 
+  if (c.recovering) {
+    // A recovering victim holds no primary resources (released at
+    // severance), so departure frees only its remaining backup
+    // reservations; nothing can gain.  The plane's pending events for this
+    // id lazily cancel through is_recovering().
+    remove_backup(c);
+    drop_active(id);
+    report.existing_after = active_ids_.size();
+    ++stats_.terminated;
+    obs_.terminations.inc();
+    obs_.active_connections.sub(1);
+    obs::trace_event(obs::TraceKind::kTermination, static_cast<std::uint32_t>(id),
+                     static_cast<std::uint32_t>(report.existing_after));
+    return report;
+  }
+
   // Only channels sharing a link with the departing primary can gain
   // (Section 3.2's T transitions).
   const ChainSets& chain = classify_against(c.primary.links, c.primary_links,
@@ -904,6 +962,47 @@ FailureReport Network::fail_link(topology::LinkId link) {
 
   for (ConnectionId id : primary_victims) {
     DrConnection& c = mutable_connection(id);
+    if (config_.recovery_protocol) {
+      // Event-driven recovery: release the severed primary's resources now
+      // (the service *is* interrupted), but defer the switchover to the
+      // sim-layer control plane — the victim parks in kRecovering and the
+      // plane drives detection, signaling, and deadline enforcement as
+      // scheduled events that call back into claim/complete/drop.
+      retreat(c);
+      release_primary_min(c);
+      unregister_primary(c);
+      c.registry_slots.clear();
+      freed_bits |= c.primary_links;
+      bool double_hit = false;
+      std::size_t j = 0;
+      while (j < c.backups.size()) {
+        if (!c.backups[j].links.test(link)) {
+          ++j;
+          continue;
+        }
+        // A channel crossing the failed link is dead.  When it also covered
+        // the link, only maximal disjointness was possible there (bridge or
+        // SRLG overlap): the classic double hit.
+        if (c.backups[j].trigger_links.test(link)) {
+          ++report.backups_died_with_primary;
+          double_hit = true;
+        } else {
+          ++report.backups_lost;
+          obs_.backups_lost.inc();
+        }
+        remove_backup_channel(c, j);
+        ++c.siblings_lost;
+      }
+      c.recovering = true;
+      c.recovering_link = link;
+      // Every severed victim suffers a disruption whatever its eventual
+      // fate — detection and signaling take simulated time.
+      ++report.unprotected_victims;
+      ++stats_.unprotected_victims;
+      report.severed.push_back(SeveredVictim{id, link, c.primary.links.size(),
+                                             double_hit, c.activations > 0});
+      continue;
+    }
     retreat(c);
     release_primary_min(c);
     unregister_primary(c);
@@ -1032,8 +1131,22 @@ FailureReport Network::fail_link(topology::LinkId link) {
                            static_cast<std::uint32_t>(id), link);
           continue;
         }
-        if (config_.backup_scheme != BackupScheme::kSegment)
+        if (config_.backup_scheme != BackupScheme::kSegment) {
           retrigger_backup_channel(c, k, c.primary_links);
+        } else {
+          // The splice replaced part of the primary; a surviving segment
+          // channel whose span overlapped the replaced range would be left
+          // defending links no longer on the path.  Trim its trigger to the
+          // new primary, and drop it outright when nothing remains.
+          util::DynamicBitset trimmed = c.backups[k].trigger_links;
+          trimmed &= c.primary_links;
+          if (trimmed.none()) {
+            remove_backup_channel(c, k);
+            continue;
+          }
+          if (!(trimmed == c.backups[k].trigger_links))
+            retrigger_backup_channel(c, k, std::move(trimmed));
+        }
         ++k;
       }
       activated_here = true;
@@ -1139,6 +1252,7 @@ FailureReport Network::fail_link(topology::LinkId link) {
     const ConnectionId id = active_ids_[i];
     if (activated_set.count(id)) continue;
     const DrConnection& c = *active_conns_[i];
+    if (c.recovering) continue;  // holds no primary resources
     if (c.primary_links.intersects(activated_bits)) {
       direct.push_back(id);
       direct_union |= c.primary_links;
@@ -1148,6 +1262,7 @@ FailureReport Network::fail_link(topology::LinkId link) {
     const ConnectionId id = active_ids_[i];
     if (activated_set.count(id)) continue;
     const DrConnection& c = *active_conns_[i];
+    if (c.recovering) continue;  // holds no primary resources
     if (c.primary_links.intersects(activated_bits)) continue;
     if (c.primary_links.intersects(freed_bits) ||
         c.primary_links.intersects(direct_union))
@@ -1254,6 +1369,218 @@ std::size_t Network::preempt_all_elastic() {
   return preempted;
 }
 
+// ---- Simulated recovery control plane ---------------------------------------
+
+bool Network::is_recovering(ConnectionId id) const {
+  const auto it = slot_of_.find(id);
+  return it != slot_of_.end() && it->second.ptr->recovering;
+}
+
+std::optional<topology::Path> Network::claim_recovery_channel(ConnectionId id,
+                                                              std::size_t& consumed) {
+  DrConnection& c = mutable_connection(id);
+  if (!c.recovering)
+    throw std::logic_error("network: claim_recovery_channel on a non-recovering id");
+  const topology::LinkId link = c.recovering_link;
+  std::size_t j = 0;
+  while (j < c.backups.size()) {
+    if (!c.backups[j].trigger_links.test(link)) {
+      ++j;
+      continue;
+    }
+    // Covering candidate: must be fully alive, spliceable, and yield a live
+    // simple path.  (Channels crossing links failed so far were swept at
+    // failure time; the alive test also covers the spliced-in old-primary
+    // segments, which later failures may have hit while the victim was
+    // unregistered.)  Headroom is checked at commit, not here.
+    const topology::Path patch = c.backups[j].path;  // copy before removal
+    bool ok = true;
+    for (topology::LinkId l : patch.links)
+      if (links_[l].failed()) {
+        ok = false;
+        break;
+      }
+    std::size_t sa = 0;
+    std::size_t sb = 0;
+    if (ok) ok = splice_points(c.primary, patch, sa, sb);
+    if (ok) {
+      const topology::Path np = splice_primary(c.primary, patch);
+      ok = nodes_unique(np);
+      if (ok) {
+        for (topology::LinkId l : np.links)
+          if (links_[l].failed()) {
+            ok = false;
+            break;
+          }
+      }
+    }
+    remove_backup_channel(c, j);
+    if (ok) return patch;
+    ++consumed;  // channel spent; the next covering sibling may still work
+  }
+  return std::nullopt;
+}
+
+Network::RecoveryCommit Network::complete_recovery(ConnectionId id,
+                                                   const topology::Path& patch,
+                                                   double ttr, double blackout,
+                                                   bool via_fallback) {
+  DrConnection& c = mutable_connection(id);
+  if (!c.recovering)
+    throw std::logic_error("network: complete_recovery on a non-recovering id");
+  const topology::LinkId severed_link = c.recovering_link;
+  // Re-validate everything the in-flight signaling raced: a second failure
+  // may have hit the patch or a kept old-primary segment, and ledger churn
+  // may have consumed the headroom the channel's (released) reservation once
+  // guaranteed.
+  std::size_t sa = 0;
+  std::size_t sb = 0;
+  if (!splice_points(c.primary, patch, sa, sb)) return RecoveryCommit::kChannelDead;
+  topology::Path new_primary = splice_primary(c.primary, patch);
+  if (!nodes_unique(new_primary)) return RecoveryCommit::kChannelDead;
+  for (topology::LinkId l : new_primary.links) {
+    if (links_[l].failed()) return RecoveryCommit::kChannelDead;
+    if (links_[l].capacity() - links_[l].committed_min() <
+        c.qos.bmin_kbps - LinkState::kEpsilon)
+      return RecoveryCommit::kChannelDead;
+  }
+
+  // Switch over.
+  c.primary = std::move(new_primary);
+  c.primary_links = path_bits(c.primary);
+  for (topology::LinkId l : c.primary.links) links_[l].commit_min(c.qos.bmin_kbps);
+  register_primary(c);
+  c.recovering = false;
+  c.recovering_link = 0;
+  ++c.activations;
+  ++stats_.backups_activated;
+  obs_.backups_activated.inc();
+  obs_.scheme_activations.inc();
+  obs::trace_event(obs::TraceKind::kBackupActivated, static_cast<std::uint32_t>(id),
+                   severed_link);
+  stats_.recovery_times.push_back(ttr);
+  obs_.time_to_reroute.observe(ttr);
+  stats_.blackout_times.push_back(blackout);
+  obs_.blackout_time.observe(blackout);
+  if (via_fallback || c.siblings_lost > 0) {
+    ++stats_.survived_via_backup_set;
+    ++stats_.drop_causes.survived_backup_set;
+    obs_.backup_set_survivals.inc();
+  }
+  // Surviving siblings: full-span channels now defend the new primary —
+  // drop any that cross a failed link, re-register the rest under the new
+  // trigger.  Segment channels keep their own (unchanged) segments.
+  std::size_t k = 0;
+  while (k < c.backups.size()) {
+    bool sib_dead = false;
+    for (topology::LinkId l : c.backups[k].path.links)
+      if (links_[l].failed()) {
+        sib_dead = true;
+        break;
+      }
+    if (sib_dead) {
+      remove_backup_channel(c, k);
+      ++c.siblings_lost;
+      obs_.backups_lost.inc();
+      obs::trace_event(obs::TraceKind::kBackupLost, static_cast<std::uint32_t>(id),
+                       severed_link);
+      continue;
+    }
+    if (config_.backup_scheme != BackupScheme::kSegment) {
+      retrigger_backup_channel(c, k, c.primary_links);
+    } else {
+      // Same trim as the synchronous switchover: the committed patch may
+      // have replaced primary links a surviving segment channel defended.
+      util::DynamicBitset trimmed = c.backups[k].trigger_links;
+      trimmed &= c.primary_links;
+      if (trimmed.none()) {
+        remove_backup_channel(c, k);
+        continue;
+      }
+      if (!(trimmed == c.backups[k].trigger_links))
+        retrigger_backup_channel(c, k, std::move(trimmed));
+    }
+    ++k;
+  }
+  // Chained channels retreat before the freed/claimed capacity is re-shared
+  // — the same gamma-transition processing fail_link runs synchronously.
+  const ChainSets& chain = classify_against(c.primary.links, c.primary_links, id);
+  for (ConnectionId cid : chain.direct) retreat(mutable_connection(cid));
+  if (!fully_protected(c) && establish_backup(c)) ++stats_.backups_reestablished;
+  settle_overbooking_debt();
+  merge_scratch_.clear();
+  std::set_union(chain.direct.begin(), chain.direct.end(), chain.indirect.begin(),
+                 chain.indirect.end(), std::back_inserter(merge_scratch_));
+  merge_scratch_.insert(
+      std::upper_bound(merge_scratch_.begin(), merge_scratch_.end(), id), id);
+  redistribute(merge_scratch_);
+  return RecoveryCommit::kCommitted;
+}
+
+bool Network::complete_recovery_rescue(ConnectionId id, double ttr, double blackout) {
+  DrConnection& c = mutable_connection(id);
+  if (!c.recovering)
+    throw std::logic_error("network: complete_recovery_rescue on a non-recovering id");
+  // The remaining set defends a primary that no longer exists.
+  remove_backup(c);
+  c.recovering = false;  // rescue() re-homes through the normal paths
+  const RescueOutcome out = rescue(c);
+  if (out == RescueOutcome::kFailed) {
+    c.recovering = true;  // caller must drop_recovering
+    return false;
+  }
+  c.recovering_link = 0;
+  stats_.recovery_times.push_back(ttr);
+  obs_.time_to_reroute.observe(ttr);
+  stats_.blackout_times.push_back(blackout);
+  obs_.blackout_time.observe(blackout);
+  if (out == RescueOutcome::kPair) {
+    ++stats_.reestablished_pair;
+  } else {
+    ++stats_.reestablished_degraded;
+  }
+  obs_.reroutes.inc();
+  obs::trace_event(obs::TraceKind::kReroute, static_cast<std::uint32_t>(id),
+                   out == RescueOutcome::kPair ? 1u : 2u);
+  const ChainSets& chain = classify_against(c.primary.links, c.primary_links, id);
+  for (ConnectionId cid : chain.direct) retreat(mutable_connection(cid));
+  settle_overbooking_debt();
+  merge_scratch_.clear();
+  std::set_union(chain.direct.begin(), chain.direct.end(), chain.indirect.begin(),
+                 chain.indirect.end(), std::back_inserter(merge_scratch_));
+  merge_scratch_.insert(
+      std::upper_bound(merge_scratch_.begin(), merge_scratch_.end(), id), id);
+  redistribute(merge_scratch_);
+  return true;
+}
+
+void Network::drop_recovering(ConnectionId id, bool double_hit, bool was_active,
+                              bool deadline_missed, bool attempted_reestablish,
+                              double blackout) {
+  DrConnection& c = mutable_connection(id);
+  if (!c.recovering)
+    throw std::logic_error("network: drop_recovering on a non-recovering id");
+  remove_backup(c);
+  if (deadline_missed)
+    ++stats_.drop_causes.deadline_miss;
+  else if (double_hit)
+    ++stats_.drop_causes.double_hit;
+  else if (was_active)
+    ++stats_.drop_causes.backup_hit_while_active;
+  else
+    ++stats_.drop_causes.primary_hit;
+  if (attempted_reestablish) ++stats_.drop_causes.reestablish_failed;
+  stats_.blackout_times.push_back(blackout);
+  obs_.blackout_time.observe(blackout);
+  const topology::LinkId link = c.recovering_link;
+  drop_active(id);
+  ++stats_.connections_dropped;
+  obs_.drops.inc();
+  obs_.scheme_drops.inc();
+  obs_.active_connections.sub(1);
+  obs::trace_event(obs::TraceKind::kDrop, static_cast<std::uint32_t>(id), link);
+}
+
 std::pair<std::size_t, std::size_t> Network::settle_overbooking_debt() {
   std::size_t evicted = 0;
   std::vector<ConnectionId> to_rehome;
@@ -1293,26 +1620,40 @@ std::pair<std::size_t, std::size_t> Network::settle_overbooking_debt() {
 // ---- Metrics -----------------------------------------------------------------------
 
 double Network::mean_reserved_kbps() const {
-  if (active_ids_.empty()) return 0.0;
+  // Recovering victims carry no reservation; they are excluded from both
+  // numerator and denominator (with the protocol off, none exist and the
+  // aggregates are bit-identical to the legacy scans).
   double total = 0.0;
-  for (const DrConnection* c : active_conns_) total += c->reserved_kbps();
-  return total / static_cast<double>(active_ids_.size());
+  std::size_t n = 0;
+  for (const DrConnection* c : active_conns_) {
+    if (c->recovering) continue;
+    total += c->reserved_kbps();
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
 }
 
 double Network::mean_primary_hops() const {
-  if (active_ids_.empty()) return 0.0;
   double total = 0.0;
-  for (const DrConnection* c : active_conns_)
+  std::size_t n = 0;
+  for (const DrConnection* c : active_conns_) {
+    if (c->recovering) continue;
     total += static_cast<double>(c->primary.hops());
-  return total / static_cast<double>(active_ids_.size());
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
 }
 
 double Network::protected_fraction() const {
-  if (active_ids_.empty()) return 0.0;
   std::size_t n = 0;
-  for (const DrConnection* c : active_conns_)
+  std::size_t carrying = 0;
+  for (const DrConnection* c : active_conns_) {
+    if (c->recovering) continue;
+    ++carrying;
     if (c->has_backup()) ++n;
-  return static_cast<double>(n) / static_cast<double>(active_ids_.size());
+  }
+  return carrying == 0 ? 0.0
+                       : static_cast<double>(n) / static_cast<double>(carrying);
 }
 
 // ---- Invariants ----------------------------------------------------------------------
@@ -1337,10 +1678,6 @@ void Network::audit_impl() const {
     const DrConnection& c = conn_at(id);
     if (c.extra_quanta > c.qos.max_extra_quanta())
       throw std::logic_error("invariant: extra quanta above maximum");
-    // Elastic-share bounds: bmin <= reserved <= bmax.
-    const double reserved = c.reserved_kbps();
-    if (reserved < c.qos.bmin_kbps - kEps || reserved > c.qos.bmax_kbps + kEps)
-      throw std::logic_error("invariant: reserved bandwidth outside [bmin, bmax]");
     // Path structure.
     if (c.primary.nodes.empty() || c.primary.nodes.front() != c.src ||
         c.primary.nodes.back() != c.dst)
@@ -1350,21 +1687,43 @@ void Network::audit_impl() const {
     } else {
       throw std::logic_error("invariant: primary bitset mismatch");
     }
-    for (topology::LinkId l : c.primary.links) {
-      if (links_[l].failed()) throw std::logic_error("invariant: primary on failed link");
-      committed[l] += c.qos.bmin_kbps;
-      granted[l] += c.extra_kbps();
-    }
-    // Cached registry slots must round-trip to this connection.
-    if (c.registry_slots.size() != c.primary.links.size())
-      throw std::logic_error("invariant: registry slot count mismatch");
-    for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
-      const LinkRegistry& reg = primaries_on_link_[c.primary.links[i]];
-      if (c.registry_slots[i] >= reg.ids.size() ||
-          reg.ids[c.registry_slots[i]] != c.id)
-        throw std::logic_error("invariant: stale registry slot");
-      if (reg.slots[c.registry_slots[i]] != c.arena_slot)
-        throw std::logic_error("invariant: registry arena-slot column stale");
+    if (c.recovering) {
+      // A recovering victim parks with its primary resources released: no
+      // elastic grant, no committed minimums, no registry entries.  Its
+      // (stale) primary path is kept only as splice/rescue context, so the
+      // failed-link and ledger checks do not apply to it.
+      if (!config_.recovery_protocol)
+        throw std::logic_error("invariant: recovering victim with protocol off");
+      if (c.extra_quanta != 0)
+        throw std::logic_error("invariant: recovering victim holds elastic grant");
+      if (!c.registry_slots.empty())
+        throw std::logic_error("invariant: recovering victim still registered");
+      // (The severed link may legitimately have been repaired while the
+      // victim was still recovering, so its failed state is unconstrained.)
+      if (c.recovering_link >= links_.size())
+        throw std::logic_error("invariant: recovering link out of range");
+    } else {
+      // Elastic-share bounds: bmin <= reserved <= bmax.
+      const double reserved = c.reserved_kbps();
+      if (reserved < c.qos.bmin_kbps - kEps || reserved > c.qos.bmax_kbps + kEps)
+        throw std::logic_error("invariant: reserved bandwidth outside [bmin, bmax]");
+      for (topology::LinkId l : c.primary.links) {
+        if (links_[l].failed())
+          throw std::logic_error("invariant: primary on failed link");
+        committed[l] += c.qos.bmin_kbps;
+        granted[l] += c.extra_kbps();
+      }
+      // Cached registry slots must round-trip to this connection.
+      if (c.registry_slots.size() != c.primary.links.size())
+        throw std::logic_error("invariant: registry slot count mismatch");
+      for (std::size_t i = 0; i < c.primary.links.size(); ++i) {
+        const LinkRegistry& reg = primaries_on_link_[c.primary.links[i]];
+        if (c.registry_slots[i] >= reg.ids.size() ||
+            reg.ids[c.registry_slots[i]] != c.id)
+          throw std::logic_error("invariant: stale registry slot");
+        if (reg.slots[c.registry_slots[i]] != c.arena_slot)
+          throw std::logic_error("invariant: registry arena-slot column stale");
+      }
     }
     if (c.has_backup()) {
       if (c.backup_status != BackupStatus::kProtected)

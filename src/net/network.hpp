@@ -124,6 +124,31 @@ struct NetworkConfig {
   double recovery_detect_time = 0.5;
   double recovery_xc_time_per_hop = 0.2;
   double recovery_setup_time_per_hop = 1.0;
+  // -- Simulated recovery control plane -------------------------------------
+  // When enabled, failures no longer rescue victims synchronously inside
+  // fail_link: each victim enters a recovering state and the sim-layer
+  // control plane (sim::RecoveryPlane) drives detection, hop-by-hop lossy
+  // signaling with retry/timeout/backoff, and deadline enforcement as
+  // scheduled events.  Time-to-reroute then becomes measured simulated
+  // elapsed time instead of the analytic constant above.  Off by default:
+  // the disabled path is byte-identical to the legacy synchronous recovery.
+  bool recovery_protocol = false;
+  /// Failure-detection delay is drawn uniformly from [detect_min, detect_max]
+  /// per victim (imperfect detection).  The *minimum* bounds shard lookahead.
+  double recovery_detect_min = 0.1;
+  double recovery_detect_max = 0.5;
+  /// Probability an activation/setup signaling message is lost in transit
+  /// (messages over failed links are always lost).
+  double recovery_signal_loss_prob = 0.0;
+  /// Retransmission timeout for a lost signaling message; each retry waits
+  /// timeout * backoff^attempt before giving up on the current channel.
+  double recovery_signal_timeout = 0.5;
+  double recovery_signal_backoff = 2.0;
+  /// Retries per hop before the in-flight activation is abandoned and the
+  /// next covering channel is tried (or the victim is dropped).
+  std::size_t recovery_retry_cap = 3;
+  /// Network-default recovery deadline (see ElasticQosSpec::recovery_deadline).
+  double recovery_deadline = 8.0;
 };
 
 /// The executable network model.
@@ -161,6 +186,61 @@ class Network {
   /// Repairs every incident link of a failed node.  Returns backups
   /// re-established.
   std::size_t repair_node(topology::NodeId node);
+
+  // ---- Simulated recovery control plane -----------------------------------
+  // The event-driven recovery protocol (NetworkConfig::recovery_protocol)
+  // splits what fail_link used to do synchronously into calls the sim-layer
+  // plane makes as its scheduled events fire.  With the protocol disabled
+  // these are never called and fail_link behaves exactly as before.
+
+  /// True iff `id` is active and parked in the kRecovering state.  Never
+  /// throws: a terminated/dropped id simply reads false (the plane's lazy
+  /// event-cancellation test).
+  [[nodiscard]] bool is_recovering(ConnectionId id) const;
+
+  /// Pops the first covering channel of a recovering victim that is alive,
+  /// spliceable, and yields a live simple path, consuming (and counting in
+  /// `consumed`) covering channels that fail those tests — the same walk
+  /// fail_link performs synchronously with the protocol off, minus the
+  /// headroom test, which waits until complete_recovery because the ledger
+  /// keeps moving while signaling is in flight.  The returned channel is
+  /// removed from the backup set (its reservation is released; activation
+  /// signaling is now the only claim on it).  nullopt when no covering
+  /// channel remains.
+  std::optional<topology::Path> claim_recovery_channel(ConnectionId id,
+                                                       std::size_t& consumed);
+
+  /// How an activation commit attempt ended.
+  enum class RecoveryCommit : std::uint8_t {
+    kCommitted,    ///< service restored on the spliced primary
+    kChannelDead,  ///< the patch died or lost headroom mid-signaling: fall
+                   ///< back to the next covering channel
+  };
+
+  /// Commits a claimed channel after its activation signaling completed:
+  /// re-validates the spliced primary (alive, simple, bmin headroom on every
+  /// link — a second failure or ledger churn may have raced the in-flight
+  /// signaling), switches over, records the measured time-to-reroute `ttr`
+  /// and service-interruption `blackout`, retriggers surviving siblings,
+  /// retreats chained channels and redistributes.  `via_fallback` marks a
+  /// victim that burned at least one covering channel before this one (the
+  /// backup-set survival accounting).
+  RecoveryCommit complete_recovery(ConnectionId id, const topology::Path& patch,
+                                   double ttr, double blackout, bool via_fallback);
+
+  /// Ends a recovery by re-establishment (SecondFailurePolicy::kReestablish)
+  /// after its setup signaling completed: fresh pair, then degraded single
+  /// path.  False when no route exists — the caller must drop_recovering.
+  bool complete_recovery_rescue(ConnectionId id, double ttr, double blackout);
+
+  /// Drops a recovering victim.  `deadline_missed` charges the loss to the
+  /// new deadline_miss cause; otherwise the classic precedence applies
+  /// (double_hit > backup_hit_while_active > primary_hit) using the flags
+  /// captured at severance.  `attempted_reestablish` additionally counts a
+  /// failed rescue attempt.
+  void drop_recovering(ConnectionId id, bool double_hit, bool was_active,
+                       bool deadline_missed, bool attempted_reestablish,
+                       double blackout);
 
   /// Operator action: revokes every elastic grant network-wide *without*
   /// redistributing (a control-plane freeze / reprovisioning reset).  Each
@@ -286,6 +366,9 @@ class Network {
     obs::Counter scheme_activations;
     /// Activation latency (time-to-reroute) samples, per victim.
     obs::Histogram time_to_reroute;
+    /// Service-interruption samples (simulated recovery control plane only):
+    /// failure instant to restored service, or to the drop.
+    obs::Histogram blackout_time;
   };
 
   /// The audit body; audit() wraps it to attach a flight-recorder dump to

@@ -72,6 +72,7 @@ void Network::save_state(state::Buffer& out) const {
     out.put_f64(c.qos.bmax_kbps);
     out.put_f64(c.qos.increment_kbps);
     out.put_f64(c.qos.utility);
+    out.put_f64(c.qos.recovery_deadline);
     put_path(out, c.primary);
     // Backup set, in activation order.  Each channel stores its path and the
     // trigger link list; the link bitset and overlap cache are derived.
@@ -84,6 +85,11 @@ void Network::save_state(state::Buffer& out) const {
       out.put_vec(trigger, [&out](std::uint64_t l) { out.put_u64(l); });
     }
     out.put_u8(static_cast<std::uint8_t>(c.backup_status));
+    // v3: the recovering flag precedes the registry slots so the reader can
+    // validate the slot count against it (a recovering victim is
+    // unregistered and stores zero slots).
+    out.put_bool(c.recovering);
+    out.put_u64(c.recovering_link);
     out.put_vec(c.registry_slots, [&out](std::uint32_t s) { out.put_u32(s); });
     out.put_u64(c.extra_quanta);
     out.put_u64(c.activations);
@@ -110,10 +116,12 @@ void Network::save_state(state::Buffer& out) const {
   out.put_u64(stats_.drop_causes.backup_hit_while_active);
   out.put_u64(stats_.drop_causes.double_hit);
   out.put_u64(stats_.drop_causes.reestablish_failed);
+  out.put_u64(stats_.drop_causes.deadline_miss);
   out.put_u64(stats_.drop_causes.survived_backup_set);
   out.put_u64(stats_.quanta_adjustments);
   out.put_u64(stats_.survived_via_backup_set);
   out.put_vec(stats_.recovery_times, [&out](double t) { out.put_f64(t); });
+  out.put_vec(stats_.blackout_times, [&out](double t) { out.put_f64(t); });
 
   backups_.save_state(out);
 }
@@ -175,6 +183,7 @@ void Network::load_state(state::Buffer& in) {
     c.qos.bmax_kbps = in.get_f64();
     c.qos.increment_kbps = in.get_f64();
     c.qos.utility = in.get_f64();
+    c.qos.recovery_deadline = in.get_f64();
     c.primary = get_path(in, num_nodes, num_links);
     c.primary_links = path_bits(c.primary);
     const std::size_t n_backups = in.get_count(1);
@@ -199,8 +208,15 @@ void Network::load_state(state::Buffer& in) {
     if (status > static_cast<std::uint8_t>(BackupStatus::kUnprotected))
       throw state::CorruptError("checkpoint connection has unknown backup status");
     c.backup_status = static_cast<BackupStatus>(status);
+    c.recovering = in.get_bool();
+    const std::uint64_t recovering_link = in.get_u64();
+    if (c.recovering && recovering_link >= num_links)
+      throw state::CorruptError("checkpoint recovering link out of range");
+    c.recovering_link = static_cast<topology::LinkId>(recovering_link);
     const std::size_t n_slots = in.get_count(4);
-    if (n_slots != c.primary.links.size())
+    // A recovering victim is unregistered (no slots); everyone else's slots
+    // must tile its primary path.
+    if (n_slots != (c.recovering ? 0 : c.primary.links.size()))
       throw state::CorruptError("checkpoint registry slot count differs from primary path");
     c.registry_slots.reserve(n_slots);
     for (std::size_t s = 0; s < n_slots; ++s) c.registry_slots.push_back(in.get_u32());
@@ -223,6 +239,7 @@ void Network::load_state(state::Buffer& in) {
   // the connection set disagree.
   for (const DrConnection* cp : active_conns_) {
     const DrConnection& c = *cp;
+    if (c.recovering) continue;  // unregistered while recovering
     for (std::size_t s = 0; s < c.primary.links.size(); ++s) {
       LinkRegistry& reg = primaries_on_link_[c.primary.links[s]];
       const std::uint32_t slot = c.registry_slots[s];
@@ -267,6 +284,7 @@ void Network::load_state(state::Buffer& in) {
   stats_.drop_causes.backup_hit_while_active = in.get_u64();
   stats_.drop_causes.double_hit = in.get_u64();
   stats_.drop_causes.reestablish_failed = in.get_u64();
+  stats_.drop_causes.deadline_miss = in.get_u64();
   stats_.drop_causes.survived_backup_set = in.get_u64();
   stats_.quanta_adjustments = in.get_u64();
   stats_.survived_via_backup_set = in.get_u64();
@@ -275,6 +293,11 @@ void Network::load_state(state::Buffer& in) {
   stats_.recovery_times.reserve(n_ttr);
   for (std::size_t i = 0; i < n_ttr; ++i)
     stats_.recovery_times.push_back(in.get_f64());
+  stats_.blackout_times.clear();
+  const std::size_t n_blackout = in.get_count(8);
+  stats_.blackout_times.reserve(n_blackout);
+  for (std::size_t i = 0; i < n_blackout; ++i)
+    stats_.blackout_times.push_back(in.get_f64());
 
   backups_.load_state(in);
 

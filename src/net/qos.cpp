@@ -26,6 +26,8 @@ void ElasticQosSpec::validate() const {
     throw std::invalid_argument(
         "qos: (bmax - bmin) must be an integral multiple of the increment");
   if (!(utility > 0.0)) throw std::invalid_argument("qos: utility must be positive");
+  if (recovery_deadline < 0.0)
+    throw std::invalid_argument("qos: recovery_deadline must be non-negative");
 }
 
 }  // namespace eqos::net

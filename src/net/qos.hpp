@@ -29,6 +29,12 @@ struct ElasticQosSpec {
   double bmax_kbps = 500.0;
   double increment_kbps = 50.0;
   double utility = 1.0;
+  /// Per-class recovery deadline (simulated time units): a victim whose
+  /// simulated recovery has not completed this long after the failure is
+  /// dropped with a deadline_miss loss cause.  0 (the default) defers to
+  /// NetworkConfig::recovery_deadline.  Only consulted when the simulated
+  /// recovery control plane is enabled (NetworkConfig::recovery_protocol).
+  double recovery_deadline = 0.0;
 
   /// Number of reachable reservation levels N = 1 + (bmax-bmin)/increment.
   [[nodiscard]] std::size_t num_states() const;

@@ -1,0 +1,338 @@
+#include "sim/recovery.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eqos::sim {
+
+RecoveryPlane::RecoveryPlane(net::Network& network, std::uint64_t seed, NowFn now,
+                             ScheduleFn schedule)
+    : network_(network), seed_(seed), now_(std::move(now)),
+      schedule_(std::move(schedule)) {
+  if (!now_ || !schedule_)
+    throw std::invalid_argument("recovery_plane: null clock or scheduler");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs_.severed = reg.counter("recovery.severed");
+  obs_.detections = reg.counter("recovery.detections");
+  obs_.signals_sent = reg.counter("recovery.signals_sent");
+  obs_.signals_lost = reg.counter("recovery.signals_lost");
+  obs_.retries = reg.counter("recovery.retries");
+  obs_.fallbacks = reg.counter("recovery.fallbacks");
+  obs_.deadline_misses = reg.counter("recovery.deadline_misses");
+  obs_.recovered = reg.counter("recovery.recovered");
+}
+
+double RecoveryPlane::deadline_for(const net::DrConnection& c) const {
+  return c.qos.recovery_deadline > 0.0 ? c.qos.recovery_deadline
+                                       : network_.config().recovery_deadline;
+}
+
+double RecoveryPlane::hop_time(const Process& p) const {
+  return p.mode == Mode::kActivate ? network_.config().recovery_xc_time_per_hop
+                                   : network_.config().recovery_setup_time_per_hop;
+}
+
+void RecoveryPlane::on_failure(const net::FailureReport& report) {
+  const net::NetworkConfig& cfg = network_.config();
+  const double t0 = now_();
+  for (const net::SeveredVictim& v : report.severed) {
+    Process p;
+    p.id = v.id;
+    p.t0 = t0;
+    p.severed_hops = v.primary_hops;
+    p.double_hit = v.double_hit;
+    p.was_active = v.was_active;
+    // Per-victim substream keyed by (plane seed, connection id, lifetime
+    // severance index): draws are independent of event interleaving, and a
+    // connection severed a second time (after a successful recovery) gets a
+    // fresh stream instead of replaying its first one.
+    p.rng = util::Rng(util::Rng::substream_seed(
+        util::Rng::substream_seed(seed_, v.id), stats_.severed));
+    ++stats_.severed;
+    obs_.severed.inc();
+    const double detect =
+        p.rng.uniform(cfg.recovery_detect_min, cfg.recovery_detect_max);
+    schedule_(t0 + detect, EventTag{kTagRecoveryDetect, v.id, 0});
+    schedule_(t0 + deadline_for(network_.connection(v.id)),
+              EventTag{kTagRecoveryDeadline, v.id, 0});
+    processes_.insert_or_assign(v.id, std::move(p));
+  }
+}
+
+void RecoveryPlane::dispatch(const EventTag& tag) {
+  switch (tag.kind) {
+    case kTagRecoveryDetect: handle_detect(tag.a, tag.b); return;
+    case kTagRecoverySignal: handle_signal(tag.a, tag.b); return;
+    case kTagRecoveryTimeout: handle_timeout(tag.a, tag.b); return;
+    case kTagRecoveryDeadline: handle_deadline(tag.a); return;
+    default:
+      throw std::logic_error("recovery_plane: unknown tag kind " +
+                             std::to_string(tag.kind));
+  }
+}
+
+RecoveryPlane::Process* RecoveryPlane::live_process(net::ConnectionId id,
+                                                    std::uint64_t epoch) {
+  const auto it = processes_.find(id);
+  if (it == processes_.end()) return nullptr;
+  if (!network_.is_recovering(id)) {
+    // The victim left the recovering state behind our back (terminated by
+    // the workload): cancel lazily.
+    processes_.erase(it);
+    return nullptr;
+  }
+  return it->second.epoch == epoch ? &it->second : nullptr;
+}
+
+void RecoveryPlane::handle_detect(net::ConnectionId id, std::uint64_t epoch) {
+  Process* p = live_process(id, epoch);
+  if (p == nullptr) return;
+  ++stats_.detections;
+  obs_.detections.inc();
+  begin_attempt(*p);
+}
+
+void RecoveryPlane::begin_attempt(Process& p) {
+  std::size_t consumed = 0;
+  std::optional<topology::Path> patch =
+      network_.claim_recovery_channel(p.id, consumed);
+  p.consumed += consumed;
+  p.hop = 0;
+  p.attempt = 0;
+  if (patch.has_value()) {
+    p.mode = Mode::kActivate;
+    p.patch = std::move(*patch);
+    // Dual-disjoint channels are pre-cross-connected: one actuation spans
+    // the whole channel.  Every other scheme signals hop by hop.
+    p.hops_total =
+        network_.config().backup_scheme == net::BackupScheme::kDualDisjoint
+            ? 1
+            : p.patch.links.size();
+    send_hop(p);
+  } else if (network_.config().second_failure_policy ==
+             net::SecondFailurePolicy::kReestablish) {
+    // No covering channel left: signal a fresh end-to-end setup.  The new
+    // route is only computed at commit time, so the setup length is modeled
+    // on the severed primary's hop count.
+    p.mode = Mode::kSetup;
+    p.patch = topology::Path{};
+    p.hops_total = p.severed_hops > 0 ? p.severed_hops : 1;
+    send_hop(p);
+  } else {
+    finish_drop(p, /*deadline_missed=*/false, /*attempted_reestablish=*/false);
+  }
+}
+
+void RecoveryPlane::send_hop(Process& p) {
+  const net::NetworkConfig& cfg = network_.config();
+  ++stats_.signals_sent;
+  obs_.signals_sent.inc();
+  // A message over a failed link is always lost; otherwise it is lost with
+  // probability recovery_signal_loss_prob.  The random draw happens
+  // unconditionally so each send consumes exactly one draw regardless of
+  // the network state.
+  bool on_failed_link = false;
+  if (p.mode == Mode::kActivate) {
+    if (p.hops_total == 1 && p.patch.links.size() > 1) {
+      // Dual-disjoint single actuation: the message spans the whole channel.
+      for (topology::LinkId l : p.patch.links)
+        if (network_.link_state(l).failed()) { on_failed_link = true; break; }
+    } else if (p.hop < p.patch.links.size()) {
+      on_failed_link = network_.link_state(p.patch.links[p.hop]).failed();
+    }
+  }
+  const bool drawn_lost = p.rng.chance(cfg.recovery_signal_loss_prob);
+  if (on_failed_link || drawn_lost) {
+    ++stats_.signals_lost;
+    obs_.signals_lost.inc();
+    // The timeout is the protocol's scheduled reaction to the loss — count
+    // it as a retry now so retries >= losses holds at every instant.
+    ++stats_.retries;
+    obs_.retries.inc();
+    const double delay = cfg.recovery_signal_timeout *
+                         std::pow(cfg.recovery_signal_backoff,
+                                  static_cast<double>(p.attempt));
+    schedule_(now_() + delay, EventTag{kTagRecoveryTimeout, p.id, p.epoch});
+  } else {
+    schedule_(now_() + hop_time(p), EventTag{kTagRecoverySignal, p.id, p.epoch});
+  }
+}
+
+void RecoveryPlane::handle_timeout(net::ConnectionId id, std::uint64_t epoch) {
+  Process* p = live_process(id, epoch);
+  if (p == nullptr) return;
+  const net::NetworkConfig& cfg = network_.config();
+  if (p->attempt < cfg.recovery_retry_cap) {
+    ++p->attempt;
+    send_hop(*p);
+    return;
+  }
+  // Retry cap exhausted on this hop.
+  if (p->mode == Mode::kActivate) {
+    // The claimed channel is unreachable (its reservation was already
+    // released at claim time): burn it and fall back to the next one.
+    ++stats_.fallbacks;
+    obs_.fallbacks.inc();
+    ++p->epoch;
+    ++p->consumed;
+    begin_attempt(*p);
+  } else {
+    finish_drop(*p, /*deadline_missed=*/false, /*attempted_reestablish=*/true);
+  }
+}
+
+void RecoveryPlane::handle_signal(net::ConnectionId id, std::uint64_t epoch) {
+  Process* p = live_process(id, epoch);
+  if (p == nullptr) return;
+  ++p->hop;
+  p->attempt = 0;
+  if (p->hop < p->hops_total) {
+    send_hop(*p);
+    return;
+  }
+  complete(*p);
+}
+
+void RecoveryPlane::complete(Process& p) {
+  const double ttr = now_() - p.t0;
+  if (p.mode == Mode::kActivate) {
+    const net::Network::RecoveryCommit rc = network_.complete_recovery(
+        p.id, p.patch, ttr, ttr, /*via_fallback=*/p.consumed > 0);
+    if (rc == net::Network::RecoveryCommit::kCommitted) {
+      ++stats_.recovered;
+      obs_.recovered.inc();
+      processes_.erase(p.id);  // the pending deadline event no-ops from here
+      return;
+    }
+    // A second failure (or ledger churn) killed the channel while the
+    // activation was in flight: the race lost — fall back.
+    ++stats_.fallbacks;
+    obs_.fallbacks.inc();
+    ++p.epoch;
+    ++p.consumed;
+    begin_attempt(p);
+    return;
+  }
+  if (network_.complete_recovery_rescue(p.id, ttr, ttr)) {
+    ++stats_.recovered;
+    obs_.recovered.inc();
+    processes_.erase(p.id);
+    return;
+  }
+  finish_drop(p, /*deadline_missed=*/false, /*attempted_reestablish=*/true);
+}
+
+void RecoveryPlane::handle_deadline(net::ConnectionId id) {
+  const auto it = processes_.find(id);
+  if (it == processes_.end()) return;
+  if (!network_.is_recovering(id)) {
+    processes_.erase(it);
+    return;
+  }
+  ++stats_.deadline_misses;
+  obs_.deadline_misses.inc();
+  finish_drop(it->second, /*deadline_missed=*/true,
+              /*attempted_reestablish=*/false);
+}
+
+void RecoveryPlane::finish_drop(Process& p, bool deadline_missed,
+                                bool attempted_reestablish) {
+  const net::ConnectionId id = p.id;
+  network_.drop_recovering(id, p.double_hit, p.was_active, deadline_missed,
+                           attempted_reestablish, now_() - p.t0);
+  ++stats_.dropped;
+  processes_.erase(id);
+}
+
+// ---- Checkpointing ----------------------------------------------------------
+
+void RecoveryPlane::save_state(state::Buffer& out) const {
+  out.put_u64(stats_.severed);
+  out.put_u64(stats_.detections);
+  out.put_u64(stats_.signals_sent);
+  out.put_u64(stats_.signals_lost);
+  out.put_u64(stats_.retries);
+  out.put_u64(stats_.fallbacks);
+  out.put_u64(stats_.deadline_misses);
+  out.put_u64(stats_.recovered);
+  out.put_u64(stats_.dropped);
+  // Only live processes are serialized: a victim terminated by the workload
+  // leaves a stale entry that is cancelled lazily, and its pending events
+  // no-op identically on both sides of a resume.
+  std::vector<const Process*> live;
+  live.reserve(processes_.size());
+  for (const auto& [id, p] : processes_)
+    if (network_.is_recovering(id)) live.push_back(&p);
+  out.put_u64(live.size());
+  for (const Process* pp : live) {
+    const Process& p = *pp;
+    out.put_u64(p.id);
+    out.put_f64(p.t0);
+    out.put_u64(p.epoch);
+    out.put_u8(static_cast<std::uint8_t>(p.mode));
+    out.put_vec(p.patch.nodes, [&](topology::NodeId n) { out.put_u64(n); });
+    out.put_vec(p.patch.links, [&](topology::LinkId l) { out.put_u64(l); });
+    out.put_u64(p.hops_total);
+    out.put_u64(p.hop);
+    out.put_u64(p.attempt);
+    out.put_u64(p.consumed);
+    out.put_u64(p.severed_hops);
+    out.put_bool(p.double_hit);
+    out.put_bool(p.was_active);
+    out.put_u64(p.rng.seed());
+    out.put_str(p.rng.engine_state());
+  }
+}
+
+void RecoveryPlane::load_state(state::Buffer& in) {
+  stats_.severed = in.get_u64();
+  stats_.detections = in.get_u64();
+  stats_.signals_sent = in.get_u64();
+  stats_.signals_lost = in.get_u64();
+  stats_.retries = in.get_u64();
+  stats_.fallbacks = in.get_u64();
+  stats_.deadline_misses = in.get_u64();
+  stats_.recovered = in.get_u64();
+  stats_.dropped = in.get_u64();
+  processes_.clear();
+  const std::size_t n = in.get_count(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    Process p;
+    p.id = in.get_u64();
+    p.t0 = in.get_f64();
+    p.epoch = in.get_u64();
+    const std::uint8_t mode = in.get_u8();
+    if (mode > 1)
+      throw state::CorruptError("recovery checkpoint: invalid process mode");
+    p.mode = static_cast<Mode>(mode);
+    const std::size_t n_nodes = in.get_count(8);
+    p.patch.nodes.reserve(n_nodes);
+    for (std::size_t k = 0; k < n_nodes; ++k)
+      p.patch.nodes.push_back(static_cast<topology::NodeId>(in.get_u64()));
+    const std::size_t n_links = in.get_count(8);
+    p.patch.links.reserve(n_links);
+    for (std::size_t k = 0; k < n_links; ++k)
+      p.patch.links.push_back(static_cast<topology::LinkId>(in.get_u64()));
+    p.hops_total = in.get_u64();
+    p.hop = in.get_u64();
+    p.attempt = in.get_u64();
+    p.consumed = in.get_u64();
+    p.severed_hops = in.get_u64();
+    p.double_hit = in.get_bool();
+    p.was_active = in.get_bool();
+    const std::uint64_t rng_seed = in.get_u64();
+    p.rng.set_engine_state(rng_seed, in.get_str());
+    if (!network_.is_recovering(p.id))
+      throw state::CorruptError(
+          "recovery checkpoint: process for a non-recovering connection");
+    if (p.hop > p.hops_total)
+      throw state::CorruptError("recovery checkpoint: hop past hops_total");
+    processes_.insert_or_assign(p.id, std::move(p));
+  }
+}
+
+}  // namespace eqos::sim

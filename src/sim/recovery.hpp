@@ -1,0 +1,182 @@
+// Simulated recovery control plane.
+//
+// With NetworkConfig::recovery_protocol on, Network::fail_link no longer
+// rescues victims synchronously: it severs them into the kRecovering state
+// and reports them (FailureReport::severed).  This plane turns each severed
+// victim into an event-driven per-connection state machine:
+//
+//           failure (t0)
+//               │  detect delay ~ U[detect_min, detect_max]
+//               ▼
+//   ┌──── kTagRecoveryDetect ────┐
+//   │ claim next covering channel │──none + kReestablish──► setup signaling
+//   │        (activation)         │──none + kDrop─────────► drop
+//   └──────────────┬──────────────┘
+//                  ▼  per hop: send ── lost? (failed link, or p_loss)
+//        kTagRecoverySignal            │yes: kTagRecoveryTimeout at
+//        (hop delivered, next hop)     │     timeout · backoff^attempt,
+//                  │                   │     resend until retry_cap, then
+//                  ▼                   │     fall back to the next channel
+//        all hops delivered ──► Network::complete_recovery
+//                  │                 │ kChannelDead (second failure raced
+//                  │                 ▼  the in-flight activation)
+//                  │            fall back: bump epoch, claim next channel
+//                  ▼
+//        committed — TTR/blackout = now − t0 (measured, not analytic)
+//
+//   kTagRecoveryDeadline fires once per victim at t0 + deadline (per-class
+//   ElasticQosSpec::recovery_deadline, else NetworkConfig::recovery_deadline);
+//   a victim still recovering is dropped with the deadline_miss loss cause.
+//
+// Determinism: every random draw (detect delay, per-hop loss) comes from a
+// per-victim Rng substream seeded from (plane seed, connection id, lifetime
+// severance index), so results are independent of thread/shard count and of
+// the interleaving of other victims' events.  Stale events — a victim that
+// recovered, was dropped, or fell back to a new epoch — are cancelled
+// lazily: each handler no-ops unless the tag's (id, epoch) matches a live
+// process that the Network still reports as recovering.
+//
+// Checkpointing: the plane serializes its stats and every in-flight process
+// (including each Rng's engine state) into the Simulator's "recovery"
+// section; the pending tag events ride in the queue section like any other
+// POD event, so a resumed run replays signaling loss-for-loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "state/serial.hpp"
+#include "util/rng.hpp"
+
+namespace eqos::sim {
+
+// Simulator-owned tag kinds (1..15) used by the recovery plane.  For all
+// four, `a` is the victim's connection id; for detect/signal/timeout `b` is
+// the process epoch that scheduled the event (stale epochs no-op).
+inline constexpr std::uint32_t kTagRecoveryDetect = 3;
+inline constexpr std::uint32_t kTagRecoverySignal = 4;
+inline constexpr std::uint32_t kTagRecoveryTimeout = 5;
+inline constexpr std::uint32_t kTagRecoveryDeadline = 6;
+
+/// Lifetime counters of the recovery control plane.
+struct RecoveryPlaneStats {
+  std::uint64_t severed = 0;          ///< victims handed to the plane
+  std::uint64_t detections = 0;       ///< detect events that found a live victim
+  std::uint64_t signals_sent = 0;     ///< hop messages sent (first try + resends)
+  std::uint64_t signals_lost = 0;     ///< hop messages lost (failed link or p_loss)
+  /// Retries scheduled — the protocol's timeout reaction to each observed
+  /// loss (== signals_lost by construction; kept separate so the invariant
+  /// `retries >= losses` is checkable end-to-end through obs export).
+  std::uint64_t retries = 0;
+  std::uint64_t fallbacks = 0;        ///< switched to the next covering channel
+  std::uint64_t deadline_misses = 0;  ///< victims dropped at the deadline
+  std::uint64_t recovered = 0;        ///< commits + rescues
+  std::uint64_t dropped = 0;          ///< victims the plane dropped (all causes)
+};
+
+/// Event-driven recovery state machines for severed victims.  Owned by the
+/// Simulator; only constructed when NetworkConfig::recovery_protocol is on.
+class RecoveryPlane {
+ public:
+  /// The host's clock and scheduler (ShardedEngine::now / schedule of a
+  /// tag-only POD event at an absolute time).
+  using NowFn = std::function<double()>;
+  using ScheduleFn = std::function<void(double time, const EventTag& tag)>;
+
+  RecoveryPlane(net::Network& network, std::uint64_t seed, NowFn now,
+                ScheduleFn schedule);
+
+  /// Consumes FailureReport::severed: seeds one process per victim and
+  /// schedules its detection and deadline events.
+  void on_failure(const net::FailureReport& report);
+
+  /// Routes a recovery tag (kinds 3..6) to its handler.
+  void dispatch(const EventTag& tag);
+
+  [[nodiscard]] const RecoveryPlaneStats& stats() const noexcept { return stats_; }
+  /// In-flight recoveries (live processes).
+  [[nodiscard]] std::size_t in_flight() const noexcept { return processes_.size(); }
+
+  /// Serializes stats + every in-flight process (ascending connection id).
+  void save_state(state::Buffer& out) const;
+  /// Restores a save_state payload; throws state::CorruptError on a
+  /// structurally invalid payload.
+  void load_state(state::Buffer& in);
+
+ private:
+  /// What the claimed signaling is trying to do.
+  enum class Mode : std::uint8_t {
+    kActivate = 0,  ///< activation signaling along a claimed backup channel
+    kSetup = 1,     ///< fresh-route setup signaling (kReestablish, no channel)
+  };
+
+  /// One severed victim's in-flight recovery.
+  struct Process {
+    net::ConnectionId id = 0;
+    double t0 = 0.0;               ///< severance instant (TTR/blackout origin)
+    std::uint64_t epoch = 0;       ///< bumped per fallback; stale events no-op
+    Mode mode = Mode::kActivate;
+    topology::Path patch;          ///< claimed channel (kActivate only)
+    std::size_t hops_total = 0;    ///< signaling hops this attempt needs
+    std::size_t hop = 0;           ///< next hop to traverse
+    std::size_t attempt = 0;       ///< resends of the current hop so far
+    std::size_t consumed = 0;      ///< covering channels burned before this one
+    std::size_t severed_hops = 0;  ///< hops of the severed primary (sizes setup)
+    bool double_hit = false;       ///< a covering backup died with the primary
+    bool was_active = false;       ///< the severed path was an activated backup
+    util::Rng rng{0};              ///< per-victim substream (reseeded at creation)
+  };
+
+  void handle_detect(net::ConnectionId id, std::uint64_t epoch);
+  void handle_signal(net::ConnectionId id, std::uint64_t epoch);
+  void handle_timeout(net::ConnectionId id, std::uint64_t epoch);
+  void handle_deadline(net::ConnectionId id);
+
+  /// Looks up a live process for (id, epoch); lazily erases processes whose
+  /// victim the network no longer reports as recovering (terminated).
+  /// nullptr for stale/unknown events.
+  Process* live_process(net::ConnectionId id, std::uint64_t epoch);
+
+  /// Claims the next covering channel (activation), falls back to setup
+  /// signaling under kReestablish, or drops the victim.
+  void begin_attempt(Process& p);
+  /// Sends the current hop's message: draws loss, schedules the delivery or
+  /// the retry timeout.
+  void send_hop(Process& p);
+  /// All hops delivered: commit (activation) or rescue (setup); a dead
+  /// channel falls back to the next one.
+  void complete(Process& p);
+  /// Drops the victim through the network and erases the process.
+  void finish_drop(Process& p, bool deadline_missed, bool attempted_reestablish);
+
+  /// Per-hop signaling latency for the process's current mode.
+  [[nodiscard]] double hop_time(const Process& p) const;
+  /// Effective recovery deadline for a victim (per-class override, else the
+  /// network default).
+  [[nodiscard]] double deadline_for(const net::DrConnection& c) const;
+
+  net::Network& network_;
+  std::uint64_t seed_ = 0;
+  NowFn now_;
+  ScheduleFn schedule_;
+  /// Ordered so serialization and bulk iteration are deterministic.
+  std::map<net::ConnectionId, Process> processes_;
+  RecoveryPlaneStats stats_;
+
+  struct ObsHandles {
+    obs::Counter severed;
+    obs::Counter detections;
+    obs::Counter signals_sent;
+    obs::Counter signals_lost;
+    obs::Counter retries;
+    obs::Counter fallbacks;
+    obs::Counter deadline_misses;
+    obs::Counter recovered;
+  } obs_;
+};
+
+}  // namespace eqos::sim

@@ -29,6 +29,16 @@ ShardPlan make_shard_plan(const topology::Graph& graph, std::uint32_t shards,
   return plan;
 }
 
+ShardPlan make_shard_plan(const topology::Graph& graph, std::uint32_t shards,
+                          const net::NetworkConfig& config, std::uint64_t seed) {
+  // The soonest a failure on one shard can trigger activity elsewhere: the
+  // protocol's minimum detection delay, or the legacy fixed detect time.
+  const double min_detect = config.recovery_protocol
+                                ? config.recovery_detect_min
+                                : config.recovery_detect_time;
+  return make_shard_plan(graph, shards, min_detect, seed);
+}
+
 ShardedEngine::ShardedEngine()
     : queues_(1), lookahead_(kInf), window_end_(-kInf) {}
 

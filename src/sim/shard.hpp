@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "topology/partition.hpp"
 
@@ -67,9 +68,22 @@ struct ShardPlan {
 /// recursive-bisection partition plus a lookahead of `detect_time` (the
 /// failure detection/notification delay — the soonest one shard's failure
 /// can affect another's recovery bookkeeping).  A non-positive detect time
-/// falls back to 1.0.
+/// falls back to 1.0 (documented fallback: the window must be positive for
+/// the barrier protocol; correctness never depends on it because the
+/// commit plane is serial — lookahead only batches maintenance).
 [[nodiscard]] ShardPlan make_shard_plan(const topology::Graph& graph,
                                         std::uint32_t shards, double detect_time,
+                                        std::uint64_t seed);
+
+/// Network-config-aware overload: derives the window from the *minimum*
+/// possible detection delay — recovery_detect_min when the event-driven
+/// recovery protocol is on (its detect delay is drawn from
+/// [detect_min, detect_max], so detect_min bounds the soonest cross-shard
+/// reaction), else the legacy fixed recovery_detect_time — with the same
+/// documented 1.0 fallback for a non-positive delay.
+[[nodiscard]] ShardPlan make_shard_plan(const topology::Graph& graph,
+                                        std::uint32_t shards,
+                                        const net::NetworkConfig& config,
                                         std::uint64_t seed);
 
 /// K-sharded deterministic future-event list.  Drop-in for EventQueue's

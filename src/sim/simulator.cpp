@@ -108,6 +108,9 @@ Simulator::Simulator(net::Network& network, WorkloadConfig config, ShardPlan pla
   };
   hooks.on_failure = [this](const net::FailureReport& report) {
     if (recorder_) recorder_->on_failure(report, network_);
+    // The recovery plane turns each severed victim into an event-driven
+    // state machine (detection delay, lossy signaling, deadline).
+    if (recovery_) recovery_->on_failure(report);
   };
   hooks.on_fault_event = [this] {
     ++stats_.failure_events;
@@ -116,11 +119,24 @@ Simulator::Simulator(net::Network& network, WorkloadConfig config, ShardPlan pla
   hooks.on_repair = [this] { ++stats_.repair_events; };
   injector_ = std::make_unique<fault::FaultInjector>(network_, std::move(scheduler),
                                                      std::move(hooks));
+  if (network_.config().recovery_protocol) {
+    recovery_ = std::make_unique<RecoveryPlane>(
+        network_, config_.seed ^ 0x7265636f76657279ULL,
+        [this] { return queue_.now(); },
+        [this](double t, const EventTag& tag) { queue_.schedule(t, tag); });
+  }
 
   // Tag-dispatch handlers, registered once: events on the hot path are
   // 32-byte PODs with no per-event closure allocation.
   queue_.set_handler(kTagArrival, [this](const EventTag&) { do_arrival(); });
   queue_.set_handler(kTagTermination, [this](const EventTag&) { do_termination(); });
+  if (recovery_) {
+    for (std::uint32_t kind = kTagRecoveryDetect; kind <= kTagRecoveryDeadline;
+         ++kind) {
+      queue_.set_handler(kind,
+                         [this](const EventTag& tag) { recovery_->dispatch(tag); });
+    }
+  }
   for (std::uint32_t kind = fault::kTagLegacyFailure; kind <= fault::kTagAutoRepair;
        ++kind) {
     queue_.set_handler(kind,
@@ -243,11 +259,20 @@ std::uint64_t Simulator::config_fingerprint() const {
   fp.put_f64(nc.recovery_detect_time);
   fp.put_f64(nc.recovery_xc_time_per_hop);
   fp.put_f64(nc.recovery_setup_time_per_hop);
+  fp.put_bool(nc.recovery_protocol);
+  fp.put_f64(nc.recovery_detect_min);
+  fp.put_f64(nc.recovery_detect_max);
+  fp.put_f64(nc.recovery_signal_loss_prob);
+  fp.put_f64(nc.recovery_signal_timeout);
+  fp.put_f64(nc.recovery_signal_backoff);
+  fp.put_u64(nc.recovery_retry_cap);
+  fp.put_f64(nc.recovery_deadline);
   const auto put_spec = [&fp](const net::ElasticQosSpec& q) {
     fp.put_f64(q.bmin_kbps);
     fp.put_f64(q.bmax_kbps);
     fp.put_f64(q.increment_kbps);
     fp.put_f64(q.utility);
+    fp.put_f64(q.recovery_deadline);
   };
   fp.put_f64(config_.arrival_rate);
   fp.put_f64(config_.termination_rate);
@@ -298,6 +323,11 @@ void Simulator::save_checkpoint(std::ostream& out) const {
   if (recorder_) recorder_->save_state(recorder.payload);
   sections.push_back(std::move(recorder));
 
+  state::Section recovery{"recovery", {}};
+  recovery.payload.put_bool(recovery_ != nullptr);
+  if (recovery_) recovery_->save_state(recovery.payload);
+  sections.push_back(std::move(recovery));
+
   state::Section sim{"sim", {}};
   sim.payload.put_u64(stats_.arrival_events);
   sim.payload.put_u64(stats_.termination_events);
@@ -344,6 +374,21 @@ void Simulator::load_checkpoint(std::istream& in) {
     if (recorder_) recorder_->load_state(recorder);
     recorder.expect_consumed();
 
+    // After the network: the plane validates its in-flight processes
+    // against the restored recovering flags.  (The fingerprint already
+    // binds recovery_protocol, so the presence bool can only mismatch on a
+    // corrupted file.)
+    state::Buffer& recovery = file.section("recovery");
+    const bool had_recovery = recovery.get_bool();
+    if (had_recovery != (recovery_ != nullptr))
+      throw state::CorruptError(
+          had_recovery ? "checkpoint carries recovery-plane state but the "
+                         "recovery protocol is off"
+                       : "checkpoint has no recovery-plane state but the "
+                         "recovery protocol is on");
+    if (recovery_) recovery_->load_state(recovery);
+    recovery.expect_consumed();
+
     state::Buffer& sim = file.section("sim");
     stats_.arrival_events = sim.get_u64();
     stats_.termination_events = sim.get_u64();
@@ -380,6 +425,17 @@ void Simulator::load_checkpoint(std::istream& in) {
                          return [this] { do_arrival(); };
                        case kTagTermination:
                          return [this] { do_termination(); };
+                       case kTagRecoveryDetect:
+                       case kTagRecoverySignal:
+                       case kTagRecoveryTimeout:
+                       case kTagRecoveryDeadline: {
+                         if (!recovery_)
+                           throw state::CorruptError(
+                               "checkpoint has recovery events but the "
+                               "recovery protocol is off");
+                         const EventTag t = tag;
+                         return [this, t] { recovery_->dispatch(t); };
+                       }
                        default: {
                          auto action = injector_->rebuild_action(tag.kind, tag.a);
                          if (!action)

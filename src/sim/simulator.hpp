@@ -22,6 +22,7 @@
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/recorder.hpp"
+#include "sim/recovery.hpp"
 #include "sim/shard.hpp"
 #include "util/rng.hpp"
 
@@ -101,6 +102,11 @@ class Simulator {
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
   /// The sharded event engine (shard layout, barrier/mailbox counters).
   [[nodiscard]] const ShardedEngine& engine() const noexcept { return queue_; }
+  /// The simulated recovery control plane, or nullptr when
+  /// NetworkConfig::recovery_protocol is off.
+  [[nodiscard]] const RecoveryPlane* recovery() const noexcept {
+    return recovery_.get();
+  }
 
   // ---- Checkpointing --------------------------------------------------------
 
@@ -139,6 +145,9 @@ class Simulator {
   /// Owns all failure/repair processes; heap-held because its scheduled
   /// closures capture it.
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Event-driven recovery state machines; only constructed when the
+  /// network's recovery_protocol is on.
+  std::unique_ptr<RecoveryPlane> recovery_;
   TransitionRecorder* recorder_ = nullptr;
   SimulationStats stats_;
   std::size_t countable_events_ = 0;

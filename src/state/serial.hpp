@@ -126,8 +126,12 @@ class Buffer {
 
 /// Current checkpoint format version.  Bump on any layout change; readers
 /// reject other versions with VersionMismatchError.  v2: multi-backup sets
-/// (per-channel paths + trigger lists) and recovery-time samples.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// (per-channel paths + trigger lists) and recovery-time samples.  v3: the
+/// simulated recovery control plane — per-connection recovering flags, the
+/// per-class recovery deadline, the deadline_miss loss cause, blackout-time
+/// samples, and the Simulator's "recovery" section with in-flight
+/// per-victim protocol state.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Payload kinds carried in the file header (what the sections describe).
 inline constexpr std::uint32_t kKindSimulation = 1;   ///< full Simulator state

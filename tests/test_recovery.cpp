@@ -1,0 +1,414 @@
+// Tier-1 tests for the event-driven recovery control plane:
+//
+//  * NetworkConfig construction-time validation names the offending field
+//    for every recovery-protocol knob;
+//  * node failures under every backup scheme (kSingle / kDualDisjoint /
+//    kSegment) with lossy signaling and a second failure racing the
+//    in-flight recovery: the loss-cause ledger, recovery/blackout sample
+//    vectors, and plane counters are bit-identical at 1/2/8 engine shards;
+//  * protocol physics: ideal signaling loses nothing, lossy signaling keeps
+//    the retries == losses pairing, and a too-tight deadline charges drops
+//    to the dedicated deadline_miss cause (never exceeding the victim
+//    count);
+//  * checkpoints taken mid-recovery (processes created, detection still
+//    pending) resume to byte-identical futures, and a v2 checkpoint is
+//    refused with VersionMismatchError, not misparsed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/scenario.hpp"
+#include "net/network.hpp"
+#include "sim/recovery.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "state/serial.hpp"
+#include "topology/waxman.hpp"
+
+namespace eqos {
+namespace {
+
+using topology::Graph;
+
+const Graph& fuzz_graph() {
+  static const Graph g = topology::generate_waxman({40, 0.4, 0.3, true}, 19);
+  return g;
+}
+
+net::ElasticQosSpec paper_qos() {
+  net::ElasticQosSpec q;
+  q.bmin_kbps = 100.0;
+  q.bmax_kbps = 500.0;
+  q.increment_kbps = 50.0;
+  return q;
+}
+
+/// Protocol-enabled configuration with lossy signaling: detection jitter,
+/// 30% per-hop message loss, fast timeouts so retries land inside the test
+/// horizon.
+net::NetworkConfig protocol_config(net::BackupScheme scheme) {
+  net::NetworkConfig cfg;
+  cfg.backup_scheme = scheme;
+  cfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+  cfg.recovery_protocol = true;
+  cfg.recovery_detect_min = 0.2;
+  cfg.recovery_detect_max = 0.6;
+  cfg.recovery_signal_loss_prob = 0.3;
+  cfg.recovery_signal_timeout = 0.3;
+  cfg.recovery_signal_backoff = 2.0;
+  cfg.recovery_retry_cap = 3;
+  cfg.recovery_deadline = 8.0;
+  return cfg;
+}
+
+sim::WorkloadConfig base_workload(std::uint64_t seed) {
+  sim::WorkloadConfig wl;
+  wl.qos = paper_qos();
+  wl.seed = seed;
+  wl.arrival_rate = 0.01;
+  wl.termination_rate = 0.01;
+  return wl;
+}
+
+/// The busiest node: failing it severs the most primaries, so every scheme
+/// reliably produces victims for the plane.
+topology::NodeId busiest_node(const Graph& g) {
+  topology::NodeId best = 0;
+  for (topology::NodeId n = 1; n < g.num_nodes(); ++n)
+    if (g.degree(n) > g.degree(best)) best = n;
+  return best;
+}
+
+/// Second-busiest node (distinct from `first`): the mid-recovery second hit.
+topology::NodeId next_busiest_node(const Graph& g, topology::NodeId first) {
+  topology::NodeId best = first == 0 ? 1 : 0;
+  for (topology::NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (n == first) continue;
+    if (g.degree(n) > g.degree(best)) best = n;
+  }
+  return best;
+}
+
+/// Node failures with a racing second hit: the second node fails 0.5 after
+/// the first — inside the detection + signaling window — so in-flight
+/// activations race fresh severances (fallbacks, double hits).
+fault::FaultScenario node_failure_scenario(const Graph& g) {
+  const topology::NodeId a = busiest_node(g);
+  const topology::NodeId b = next_busiest_node(g, a);
+  fault::FaultScenario sc;
+  sc.fail_node(50.0, a);
+  sc.fail_node(50.5, b);
+  sc.repair_node(120.0, a);
+  sc.repair_node(120.5, b);
+  sc.fail_node(200.0, a);
+  sc.repair_node(260.0, a);
+  return sc;
+}
+
+// ---- Construction-time config validation ---------------------------------
+
+void expect_rejects(const net::NetworkConfig& cfg, const std::string& field) {
+  try {
+    net::Network net(fuzz_graph(), cfg);
+    FAIL() << "expected rejection naming " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message '" << e.what() << "' does not name " << field;
+  }
+}
+
+TEST(RecoveryConfig, RejectsBadKnobsNamingTheField) {
+  net::NetworkConfig cfg;
+  cfg.recovery_detect_min = -0.1;
+  expect_rejects(cfg, "recovery_detect_min");
+
+  cfg = {};
+  cfg.recovery_detect_min = 0.5;
+  cfg.recovery_detect_max = 0.1;  // max < min
+  expect_rejects(cfg, "recovery_detect_max");
+
+  cfg = {};
+  cfg.recovery_signal_loss_prob = 1.5;
+  expect_rejects(cfg, "recovery_signal_loss_prob");
+
+  cfg = {};
+  cfg.recovery_signal_timeout = 0.0;
+  expect_rejects(cfg, "recovery_signal_timeout");
+
+  cfg = {};
+  cfg.recovery_signal_backoff = 0.5;  // would shrink the timeout
+  expect_rejects(cfg, "recovery_signal_backoff");
+
+  cfg = {};
+  cfg.recovery_deadline = 0.0;
+  expect_rejects(cfg, "recovery_deadline");
+}
+
+TEST(RecoveryConfig, PlaneExistsOnlyWhenProtocolEnabled) {
+  net::NetworkConfig off;
+  net::Network net_off(fuzz_graph(), off);
+  sim::Simulator sim_off(net_off, base_workload(3));
+  EXPECT_EQ(sim_off.recovery(), nullptr);
+
+  net::Network net_on(fuzz_graph(), protocol_config(net::BackupScheme::kSingle));
+  sim::Simulator sim_on(net_on, base_workload(3));
+  ASSERT_NE(sim_on.recovery(), nullptr);
+  EXPECT_EQ(sim_on.recovery()->in_flight(), 0u);
+}
+
+// ---- Node failures per scheme, shard-invariant loss accounting -----------
+
+struct RunOutcome {
+  net::NetworkStats net;
+  sim::RecoveryPlaneStats plane;
+  std::string checkpoint;
+};
+
+RunOutcome run_node_failures(net::BackupScheme scheme, std::uint32_t shards) {
+  const Graph& g = fuzz_graph();
+  const net::NetworkConfig ncfg = protocol_config(scheme);
+  net::Network network(g, ncfg);
+  sim::Simulator sim(network, base_workload(91),
+                     sim::make_shard_plan(g, shards, ncfg, 77));
+  sim.populate(120);
+  sim.load_scenario(node_failure_scenario(g));
+  sim.run_until(400.0);
+
+  RunOutcome out;
+  out.net = network.stats();
+  out.plane = sim.recovery()->stats();
+  std::ostringstream ckpt;
+  sim.save_checkpoint(ckpt);
+  out.checkpoint = ckpt.str();
+  network.audit();
+  return out;
+}
+
+void expect_same_accounting(const RunOutcome& a, const RunOutcome& b) {
+  // Loss causes: the per-cause ledger is the contract the obs exporters and
+  // the validator read, so every cell must match, not just the total.
+  EXPECT_EQ(a.net.drop_causes.primary_hit, b.net.drop_causes.primary_hit);
+  EXPECT_EQ(a.net.drop_causes.backup_hit_while_active,
+            b.net.drop_causes.backup_hit_while_active);
+  EXPECT_EQ(a.net.drop_causes.double_hit, b.net.drop_causes.double_hit);
+  EXPECT_EQ(a.net.drop_causes.deadline_miss, b.net.drop_causes.deadline_miss);
+  EXPECT_EQ(a.net.unprotected_victims, b.net.unprotected_victims);
+  // Bitwise sample vectors (order included): these feed the TTR/blackout
+  // percentiles the bench reports.
+  EXPECT_EQ(a.net.recovery_times, b.net.recovery_times);
+  EXPECT_EQ(a.net.blackout_times, b.net.blackout_times);
+  // The plane's own counters.
+  EXPECT_EQ(a.plane.severed, b.plane.severed);
+  EXPECT_EQ(a.plane.detections, b.plane.detections);
+  EXPECT_EQ(a.plane.signals_sent, b.plane.signals_sent);
+  EXPECT_EQ(a.plane.signals_lost, b.plane.signals_lost);
+  EXPECT_EQ(a.plane.retries, b.plane.retries);
+  EXPECT_EQ(a.plane.fallbacks, b.plane.fallbacks);
+  EXPECT_EQ(a.plane.deadline_misses, b.plane.deadline_misses);
+  EXPECT_EQ(a.plane.recovered, b.plane.recovered);
+  EXPECT_EQ(a.plane.dropped, b.plane.dropped);
+  EXPECT_EQ(a.checkpoint, b.checkpoint);
+}
+
+class NodeFailureSchemes : public ::testing::TestWithParam<net::BackupScheme> {};
+
+TEST_P(NodeFailureSchemes, LossAccountingBitIdenticalAcrossShards) {
+  const RunOutcome r1 = run_node_failures(GetParam(), 1);
+  const RunOutcome r2 = run_node_failures(GetParam(), 2);
+  const RunOutcome r8 = run_node_failures(GetParam(), 8);
+  // The scenario must actually exercise the plane: victims severed, lossy
+  // signaling observed, and some recoveries completed.
+  EXPECT_GT(r1.plane.severed, 0u);
+  EXPECT_GT(r1.plane.signals_sent, 0u);
+  EXPECT_GT(r1.plane.recovered + r1.plane.dropped, 0u);
+  EXPECT_EQ(r1.plane.retries, r1.plane.signals_lost);
+  EXPECT_LE(r1.plane.deadline_misses, r1.plane.severed);
+  expect_same_accounting(r1, r2);
+  expect_same_accounting(r1, r8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, NodeFailureSchemes,
+                         ::testing::Values(net::BackupScheme::kSingle,
+                                           net::BackupScheme::kDualDisjoint,
+                                           net::BackupScheme::kSegment),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case net::BackupScheme::kSingle: return "Single";
+                             case net::BackupScheme::kDualDisjoint: return "DualDisjoint";
+                             default: return "Segment";
+                           }
+                         });
+
+// ---- Protocol physics ----------------------------------------------------
+
+TEST(RecoverySignaling, IdealSignalingLosesNothing) {
+  const Graph& g = fuzz_graph();
+  net::NetworkConfig ncfg = protocol_config(net::BackupScheme::kSingle);
+  ncfg.recovery_signal_loss_prob = 0.0;
+  net::Network network(g, ncfg);
+  sim::Simulator sim(network, base_workload(91));
+  sim.populate(120);
+  // A single node failure, no racing second hit: channels claimed at
+  // begin_attempt stay alive for the whole signaling exchange, so with
+  // p_loss = 0 there is no loss source left (a failed link on the patch —
+  // the always-lost case — needs a mid-flight second failure).
+  fault::FaultScenario sc;
+  sc.fail_node(50.0, busiest_node(g));
+  sc.repair_node(120.0, busiest_node(g));
+  sim.load_scenario(sc);
+  sim.run_until(400.0);
+
+  const sim::RecoveryPlaneStats& s = sim.recovery()->stats();
+  EXPECT_GT(s.severed, 0u);
+  EXPECT_GT(s.signals_sent, 0u);
+  EXPECT_EQ(s.signals_lost, 0u);
+  EXPECT_EQ(s.retries, 0u);
+}
+
+TEST(RecoverySignaling, LossyRetriesPairWithLosses) {
+  const Graph& g = fuzz_graph();
+  net::NetworkConfig ncfg = protocol_config(net::BackupScheme::kSingle);
+  ncfg.recovery_signal_loss_prob = 0.5;
+  net::Network network(g, ncfg);
+  sim::Simulator sim(network, base_workload(91));
+  sim.populate(120);
+  sim.load_scenario(node_failure_scenario(g));
+  sim.run_until(400.0);
+
+  const sim::RecoveryPlaneStats& s = sim.recovery()->stats();
+  EXPECT_GT(s.signals_lost, 0u);
+  // Every observed loss is answered by exactly one timeout-scheduled retry;
+  // the validator's `retries >= losses` invariant holds with equality.
+  EXPECT_EQ(s.retries, s.signals_lost);
+  EXPECT_GT(s.signals_sent, s.signals_lost);
+}
+
+TEST(RecoveryDeadline, TightDeadlineChargesDedicatedCause) {
+  const Graph& g = fuzz_graph();
+  net::NetworkConfig ncfg = protocol_config(net::BackupScheme::kSingle);
+  // The deadline expires before the earliest possible detection: every
+  // severed victim must miss it and be charged to deadline_miss.
+  ncfg.recovery_deadline = 0.1;
+  ncfg.recovery_detect_min = 0.2;
+  ncfg.recovery_detect_max = 0.6;
+  net::Network network(g, ncfg);
+  sim::Simulator sim(network, base_workload(91));
+  sim.populate(120);
+  sim.load_scenario(node_failure_scenario(g));
+  sim.run_until(400.0);
+
+  const sim::RecoveryPlaneStats& s = sim.recovery()->stats();
+  const net::NetworkStats& ns = network.stats();
+  EXPECT_GT(s.severed, 0u);
+  EXPECT_EQ(s.deadline_misses, s.severed);  // nobody can beat 0.1
+  EXPECT_EQ(s.recovered, 0u);
+  EXPECT_EQ(ns.drop_causes.deadline_miss, s.deadline_misses);
+  EXPECT_LE(s.deadline_misses, static_cast<std::uint64_t>(ns.unprotected_victims));
+}
+
+TEST(RecoveryDeadline, PerClassDeadlineOverridesNetworkDefault) {
+  const Graph& g = fuzz_graph();
+  net::NetworkConfig ncfg = protocol_config(net::BackupScheme::kSingle);
+  ncfg.recovery_deadline = 0.1;  // network default: impossible
+  net::Network network(g, ncfg);
+  sim::WorkloadConfig wl = base_workload(91);
+  wl.qos.recovery_deadline = 30.0;  // per-class override: generous
+  net::Network network_gen(g, ncfg);
+  sim::Simulator sim(network_gen, wl);
+  sim.populate(120);
+  sim.load_scenario(node_failure_scenario(g));
+  sim.run_until(400.0);
+
+  const sim::RecoveryPlaneStats& s = sim.recovery()->stats();
+  EXPECT_GT(s.severed, 0u);
+  // The generous per-class deadline rescues what the network default would
+  // have condemned wholesale.
+  EXPECT_GT(s.recovered, 0u);
+  EXPECT_LT(s.deadline_misses, s.severed);
+}
+
+// ---- Mid-recovery checkpoint / resume ------------------------------------
+
+TEST(RecoveryCheckpoint, MidRecoveryResumeBitIdentical) {
+  const Graph& g = fuzz_graph();
+  const net::NetworkConfig ncfg = protocol_config(net::BackupScheme::kDualDisjoint);
+  const sim::WorkloadConfig wl = base_workload(91);
+  const fault::FaultScenario scenario = node_failure_scenario(g);
+
+  net::Network net_a(g, ncfg);
+  sim::Simulator sim_a(net_a, wl);
+  sim_a.populate(120);
+  sim_a.load_scenario(scenario);
+  // Stop between the severance (t = 50) and the earliest detection
+  // (t >= 50.2): processes exist, detect/deadline events are pending, and
+  // nothing has been signaled yet — the checkpoint captures recoveries
+  // genuinely in flight.
+  sim_a.run_until(50.1);
+  ASSERT_GT(sim_a.recovery()->in_flight(), 0u);
+
+  std::stringstream mid;
+  sim_a.save_checkpoint(mid);
+  sim_a.run_until(400.0);  // uninterrupted run continues...
+
+  net::Network net_b(g, ncfg);
+  sim::Simulator sim_b(net_b, wl);
+  sim_b.load_scenario(scenario);
+  sim_b.load_checkpoint(mid);
+  EXPECT_GT(sim_b.recovery()->in_flight(), 0u);  // processes restored live
+  sim_b.run_until(400.0);  // ...and the resumed run must match byte-for-byte
+
+  std::ostringstream end_a;
+  std::ostringstream end_b;
+  sim_a.save_checkpoint(end_a);
+  sim_b.save_checkpoint(end_b);
+  EXPECT_EQ(end_a.str(), end_b.str());
+  EXPECT_EQ(sim_a.recovery()->stats().recovered, sim_b.recovery()->stats().recovered);
+  EXPECT_EQ(sim_a.recovery()->stats().dropped, sim_b.recovery()->stats().dropped);
+  net_b.audit();
+}
+
+TEST(RecoveryCheckpoint, RejectsV2Checkpoints) {
+  const Graph& g = fuzz_graph();
+  const net::NetworkConfig ncfg = protocol_config(net::BackupScheme::kSingle);
+  net::Network net_a(g, ncfg);
+  sim::Simulator sim_a(net_a, base_workload(7));
+  sim_a.populate(50);
+  sim_a.run_events(100);
+  std::ostringstream out;
+  sim_a.save_checkpoint(out);
+
+  // v2 predates the recovery section and the blackout samples; the version
+  // u32 follows the 4-byte magic.
+  std::string bytes = out.str();
+  ASSERT_GE(state::kFormatVersion, 3u);
+  bytes[4] = static_cast<char>(0x02);
+  std::istringstream in(bytes);
+  net::Network net_b(g, ncfg);
+  sim::Simulator sim_b(net_b, base_workload(7));
+  EXPECT_THROW(sim_b.load_checkpoint(in), state::VersionMismatchError);
+}
+
+TEST(RecoveryCheckpoint, RejectsProtocolPresenceMismatch) {
+  // A checkpoint written with the plane enabled must not load into a
+  // protocol-off simulator (and the config fingerprint catches it).
+  const Graph& g = fuzz_graph();
+  net::Network net_a(g, protocol_config(net::BackupScheme::kSingle));
+  sim::Simulator sim_a(net_a, base_workload(7));
+  sim_a.populate(50);
+  sim_a.run_events(100);
+  std::ostringstream out;
+  sim_a.save_checkpoint(out);
+
+  std::istringstream in(out.str());
+  net::NetworkConfig off;
+  net::Network net_b(g, off);
+  sim::Simulator sim_b(net_b, base_workload(7));
+  EXPECT_THROW(sim_b.load_checkpoint(in), state::CorruptError);
+}
+
+}  // namespace
+}  // namespace eqos

@@ -194,7 +194,7 @@ SimResult run_sim(const topology::Graph& graph, std::uint32_t shards,
   wl.termination_rate = 0.01;
   wl.seed = 4242;
   sim::ShardPlan plan = sim::make_shard_plan(graph, shards,
-                                             ncfg.recovery_detect_time, 77);
+                                             ncfg, 77);
   sim::Simulator sim(network, wl, plan);
   sim.populate(40);
 
@@ -233,6 +233,85 @@ TEST(ShardInvariance, WaxmanCheckpointBitIdentical) {
   EXPECT_EQ(r1.stats.repair_events, r8.stats.repair_events);
 }
 
+TEST(ShardPlanLookahead, DerivesFromMinimumDetectionDelay) {
+  topology::WaxmanConfig wc;
+  wc.nodes = 60;
+  const topology::Graph g = topology::generate_waxman(wc, 5);
+
+  net::NetworkConfig legacy;
+  legacy.recovery_detect_time = 0.7;
+  EXPECT_DOUBLE_EQ(sim::make_shard_plan(g, 4, legacy, 77).lookahead, 0.7);
+
+  // Protocol on: the jittered detection draw comes from [min, max], so the
+  // conservative window is the minimum — the soonest a failure on one shard
+  // can trigger recovery activity on another.
+  net::NetworkConfig proto;
+  proto.recovery_protocol = true;
+  proto.recovery_detect_min = 0.25;
+  proto.recovery_detect_max = 0.9;
+  EXPECT_DOUBLE_EQ(sim::make_shard_plan(g, 4, proto, 77).lookahead, 0.25);
+
+  // Degenerate zero minimum falls back to the documented 1.0 (the barrier
+  // needs a positive window; correctness never depends on it).
+  proto.recovery_detect_min = 0.0;
+  EXPECT_DOUBLE_EQ(sim::make_shard_plan(g, 4, proto, 77).lookahead, 1.0);
+}
+
+TEST(ShardInvariance, RecoveryProtocolNonzeroDelayBitIdentical) {
+  // Regression for the recovery control plane: with the protocol on, a
+  // nonzero detection delay, lossy signaling, and node failures racing
+  // in-flight recoveries, the full simulation must stay bit-identical at
+  // 1/2/8 shards — the detect/signal/timeout/deadline events cross shard
+  // boundaries (locus: shard 0) and their relative order is pinned only by
+  // the global (time, seq) merge.
+  topology::WaxmanConfig wc;
+  wc.nodes = 120;
+  const topology::Graph g = topology::generate_waxman(wc, 11);
+
+  const auto run = [&g](std::uint32_t shards) {
+    net::NetworkConfig ncfg;
+    ncfg.backup_scheme = net::BackupScheme::kDualDisjoint;
+    ncfg.second_failure_policy = net::SecondFailurePolicy::kReestablish;
+    ncfg.recovery_protocol = true;
+    ncfg.recovery_detect_min = 0.2;
+    ncfg.recovery_detect_max = 0.6;
+    ncfg.recovery_signal_loss_prob = 0.3;
+    ncfg.recovery_signal_timeout = 0.3;
+    net::Network network(g, ncfg);
+    sim::WorkloadConfig wl;
+    wl.qos.bmin_kbps = 100.0;
+    wl.qos.bmax_kbps = 500.0;
+    wl.qos.increment_kbps = 50.0;
+    wl.arrival_rate = 0.01;
+    wl.termination_rate = 0.01;
+    wl.seed = 4242;
+    sim::Simulator sim(network, wl, sim::make_shard_plan(g, shards, ncfg, 77));
+    sim.populate(60);
+
+    fault::FaultScenario scenario;
+    scenario.fail_node(40.0, 3);
+    scenario.fail_node(40.4, 7);  // races the in-flight recoveries from 40.0
+    scenario.repair_node(150.0, 3);
+    scenario.repair_node(150.5, 7);
+    scenario.stochastic().link_failure_rate = 1e-4;
+    scenario.stochastic().repair.rate = 1e-2;
+    scenario.stochastic().auto_repair = true;
+    sim.load_scenario(scenario);
+    sim.run_until(400.0);
+
+    std::ostringstream out;
+    sim.save_checkpoint(out);
+    return std::make_pair(out.str(), sim.recovery()->stats().signals_sent);
+  };
+
+  const auto r1 = run(1);
+  const auto r2 = run(2);
+  const auto r8 = run(8);
+  EXPECT_GT(r1.second, 0u);  // the protocol actually signaled
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_EQ(r1.first, r8.first);
+}
+
 TEST(ShardInvariance, TransitStubCheckpointBitIdentical) {
   const topology::TransitStubGraph ts =
       topology::generate_transit_stub({}, 13);
@@ -263,7 +342,7 @@ TEST(ShardInvariance, CheckpointRestoresAcrossShardCounts) {
     wl.seed = 4242;
     return sim::Simulator(network, wl,
                           sim::make_shard_plan(g, shards,
-                                               ncfg.recovery_detect_time, 77));
+                                               ncfg, 77));
   };
 
   net::NetworkConfig ncfg;
