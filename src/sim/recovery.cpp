@@ -43,22 +43,30 @@ void RecoveryPlane::on_failure(const net::FailureReport& report) {
     Process p;
     p.id = v.id;
     p.t0 = t0;
+    p.sever_idx = stats_.severed;
+    p.epoch = next_epoch_++;
     p.severed_hops = v.primary_hops;
     p.double_hit = v.double_hit;
     p.was_active = v.was_active;
-    // Per-victim substream keyed by (plane seed, connection id, lifetime
-    // severance index): draws are independent of event interleaving, and a
-    // connection severed a second time (after a successful recovery) gets a
-    // fresh stream instead of replaying its first one.
+    // Per-victim substream keyed by (plane seed, connection id, plane-wide
+    // severance ordinal — the global count of victims severed so far, not a
+    // per-connection one): draws are independent of event interleaving, and
+    // a connection severed a second time (after a successful recovery) gets
+    // a fresh stream instead of replaying its first one.
     p.rng = util::Rng(util::Rng::substream_seed(
-        util::Rng::substream_seed(seed_, v.id), stats_.severed));
+        util::Rng::substream_seed(seed_, v.id), p.sever_idx));
     ++stats_.severed;
     obs_.severed.inc();
     const double detect =
         p.rng.uniform(cfg.recovery_detect_min, cfg.recovery_detect_max);
-    schedule_(t0 + detect, EventTag{kTagRecoveryDetect, v.id, 0});
+    schedule_(t0 + detect, EventTag{kTagRecoveryDetect, v.id, p.epoch});
+    // The deadline carries the severance ordinal, not the epoch: it must
+    // survive fallbacks (which bump the epoch) yet go stale if the victim
+    // recovers and is severed again before this event fires — a stale
+    // deadline matching the successor would drop it at t0_old + D instead
+    // of its real t0_new + D.
     schedule_(t0 + deadline_for(network_.connection(v.id)),
-              EventTag{kTagRecoveryDeadline, v.id, 0});
+              EventTag{kTagRecoveryDeadline, v.id, p.sever_idx});
     processes_.insert_or_assign(v.id, std::move(p));
   }
 }
@@ -68,11 +76,21 @@ void RecoveryPlane::dispatch(const EventTag& tag) {
     case kTagRecoveryDetect: handle_detect(tag.a, tag.b); return;
     case kTagRecoverySignal: handle_signal(tag.a, tag.b); return;
     case kTagRecoveryTimeout: handle_timeout(tag.a, tag.b); return;
-    case kTagRecoveryDeadline: handle_deadline(tag.a); return;
+    case kTagRecoveryDeadline: handle_deadline(tag.a, tag.b); return;
     default:
       throw std::logic_error("recovery_plane: unknown tag kind " +
                              std::to_string(tag.kind));
   }
+}
+
+std::size_t RecoveryPlane::in_flight() const {
+  // processes_ may hold lazily-cancelled stale entries (victims terminated
+  // by the workload before their next event fired); count only the live
+  // ones so the reported figure never overstates in-flight recoveries.
+  std::size_t live = 0;
+  for (const auto& [id, p] : processes_)
+    if (network_.is_recovering(id)) ++live;
+  return live;
 }
 
 RecoveryPlane::Process* RecoveryPlane::live_process(net::ConnectionId id,
@@ -177,7 +195,7 @@ void RecoveryPlane::handle_timeout(net::ConnectionId id, std::uint64_t epoch) {
     // released at claim time): burn it and fall back to the next one.
     ++stats_.fallbacks;
     obs_.fallbacks.inc();
-    ++p->epoch;
+    p->epoch = next_epoch_++;
     ++p->consumed;
     begin_attempt(*p);
   } else {
@@ -212,7 +230,7 @@ void RecoveryPlane::complete(Process& p) {
     // activation was in flight: the race lost — fall back.
     ++stats_.fallbacks;
     obs_.fallbacks.inc();
-    ++p.epoch;
+    p.epoch = next_epoch_++;
     ++p.consumed;
     begin_attempt(p);
     return;
@@ -226,13 +244,18 @@ void RecoveryPlane::complete(Process& p) {
   finish_drop(p, /*deadline_missed=*/false, /*attempted_reestablish=*/true);
 }
 
-void RecoveryPlane::handle_deadline(net::ConnectionId id) {
+void RecoveryPlane::handle_deadline(net::ConnectionId id,
+                                    std::uint64_t sever_idx) {
   const auto it = processes_.find(id);
   if (it == processes_.end()) return;
   if (!network_.is_recovering(id)) {
     processes_.erase(it);
     return;
   }
+  // A deadline armed by an earlier severance of this connection (which has
+  // since recovered and been severed again) must not drop the successor
+  // process: only the deadline carrying the live severance ordinal counts.
+  if (it->second.sever_idx != sever_idx) return;
   ++stats_.deadline_misses;
   obs_.deadline_misses.inc();
   finish_drop(it->second, /*deadline_missed=*/true,
@@ -260,6 +283,7 @@ void RecoveryPlane::save_state(state::Buffer& out) const {
   out.put_u64(stats_.deadline_misses);
   out.put_u64(stats_.recovered);
   out.put_u64(stats_.dropped);
+  out.put_u64(next_epoch_);
   // Only live processes are serialized: a victim terminated by the workload
   // leaves a stale entry that is cancelled lazily, and its pending events
   // no-op identically on both sides of a resume.
@@ -272,6 +296,7 @@ void RecoveryPlane::save_state(state::Buffer& out) const {
     const Process& p = *pp;
     out.put_u64(p.id);
     out.put_f64(p.t0);
+    out.put_u64(p.sever_idx);
     out.put_u64(p.epoch);
     out.put_u8(static_cast<std::uint8_t>(p.mode));
     out.put_vec(p.patch.nodes, [&](topology::NodeId n) { out.put_u64(n); });
@@ -298,12 +323,14 @@ void RecoveryPlane::load_state(state::Buffer& in) {
   stats_.deadline_misses = in.get_u64();
   stats_.recovered = in.get_u64();
   stats_.dropped = in.get_u64();
+  next_epoch_ = in.get_u64();
   processes_.clear();
   const std::size_t n = in.get_count(8);
   for (std::size_t i = 0; i < n; ++i) {
     Process p;
     p.id = in.get_u64();
     p.t0 = in.get_f64();
+    p.sever_idx = in.get_u64();
     p.epoch = in.get_u64();
     const std::uint8_t mode = in.get_u8();
     if (mode > 1)
@@ -331,6 +358,12 @@ void RecoveryPlane::load_state(state::Buffer& in) {
           "recovery checkpoint: process for a non-recovering connection");
     if (p.hop > p.hops_total)
       throw state::CorruptError("recovery checkpoint: hop past hops_total");
+    if (p.sever_idx >= stats_.severed)
+      throw state::CorruptError(
+          "recovery checkpoint: severance ordinal past the severed count");
+    if (p.epoch >= next_epoch_)
+      throw state::CorruptError(
+          "recovery checkpoint: process epoch past the epoch allocator");
     processes_.insert_or_assign(p.id, std::move(p));
   }
 }

@@ -29,12 +29,21 @@
 //   a victim still recovering is dropped with the deadline_miss loss cause.
 //
 // Determinism: every random draw (detect delay, per-hop loss) comes from a
-// per-victim Rng substream seeded from (plane seed, connection id, lifetime
-// severance index), so results are independent of thread/shard count and of
-// the interleaving of other victims' events.  Stale events — a victim that
-// recovered, was dropped, or fell back to a new epoch — are cancelled
-// lazily: each handler no-ops unless the tag's (id, epoch) matches a live
-// process that the Network still reports as recovering.
+// per-victim Rng substream seeded from (plane seed, connection id,
+// plane-wide severance ordinal — the count of victims severed before this
+// one, across all connections), so results are independent of thread/shard
+// count and of the interleaving of other victims' events, and a connection
+// severed a second time gets a fresh stream instead of replaying its first.
+// Stale events — a victim that recovered, was dropped, or fell back to a
+// new epoch — are cancelled lazily: each handler no-ops unless the tag's
+// identity matches a live process that the Network still reports as
+// recovering.  Two identities make that safe across re-severance (the same
+// connection severed again after a successful recovery): detect/signal/
+// timeout carry the process *epoch*, drawn from a plane-lifetime counter
+// (never reused, bumped at creation and at every fallback), and the
+// deadline carries the severance ordinal, which outlives fallbacks but
+// changes per severance — so neither a leftover signaling event nor the
+// first severance's deadline can fire against the re-severed successor.
 //
 // Checkpointing: the plane serializes its stats and every in-flight process
 // (including each Rng's engine state) into the Simulator's "recovery"
@@ -55,8 +64,10 @@
 namespace eqos::sim {
 
 // Simulator-owned tag kinds (1..15) used by the recovery plane.  For all
-// four, `a` is the victim's connection id; for detect/signal/timeout `b` is
-// the process epoch that scheduled the event (stale epochs no-op).
+// four, `a` is the victim's connection id.  For detect/signal/timeout `b`
+// is the process epoch that scheduled the event (plane-unique, so stale
+// epochs no-op even across re-severance); for deadline `b` is the victim's
+// severance ordinal (valid across fallbacks, stale across re-severance).
 inline constexpr std::uint32_t kTagRecoveryDetect = 3;
 inline constexpr std::uint32_t kTagRecoverySignal = 4;
 inline constexpr std::uint32_t kTagRecoveryTimeout = 5;
@@ -98,8 +109,9 @@ class RecoveryPlane {
   void dispatch(const EventTag& tag);
 
   [[nodiscard]] const RecoveryPlaneStats& stats() const noexcept { return stats_; }
-  /// In-flight recoveries (live processes).
-  [[nodiscard]] std::size_t in_flight() const noexcept { return processes_.size(); }
+  /// In-flight recoveries: processes whose victim the Network still reports
+  /// as recovering (lazily-cancelled stale entries are not counted).
+  [[nodiscard]] std::size_t in_flight() const;
 
   /// Serializes stats + every in-flight process (ascending connection id).
   void save_state(state::Buffer& out) const;
@@ -118,7 +130,13 @@ class RecoveryPlane {
   struct Process {
     net::ConnectionId id = 0;
     double t0 = 0.0;               ///< severance instant (TTR/blackout origin)
-    std::uint64_t epoch = 0;       ///< bumped per fallback; stale events no-op
+    /// Plane-wide severance ordinal captured at creation; the deadline
+    /// event carries it so a first severance's deadline cannot drop the
+    /// re-severed successor process for the same connection.
+    std::uint64_t sever_idx = 0;
+    /// Drawn from next_epoch_ at creation and per fallback (never reused),
+    /// so stale detect/signal/timeout events no-op across re-severance too.
+    std::uint64_t epoch = 0;
     Mode mode = Mode::kActivate;
     topology::Path patch;          ///< claimed channel (kActivate only)
     std::size_t hops_total = 0;    ///< signaling hops this attempt needs
@@ -134,7 +152,7 @@ class RecoveryPlane {
   void handle_detect(net::ConnectionId id, std::uint64_t epoch);
   void handle_signal(net::ConnectionId id, std::uint64_t epoch);
   void handle_timeout(net::ConnectionId id, std::uint64_t epoch);
-  void handle_deadline(net::ConnectionId id);
+  void handle_deadline(net::ConnectionId id, std::uint64_t sever_idx);
 
   /// Looks up a live process for (id, epoch); lazily erases processes whose
   /// victim the network no longer reports as recovering (terminated).
@@ -166,6 +184,9 @@ class RecoveryPlane {
   /// Ordered so serialization and bulk iteration are deterministic.
   std::map<net::ConnectionId, Process> processes_;
   RecoveryPlaneStats stats_;
+  /// Plane-lifetime epoch allocator (checkpointed): epochs are never reused,
+  /// so events queued for a dead process can never match a later one.
+  std::uint64_t next_epoch_ = 0;
 
   struct ObsHandles {
     obs::Counter severed;

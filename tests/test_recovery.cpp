@@ -10,12 +10,16 @@
 //    the retries == losses pairing, and a too-tight deadline charges drops
 //    to the dedicated deadline_miss cause (never exceeding the victim
 //    count);
+//  * re-severance: a victim that recovers and is severed again is NOT
+//    dropped by the first severance's still-queued deadline event (the
+//    deadline tag carries the severance ordinal; stale ordinals no-op);
 //  * checkpoints taken mid-recovery (processes created, detection still
 //    pending) resume to byte-identical futures, and a v2 checkpoint is
 //    refused with VersionMismatchError, not misparsed.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -329,6 +333,97 @@ TEST(RecoveryDeadline, PerClassDeadlineOverridesNetworkDefault) {
   // have condemned wholesale.
   EXPECT_GT(s.recovered, 0u);
   EXPECT_LT(s.deadline_misses, s.severed);
+}
+
+// A recovered victim severed a second time must not be dropped by the
+// FIRST severance's still-queued deadline event: the deadline tag carries
+// the severance ordinal, and a stale ordinal no-ops.  Driven directly (a
+// manual clock and event pump standing in for the Simulator) on a 6-node
+// graph where the routes are forced:
+//
+//     0 --L0-- 1 --L1-- 5        primary  0-1-5   (2 hops)
+//     0 --L2-- 2 --L3-- 3 --L4-- 5   backup 0-2-3-5 (3 hops)
+//
+// t=0.0  fail L1: severed #0, deadline armed at t=2.0
+// t=0.5  recovery #0 commits onto 0-2-3-5 (detect 0.2 + 3 hops x 0.1)
+// t=0.7  repair L1 (a covering channel / rescue route exists again)
+// t=1.9  fail L3: severed #1, its real deadline is t=3.9
+// t=2.0  severance #0's deadline fires MID-RECOVERY of severance #1 —
+//        before the fix it matched the successor process and dropped it
+//        1.9 seconds early with a bogus deadline_miss
+TEST(RecoveryDeadline, StaleDeadlineDoesNotDropReseveredConnection) {
+  Graph g(6);
+  const topology::LinkId l0 = g.add_link(0, 1);
+  const topology::LinkId l1 = g.add_link(1, 5);
+  const topology::LinkId l2 = g.add_link(0, 2);
+  const topology::LinkId l3 = g.add_link(2, 3);
+  const topology::LinkId l4 = g.add_link(3, 5);
+  (void)l0; (void)l2; (void)l4;
+
+  net::NetworkConfig cfg = protocol_config(net::BackupScheme::kSingle);
+  cfg.recovery_detect_min = 0.2;
+  cfg.recovery_detect_max = 0.2;  // degenerate: detection exactly +0.2
+  cfg.recovery_signal_loss_prob = 0.0;
+  cfg.recovery_xc_time_per_hop = 0.1;
+  cfg.recovery_setup_time_per_hop = 0.1;
+  cfg.recovery_deadline = 2.0;
+  net::Network network(g, cfg);
+
+  const net::ArrivalOutcome arrival = network.request_connection(0, 5, paper_qos());
+  ASSERT_TRUE(arrival.accepted);
+  const net::ConnectionId id = arrival.id;
+
+  double now = 0.0;
+  std::multimap<double, sim::EventTag> queue;  // equal keys keep FIFO order
+  sim::RecoveryPlane plane(
+      network, /*seed=*/7, [&] { return now; },
+      [&](double t, const sim::EventTag& tag) { queue.emplace(t, tag); });
+  const auto pump_until = [&](double horizon) {
+    while (!queue.empty() && queue.begin()->first <= horizon) {
+      const auto it = queue.begin();
+      now = it->first;
+      const sim::EventTag tag = it->second;
+      queue.erase(it);
+      plane.dispatch(tag);
+    }
+    now = horizon;
+  };
+
+  // Severance #0: the primary's second hop dies.
+  const net::FailureReport first = network.fail_link(l1);
+  ASSERT_EQ(first.severed.size(), 1u);
+  ASSERT_EQ(first.severed[0].id, id);
+  plane.on_failure(first);
+  pump_until(0.7);  // detect 0.2, three hop signals -> committed at 0.5
+  ASSERT_EQ(plane.stats().recovered, 1u);
+  ASSERT_FALSE(network.is_recovering(id));
+  ASSERT_TRUE(network.is_active(id));
+
+  network.repair_link(l1);
+
+  // Severance #1 at t=1.9 hits the recovered path 0-2-3-5; the stale
+  // deadline from severance #0 (t=2.0) lands before detection (t=2.1).
+  now = 1.9;
+  const net::FailureReport second = network.fail_link(l3);
+  ASSERT_EQ(second.severed.size(), 1u);
+  ASSERT_EQ(second.severed[0].id, id);
+  plane.on_failure(second);
+  EXPECT_EQ(plane.in_flight(), 1u);
+  pump_until(2.05);  // past the stale deadline, before detection
+  EXPECT_TRUE(network.is_recovering(id)) << "stale deadline dropped the "
+                                            "re-severed connection";
+  EXPECT_EQ(plane.stats().deadline_misses, 0u);
+
+  pump_until(10.0);  // drain: recovery #1 and the real (no-op) deadline
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(plane.stats().severed, 2u);
+  EXPECT_EQ(plane.stats().recovered, 2u);
+  EXPECT_EQ(plane.stats().dropped, 0u);
+  EXPECT_EQ(plane.stats().deadline_misses, 0u);
+  EXPECT_EQ(network.stats().drop_causes.deadline_miss, 0u);
+  EXPECT_TRUE(network.is_active(id));
+  EXPECT_EQ(plane.in_flight(), 0u);
+  network.audit();
 }
 
 // ---- Mid-recovery checkpoint / resume ------------------------------------
